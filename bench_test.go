@@ -1,0 +1,126 @@
+// Benchmark harness: one benchmark per table and figure of the paper's
+// evaluation (section 9), plus the ablation studies from DESIGN.md. Each
+// benchmark executes the corresponding experiment end-to-end on the
+// simulated WAN and reports the headline quantity as a custom metric, so
+//
+//	go test -bench=. -benchmem
+//
+// regenerates the entire evaluation. Absolute times are model time on the
+// simulator (or host-CPU time for the crypto figures); the comparison target
+// is the paper's shape, recorded in EXPERIMENTS.md.
+package narada
+
+import (
+	"io"
+	"testing"
+
+	"narada/internal/core"
+	"narada/internal/experiments"
+	"narada/internal/simnet"
+	"narada/internal/topology"
+)
+
+// benchOpts keeps per-iteration work modest: the paper's full 120-run
+// sampling is for cmd/nbexp; benchmarks use a smaller sample per iteration
+// and vary the seed across iterations.
+func benchOpts(i int) experiments.Options {
+	return experiments.Options{Runs: 10, Keep: 8, Scale: 200, Seed: int64(i + 1)}
+}
+
+func BenchmarkTable1Sites(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.Table1Report(benchOpts(i))
+		if _, err := r.WriteTo(io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func benchBreakdown(b *testing.B, topo string) {
+	waitPct := 0.0
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.RunBreakdown(topo, benchOpts(i))
+		if err != nil {
+			b.Fatal(err)
+		}
+		waitPct += r.Mean.Percent(core.PhaseWaitResponses)
+	}
+	b.ReportMetric(waitPct/float64(b.N), "wait-%")
+}
+
+func BenchmarkFig2UnconnectedBreakdown(b *testing.B) { benchBreakdown(b, topology.Unconnected) }
+func BenchmarkFig9StarBreakdown(b *testing.B)        { benchBreakdown(b, topology.Star) }
+func BenchmarkFig11LinearBreakdown(b *testing.B)     { benchBreakdown(b, topology.Linear) }
+
+func benchSiteTiming(b *testing.B, site string) {
+	mean := 0.0
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.RunSiteTiming(site, benchOpts(i))
+		if err != nil {
+			b.Fatal(err)
+		}
+		mean += r.Summary.Mean
+	}
+	b.ReportMetric(mean/float64(b.N), "model-ms/discovery")
+}
+
+func BenchmarkFig3DiscoveryFSU(b *testing.B)         { benchSiteTiming(b, simnet.SiteFSU) }
+func BenchmarkFig4DiscoveryCardiff(b *testing.B)     { benchSiteTiming(b, simnet.SiteCardiff) }
+func BenchmarkFig5DiscoveryUMN(b *testing.B)         { benchSiteTiming(b, simnet.SiteUMN) }
+func BenchmarkFig6DiscoveryNCSA(b *testing.B)        { benchSiteTiming(b, simnet.SiteNCSA) }
+func BenchmarkFig7DiscoveryBloomington(b *testing.B) { benchSiteTiming(b, simnet.SiteBloomington) }
+
+func BenchmarkFig12MulticastOnly(b *testing.B) {
+	mean := 0.0
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.RunMulticast(benchOpts(i))
+		if err != nil {
+			b.Fatal(err)
+		}
+		mean += r.Summary.Mean
+	}
+	b.ReportMetric(mean/float64(b.N), "model-ms/discovery")
+}
+
+func BenchmarkFig13CertValidation(b *testing.B) {
+	mean := 0.0
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.RunCertValidation(benchOpts(i))
+		if err != nil {
+			b.Fatal(err)
+		}
+		mean += r.Summary.Mean
+	}
+	b.ReportMetric(mean/float64(b.N), "ms/validation")
+}
+
+func BenchmarkFig14SignEncrypt(b *testing.B) {
+	mean := 0.0
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.RunSignEncrypt(benchOpts(i))
+		if err != nil {
+			b.Fatal(err)
+		}
+		mean += r.Summary.Mean
+	}
+	b.ReportMetric(mean/float64(b.N), "ms/roundtrip")
+}
+
+func benchAblation(b *testing.B, id string) {
+	for i := 0; i < b.N; i++ {
+		if err := experiments.Run(id, benchOpts(i), io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAblationTimeoutSweep(b *testing.B)  { benchAblation(b, "abl-timeout") }
+func BenchmarkAblationMaxResponses(b *testing.B)  { benchAblation(b, "abl-maxresp") }
+func BenchmarkAblationTargetSetSize(b *testing.B) { benchAblation(b, "abl-target") }
+func BenchmarkAblationLoadWeights(b *testing.B)   { benchAblation(b, "abl-weights") }
+func BenchmarkAblationPacketLoss(b *testing.B)    { benchAblation(b, "abl-loss") }
+func BenchmarkAblationInjection(b *testing.B)     { benchAblation(b, "abl-inject") }
+func BenchmarkAblationBrokerScale(b *testing.B)   { benchAblation(b, "abl-scale") }
+func BenchmarkAblationPingCount(b *testing.B)     { benchAblation(b, "abl-pings") }
+func BenchmarkAblationBDNFailover(b *testing.B)   { benchAblation(b, "abl-failover") }
+func BenchmarkAblationRouting(b *testing.B)       { benchAblation(b, "abl-routing") }

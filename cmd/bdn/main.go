@@ -1,0 +1,114 @@
+// Command bdn runs a Broker Discovery Node over real TCP/UDP sockets: it
+// accepts broker advertisements, acknowledges discovery requests and injects
+// them into the broker network.
+//
+// Usage:
+//
+//	bdn -config bdn.json [-bind 127.0.0.1]
+//	bdn -name gridservicelocator.org -stream-port 7000
+package main
+
+import (
+	"flag"
+	"log"
+	"log/slog"
+	"math/rand"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"narada/internal/bdn"
+	"narada/internal/config"
+	"narada/internal/ntptime"
+	"narada/internal/transport"
+)
+
+func main() {
+	var (
+		configPath = flag.String("config", "", "BDN configuration file (JSON)")
+		bind       = flag.String("bind", "", "IP to bind ('' = all interfaces)")
+		name       = flag.String("name", "", "BDN name (overrides config)")
+		streamPort = flag.Int("stream-port", 0, "TCP port (0 = auto)")
+		udpPort    = flag.Int("udp-port", 0, "UDP port (0 = auto)")
+		policy     = flag.String("policy", "", "injection policy: all | closest-farthest")
+		measure    = flag.Duration("measure-every", time.Minute, "broker distance measurement interval (0 = never)")
+	)
+	flag.Parse()
+
+	cfg := &config.BDN{}
+	if *configPath != "" {
+		if err := config.Load(*configPath, cfg); err != nil {
+			log.Fatalf("bdn: %v", err)
+		}
+	}
+	if *name != "" {
+		cfg.Name = *name
+	}
+	if cfg.Name == "" {
+		cfg.Name = "gridservicelocator.org"
+	}
+	if *streamPort != 0 {
+		cfg.StreamPort = *streamPort
+	}
+	if *udpPort != 0 {
+		cfg.UDPPort = *udpPort
+	}
+	if *policy != "" {
+		cfg.Policy = *policy
+	}
+	if err := cfg.Validate(); err != nil {
+		log.Fatalf("bdn: %v", err)
+	}
+
+	injection := bdn.InjectClosestFarthest
+	if cfg.Policy == "all" {
+		injection = bdn.InjectAll
+	}
+
+	node := transport.NewRealNode(*bind, nil)
+	ntp := ntptime.NewService(node.Clock(), 0, rand.New(rand.NewSource(time.Now().UnixNano())))
+	go ntp.Init()
+
+	d, err := bdn.New(node, ntp, bdn.Config{
+		Logger:             slog.Default(),
+		Name:               cfg.Name,
+		StreamPort:         cfg.StreamPort,
+		UDPPort:            cfg.UDPPort,
+		Policy:             injection,
+		InjectOverhead:     cfg.InjectOverhead(),
+		Private:            cfg.Private,
+		RequiredCredential: []byte(cfg.RequiredCredential),
+	})
+	if err != nil {
+		log.Fatalf("bdn: %v", err)
+	}
+	if err := d.Start(); err != nil {
+		log.Fatalf("bdn: %v", err)
+	}
+	log.Printf("bdn %s listening on %s", d.Name(), d.Addr())
+
+	stop := make(chan struct{})
+	if *measure > 0 {
+		go func() {
+			ticker := time.NewTicker(*measure)
+			defer ticker.Stop()
+			for {
+				select {
+				case <-ticker.C:
+					dists := d.MeasureDistances()
+					log.Printf("bdn: measured %d broker distances", len(dists))
+				case <-stop:
+					return
+				}
+			}
+		}()
+	}
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	close(stop)
+	log.Print("bdn: shutting down")
+	d.Close()
+}

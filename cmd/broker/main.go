@@ -1,0 +1,142 @@
+// Command broker runs a NaradaBrokering-style publish/subscribe broker over
+// real TCP/UDP sockets. It advertises itself to the BDNs listed in its
+// configuration file, links to configured peer brokers, and answers broker
+// discovery requests according to its response policy.
+//
+// Usage:
+//
+//	broker -config broker.json [-bind 127.0.0.1]
+//	broker -logical my-broker -stream-port 10001 -udp-port 10002 \
+//	       -bdn host:7000 -link host:10001
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"log/slog"
+	"math/rand"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"narada/internal/broker"
+	"narada/internal/config"
+	"narada/internal/ntptime"
+	"narada/internal/transport"
+)
+
+func main() {
+	var (
+		configPath = flag.String("config", "", "broker configuration file (JSON)")
+		bind       = flag.String("bind", "", "IP to bind ('' = all interfaces)")
+		logical    = flag.String("logical", "", "logical address (overrides config)")
+		streamPort = flag.Int("stream-port", 0, "TCP port (0 = auto)")
+		udpPort    = flag.Int("udp-port", 0, "UDP port (0 = auto)")
+		realm      = flag.String("realm", "", "network realm")
+		bdns       = flag.String("bdn", "", "comma-separated BDN addresses to register with")
+		links      = flag.String("link", "", "comma-separated peer broker addresses to link to")
+		multicast  = flag.Bool("multicast", false, "join the discovery multicast group")
+	)
+	flag.Parse()
+
+	cfg := &config.Broker{}
+	if *configPath != "" {
+		if err := config.Load(*configPath, cfg); err != nil {
+			log.Fatalf("broker: %v", err)
+		}
+	}
+	if *logical != "" {
+		cfg.LogicalAddress = *logical
+	}
+	if cfg.LogicalAddress == "" {
+		cfg.LogicalAddress = fmt.Sprintf("broker-%d", os.Getpid())
+	}
+	if *streamPort != 0 {
+		cfg.StreamPort = *streamPort
+	}
+	if *udpPort != 0 {
+		cfg.UDPPort = *udpPort
+	}
+	if *realm != "" {
+		cfg.Realm = *realm
+	}
+	if *bdns != "" {
+		cfg.BDNs = splitList(*bdns)
+	}
+	if *links != "" {
+		cfg.Links = splitList(*links)
+	}
+	if *multicast && cfg.MulticastGroup == "" {
+		cfg.MulticastGroup = "narada/discovery"
+	}
+	if err := cfg.Validate(); err != nil {
+		log.Fatalf("broker: %v", err)
+	}
+
+	node := transport.NewRealNode(*bind, nil)
+	hostname, _ := os.Hostname()
+	if cfg.Hostname == "" {
+		cfg.Hostname = hostname
+	}
+	// Real deployment: the system clock is assumed NTP-disciplined by the
+	// host; the service models the residual synchronisation error.
+	ntp := ntptime.NewService(node.Clock(), 0, rand.New(rand.NewSource(time.Now().UnixNano())))
+	go ntp.Init()
+
+	b, err := broker.New(node, ntp, broker.Config{
+		Logger:         slog.Default(),
+		LogicalAddress: cfg.LogicalAddress,
+		Hostname:       cfg.Hostname,
+		Realm:          cfg.Realm,
+		Geo:            cfg.Geo,
+		Institution:    cfg.Institution,
+		StreamPort:     cfg.StreamPort,
+		UDPPort:        cfg.UDPPort,
+		DedupCapacity:  cfg.DedupCapacity,
+		Policy:         cfg.Policy(),
+		MulticastGroup: cfg.MulticastGroup,
+	})
+	if err != nil {
+		log.Fatalf("broker: %v", err)
+	}
+	if err := b.Start(); err != nil {
+		log.Fatalf("broker: %v", err)
+	}
+	log.Printf("broker %s listening: stream=%s udp=%s",
+		b.LogicalAddress(), b.StreamAddr(), b.UDPAddr())
+
+	for _, addr := range cfg.BDNs {
+		if err := b.RegisterWithBDN(addr); err != nil {
+			log.Printf("broker: registering with BDN %s: %v", addr, err)
+		} else {
+			log.Printf("broker: registered with BDN %s", addr)
+		}
+	}
+	for _, addr := range cfg.Links {
+		if err := b.LinkTo(addr); err != nil {
+			log.Printf("broker: linking to %s: %v", addr, err)
+		} else {
+			log.Printf("broker: linked to %s", addr)
+		}
+	}
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	log.Print("broker: shutting down")
+	b.Close()
+}
+
+func splitList(s string) []string {
+	parts := strings.Split(s, ",")
+	out := parts[:0]
+	for _, p := range parts {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}

@@ -1,0 +1,128 @@
+// Command discover performs a broker discovery as a requesting node over
+// real TCP/UDP sockets and prints the result: every response received, the
+// shortlisted target set with scores, the ping measurements, the selected
+// broker and the per-phase timing breakdown.
+//
+// Usage:
+//
+//	discover -bdn host:7000
+//	discover -config node.json -verbose
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"math/rand"
+	"os"
+	"strings"
+	"time"
+
+	"narada/internal/config"
+	"narada/internal/core"
+	"narada/internal/ntptime"
+	"narada/internal/transport"
+)
+
+func main() {
+	var (
+		configPath = flag.String("config", "", "node configuration file (JSON)")
+		bind       = flag.String("bind", "", "IP to bind ('' = all interfaces)")
+		bdns       = flag.String("bdn", "", "comma-separated BDN addresses")
+		name       = flag.String("name", "", "requesting node name")
+		realm      = flag.String("realm", "", "requester network realm")
+		window     = flag.Duration("window", 4*time.Second, "response collection window")
+		maxResp    = flag.Int("max-responses", 0, "first-N-responses cutoff (0 = window only)")
+		targetSize = flag.Int("target-set", 10, "target set size |T|")
+		pings      = flag.Int("pings", 3, "pings per target broker")
+		multicast  = flag.Bool("multicast", false, "fall back to multicast when no BDN answers")
+		verbose    = flag.Bool("verbose", false, "print every response and ping measurement")
+	)
+	flag.Parse()
+
+	var cfg core.Config
+	if *configPath != "" {
+		nodeCfg := &config.Node{}
+		if err := config.Load(*configPath, nodeCfg); err != nil {
+			log.Fatalf("discover: %v", err)
+		}
+		cfg = nodeCfg.DiscoveryConfig()
+	}
+	if *bdns != "" {
+		cfg.BDNAddrs = nil
+		for _, a := range strings.Split(*bdns, ",") {
+			if a = strings.TrimSpace(a); a != "" {
+				cfg.BDNAddrs = append(cfg.BDNAddrs, a)
+			}
+		}
+	}
+	if *name != "" {
+		cfg.NodeName = *name
+	}
+	if cfg.NodeName == "" {
+		host, _ := os.Hostname()
+		cfg.NodeName = "discover@" + host
+	}
+	if *realm != "" {
+		cfg.Realm = *realm
+	}
+	if cfg.CollectWindow == 0 {
+		cfg.CollectWindow = *window
+	}
+	if cfg.MaxResponses == 0 {
+		cfg.MaxResponses = *maxResp
+	}
+	if cfg.Selection.TargetSetSize == 0 {
+		cfg.Selection.TargetSetSize = *targetSize
+	}
+	if cfg.PingCount == 0 {
+		cfg.PingCount = *pings
+	}
+	if *multicast && cfg.MulticastGroup == "" {
+		cfg.MulticastGroup = "narada/discovery"
+	}
+	if len(cfg.BDNAddrs) == 0 && cfg.MulticastGroup == "" {
+		log.Fatal("discover: need -bdn, -multicast or a config file")
+	}
+
+	node := transport.NewRealNode(*bind, nil)
+	ntp := ntptime.NewService(node.Clock(), 0, rand.New(rand.NewSource(time.Now().UnixNano())))
+	ntp.InitImmediately() // host clock assumed NTP-disciplined
+
+	d := core.NewDiscoverer(node, ntp, cfg)
+	res, err := d.Discover()
+	if err != nil {
+		log.Fatalf("discover: %v", err)
+	}
+
+	fmt.Printf("discovered via %s", res.Via)
+	if res.BDN != "" {
+		fmt.Printf(" (%s)", res.BDN)
+	}
+	fmt.Printf(", %d responses, %d in target set\n", len(res.Responses), len(res.TargetSet))
+
+	if *verbose {
+		fmt.Println("\nresponses:")
+		for _, c := range res.Responses {
+			fmt.Printf("  %-24s est-latency=%-12v links=%-3d cpu=%.2f\n",
+				c.Response.Broker.LogicalAddress, c.EstLatency,
+				c.Response.Usage.Links, c.Response.Usage.CPULoad)
+		}
+		fmt.Println("\ntarget set (by score):")
+		for _, c := range res.TargetSet {
+			fmt.Printf("  %-24s score=%-10.3f ping-rtt=%-12v pongs=%d\n",
+				c.Response.Broker.LogicalAddress, c.Score, c.PingRTT, c.PingCount)
+		}
+	}
+
+	fmt.Printf("\nselected broker: %s\n", res.Selected.LogicalAddress)
+	for _, ep := range res.Selected.Endpoints {
+		fmt.Printf("  %-4s %s\n", ep.Protocol, ep.Address)
+	}
+	if res.PingDecided {
+		fmt.Printf("  measured RTT %v\n", res.SelectedRTT)
+	} else {
+		fmt.Println("  (no pongs received; selected by weight)")
+	}
+	fmt.Printf("\ntiming:\n%s\n", res.Timing.String())
+}

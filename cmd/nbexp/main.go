@@ -1,0 +1,71 @@
+// Command nbexp regenerates the paper's evaluation: every table and figure
+// (Table 1, Figures 2-14) plus the ablation studies, on the simulated
+// five-site WAN.
+//
+// Usage:
+//
+//	nbexp -list
+//	nbexp -exp fig2
+//	nbexp -exp all -runs 120 -keep 100 -scale 200 -seed 1
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"narada/internal/experiments"
+)
+
+func main() {
+	var (
+		exp   = flag.String("exp", "all", "experiment id (see -list) or 'all' / 'figures' / 'ablations'")
+		list  = flag.Bool("list", false, "list experiment ids and exit")
+		runs  = flag.Int("runs", 120, "discovery repetitions per experiment (paper: 120)")
+		keep  = flag.Int("keep", 100, "samples kept after outlier removal (paper: 100)")
+		scale = flag.Float64("scale", 200, "simulator model-time speed-up")
+		seed  = flag.Int64("seed", 1, "random seed")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, id := range experiments.IDs() {
+			fmt.Println(id)
+		}
+		return
+	}
+
+	opts := experiments.Options{Runs: *runs, Keep: *keep, Scale: *scale, Seed: *seed}
+	var ids []string
+	switch *exp {
+	case "all":
+		ids = experiments.IDs()
+	case "figures":
+		for _, id := range experiments.IDs() {
+			if !strings.HasPrefix(id, "abl-") {
+				ids = append(ids, id)
+			}
+		}
+	case "ablations":
+		for _, id := range experiments.IDs() {
+			if strings.HasPrefix(id, "abl-") {
+				ids = append(ids, id)
+			}
+		}
+	default:
+		ids = strings.Split(*exp, ",")
+	}
+
+	failed := 0
+	for _, id := range ids {
+		if err := experiments.Run(strings.TrimSpace(id), opts, os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "nbexp: %v\n", err)
+			failed++
+		}
+		fmt.Println()
+	}
+	if failed > 0 {
+		os.Exit(1)
+	}
+}

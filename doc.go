@@ -1,0 +1,10 @@
+// Package narada reproduces "On the Discovery of Brokers in Distributed
+// Messaging Infrastructures" (Pallickara, Gadgil & Fox, CLUSTER 2005): a
+// NaradaBrokering-style publish/subscribe substrate, Broker Discovery Nodes,
+// and the dynamic nearest-broker discovery scheme, together with the
+// simulated five-site WAN testbed and the benchmark harness that regenerates
+// every table and figure of the paper's evaluation.
+//
+// See README.md for the layout, DESIGN.md for the system inventory and
+// experiment index, and EXPERIMENTS.md for measured-vs-paper results.
+package narada

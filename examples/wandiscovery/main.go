@@ -1,0 +1,46 @@
+// WAN discovery: run the paper's headline experiment interactively — issue
+// discoveries from every Table 1 site on the unconnected topology and show
+// that each client finds its nearest broker, with total times tracking the
+// WAN round-trip times.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"narada/internal/core"
+	"narada/internal/simnet"
+	"narada/internal/testbed"
+	"narada/internal/topology"
+)
+
+func main() {
+	tb, err := testbed.New(testbed.Options{
+		Topology: topology.Unconnected, // paper Figure 1: BDN O(N) fan-out
+		Scale:    100,
+		Seed:     7,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer tb.Close()
+
+	fmt.Println("site         selected broker          est responses  total time")
+	fmt.Println("-----------  -----------------------  -------------  ----------")
+	for _, site := range simnet.PaperSiteNames() {
+		d := tb.NewDiscoverer(site, "client-"+site, core.Config{
+			CollectWindow: 2 * time.Second,
+			MaxResponses:  5,
+		})
+		res, err := d.Discover()
+		if err != nil {
+			log.Fatalf("%s: %v", site, err)
+		}
+		fmt.Printf("%-11s  %-23s  %13d  %10v\n",
+			site, res.Selected.LogicalAddress, len(res.Responses),
+			res.Timing.Total().Round(time.Millisecond))
+	}
+	fmt.Println("\nEach client connects to the broker at (or nearest to) its own site,")
+	fmt.Println("exactly the dynamic nearest-broker behaviour the scheme promises.")
+}

@@ -1,0 +1,3 @@
+module narada
+
+go 1.22

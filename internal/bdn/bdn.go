@@ -1,0 +1,563 @@
+// Package bdn implements Broker Discovery Nodes: "registered nodes that
+// facilitate the discovery of brokers within the broker network" (paper §2).
+// A BDN stores broker advertisements (optionally filtered by an acceptance
+// policy), maintains active connections to one or more brokers, acknowledges
+// discovery requests in a timely manner, handles them idempotently, and
+// propagates each request into the broker network — either to every
+// registered broker (O(N) distribution, the unconnected-topology mode) or
+// simultaneously to the closest and farthest brokers as measured by UDP
+// pings (paper §4's efficient scheme).
+package bdn
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"log/slog"
+	"sort"
+	"sync"
+	"time"
+
+	"narada/internal/core"
+	"narada/internal/dedup"
+	"narada/internal/event"
+	"narada/internal/ntptime"
+	"narada/internal/topics"
+	"narada/internal/transport"
+	"narada/internal/uuid"
+)
+
+// InjectionPolicy selects how a BDN propagates discovery requests.
+type InjectionPolicy int
+
+// Injection policies.
+const (
+	// InjectAll distributes the request to every registered broker — the
+	// paper's unconnected-topology behaviour, "O(N) distribution and would
+	// be inefficient".
+	InjectAll InjectionPolicy = iota
+	// InjectClosestFarthest issues the request "simultaneously to the
+	// brokers that are closest and farthest from the BDN", letting the
+	// broker network disseminate it onward.
+	InjectClosestFarthest
+)
+
+// Config parameterises a BDN.
+type Config struct {
+	// Name identifies the BDN (e.g. "gridservicelocator.org").
+	Name string
+	// StreamPort binds the request/registration endpoint (0 = auto).
+	StreamPort int
+	// UDPPort binds the distance-measurement endpoint (0 = auto).
+	UDPPort int
+	// Policy selects the injection strategy.
+	Policy InjectionPolicy
+	// InjectOverhead models the BDN's per-injection marshalling and
+	// scheduling cost (2005-era Java serialisation and connection
+	// handling); it is what makes O(N) distribution visibly inefficient.
+	InjectOverhead time.Duration
+	// AdmitFilter, when set, decides whether to store an advertisement
+	// ("a BDN in the US may be interested only in broker additions in North
+	// America"); nil admits everything.
+	AdmitFilter func(*core.Advertisement) bool
+	// Private marks a private BDN: discovery requests must carry the
+	// required credential before the BDN will disseminate them (paper §2.4).
+	Private            bool
+	RequiredCredential []byte
+	// PingWindow bounds broker distance measurement.
+	PingWindow time.Duration
+	// DedupCapacity sizes the idempotency cache.
+	DedupCapacity int
+	// Logger receives operational events; nil discards them.
+	Logger *slog.Logger
+}
+
+// DefaultInjectOverhead is the default per-injection cost.
+const DefaultInjectOverhead = 40 * time.Millisecond
+
+// registration is one broker known to the BDN.
+type registration struct {
+	ad       *core.Advertisement
+	conn     transport.Conn // live registration connection (nil if topic-learned)
+	distance time.Duration  // measured RTT from the BDN; 0 = unmeasured
+}
+
+// BDN is a broker discovery node.
+type BDN struct {
+	node transport.Node
+	ntp  *ntptime.Service
+	cfg  Config
+
+	listener transport.Listener
+	udp      transport.PacketConn
+
+	mu      sync.Mutex
+	brokers map[string]*registration // by broker logical address
+	conns   map[transport.Conn]struct{}
+	started bool
+
+	reqDedup *dedup.Cache
+
+	closed    chan struct{}
+	closeOnce sync.Once
+	wg        sync.WaitGroup
+}
+
+// New creates a BDN; call Start to begin serving.
+func New(node transport.Node, ntp *ntptime.Service, cfg Config) (*BDN, error) {
+	if cfg.Name == "" {
+		return nil, errors.New("bdn: Name is required")
+	}
+	if cfg.InjectOverhead < 0 {
+		cfg.InjectOverhead = DefaultInjectOverhead
+	}
+	if cfg.PingWindow <= 0 {
+		cfg.PingWindow = 2 * time.Second
+	}
+	if cfg.DedupCapacity <= 0 {
+		cfg.DedupCapacity = dedup.DefaultCapacity
+	}
+	if cfg.Logger == nil {
+		cfg.Logger = slog.New(slog.NewTextHandler(io.Discard, nil))
+	}
+	cfg.Logger = cfg.Logger.With("bdn", cfg.Name)
+	return &BDN{
+		node:     node,
+		ntp:      ntp,
+		cfg:      cfg,
+		brokers:  make(map[string]*registration),
+		conns:    make(map[transport.Conn]struct{}),
+		reqDedup: dedup.New(cfg.DedupCapacity),
+		closed:   make(chan struct{}),
+	}, nil
+}
+
+// Start binds the BDN's endpoints and launches its accept loop.
+func (d *BDN) Start() error {
+	d.mu.Lock()
+	if d.started {
+		d.mu.Unlock()
+		return errors.New("bdn: already started")
+	}
+	d.started = true
+	d.mu.Unlock()
+
+	l, err := d.node.Listen(d.cfg.StreamPort)
+	if err != nil {
+		return fmt.Errorf("bdn %s: listen: %w", d.cfg.Name, err)
+	}
+	pc, err := d.node.ListenPacket(d.cfg.UDPPort)
+	if err != nil {
+		_ = l.Close()
+		return fmt.Errorf("bdn %s: udp: %w", d.cfg.Name, err)
+	}
+	d.listener, d.udp = l, pc
+	d.cfg.Logger.Info("bdn started", "addr", l.Addr())
+	d.wg.Add(1)
+	go d.acceptLoop()
+	return nil
+}
+
+// Close stops the BDN.
+func (d *BDN) Close() {
+	d.closeOnce.Do(func() {
+		close(d.closed)
+		if d.listener != nil {
+			_ = d.listener.Close()
+		}
+		if d.udp != nil {
+			_ = d.udp.Close()
+		}
+		d.mu.Lock()
+		for c := range d.conns {
+			_ = c.Close()
+		}
+		d.mu.Unlock()
+		d.wg.Wait()
+	})
+}
+
+// Addr returns the BDN's stream address (what goes in node config files).
+func (d *BDN) Addr() string { return d.listener.Addr() }
+
+// Name returns the BDN's name.
+func (d *BDN) Name() string { return d.cfg.Name }
+
+// BrokerCount returns the number of stored advertisements.
+func (d *BDN) BrokerCount() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return len(d.brokers)
+}
+
+// Brokers returns the advertised broker infos, sorted by logical address.
+func (d *BDN) Brokers() []core.BrokerInfo {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	out := make([]core.BrokerInfo, 0, len(d.brokers))
+	for _, r := range d.brokers {
+		out = append(out, r.ad.Broker)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].LogicalAddress < out[j].LogicalAddress })
+	return out
+}
+
+func (d *BDN) now() time.Time {
+	if t, err := d.ntp.UTC(); err == nil {
+		return t
+	}
+	return d.node.Clock().Now()
+}
+
+// acceptLoop classifies incoming stream connections by their first event:
+// broker registrations (LinkHello) or discovery-request sessions.
+func (d *BDN) acceptLoop() {
+	defer d.wg.Done()
+	for {
+		conn, err := d.listener.Accept()
+		if err != nil {
+			return
+		}
+		d.wg.Add(1)
+		go func() {
+			defer d.wg.Done()
+			d.handleConn(conn)
+		}()
+	}
+}
+
+// trackConn records a live connection so Close can tear it down; it returns
+// false when the BDN is already closed (the closed-check and insert share the
+// mutex, and Close closes the channel before sweeping, so no connection can
+// slip past the sweep).
+func (d *BDN) trackConn(conn transport.Conn) bool {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	select {
+	case <-d.closed:
+		return false
+	default:
+	}
+	d.conns[conn] = struct{}{}
+	return true
+}
+
+func (d *BDN) untrackConn(conn transport.Conn) {
+	d.mu.Lock()
+	delete(d.conns, conn)
+	d.mu.Unlock()
+}
+
+func (d *BDN) handleConn(conn transport.Conn) {
+	if !d.trackConn(conn) {
+		_ = conn.Close()
+		return
+	}
+	defer d.untrackConn(conn)
+	frame, err := conn.Recv()
+	if err != nil {
+		_ = conn.Close()
+		return
+	}
+	ev, err := event.Decode(frame)
+	if err != nil {
+		_ = conn.Close()
+		return
+	}
+	switch ev.Type {
+	case event.TypeLinkHello:
+		d.serveBrokerRegistration(conn)
+	case event.TypeDiscoveryRequest:
+		d.serveRequester(conn, ev)
+	case event.TypeAdvertisement:
+		// Bare advertisement without hello (fire-and-forget re-advertise).
+		d.storeAdvertisement(ev, nil)
+		_ = conn.Close()
+	default:
+		_ = conn.Close()
+	}
+}
+
+// serveBrokerRegistration owns a broker's registration connection: it stores
+// the advertisement(s) the broker sends and keeps the connection available
+// for request injection until the broker disconnects.
+func (d *BDN) serveBrokerRegistration(conn transport.Conn) {
+	var logical string
+	defer func() {
+		_ = conn.Close()
+		if logical != "" {
+			d.mu.Lock()
+			if r, ok := d.brokers[logical]; ok && r.conn == conn {
+				r.conn = nil
+			}
+			d.mu.Unlock()
+		}
+	}()
+	for {
+		frame, err := conn.Recv()
+		if err != nil {
+			return
+		}
+		ev, err := event.Decode(frame)
+		if err != nil {
+			continue
+		}
+		if ev.Type == event.TypeAdvertisement {
+			if who := d.storeAdvertisement(ev, conn); who != "" {
+				logical = who
+			}
+		}
+	}
+}
+
+// storeAdvertisement applies the admit filter and records the advertisement.
+// It returns the broker's logical address when stored ("" when rejected).
+func (d *BDN) storeAdvertisement(ev *event.Event, conn transport.Conn) string {
+	ad, err := core.DecodeAdvertisement(ev.Payload)
+	if err != nil {
+		return ""
+	}
+	// "Upon receipt of an advertisement at the BDN, this BDN may choose to
+	// store the advertisement or ignore it."
+	if d.cfg.AdmitFilter != nil && !d.cfg.AdmitFilter(ad) {
+		return ""
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	r, ok := d.brokers[ad.Broker.LogicalAddress]
+	if !ok {
+		r = &registration{}
+		d.brokers[ad.Broker.LogicalAddress] = r
+	}
+	r.ad = ad
+	if conn != nil {
+		r.conn = conn
+	}
+	d.cfg.Logger.Info("advertisement stored",
+		"broker", ad.Broker.LogicalAddress, "realm", ad.Broker.Realm)
+	return ad.Broker.LogicalAddress
+}
+
+// serveRequester processes one discovery-request session: acknowledge, check
+// private-BDN credentials, and inject the request into the broker network.
+// Retransmissions of the same UUID are idempotent — re-acknowledged without
+// re-injection.
+func (d *BDN) serveRequester(conn transport.Conn, first *event.Event) {
+	defer conn.Close() //nolint:errcheck
+	ev := first
+	for {
+		if ev.Type == event.TypeDiscoveryRequest {
+			req, err := core.DecodeDiscoveryRequest(ev.Payload)
+			if err == nil {
+				d.processRequest(conn, ev, req)
+			}
+		}
+		frame, err := conn.Recv()
+		if err != nil {
+			return
+		}
+		ev, err = event.Decode(frame)
+		if err != nil {
+			return
+		}
+	}
+}
+
+func (d *BDN) processRequest(conn transport.Conn, ev *event.Event, req *core.DiscoveryRequest) {
+	// "A private BDN must also require the presentation of appropriate
+	// credentials before it decides whether it will disseminate the broker
+	// discovery request."
+	authorized := true
+	if d.cfg.Private && len(d.cfg.RequiredCredential) > 0 {
+		authorized = string(req.Credentials) == string(d.cfg.RequiredCredential)
+	}
+
+	// "A BDN is expected to acknowledge the receipt of a discovery request
+	// in a timely manner."
+	ack := &core.Ack{RequestID: req.ID, BDN: d.cfg.Name}
+	reply := event.New(event.TypeDiscoveryAck, "", core.EncodeAck(ack))
+	reply.Source = d.cfg.Name
+	reply.Timestamp = d.now()
+	_ = conn.Send(event.Encode(reply))
+
+	if !authorized {
+		return
+	}
+	// "Multiple requests forwarded to the same BDN would be idempotent."
+	if d.reqDedup.Seen(req.ID) {
+		return
+	}
+	d.cfg.Logger.Debug("injecting discovery request",
+		"requester", req.Requester, "id", req.ID.String())
+	d.inject(ev)
+}
+
+// inject propagates the discovery request into the broker network according
+// to the configured policy. Each transmission pays the BDN's InjectOverhead
+// serially — the source of the unconnected topology's O(N) inefficiency.
+func (d *BDN) inject(ev *event.Event) {
+	targets := d.injectionTargets()
+	frame := event.Encode(ev)
+	for _, r := range targets {
+		if d.cfg.InjectOverhead > 0 {
+			d.node.Clock().Sleep(d.cfg.InjectOverhead)
+		}
+		if r.conn != nil {
+			_ = r.conn.Send(frame)
+			continue
+		}
+		// Topic-learned broker without a live registration connection:
+		// dial its advertised stream endpoint and inject as a client.
+		if addr := r.ad.Broker.Endpoint("tcp"); addr != "" {
+			if c, err := d.node.Dial(addr); err == nil {
+				_ = c.Send(frame)
+				_ = c.Close()
+			}
+		}
+	}
+}
+
+// injectionTargets snapshots the brokers to inject into under the policy.
+func (d *BDN) injectionTargets() []*registration {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	all := make([]*registration, 0, len(d.brokers))
+	for _, r := range d.brokers {
+		all = append(all, r)
+	}
+	// Deterministic order: by logical address.
+	sort.Slice(all, func(i, j int) bool {
+		return all[i].ad.Broker.LogicalAddress < all[j].ad.Broker.LogicalAddress
+	})
+	if d.cfg.Policy == InjectAll || len(all) <= 2 {
+		return all
+	}
+	// Closest and farthest by measured distance; unmeasured brokers sort
+	// after measured ones so fresh registrations are still reachable.
+	byDist := append([]*registration(nil), all...)
+	sort.SliceStable(byDist, func(i, j int) bool {
+		di, dj := byDist[i].distance, byDist[j].distance
+		switch {
+		case di == 0:
+			return false
+		case dj == 0:
+			return true
+		default:
+			return di < dj
+		}
+	})
+	return []*registration{byDist[0], byDist[len(byDist)-1]}
+}
+
+// MeasureDistances pings every registered broker's UDP endpoint and records
+// the RTTs the closest/farthest injection policy relies on: "This information
+// could easily be constructed by issuing ping request to brokers and
+// computing the delays from the issued responses."
+func (d *BDN) MeasureDistances() map[string]time.Duration {
+	clock := d.node.Clock()
+	type probe struct {
+		logical string
+		sentAt  time.Time
+	}
+	probes := make(map[uuid.UUID]probe)
+
+	d.mu.Lock()
+	targets := make(map[string]string, len(d.brokers)) // logical -> udp addr
+	for logical, r := range d.brokers {
+		if udp := r.ad.Broker.Endpoint("udp"); udp != "" {
+			targets[logical] = udp
+		}
+	}
+	d.mu.Unlock()
+
+	for logical, udp := range targets {
+		id := uuid.New()
+		now := clock.Now()
+		ping := &core.Ping{ID: id, SentAt: now}
+		ev := event.New(event.TypePing, "", core.EncodePing(ping))
+		ev.Source = d.cfg.Name
+		if err := d.udp.Send(udp, event.Encode(ev)); err != nil {
+			continue
+		}
+		probes[id] = probe{logical: logical, sentAt: now}
+	}
+
+	results := make(map[string]time.Duration, len(probes))
+	deadline := clock.Now().Add(d.cfg.PingWindow)
+	for len(results) < len(probes) {
+		remaining := deadline.Sub(clock.Now())
+		if remaining <= 0 {
+			break
+		}
+		payload, _, err := d.udp.RecvTimeout(remaining)
+		if err != nil {
+			break
+		}
+		ev, err := event.Decode(payload)
+		if err != nil || ev.Type != event.TypePong {
+			continue
+		}
+		pong, err := core.DecodePong(ev.Payload)
+		if err != nil {
+			continue
+		}
+		p, ok := probes[pong.ID]
+		if !ok {
+			continue
+		}
+		if _, dup := results[p.logical]; dup {
+			continue
+		}
+		results[p.logical] = clock.Now().Sub(p.sentAt)
+	}
+
+	d.mu.Lock()
+	for logical, rtt := range results {
+		if r, ok := d.brokers[logical]; ok {
+			r.distance = rtt
+		}
+	}
+	d.mu.Unlock()
+	return results
+}
+
+// SubscribeViaBroker attaches the BDN to the broker network as a client of
+// the given broker and subscribes to the public advertisement topic, so
+// advertisements published anywhere in the network reach this BDN
+// (paper §2.3's second dissemination form).
+func (d *BDN) SubscribeViaBroker(brokerAddr string) error {
+	conn, err := d.node.Dial(brokerAddr)
+	if err != nil {
+		return err
+	}
+	sub := event.New(event.TypeSubscribe, topics.AdvertisementTopic, nil)
+	sub.Source = d.cfg.Name
+	if err := conn.Send(event.Encode(sub)); err != nil {
+		_ = conn.Close()
+		return err
+	}
+	if !d.trackConn(conn) {
+		_ = conn.Close()
+		return errors.New("bdn: closed")
+	}
+	d.wg.Add(1)
+	go func() {
+		defer d.wg.Done()
+		defer d.untrackConn(conn)
+		defer conn.Close() //nolint:errcheck
+		for {
+			frame, err := conn.Recv()
+			if err != nil {
+				return
+			}
+			ev, err := event.Decode(frame)
+			if err != nil {
+				continue
+			}
+			if ev.Type == event.TypePublish && ev.Topic == topics.AdvertisementTopic {
+				d.storeAdvertisement(ev, nil)
+			}
+		}
+	}()
+	return nil
+}

@@ -1,0 +1,360 @@
+package bdn
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"time"
+
+	"narada/internal/broker"
+	"narada/internal/core"
+	"narada/internal/event"
+	"narada/internal/metrics"
+	"narada/internal/ntptime"
+	"narada/internal/simnet"
+	"narada/internal/transport"
+	"narada/internal/uuid"
+)
+
+const mib = 1024 * 1024
+
+type env struct {
+	net *simnet.Network
+	t   *testing.T
+	rng *rand.Rand
+}
+
+func newEnv(t *testing.T, seed int64) *env {
+	return &env{
+		net: simnet.NewPaperWAN(simnet.Config{Scale: 300, Seed: seed}),
+		t:   t,
+		rng: rand.New(rand.NewSource(seed)),
+	}
+}
+
+func (e *env) node(site, host string) (*transport.SimNode, *ntptime.Service) {
+	skew := e.net.RandomSkew(20 * time.Millisecond)
+	node := transport.NewSimNode(e.net, site, host, skew)
+	ntp := ntptime.NewService(node.Clock(), skew, e.rng)
+	ntp.InitImmediately()
+	return node, ntp
+}
+
+func (e *env) bdn(cfg Config) *BDN {
+	e.t.Helper()
+	node, ntp := e.node(simnet.SiteBloomington, "bdn-"+cfg.Name)
+	if cfg.InjectOverhead == 0 {
+		cfg.InjectOverhead = time.Millisecond
+	}
+	d, err := New(node, ntp, cfg)
+	if err != nil {
+		e.t.Fatal(err)
+	}
+	if err := d.Start(); err != nil {
+		e.t.Fatal(err)
+	}
+	e.t.Cleanup(d.Close)
+	return d
+}
+
+func (e *env) broker(site, name string) *broker.Broker {
+	e.t.Helper()
+	node, ntp := e.node(site, name)
+	b, err := broker.New(node, ntp, broker.Config{
+		LogicalAddress: name,
+		Realm:          site,
+		Sampler: metrics.NewStaticSampler(metrics.Usage{
+			TotalMemBytes: 512 * mib, UsedMemBytes: 64 * mib,
+		}),
+	})
+	if err != nil {
+		e.t.Fatal(err)
+	}
+	if err := b.Start(); err != nil {
+		e.t.Fatal(err)
+	}
+	e.t.Cleanup(b.Close)
+	return b
+}
+
+func TestNewRequiresName(t *testing.T) {
+	e := newEnv(t, 1)
+	node, ntp := e.node(simnet.SiteBloomington, "x")
+	if _, err := New(node, ntp, Config{}); err == nil {
+		t.Fatal("missing name accepted")
+	}
+}
+
+func TestBrokerRegistrationStored(t *testing.T) {
+	e := newEnv(t, 2)
+	d := e.bdn(Config{Name: "gsl.org"})
+	b := e.broker(simnet.SiteFSU, "broker-fsu")
+	if err := b.RegisterWithBDN(d.Addr()); err != nil {
+		t.Fatal(err)
+	}
+	e.net.Clock().Sleep(300 * time.Millisecond)
+	if d.BrokerCount() != 1 {
+		t.Fatalf("BrokerCount = %d", d.BrokerCount())
+	}
+	infos := d.Brokers()
+	if infos[0].LogicalAddress != "broker-fsu" {
+		t.Fatalf("stored %+v", infos[0])
+	}
+}
+
+func TestAdmitFilterRejects(t *testing.T) {
+	// "a BDN in the US may be interested only in broker additions in North
+	// America."
+	e := newEnv(t, 3)
+	d := e.bdn(Config{
+		Name: "us-only",
+		AdmitFilter: func(ad *core.Advertisement) bool {
+			return !strings.Contains(ad.Broker.Realm, "cardiff")
+		},
+	})
+	us := e.broker(simnet.SiteFSU, "broker-fsu")
+	uk := e.broker(simnet.SiteCardiff, "broker-cardiff")
+	_ = us.RegisterWithBDN(d.Addr())
+	_ = uk.RegisterWithBDN(d.Addr())
+	e.net.Clock().Sleep(500 * time.Millisecond)
+	if d.BrokerCount() != 1 {
+		t.Fatalf("BrokerCount = %d, want 1 (UK filtered)", d.BrokerCount())
+	}
+	if d.Brokers()[0].LogicalAddress != "broker-fsu" {
+		t.Fatal("wrong broker admitted")
+	}
+}
+
+// requestViaBDN opens a stream to the BDN, sends a discovery request and
+// returns the ack (nil on timeout).
+func requestViaBDN(t *testing.T, e *env, d *BDN, req *core.DiscoveryRequest) *core.Ack {
+	t.Helper()
+	node, _ := e.node(simnet.SiteBloomington, "req-"+req.ID.String()[:8])
+	conn, err := node.Dial(d.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	ev := event.New(event.TypeDiscoveryRequest, "", core.EncodeDiscoveryRequest(req))
+	if err := conn.Send(event.Encode(ev)); err != nil {
+		t.Fatal(err)
+	}
+	frame, err := conn.RecvTimeout(2 * time.Second)
+	if err != nil {
+		return nil
+	}
+	reply, err := event.Decode(frame)
+	if err != nil || reply.Type != event.TypeDiscoveryAck {
+		return nil
+	}
+	ack, err := core.DecodeAck(reply.Payload)
+	if err != nil {
+		return nil
+	}
+	return ack
+}
+
+func TestAckTimely(t *testing.T) {
+	e := newEnv(t, 4)
+	d := e.bdn(Config{Name: "gsl.org"})
+	req := &core.DiscoveryRequest{ID: uuid.New(), Requester: "client",
+		ResponseAddr: "bloomington/client:9"}
+	ack := requestViaBDN(t, e, d, req)
+	if ack == nil {
+		t.Fatal("no ack")
+	}
+	if ack.RequestID != req.ID || ack.BDN != "gsl.org" {
+		t.Fatalf("ack = %+v", ack)
+	}
+}
+
+func TestInjectionReachesBroker(t *testing.T) {
+	e := newEnv(t, 5)
+	d := e.bdn(Config{Name: "gsl.org"})
+	b := e.broker(simnet.SiteIndianapolis, "broker-indy")
+	if err := b.RegisterWithBDN(d.Addr()); err != nil {
+		t.Fatal(err)
+	}
+	e.net.Clock().Sleep(300 * time.Millisecond)
+
+	node, _ := e.node(simnet.SiteBloomington, "client")
+	pc, _ := node.ListenPacket(0)
+	defer pc.Close()
+	req := &core.DiscoveryRequest{ID: uuid.New(), Requester: "client",
+		ResponseAddr: pc.LocalAddr()}
+	if ack := requestViaBDN(t, e, d, req); ack == nil {
+		t.Fatal("no ack")
+	}
+	payload, _, err := pc.RecvTimeout(3 * time.Second)
+	if err != nil {
+		t.Fatal("no discovery response after injection")
+	}
+	ev, err := event.Decode(payload)
+	if err != nil || ev.Type != event.TypeDiscoveryResponse {
+		t.Fatalf("unexpected reply: %v %v", ev, err)
+	}
+}
+
+func TestIdempotentRequests(t *testing.T) {
+	e := newEnv(t, 6)
+	d := e.bdn(Config{Name: "gsl.org"})
+	b := e.broker(simnet.SiteIndianapolis, "broker-indy")
+	_ = b.RegisterWithBDN(d.Addr())
+	e.net.Clock().Sleep(300 * time.Millisecond)
+
+	node, _ := e.node(simnet.SiteBloomington, "client")
+	pc, _ := node.ListenPacket(0)
+	defer pc.Close()
+	req := &core.DiscoveryRequest{ID: uuid.New(), Requester: "client",
+		ResponseAddr: pc.LocalAddr()}
+	// Send the same request twice: both must be acked (the broker dedups
+	// the second injection if it happens; the BDN must not re-inject).
+	if ack := requestViaBDN(t, e, d, req); ack == nil {
+		t.Fatal("first request not acked")
+	}
+	if ack := requestViaBDN(t, e, d, req); ack == nil {
+		t.Fatal("retransmitted request not acked (idempotency broken)")
+	}
+	// Exactly one response arrives.
+	if _, _, err := pc.RecvTimeout(3 * time.Second); err != nil {
+		t.Fatal("no response")
+	}
+	if _, _, err := pc.RecvTimeout(500 * time.Millisecond); err == nil {
+		t.Fatal("duplicate response after idempotent retransmission")
+	}
+}
+
+func TestPrivateBDNRequiresCredential(t *testing.T) {
+	e := newEnv(t, 7)
+	d := e.bdn(Config{Name: "private.corp", Private: true,
+		RequiredCredential: []byte("badge")})
+	b := e.broker(simnet.SiteIndianapolis, "broker-indy")
+	_ = b.RegisterWithBDN(d.Addr())
+	e.net.Clock().Sleep(300 * time.Millisecond)
+
+	node, _ := e.node(simnet.SiteBloomington, "client")
+	pc, _ := node.ListenPacket(0)
+	defer pc.Close()
+
+	// Without credentials: acked (timely ack is unconditional) but never
+	// disseminated.
+	noCred := &core.DiscoveryRequest{ID: uuid.New(), Requester: "c",
+		ResponseAddr: pc.LocalAddr()}
+	if ack := requestViaBDN(t, e, d, noCred); ack == nil {
+		t.Fatal("unauthorized request not acked")
+	}
+	if _, _, err := pc.RecvTimeout(500 * time.Millisecond); err == nil {
+		t.Fatal("unauthorized request was disseminated")
+	}
+
+	withCred := &core.DiscoveryRequest{ID: uuid.New(), Requester: "c",
+		ResponseAddr: pc.LocalAddr(), Credentials: []byte("badge")}
+	if ack := requestViaBDN(t, e, d, withCred); ack == nil {
+		t.Fatal("authorized request not acked")
+	}
+	if _, _, err := pc.RecvTimeout(3 * time.Second); err != nil {
+		t.Fatal("authorized request not disseminated")
+	}
+}
+
+func TestMeasureDistances(t *testing.T) {
+	e := newEnv(t, 8)
+	d := e.bdn(Config{Name: "gsl.org"})
+	near := e.broker(simnet.SiteIndianapolis, "broker-near")
+	far := e.broker(simnet.SiteCardiff, "broker-far")
+	_ = near.RegisterWithBDN(d.Addr())
+	_ = far.RegisterWithBDN(d.Addr())
+	e.net.Clock().Sleep(300 * time.Millisecond)
+
+	dists := d.MeasureDistances()
+	if len(dists) != 2 {
+		t.Fatalf("measured %d distances, want 2: %v", len(dists), dists)
+	}
+	if dists["broker-near"] >= dists["broker-far"] {
+		t.Fatalf("distance ordering wrong: near=%v far=%v",
+			dists["broker-near"], dists["broker-far"])
+	}
+}
+
+func TestClosestFarthestInjection(t *testing.T) {
+	// With 3 registered brokers and the smart policy, only the closest and
+	// farthest get the injection; the middle broker (unconnected) never
+	// hears the request.
+	e := newEnv(t, 9)
+	d := e.bdn(Config{Name: "gsl.org", Policy: InjectClosestFarthest})
+	near := e.broker(simnet.SiteIndianapolis, "a-near") // ~3ms
+	mid := e.broker(simnet.SiteUMN, "b-mid")            // ~22ms
+	far := e.broker(simnet.SiteCardiff, "c-far")        // ~120ms
+	for _, b := range []*broker.Broker{near, mid, far} {
+		if err := b.RegisterWithBDN(d.Addr()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	e.net.Clock().Sleep(300 * time.Millisecond)
+	d.MeasureDistances()
+
+	node, _ := e.node(simnet.SiteBloomington, "client")
+	pc, _ := node.ListenPacket(0)
+	defer pc.Close()
+	req := &core.DiscoveryRequest{ID: uuid.New(), Requester: "client",
+		ResponseAddr: pc.LocalAddr()}
+	if ack := requestViaBDN(t, e, d, req); ack == nil {
+		t.Fatal("no ack")
+	}
+	seen := map[string]bool{}
+	deadline := e.net.Clock().Now().Add(2 * time.Second)
+	for {
+		remaining := deadline.Sub(e.net.Clock().Now())
+		if remaining <= 0 {
+			break
+		}
+		payload, _, err := pc.RecvTimeout(remaining)
+		if err != nil {
+			break
+		}
+		ev, err := event.Decode(payload)
+		if err != nil || ev.Type != event.TypeDiscoveryResponse {
+			continue
+		}
+		resp, err := core.DecodeDiscoveryResponse(ev.Payload)
+		if err == nil {
+			seen[resp.Broker.LogicalAddress] = true
+		}
+	}
+	if !seen["a-near"] || !seen["c-far"] {
+		t.Fatalf("closest/farthest not both injected: %v", seen)
+	}
+	if seen["b-mid"] {
+		t.Fatalf("middle broker reached despite unconnected topology: %v", seen)
+	}
+}
+
+func TestSubscribeViaBrokerLearnsAdvertisements(t *testing.T) {
+	// Second dissemination form: a broker publishes its advertisement on the
+	// public topic; a BDN subscribed via another broker learns it.
+	e := newEnv(t, 10)
+	d := e.bdn(Config{Name: "gsl.org"})
+	b1 := e.broker(simnet.SiteIndianapolis, "hub")
+	b2 := e.broker(simnet.SiteUMN, "spoke")
+	if err := b2.LinkTo(b1.StreamAddr()); err != nil {
+		t.Fatal(err)
+	}
+	e.net.Clock().Sleep(200 * time.Millisecond)
+	if err := d.SubscribeViaBroker(b1.StreamAddr()); err != nil {
+		t.Fatal(err)
+	}
+	e.net.Clock().Sleep(200 * time.Millisecond)
+	if err := b2.PublishAdvertisement(); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for d.BrokerCount() == 0 && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	if d.BrokerCount() != 1 {
+		t.Fatalf("BrokerCount = %d, want 1 via topic", d.BrokerCount())
+	}
+	if d.Brokers()[0].LogicalAddress != "spoke" {
+		t.Fatalf("learned %+v", d.Brokers()[0])
+	}
+}

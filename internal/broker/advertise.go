@@ -1,0 +1,106 @@
+package broker
+
+import (
+	"errors"
+	"fmt"
+
+	"narada/internal/core"
+	"narada/internal/event"
+	"narada/internal/topics"
+)
+
+// RegisterWithBDN advertises this broker to a BDN (paper §2.1–2.3, first
+// dissemination form: "sending this advertisement directly to the BDNs that
+// are listed in the broker's configuration file") and keeps the connection
+// open: the BDN uses it as one of its "active concurrent connections to one
+// or more brokers" for injecting discovery requests into the network.
+func (b *Broker) RegisterWithBDN(addr string) error {
+	conn, err := b.node.Dial(addr)
+	if err != nil {
+		return err
+	}
+	hello := event.New(event.TypeLinkHello, "", nil)
+	hello.Source = b.cfg.LogicalAddress
+	hello.SetHeader(helloRoleHeader, roleLink) // from the BDN's view we are a broker link
+	hello.Timestamp = b.now()
+	if err := conn.Send(event.Encode(hello)); err != nil {
+		_ = conn.Close()
+		return err
+	}
+
+	adv := &core.Advertisement{Broker: b.Info(), IssuedAt: b.now()}
+	ev := event.New(event.TypeAdvertisement, topics.AdvertisementTopic, core.EncodeAdvertisement(adv))
+	ev.Source = b.cfg.LogicalAddress
+	ev.Timestamp = adv.IssuedAt
+	if err := conn.Send(event.Encode(ev)); err != nil {
+		_ = conn.Close()
+		return err
+	}
+
+	lk := &link{peer: "bdn:" + addr, role: roleBDN, conn: conn}
+	if !b.registerLink(lk) {
+		_ = conn.Close()
+		return errors.New("broker: closed")
+	}
+	b.connectionsChanged()
+
+	b.wg.Add(1)
+	go func() {
+		defer b.wg.Done()
+		defer func() {
+			_ = conn.Close()
+			b.mu.Lock()
+			if b.links[lk.peer] == lk {
+				delete(b.links, lk.peer)
+			}
+			b.mu.Unlock()
+			b.connectionsChanged()
+		}()
+		for {
+			frame, err := conn.Recv()
+			if err != nil {
+				return
+			}
+			ev, err := event.Decode(frame)
+			if err != nil {
+				continue
+			}
+			if ev.Type == event.TypeDiscoveryRequest {
+				// BDN injection: fromPeer is this BDN connection so the
+				// flood covers every true broker link.
+				b.handleDiscoveryRequest(ev, lk.peer)
+			}
+		}
+	}()
+	return nil
+}
+
+// PublishAdvertisement disseminates this broker's advertisement on the public
+// topic all BDNs subscribe to (paper §2.3, second form) — useful when the
+// broker does not know any BDN address directly.
+func (b *Broker) PublishAdvertisement() error {
+	adv := &core.Advertisement{Broker: b.Info(), IssuedAt: b.now()}
+	return b.Publish(topics.AdvertisementTopic, core.EncodeAdvertisement(adv))
+}
+
+// JoinNetwork adds this broker to an existing broker network the way the
+// paper prescribes for new brokers ("an entity may wish to add a broker to
+// this network; in both these cases it is essential for the entity to
+// discover a broker"): run the discovery scheme, link to the selected
+// nearest broker, and return its info.
+func (b *Broker) JoinNetwork(d *core.Discoverer) (core.BrokerInfo, error) {
+	res, err := d.Discover()
+	if err != nil {
+		return core.BrokerInfo{}, fmt.Errorf("broker %s: joining: %w", b.cfg.LogicalAddress, err)
+	}
+	addr := res.Selected.Endpoint("tcp")
+	if addr == "" {
+		return core.BrokerInfo{}, fmt.Errorf("broker %s: discovered %s advertises no tcp endpoint",
+			b.cfg.LogicalAddress, res.Selected.LogicalAddress)
+	}
+	if err := b.LinkTo(addr); err != nil {
+		return core.BrokerInfo{}, fmt.Errorf("broker %s: linking to discovered %s: %w",
+			b.cfg.LogicalAddress, res.Selected.LogicalAddress, err)
+	}
+	return res.Selected, nil
+}

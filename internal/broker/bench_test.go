@@ -1,0 +1,172 @@
+package broker
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"time"
+
+	"narada/internal/core"
+	"narada/internal/event"
+	"narada/internal/metrics"
+	"narada/internal/ntptime"
+	"narada/internal/simnet"
+	"narada/internal/transport"
+	"narada/internal/uuid"
+)
+
+// benchEnv builds a very fast same-site simulated network so the broker's
+// own processing, not simulated WAN latency, dominates.
+func benchEnv(b *testing.B) (*simnet.Network, func(host string) (*transport.SimNode, *ntptime.Service)) {
+	b.Helper()
+	net := simnet.NewPaperWAN(simnet.Config{Scale: 20000, Seed: 1})
+	rng := rand.New(rand.NewSource(1))
+	mk := func(host string) (*transport.SimNode, *ntptime.Service) {
+		node := transport.NewSimNode(net, simnet.SiteIndianapolis, host, 0)
+		ntp := ntptime.NewService(node.Clock(), 0, rng)
+		ntp.InitImmediately()
+		return node, ntp
+	}
+	return net, mk
+}
+
+func benchBroker(b *testing.B, mk func(string) (*transport.SimNode, *ntptime.Service), name string, cfg Config) *Broker {
+	b.Helper()
+	node, ntp := mk(name)
+	cfg.LogicalAddress = name
+	cfg.Sampler = metrics.NewStaticSampler(metrics.Usage{TotalMemBytes: 1 << 30})
+	br, err := New(node, ntp, cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := br.Start(); err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(br.Close)
+	return br
+}
+
+// BenchmarkLocalDelivery measures one-broker publish -> subscriber delivery.
+func BenchmarkLocalDelivery(b *testing.B) {
+	_, mk := benchEnv(b)
+	br := benchBroker(b, mk, "bench", Config{})
+	node, _ := mk("sub")
+	c, err := Connect(node, br.StreamAddr(), "sub")
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer c.Close()
+	if err := c.Subscribe("bench/topic"); err != nil {
+		b.Fatal(err)
+	}
+	time.Sleep(20 * time.Millisecond)
+
+	payload := make([]byte, 256)
+	b.SetBytes(int64(len(payload)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := br.Publish("bench/topic", payload); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := c.Next(10 * time.Second); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkChainDelivery measures publish -> delivery across a 3-broker
+// chain (two link hops).
+func BenchmarkChainDelivery(b *testing.B) {
+	_, mk := benchEnv(b)
+	b1 := benchBroker(b, mk, "c1", Config{})
+	b2 := benchBroker(b, mk, "c2", Config{})
+	b3 := benchBroker(b, mk, "c3", Config{})
+	if err := b2.LinkTo(b1.StreamAddr()); err != nil {
+		b.Fatal(err)
+	}
+	if err := b3.LinkTo(b2.StreamAddr()); err != nil {
+		b.Fatal(err)
+	}
+	node, _ := mk("sub")
+	c, err := Connect(node, b3.StreamAddr(), "sub")
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer c.Close()
+	if err := c.Subscribe("bench/chain"); err != nil {
+		b.Fatal(err)
+	}
+	time.Sleep(50 * time.Millisecond)
+
+	payload := make([]byte, 256)
+	b.SetBytes(int64(len(payload)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := b1.Publish("bench/chain", payload); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := c.Next(10 * time.Second); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkDiscoveryResponse measures the broker's full discovery-request
+// handling path: decode, dedup, policy, response construction, UDP send.
+func BenchmarkDiscoveryResponse(b *testing.B) {
+	_, mk := benchEnv(b)
+	br := benchBroker(b, mk, "disc", Config{})
+	node, _ := mk("probe")
+	pc, err := node.ListenPacket(0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer pc.Close()
+
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		req := &core.DiscoveryRequest{ID: uuid.New(), Requester: "probe",
+			ResponseAddr: pc.LocalAddr()}
+		ev := event.New(event.TypeDiscoveryRequest, "", core.EncodeDiscoveryRequest(req))
+		if err := pc.Send(br.UDPAddr(), event.Encode(ev)); err != nil {
+			b.Fatal(err)
+		}
+		if _, _, err := pc.RecvTimeout(10 * time.Second); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSubscriptionChurn measures subscribe/unsubscribe round trips
+// including interest propagation over one link.
+func BenchmarkSubscriptionChurn(b *testing.B) {
+	_, mk := benchEnv(b)
+	b1 := benchBroker(b, mk, "s1", Config{Routing: RouteSubscriptions})
+	b2 := benchBroker(b, mk, "s2", Config{Routing: RouteSubscriptions})
+	if err := b2.LinkTo(b1.StreamAddr()); err != nil {
+		b.Fatal(err)
+	}
+	node, _ := mk("churner")
+	c, err := Connect(node, b2.StreamAddr(), "churner")
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer c.Close()
+	// Identify the session before the broker's hello window (10 s of model
+	// time, which is sub-millisecond wall time at this scale) expires.
+	if err := c.Subscribe("churn/warmup"); err != nil {
+		b.Fatal(err)
+	}
+	time.Sleep(20 * time.Millisecond)
+
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pattern := fmt.Sprintf("churn/t%d", i%100)
+		if err := c.Subscribe(pattern); err != nil {
+			b.Fatal(err)
+		}
+		if err := c.Unsubscribe(pattern); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,331 @@
+// Package broker implements a NaradaBrokering-style publish/subscribe broker:
+// it accepts client connections, manages subscriptions, routes published
+// events to local subscribers and across broker-to-broker links (flooding
+// with duplicate suppression and TTL), answers UDP pings, and processes
+// broker discovery requests according to its response policy — constructing
+// UDP discovery responses carrying NTP timestamps, process information and
+// usage metrics (paper §4–5).
+package broker
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"log/slog"
+	"sync"
+	"time"
+
+	"narada/internal/core"
+	"narada/internal/dedup"
+	"narada/internal/event"
+	"narada/internal/metrics"
+	"narada/internal/ntptime"
+	"narada/internal/replay"
+	"narada/internal/topics"
+	"narada/internal/transport"
+)
+
+// Role header values distinguishing peer kinds on stream connections.
+const (
+	helloRoleHeader = "role"
+	roleLink        = "link" // another broker
+	roleBDN         = "bdn"  // a broker discovery node
+)
+
+// Config parameterises a Broker.
+type Config struct {
+	// LogicalAddress is the broker's unique NB logical address.
+	LogicalAddress string
+	// Hostname is the broker machine's name (advertised).
+	Hostname string
+	// Realm is the broker's network realm (site).
+	Realm string
+	// Geo and Institution are optional advertisement fields.
+	Geo         string
+	Institution string
+	// StreamPort / UDPPort bind the broker's endpoints (0 = auto).
+	StreamPort int
+	UDPPort    int
+	// DedupCapacity sizes the discovery-request duplicate cache
+	// (paper default 1000, "configured through the broker configuration
+	// file").
+	DedupCapacity int
+	// Policy gates discovery responses.
+	Policy core.ResponsePolicy
+	// Sampler supplies usage metrics; nil uses a runtime sampler.
+	Sampler metrics.Sampler
+	// MulticastGroup, when set, is joined so BDN-less multicast discovery
+	// requests reach this broker directly.
+	MulticastGroup string
+	// ProcessingDelay simulates per-request handling cost at the broker.
+	ProcessingDelay time.Duration
+	// HeartbeatInterval enables link keepalives: each link sends a
+	// heartbeat every interval and is torn down after three silent
+	// intervals, so the fluid broker network ("broker processes may join
+	// and leave at arbitrary times") sheds dead links. 0 disables.
+	HeartbeatInterval time.Duration
+	// Routing selects how publish events cross links; discovery requests
+	// are always flooded (control traffic must reach every broker).
+	Routing RoutingMode
+	// ReplayCapacity enables the event-replay service: the broker retains
+	// that many recent events per topic and serves them to clients that
+	// request a replay after subscribing. 0 disables.
+	ReplayCapacity int
+	// Logger receives operational events (start, links, discovery); nil
+	// discards them.
+	Logger *slog.Logger
+}
+
+// RoutingMode selects the broker network's dissemination strategy for
+// application events.
+type RoutingMode int
+
+// Routing modes.
+const (
+	// RouteFlood forwards every publish over every link (TTL + dedup
+	// bounded). Simple, correct on any topology, wasteful on traffic.
+	RouteFlood RoutingMode = iota
+	// RouteSubscriptions propagates subscription interest between brokers
+	// and forwards a publish over a link only when the peer's side of the
+	// network registered a matching interest — NaradaBrokering's "routing
+	// the right content from the producer to the right consumers".
+	RouteSubscriptions
+)
+
+// Broker is one node of the distributed messaging substrate.
+type Broker struct {
+	node transport.Node
+	ntp  *ntptime.Service
+	cfg  Config
+
+	listener transport.Listener
+	udp      transport.PacketConn
+
+	reqDedup *dedup.Cache // discovery request UUIDs
+	evDedup  *dedup.Cache // flooded event UUIDs
+	subs     *topics.Table
+	interest *interestState // link interest refcounts (RouteSubscriptions)
+	history  *replay.Store  // nil unless ReplayCapacity > 0
+
+	mu      sync.Mutex
+	links   map[string]*link // peer logical address -> link
+	clients map[string]*clientConn
+	started bool
+
+	closed    chan struct{}
+	closeOnce sync.Once
+	wg        sync.WaitGroup
+}
+
+// linkSetter is satisfied by samplers that track the live connection count.
+type linkSetter interface{ SetLinks(int) }
+
+// New creates a broker; call Start to begin serving.
+func New(node transport.Node, ntp *ntptime.Service, cfg Config) (*Broker, error) {
+	if cfg.LogicalAddress == "" {
+		return nil, errors.New("broker: LogicalAddress is required")
+	}
+	if cfg.DedupCapacity <= 0 {
+		cfg.DedupCapacity = dedup.DefaultCapacity
+	}
+	if cfg.Sampler == nil {
+		cfg.Sampler = metrics.NewRuntimeSampler()
+	}
+	var history *replay.Store
+	if cfg.ReplayCapacity > 0 {
+		history = replay.NewStore(cfg.ReplayCapacity)
+	}
+	if cfg.Logger == nil {
+		cfg.Logger = slog.New(slog.NewTextHandler(io.Discard, nil))
+	}
+	cfg.Logger = cfg.Logger.With("broker", cfg.LogicalAddress)
+	return &Broker{
+		history:  history,
+		node:     node,
+		ntp:      ntp,
+		cfg:      cfg,
+		reqDedup: dedup.New(cfg.DedupCapacity),
+		evDedup:  dedup.New(4 * cfg.DedupCapacity),
+		subs:     topics.NewTable(),
+		interest: newInterestState(),
+		links:    make(map[string]*link),
+		clients:  make(map[string]*clientConn),
+		closed:   make(chan struct{}),
+	}, nil
+}
+
+// Start binds the broker's endpoints and launches its service loops.
+func (b *Broker) Start() error {
+	b.mu.Lock()
+	if b.started {
+		b.mu.Unlock()
+		return errors.New("broker: already started")
+	}
+	b.started = true
+	b.mu.Unlock()
+
+	l, err := b.node.Listen(b.cfg.StreamPort)
+	if err != nil {
+		return fmt.Errorf("broker %s: listen: %w", b.cfg.LogicalAddress, err)
+	}
+	pc, err := b.node.ListenPacket(b.cfg.UDPPort)
+	if err != nil {
+		_ = l.Close()
+		return fmt.Errorf("broker %s: udp: %w", b.cfg.LogicalAddress, err)
+	}
+	b.listener, b.udp = l, pc
+	b.cfg.Logger.Info("broker started", "stream", l.Addr(), "udp", pc.LocalAddr())
+
+	if b.cfg.MulticastGroup != "" {
+		if err := pc.JoinGroup(b.cfg.MulticastGroup); err != nil {
+			_ = l.Close()
+			_ = pc.Close()
+			return fmt.Errorf("broker %s: multicast: %w", b.cfg.LogicalAddress, err)
+		}
+	}
+
+	b.wg.Add(2)
+	go b.acceptLoop()
+	go b.udpLoop()
+	return nil
+}
+
+// Close stops the broker and tears down every connection.
+func (b *Broker) Close() {
+	b.closeOnce.Do(func() {
+		close(b.closed)
+		if b.listener != nil {
+			_ = b.listener.Close()
+		}
+		if b.udp != nil {
+			_ = b.udp.Close()
+		}
+		b.mu.Lock()
+		for _, lk := range b.links {
+			_ = lk.conn.Close()
+		}
+		for _, c := range b.clients {
+			_ = c.conn.Close()
+		}
+		b.mu.Unlock()
+		b.wg.Wait()
+	})
+}
+
+// LogicalAddress returns the broker's unique logical address.
+func (b *Broker) LogicalAddress() string { return b.cfg.LogicalAddress }
+
+// StreamAddr returns the broker's stream endpoint address.
+func (b *Broker) StreamAddr() string { return b.listener.Addr() }
+
+// UDPAddr returns the broker's datagram endpoint address.
+func (b *Broker) UDPAddr() string { return b.udp.LocalAddr() }
+
+// Info assembles the broker process information carried in advertisements
+// and discovery responses.
+func (b *Broker) Info() core.BrokerInfo {
+	return core.BrokerInfo{
+		LogicalAddress: b.cfg.LogicalAddress,
+		Hostname:       b.cfg.Hostname,
+		Realm:          b.cfg.Realm,
+		Endpoints: []core.TransportEndpoint{
+			{Protocol: "tcp", Address: b.StreamAddr()},
+			{Protocol: "udp", Address: b.UDPAddr()},
+		},
+		Geo:         b.cfg.Geo,
+		Institution: b.cfg.Institution,
+	}
+}
+
+// Usage samples the broker's current usage metrics.
+func (b *Broker) Usage() metrics.Usage { return b.cfg.Sampler.Sample() }
+
+// LinkCount returns the number of active broker links.
+func (b *Broker) LinkCount() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return len(b.links)
+}
+
+// ClientCount returns the number of connected clients (including BDN
+// subscriber connections).
+func (b *Broker) ClientCount() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return len(b.clients)
+}
+
+// registerLink adds a link to the routing fabric. It returns false when the
+// broker is already closed — Close sweeps the link map, so a link landing
+// after the sweep must tear itself down or Close's wg.Wait would hang on its
+// goroutine. The closed-check and the map insert share the mutex, and Close
+// closes the channel before taking the mutex, so no registration can slip
+// past the sweep. A duplicate link to the same peer replaces the old one,
+// whose connection is closed (returned) so its goroutine exits.
+func (b *Broker) registerLink(lk *link) bool {
+	b.mu.Lock()
+	select {
+	case <-b.closed:
+		b.mu.Unlock()
+		return false
+	default:
+	}
+	old := b.links[lk.peer]
+	b.links[lk.peer] = lk
+	b.mu.Unlock()
+	if old != nil {
+		_ = old.conn.Close()
+	}
+	return true
+}
+
+// registerClient mirrors registerLink for client sessions.
+func (b *Broker) registerClient(c *clientConn) bool {
+	b.mu.Lock()
+	select {
+	case <-b.closed:
+		b.mu.Unlock()
+		return false
+	default:
+	}
+	old := b.clients[c.id]
+	b.clients[c.id] = c
+	b.mu.Unlock()
+	if old != nil {
+		_ = old.conn.Close()
+	}
+	return true
+}
+
+// connectionsChanged refreshes the sampler's link figure: "the total number
+// of active concurrent connections to the broker".
+func (b *Broker) connectionsChanged() {
+	if s, ok := b.cfg.Sampler.(linkSetter); ok {
+		b.mu.Lock()
+		n := len(b.links) + len(b.clients)
+		b.mu.Unlock()
+		s.SetLinks(n)
+	}
+}
+
+// now returns the broker's best-effort NTP UTC time.
+func (b *Broker) now() time.Time {
+	if t, err := b.ntp.UTC(); err == nil {
+		return t
+	}
+	return b.node.Clock().Now()
+}
+
+// Publish injects an application event at this broker (local publish API):
+// delivered to local subscribers and flooded over links.
+func (b *Broker) Publish(topic string, payload []byte) error {
+	if err := topics.Validate(topic); err != nil {
+		return err
+	}
+	ev := event.New(event.TypePublish, topic, payload)
+	ev.Source = b.cfg.LogicalAddress
+	ev.Timestamp = b.now()
+	b.evDedup.Seen(ev.ID)
+	b.routePublish(ev, "")
+	return nil
+}

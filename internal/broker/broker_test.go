@@ -1,0 +1,629 @@
+package broker
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"testing"
+	"time"
+
+	"narada/internal/core"
+	"narada/internal/event"
+	"narada/internal/metrics"
+	"narada/internal/ntptime"
+	"narada/internal/simnet"
+	"narada/internal/transport"
+	"narada/internal/uuid"
+)
+
+const mib = 1024 * 1024
+
+// env spins up a simulated WAN for broker tests.
+type env struct {
+	net *simnet.Network
+	t   *testing.T
+	rng *rand.Rand
+}
+
+func newEnv(t *testing.T, seed int64) *env {
+	return &env{
+		net: simnet.NewPaperWAN(simnet.Config{Scale: 300, Seed: seed}),
+		t:   t,
+		rng: rand.New(rand.NewSource(seed)),
+	}
+}
+
+func (e *env) node(site, host string) (*transport.SimNode, *ntptime.Service) {
+	skew := e.net.RandomSkew(20 * time.Millisecond)
+	node := transport.NewSimNode(e.net, site, host, skew)
+	ntp := ntptime.NewService(node.Clock(), skew, e.rng)
+	ntp.InitImmediately()
+	return node, ntp
+}
+
+func (e *env) broker(site, name string, cfg Config) *Broker {
+	e.t.Helper()
+	node, ntp := e.node(site, name)
+	if cfg.LogicalAddress == "" {
+		cfg.LogicalAddress = name
+	}
+	if cfg.Realm == "" {
+		cfg.Realm = site
+	}
+	if cfg.Sampler == nil {
+		cfg.Sampler = metrics.NewStaticSampler(metrics.Usage{
+			TotalMemBytes: 512 * mib, UsedMemBytes: 64 * mib,
+		})
+	}
+	b, err := New(node, ntp, cfg)
+	if err != nil {
+		e.t.Fatal(err)
+	}
+	if err := b.Start(); err != nil {
+		e.t.Fatal(err)
+	}
+	e.t.Cleanup(b.Close)
+	return b
+}
+
+func TestNewRequiresLogicalAddress(t *testing.T) {
+	e := newEnv(t, 1)
+	node, ntp := e.node(simnet.SiteUMN, "x")
+	if _, err := New(node, ntp, Config{}); err == nil {
+		t.Fatal("missing logical address accepted")
+	}
+}
+
+func TestDoubleStartRejected(t *testing.T) {
+	e := newEnv(t, 2)
+	b := e.broker(simnet.SiteUMN, "b1", Config{})
+	if err := b.Start(); err == nil {
+		t.Fatal("second Start accepted")
+	}
+}
+
+func TestLocalPubSub(t *testing.T) {
+	e := newEnv(t, 3)
+	b := e.broker(simnet.SiteUMN, "b1", Config{})
+	node, _ := e.node(simnet.SiteUMN, "client")
+	c, err := Connect(node, b.StreamAddr(), "client")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if err := c.Subscribe("sports/*"); err != nil {
+		t.Fatal(err)
+	}
+	e.net.Clock().Sleep(50 * time.Millisecond) // let the subscribe land
+
+	pub, err := Connect(node, b.StreamAddr(), "publisher")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pub.Close()
+	if err := pub.Publish("sports/cricket", []byte("score")); err != nil {
+		t.Fatal(err)
+	}
+	ev, err := c.Next(5 * time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ev.Topic != "sports/cricket" || string(ev.Payload) != "score" {
+		t.Fatalf("got %q on %q", ev.Payload, ev.Topic)
+	}
+}
+
+func TestSubscriberDoesNotReceiveUnmatched(t *testing.T) {
+	e := newEnv(t, 4)
+	b := e.broker(simnet.SiteUMN, "b1", Config{})
+	node, _ := e.node(simnet.SiteUMN, "client")
+	c, _ := Connect(node, b.StreamAddr(), "client")
+	defer c.Close()
+	_ = c.Subscribe("sports/cricket")
+	e.net.Clock().Sleep(50 * time.Millisecond)
+	_ = c.Publish("news/weather", []byte("rain"))
+	if _, err := c.Next(300 * time.Millisecond); !errors.Is(err, transport.ErrTimeout) {
+		t.Fatalf("unmatched event delivered: %v", err)
+	}
+}
+
+func TestUnsubscribeStopsDelivery(t *testing.T) {
+	e := newEnv(t, 5)
+	b := e.broker(simnet.SiteUMN, "b1", Config{})
+	node, _ := e.node(simnet.SiteUMN, "client")
+	c, _ := Connect(node, b.StreamAddr(), "client")
+	defer c.Close()
+	_ = c.Subscribe("a/b")
+	e.net.Clock().Sleep(50 * time.Millisecond)
+	_ = c.Unsubscribe("a/b")
+	e.net.Clock().Sleep(50 * time.Millisecond)
+	_ = c.Publish("a/b", []byte("x"))
+	if _, err := c.Next(300 * time.Millisecond); !errors.Is(err, transport.ErrTimeout) {
+		t.Fatalf("event delivered after unsubscribe: %v", err)
+	}
+}
+
+func TestPubSubAcrossLinks(t *testing.T) {
+	// Events published at one broker must reach subscribers at a broker
+	// three links away (flooding with TTL).
+	e := newEnv(t, 6)
+	brokers := []*Broker{
+		e.broker(simnet.SiteIndianapolis, "b1", Config{}),
+		e.broker(simnet.SiteUMN, "b2", Config{}),
+		e.broker(simnet.SiteNCSA, "b3", Config{}),
+		e.broker(simnet.SiteFSU, "b4", Config{}),
+	}
+	for i := 1; i < len(brokers); i++ {
+		if err := brokers[i].LinkTo(brokers[i-1].StreamAddr()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	e.net.Clock().Sleep(100 * time.Millisecond)
+
+	node, _ := e.node(simnet.SiteFSU, "sub")
+	c, _ := Connect(node, brokers[3].StreamAddr(), "sub")
+	defer c.Close()
+	_ = c.Subscribe("wan/**")
+	e.net.Clock().Sleep(100 * time.Millisecond)
+
+	if err := brokers[0].Publish("wan/test/hello", []byte("across")); err != nil {
+		t.Fatal(err)
+	}
+	ev, err := c.Next(10 * time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(ev.Payload) != "across" {
+		t.Fatalf("payload = %q", ev.Payload)
+	}
+}
+
+func TestFloodDedupNoDuplicateDelivery(t *testing.T) {
+	// A triangle has two paths to every broker: subscribers must still see
+	// each event exactly once.
+	e := newEnv(t, 7)
+	b1 := e.broker(simnet.SiteIndianapolis, "t1", Config{})
+	b2 := e.broker(simnet.SiteUMN, "t2", Config{})
+	b3 := e.broker(simnet.SiteNCSA, "t3", Config{})
+	for _, pair := range [][2]*Broker{{b2, b1}, {b3, b1}, {b3, b2}} {
+		if err := pair[0].LinkTo(pair[1].StreamAddr()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	e.net.Clock().Sleep(100 * time.Millisecond)
+
+	node, _ := e.node(simnet.SiteNCSA, "sub")
+	c, _ := Connect(node, b3.StreamAddr(), "sub")
+	defer c.Close()
+	_ = c.Subscribe("x/y")
+	e.net.Clock().Sleep(100 * time.Millisecond)
+
+	if err := b1.Publish("x/y", []byte("once")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Next(5 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if ev, err := c.Next(500 * time.Millisecond); err == nil {
+		t.Fatalf("duplicate delivery: %v on %s", ev.ID, ev.Topic)
+	}
+}
+
+func TestLinkCountTracked(t *testing.T) {
+	e := newEnv(t, 8)
+	b1 := e.broker(simnet.SiteUMN, "b1", Config{})
+	b2 := e.broker(simnet.SiteNCSA, "b2", Config{})
+	if err := b2.LinkTo(b1.StreamAddr()); err != nil {
+		t.Fatal(err)
+	}
+	e.net.Clock().Sleep(100 * time.Millisecond)
+	if b1.LinkCount() != 1 || b2.LinkCount() != 1 {
+		t.Fatalf("link counts = %d/%d, want 1/1", b1.LinkCount(), b2.LinkCount())
+	}
+	if b1.Usage().Links != 1 {
+		t.Fatalf("sampler links = %d, want 1", b1.Usage().Links)
+	}
+}
+
+// sendDiscoveryRequest fires a request at the broker over UDP and collects
+// the response (if any) on a fresh endpoint.
+func sendDiscoveryRequest(t *testing.T, e *env, b *Broker, req *core.DiscoveryRequest, wait time.Duration) *core.DiscoveryResponse {
+	t.Helper()
+	node, _ := e.node(simnet.SiteBloomington, fmt.Sprintf("probe%d", e.rng.Int()))
+	pc, err := node.ListenPacket(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pc.Close()
+	req.ResponseAddr = pc.LocalAddr()
+	ev := event.New(event.TypeDiscoveryRequest, "", core.EncodeDiscoveryRequest(req))
+	ev.Source = req.Requester
+	if err := pc.Send(b.UDPAddr(), event.Encode(ev)); err != nil {
+		t.Fatal(err)
+	}
+	payload, _, err := pc.RecvTimeout(wait)
+	if err != nil {
+		return nil
+	}
+	got, err := event.Decode(payload)
+	if err != nil || got.Type != event.TypeDiscoveryResponse {
+		return nil
+	}
+	resp, err := core.DecodeDiscoveryResponse(got.Payload)
+	if err != nil {
+		return nil
+	}
+	return resp
+}
+
+func TestDiscoveryRequestOverUDP(t *testing.T) {
+	e := newEnv(t, 9)
+	b := e.broker(simnet.SiteIndianapolis, "b1", Config{Hostname: "complexity", Geo: "Indianapolis"})
+	req := &core.DiscoveryRequest{ID: uuid.New(), Requester: "probe", Realm: "bloomington"}
+	resp := sendDiscoveryRequest(t, e, b, req, 2*time.Second)
+	if resp == nil {
+		t.Fatal("no discovery response")
+	}
+	if resp.RequestID != req.ID {
+		t.Fatal("response correlates to wrong request")
+	}
+	if resp.Broker.LogicalAddress != "b1" || resp.Broker.Endpoint("udp") == "" ||
+		resp.Broker.Endpoint("tcp") == "" {
+		t.Fatalf("incomplete broker info: %+v", resp.Broker)
+	}
+	if resp.Usage.TotalMemBytes == 0 {
+		t.Fatal("usage metrics missing")
+	}
+	if resp.Timestamp.IsZero() {
+		t.Fatal("NTP timestamp missing")
+	}
+}
+
+func TestDiscoveryRequestDeduplicated(t *testing.T) {
+	e := newEnv(t, 10)
+	b := e.broker(simnet.SiteIndianapolis, "b1", Config{})
+	req := &core.DiscoveryRequest{ID: uuid.New(), Requester: "probe"}
+	if resp := sendDiscoveryRequest(t, e, b, req, 2*time.Second); resp == nil {
+		t.Fatal("first request got no response")
+	}
+	// Same UUID again: the broker must not expend cycles on it.
+	if resp := sendDiscoveryRequest(t, e, b, req, 500*time.Millisecond); resp != nil {
+		t.Fatal("duplicate request answered")
+	}
+}
+
+func TestResponsePolicyCredential(t *testing.T) {
+	e := newEnv(t, 11)
+	b := e.broker(simnet.SiteIndianapolis, "b1", Config{
+		Policy: core.ResponsePolicy{RequiredCredential: []byte("sesame")},
+	})
+	noCred := &core.DiscoveryRequest{ID: uuid.New(), Requester: "probe"}
+	if resp := sendDiscoveryRequest(t, e, b, noCred, 500*time.Millisecond); resp != nil {
+		t.Fatal("request without credential answered")
+	}
+	withCred := &core.DiscoveryRequest{ID: uuid.New(), Requester: "probe", Credentials: []byte("sesame")}
+	if resp := sendDiscoveryRequest(t, e, b, withCred, 2*time.Second); resp == nil {
+		t.Fatal("credentialed request not answered")
+	}
+}
+
+func TestResponsePolicyRealm(t *testing.T) {
+	e := newEnv(t, 12)
+	b := e.broker(simnet.SiteIndianapolis, "b1", Config{
+		Policy: core.ResponsePolicy{AllowedRealms: []string{"umn"}},
+	})
+	wrongRealm := &core.DiscoveryRequest{ID: uuid.New(), Requester: "probe", Realm: "cardiff"}
+	if resp := sendDiscoveryRequest(t, e, b, wrongRealm, 500*time.Millisecond); resp != nil {
+		t.Fatal("request from disallowed realm answered")
+	}
+}
+
+func TestPingPongOverUDP(t *testing.T) {
+	e := newEnv(t, 13)
+	b := e.broker(simnet.SiteIndianapolis, "b1", Config{})
+	node, _ := e.node(simnet.SiteBloomington, "pinger")
+	pc, _ := node.ListenPacket(0)
+	defer pc.Close()
+
+	sent := node.Clock().Now()
+	ping := &core.Ping{ID: uuid.New(), SentAt: sent, Seq: 3}
+	ev := event.New(event.TypePing, "", core.EncodePing(ping))
+	if err := pc.Send(b.UDPAddr(), event.Encode(ev)); err != nil {
+		t.Fatal(err)
+	}
+	payload, _, err := pc.RecvTimeout(2 * time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := event.Decode(payload)
+	if err != nil || got.Type != event.TypePong {
+		t.Fatalf("reply type %v err %v", got.Type, err)
+	}
+	pong, err := core.DecodePong(got.Payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pong.ID != ping.ID || pong.Seq != 3 || !pong.EchoSent.Equal(sent) {
+		t.Fatalf("pong fields wrong: %+v", pong)
+	}
+	if pong.Responder != "b1" {
+		t.Fatalf("responder = %q", pong.Responder)
+	}
+}
+
+func TestDiscoveryRequestFloodedAcrossChain(t *testing.T) {
+	// Request injected at one end of a 3-broker chain: all three respond.
+	e := newEnv(t, 14)
+	b1 := e.broker(simnet.SiteIndianapolis, "c1", Config{})
+	b2 := e.broker(simnet.SiteUMN, "c2", Config{})
+	b3 := e.broker(simnet.SiteNCSA, "c3", Config{})
+	_ = b2.LinkTo(b1.StreamAddr())
+	_ = b3.LinkTo(b2.StreamAddr())
+	e.net.Clock().Sleep(100 * time.Millisecond)
+
+	node, _ := e.node(simnet.SiteBloomington, "probe")
+	pc, _ := node.ListenPacket(0)
+	defer pc.Close()
+	req := &core.DiscoveryRequest{ID: uuid.New(), Requester: "probe", ResponseAddr: pc.LocalAddr()}
+	ev := event.New(event.TypeDiscoveryRequest, "", core.EncodeDiscoveryRequest(req))
+	if err := pc.Send(b1.UDPAddr(), event.Encode(ev)); err != nil {
+		t.Fatal(err)
+	}
+	seen := map[string]bool{}
+	deadline := node.Clock().Now().Add(3 * time.Second)
+	for len(seen) < 3 {
+		remaining := deadline.Sub(node.Clock().Now())
+		if remaining <= 0 {
+			break
+		}
+		payload, _, err := pc.RecvTimeout(remaining)
+		if err != nil {
+			break
+		}
+		got, err := event.Decode(payload)
+		if err != nil || got.Type != event.TypeDiscoveryResponse {
+			continue
+		}
+		resp, err := core.DecodeDiscoveryResponse(got.Payload)
+		if err == nil {
+			seen[resp.Broker.LogicalAddress] = true
+		}
+	}
+	if len(seen) != 3 {
+		t.Fatalf("responses from %d brokers, want 3: %v", len(seen), seen)
+	}
+}
+
+func TestPublishValidatesTopic(t *testing.T) {
+	e := newEnv(t, 15)
+	b := e.broker(simnet.SiteUMN, "b1", Config{})
+	if err := b.Publish("bad//topic", nil); err == nil {
+		t.Fatal("invalid topic accepted")
+	}
+}
+
+func TestClientCountAndClose(t *testing.T) {
+	e := newEnv(t, 16)
+	b := e.broker(simnet.SiteUMN, "b1", Config{})
+	node, _ := e.node(simnet.SiteUMN, "c")
+	c, err := Connect(node, b.StreamAddr(), "c")
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = c.Subscribe("a/b")
+	e.net.Clock().Sleep(100 * time.Millisecond)
+	if b.ClientCount() != 1 {
+		t.Fatalf("ClientCount = %d", b.ClientCount())
+	}
+	c.Close()
+	e.net.Clock().Sleep(200 * time.Millisecond)
+	if b.ClientCount() != 0 {
+		t.Fatalf("ClientCount after close = %d", b.ClientCount())
+	}
+	if _, err := c.Next(0); !errors.Is(err, ErrClientClosed) {
+		t.Fatalf("Next after close: %v", err)
+	}
+}
+
+func TestHeartbeatKeepsHealthyLinkAlive(t *testing.T) {
+	// A generous interval: the 3-interval liveness window must stay wide in
+	// wall time (3 x 2s model / scale 300 = 20ms) so scheduler contention
+	// (e.g. a parallel benchmark run) cannot starve a healthy link.
+	e := newEnv(t, 20)
+	b1 := e.broker(simnet.SiteUMN, "hb1", Config{HeartbeatInterval: 2 * time.Second})
+	b2 := e.broker(simnet.SiteNCSA, "hb2", Config{HeartbeatInterval: 2 * time.Second})
+	if err := b2.LinkTo(b1.StreamAddr()); err != nil {
+		t.Fatal(err)
+	}
+	e.net.Clock().Sleep(10 * time.Second) // several heartbeat intervals
+	if b1.LinkCount() != 1 || b2.LinkCount() != 1 {
+		t.Fatalf("healthy link dropped: %d/%d", b1.LinkCount(), b2.LinkCount())
+	}
+}
+
+func TestHeartbeatDropsPartitionedLink(t *testing.T) {
+	e := newEnv(t, 21)
+	b1 := e.broker(simnet.SiteUMN, "hp1", Config{HeartbeatInterval: 500 * time.Millisecond})
+	b2 := e.broker(simnet.SiteNCSA, "hp2", Config{HeartbeatInterval: 500 * time.Millisecond})
+	if err := b2.LinkTo(b1.StreamAddr()); err != nil {
+		t.Fatal(err)
+	}
+	e.net.Clock().Sleep(300 * time.Millisecond)
+	e.net.Partition(simnet.SiteUMN, simnet.SiteNCSA)
+	// Heartbeat sends now fail (no route); both ends must shed the link.
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		if b1.LinkCount() == 0 && b2.LinkCount() == 0 {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatalf("partitioned link survived: %d/%d", b1.LinkCount(), b2.LinkCount())
+}
+
+func TestDiscoveryRequestHopsIncrement(t *testing.T) {
+	// Hop counts increase along the dissemination chain (diagnostics).
+	e := newEnv(t, 22)
+	b1 := e.broker(simnet.SiteIndianapolis, "h1", Config{})
+	b2 := e.broker(simnet.SiteUMN, "h2", Config{})
+	_ = b2.LinkTo(b1.StreamAddr())
+	e.net.Clock().Sleep(100 * time.Millisecond)
+
+	node, _ := e.node(simnet.SiteBloomington, "hopprobe")
+	pc, _ := node.ListenPacket(0)
+	defer pc.Close()
+	req := &core.DiscoveryRequest{ID: uuid.New(), Requester: "probe", ResponseAddr: pc.LocalAddr()}
+	ev := event.New(event.TypeDiscoveryRequest, "", core.EncodeDiscoveryRequest(req))
+	if err := pc.Send(b1.UDPAddr(), event.Encode(ev)); err != nil {
+		t.Fatal(err)
+	}
+	// Both brokers respond; b2 received the request with Hops=1. The hop
+	// count is diagnostic (not echoed in responses), so just assert both
+	// responses arrive, proving the re-encoded forward decoded cleanly.
+	for i := 0; i < 2; i++ {
+		if _, _, err := pc.RecvTimeout(3 * time.Second); err != nil {
+			t.Fatalf("response %d missing after hop-forwarding: %v", i, err)
+		}
+	}
+}
+
+func TestAdvertisementRelayViaClient(t *testing.T) {
+	// A client can relay an advertisement event; the broker republishes it
+	// on the public advertisement topic so subscribed BDNs learn it.
+	e := newEnv(t, 23)
+	b := e.broker(simnet.SiteUMN, "relay-broker", Config{})
+	node, _ := e.node(simnet.SiteUMN, "watcher")
+	watcher, _ := Connect(node, b.StreamAddr(), "watcher")
+	defer watcher.Close()
+	_ = watcher.Subscribe("Services/BrokerDiscoveryNodes/BrokerAdvertisement")
+	e.net.Clock().Sleep(100 * time.Millisecond)
+
+	adv := &core.Advertisement{Broker: core.BrokerInfo{LogicalAddress: "announced"}}
+	relayNode, _ := e.node(simnet.SiteUMN, "relay")
+	relayConn, err := relayNode.Dial(b.StreamAddr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer relayConn.Close()
+	// Send a raw TypeAdvertisement event: the broker must republish it on
+	// the public advertisement topic.
+	ev := event.New(event.TypeAdvertisement, "", core.EncodeAdvertisement(adv))
+	if err := relayConn.Send(event.Encode(ev)); err != nil {
+		t.Fatal(err)
+	}
+	got, err := watcher.Next(5 * time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	decoded, err := core.DecodeAdvertisement(got.Payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if decoded.Broker.LogicalAddress != "announced" {
+		t.Fatalf("relayed advertisement for %q", decoded.Broker.LogicalAddress)
+	}
+}
+
+func TestBrokerMulticastRequestPath(t *testing.T) {
+	// A broker joined to the discovery group answers multicast requests.
+	e := newEnv(t, 24)
+	b := e.broker(simnet.SiteIndianapolis, "mc-broker", Config{MulticastGroup: "narada/discovery"})
+	_ = b
+	node, _ := e.node(simnet.SiteIndianapolis, "mc-client")
+	pc, _ := node.ListenPacket(0)
+	defer pc.Close()
+	req := &core.DiscoveryRequest{ID: uuid.New(), Requester: "mc", ResponseAddr: pc.LocalAddr()}
+	ev := event.New(event.TypeDiscoveryRequest, "", core.EncodeDiscoveryRequest(req))
+	if err := pc.SendGroup("narada/discovery", event.Encode(ev)); err != nil {
+		t.Fatal(err)
+	}
+	payload, _, err := pc.RecvTimeout(3 * time.Second)
+	if err != nil {
+		t.Fatal("no response to multicast request")
+	}
+	got, err := event.Decode(payload)
+	if err != nil || got.Type != event.TypeDiscoveryResponse {
+		t.Fatalf("reply type %v err %v", got, err)
+	}
+}
+
+func TestPublishTTLBoundsFlood(t *testing.T) {
+	// An event published with TTL smaller than the chain length must not
+	// reach the far end (flood termination).
+	e := newEnv(t, 25)
+	b1 := e.broker(simnet.SiteIndianapolis, "ttl1", Config{})
+	b2 := e.broker(simnet.SiteUMN, "ttl2", Config{})
+	b3 := e.broker(simnet.SiteNCSA, "ttl3", Config{})
+	_ = b2.LinkTo(b1.StreamAddr())
+	_ = b3.LinkTo(b2.StreamAddr())
+	e.net.Clock().Sleep(100 * time.Millisecond)
+
+	node, _ := e.node(simnet.SiteNCSA, "farsub")
+	c, _ := Connect(node, b3.StreamAddr(), "farsub")
+	defer c.Close()
+	_ = c.Subscribe("ttl/test")
+	e.net.Clock().Sleep(100 * time.Millisecond)
+
+	// Hand-craft a publish with TTL=1: b1 forwards to b2 (TTL 0), b2 must
+	// not forward to b3.
+	nodePub, _ := e.node(simnet.SiteIndianapolis, "pub")
+	pubConn, err := nodePub.Dial(b1.StreamAddr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pubConn.Close()
+	ev := event.New(event.TypePublish, "ttl/test", []byte("short-lived"))
+	ev.TTL = 1
+	if err := pubConn.Send(event.Encode(ev)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Next(500 * time.Millisecond); err == nil {
+		t.Fatal("TTL-1 event crossed two links")
+	}
+}
+
+func TestReplayServiceDeliversMissedEvents(t *testing.T) {
+	e := newEnv(t, 26)
+	b := e.broker(simnet.SiteUMN, "replay-broker", Config{ReplayCapacity: 16})
+
+	// Publish before any subscriber exists.
+	for i := 0; i < 5; i++ {
+		if err := b.Publish("history/log", []byte(fmt.Sprintf("e%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	node, _ := e.node(simnet.SiteUMN, "late")
+	c, _ := Connect(node, b.StreamAddr(), "late")
+	defer c.Close()
+	_ = c.Subscribe("history/log")
+	e.net.Clock().Sleep(100 * time.Millisecond)
+
+	if err := c.RequestReplay("history/log", 3); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		ev, err := c.Next(5 * time.Second)
+		if err != nil {
+			t.Fatalf("replayed event %d missing: %v", i, err)
+		}
+		want := fmt.Sprintf("e%d", 2+i) // most recent 3, oldest first
+		if string(ev.Payload) != want {
+			t.Fatalf("replayed %q, want %q", ev.Payload, want)
+		}
+	}
+}
+
+func TestReplayDisabledIsNoOp(t *testing.T) {
+	e := newEnv(t, 27)
+	b := e.broker(simnet.SiteUMN, "noreplay", Config{})
+	_ = b.Publish("history/log", []byte("lost"))
+	node, _ := e.node(simnet.SiteUMN, "late")
+	c, _ := Connect(node, b.StreamAddr(), "late")
+	defer c.Close()
+	if err := c.RequestReplay("history/log", 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Next(300 * time.Millisecond); err == nil {
+		t.Fatal("replay served with the service disabled")
+	}
+}

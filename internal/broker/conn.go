@@ -1,0 +1,196 @@
+package broker
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"narada/internal/event"
+	"narada/internal/topics"
+	"narada/internal/transport"
+)
+
+// link is an established broker-to-broker (or BDN-to-broker) connection.
+type link struct {
+	peer string // peer logical address
+	role string // roleLink or roleBDN
+	conn transport.Conn
+
+	mu       sync.Mutex
+	lastRecv time.Time // last inbound frame, for heartbeat liveness
+}
+
+func (lk *link) touch(now time.Time) {
+	lk.mu.Lock()
+	lk.lastRecv = now
+	lk.mu.Unlock()
+}
+
+func (lk *link) lastSeen() time.Time {
+	lk.mu.Lock()
+	defer lk.mu.Unlock()
+	return lk.lastRecv
+}
+
+// clientConn is a subscriber/publisher connection.
+type clientConn struct {
+	id   string // remote address, used as subscriber identity
+	conn transport.Conn
+}
+
+// acceptLoop admits stream connections and classifies them by their first
+// event: a LinkHello makes a broker link or BDN connection; anything else is
+// treated as the first event of a client session.
+func (b *Broker) acceptLoop() {
+	defer b.wg.Done()
+	for {
+		conn, err := b.listener.Accept()
+		if err != nil {
+			return
+		}
+		b.wg.Add(1)
+		go func() {
+			defer b.wg.Done()
+			b.handleConn(conn)
+		}()
+	}
+}
+
+func (b *Broker) handleConn(conn transport.Conn) {
+	// Bound the wait for the first frame: an idle pre-hello connection is
+	// not yet tracked anywhere, and Close must not hang on its goroutine.
+	frame, err := conn.RecvTimeout(helloTimeout)
+	if err != nil {
+		_ = conn.Close()
+		return
+	}
+	ev, err := event.Decode(frame)
+	if err != nil {
+		_ = conn.Close()
+		return
+	}
+	if ev.Type == event.TypeLinkHello {
+		b.serveLink(&link{peer: ev.Source, role: ev.Header(helloRoleHeader), conn: conn}, true)
+		return
+	}
+	c := &clientConn{id: conn.RemoteAddr(), conn: conn}
+	if !b.registerClient(c) {
+		_ = conn.Close()
+		return
+	}
+	b.connectionsChanged()
+	b.handleClientEvent(c, ev)
+	b.serveClient(c)
+}
+
+// serveClient pumps a client session until it disconnects.
+func (b *Broker) serveClient(c *clientConn) {
+	defer func() {
+		_ = c.conn.Close()
+		patterns := b.subs.Patterns(c.id)
+		b.subs.UnsubscribeAll(c.id)
+		for _, pattern := range patterns {
+			b.localInterestChanged(pattern, -1)
+		}
+		b.mu.Lock()
+		delete(b.clients, c.id)
+		b.mu.Unlock()
+		b.connectionsChanged()
+	}()
+	for {
+		frame, err := c.conn.Recv()
+		if err != nil {
+			return
+		}
+		ev, err := event.Decode(frame)
+		if err != nil {
+			continue
+		}
+		b.handleClientEvent(c, ev)
+	}
+}
+
+func (b *Broker) handleClientEvent(c *clientConn, ev *event.Event) {
+	switch ev.Type {
+	case event.TypeSubscribe:
+		added, err := b.subs.SubscribeAdded(c.id, ev.Topic)
+		if err == nil && added {
+			b.localInterestChanged(ev.Topic, +1)
+		}
+	case event.TypeUnsubscribe:
+		if b.subs.Unsubscribe(c.id, ev.Topic) {
+			b.localInterestChanged(ev.Topic, -1)
+		}
+	case event.TypePublish:
+		if topics.Validate(ev.Topic) != nil {
+			return
+		}
+		if ev.Source == "" {
+			ev.Source = c.id
+		}
+		if b.evDedup.Seen(ev.ID) {
+			return
+		}
+		b.routePublish(ev, "")
+	case event.TypeControl:
+		// Replay request: re-deliver retained history matching the pattern
+		// straight to this client.
+		if ev.Header(controlOpHeader) == opReplay && b.history != nil {
+			limit := 0
+			fmt.Sscanf(ev.Header(replayLimitHeader), "%d", &limit) //nolint:errcheck
+			for _, past := range b.history.Replay(ev.Topic, limit) {
+				_ = c.conn.Send(event.Encode(past))
+			}
+		}
+	case event.TypeDiscoveryRequest:
+		// Injection from a connected entity (e.g. a BDN speaking the client
+		// protocol, or a test harness).
+		b.handleDiscoveryRequest(ev, "")
+	case event.TypeAdvertisement:
+		// Clients relaying advertisements publish them on the public topic.
+		if b.evDedup.Seen(ev.ID) {
+			return
+		}
+		fwd := ev.Clone()
+		fwd.Type = event.TypePublish
+		fwd.Topic = topics.AdvertisementTopic
+		b.routePublish(fwd, "")
+	default:
+		// Ignore unsupported client events.
+	}
+}
+
+// LinkTo establishes a broker link to a peer broker's stream address.
+func (b *Broker) LinkTo(addr string) error {
+	conn, err := b.node.Dial(addr)
+	if err != nil {
+		return err
+	}
+	hello := event.New(event.TypeLinkHello, "", nil)
+	hello.Source = b.cfg.LogicalAddress
+	hello.SetHeader(helloRoleHeader, roleLink)
+	hello.Timestamp = b.now()
+	if err := conn.Send(event.Encode(hello)); err != nil {
+		_ = conn.Close()
+		return err
+	}
+	// Peer replies with its own hello so both sides learn identities.
+	frame, err := conn.RecvTimeout(helloTimeout)
+	if err != nil {
+		_ = conn.Close()
+		return err
+	}
+	reply, err := event.Decode(frame)
+	if err != nil || reply.Type != event.TypeLinkHello {
+		_ = conn.Close()
+		return errors.New("broker: link handshake failed")
+	}
+	lk := &link{peer: reply.Source, role: roleLink, conn: conn}
+	b.wg.Add(1)
+	go func() {
+		defer b.wg.Done()
+		b.serveLink(lk, false)
+	}()
+	return nil
+}

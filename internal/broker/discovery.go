@@ -1,0 +1,116 @@
+package broker
+
+import (
+	"narada/internal/core"
+	"narada/internal/event"
+)
+
+// udpLoop serves the broker's datagram endpoint: UDP pings (answered with
+// pongs echoing the sender's timestamp) and discovery requests arriving
+// directly, via multicast, or from a requester replaying its cached target
+// set.
+func (b *Broker) udpLoop() {
+	defer b.wg.Done()
+	for {
+		payload, from, err := b.udp.Recv()
+		if err != nil {
+			return
+		}
+		ev, err := event.Decode(payload)
+		if err != nil {
+			continue
+		}
+		switch ev.Type {
+		case event.TypePing:
+			b.answerPing(ev, from)
+		case event.TypeDiscoveryRequest:
+			b.handleDiscoveryRequest(ev, "")
+		default:
+			// Other datagram traffic is not part of the protocol.
+		}
+	}
+}
+
+// answerPing echoes the ping's timestamp in a pong so the requester can
+// compute the RTT purely from its own clock (paper §6). Pings and pongs
+// travel over UDP for the §5.2 reasons: constant requester-side resources
+// and loss-as-signal filtering of remote brokers.
+func (b *Broker) answerPing(ev *event.Event, from string) {
+	ping, err := core.DecodePing(ev.Payload)
+	if err != nil {
+		return
+	}
+	pong := &core.Pong{
+		ID:        ping.ID,
+		EchoSent:  ping.SentAt,
+		Seq:       ping.Seq,
+		Responder: b.cfg.LogicalAddress,
+	}
+	reply := event.New(event.TypePong, "", core.EncodePong(pong))
+	reply.Source = b.cfg.LogicalAddress
+	reply.Timestamp = b.now()
+	_ = b.udp.Send(from, event.Encode(reply))
+}
+
+// handleDiscoveryRequest implements the broker side of paper §4–5: duplicate
+// suppression by request UUID, network re-dissemination (so the request can
+// reach every broker connected in the network), a policy gate, and the
+// construction + UDP delivery of the discovery response.
+//
+// fromPeer names the link the request arrived on ("" for UDP/client/BDN
+// ingress) so the flood does not echo straight back.
+func (b *Broker) handleDiscoveryRequest(ev *event.Event, fromPeer string) {
+	req, err := core.DecodeDiscoveryRequest(ev.Payload)
+	if err != nil {
+		return
+	}
+	// "Every broker keeps track of the last 1000 broker discovery requests
+	// so that additional CPU/network cycles are not expended on previously
+	// processed requests."
+	if b.reqDedup.Seen(req.ID) {
+		return
+	}
+
+	// Propagate through the broker network before responding: dissemination
+	// latency dominates discovery time (Figures 2/9/11), so forwarding first
+	// lets downstream brokers overlap their work with ours. The forwarded
+	// copy carries an incremented hop count for diagnostics.
+	if ev.TTL > 0 {
+		fwdReq := *req
+		fwdReq.Hops++
+		fwd := ev.Clone()
+		fwd.TTL--
+		fwd.Payload = core.EncodeDiscoveryRequest(&fwdReq)
+		frame := event.Encode(fwd)
+		for _, lk := range b.linksExcept(fromPeer) {
+			_ = lk.conn.Send(frame)
+		}
+	}
+
+	if !b.cfg.Policy.Permits(req) {
+		b.cfg.Logger.Debug("discovery request denied by policy",
+			"requester", req.Requester, "realm", req.Realm)
+		return
+	}
+	if req.ResponseAddr == "" {
+		return
+	}
+	if b.cfg.ProcessingDelay > 0 {
+		b.node.Clock().Sleep(b.cfg.ProcessingDelay)
+	}
+
+	resp := &core.DiscoveryResponse{
+		RequestID: req.ID,
+		Timestamp: b.now(),
+		Broker:    b.Info(),
+		Usage:     b.Usage(),
+	}
+	reply := event.New(event.TypeDiscoveryResponse, "", core.EncodeDiscoveryResponse(resp))
+	reply.Source = b.cfg.LogicalAddress
+	reply.Timestamp = resp.Timestamp
+	// "The communication protocol used for transporting this response is
+	// UDP" — sent from the broker's datagram endpoint to the requester.
+	_ = b.udp.Send(req.ResponseAddr, event.Encode(reply))
+	b.cfg.Logger.Debug("discovery response sent",
+		"requester", req.Requester, "to", req.ResponseAddr, "hops", req.Hops)
+}

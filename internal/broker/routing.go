@@ -1,0 +1,172 @@
+package broker
+
+import (
+	"time"
+
+	"narada/internal/event"
+)
+
+// helloTimeout bounds link handshakes (model time; generous for WAN paths).
+const helloTimeout = 10 * time.Second
+
+// serveLink runs one broker link: when replyHello is set (we are the accept
+// side) it first answers the peer's hello, then pumps incoming events into
+// the routing fabric until the link drops.
+func (b *Broker) serveLink(lk *link, replyHello bool) {
+	if replyHello {
+		hello := event.New(event.TypeLinkHello, "", nil)
+		hello.Source = b.cfg.LogicalAddress
+		hello.SetHeader(helloRoleHeader, roleLink)
+		hello.Timestamp = b.now()
+		if err := lk.conn.Send(event.Encode(hello)); err != nil {
+			_ = lk.conn.Close()
+			return
+		}
+	}
+
+	if !b.registerLink(lk) {
+		_ = lk.conn.Close()
+		return
+	}
+	b.connectionsChanged()
+	b.cfg.Logger.Info("link up", "peer", lk.peer, "role", lk.role)
+	lk.touch(b.node.Clock().Now())
+	if lk.role == roleLink {
+		b.announceInterestTo(lk)
+	}
+	if b.cfg.HeartbeatInterval > 0 && lk.role == roleLink {
+		b.wg.Add(1)
+		go func() {
+			defer b.wg.Done()
+			b.heartbeatLink(lk)
+		}()
+	}
+	defer func() {
+		_ = lk.conn.Close()
+		b.mu.Lock()
+		wasCurrent := b.links[lk.peer] == lk
+		if wasCurrent {
+			delete(b.links, lk.peer)
+		}
+		b.mu.Unlock()
+		// Only the currently registered link owns the peer's interest; a
+		// link replaced by a duplicate must not wipe its successor's state.
+		if wasCurrent && lk.role == roleLink {
+			b.dropLinkInterest(lk.peer)
+		}
+		if wasCurrent {
+			b.cfg.Logger.Info("link down", "peer", lk.peer, "role", lk.role)
+		}
+		b.connectionsChanged()
+	}()
+
+	for {
+		frame, err := lk.conn.Recv()
+		if err != nil {
+			return
+		}
+		lk.touch(b.node.Clock().Now())
+		ev, err := event.Decode(frame)
+		if err != nil {
+			continue
+		}
+		b.handleLinkEvent(lk, ev)
+	}
+}
+
+// heartbeatLink sends periodic keepalives on a link and tears it down after
+// three silent intervals or a failed send (e.g. a partitioned path).
+func (b *Broker) heartbeatLink(lk *link) {
+	clock := b.node.Clock()
+	interval := b.cfg.HeartbeatInterval
+	for {
+		select {
+		case <-b.closed:
+			return
+		case <-clock.After(interval):
+		}
+		hb := event.New(event.TypeLinkHeartbeat, "", nil)
+		hb.Source = b.cfg.LogicalAddress
+		if err := lk.conn.Send(event.Encode(hb)); err != nil {
+			_ = lk.conn.Close()
+			return
+		}
+		if clock.Now().Sub(lk.lastSeen()) > 3*interval {
+			_ = lk.conn.Close()
+			return
+		}
+	}
+}
+
+func (b *Broker) handleLinkEvent(lk *link, ev *event.Event) {
+	switch ev.Type {
+	case event.TypePublish:
+		if b.evDedup.Seen(ev.ID) {
+			return
+		}
+		b.routePublish(ev, lk.peer)
+	case event.TypeDiscoveryRequest:
+		b.handleDiscoveryRequest(ev, lk.peer)
+	case event.TypeControl:
+		b.handleInterestControl(lk, ev)
+	case event.TypeLinkHeartbeat:
+		// Liveness only; nothing to route.
+	default:
+		// Links carry only substrate traffic; ignore anything else.
+	}
+}
+
+// routePublish delivers a publish event to matching local subscribers and
+// forwards it over links (except the one it arrived on), decrementing the
+// TTL. In RouteFlood mode every link is used; in RouteSubscriptions mode
+// only links whose peer registered a matching interest. Duplicate
+// suppression has already happened at the ingress point.
+func (b *Broker) routePublish(ev *event.Event, fromPeer string) {
+	if b.history != nil {
+		b.history.Add(ev)
+	}
+	var interestedPeers map[string]bool
+	for _, id := range b.subs.Match(ev.Topic) {
+		if peer, isLink := isLinkSubscriber(id); isLink {
+			if interestedPeers == nil {
+				interestedPeers = make(map[string]bool, 4)
+			}
+			interestedPeers[peer] = true
+			continue
+		}
+		b.mu.Lock()
+		c, ok := b.clients[id]
+		b.mu.Unlock()
+		if ok {
+			_ = c.conn.Send(event.Encode(ev))
+		}
+	}
+	// Network dissemination.
+	if ev.TTL == 0 {
+		return
+	}
+	fwd := ev.Clone()
+	fwd.TTL--
+	frame := event.Encode(fwd)
+	for _, lk := range b.linksExcept(fromPeer) {
+		if b.cfg.Routing == RouteSubscriptions && !interestedPeers[lk.peer] {
+			continue
+		}
+		_ = lk.conn.Send(frame)
+	}
+}
+
+// linksExcept snapshots the broker links excluding one peer and excluding
+// BDN-role connections (BDNs inject; they are not flooding targets).
+func (b *Broker) linksExcept(peer string) []*link {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	out := make([]*link, 0, len(b.links))
+	for name, lk := range b.links {
+		if name == peer || lk.role == roleBDN {
+			continue
+		}
+		out = append(out, lk)
+	}
+	return out
+}

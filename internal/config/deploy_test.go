@@ -1,0 +1,36 @@
+package config
+
+import (
+	"path/filepath"
+	"testing"
+)
+
+// TestShippedDeployConfigsValid keeps the sample configuration files under
+// deploy/ loadable: documentation that cannot rot.
+func TestShippedDeployConfigsValid(t *testing.T) {
+	root := filepath.Join("..", "..", "deploy")
+
+	var b BDN
+	if err := Load(filepath.Join(root, "bdn.json"), &b); err != nil {
+		t.Errorf("bdn.json: %v", err)
+	} else if b.Name != "gridservicelocator.org" {
+		t.Errorf("bdn.json name = %q", b.Name)
+	}
+
+	var br Broker
+	if err := Load(filepath.Join(root, "broker.json"), &br); err != nil {
+		t.Errorf("broker.json: %v", err)
+	} else if len(br.BDNs) == 0 {
+		t.Error("broker.json lists no BDNs")
+	}
+
+	var n Node
+	if err := Load(filepath.Join(root, "node.json"), &n); err != nil {
+		t.Errorf("node.json: %v", err)
+	} else {
+		cfg := n.DiscoveryConfig()
+		if cfg.NodeName == "" || len(cfg.BDNAddrs) == 0 {
+			t.Errorf("node.json produced incomplete discovery config: %+v", cfg)
+		}
+	}
+}

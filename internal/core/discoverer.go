@@ -1,0 +1,446 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"narada/internal/event"
+	"narada/internal/metrics"
+	"narada/internal/ntptime"
+	"narada/internal/transport"
+	"narada/internal/uuid"
+)
+
+// Config parameterises a Discoverer. Zero values fall back to the paper's
+// typical settings (see the Default* constants).
+type Config struct {
+	// NodeName identifies the requesting node (hostname / logical name).
+	NodeName string
+	// Realm is the requester's network realm, carried in the request for
+	// realm-predicated response policies.
+	Realm string
+	// BDNAddrs lists broker-discovery-node stream addresses to try in order
+	// (the node configuration file's gridservicelocator.org/.com/... list).
+	BDNAddrs []string
+	// MulticastGroup enables the BDN-less fallback: the request is
+	// multicast so brokers in the local realm hear it directly.
+	// Empty disables multicast.
+	MulticastGroup string
+	// CollectWindow bounds the wait for the initial set of responses
+	// ("typically 4-5 seconds; this can be configured depending on the
+	// accuracy that we seek to achieve").
+	CollectWindow time.Duration
+	// MaxResponses, when > 0, ends the collection early once N distinct
+	// brokers have responded ("only the first N responses must be
+	// considered").
+	MaxResponses int
+	// Selection parameterises shortlisting (weights, latency penalty,
+	// target-set size).
+	Selection SelectionConfig
+	// PingCount is the number of UDP pings per target broker; the RTT is
+	// the average over received pongs ("this PING operation may be repeated
+	// multiple times to compute the average network Round Trip Time").
+	PingCount int
+	// PingWindow bounds the wait for pong replies.
+	PingWindow time.Duration
+	// AckTimeout is the inactivity period after which an unacknowledged
+	// request is retransmitted.
+	AckTimeout time.Duration
+	// MaxRetransmits bounds retransmissions per BDN.
+	MaxRetransmits int
+	// Credentials are attached to the request for authorized access.
+	Credentials []byte
+	// Protocols lists transports the requester can speak.
+	Protocols []string
+}
+
+// Paper-typical defaults.
+const (
+	DefaultCollectWindow  = 4 * time.Second
+	DefaultPingCount      = 3
+	DefaultPingWindow     = 1 * time.Second
+	DefaultAckTimeout     = 1 * time.Second
+	DefaultMaxRetransmits = 2
+)
+
+func (c *Config) fillDefaults() {
+	if c.CollectWindow <= 0 {
+		c.CollectWindow = DefaultCollectWindow
+	}
+	if c.Selection.TargetSetSize <= 0 {
+		c.Selection.TargetSetSize = DefaultTargetSetSize
+	}
+	// A zero Weights struct means "untouched": substitute the paper-typical
+	// weighting. To genuinely disable a factor, set Weights explicitly.
+	if c.Selection.Weights == (metrics.Weights{}) {
+		c.Selection.Weights = metrics.DefaultWeights()
+		if c.Selection.LatencyPenaltyPerMs == 0 {
+			c.Selection.LatencyPenaltyPerMs = DefaultLatencyPenaltyPerMs
+		}
+	}
+	if c.PingCount <= 0 {
+		c.PingCount = DefaultPingCount
+	}
+	if c.PingWindow <= 0 {
+		c.PingWindow = DefaultPingWindow
+	}
+	if c.AckTimeout <= 0 {
+		c.AckTimeout = DefaultAckTimeout
+	}
+	if c.MaxRetransmits < 0 {
+		c.MaxRetransmits = DefaultMaxRetransmits
+	}
+	if len(c.Protocols) == 0 {
+		c.Protocols = []string{"tcp", "udp"}
+	}
+}
+
+// Via describes how a discovery reached brokers.
+type Via string
+
+// Discovery paths.
+const (
+	ViaBDN       Via = "bdn"       // request accepted by a BDN
+	ViaMulticast Via = "multicast" // BDN-less multicast fallback
+	ViaCached    Via = "cached"    // last-target-set fallback
+)
+
+// Result is the outcome of one discovery.
+type Result struct {
+	Selected    BrokerInfo    // the broker to connect to
+	SelectedRTT time.Duration // its measured average ping RTT
+	PingDecided bool          // false when no target ponged and score decided
+	TargetSet   []Candidate   // the shortlisted set T
+	Responses   []Candidate   // every distinct response received
+	Timing      Breakdown     // per-phase durations
+	Via         Via           // how brokers were reached
+	BDN         string        // acknowledging BDN, when Via == ViaBDN
+	Retransmits int           // request retransmissions performed
+}
+
+// Discovery errors.
+var (
+	ErrNoResponses = errors.New("core: no discovery responses received")
+	ErrNoPath      = errors.New("core: no BDN reachable, no multicast group, no cached target set")
+)
+
+// Discoverer drives broker discovery for one requesting node.
+type Discoverer struct {
+	node transport.Node
+	ntp  *ntptime.Service
+	cfg  Config
+
+	mu          sync.Mutex
+	lastTargets []BrokerInfo // "Every node keeps track of its last target set of brokers"
+}
+
+// NewDiscoverer creates a discovery engine. ntp must be synchronized (or be
+// synchronized before Discover is called) for latency estimation to work.
+func NewDiscoverer(node transport.Node, ntp *ntptime.Service, cfg Config) *Discoverer {
+	cfg.fillDefaults()
+	return &Discoverer{node: node, ntp: ntp, cfg: cfg}
+}
+
+// Config returns the effective (default-filled) configuration.
+func (d *Discoverer) Config() Config { return d.cfg }
+
+// LastTargetSet returns the brokers shortlisted by the most recent discovery.
+func (d *Discoverer) LastTargetSet() []BrokerInfo {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return append([]BrokerInfo(nil), d.lastTargets...)
+}
+
+// SeedTargetSet primes the cached target set (e.g. persisted across runs).
+func (d *Discoverer) SeedTargetSet(brokers []BrokerInfo) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.lastTargets = append([]BrokerInfo(nil), brokers...)
+}
+
+// Discover performs one complete broker discovery: issue the request (BDN,
+// then multicast, then cached-target-set fallback), collect responses for the
+// window, shortlist by delay+usage weighting, ping the target set over UDP
+// and select the broker with the lowest measured delay.
+func (d *Discoverer) Discover() (*Result, error) {
+	clock := d.node.Clock()
+	res := &Result{}
+
+	pc, err := d.node.ListenPacket(0)
+	if err != nil {
+		return nil, fmt.Errorf("core: opening response endpoint: %w", err)
+	}
+	defer pc.Close() //nolint:errcheck
+
+	req := &DiscoveryRequest{
+		ID:           uuid.New(),
+		Requester:    d.cfg.NodeName,
+		Realm:        d.cfg.Realm,
+		ResponseAddr: pc.LocalAddr(),
+		Protocols:    d.cfg.Protocols,
+		Credentials:  d.cfg.Credentials,
+	}
+	if t, err := d.ntp.UTC(); err == nil {
+		req.IssuedAt = t
+	} else {
+		req.IssuedAt = clock.Now()
+	}
+
+	// Phase 1: issue the request.
+	start := clock.Now()
+	via, bdnName, retransmits, err := d.issue(req, pc)
+	res.Timing.Set(PhaseRequestIssue, clock.Now().Sub(start))
+	if err != nil {
+		return res, err
+	}
+	res.Via, res.BDN, res.Retransmits = via, bdnName, retransmits
+
+	// Phase 2: wait for the initial set of responses. Pongs can also land on
+	// this endpoint (stray late ones from earlier runs); they are skipped.
+	start = clock.Now()
+	responses := d.collect(pc, req.ID)
+	res.Timing.Set(PhaseWaitResponses, clock.Now().Sub(start))
+	res.Responses = responses
+	if len(responses) == 0 {
+		return res, ErrNoResponses
+	}
+
+	// Phase 3: shortlist the target set.
+	start = clock.Now()
+	res.TargetSet = Shortlist(responses, d.cfg.Selection)
+	res.Timing.Set(PhaseShortlist, clock.Now().Sub(start))
+
+	d.mu.Lock()
+	d.lastTargets = d.lastTargets[:0]
+	for _, c := range res.TargetSet {
+		d.lastTargets = append(d.lastTargets, c.Response.Broker)
+	}
+	d.mu.Unlock()
+
+	// Phase 4: UDP ping refinement.
+	start = clock.Now()
+	d.ping(pc, res.TargetSet)
+	res.Timing.Set(PhasePing, clock.Now().Sub(start))
+
+	// Phase 5: decide.
+	start = clock.Now()
+	idx, pinged := PickByPing(res.TargetSet)
+	if idx < 0 {
+		return res, ErrNoResponses
+	}
+	res.Selected = res.TargetSet[idx].Response.Broker
+	res.SelectedRTT = res.TargetSet[idx].PingRTT
+	res.PingDecided = pinged
+	res.Timing.Set(PhaseDecide, clock.Now().Sub(start))
+	return res, nil
+}
+
+// issue delivers the request to the broker network: first via the configured
+// BDNs (with ack-driven retransmission), then via multicast, then via the
+// cached last target set.
+func (d *Discoverer) issue(req *DiscoveryRequest, pc transport.PacketConn) (Via, string, int, error) {
+	retransmits := 0
+	body := EncodeDiscoveryRequest(req)
+	ev := event.New(event.TypeDiscoveryRequest, "", body)
+	ev.Source = d.cfg.NodeName
+	ev.Timestamp = req.IssuedAt
+	frame := event.Encode(ev)
+
+	for _, addr := range d.cfg.BDNAddrs {
+		bdnName, tries, err := d.issueToBDN(addr, frame, req.ID)
+		retransmits += tries
+		if err == nil {
+			return ViaBDN, bdnName, retransmits, nil
+		}
+	}
+
+	if d.cfg.MulticastGroup != "" {
+		if err := pc.SendGroup(d.cfg.MulticastGroup, frame); err == nil {
+			return ViaMulticast, "", retransmits, nil
+		}
+	}
+
+	d.mu.Lock()
+	cached := append([]BrokerInfo(nil), d.lastTargets...)
+	d.mu.Unlock()
+	if len(cached) > 0 {
+		sent := 0
+		for _, b := range cached {
+			if udp := b.Endpoint("udp"); udp != "" {
+				if err := pc.Send(udp, frame); err == nil {
+					sent++
+				}
+			}
+		}
+		if sent > 0 {
+			return ViaCached, "", retransmits, nil
+		}
+	}
+	return "", "", retransmits, ErrNoPath
+}
+
+// issueToBDN sends the request over a stream to one BDN and waits for the
+// acknowledgement, retransmitting after AckTimeout of inactivity. It returns
+// the number of retransmissions performed.
+func (d *Discoverer) issueToBDN(addr string, frame []byte, id uuid.UUID) (string, int, error) {
+	conn, err := d.node.Dial(addr)
+	if err != nil {
+		return "", 0, err
+	}
+	defer conn.Close() //nolint:errcheck
+
+	tries := 0
+	for attempt := 0; attempt <= d.cfg.MaxRetransmits; attempt++ {
+		if attempt > 0 {
+			tries++
+		}
+		if err := conn.Send(frame); err != nil {
+			return "", tries, err
+		}
+		reply, err := conn.RecvTimeout(d.cfg.AckTimeout)
+		if err != nil {
+			if errors.Is(err, transport.ErrTimeout) {
+				continue // retransmission after predefined period of inactivity
+			}
+			return "", tries, err
+		}
+		ev, err := event.Decode(reply)
+		if err != nil || ev.Type != event.TypeDiscoveryAck {
+			continue
+		}
+		ack, err := DecodeAck(ev.Payload)
+		if err != nil || ack.RequestID != id {
+			continue
+		}
+		return ack.BDN, tries, nil
+	}
+	return "", tries, fmt.Errorf("core: BDN %s: %w", addr, transport.ErrTimeout)
+}
+
+// collect gathers discovery responses for the collection window, ending early
+// once MaxResponses distinct brokers have answered. Duplicate responses from
+// the same broker (multiple injection points can reach it; it dedups, but
+// responses may still race) are folded.
+func (d *Discoverer) collect(pc transport.PacketConn, id uuid.UUID) []Candidate {
+	clock := d.node.Clock()
+	deadline := clock.Now().Add(d.cfg.CollectWindow)
+	seen := make(map[string]struct{})
+	var out []Candidate
+	for {
+		remaining := deadline.Sub(clock.Now())
+		if remaining <= 0 {
+			return out
+		}
+		payload, _, err := pc.RecvTimeout(remaining)
+		if err != nil {
+			return out
+		}
+		ev, err := event.Decode(payload)
+		if err != nil || ev.Type != event.TypeDiscoveryResponse {
+			continue
+		}
+		resp, err := DecodeDiscoveryResponse(ev.Payload)
+		if err != nil || resp.RequestID != id {
+			continue
+		}
+		key := resp.Broker.LogicalAddress
+		if _, dup := seen[key]; dup {
+			continue
+		}
+		seen[key] = struct{}{}
+		receivedAt, err := d.ntp.UTC()
+		if err != nil {
+			receivedAt = clock.Now()
+		}
+		out = append(out, Candidate{
+			Response:   resp,
+			ReceivedAt: receivedAt,
+			EstLatency: EstimateLatency(resp.Timestamp, receivedAt),
+		})
+		if d.cfg.MaxResponses > 0 && len(out) >= d.cfg.MaxResponses {
+			return out
+		}
+	}
+}
+
+// ping sends PingCount UDP pings to every target broker and collects pongs
+// until the ping window closes or every expected pong has arrived, filling
+// each candidate's PingRTT/PingCount.
+func (d *Discoverer) ping(pc transport.PacketConn, targets []Candidate) {
+	clock := d.node.Clock()
+	type slot struct {
+		idx  int
+		sent map[uint32]time.Time // seq -> local send time
+	}
+	byID := make(map[uuid.UUID]*slot, len(targets))
+	expected := 0
+
+	for i := range targets {
+		udp := targets[i].Response.Broker.Endpoint("udp")
+		if udp == "" {
+			continue
+		}
+		s := &slot{idx: i, sent: make(map[uint32]time.Time, d.cfg.PingCount)}
+		pid := uuid.New()
+		byID[pid] = s
+		for seq := 0; seq < d.cfg.PingCount; seq++ {
+			now := clock.Now()
+			body := EncodePing(&Ping{ID: pid, SentAt: now, Seq: uint32(seq)})
+			ev := event.New(event.TypePing, "", body)
+			ev.Source = d.cfg.NodeName
+			if err := pc.Send(udp, event.Encode(ev)); err != nil {
+				continue
+			}
+			s.sent[uint32(seq)] = now
+			expected++
+		}
+	}
+	if expected == 0 {
+		return
+	}
+
+	sums := make(map[int]time.Duration)
+	counts := make(map[int]int)
+	deadline := clock.Now().Add(d.cfg.PingWindow)
+	received := 0
+	for received < expected {
+		remaining := deadline.Sub(clock.Now())
+		if remaining <= 0 {
+			break
+		}
+		payload, _, err := pc.RecvTimeout(remaining)
+		if err != nil {
+			break
+		}
+		ev, err := event.Decode(payload)
+		if err != nil || ev.Type != event.TypePong {
+			continue
+		}
+		pong, err := DecodePong(ev.Payload)
+		if err != nil {
+			continue
+		}
+		s, ok := byID[pong.ID]
+		if !ok {
+			continue
+		}
+		sentAt, ok := s.sent[pong.Seq]
+		if !ok {
+			continue
+		}
+		delete(s.sent, pong.Seq) // one RTT sample per (id, seq)
+		rtt := clock.Now().Sub(sentAt)
+		if rtt < 0 {
+			rtt = 0
+		}
+		sums[s.idx] += rtt
+		counts[s.idx]++
+		received++
+	}
+	for idx, n := range counts {
+		targets[idx].PingCount = n
+		targets[idx].PingRTT = sums[idx] / time.Duration(n)
+	}
+}

@@ -1,0 +1,47 @@
+package core_test
+
+import (
+	"fmt"
+	"time"
+
+	"narada/internal/core"
+	"narada/internal/metrics"
+)
+
+func ExampleShortlist() {
+	mib := uint64(1024 * 1024)
+	candidates := []core.Candidate{
+		{
+			Response: &core.DiscoveryResponse{
+				Broker: core.BrokerInfo{LogicalAddress: "overloaded-near"},
+				Usage: metrics.Usage{TotalMemBytes: 512 * mib,
+					UsedMemBytes: 490 * mib, Links: 45, CPULoad: 0.95},
+			},
+			EstLatency: 5 * time.Millisecond,
+		},
+		{
+			Response: &core.DiscoveryResponse{
+				Broker: core.BrokerInfo{LogicalAddress: "fresh-nearby"},
+				Usage: metrics.Usage{TotalMemBytes: 512 * mib,
+					UsedMemBytes: 40 * mib, Links: 2, CPULoad: 0.05},
+			},
+			EstLatency: 9 * time.Millisecond,
+		},
+	}
+	target := core.Shortlist(candidates, core.DefaultSelectionConfig())
+	fmt.Println(target[0].Response.Broker.LogicalAddress)
+	// Output: fresh-nearby
+}
+
+func ExamplePickByPing() {
+	targets := []core.Candidate{
+		{Response: &core.DiscoveryResponse{Broker: core.BrokerInfo{LogicalAddress: "a"}},
+			PingRTT: 42 * time.Millisecond, PingCount: 3},
+		{Response: &core.DiscoveryResponse{Broker: core.BrokerInfo{LogicalAddress: "b"}},
+			PingRTT: 11 * time.Millisecond, PingCount: 3},
+		{Response: &core.DiscoveryResponse{Broker: core.BrokerInfo{LogicalAddress: "silent"}}},
+	}
+	idx, measured := core.PickByPing(targets)
+	fmt.Println(targets[idx].Response.Broker.LogicalAddress, measured)
+	// Output: b true
+}

@@ -1,0 +1,75 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestDecodersNeverPanic drives every protocol decoder with random garbage:
+// a hostile or corrupted datagram must produce an error, never a panic —
+// brokers decode traffic straight off the wire.
+func TestDecodersNeverPanic(t *testing.T) {
+	rng := rand.New(rand.NewSource(1234))
+	decoders := map[string]func([]byte) error{
+		"advertisement": func(b []byte) error { _, err := DecodeAdvertisement(b); return err },
+		"request":       func(b []byte) error { _, err := DecodeDiscoveryRequest(b); return err },
+		"response":      func(b []byte) error { _, err := DecodeDiscoveryResponse(b); return err },
+		"ack":           func(b []byte) error { _, err := DecodeAck(b); return err },
+		"ping":          func(b []byte) error { _, err := DecodePing(b); return err },
+		"pong":          func(b []byte) error { _, err := DecodePong(b); return err },
+	}
+	for name, decode := range decoders {
+		for trial := 0; trial < 2000; trial++ {
+			n := rng.Intn(256)
+			buf := make([]byte, n)
+			rng.Read(buf)
+			func() {
+				defer func() {
+					if r := recover(); r != nil {
+						t.Fatalf("%s: panic on %d random bytes: %v", name, n, r)
+					}
+				}()
+				_ = decode(buf)
+			}()
+		}
+	}
+}
+
+// TestDecodersRejectBitFlips corrupts valid encodings one byte at a time:
+// every mutation must either decode to *something* structurally valid or
+// error — never panic — and truncations must always error.
+func TestDecodersRejectBitFlips(t *testing.T) {
+	valid := map[string]struct {
+		blob   []byte
+		decode func([]byte) error
+	}{
+		"request": {
+			EncodeDiscoveryRequest(&DiscoveryRequest{Requester: "r", ResponseAddr: "a/b:1",
+				Protocols: []string{"tcp"}, Credentials: []byte("c")}),
+			func(b []byte) error { _, err := DecodeDiscoveryRequest(b); return err },
+		},
+		"response": {
+			EncodeDiscoveryResponse(&DiscoveryResponse{Broker: sampleBrokerInfo()}),
+			func(b []byte) error { _, err := DecodeDiscoveryResponse(b); return err },
+		},
+	}
+	for name, v := range valid {
+		for i := range v.blob {
+			mutated := append([]byte(nil), v.blob...)
+			mutated[i] ^= 0xFF
+			func() {
+				defer func() {
+					if r := recover(); r != nil {
+						t.Fatalf("%s: panic with byte %d flipped: %v", name, i, r)
+					}
+				}()
+				_ = v.decode(mutated)
+			}()
+		}
+		for cut := 0; cut < len(v.blob); cut++ {
+			if err := v.decode(v.blob[:cut]); err == nil {
+				t.Errorf("%s: truncation at %d accepted", name, cut)
+			}
+		}
+	}
+}

@@ -1,0 +1,278 @@
+// Package core implements the paper's primary contribution: the broker
+// discovery scheme for distributed publish/subscribe messaging
+// infrastructures. It defines the protocol messages (broker advertisements,
+// discovery requests/responses, acknowledgements and UDP pings), the
+// response-processing pipeline (latency estimation from NTP timestamps,
+// usage-metric weighting, target-set shortlisting, ping refinement) and the
+// Discoverer — the client engine that drives a complete discovery, with
+// multicast fallback and a cached last-target-set for BDN-less rediscovery.
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"narada/internal/metrics"
+	"narada/internal/uuid"
+	"narada/internal/wire"
+)
+
+// TransportEndpoint describes one way to reach a broker.
+type TransportEndpoint struct {
+	Protocol string // "tcp", "udp"
+	Address  string // transport address peers can dial
+}
+
+// BrokerInfo is the broker process information carried in advertisements and
+// discovery responses: "the hostname/ipaddress of the responding broker, the
+// communication protocols supported and port information associated with each
+// of these supported protocols", plus the NB logical address and, if
+// provided, geographical and institutional information.
+type BrokerInfo struct {
+	LogicalAddress string // NaradaBrokering logical address (unique broker id)
+	Hostname       string
+	Realm          string // network realm (site) the broker lives in
+	Endpoints      []TransportEndpoint
+	Geo            string // optional geographical information
+	Institution    string // optional institutional information
+}
+
+// Endpoint returns the address for the requested protocol ("" when absent).
+func (b *BrokerInfo) Endpoint(protocol string) string {
+	for _, e := range b.Endpoints {
+		if e.Protocol == protocol {
+			return e.Address
+		}
+	}
+	return ""
+}
+
+func (b *BrokerInfo) encode(w *wire.Writer) {
+	w.String(b.LogicalAddress)
+	w.String(b.Hostname)
+	w.String(b.Realm)
+	w.Uvarint(uint64(len(b.Endpoints)))
+	for _, e := range b.Endpoints {
+		w.String(e.Protocol)
+		w.String(e.Address)
+	}
+	w.String(b.Geo)
+	w.String(b.Institution)
+}
+
+func decodeBrokerInfo(r *wire.Reader) BrokerInfo {
+	b := BrokerInfo{
+		LogicalAddress: r.String(),
+		Hostname:       r.String(),
+		Realm:          r.String(),
+	}
+	n := r.Uvarint()
+	if r.Err() != nil || n > wire.MaxListLen {
+		return b
+	}
+	for i := uint64(0); i < n; i++ {
+		b.Endpoints = append(b.Endpoints, TransportEndpoint{
+			Protocol: r.String(),
+			Address:  r.String(),
+		})
+	}
+	b.Geo = r.String()
+	b.Institution = r.String()
+	return b
+}
+
+// Advertisement is a broker's registration with a BDN (paper §2.2): issued
+// directly to configured BDNs and/or published on the public advertisement
+// topic that all BDNs subscribe to.
+type Advertisement struct {
+	Broker   BrokerInfo
+	IssuedAt time.Time // NTP UTC at the broker
+}
+
+// EncodeAdvertisement serialises an advertisement body.
+func EncodeAdvertisement(a *Advertisement) []byte {
+	w := wire.NewWriter(128)
+	a.Broker.encode(w)
+	w.Time(a.IssuedAt)
+	return w.Bytes()
+}
+
+// DecodeAdvertisement parses an advertisement body.
+func DecodeAdvertisement(b []byte) (*Advertisement, error) {
+	r := wire.NewReader(b)
+	a := &Advertisement{Broker: decodeBrokerInfo(r), IssuedAt: r.Time()}
+	if err := r.Finish(); err != nil {
+		return nil, fmt.Errorf("core: advertisement: %w", err)
+	}
+	return a, nil
+}
+
+// DiscoveryRequest signifies that an entity is interested in connecting to
+// the nearest available broker (paper §3). The ResponseAddr is the UDP
+// endpoint brokers send their responses to.
+type DiscoveryRequest struct {
+	ID           uuid.UUID // unique request identity (idempotency, correlation)
+	Requester    string    // hostname / logical name of the requesting node
+	Realm        string    // network realm of the requester
+	ResponseAddr string    // UDP address for discovery responses
+	Protocols    []string  // transport protocols the requester can speak
+	Credentials  []byte    // optional credentials for authorized access
+	IssuedAt     time.Time // NTP UTC at the requester
+	Hops         uint8     // dissemination hop count (diagnostics)
+}
+
+// EncodeDiscoveryRequest serialises a request body.
+func EncodeDiscoveryRequest(q *DiscoveryRequest) []byte {
+	w := wire.NewWriter(128)
+	w.Bytes16([16]byte(q.ID))
+	w.String(q.Requester)
+	w.String(q.Realm)
+	w.String(q.ResponseAddr)
+	w.StringList(q.Protocols)
+	w.BytesField(q.Credentials)
+	w.Time(q.IssuedAt)
+	w.Byte(q.Hops)
+	return w.Bytes()
+}
+
+// DecodeDiscoveryRequest parses a request body.
+func DecodeDiscoveryRequest(b []byte) (*DiscoveryRequest, error) {
+	r := wire.NewReader(b)
+	q := &DiscoveryRequest{
+		ID:           uuid.UUID(r.Bytes16()),
+		Requester:    r.String(),
+		Realm:        r.String(),
+		ResponseAddr: r.String(),
+		Protocols:    r.StringList(),
+		Credentials:  r.BytesField(),
+		IssuedAt:     r.Time(),
+		Hops:         r.Byte(),
+	}
+	if err := r.Finish(); err != nil {
+		return nil, fmt.Errorf("core: discovery request: %w", err)
+	}
+	return q, nil
+}
+
+// DiscoveryResponse is a broker's answer (paper §5.1): the request UUID, the
+// broker's NTP timestamp (for latency estimation), the broker process
+// information (for connecting) and the usage metrics (for load-aware
+// selection). It travels over UDP.
+type DiscoveryResponse struct {
+	RequestID uuid.UUID
+	Timestamp time.Time // NTP UTC at the responding broker
+	Broker    BrokerInfo
+	Usage     metrics.Usage
+}
+
+// EncodeDiscoveryResponse serialises a response body.
+func EncodeDiscoveryResponse(p *DiscoveryResponse) []byte {
+	w := wire.NewWriter(160)
+	w.Bytes16([16]byte(p.RequestID))
+	w.Time(p.Timestamp)
+	p.Broker.encode(w)
+	p.Usage.Encode(w)
+	return w.Bytes()
+}
+
+// DecodeDiscoveryResponse parses a response body.
+func DecodeDiscoveryResponse(b []byte) (*DiscoveryResponse, error) {
+	r := wire.NewReader(b)
+	p := &DiscoveryResponse{
+		RequestID: uuid.UUID(r.Bytes16()),
+		Timestamp: r.Time(),
+		Broker:    decodeBrokerInfo(r),
+		Usage:     metrics.DecodeUsage(r),
+	}
+	if err := r.Finish(); err != nil {
+		return nil, fmt.Errorf("core: discovery response: %w", err)
+	}
+	return p, nil
+}
+
+// Ack is the BDN's timely acknowledgement of a discovery request (paper §3);
+// absence of an Ack drives the requester's retransmission.
+type Ack struct {
+	RequestID uuid.UUID
+	BDN       string // acknowledging BDN's name
+}
+
+// EncodeAck serialises an acknowledgement body.
+func EncodeAck(a *Ack) []byte {
+	w := wire.NewWriter(32)
+	w.Bytes16([16]byte(a.RequestID))
+	w.String(a.BDN)
+	return w.Bytes()
+}
+
+// DecodeAck parses an acknowledgement body.
+func DecodeAck(b []byte) (*Ack, error) {
+	r := wire.NewReader(b)
+	a := &Ack{RequestID: uuid.UUID(r.Bytes16()), BDN: r.String()}
+	if err := r.Finish(); err != nil {
+		return nil, fmt.Errorf("core: ack: %w", err)
+	}
+	return a, nil
+}
+
+// Ping is the UDP probe used to measure precise network delay to target-set
+// brokers (paper §6): "This ping request contains the timestamp at the
+// requesting node at the instant the ping request is sent."
+type Ping struct {
+	ID     uuid.UUID
+	SentAt time.Time // requester's local clock, echoed back verbatim
+	Seq    uint32    // sequence within a multi-ping RTT average
+}
+
+// EncodePing serialises a ping body.
+func EncodePing(p *Ping) []byte {
+	w := wire.NewWriter(40)
+	w.Bytes16([16]byte(p.ID))
+	w.Time(p.SentAt)
+	w.Uvarint(uint64(p.Seq))
+	return w.Bytes()
+}
+
+// DecodePing parses a ping body.
+func DecodePing(b []byte) (*Ping, error) {
+	r := wire.NewReader(b)
+	p := &Ping{ID: uuid.UUID(r.Bytes16()), SentAt: r.Time(), Seq: uint32(r.Uvarint())}
+	if err := r.Finish(); err != nil {
+		return nil, fmt.Errorf("core: ping: %w", err)
+	}
+	return p, nil
+}
+
+// Pong echoes a Ping; the requester computes RTT by subtracting the echoed
+// timestamp from its local clock, so no clock agreement is needed.
+type Pong struct {
+	ID        uuid.UUID
+	EchoSent  time.Time // Ping.SentAt echoed verbatim
+	Seq       uint32
+	Responder string // broker logical address
+}
+
+// EncodePong serialises a pong body.
+func EncodePong(p *Pong) []byte {
+	w := wire.NewWriter(48)
+	w.Bytes16([16]byte(p.ID))
+	w.Time(p.EchoSent)
+	w.Uvarint(uint64(p.Seq))
+	w.String(p.Responder)
+	return w.Bytes()
+}
+
+// DecodePong parses a pong body.
+func DecodePong(b []byte) (*Pong, error) {
+	r := wire.NewReader(b)
+	p := &Pong{
+		ID:        uuid.UUID(r.Bytes16()),
+		EchoSent:  r.Time(),
+		Seq:       uint32(r.Uvarint()),
+		Responder: r.String(),
+	}
+	if err := r.Finish(); err != nil {
+		return nil, fmt.Errorf("core: pong: %w", err)
+	}
+	return p, nil
+}

@@ -1,0 +1,49 @@
+package core
+
+import "crypto/subtle"
+
+// ResponsePolicy is a broker's (or private BDN's) gate on discovery requests:
+// "A broker's response policy may predicate responses based on the
+// presentation of appropriate credentials. Furthermore the policy may also
+// dictate that responses be issued only if the request originated from within
+// a set of pre-defined network realms."
+type ResponsePolicy struct {
+	// RequiredCredential, when non-empty, must match the request's
+	// credential bytes exactly (shared-secret scheme; the security package
+	// provides the stronger signed/encrypted variant).
+	RequiredCredential []byte
+	// AllowedRealms, when non-empty, whitelists requester realms.
+	AllowedRealms []string
+	// Verifier, when set, overrides RequiredCredential with an arbitrary
+	// credential check (e.g. X.509 chain validation).
+	Verifier func(credentials []byte) bool
+}
+
+// OpenPolicy responds to everyone.
+var OpenPolicy = ResponsePolicy{}
+
+// Permits reports whether a request satisfies the policy.
+func (p *ResponsePolicy) Permits(q *DiscoveryRequest) bool {
+	if len(p.AllowedRealms) > 0 {
+		ok := false
+		for _, r := range p.AllowedRealms {
+			if r == q.Realm {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			return false
+		}
+	}
+	if p.Verifier != nil {
+		return p.Verifier(q.Credentials)
+	}
+	if len(p.RequiredCredential) > 0 {
+		if len(q.Credentials) != len(p.RequiredCredential) {
+			return false
+		}
+		return subtle.ConstantTimeCompare(q.Credentials, p.RequiredCredential) == 1
+	}
+	return true
+}

@@ -1,0 +1,83 @@
+package core
+
+import (
+	"testing"
+
+	"narada/internal/uuid"
+)
+
+func req(realm string, creds []byte) *DiscoveryRequest {
+	return &DiscoveryRequest{ID: uuid.New(), Requester: "n", Realm: realm, Credentials: creds}
+}
+
+func TestOpenPolicyPermitsEveryone(t *testing.T) {
+	p := OpenPolicy
+	if !p.Permits(req("anywhere", nil)) {
+		t.Fatal("open policy denied a request")
+	}
+}
+
+func TestCredentialPolicy(t *testing.T) {
+	p := ResponsePolicy{RequiredCredential: []byte("sesame")}
+	if p.Permits(req("x", nil)) {
+		t.Fatal("missing credential permitted")
+	}
+	if p.Permits(req("x", []byte("wrong!"))) {
+		t.Fatal("wrong credential permitted")
+	}
+	if p.Permits(req("x", []byte("sesam"))) {
+		t.Fatal("short credential permitted")
+	}
+	if !p.Permits(req("x", []byte("sesame"))) {
+		t.Fatal("correct credential denied")
+	}
+}
+
+func TestRealmPolicy(t *testing.T) {
+	p := ResponsePolicy{AllowedRealms: []string{"indiana", "umn"}}
+	if !p.Permits(req("indiana", nil)) || !p.Permits(req("umn", nil)) {
+		t.Fatal("allowed realm denied")
+	}
+	if p.Permits(req("cardiff", nil)) {
+		t.Fatal("disallowed realm permitted")
+	}
+	if p.Permits(req("", nil)) {
+		t.Fatal("empty realm permitted with realm whitelist")
+	}
+}
+
+func TestRealmAndCredentialCombined(t *testing.T) {
+	p := ResponsePolicy{
+		AllowedRealms:      []string{"indiana"},
+		RequiredCredential: []byte("k"),
+	}
+	if p.Permits(req("indiana", nil)) {
+		t.Fatal("realm ok but missing credential permitted")
+	}
+	if p.Permits(req("cardiff", []byte("k"))) {
+		t.Fatal("credential ok but wrong realm permitted")
+	}
+	if !p.Permits(req("indiana", []byte("k"))) {
+		t.Fatal("fully valid request denied")
+	}
+}
+
+func TestVerifierOverridesCredential(t *testing.T) {
+	called := false
+	p := ResponsePolicy{
+		RequiredCredential: []byte("ignored"),
+		Verifier: func(c []byte) bool {
+			called = true
+			return len(c) == 3
+		},
+	}
+	if !p.Permits(req("x", []byte("abc"))) {
+		t.Fatal("verifier-approved request denied")
+	}
+	if !called {
+		t.Fatal("verifier not invoked")
+	}
+	if p.Permits(req("x", []byte("toolong"))) {
+		t.Fatal("verifier-rejected request permitted")
+	}
+}

@@ -1,0 +1,112 @@
+package core
+
+import (
+	"sort"
+	"time"
+
+	"narada/internal/metrics"
+)
+
+// Candidate pairs a broker's discovery response with the requester-side
+// measurements derived from it.
+type Candidate struct {
+	Response   *DiscoveryResponse
+	ReceivedAt time.Time     // requester NTP UTC when the response arrived
+	EstLatency time.Duration // one-way estimate: ReceivedAt - Response.Timestamp
+	Score      float64       // combined usage/latency selection weight
+
+	// Ping-refinement results (populated during the ping phase).
+	PingRTT   time.Duration // average measured round-trip time
+	PingCount int           // pongs received
+}
+
+// SelectionConfig parameterises shortlisting.
+type SelectionConfig struct {
+	// Weights are the usage-metric weighting factors (paper §9 pseudocode).
+	Weights metrics.Weights
+	// LatencyPenaltyPerMs is subtracted from the score per millisecond of
+	// estimated one-way latency, folding "computed delays" into the ranking
+	// alongside usage metrics. Zero disables latency-aware shortlisting.
+	LatencyPenaltyPerMs float64
+	// TargetSetSize is |T|, the number of brokers kept for ping refinement;
+	// "usually the broker target set is limited to a very small number,
+	// between 5 and 20" — the paper's typical value is 10.
+	TargetSetSize int
+}
+
+// DefaultTargetSetSize is the paper's typical target-set size.
+const DefaultTargetSetSize = 10
+
+// DefaultLatencyPenaltyPerMs makes 10 ms of estimated latency cost as much
+// as one active link in the default weighting.
+const DefaultLatencyPenaltyPerMs = 0.05
+
+// DefaultSelectionConfig returns the paper-typical selection parameters.
+func DefaultSelectionConfig() SelectionConfig {
+	return SelectionConfig{
+		Weights:             metrics.DefaultWeights(),
+		LatencyPenaltyPerMs: DefaultLatencyPenaltyPerMs,
+		TargetSetSize:       DefaultTargetSetSize,
+	}
+}
+
+// ScoreCandidate computes the combined selection weight for one response.
+func (cfg SelectionConfig) ScoreCandidate(c *Candidate) float64 {
+	score := cfg.Weights.Score(c.Response.Usage)
+	score -= cfg.LatencyPenaltyPerMs * float64(c.EstLatency) / float64(time.Millisecond)
+	return score
+}
+
+// Shortlist scores, sorts (best first) and truncates the candidates to the
+// target set T with size(T) <= size(N). The input slice is not modified.
+func Shortlist(cands []Candidate, cfg SelectionConfig) []Candidate {
+	if cfg.TargetSetSize <= 0 {
+		cfg.TargetSetSize = DefaultTargetSetSize
+	}
+	out := append([]Candidate(nil), cands...)
+	for i := range out {
+		out[i].Score = cfg.ScoreCandidate(&out[i])
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Score > out[j].Score })
+	if len(out) > cfg.TargetSetSize {
+		out = out[:cfg.TargetSetSize]
+	}
+	return out
+}
+
+// PickByPing returns the index of the target with the lowest measured average
+// ping RTT ("The requesting node decides on the target node based on the
+// lowest delay associated with the ping requests"). Targets that produced no
+// pong are skipped — their loss "provides a good indicator of the underlying
+// response". When no target ponged at all, the best-scored candidate wins
+// (ok == false flags the degraded decision).
+func PickByPing(targets []Candidate) (idx int, ok bool) {
+	best := -1
+	for i := range targets {
+		if targets[i].PingCount == 0 {
+			continue
+		}
+		if best < 0 || targets[i].PingRTT < targets[best].PingRTT {
+			best = i
+		}
+	}
+	if best >= 0 {
+		return best, true
+	}
+	if len(targets) > 0 {
+		return 0, false // Shortlist already ordered by score
+	}
+	return -1, false
+}
+
+// EstimateLatency computes the one-way latency estimate for a response
+// received at the given requester UTC instant. Clock residuals can push the
+// difference negative; it is clamped at zero ("a very good estimate", not an
+// exact one).
+func EstimateLatency(respTimestamp, receivedAtUTC time.Time) time.Duration {
+	d := receivedAtUTC.Sub(respTimestamp)
+	if d < 0 {
+		d = 0
+	}
+	return d
+}

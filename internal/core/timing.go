@@ -1,0 +1,101 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+	"time"
+)
+
+// Phase identifies one sub-activity of the discovery process; the paper's
+// Figures 2, 9 and 11 report the percentage of total time spent in each.
+type Phase int
+
+// Discovery sub-activities, in execution order.
+const (
+	PhaseRequestIssue  Phase = iota // issue request to BDN / multicast, await ack
+	PhaseWaitResponses              // wait for the initial set of responses
+	PhaseShortlist                  // latency estimation, weighting, target set
+	PhasePing                       // UDP ping refinement of the target set
+	PhaseDecide                     // final selection
+	phaseCount
+)
+
+var phaseNames = [...]string{
+	"request-issue",
+	"wait-initial-responses",
+	"shortlist",
+	"ping-measurement",
+	"decide",
+}
+
+// String implements fmt.Stringer.
+func (p Phase) String() string {
+	if p < 0 || int(p) >= len(phaseNames) {
+		return fmt.Sprintf("phase(%d)", int(p))
+	}
+	return phaseNames[p]
+}
+
+// Phases lists all phases in order.
+func Phases() []Phase {
+	out := make([]Phase, phaseCount)
+	for i := range out {
+		out[i] = Phase(i)
+	}
+	return out
+}
+
+// Breakdown records the duration of each discovery sub-activity.
+type Breakdown struct {
+	durations [phaseCount]time.Duration
+}
+
+// Set records a phase duration.
+func (b *Breakdown) Set(p Phase, d time.Duration) {
+	if p >= 0 && p < phaseCount {
+		b.durations[p] = d
+	}
+}
+
+// Get returns a phase duration.
+func (b *Breakdown) Get(p Phase) time.Duration {
+	if p < 0 || p >= phaseCount {
+		return 0
+	}
+	return b.durations[p]
+}
+
+// Total returns the sum over all phases.
+func (b *Breakdown) Total() time.Duration {
+	var t time.Duration
+	for _, d := range b.durations {
+		t += d
+	}
+	return t
+}
+
+// Percent returns the share of total time spent in a phase, in [0, 100].
+func (b *Breakdown) Percent(p Phase) float64 {
+	total := b.Total()
+	if total == 0 {
+		return 0
+	}
+	return 100 * float64(b.Get(p)) / float64(total)
+}
+
+// Add accumulates another breakdown (used when averaging over runs).
+func (b *Breakdown) Add(o *Breakdown) {
+	for i := range b.durations {
+		b.durations[i] += o.durations[i]
+	}
+}
+
+// String renders the per-phase durations and percentages.
+func (b *Breakdown) String() string {
+	var sb strings.Builder
+	for _, p := range Phases() {
+		fmt.Fprintf(&sb, "%-24s %12v %6.2f%%\n", p, b.Get(p), b.Percent(p))
+	}
+	fmt.Fprintf(&sb, "%-24s %12v", "total", b.Total())
+	return sb.String()
+}

@@ -1,0 +1,94 @@
+package core
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestBreakdownTotalsAndPercents(t *testing.T) {
+	var b Breakdown
+	b.Set(PhaseRequestIssue, 100*time.Millisecond)
+	b.Set(PhaseWaitResponses, 800*time.Millisecond)
+	b.Set(PhaseShortlist, 10*time.Millisecond)
+	b.Set(PhasePing, 80*time.Millisecond)
+	b.Set(PhaseDecide, 10*time.Millisecond)
+
+	if b.Total() != time.Second {
+		t.Fatalf("Total = %v", b.Total())
+	}
+	if got := b.Percent(PhaseWaitResponses); math.Abs(got-80) > 1e-9 {
+		t.Fatalf("wait percent = %v, want 80", got)
+	}
+	sum := 0.0
+	for _, p := range Phases() {
+		sum += b.Percent(p)
+	}
+	if math.Abs(sum-100) > 1e-9 {
+		t.Fatalf("percentages sum to %v", sum)
+	}
+}
+
+func TestBreakdownEmpty(t *testing.T) {
+	var b Breakdown
+	if b.Total() != 0 {
+		t.Fatal("empty breakdown has nonzero total")
+	}
+	if b.Percent(PhasePing) != 0 {
+		t.Fatal("empty breakdown has nonzero percent")
+	}
+}
+
+func TestBreakdownAdd(t *testing.T) {
+	var a, b Breakdown
+	a.Set(PhasePing, 10*time.Millisecond)
+	b.Set(PhasePing, 5*time.Millisecond)
+	b.Set(PhaseDecide, 1*time.Millisecond)
+	a.Add(&b)
+	if a.Get(PhasePing) != 15*time.Millisecond || a.Get(PhaseDecide) != time.Millisecond {
+		t.Fatalf("Add wrong: %v", a)
+	}
+}
+
+func TestBreakdownOutOfRange(t *testing.T) {
+	var b Breakdown
+	b.Set(Phase(-1), time.Second)
+	b.Set(Phase(99), time.Second)
+	if b.Total() != 0 {
+		t.Fatal("out-of-range Set mutated the breakdown")
+	}
+	if b.Get(Phase(-1)) != 0 || b.Get(Phase(99)) != 0 {
+		t.Fatal("out-of-range Get nonzero")
+	}
+}
+
+func TestPhaseString(t *testing.T) {
+	if PhaseWaitResponses.String() != "wait-initial-responses" {
+		t.Fatalf("String = %q", PhaseWaitResponses.String())
+	}
+	if !strings.Contains(Phase(42).String(), "42") {
+		t.Fatalf("unknown phase String = %q", Phase(42).String())
+	}
+}
+
+func TestBreakdownString(t *testing.T) {
+	var b Breakdown
+	b.Set(PhaseWaitResponses, time.Second)
+	s := b.String()
+	if !strings.Contains(s, "wait-initial-responses") || !strings.Contains(s, "total") {
+		t.Fatalf("String missing content:\n%s", s)
+	}
+}
+
+func TestPhasesOrdered(t *testing.T) {
+	ps := Phases()
+	if len(ps) != int(phaseCount) {
+		t.Fatalf("Phases len = %d", len(ps))
+	}
+	for i, p := range ps {
+		if int(p) != i {
+			t.Fatalf("phase %d out of order", i)
+		}
+	}
+}

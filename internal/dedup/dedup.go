@@ -1,0 +1,104 @@
+// Package dedup implements the per-broker duplicate-suppression cache the
+// paper mandates: "Every broker keeps track of the last 1000 (this number can
+// be configured through the broker configuration file) broker discovery
+// requests so that additional CPU/network cycles are not expended on
+// previously processed requests."
+//
+// The cache is a fixed-capacity FIFO set: insertion order decides eviction
+// (the *last N seen*, exactly as specified), lookups are O(1), and the whole
+// structure is safe for concurrent use by the broker's transport goroutines.
+package dedup
+
+import (
+	"sync"
+
+	"narada/internal/uuid"
+)
+
+// DefaultCapacity mirrors the paper's default of 1000 remembered requests.
+const DefaultCapacity = 1000
+
+// Cache remembers the most recent Capacity UUIDs it has seen.
+type Cache struct {
+	mu    sync.Mutex
+	cap   int
+	set   map[uuid.UUID]struct{}
+	order []uuid.UUID // ring buffer of insertion order
+	head  int         // next slot to overwrite once full
+	full  bool
+	hits  uint64
+	adds  uint64
+}
+
+// New returns a Cache remembering the last capacity UUIDs.
+// capacity <= 0 falls back to DefaultCapacity.
+func New(capacity int) *Cache {
+	if capacity <= 0 {
+		capacity = DefaultCapacity
+	}
+	return &Cache{
+		cap:   capacity,
+		set:   make(map[uuid.UUID]struct{}, capacity),
+		order: make([]uuid.UUID, capacity),
+	}
+}
+
+// Seen records id and reports whether it had already been seen (and is still
+// within the last-capacity window). A true return means "duplicate: skip it".
+func (c *Cache) Seen(id uuid.UUID) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, dup := c.set[id]; dup {
+		c.hits++
+		return true
+	}
+	if c.full {
+		delete(c.set, c.order[c.head])
+	}
+	c.order[c.head] = id
+	c.set[id] = struct{}{}
+	c.head++
+	if c.head == c.cap {
+		c.head = 0
+		c.full = true
+	}
+	c.adds++
+	return false
+}
+
+// Contains reports whether id is currently remembered, without recording it.
+func (c *Cache) Contains(id uuid.UUID) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	_, ok := c.set[id]
+	return ok
+}
+
+// Len returns the number of UUIDs currently remembered.
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.set)
+}
+
+// Capacity returns the configured window size.
+func (c *Cache) Capacity() int { return c.cap }
+
+// Stats returns the number of duplicate hits and total distinct insertions,
+// used by the broker's usage metrics.
+func (c *Cache) Stats() (hits, adds uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.adds
+}
+
+// Reset forgets everything.
+func (c *Cache) Reset() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.set = make(map[uuid.UUID]struct{}, c.cap)
+	c.head = 0
+	c.full = false
+	c.hits = 0
+	c.adds = 0
+}

@@ -1,0 +1,175 @@
+package dedup
+
+import (
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"narada/internal/uuid"
+)
+
+func TestSeenFirstTimeFalse(t *testing.T) {
+	c := New(10)
+	id := uuid.New()
+	if c.Seen(id) {
+		t.Fatal("first Seen returned true")
+	}
+	if !c.Seen(id) {
+		t.Fatal("second Seen returned false")
+	}
+}
+
+func TestDefaultCapacity(t *testing.T) {
+	if New(0).Capacity() != DefaultCapacity {
+		t.Fatalf("capacity = %d, want %d", New(0).Capacity(), DefaultCapacity)
+	}
+	if New(-5).Capacity() != DefaultCapacity {
+		t.Fatal("negative capacity not defaulted")
+	}
+}
+
+func TestEvictionKeepsLastN(t *testing.T) {
+	const capacity = 100
+	c := New(capacity)
+	ids := make([]uuid.UUID, 250)
+	for i := range ids {
+		ids[i] = uuid.New()
+		c.Seen(ids[i])
+	}
+	// The last `capacity` ids must still be remembered…
+	for _, id := range ids[len(ids)-capacity:] {
+		if !c.Contains(id) {
+			t.Fatalf("recently seen id evicted early")
+		}
+	}
+	// …and everything older must be gone.
+	for _, id := range ids[:len(ids)-capacity] {
+		if c.Contains(id) {
+			t.Fatalf("stale id survived eviction")
+		}
+	}
+	if c.Len() != capacity {
+		t.Fatalf("Len = %d, want %d", c.Len(), capacity)
+	}
+}
+
+func TestDuplicateDoesNotEvict(t *testing.T) {
+	c := New(3)
+	a, b, d := uuid.New(), uuid.New(), uuid.New()
+	c.Seen(a)
+	c.Seen(b)
+	c.Seen(d)
+	// Re-seeing existing ids must not push anything out.
+	for i := 0; i < 10; i++ {
+		c.Seen(a)
+		c.Seen(b)
+	}
+	if !c.Contains(d) {
+		t.Fatal("duplicate insertions evicted a live entry")
+	}
+}
+
+func TestStats(t *testing.T) {
+	c := New(4)
+	id := uuid.New()
+	c.Seen(id)
+	c.Seen(id)
+	c.Seen(uuid.New())
+	hits, adds := c.Stats()
+	if hits != 1 || adds != 2 {
+		t.Fatalf("Stats = (%d, %d), want (1, 2)", hits, adds)
+	}
+}
+
+func TestReset(t *testing.T) {
+	c := New(4)
+	id := uuid.New()
+	c.Seen(id)
+	c.Reset()
+	if c.Contains(id) || c.Len() != 0 {
+		t.Fatal("Reset did not clear the cache")
+	}
+	hits, adds := c.Stats()
+	if hits != 0 || adds != 0 {
+		t.Fatal("Reset did not clear stats")
+	}
+}
+
+func TestLenNeverExceedsCapacity(t *testing.T) {
+	f := func(seed [8][16]byte, capacity uint8) bool {
+		capN := int(capacity%16) + 1
+		c := New(capN)
+		for _, b := range seed {
+			c.Seen(uuid.UUID(b))
+		}
+		return c.Len() <= capN
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConcurrentAccess(t *testing.T) {
+	c := New(64)
+	var wg sync.WaitGroup
+	shared := uuid.New()
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				c.Seen(uuid.New())
+				c.Seen(shared)
+				c.Contains(shared)
+			}
+		}()
+	}
+	wg.Wait()
+	if c.Len() > 64 {
+		t.Fatalf("Len = %d exceeds capacity after concurrent use", c.Len())
+	}
+}
+
+func TestExactlyOneFirstSeenUnderConcurrency(t *testing.T) {
+	// The broker relies on Seen returning false exactly once per UUID so a
+	// request is processed exactly once no matter how many links deliver it.
+	c := New(1024)
+	id := uuid.New()
+	const goroutines = 16
+	results := make(chan bool, goroutines)
+	var start, wg sync.WaitGroup
+	start.Add(1)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			start.Wait()
+			results <- c.Seen(id)
+		}()
+	}
+	start.Done()
+	wg.Wait()
+	close(results)
+	fresh := 0
+	for dup := range results {
+		if !dup {
+			fresh++
+		}
+	}
+	if fresh != 1 {
+		t.Fatalf("%d goroutines saw the id as fresh, want exactly 1", fresh)
+	}
+}
+
+func BenchmarkSeen(b *testing.B) {
+	c := New(1000)
+	ids := make([]uuid.UUID, 4096)
+	for i := range ids {
+		ids[i] = uuid.New()
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Seen(ids[i%len(ids)])
+	}
+}

@@ -1,0 +1,166 @@
+// Package event defines the NaradaBrokering event: the unit of information
+// flow through the substrate. Events carry expressive power at multiple
+// levels (transport, protocol, service, application); here that manifests as
+// a typed envelope with routing metadata (topic, source, TTL), an NTP
+// timestamp, free-form headers and an opaque payload whose interpretation is
+// fixed by the event type (publish bodies, discovery requests/responses,
+// advertisements, pings…).
+package event
+
+import (
+	"fmt"
+	"time"
+
+	"narada/internal/uuid"
+	"narada/internal/wire"
+)
+
+// Type discriminates event payloads.
+type Type uint8
+
+// Event types used by the substrate and the discovery protocol.
+const (
+	TypeInvalid           Type = iota
+	TypePublish                // application data on a topic
+	TypeSubscribe              // subscription registration (client -> broker)
+	TypeUnsubscribe            // subscription removal
+	TypeAdvertisement          // BrokerAdvertisement body (broker -> BDN / topic)
+	TypeDiscoveryRequest       // BrokerDiscoveryRequest body
+	TypeDiscoveryResponse      // BrokerDiscoveryResponse body (UDP to requester)
+	TypeDiscoveryAck           // BDN acknowledgement of a discovery request
+	TypePing                   // UDP ping carrying the sender's timestamp
+	TypePong                   // UDP ping reply echoing the request timestamp
+	TypeLinkHello              // broker-to-broker link establishment
+	TypeLinkHeartbeat          // broker link keepalive
+	TypeControl                // substrate control messages
+	typeMax
+)
+
+var typeNames = map[Type]string{
+	TypePublish:           "publish",
+	TypeSubscribe:         "subscribe",
+	TypeUnsubscribe:       "unsubscribe",
+	TypeAdvertisement:     "advertisement",
+	TypeDiscoveryRequest:  "discovery-request",
+	TypeDiscoveryResponse: "discovery-response",
+	TypeDiscoveryAck:      "discovery-ack",
+	TypePing:              "ping",
+	TypePong:              "pong",
+	TypeLinkHello:         "link-hello",
+	TypeLinkHeartbeat:     "link-heartbeat",
+	TypeControl:           "control",
+}
+
+// String implements fmt.Stringer.
+func (t Type) String() string {
+	if s, ok := typeNames[t]; ok {
+		return s
+	}
+	return fmt.Sprintf("event.Type(%d)", uint8(t))
+}
+
+// Valid reports whether t is a defined event type.
+func (t Type) Valid() bool { return t > TypeInvalid && t < typeMax }
+
+// DefaultTTL is the hop budget for events disseminated through the broker
+// network; generous enough for any of the paper's topologies (a five-broker
+// chain needs 5) with headroom for larger deployments.
+const DefaultTTL = 32
+
+// Event is the envelope routed through the substrate.
+type Event struct {
+	Type      Type
+	ID        uuid.UUID         // event identity (dedup, correlation)
+	Topic     string            // '/'-separated routing topic; may be empty
+	Source    string            // logical address of the originating entity
+	Timestamp time.Time         // NTP UTC at creation
+	TTL       uint8             // remaining hop budget
+	Headers   map[string]string // free-form metadata
+	Payload   []byte            // type-specific body
+}
+
+// New creates an event of the given type with a fresh ID and default TTL.
+func New(t Type, topic string, payload []byte) *Event {
+	return &Event{
+		Type:    t,
+		ID:      uuid.New(),
+		Topic:   topic,
+		TTL:     DefaultTTL,
+		Payload: payload,
+	}
+}
+
+// Header returns a header value ("" when absent).
+func (e *Event) Header(k string) string { return e.Headers[k] }
+
+// SetHeader sets a header value, allocating the map on first use.
+func (e *Event) SetHeader(k, v string) {
+	if e.Headers == nil {
+		e.Headers = make(map[string]string, 4)
+	}
+	e.Headers[k] = v
+}
+
+// Clone returns a deep copy (used when fanning an event out over links).
+func (e *Event) Clone() *Event {
+	c := *e
+	if e.Headers != nil {
+		c.Headers = make(map[string]string, len(e.Headers))
+		for k, v := range e.Headers {
+			c.Headers[k] = v
+		}
+	}
+	if e.Payload != nil {
+		c.Payload = append([]byte(nil), e.Payload...)
+	}
+	return &c
+}
+
+// Codec framing constants.
+const (
+	magic   byte = 0xB7 // "NaradaBrokering" frame marker
+	version byte = 1
+)
+
+// Encode serialises the event with the wire codec.
+func Encode(e *Event) []byte {
+	w := wire.NewWriter(64 + len(e.Topic) + len(e.Payload))
+	w.Byte(magic)
+	w.Byte(version)
+	w.Byte(byte(e.Type))
+	w.Bytes16([16]byte(e.ID))
+	w.String(e.Topic)
+	w.String(e.Source)
+	w.Time(e.Timestamp)
+	w.Byte(e.TTL)
+	w.StringMap(e.Headers)
+	w.BytesField(e.Payload)
+	return w.Bytes()
+}
+
+// Decode parses an encoded event, validating framing and type.
+func Decode(b []byte) (*Event, error) {
+	r := wire.NewReader(b)
+	if m := r.Byte(); r.Err() == nil && m != magic {
+		return nil, fmt.Errorf("event: bad magic 0x%02x", m)
+	}
+	if v := r.Byte(); r.Err() == nil && v != version {
+		return nil, fmt.Errorf("event: unsupported version %d", v)
+	}
+	e := &Event{}
+	e.Type = Type(r.Byte())
+	e.ID = uuid.UUID(r.Bytes16())
+	e.Topic = r.String()
+	e.Source = r.String()
+	e.Timestamp = r.Time()
+	e.TTL = r.Byte()
+	e.Headers = r.StringMap()
+	e.Payload = r.BytesField()
+	if err := r.Finish(); err != nil {
+		return nil, fmt.Errorf("event: %w", err)
+	}
+	if !e.Type.Valid() {
+		return nil, fmt.Errorf("event: invalid type %d", e.Type)
+	}
+	return e, nil
+}

@@ -1,0 +1,39 @@
+package event
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestDecodeNeverPanics: brokers decode frames straight off the wire, so the
+// event decoder must survive arbitrary input with an error, never a panic.
+func TestDecodeNeverPanics(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	for trial := 0; trial < 5000; trial++ {
+		n := rng.Intn(512)
+		buf := make([]byte, n)
+		rng.Read(buf)
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("panic on %d random bytes: %v", n, r)
+				}
+			}()
+			_, _ = Decode(buf)
+		}()
+	}
+	// Bit flips over a valid frame.
+	blob := Encode(sampleEvent())
+	for i := range blob {
+		mutated := append([]byte(nil), blob...)
+		mutated[i] ^= 0xFF
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("panic with byte %d flipped: %v", i, r)
+				}
+			}()
+			_, _ = Decode(mutated)
+		}()
+	}
+}

@@ -1,0 +1,261 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"narada/internal/core"
+	"narada/internal/simnet"
+	"narada/internal/topology"
+)
+
+// quickOpts keeps test runtime modest while leaving enough samples for the
+// shape assertions to be stable.
+func quickOpts(seed int64) Options {
+	return Options{Runs: 12, Keep: 10, Scale: 200, Seed: seed}
+}
+
+func TestRegistryComplete(t *testing.T) {
+	// Every experiment from DESIGN.md's index must be registered.
+	want := []string{
+		"table1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig9",
+		"fig11", "fig12", "fig13", "fig14",
+		"abl-timeout", "abl-maxresp", "abl-target", "abl-weights",
+		"abl-loss", "abl-inject", "abl-scale", "abl-pings", "abl-failover",
+		"abl-routing",
+	}
+	for _, id := range want {
+		if _, ok := Registry[id]; !ok {
+			t.Errorf("experiment %q not registered", id)
+		}
+	}
+	if len(Registry) != len(want) {
+		t.Errorf("registry has %d entries, want %d", len(Registry), len(want))
+	}
+}
+
+func TestIDsOrdering(t *testing.T) {
+	ids := IDs()
+	if len(ids) != len(Registry) {
+		t.Fatalf("IDs() returned %d, registry has %d", len(ids), len(Registry))
+	}
+	sawAblation := false
+	for _, id := range ids {
+		if strings.HasPrefix(id, "abl-") {
+			sawAblation = true
+		} else if sawAblation {
+			t.Fatalf("figure %q listed after ablations", id)
+		}
+	}
+}
+
+func TestRunUnknownID(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Run("fig99", quickOpts(1), &buf); err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+}
+
+func TestTable1Report(t *testing.T) {
+	r := Table1Report(quickOpts(1))
+	if !strings.Contains(r.Body, "complexity.ucs.indiana.edu") ||
+		!strings.Contains(r.Body, "bouscat.cs.cf.ac.uk") {
+		t.Fatalf("Table 1 machines missing:\n%s", r.Body)
+	}
+	if !strings.Contains(r.Body, "RTT matrix") {
+		t.Fatal("RTT matrix missing")
+	}
+}
+
+// TestBreakdownShape is the core reproduction assertion for Figures 2/9/11:
+// the wait-for-initial-responses phase dominates everywhere, the unconnected
+// topology spends the most absolute time waiting, the star the least, the
+// linear chain in between.
+func TestBreakdownShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-topology sweep")
+	}
+	results := map[string]*BreakdownResult{}
+	for _, topo := range []string{topology.Unconnected, topology.Star, topology.Linear} {
+		r, err := RunBreakdown(topo, quickOpts(3))
+		if err != nil {
+			t.Fatal(err)
+		}
+		results[topo] = r
+		if pct := r.Mean.Percent(core.PhaseWaitResponses); pct < 40 {
+			t.Errorf("%s: wait share %.1f%%, expected the dominant phase", topo, pct)
+		}
+	}
+	waitOf := func(topo string) float64 {
+		r := results[topo]
+		return float64(r.Mean.Get(core.PhaseWaitResponses)) / float64(r.Runs)
+	}
+	un, star, lin := waitOf(topology.Unconnected), waitOf(topology.Star), waitOf(topology.Linear)
+	// The robust paper claim: the unconnected O(N) fan-out waits far longer
+	// than the star's network dissemination.
+	if un <= star {
+		t.Errorf("unconnected (%.0f) did not wait longer than star (%.0f)", un, star)
+	}
+	// The linear chain sits between the two. Its gaps to both neighbours are
+	// tens of model-ms, which scheduler contention (e.g. running alongside
+	// the benchmark suite on one CPU) can blur — so allow 15%% slack rather
+	// than a strict ordering.
+	if float64(lin) > float64(un)*1.15 || float64(lin) < float64(star)*0.85 {
+		t.Errorf("linear (%.0f) outside [star %.0f, unconnected %.0f] envelope",
+			lin, star, un)
+	} else if !(un > lin && lin > star) {
+		t.Logf("note: strict ordering blurred under load: unconnected=%.0f linear=%.0f star=%.0f",
+			un, lin, star)
+	}
+}
+
+// TestSiteTimingShape asserts Figures 3-7's qualitative content: every site
+// completes discovery, selects its nearest broker, and the transatlantic
+// client (Cardiff) is slower than the client co-located with the BDN.
+func TestSiteTimingShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-site sweep")
+	}
+	nearest := map[string]string{
+		simnet.SiteBloomington: "broker-indianapolis",
+		simnet.SiteFSU:         "broker-fsu",
+		simnet.SiteCardiff:     "broker-cardiff",
+	}
+	means := map[string]float64{}
+	for site, want := range nearest {
+		r, err := RunSiteTiming(site, quickOpts(4))
+		if err != nil {
+			t.Fatal(err)
+		}
+		means[site] = r.Summary.Mean
+		top, n := "", 0
+		for name, c := range r.Selected {
+			if c > n {
+				top, n = name, c
+			}
+		}
+		if top != want {
+			t.Errorf("%s: selected %s most often, want %s (%v)", site, top, want, r.Selected)
+		}
+		if r.Summary.Mean <= 0 {
+			t.Errorf("%s: non-positive mean", site)
+		}
+	}
+	if means[simnet.SiteCardiff] <= means[simnet.SiteBloomington] {
+		t.Errorf("Cardiff (%.0f ms) should be slower than Bloomington (%.0f ms)",
+			means[simnet.SiteCardiff], means[simnet.SiteBloomington])
+	}
+}
+
+// TestMulticastShape asserts Figure 12: discovery works with no BDN, finds
+// only realm-local brokers, and is much faster than the BDN path.
+func TestMulticastShape(t *testing.T) {
+	mc, err := RunMulticast(quickOpts(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mc.ReachedLocal != mc.Runs {
+		t.Errorf("%d/%d runs leaked outside the realm", mc.Runs-mc.ReachedLocal, mc.Runs)
+	}
+	bdnPath, err := RunSiteTiming(simnet.SiteBloomington, quickOpts(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mc.Summary.Mean >= bdnPath.Summary.Mean {
+		t.Errorf("multicast (%.0f ms) not faster than BDN path (%.0f ms)",
+			mc.Summary.Mean, bdnPath.Summary.Mean)
+	}
+}
+
+func TestSecurityExperiments(t *testing.T) {
+	opts := quickOpts(6)
+	opts.Runs, opts.Keep = 20, 15
+	cert, err := RunCertValidation(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cert.Summary.Mean <= 0 || cert.Summary.Mean > 1000 {
+		t.Errorf("cert validation mean %.3f ms implausible", cert.Summary.Mean)
+	}
+	se, err := RunSignEncrypt(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if se.Summary.Mean <= cert.Summary.Mean {
+		t.Errorf("sign+encrypt (%.3f ms) should cost more than validation (%.3f ms)",
+			se.Summary.Mean, cert.Summary.Mean)
+	}
+}
+
+func TestRunWritesReport(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Run("table1", quickOpts(7), &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "table1") || !strings.Contains(out, "paper:") {
+		t.Fatalf("report malformed:\n%s", out)
+	}
+}
+
+func TestBreakdownReportRendering(t *testing.T) {
+	r, err := RunBreakdown(topology.Star, quickOpts(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := r.report("fig9", "ref")
+	if !strings.Contains(rep.Body, "wait-initial-responses") {
+		t.Fatalf("report body missing phases:\n%s", rep.Body)
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	out := table([]string{"a", "bb"}, [][]string{{"xxx", "y"}, {"1", "22222"}})
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("table has %d lines:\n%s", len(lines), out)
+	}
+	if len(lines[0]) == 0 || lines[1][0] != '-' {
+		t.Fatalf("table header malformed:\n%s", out)
+	}
+}
+
+func TestOptionsFillDefaults(t *testing.T) {
+	var o Options
+	o.fillDefaults()
+	if o.Runs != 120 || o.Keep != 100 || o.Scale != 200 || o.Seed != 1 {
+		t.Fatalf("defaults = %+v", o)
+	}
+	o = Options{Runs: 10, Keep: 50}
+	o.fillDefaults()
+	if o.Keep != 10 {
+		t.Fatalf("Keep not clamped to Runs: %d", o.Keep)
+	}
+}
+
+// TestAllAblationsRun executes every ablation end-to-end with a shrunken
+// repetition count, verifying that each builds its deployments, completes
+// its sweep and renders a table.
+func TestAllAblationsRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs every ablation deployment")
+	}
+	saved := ablationRuns
+	ablationRuns = 3
+	defer func() { ablationRuns = saved }()
+
+	for _, id := range IDs() {
+		if !strings.HasPrefix(id, "abl-") {
+			continue
+		}
+		var buf bytes.Buffer
+		if err := Run(id, quickOpts(9), &buf); err != nil {
+			t.Errorf("%s: %v", id, err)
+			continue
+		}
+		if !strings.Contains(buf.String(), id) {
+			t.Errorf("%s: report missing id:\n%s", id, buf.String())
+		}
+	}
+}

@@ -1,0 +1,107 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"narada/internal/core"
+	"narada/internal/security"
+	"narada/internal/stats"
+	"narada/internal/uuid"
+)
+
+// SecurityResult holds crypto-cost statistics (Figures 13 and 14). These run
+// real cryptography on the host CPU (the paper used a Pentium M 2.0 GHz), so
+// absolute numbers differ; the conclusion under test is the paper's: "these
+// costs are acceptable in most systems which would require such a feature".
+type SecurityResult struct {
+	Operation string
+	Summary   stats.Summary
+}
+
+// RunCertValidation times X.509 certificate validation (Figure 13): parse
+// the DER certificate and verify its chain to the trusted CA.
+func RunCertValidation(opts Options) (*SecurityResult, error) {
+	opts.fillDefaults()
+	ca, err := security.NewCA("narada-ca", 0)
+	if err != nil {
+		return nil, err
+	}
+	client, err := ca.Issue("discovery-client", 0)
+	if err != nil {
+		return nil, err
+	}
+	pool := ca.Pool()
+
+	// Warm up (first validation pays one-time table setup).
+	if _, err := security.ValidateCert(client.Cert.Raw, pool); err != nil {
+		return nil, err
+	}
+	samples := make([]float64, 0, opts.Runs)
+	for i := 0; i < opts.Runs; i++ {
+		start := time.Now()
+		if _, err := security.ValidateCert(client.Cert.Raw, pool); err != nil {
+			return nil, err
+		}
+		samples = append(samples, ms(time.Since(start)))
+	}
+	summary, err := paperSummary(samples, opts)
+	if err != nil {
+		return nil, err
+	}
+	return &SecurityResult{Operation: "X.509 validation", Summary: summary}, nil
+}
+
+// RunSignEncrypt times the full Figure 14 round trip: digitally sign and
+// encrypt a BrokerDiscoveryRequest, then decrypt it and verify the signature.
+func RunSignEncrypt(opts Options) (*SecurityResult, error) {
+	opts.fillDefaults()
+	ca, err := security.NewCA("narada-ca", 0)
+	if err != nil {
+		return nil, err
+	}
+	client, err := ca.Issue("discovery-client", 0)
+	if err != nil {
+		return nil, err
+	}
+	broker, err := ca.Issue("responding-broker", 0)
+	if err != nil {
+		return nil, err
+	}
+	pool := ca.Pool()
+	body := core.EncodeDiscoveryRequest(&core.DiscoveryRequest{
+		ID:           uuid.New(),
+		Requester:    "client-bloomington",
+		ResponseAddr: "bloomington/client:9000",
+		Protocols:    []string{"tcp", "udp"},
+	})
+
+	samples := make([]float64, 0, opts.Runs)
+	for i := 0; i < opts.Runs; i++ {
+		start := time.Now()
+		sealed, err := security.Seal(client, broker.Cert, body)
+		if err != nil {
+			return nil, err
+		}
+		blob := security.EncodeSealed(sealed)
+		decoded, err := security.DecodeSealed(blob)
+		if err != nil {
+			return nil, err
+		}
+		if _, _, err := security.Open(broker, pool, decoded); err != nil {
+			return nil, err
+		}
+		samples = append(samples, ms(time.Since(start)))
+	}
+	summary, err := paperSummary(samples, opts)
+	if err != nil {
+		return nil, err
+	}
+	return &SecurityResult{Operation: "sign+encrypt / decrypt+verify", Summary: summary}, nil
+}
+
+func (r *SecurityResult) report(id, title, paperRef string) *Report {
+	body := metricTable("ms", r.Summary)
+	body += fmt.Sprintf("\noperation: %s (host CPU; paper used a Pentium M 2.0 GHz)\n", r.Operation)
+	return &Report{ID: id, Title: title, PaperRef: paperRef, Body: body}
+}

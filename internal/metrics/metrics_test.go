@@ -1,0 +1,133 @@
+package metrics
+
+import (
+	"testing"
+	"testing/quick"
+
+	"narada/internal/wire"
+)
+
+const mib = 1024 * 1024
+
+func TestFreeMem(t *testing.T) {
+	u := Usage{TotalMemBytes: 100, UsedMemBytes: 30}
+	if u.FreeMemBytes() != 70 {
+		t.Fatalf("FreeMemBytes = %d", u.FreeMemBytes())
+	}
+	over := Usage{TotalMemBytes: 10, UsedMemBytes: 20}
+	if over.FreeMemBytes() != 0 {
+		t.Fatalf("over-used FreeMemBytes = %d, want 0", over.FreeMemBytes())
+	}
+}
+
+func TestUsageCodecRoundTrip(t *testing.T) {
+	f := func(total, used uint64, links int32, load float64) bool {
+		u := Usage{TotalMemBytes: total, UsedMemBytes: used, Links: int(links), CPULoad: load}
+		w := wire.NewWriter(0)
+		u.Encode(w)
+		r := wire.NewReader(w.Bytes())
+		got := DecodeUsage(r)
+		if r.Finish() != nil {
+			return false
+		}
+		return got == u
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestScoreIdleBeatsLoaded(t *testing.T) {
+	w := DefaultWeights()
+	idle := Usage{TotalMemBytes: 512 * mib, UsedMemBytes: 32 * mib, Links: 0, CPULoad: 0.02}
+	loaded := Usage{TotalMemBytes: 512 * mib, UsedMemBytes: 480 * mib, Links: 40, CPULoad: 0.9}
+	if w.Score(idle) <= w.Score(loaded) {
+		t.Fatalf("idle (%.2f) did not beat loaded (%.2f)", w.Score(idle), w.Score(loaded))
+	}
+}
+
+func TestScoreMonotonicInLinks(t *testing.T) {
+	// Adding links must never improve the score (the paper: lower the better).
+	w := DefaultWeights()
+	f := func(total uint64, links uint8) bool {
+		base := Usage{TotalMemBytes: total, Links: int(links)}
+		more := base
+		more.Links++
+		return w.Score(more) <= w.Score(base)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestScoreMonotonicInFreeMemory(t *testing.T) {
+	w := DefaultWeights()
+	f := func(used uint16) bool {
+		total := uint64(64 * mib)
+		u := uint64(used) % total
+		less := Usage{TotalMemBytes: total, UsedMemBytes: u}
+		more := Usage{TotalMemBytes: total, UsedMemBytes: u / 2}
+		return w.Score(more) >= w.Score(less)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestScoreBiggerMemoryPreferred(t *testing.T) {
+	w := DefaultWeights()
+	small := Usage{TotalMemBytes: 256 * mib}
+	big := Usage{TotalMemBytes: 2048 * mib}
+	if w.Score(big) <= w.Score(small) {
+		t.Fatal("bigger total memory not preferred")
+	}
+}
+
+func TestScoreZeroMemorySafe(t *testing.T) {
+	w := DefaultWeights()
+	got := w.Score(Usage{Links: 3, CPULoad: 0.5})
+	want := -3*w.NumLinks - 0.5*w.CPULoad
+	if got != want {
+		t.Fatalf("Score = %v, want %v (no NaN/Inf from zero memory)", got, want)
+	}
+}
+
+func TestRuntimeSampler(t *testing.T) {
+	s := NewRuntimeSampler()
+	s.SetLinks(7)
+	s.SetCPULoad(0.25)
+	u := s.Sample()
+	if u.Links != 7 || u.CPULoad != 0.25 {
+		t.Fatalf("sampler did not carry setters: %+v", u)
+	}
+	if u.TotalMemBytes == 0 {
+		t.Fatal("runtime sampler reported zero total memory")
+	}
+	if u.UsedMemBytes > u.TotalMemBytes {
+		t.Fatalf("used %d > total %d", u.UsedMemBytes, u.TotalMemBytes)
+	}
+}
+
+func TestStaticSampler(t *testing.T) {
+	s := NewStaticSampler(Usage{TotalMemBytes: 512 * mib, UsedMemBytes: 100 * mib})
+	s.SetLinks(3)
+	s.SetCPULoad(0.1)
+	s.SetUsedMem(200 * mib)
+	u := s.Sample()
+	if u.Links != 3 || u.CPULoad != 0.1 || u.UsedMemBytes != 200*mib {
+		t.Fatalf("static sampler state wrong: %+v", u)
+	}
+	// Samples are snapshots, not references.
+	s.SetLinks(9)
+	if u.Links != 3 {
+		t.Fatal("previous sample mutated by setter")
+	}
+}
+
+func BenchmarkScore(b *testing.B) {
+	w := DefaultWeights()
+	u := Usage{TotalMemBytes: 512 * mib, UsedMemBytes: 128 * mib, Links: 12, CPULoad: 0.3}
+	for i := 0; i < b.N; i++ {
+		_ = w.Score(u)
+	}
+}

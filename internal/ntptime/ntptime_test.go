@@ -1,0 +1,193 @@
+package ntptime
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+)
+
+func TestSystemClockMonotonicEnough(t *testing.T) {
+	var c SystemClock
+	a := c.Now()
+	c.Sleep(time.Millisecond)
+	b := c.Now()
+	if !b.After(a) {
+		t.Fatalf("time did not advance: %v -> %v", a, b)
+	}
+}
+
+func TestScaledClockAdvancesFaster(t *testing.T) {
+	epoch := time.Date(2005, 7, 1, 0, 0, 0, 0, time.UTC)
+	c := NewScaledClock(epoch, 100)
+	start := c.Now()
+	time.Sleep(20 * time.Millisecond)
+	elapsed := c.Now().Sub(start)
+	// 20 ms wall at 100x should be ~2 s model time; allow generous slop.
+	if elapsed < 1*time.Second || elapsed > 10*time.Second {
+		t.Fatalf("model elapsed = %v, want about 2s", elapsed)
+	}
+}
+
+func TestScaledClockSleepModelTime(t *testing.T) {
+	c := NewScaledClock(time.Unix(0, 0), 1000)
+	wallStart := time.Now()
+	c.Sleep(1 * time.Second) // should take ~1ms wall
+	if wall := time.Since(wallStart); wall > 200*time.Millisecond {
+		t.Fatalf("scaled sleep took %v wall, want ~1ms", wall)
+	}
+}
+
+func TestScaledClockAfterDeliversModelTime(t *testing.T) {
+	c := NewScaledClock(time.Unix(0, 0), 1000)
+	before := c.Now()
+	got := <-c.After(500 * time.Millisecond)
+	if got.Sub(before) < 400*time.Millisecond {
+		t.Fatalf("After fired early: %v after start", got.Sub(before))
+	}
+}
+
+func TestScaledClockDefaultsScale(t *testing.T) {
+	c := NewScaledClock(time.Unix(0, 0), -3)
+	if c.Scale() != 1 {
+		t.Fatalf("Scale = %v, want 1", c.Scale())
+	}
+}
+
+func TestSkewedClock(t *testing.T) {
+	base := NewManualClock(time.Unix(1000, 0))
+	skew := 15 * time.Millisecond
+	c := NewSkewedClock(base, skew)
+	if got := c.Now().Sub(base.Now()); got != skew {
+		t.Fatalf("skew observed %v, want %v", got, skew)
+	}
+	if c.Skew() != skew {
+		t.Fatalf("Skew() = %v", c.Skew())
+	}
+}
+
+func TestManualClock(t *testing.T) {
+	c := NewManualClock(time.Unix(0, 0))
+	done := make(chan time.Time, 1)
+	go func() { done <- <-c.After(10 * time.Second) }()
+	time.Sleep(5 * time.Millisecond) // let the waiter register
+	c.Advance(9 * time.Second)
+	select {
+	case <-done:
+		t.Fatal("After fired before its deadline")
+	default:
+	}
+	c.Advance(2 * time.Second)
+	select {
+	case at := <-done:
+		if at.Before(time.Unix(10, 0)) {
+			t.Fatalf("woke at %v, want >= 10s", at)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("After never fired")
+	}
+}
+
+func TestManualClockZeroDelay(t *testing.T) {
+	c := NewManualClock(time.Unix(0, 0))
+	select {
+	case <-c.After(0):
+	case <-time.After(time.Second):
+		t.Fatal("After(0) did not fire immediately")
+	}
+}
+
+func TestServiceResidualEnvelope(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for i := 0; i < 200; i++ {
+		skew := time.Duration(rng.Int63n(int64(40*time.Millisecond))) - 20*time.Millisecond
+		base := NewManualClock(time.Unix(5000, 0))
+		s := NewService(NewSkewedClock(base, skew), skew, rng)
+		s.InitImmediately()
+		res := s.Residual()
+		if res < 0 {
+			res = -res
+		}
+		if res < MinResidual || res > MaxResidual {
+			t.Fatalf("residual %v outside [%v, %v]", res, MinResidual, MaxResidual)
+		}
+	}
+}
+
+func TestServiceCorrectsSkew(t *testing.T) {
+	base := NewManualClock(time.Date(2005, 7, 1, 12, 0, 0, 0, time.UTC))
+	skew := 500 * time.Millisecond // gross hardware skew
+	local := NewSkewedClock(base, skew)
+	s := NewService(local, skew, rand.New(rand.NewSource(7)))
+	s.InitImmediately()
+	utc, err := s.UTC()
+	if err != nil {
+		t.Fatal(err)
+	}
+	errAgainstTruth := utc.Sub(base.Now())
+	if errAgainstTruth < 0 {
+		errAgainstTruth = -errAgainstTruth
+	}
+	if errAgainstTruth > MaxResidual {
+		t.Fatalf("corrected clock off by %v, want <= %v", errAgainstTruth, MaxResidual)
+	}
+}
+
+func TestServiceBeforeSync(t *testing.T) {
+	base := NewManualClock(time.Unix(0, 0))
+	s := NewService(base, 0, nil)
+	if s.Synchronized() {
+		t.Fatal("freshly created service claims synchronized")
+	}
+	if _, err := s.UTC(); err != ErrNotSynchronized {
+		t.Fatalf("err = %v, want ErrNotSynchronized", err)
+	}
+}
+
+func TestServiceInitDurationEnvelope(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for i := 0; i < 100; i++ {
+		s := NewService(NewManualClock(time.Unix(0, 0)), 0, rng)
+		d := s.InitDuration()
+		if d < MinInit || d > MaxInit {
+			t.Fatalf("init duration %v outside [%v, %v]", d, MinInit, MaxInit)
+		}
+	}
+}
+
+func TestServiceInitBlocksForInitDuration(t *testing.T) {
+	// Run Init against a fast scaled clock so the 3-5 s model delay is ms.
+	clock := NewScaledClock(time.Unix(0, 0), 1000)
+	s := NewService(clock, 0, rand.New(rand.NewSource(3)))
+	done := make(chan struct{})
+	go func() { s.Init(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Init did not complete")
+	}
+	if !s.Synchronized() {
+		t.Fatal("service not synchronized after Init")
+	}
+	s.MustUTC() // must not panic
+}
+
+func TestTwoNodesWithinPaperBound(t *testing.T) {
+	// The property the discovery latency estimator relies on: any two
+	// synchronized nodes read UTC within ~2*MaxResidual of each other.
+	rng := rand.New(rand.NewSource(11))
+	base := NewManualClock(time.Unix(77777, 0))
+	mk := func(skew time.Duration) *Service {
+		s := NewService(NewSkewedClock(base, skew), skew, rng)
+		s.InitImmediately()
+		return s
+	}
+	a, b := mk(300*time.Millisecond), mk(-450*time.Millisecond)
+	ta, tb := a.MustUTC(), b.MustUTC()
+	diff := ta.Sub(tb)
+	if diff < 0 {
+		diff = -diff
+	}
+	if diff > 2*MaxResidual {
+		t.Fatalf("nodes disagree by %v, want <= %v", diff, 2*MaxResidual)
+	}
+}

@@ -1,0 +1,122 @@
+// Package replay implements the event-replay service the paper lists among
+// the NaradaBrokering substrate's capabilities ("reliable delivery, replays,
+// (de)compression of large payloads ..."): brokers retain a bounded window
+// of recent events per topic, and late-joining subscribers can request the
+// events they missed.
+package replay
+
+import (
+	"sync"
+
+	"narada/internal/event"
+	"narada/internal/topics"
+)
+
+// DefaultCapacity is the default retained events per topic.
+const DefaultCapacity = 64
+
+// Store is a bounded per-topic ring buffer of recent events. It is safe for
+// concurrent use by the broker's routing goroutines.
+type Store struct {
+	capacity int
+
+	mu     sync.Mutex
+	byTop  map[string]*ring
+	stored uint64
+	served uint64
+}
+
+type ring struct {
+	buf  []*event.Event
+	head int // next slot to overwrite
+	full bool
+}
+
+// NewStore creates a Store retaining capacity events per topic
+// (<= 0 means DefaultCapacity).
+func NewStore(capacity int) *Store {
+	if capacity <= 0 {
+		capacity = DefaultCapacity
+	}
+	return &Store{capacity: capacity, byTop: make(map[string]*ring)}
+}
+
+// Capacity returns the per-topic retention window.
+func (s *Store) Capacity() int { return s.capacity }
+
+// Add retains one published event (a defensive clone, so later mutation of
+// the routed event cannot corrupt history).
+func (s *Store) Add(ev *event.Event) {
+	if ev == nil || ev.Type != event.TypePublish || ev.Topic == "" {
+		return
+	}
+	c := ev.Clone()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	r, ok := s.byTop[ev.Topic]
+	if !ok {
+		r = &ring{buf: make([]*event.Event, s.capacity)}
+		s.byTop[ev.Topic] = r
+	}
+	r.buf[r.head] = c
+	r.head++
+	if r.head == len(r.buf) {
+		r.head = 0
+		r.full = true
+	}
+	s.stored++
+}
+
+// events returns a ring's contents oldest-first. Caller holds mu.
+func (r *ring) events() []*event.Event {
+	if !r.full {
+		return append([]*event.Event(nil), r.buf[:r.head]...)
+	}
+	out := make([]*event.Event, 0, len(r.buf))
+	out = append(out, r.buf[r.head:]...)
+	out = append(out, r.buf[:r.head]...)
+	return out
+}
+
+// Replay returns up to limit retained events whose topic matches the
+// subscription pattern, oldest first (limit <= 0 means no limit). Events
+// from different topics interleave in per-topic order.
+func (s *Store) Replay(pattern string, limit int) []*event.Event {
+	if topics.ValidatePattern(pattern) != nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var out []*event.Event
+	for topic, r := range s.byTop {
+		if !topics.Match(pattern, topic) {
+			continue
+		}
+		out = append(out, r.events()...)
+	}
+	// Trim to the most recent `limit` (they are the ones a late joiner
+	// missed most recently).
+	if limit > 0 && len(out) > limit {
+		out = out[len(out)-limit:]
+	}
+	// Hand out clones so callers cannot corrupt retained history.
+	for i, ev := range out {
+		out[i] = ev.Clone()
+	}
+	s.served += uint64(len(out))
+	return out
+}
+
+// TopicCount returns the number of topics with retained history.
+func (s *Store) TopicCount() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.byTop)
+}
+
+// Stats returns total events stored and served.
+func (s *Store) Stats() (stored, served uint64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.stored, s.served
+}

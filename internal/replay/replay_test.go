@@ -1,0 +1,163 @@
+package replay
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"narada/internal/event"
+)
+
+func pub(topic, payload string) *event.Event {
+	return event.New(event.TypePublish, topic, []byte(payload))
+}
+
+func TestAddAndReplayExact(t *testing.T) {
+	s := NewStore(8)
+	s.Add(pub("a/b", "1"))
+	s.Add(pub("a/b", "2"))
+	s.Add(pub("a/c", "x"))
+	got := s.Replay("a/b", 0)
+	if len(got) != 2 {
+		t.Fatalf("replayed %d, want 2", len(got))
+	}
+	if string(got[0].Payload) != "1" || string(got[1].Payload) != "2" {
+		t.Fatalf("order wrong: %q %q", got[0].Payload, got[1].Payload)
+	}
+}
+
+func TestReplayWildcard(t *testing.T) {
+	s := NewStore(8)
+	s.Add(pub("a/b", "1"))
+	s.Add(pub("a/c", "2"))
+	s.Add(pub("z/z", "3"))
+	got := s.Replay("a/*", 0)
+	if len(got) != 2 {
+		t.Fatalf("replayed %d, want 2", len(got))
+	}
+	if got := s.Replay("**", 0); len(got) != 3 {
+		t.Fatalf("replayed %d for **, want 3", len(got))
+	}
+}
+
+func TestRingEviction(t *testing.T) {
+	s := NewStore(4)
+	for i := 0; i < 10; i++ {
+		s.Add(pub("t/t", fmt.Sprintf("%d", i)))
+	}
+	got := s.Replay("t/t", 0)
+	if len(got) != 4 {
+		t.Fatalf("retained %d, want 4", len(got))
+	}
+	for i, ev := range got {
+		want := fmt.Sprintf("%d", 6+i) // last four, oldest first
+		if string(ev.Payload) != want {
+			t.Fatalf("slot %d = %q, want %q", i, ev.Payload, want)
+		}
+	}
+}
+
+func TestReplayLimit(t *testing.T) {
+	s := NewStore(16)
+	for i := 0; i < 10; i++ {
+		s.Add(pub("t/t", fmt.Sprintf("%d", i)))
+	}
+	got := s.Replay("t/t", 3)
+	if len(got) != 3 {
+		t.Fatalf("limit not applied: %d", len(got))
+	}
+	if string(got[0].Payload) != "7" || string(got[2].Payload) != "9" {
+		t.Fatalf("limit kept wrong window: %q..%q", got[0].Payload, got[2].Payload)
+	}
+}
+
+func TestIgnoresNonPublish(t *testing.T) {
+	s := NewStore(4)
+	s.Add(event.New(event.TypePing, "t/t", nil))
+	s.Add(nil)
+	s.Add(event.New(event.TypePublish, "", []byte("no-topic")))
+	if s.TopicCount() != 0 {
+		t.Fatalf("non-publish retained: %d topics", s.TopicCount())
+	}
+}
+
+func TestReplayInvalidPattern(t *testing.T) {
+	s := NewStore(4)
+	s.Add(pub("a/b", "1"))
+	if got := s.Replay("a//b", 0); got != nil {
+		t.Fatalf("invalid pattern served %d events", len(got))
+	}
+}
+
+func TestReplayedEventsAreCopies(t *testing.T) {
+	s := NewStore(4)
+	ev := pub("a/b", "orig")
+	s.Add(ev)
+	ev.Payload[0] = 'X' // mutate after store
+	got := s.Replay("a/b", 0)
+	if string(got[0].Payload) != "orig" {
+		t.Fatal("store aliased the caller's event")
+	}
+	got[0].Payload[0] = 'Y' // mutate the replayed copy
+	again := s.Replay("a/b", 0)
+	if string(again[0].Payload) != "orig" {
+		t.Fatal("replay aliased stored history")
+	}
+}
+
+func TestDefaultCapacity(t *testing.T) {
+	if NewStore(0).Capacity() != DefaultCapacity {
+		t.Fatal("capacity not defaulted")
+	}
+}
+
+func TestStats(t *testing.T) {
+	s := NewStore(4)
+	s.Add(pub("a/b", "1"))
+	s.Add(pub("a/b", "2"))
+	_ = s.Replay("a/b", 1)
+	stored, served := s.Stats()
+	if stored != 2 || served != 1 {
+		t.Fatalf("stats = (%d, %d), want (2, 1)", stored, served)
+	}
+}
+
+func TestConcurrentAddReplay(t *testing.T) {
+	s := NewStore(32)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				s.Add(pub(fmt.Sprintf("c/t%d", g%3), "x"))
+				s.Replay("c/*", 10)
+			}
+		}(g)
+	}
+	wg.Wait()
+	if s.TopicCount() != 3 {
+		t.Fatalf("topics = %d", s.TopicCount())
+	}
+}
+
+func BenchmarkAdd(b *testing.B) {
+	s := NewStore(256)
+	ev := pub("bench/topic", "payload")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s.Add(ev)
+	}
+}
+
+func BenchmarkReplay(b *testing.B) {
+	s := NewStore(256)
+	for i := 0; i < 256; i++ {
+		s.Add(pub("bench/topic", "payload"))
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = s.Replay("bench/*", 32)
+	}
+}

@@ -1,0 +1,277 @@
+// Package security implements the paper's §9.1 protection of the discovery
+// process: "a discovery request and response may be secured by sending
+// credentials verifying the authenticity of the clients and also encrypting
+// the discovery request and response... the broker and client may be
+// augmented with digital certificates and PKI authentication schemes."
+//
+// Concretely it provides:
+//
+//   - a miniature certificate authority issuing X.509 certificates
+//     (Figure 13 times the validation of such a certificate);
+//   - digital signatures (RSA-PKCS#1v1.5 over SHA-256) binding a discovery
+//     request to the holder of a certificate;
+//   - hybrid encryption (RSA-OAEP key transport + AES-256-GCM) of the
+//     request body (Figure 14 times sign+encrypt and decrypt+verify).
+package security
+
+import (
+	"crypto"
+	"crypto/aes"
+	"crypto/cipher"
+	"crypto/rand"
+	"crypto/rsa"
+	"crypto/sha256"
+	"crypto/x509"
+	"crypto/x509/pkix"
+	"errors"
+	"fmt"
+	"math/big"
+	"time"
+
+	"narada/internal/wire"
+)
+
+// DefaultKeyBits matches 2005-era deployments (and keeps test time sane).
+const DefaultKeyBits = 1024
+
+// Errors returned by validation and decryption.
+var (
+	ErrBadSignature = errors.New("security: signature verification failed")
+	ErrBadEnvelope  = errors.New("security: malformed encrypted envelope")
+)
+
+// Identity is a certified principal: a private key plus its certificate.
+type Identity struct {
+	Name string
+	Key  *rsa.PrivateKey
+	Cert *x509.Certificate
+}
+
+// CA is a miniature certificate authority.
+type CA struct {
+	Identity
+	nextSerial int64
+}
+
+// NewCA creates a self-signed certificate authority.
+func NewCA(name string, bits int) (*CA, error) {
+	if bits <= 0 {
+		bits = DefaultKeyBits
+	}
+	key, err := rsa.GenerateKey(rand.Reader, bits)
+	if err != nil {
+		return nil, fmt.Errorf("security: generating CA key: %w", err)
+	}
+	tmpl := &x509.Certificate{
+		SerialNumber:          big.NewInt(1),
+		Subject:               pkix.Name{CommonName: name, Organization: []string{"NaradaBrokering"}},
+		NotBefore:             time.Now().Add(-time.Hour),
+		NotAfter:              time.Now().Add(10 * 365 * 24 * time.Hour),
+		IsCA:                  true,
+		KeyUsage:              x509.KeyUsageCertSign | x509.KeyUsageDigitalSignature,
+		BasicConstraintsValid: true,
+	}
+	der, err := x509.CreateCertificate(rand.Reader, tmpl, tmpl, &key.PublicKey, key)
+	if err != nil {
+		return nil, fmt.Errorf("security: self-signing CA: %w", err)
+	}
+	cert, err := x509.ParseCertificate(der)
+	if err != nil {
+		return nil, err
+	}
+	return &CA{Identity: Identity{Name: name, Key: key, Cert: cert}, nextSerial: 2}, nil
+}
+
+// Issue creates a leaf certificate for a principal.
+func (ca *CA) Issue(name string, bits int) (*Identity, error) {
+	if bits <= 0 {
+		bits = DefaultKeyBits
+	}
+	key, err := rsa.GenerateKey(rand.Reader, bits)
+	if err != nil {
+		return nil, fmt.Errorf("security: generating key for %s: %w", name, err)
+	}
+	ca.nextSerial++
+	tmpl := &x509.Certificate{
+		SerialNumber: big.NewInt(ca.nextSerial),
+		Subject:      pkix.Name{CommonName: name},
+		NotBefore:    time.Now().Add(-time.Hour),
+		NotAfter:     time.Now().Add(365 * 24 * time.Hour),
+		KeyUsage:     x509.KeyUsageDigitalSignature | x509.KeyUsageKeyEncipherment,
+		ExtKeyUsage:  []x509.ExtKeyUsage{x509.ExtKeyUsageClientAuth},
+	}
+	der, err := x509.CreateCertificate(rand.Reader, tmpl, ca.Cert, &key.PublicKey, ca.Key)
+	if err != nil {
+		return nil, fmt.Errorf("security: issuing cert for %s: %w", name, err)
+	}
+	cert, err := x509.ParseCertificate(der)
+	if err != nil {
+		return nil, err
+	}
+	return &Identity{Name: name, Key: key, Cert: cert}, nil
+}
+
+// Pool returns an x509.CertPool trusting this CA.
+func (ca *CA) Pool() *x509.CertPool {
+	pool := x509.NewCertPool()
+	pool.AddCert(ca.Cert)
+	return pool
+}
+
+// ValidateCert verifies a client's identity: the DER certificate must chain
+// to the trusted roots and carry the client-auth usage. This is the operation
+// Figure 13 times.
+func ValidateCert(der []byte, roots *x509.CertPool) (*x509.Certificate, error) {
+	cert, err := x509.ParseCertificate(der)
+	if err != nil {
+		return nil, fmt.Errorf("security: parsing certificate: %w", err)
+	}
+	if cert.IsCA {
+		return nil, errors.New("security: CA certificate presented as a client identity")
+	}
+	_, err = cert.Verify(x509.VerifyOptions{
+		Roots:     roots,
+		KeyUsages: []x509.ExtKeyUsage{x509.ExtKeyUsageClientAuth},
+	})
+	if err != nil {
+		return nil, fmt.Errorf("security: certificate verification: %w", err)
+	}
+	return cert, nil
+}
+
+// Sign produces an RSA-SHA256 signature over msg.
+func Sign(id *Identity, msg []byte) ([]byte, error) {
+	digest := sha256.Sum256(msg)
+	return rsa.SignPKCS1v15(rand.Reader, id.Key, crypto.SHA256, digest[:])
+}
+
+// Verify checks an RSA-SHA256 signature with the certificate's public key.
+func Verify(cert *x509.Certificate, msg, sig []byte) error {
+	pub, ok := cert.PublicKey.(*rsa.PublicKey)
+	if !ok {
+		return errors.New("security: certificate holds a non-RSA key")
+	}
+	digest := sha256.Sum256(msg)
+	if err := rsa.VerifyPKCS1v15(pub, crypto.SHA256, digest[:], sig); err != nil {
+		return ErrBadSignature
+	}
+	return nil
+}
+
+// SealedRequest is a signed and encrypted discovery request in transit:
+// the sender's certificate (for authentication), an RSA-OAEP-wrapped AES key
+// and the AES-GCM ciphertext of body||signature.
+type SealedRequest struct {
+	SenderCert []byte // DER
+	WrappedKey []byte // RSA-OAEP(AES key)
+	Nonce      []byte
+	Ciphertext []byte // AES-GCM(body || sig), sig length prefixed
+}
+
+// Seal signs body with the sender's key and encrypts body+signature to the
+// recipient certificate — the "digitally sign and encrypt" operation of
+// Figure 14.
+func Seal(sender *Identity, recipient *x509.Certificate, body []byte) (*SealedRequest, error) {
+	sig, err := Sign(sender, body)
+	if err != nil {
+		return nil, err
+	}
+	plain := wire.NewWriter(len(body) + len(sig) + 16)
+	plain.BytesField(body)
+	plain.BytesField(sig)
+
+	aesKey := make([]byte, 32)
+	if _, err := rand.Read(aesKey); err != nil {
+		return nil, err
+	}
+	block, err := aes.NewCipher(aesKey)
+	if err != nil {
+		return nil, err
+	}
+	gcm, err := cipher.NewGCM(block)
+	if err != nil {
+		return nil, err
+	}
+	nonce := make([]byte, gcm.NonceSize())
+	if _, err := rand.Read(nonce); err != nil {
+		return nil, err
+	}
+	ciphertext := gcm.Seal(nil, nonce, plain.Bytes(), nil)
+
+	recipPub, ok := recipient.PublicKey.(*rsa.PublicKey)
+	if !ok {
+		return nil, errors.New("security: recipient certificate holds a non-RSA key")
+	}
+	wrapped, err := rsa.EncryptOAEP(sha256.New(), rand.Reader, recipPub, aesKey, nil)
+	if err != nil {
+		return nil, err
+	}
+	return &SealedRequest{
+		SenderCert: sender.Cert.Raw,
+		WrappedKey: wrapped,
+		Nonce:      nonce,
+		Ciphertext: ciphertext,
+	}, nil
+}
+
+// Open decrypts a sealed request with the recipient's key, validates the
+// sender certificate against the trusted roots and verifies the signature —
+// the "later extract" operation of Figure 14. It returns the plaintext body
+// and the authenticated sender certificate.
+func Open(recipient *Identity, roots *x509.CertPool, sealed *SealedRequest) ([]byte, *x509.Certificate, error) {
+	senderCert, err := ValidateCert(sealed.SenderCert, roots)
+	if err != nil {
+		return nil, nil, err
+	}
+	aesKey, err := rsa.DecryptOAEP(sha256.New(), rand.Reader, recipient.Key, sealed.WrappedKey, nil)
+	if err != nil {
+		return nil, nil, fmt.Errorf("security: unwrapping key: %w", err)
+	}
+	block, err := aes.NewCipher(aesKey)
+	if err != nil {
+		return nil, nil, err
+	}
+	gcm, err := cipher.NewGCM(block)
+	if err != nil {
+		return nil, nil, err
+	}
+	plain, err := gcm.Open(nil, sealed.Nonce, sealed.Ciphertext, nil)
+	if err != nil {
+		return nil, nil, fmt.Errorf("security: decrypting: %w", err)
+	}
+	r := wire.NewReader(plain)
+	body := r.BytesField()
+	sig := r.BytesField()
+	if err := r.Finish(); err != nil {
+		return nil, nil, ErrBadEnvelope
+	}
+	if err := Verify(senderCert, body, sig); err != nil {
+		return nil, nil, err
+	}
+	return body, senderCert, nil
+}
+
+// EncodeSealed serialises a sealed request with the wire codec.
+func EncodeSealed(s *SealedRequest) []byte {
+	w := wire.NewWriter(len(s.SenderCert) + len(s.Ciphertext) + 64)
+	w.BytesField(s.SenderCert)
+	w.BytesField(s.WrappedKey)
+	w.BytesField(s.Nonce)
+	w.BytesField(s.Ciphertext)
+	return w.Bytes()
+}
+
+// DecodeSealed parses a sealed request.
+func DecodeSealed(b []byte) (*SealedRequest, error) {
+	r := wire.NewReader(b)
+	s := &SealedRequest{
+		SenderCert: r.BytesField(),
+		WrappedKey: r.BytesField(),
+		Nonce:      r.BytesField(),
+		Ciphertext: r.BytesField(),
+	}
+	if err := r.Finish(); err != nil {
+		return nil, fmt.Errorf("security: %w", err)
+	}
+	return s, nil
+}

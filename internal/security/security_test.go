@@ -1,0 +1,232 @@
+package security
+
+import (
+	"errors"
+	"testing"
+
+	"narada/internal/core"
+	"narada/internal/uuid"
+)
+
+// testPKI builds a CA with two identities once; RSA keygen is slow.
+type testPKI struct {
+	ca     *CA
+	client *Identity
+	broker *Identity
+}
+
+var pki *testPKI
+
+func getPKI(t testing.TB) *testPKI {
+	t.Helper()
+	if pki != nil {
+		return pki
+	}
+	ca, err := NewCA("narada-test-ca", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	client, err := ca.Issue("client-bloomington", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	broker, err := ca.Issue("broker-fsu", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pki = &testPKI{ca: ca, client: client, broker: broker}
+	return pki
+}
+
+func TestValidateCert(t *testing.T) {
+	p := getPKI(t)
+	cert, err := ValidateCert(p.client.Cert.Raw, p.ca.Pool())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cert.Subject.CommonName != "client-bloomington" {
+		t.Fatalf("CN = %q", cert.Subject.CommonName)
+	}
+}
+
+func TestValidateCertRejectsUnknownCA(t *testing.T) {
+	p := getPKI(t)
+	otherCA, err := NewCA("rogue-ca", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rogue, err := otherCA.Issue("impostor", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ValidateCert(rogue.Cert.Raw, p.ca.Pool()); err == nil {
+		t.Fatal("certificate from unknown CA accepted")
+	}
+}
+
+func TestValidateCertRejectsGarbage(t *testing.T) {
+	p := getPKI(t)
+	if _, err := ValidateCert([]byte{0x30, 0x01, 0x00}, p.ca.Pool()); err == nil {
+		t.Fatal("garbage DER accepted")
+	}
+}
+
+func TestValidateCertRejectsCAAsClient(t *testing.T) {
+	p := getPKI(t)
+	// The CA cert lacks client-auth EKU; direct client validation of it
+	// must fail even though it chains to itself.
+	if _, err := ValidateCert(p.ca.Cert.Raw, p.ca.Pool()); err == nil {
+		t.Fatal("CA certificate accepted as a client certificate")
+	}
+}
+
+func TestSignVerify(t *testing.T) {
+	p := getPKI(t)
+	msg := []byte("BrokerDiscoveryRequest payload")
+	sig, err := Sign(p.client, msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Verify(p.client.Cert, msg, sig); err != nil {
+		t.Fatal(err)
+	}
+	if err := Verify(p.client.Cert, append(msg, 'x'), sig); !errors.Is(err, ErrBadSignature) {
+		t.Fatalf("tampered message verified: %v", err)
+	}
+	if err := Verify(p.broker.Cert, msg, sig); !errors.Is(err, ErrBadSignature) {
+		t.Fatalf("wrong key verified: %v", err)
+	}
+}
+
+func TestSealOpenRoundTrip(t *testing.T) {
+	p := getPKI(t)
+	req := &core.DiscoveryRequest{
+		ID:           uuid.New(),
+		Requester:    "client-bloomington",
+		ResponseAddr: "bloomington/client:9000",
+	}
+	body := core.EncodeDiscoveryRequest(req)
+	sealed, err := Seal(p.client, p.broker.Cert, body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, senderCert, err := Open(p.broker, p.ca.Pool(), sealed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if senderCert.Subject.CommonName != "client-bloomington" {
+		t.Fatalf("sender CN = %q", senderCert.Subject.CommonName)
+	}
+	decoded, err := core.DecodeDiscoveryRequest(got)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if decoded.ID != req.ID {
+		t.Fatal("request identity lost through seal/open")
+	}
+}
+
+func TestOpenRejectsWrongRecipient(t *testing.T) {
+	p := getPKI(t)
+	sealed, err := Seal(p.client, p.broker.Cert, []byte("secret"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The client cannot open traffic encrypted to the broker.
+	if _, _, err := Open(p.client, p.ca.Pool(), sealed); err == nil {
+		t.Fatal("wrong recipient decrypted the envelope")
+	}
+}
+
+func TestOpenRejectsTamperedCiphertext(t *testing.T) {
+	p := getPKI(t)
+	sealed, err := Seal(p.client, p.broker.Cert, []byte("secret"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sealed.Ciphertext[0] ^= 0xFF
+	if _, _, err := Open(p.broker, p.ca.Pool(), sealed); err == nil {
+		t.Fatal("tampered ciphertext accepted")
+	}
+}
+
+func TestOpenRejectsUntrustedSender(t *testing.T) {
+	p := getPKI(t)
+	rogueCA, _ := NewCA("rogue", 0)
+	rogue, _ := rogueCA.Issue("impostor", 0)
+	sealed, err := Seal(rogue, p.broker.Cert, []byte("secret"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := Open(p.broker, p.ca.Pool(), sealed); err == nil {
+		t.Fatal("envelope from untrusted sender accepted")
+	}
+}
+
+func TestSealedCodecRoundTrip(t *testing.T) {
+	p := getPKI(t)
+	sealed, err := Seal(p.client, p.broker.Cert, []byte("body"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob := EncodeSealed(sealed)
+	got, err := DecodeSealed(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := Open(p.broker, p.ca.Pool(), got); err != nil {
+		t.Fatalf("decoded envelope failed to open: %v", err)
+	}
+	if _, err := DecodeSealed(blob[:len(blob)-2]); err == nil {
+		t.Fatal("truncated envelope accepted")
+	}
+}
+
+func TestPolicyVerifierIntegration(t *testing.T) {
+	// A broker response policy backed by certificate validation: the
+	// credential bytes are the requester's DER certificate.
+	p := getPKI(t)
+	pool := p.ca.Pool()
+	policy := core.ResponsePolicy{Verifier: func(cred []byte) bool {
+		_, err := ValidateCert(cred, pool)
+		return err == nil
+	}}
+	good := &core.DiscoveryRequest{ID: uuid.New(), Credentials: p.client.Cert.Raw}
+	if !policy.Permits(good) {
+		t.Fatal("certified requester denied")
+	}
+	bad := &core.DiscoveryRequest{ID: uuid.New(), Credentials: []byte("nope")}
+	if policy.Permits(bad) {
+		t.Fatal("bogus credential permitted")
+	}
+}
+
+func BenchmarkValidateCert(b *testing.B) {
+	p := getPKI(b)
+	pool := p.ca.Pool()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ValidateCert(p.client.Cert.Raw, pool); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSealOpen(b *testing.B) {
+	p := getPKI(b)
+	body := core.EncodeDiscoveryRequest(&core.DiscoveryRequest{
+		ID: uuid.New(), Requester: "bench", ResponseAddr: "x/y:1",
+	})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sealed, err := Seal(p.client, p.broker.Cert, body)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, _, err := Open(p.broker, p.ca.Pool(), sealed); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

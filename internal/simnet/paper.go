@@ -1,0 +1,84 @@
+package simnet
+
+import "time"
+
+// Site name constants for the paper's Table 1 testbed.
+const (
+	SiteBloomington  = "bloomington"  // Indiana University, Bloomington, IN (client + BDN)
+	SiteIndianapolis = "indianapolis" // complexity.ucs.indiana.edu — SunOS 5.9, Sun-Fire-880
+	SiteUMN          = "umn"          // webis.msi.umn.edu — AMD Opteron 240, Minneapolis, MN
+	SiteNCSA         = "ncsa"         // tungsten.ncsa.uiuc.edu — NCSA, UIUC, IL
+	SiteFSU          = "fsu"          // pamd2.fsit.fsu.edu — Florida State University, FL
+	SiteCardiff      = "cardiff"      // bouscat.cs.cf.ac.uk — Cardiff University, UK
+)
+
+// Machine reproduces one row of the paper's Table 1.
+type Machine struct {
+	Hostname string
+	SiteName string
+	Location string
+	Spec     string // uname -a excerpt
+	JVM      string
+}
+
+// Table1Machines lists the testbed machines exactly as the paper's Table 1
+// summarises them.
+func Table1Machines() []Machine {
+	return []Machine{
+		{"complexity.ucs.indiana.edu", SiteIndianapolis, "Indianapolis, IN, USA",
+			"SunOS 5.9 Generic sun4u sparc SUNW,Sun-Fire-880", "HotSpot Client VM 1.4.2-beta"},
+		{"webis.msi.umn.edu", SiteUMN, "University of Minnesota, Minneapolis, MN, USA",
+			"Linux 2.6.9-gentoo-r4 x86_64 AMD Opteron 240", "HotSpot 64-Bit Server VM (Blackdown)"},
+		{"tungsten.ncsa.uiuc.edu", SiteNCSA, "NCSA, UIUC, IL, USA",
+			"Linux 2.4.20 smp_perfctr_lustre i686", "HotSpot Client VM 1.4.1_01"},
+		{"pamd2.fsit.fsu.edu", SiteFSU, "Florida State University, Tallahassee, FL, USA",
+			"Linux 2.4.25 i686", "HotSpot Client VM (Blackdown 1.4.2 beta)"},
+		{"bouscat.cs.cf.ac.uk", SiteCardiff, "Cardiff University, Cardiff, UK",
+			"Linux 2.4.2smp i686", "HotSpot Client VM 1.4.1_01"},
+	}
+}
+
+// paperRTT is the inter-site round-trip-time matrix in milliseconds,
+// estimated from 2005-era Internet2 and transatlantic paths between the
+// Table 1 locations. (Substitution for the physical WAN; see DESIGN.md §3.)
+var paperRTT = map[pathKey]time.Duration{
+	orderedPath(SiteBloomington, SiteIndianapolis): 3 * time.Millisecond,
+	orderedPath(SiteBloomington, SiteUMN):          22 * time.Millisecond,
+	orderedPath(SiteBloomington, SiteNCSA):         10 * time.Millisecond,
+	orderedPath(SiteBloomington, SiteFSU):          35 * time.Millisecond,
+	orderedPath(SiteBloomington, SiteCardiff):      120 * time.Millisecond,
+	orderedPath(SiteIndianapolis, SiteUMN):         20 * time.Millisecond,
+	orderedPath(SiteIndianapolis, SiteNCSA):        9 * time.Millisecond,
+	orderedPath(SiteIndianapolis, SiteFSU):         33 * time.Millisecond,
+	orderedPath(SiteIndianapolis, SiteCardiff):     118 * time.Millisecond,
+	orderedPath(SiteUMN, SiteNCSA):                 15 * time.Millisecond,
+	orderedPath(SiteUMN, SiteFSU):                  45 * time.Millisecond,
+	orderedPath(SiteUMN, SiteCardiff):              130 * time.Millisecond,
+	orderedPath(SiteNCSA, SiteFSU):                 40 * time.Millisecond,
+	orderedPath(SiteNCSA, SiteCardiff):             125 * time.Millisecond,
+	orderedPath(SiteFSU, SiteCardiff):              135 * time.Millisecond,
+}
+
+// PaperSiteNames lists the testbed sites in a stable order.
+func PaperSiteNames() []string {
+	return []string{SiteBloomington, SiteIndianapolis, SiteUMN, SiteNCSA, SiteFSU, SiteCardiff}
+}
+
+// NewPaperWAN builds a Network with the paper's five-site testbed (plus the
+// Bloomington client location). Bloomington and Indianapolis share the
+// "indiana" multicast realm (the IU campus network — the paper's "lab");
+// every other site is its own realm, so multicast never reaches them,
+// reproducing the Figure 12 conditions.
+func NewPaperWAN(cfg Config) *Network {
+	n := New(cfg)
+	n.AddSite(Site{Name: SiteBloomington, Location: "Bloomington, IN, USA", Realm: "indiana"})
+	n.AddSite(Site{Name: SiteIndianapolis, Location: "Indianapolis, IN, USA", Realm: "indiana"})
+	n.AddSite(Site{Name: SiteUMN, Location: "Minneapolis, MN, USA", Realm: "umn"})
+	n.AddSite(Site{Name: SiteNCSA, Location: "Urbana-Champaign, IL, USA", Realm: "ncsa"})
+	n.AddSite(Site{Name: SiteFSU, Location: "Tallahassee, FL, USA", Realm: "fsu"})
+	n.AddSite(Site{Name: SiteCardiff, Location: "Cardiff, UK", Realm: "cardiff"})
+	for k, rtt := range paperRTT {
+		n.SetRTT(k.a, k.b, rtt)
+	}
+	return n
+}

@@ -1,0 +1,314 @@
+// Package testbed assembles complete discovery deployments on the simulated
+// paper WAN: a network, a BDN, a set of brokers wired into a chosen topology,
+// and discovery clients — everything the experiments and integration tests
+// need to rerun the paper's evaluation.
+package testbed
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"narada/internal/bdn"
+	"narada/internal/broker"
+	"narada/internal/core"
+	"narada/internal/metrics"
+	"narada/internal/ntptime"
+	"narada/internal/simnet"
+	"narada/internal/topology"
+	"narada/internal/transport"
+)
+
+// MulticastGroup is the discovery multicast group used across the testbed.
+const MulticastGroup = "narada/discovery"
+
+const mib = 1024 * 1024
+
+// BrokerSpec describes one broker to deploy.
+type BrokerSpec struct {
+	Site       string        // simulator site
+	Name       string        // logical address
+	Usage      metrics.Usage // initial load profile (zero = sensible default)
+	Register   bool          // register with the BDN at start-up
+	Processing time.Duration // per-request handling cost
+}
+
+// Options configures a testbed deployment.
+type Options struct {
+	// Scale is the model-time speed-up (default 200).
+	Scale float64
+	// Seed drives all randomness (default 1).
+	Seed int64
+	// Loss is the default inter-site datagram loss probability.
+	Loss float64
+	// DuplicateProb is the probability an inter-site datagram is delivered
+	// twice (dedup robustness scenarios).
+	DuplicateProb float64
+	// Topology names the broker wiring (topology package constants).
+	Topology string
+	// Brokers lists the brokers to deploy; nil deploys the paper's five
+	// (one per Table 1 machine), all registered.
+	Brokers []BrokerSpec
+	// BDNSite places the first BDN (default Bloomington, as in the paper).
+	BDNSite string
+	// BDNCount deploys that many BDNs (default 1): the first at BDNSite,
+	// the rest spread over the other sites — the paper's
+	// gridservicelocator.org/.com/.net/.info replication. Brokers register
+	// with every BDN; discovery clients receive all addresses in order.
+	BDNCount int
+	// NoBDN deploys no BDN at all (multicast-only and cached-set scenarios).
+	NoBDN bool
+	// InjectPolicy selects the BDN's injection strategy. The zero value is
+	// InjectAll (the unconnected-topology behaviour); connected topologies
+	// usually want bdn.InjectClosestFarthest.
+	InjectPolicy bdn.InjectionPolicy
+	// InjectOverhead is the BDN's per-injection cost (default 40 ms).
+	InjectOverhead time.Duration
+	// Multicast joins every broker to the discovery multicast group.
+	Multicast bool
+	// BrokerProcessing is the default per-request handling cost for brokers
+	// whose spec leaves Processing zero.
+	BrokerProcessing time.Duration
+	// Policy, when set, is the response policy installed on every broker
+	// (nil leaves the open default).
+	Policy *core.ResponsePolicy
+	// Routing selects the broker network's dissemination mode for
+	// application events (flooding by default).
+	Routing broker.RoutingMode
+	// MaxSkew bounds each node's hardware clock error (default 20 ms).
+	MaxSkew time.Duration
+}
+
+func (o *Options) fillDefaults() {
+	if o.Scale <= 0 {
+		o.Scale = 200
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	if o.Topology == "" {
+		o.Topology = topology.Unconnected
+	}
+	if o.BDNSite == "" {
+		o.BDNSite = simnet.SiteBloomington
+	}
+	if o.InjectOverhead == 0 {
+		o.InjectOverhead = bdn.DefaultInjectOverhead
+	}
+	if o.BrokerProcessing == 0 {
+		o.BrokerProcessing = 2 * time.Millisecond
+	}
+	if o.MaxSkew == 0 {
+		o.MaxSkew = 20 * time.Millisecond
+	}
+	if o.Brokers == nil {
+		o.Brokers = PaperBrokers()
+	}
+}
+
+// PaperBrokers returns the five Table 1 brokers, registered, with modestly
+// varied load profiles.
+func PaperBrokers() []BrokerSpec {
+	sites := []string{
+		simnet.SiteIndianapolis, simnet.SiteUMN, simnet.SiteNCSA,
+		simnet.SiteFSU, simnet.SiteCardiff,
+	}
+	specs := make([]BrokerSpec, len(sites))
+	for i, site := range sites {
+		specs[i] = BrokerSpec{
+			Site: site,
+			Name: fmt.Sprintf("broker-%s", site),
+			Usage: metrics.Usage{
+				TotalMemBytes: 512 * mib,
+				UsedMemBytes:  uint64(64+32*i) * mib,
+				CPULoad:       0.05 * float64(i),
+			},
+			Register: true,
+		}
+	}
+	return specs
+}
+
+// Testbed is a deployed discovery environment.
+type Testbed struct {
+	Net     *simnet.Network
+	BDN     *bdn.BDN   // the primary BDN (nil with NoBDN)
+	BDNs    []*bdn.BDN // all deployed BDNs, primary first
+	Brokers []*broker.Broker
+	Edges   []topology.Edge
+
+	opts Options
+	rng  *rand.Rand
+	ntps []*ntptime.Service // broker (and BDN) time services, for inspection
+}
+
+// New builds and starts a testbed.
+func New(opts Options) (*Testbed, error) {
+	opts.fillDefaults()
+	net := simnet.NewPaperWAN(simnet.Config{
+		Scale:         opts.Scale,
+		Seed:          opts.Seed,
+		DefaultLoss:   opts.Loss,
+		DuplicateProb: opts.DuplicateProb,
+	})
+	tb := &Testbed{Net: net, opts: opts, rng: rand.New(rand.NewSource(opts.Seed + 7))}
+
+	// BDNs: gridservicelocator.org at the primary site, further replicas
+	// (.com, .net, .info) spread across the WAN.
+	if !opts.NoBDN {
+		if opts.BDNCount <= 0 {
+			opts.BDNCount = 1
+		}
+		tlds := []string{"org", "com", "net", "info"}
+		sites := simnet.PaperSiteNames()
+		for i := 0; i < opts.BDNCount; i++ {
+			site := opts.BDNSite
+			if i > 0 {
+				site = sites[i%len(sites)]
+			}
+			node, ntp := tb.newNode(site, fmt.Sprintf("bdn%d", i))
+			d, err := bdn.New(node, ntp, bdn.Config{
+				Name:           "gridservicelocator." + tlds[i%len(tlds)],
+				Policy:         opts.InjectPolicy,
+				InjectOverhead: opts.InjectOverhead,
+			})
+			if err != nil {
+				tb.Close()
+				return nil, err
+			}
+			if err := d.Start(); err != nil {
+				tb.Close()
+				return nil, err
+			}
+			tb.BDNs = append(tb.BDNs, d)
+		}
+		tb.BDN = tb.BDNs[0]
+	}
+
+	// Brokers.
+	for i, spec := range opts.Brokers {
+		proc := spec.Processing
+		if proc == 0 {
+			proc = opts.BrokerProcessing
+		}
+		usage := spec.Usage
+		if usage.TotalMemBytes == 0 {
+			usage.TotalMemBytes = 512 * mib
+			usage.UsedMemBytes = 64 * mib
+		}
+		node, ntp := tb.newNode(spec.Site, spec.Name)
+		cfg := broker.Config{
+			LogicalAddress:  spec.Name,
+			Hostname:        spec.Name + "." + spec.Site,
+			Realm:           spec.Site,
+			Sampler:         metrics.NewStaticSampler(usage),
+			ProcessingDelay: proc,
+		}
+		if opts.Multicast {
+			cfg.MulticastGroup = MulticastGroup
+		}
+		if opts.Policy != nil {
+			cfg.Policy = *opts.Policy
+		}
+		cfg.Routing = opts.Routing
+		b, err := broker.New(node, ntp, cfg)
+		if err != nil {
+			tb.Close()
+			return nil, err
+		}
+		if err := b.Start(); err != nil {
+			tb.Close()
+			return nil, err
+		}
+		tb.Brokers = append(tb.Brokers, b)
+		if spec.Register {
+			for _, d := range tb.BDNs {
+				if err := b.RegisterWithBDN(d.Addr()); err != nil {
+					tb.Close()
+					return nil, fmt.Errorf("testbed: registering %s: %w", spec.Name, err)
+				}
+			}
+		}
+		_ = i
+	}
+
+	// Topology.
+	build, err := topology.ByName(opts.Topology)
+	if err != nil {
+		tb.Close()
+		return nil, err
+	}
+	edges, err := build(tb.Brokers)
+	if err != nil {
+		tb.Close()
+		return nil, err
+	}
+	tb.Edges = edges
+
+	// Let registrations and link handshakes settle, then measure distances
+	// for the closest/farthest injection policy.
+	net.Clock().Sleep(200 * time.Millisecond)
+	for _, d := range tb.BDNs {
+		d.MeasureDistances()
+	}
+	return tb, nil
+}
+
+// newNode creates a transport node with a random hardware-clock skew and a
+// synchronized NTP service for it.
+func (tb *Testbed) newNode(site, host string) (*transport.SimNode, *ntptime.Service) {
+	skew := tb.Net.RandomSkew(tb.opts.MaxSkew)
+	node := transport.NewSimNode(tb.Net, site, host, skew)
+	ntp := ntptime.NewService(node.Clock(), skew, tb.rng)
+	ntp.InitImmediately()
+	tb.ntps = append(tb.ntps, ntp)
+	return node, ntp
+}
+
+// NewDiscoverer creates a discovery client at the given site. The supplied
+// config's zero fields are filled with defaults wired to this testbed (BDN
+// address, multicast group, realm).
+func (tb *Testbed) NewDiscoverer(site, name string, cfg core.Config) *core.Discoverer {
+	node, ntp := tb.newNode(site, name)
+	if cfg.NodeName == "" {
+		cfg.NodeName = name
+	}
+	if cfg.Realm == "" {
+		cfg.Realm = site
+	}
+	if cfg.BDNAddrs == nil {
+		for _, d := range tb.BDNs {
+			cfg.BDNAddrs = append(cfg.BDNAddrs, d.Addr())
+		}
+	}
+	if cfg.MulticastGroup == "" && tb.opts.Multicast {
+		cfg.MulticastGroup = MulticastGroup
+	}
+	return core.NewDiscoverer(node, ntp, cfg)
+}
+
+// ClientNode creates a plain transport node at a site (for broker.Connect).
+func (tb *Testbed) ClientNode(site, name string) *transport.SimNode {
+	node, _ := tb.newNode(site, name)
+	return node
+}
+
+// BrokerByName returns the deployed broker with the given logical address.
+func (tb *Testbed) BrokerByName(name string) *broker.Broker {
+	for _, b := range tb.Brokers {
+		if b.LogicalAddress() == name {
+			return b
+		}
+	}
+	return nil
+}
+
+// Close tears the deployment down.
+func (tb *Testbed) Close() {
+	for _, b := range tb.Brokers {
+		b.Close()
+	}
+	for _, d := range tb.BDNs {
+		d.Close()
+	}
+}

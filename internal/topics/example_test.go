@@ -1,0 +1,28 @@
+package topics_test
+
+import (
+	"fmt"
+
+	"narada/internal/topics"
+)
+
+func ExampleMatch() {
+	fmt.Println(topics.Match("Services/*/BrokerAdvertisement", topics.AdvertisementTopic))
+	fmt.Println(topics.Match("sports/**", "sports/cricket/scores"))
+	fmt.Println(topics.Match("sports/cricket", "sports/football"))
+	// Output:
+	// true
+	// true
+	// false
+}
+
+func ExampleTable() {
+	t := topics.NewTable()
+	_ = t.Subscribe("alice", "market/nasdaq/*")
+	_ = t.Subscribe("bob", "market/**")
+	fmt.Println(t.Match("market/nasdaq/GOOG"))
+	fmt.Println(t.Match("market/nyse/IBM"))
+	// Output:
+	// [alice bob]
+	// [bob]
+}

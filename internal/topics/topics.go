@@ -1,0 +1,375 @@
+// Package topics implements the publish/subscribe topic model: topics are
+// '/'-separated strings ("these have sometimes also been referred to as
+// subjects"); subscribers register interest in topics and the substrate
+// routes events published on a topic to the subscribers that registered an
+// interest in it.
+//
+// Subscription patterns extend plain topics with two wildcards:
+//
+//	"*"  matches exactly one segment       (Services/*/Advertisement)
+//	"**" matches any suffix, terminal only (Services/**)
+//
+// Matching is served by a segment trie, so the cost is proportional to the
+// topic depth rather than to the number of subscriptions.
+package topics
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Well-known topics used by the discovery scheme (paper §2.3).
+const (
+	// AdvertisementTopic is the public topic all BDNs subscribe to for
+	// broker advertisements.
+	AdvertisementTopic = "Services/BrokerDiscoveryNodes/BrokerAdvertisement"
+	// DiscoveryTopic is the predefined topic on which brokers propagate
+	// discovery requests, guaranteeing the request can reach every broker
+	// connected in the network.
+	DiscoveryTopic = "Services/BrokerDiscoveryNodes/DiscoveryRequest"
+)
+
+const (
+	// Separator splits topic segments.
+	Separator = "/"
+	// WildcardOne matches exactly one segment in a pattern.
+	WildcardOne = "*"
+	// WildcardAny matches any suffix; only valid as the final segment.
+	WildcardAny = "**"
+	// MaxDepth bounds topic depth to keep tries shallow.
+	MaxDepth = 32
+)
+
+// Validation errors.
+var (
+	ErrEmptyTopic      = errors.New("topics: empty topic")
+	ErrEmptySegment    = errors.New("topics: empty segment")
+	ErrTooDeep         = errors.New("topics: too many segments")
+	ErrWildcardInTopic = errors.New("topics: wildcard not allowed in a concrete topic")
+	ErrWildcardAnyPos  = errors.New("topics: ** must be the final segment")
+)
+
+// Split breaks a topic into segments without validation.
+func Split(topic string) []string { return strings.Split(topic, Separator) }
+
+// Validate checks a concrete (publishable) topic.
+func Validate(topic string) error {
+	segs, err := checkSegments(topic)
+	if err != nil {
+		return err
+	}
+	for _, s := range segs {
+		if s == WildcardOne || s == WildcardAny {
+			return fmt.Errorf("%w: %q", ErrWildcardInTopic, topic)
+		}
+	}
+	return nil
+}
+
+// ValidatePattern checks a subscription pattern.
+func ValidatePattern(pattern string) error {
+	segs, err := checkSegments(pattern)
+	if err != nil {
+		return err
+	}
+	for i, s := range segs {
+		if s == WildcardAny && i != len(segs)-1 {
+			return fmt.Errorf("%w: %q", ErrWildcardAnyPos, pattern)
+		}
+	}
+	return nil
+}
+
+func checkSegments(topic string) ([]string, error) {
+	if topic == "" {
+		return nil, ErrEmptyTopic
+	}
+	segs := Split(topic)
+	if len(segs) > MaxDepth {
+		return nil, fmt.Errorf("%w: %d segments", ErrTooDeep, len(segs))
+	}
+	for _, s := range segs {
+		if s == "" {
+			return nil, fmt.Errorf("%w: %q", ErrEmptySegment, topic)
+		}
+	}
+	return segs, nil
+}
+
+// Match reports whether a concrete topic matches a subscription pattern.
+// Neither argument is validated; invalid input simply fails to match.
+func Match(pattern, topic string) bool {
+	ps, ts := Split(pattern), Split(topic)
+	for i, p := range ps {
+		if p == WildcardAny {
+			// Terminal ** matches one or more remaining segments.
+			return i == len(ps)-1 && i < len(ts)
+		}
+		if i >= len(ts) {
+			return false
+		}
+		if p != WildcardOne && p != ts[i] {
+			return false
+		}
+	}
+	return len(ps) == len(ts)
+}
+
+// Table is a concurrent subscription registry mapping patterns to subscriber
+// identities.
+type Table struct {
+	mu   sync.RWMutex
+	root *trieNode
+	// byID tracks each subscriber's patterns for bulk removal.
+	byID map[string]map[string]struct{}
+	subs int // total (id, pattern) registrations
+}
+
+type trieNode struct {
+	children map[string]*trieNode
+	ids      map[string]struct{} // ids subscribed to the exact path ending here
+	anyIDs   map[string]struct{} // ids subscribed with a terminal ** here
+}
+
+func newTrieNode() *trieNode { return &trieNode{} }
+
+// NewTable returns an empty subscription table.
+func NewTable() *Table {
+	return &Table{root: newTrieNode(), byID: make(map[string]map[string]struct{})}
+}
+
+// Subscribe registers the subscriber id for the pattern.
+// Duplicate registrations are idempotent.
+func (t *Table) Subscribe(id, pattern string) error {
+	_, err := t.SubscribeAdded(id, pattern)
+	return err
+}
+
+// SubscribeAdded registers the subscriber id for the pattern and reports
+// whether a new registration was created (false for idempotent duplicates) —
+// the signal interest propagation needs.
+func (t *Table) SubscribeAdded(id, pattern string) (bool, error) {
+	if err := ValidatePattern(pattern); err != nil {
+		return false, err
+	}
+	segs := Split(pattern)
+	t.mu.Lock()
+	defer t.mu.Unlock()
+
+	node := t.root
+	terminalAny := false
+	for i, s := range segs {
+		if s == WildcardAny && i == len(segs)-1 {
+			terminalAny = true
+			break
+		}
+		if node.children == nil {
+			node.children = make(map[string]*trieNode)
+		}
+		next, ok := node.children[s]
+		if !ok {
+			next = newTrieNode()
+			node.children[s] = next
+		}
+		node = next
+	}
+	var set *map[string]struct{}
+	if terminalAny {
+		set = &node.anyIDs
+	} else {
+		set = &node.ids
+	}
+	if *set == nil {
+		*set = make(map[string]struct{})
+	}
+	if _, dup := (*set)[id]; dup {
+		return false, nil
+	}
+	(*set)[id] = struct{}{}
+
+	pats, ok := t.byID[id]
+	if !ok {
+		pats = make(map[string]struct{})
+		t.byID[id] = pats
+	}
+	pats[pattern] = struct{}{}
+	t.subs++
+	return true, nil
+}
+
+// Unsubscribe removes one (id, pattern) registration; it reports whether the
+// registration existed.
+func (t *Table) Unsubscribe(id, pattern string) bool {
+	if ValidatePattern(pattern) != nil {
+		return false
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if pats, ok := t.byID[id]; !ok {
+		return false
+	} else if _, ok := pats[pattern]; !ok {
+		return false
+	}
+	t.removeLocked(id, pattern)
+	return true
+}
+
+// UnsubscribeAll removes every registration of the subscriber, returning the
+// number removed.
+func (t *Table) UnsubscribeAll(id string) int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	pats := t.byID[id]
+	n := 0
+	for pattern := range pats {
+		t.removeLocked(id, pattern)
+		n++
+	}
+	return n
+}
+
+// removeLocked deletes one registration and prunes empty trie nodes.
+func (t *Table) removeLocked(id, pattern string) {
+	segs := Split(pattern)
+	terminalAny := segs[len(segs)-1] == WildcardAny
+	if terminalAny {
+		segs = segs[:len(segs)-1]
+	}
+	// Walk down recording the path for pruning.
+	path := make([]*trieNode, 0, len(segs)+1)
+	node := t.root
+	path = append(path, node)
+	for _, s := range segs {
+		next, ok := node.children[s]
+		if !ok {
+			return
+		}
+		node = next
+		path = append(path, node)
+	}
+	if terminalAny {
+		delete(node.anyIDs, id)
+	} else {
+		delete(node.ids, id)
+	}
+	// Prune empty leaves bottom-up.
+	for i := len(path) - 1; i > 0; i-- {
+		n := path[i]
+		if len(n.ids) == 0 && len(n.anyIDs) == 0 && len(n.children) == 0 {
+			delete(path[i-1].children, segs[i-1])
+		} else {
+			break
+		}
+	}
+	pats := t.byID[id]
+	delete(pats, pattern)
+	if len(pats) == 0 {
+		delete(t.byID, id)
+	}
+	t.subs--
+}
+
+// Match returns the sorted, de-duplicated subscriber ids whose patterns
+// match the concrete topic.
+func (t *Table) Match(topic string) []string {
+	segs := Split(topic)
+	out := make(map[string]struct{})
+	t.mu.RLock()
+	matchTrie(t.root, segs, out)
+	t.mu.RUnlock()
+	if len(out) == 0 {
+		return nil
+	}
+	ids := make([]string, 0, len(out))
+	for id := range out {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	return ids
+}
+
+func matchTrie(node *trieNode, segs []string, out map[string]struct{}) {
+	// A terminal ** at this node matches the (non-empty) remaining suffix —
+	// and also an exact end: "a/**" matches "a/b" and "a/b/c" but not "a".
+	if len(segs) > 0 {
+		for id := range node.anyIDs {
+			out[id] = struct{}{}
+		}
+	}
+	if len(segs) == 0 {
+		for id := range node.ids {
+			out[id] = struct{}{}
+		}
+		return
+	}
+	if node.children == nil {
+		return
+	}
+	if next, ok := node.children[segs[0]]; ok {
+		matchTrie(next, segs[1:], out)
+	}
+	if next, ok := node.children[WildcardOne]; ok {
+		matchTrie(next, segs[1:], out)
+	}
+}
+
+// HasMatch reports whether any subscriber matches the topic (cheaper than
+// Match when only a boolean is needed, e.g. deciding whether to forward).
+func (t *Table) HasMatch(topic string) bool {
+	segs := Split(topic)
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return hasMatchTrie(t.root, segs)
+}
+
+func hasMatchTrie(node *trieNode, segs []string) bool {
+	if len(segs) > 0 && len(node.anyIDs) > 0 {
+		return true
+	}
+	if len(segs) == 0 {
+		return len(node.ids) > 0
+	}
+	if node.children == nil {
+		return false
+	}
+	if next, ok := node.children[segs[0]]; ok && hasMatchTrie(next, segs[1:]) {
+		return true
+	}
+	if next, ok := node.children[WildcardOne]; ok && hasMatchTrie(next, segs[1:]) {
+		return true
+	}
+	return false
+}
+
+// Patterns returns the sorted patterns registered by a subscriber.
+func (t *Table) Patterns(id string) []string {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	pats := t.byID[id]
+	if len(pats) == 0 {
+		return nil
+	}
+	out := make([]string, 0, len(pats))
+	for p := range pats {
+		out = append(out, p)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Len returns the total number of (subscriber, pattern) registrations.
+func (t *Table) Len() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.subs
+}
+
+// Subscribers returns the number of distinct subscriber ids.
+func (t *Table) Subscribers() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return len(t.byID)
+}

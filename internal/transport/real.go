@@ -1,0 +1,322 @@
+package transport
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+
+	"narada/internal/ntptime"
+)
+
+// MaxFrame bounds a single TCP frame (matches wire.MaxBytesLen plus headroom
+// for the envelope).
+const MaxFrame = 1<<24 + 1024
+
+// DefaultMulticastGroups maps symbolic group names used by the protocol to
+// concrete IP multicast addresses for real deployments.
+var DefaultMulticastGroups = map[string]string{
+	"narada/discovery": "239.192.77.77:45454",
+}
+
+// RealNode is the Node implementation over the operating system's sockets.
+type RealNode struct {
+	bindIP string
+	clock  ntptime.SystemClock
+	groups map[string]string
+}
+
+// NewRealNode creates a socket-backed node binding to bindIP ("" means all
+// interfaces, "127.0.0.1" keeps everything loopback-local). groups may be nil
+// to use DefaultMulticastGroups.
+func NewRealNode(bindIP string, groups map[string]string) *RealNode {
+	if groups == nil {
+		groups = DefaultMulticastGroups
+	}
+	return &RealNode{bindIP: bindIP, groups: groups}
+}
+
+// Clock implements Node.
+func (n *RealNode) Clock() ntptime.Clock { return n.clock }
+
+// ListenPacket implements Node.
+func (n *RealNode) ListenPacket(port int) (PacketConn, error) {
+	addr := &net.UDPAddr{IP: net.ParseIP(n.bindIP), Port: port}
+	uc, err := net.ListenUDP("udp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return &realPacketConn{node: n, uc: uc}, nil
+}
+
+// Listen implements Node.
+func (n *RealNode) Listen(port int) (Listener, error) {
+	l, err := net.Listen("tcp", fmt.Sprintf("%s:%d", n.bindIP, port))
+	if err != nil {
+		return nil, err
+	}
+	return &realListener{l: l}, nil
+}
+
+// Dial implements Node.
+func (n *RealNode) Dial(addr string) (Conn, error) {
+	c, err := net.DialTimeout("tcp", addr, 10*time.Second)
+	if err != nil {
+		return nil, err
+	}
+	return newRealConn(c), nil
+}
+
+type realPacketConn struct {
+	node *RealNode
+	uc   *net.UDPConn
+
+	mu     sync.Mutex
+	joined map[string]*net.UDPConn // group name -> multicast reader
+	inbox  chan packet
+	once   sync.Once
+}
+
+type packet struct {
+	payload []byte
+	from    string
+}
+
+func (p *realPacketConn) Send(to string, payload []byte) error {
+	addr, err := net.ResolveUDPAddr("udp", to)
+	if err != nil {
+		return err
+	}
+	_, err = p.uc.WriteToUDP(payload, addr)
+	return translateNetErr(err)
+}
+
+func (p *realPacketConn) Recv() ([]byte, string, error) {
+	return p.recv(0)
+}
+
+func (p *realPacketConn) RecvTimeout(d time.Duration) ([]byte, string, error) {
+	return p.recv(d)
+}
+
+// recv reads from the unicast socket or, when groups are joined, from the
+// merged inbox fed by reader goroutines.
+func (p *realPacketConn) recv(d time.Duration) ([]byte, string, error) {
+	p.mu.Lock()
+	inbox := p.inbox
+	p.mu.Unlock()
+	if inbox != nil {
+		var timer <-chan time.Time
+		if d > 0 {
+			timer = time.After(d)
+		}
+		select {
+		case pkt, ok := <-inbox:
+			if !ok {
+				return nil, "", ErrClosed
+			}
+			return pkt.payload, pkt.from, nil
+		case <-timer:
+			return nil, "", ErrTimeout
+		}
+	}
+	if d > 0 {
+		if err := p.uc.SetReadDeadline(time.Now().Add(d)); err != nil {
+			return nil, "", err
+		}
+		defer p.uc.SetReadDeadline(time.Time{}) //nolint:errcheck
+	}
+	buf := make([]byte, 65536)
+	n, from, err := p.uc.ReadFromUDP(buf)
+	if err != nil {
+		return nil, "", translateNetErr(err)
+	}
+	return buf[:n], from.String(), nil
+}
+
+func (p *realPacketConn) LocalAddr() string { return p.uc.LocalAddr().String() }
+
+func (p *realPacketConn) groupAddr(group string) (string, error) {
+	if a, ok := p.node.groups[group]; ok {
+		return a, nil
+	}
+	// Allow literal "ip:port" groups.
+	if _, err := net.ResolveUDPAddr("udp", group); err == nil {
+		return group, nil
+	}
+	return "", fmt.Errorf("transport: unknown multicast group %q", group)
+}
+
+func (p *realPacketConn) JoinGroup(group string) error {
+	addrStr, err := p.groupAddr(group)
+	if err != nil {
+		return err
+	}
+	gaddr, err := net.ResolveUDPAddr("udp", addrStr)
+	if err != nil {
+		return err
+	}
+	mc, err := net.ListenMulticastUDP("udp", nil, gaddr)
+	if err != nil {
+		return err
+	}
+	p.mu.Lock()
+	if p.joined == nil {
+		p.joined = make(map[string]*net.UDPConn)
+	}
+	if _, dup := p.joined[group]; dup {
+		p.mu.Unlock()
+		_ = mc.Close()
+		return nil
+	}
+	p.joined[group] = mc
+	if p.inbox == nil {
+		p.inbox = make(chan packet, 256)
+		go p.pumpUnicast()
+	}
+	inbox := p.inbox
+	p.mu.Unlock()
+	go pumpReader(mc, inbox)
+	return nil
+}
+
+// pumpUnicast forwards unicast datagrams into the merged inbox once
+// multicast readers exist.
+func (p *realPacketConn) pumpUnicast() {
+	pumpReader(p.uc, p.inbox)
+}
+
+func pumpReader(uc *net.UDPConn, inbox chan packet) {
+	buf := make([]byte, 65536)
+	for {
+		n, from, err := uc.ReadFromUDP(buf)
+		if err != nil {
+			return
+		}
+		payload := append([]byte(nil), buf[:n]...)
+		select {
+		case inbox <- packet{payload: payload, from: from.String()}:
+		default: // inbox overflow: drop like a kernel buffer
+		}
+	}
+}
+
+func (p *realPacketConn) LeaveGroup(group string) error {
+	p.mu.Lock()
+	mc, ok := p.joined[group]
+	delete(p.joined, group)
+	p.mu.Unlock()
+	if ok {
+		return mc.Close()
+	}
+	return nil
+}
+
+func (p *realPacketConn) SendGroup(group string, payload []byte) error {
+	addrStr, err := p.groupAddr(group)
+	if err != nil {
+		return err
+	}
+	return p.Send(addrStr, payload)
+}
+
+func (p *realPacketConn) Close() error {
+	var err error
+	p.once.Do(func() {
+		p.mu.Lock()
+		for _, mc := range p.joined {
+			_ = mc.Close()
+		}
+		p.joined = nil
+		p.mu.Unlock()
+		err = p.uc.Close()
+	})
+	return err
+}
+
+// realConn frames messages over TCP with a 4-byte big-endian length prefix.
+type realConn struct {
+	c       net.Conn
+	readMu  sync.Mutex
+	writeMu sync.Mutex
+}
+
+func newRealConn(c net.Conn) *realConn { return &realConn{c: c} }
+
+func (c *realConn) Send(payload []byte) error {
+	if len(payload) > MaxFrame {
+		return fmt.Errorf("transport: frame of %d bytes exceeds limit", len(payload))
+	}
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(payload)))
+	c.writeMu.Lock()
+	defer c.writeMu.Unlock()
+	if _, err := c.c.Write(hdr[:]); err != nil {
+		return translateNetErr(err)
+	}
+	_, err := c.c.Write(payload)
+	return translateNetErr(err)
+}
+
+func (c *realConn) Recv() ([]byte, error) { return c.recv(0) }
+
+func (c *realConn) RecvTimeout(d time.Duration) ([]byte, error) { return c.recv(d) }
+
+func (c *realConn) recv(d time.Duration) ([]byte, error) {
+	c.readMu.Lock()
+	defer c.readMu.Unlock()
+	if d > 0 {
+		if err := c.c.SetReadDeadline(time.Now().Add(d)); err != nil {
+			return nil, err
+		}
+		defer c.c.SetReadDeadline(time.Time{}) //nolint:errcheck
+	}
+	var hdr [4]byte
+	if _, err := io.ReadFull(c.c, hdr[:]); err != nil {
+		return nil, translateNetErr(err)
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n > MaxFrame {
+		return nil, fmt.Errorf("transport: incoming frame of %d bytes exceeds limit", n)
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(c.c, payload); err != nil {
+		return nil, translateNetErr(err)
+	}
+	return payload, nil
+}
+
+func (c *realConn) LocalAddr() string  { return c.c.LocalAddr().String() }
+func (c *realConn) RemoteAddr() string { return c.c.RemoteAddr().String() }
+func (c *realConn) Close() error       { return c.c.Close() }
+
+type realListener struct{ l net.Listener }
+
+func (l *realListener) Accept() (Conn, error) {
+	c, err := l.l.Accept()
+	if err != nil {
+		return nil, translateNetErr(err)
+	}
+	return newRealConn(c), nil
+}
+
+func (l *realListener) Addr() string { return l.l.Addr().String() }
+func (l *realListener) Close() error { return l.l.Close() }
+
+// translateNetErr maps net errors onto the transport vocabulary.
+func translateNetErr(err error) error {
+	if err == nil {
+		return nil
+	}
+	var nerr net.Error
+	if errors.As(err, &nerr) && nerr.Timeout() {
+		return ErrTimeout
+	}
+	if errors.Is(err, net.ErrClosed) || errors.Is(err, io.EOF) {
+		return ErrClosed
+	}
+	return err
+}

@@ -1,0 +1,330 @@
+package transport
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"narada/internal/simnet"
+)
+
+func newSimPair(t *testing.T) (*SimNode, *SimNode) {
+	t.Helper()
+	n := simnet.NewPaperWAN(simnet.Config{Scale: 500, Seed: 42})
+	a := NewSimNode(n, simnet.SiteBloomington, "a", 0)
+	b := NewSimNode(n, simnet.SiteFSU, "b", 5*time.Millisecond)
+	return a, b
+}
+
+func TestParseSimAddr(t *testing.T) {
+	a, err := ParseSimAddr("fsu/broker1:42")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := simnet.Addr{Site: "fsu", Host: "broker1", Port: 42}
+	if a != want {
+		t.Fatalf("got %+v", a)
+	}
+	if FormatSimAddr(want) != "fsu/broker1:42" {
+		t.Fatalf("FormatSimAddr = %q", FormatSimAddr(want))
+	}
+	for _, bad := range []string{"", "nohost", "fsu/x", "x:1", "fsu/x:notaport"} {
+		if _, err := ParseSimAddr(bad); err == nil {
+			t.Errorf("ParseSimAddr(%q) accepted", bad)
+		}
+	}
+}
+
+func TestSimPacketRoundTrip(t *testing.T) {
+	a, b := newSimPair(t)
+	pa, err := a.ListenPacket(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pb, err := b.ListenPacket(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := pa.Send(pb.LocalAddr(), []byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	payload, from, err := pb.RecvTimeout(5 * time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(payload) != "hello" || from != pa.LocalAddr() {
+		t.Fatalf("got %q from %q", payload, from)
+	}
+}
+
+func TestSimPacketTimeout(t *testing.T) {
+	a, _ := newSimPair(t)
+	pa, _ := a.ListenPacket(0)
+	if _, _, err := pa.RecvTimeout(50 * time.Millisecond); !errors.Is(err, ErrTimeout) {
+		t.Fatalf("err = %v, want ErrTimeout", err)
+	}
+}
+
+func TestSimStreamRoundTrip(t *testing.T) {
+	a, b := newSimPair(t)
+	l, err := b.Listen(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() {
+		srv, err := l.Accept()
+		if err != nil {
+			return
+		}
+		for {
+			msg, err := srv.Recv()
+			if err != nil {
+				return
+			}
+			if err := srv.Send(append([]byte("echo:"), msg...)); err != nil {
+				return
+			}
+		}
+	}()
+	c, err := a.Dial(l.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Send([]byte("ping")); err != nil {
+		t.Fatal(err)
+	}
+	got, err := c.RecvTimeout(5 * time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "echo:ping" {
+		t.Fatalf("got %q", got)
+	}
+	_ = c.Close()
+}
+
+func TestSimMulticastViaInterface(t *testing.T) {
+	n := simnet.NewPaperWAN(simnet.Config{Scale: 500, Seed: 7})
+	client := NewSimNode(n, simnet.SiteBloomington, "cli", 0)
+	labBroker := NewSimNode(n, simnet.SiteIndianapolis, "b1", 0)
+	farBroker := NewSimNode(n, simnet.SiteCardiff, "b2", 0)
+
+	pc, _ := client.ListenPacket(0)
+	pl, _ := labBroker.ListenPacket(0)
+	pf, _ := farBroker.ListenPacket(0)
+	const group = "narada/discovery"
+	_ = pl.JoinGroup(group)
+	_ = pf.JoinGroup(group)
+
+	if err := pc.SendGroup(group, []byte("anyone")); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := pl.RecvTimeout(2 * time.Second); err != nil {
+		t.Fatalf("lab broker missed multicast: %v", err)
+	}
+	if _, _, err := pf.RecvTimeout(200 * time.Millisecond); !errors.Is(err, ErrTimeout) {
+		t.Fatalf("realm scoping failed: %v", err)
+	}
+}
+
+func TestRealPacketRoundTrip(t *testing.T) {
+	node := NewRealNode("127.0.0.1", nil)
+	pa, err := node.ListenPacket(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pa.Close()
+	pb, err := node.ListenPacket(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pb.Close()
+	if err := pa.Send(pb.LocalAddr(), []byte("real-udp")); err != nil {
+		t.Fatal(err)
+	}
+	payload, from, err := pb.RecvTimeout(2 * time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(payload) != "real-udp" || from == "" {
+		t.Fatalf("got %q from %q", payload, from)
+	}
+}
+
+func TestRealPacketTimeout(t *testing.T) {
+	node := NewRealNode("127.0.0.1", nil)
+	pc, err := node.ListenPacket(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pc.Close()
+	if _, _, err := pc.RecvTimeout(50 * time.Millisecond); !errors.Is(err, ErrTimeout) {
+		t.Fatalf("err = %v, want ErrTimeout", err)
+	}
+}
+
+func TestRealStreamRoundTripAndFraming(t *testing.T) {
+	node := NewRealNode("127.0.0.1", nil)
+	l, err := node.Listen(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	go func() {
+		srv, err := l.Accept()
+		if err != nil {
+			return
+		}
+		defer srv.Close()
+		for i := 0; i < 3; i++ {
+			msg, err := srv.Recv()
+			if err != nil {
+				return
+			}
+			if err := srv.Send(msg); err != nil {
+				return
+			}
+		}
+	}()
+	c, err := node.Dial(l.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	// Mixed sizes, including empty, must frame cleanly.
+	for _, msg := range [][]byte{[]byte("x"), {}, make([]byte, 100000)} {
+		if err := c.Send(msg); err != nil {
+			t.Fatal(err)
+		}
+		got, err := c.RecvTimeout(2 * time.Second)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != len(msg) {
+			t.Fatalf("echo size = %d, want %d", len(got), len(msg))
+		}
+	}
+}
+
+func TestRealStreamClosedPeer(t *testing.T) {
+	node := NewRealNode("127.0.0.1", nil)
+	l, err := node.Listen(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	go func() {
+		srv, err := l.Accept()
+		if err == nil {
+			_ = srv.Close()
+		}
+	}()
+	c, err := node.Dial(l.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if _, err := c.RecvTimeout(2 * time.Second); !errors.Is(err, ErrClosed) {
+		t.Fatalf("err = %v, want ErrClosed", err)
+	}
+}
+
+func TestRealOversizedFrameRejected(t *testing.T) {
+	node := NewRealNode("127.0.0.1", nil)
+	l, _ := node.Listen(0)
+	defer l.Close()
+	go func() {
+		c, err := l.Accept()
+		if err == nil {
+			defer c.Close()
+			_, _ = c.Recv()
+		}
+	}()
+	c, err := node.Dial(l.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if err := c.Send(make([]byte, MaxFrame+1)); err == nil {
+		t.Fatal("oversized frame accepted")
+	}
+}
+
+func TestRealMulticastLoopback(t *testing.T) {
+	// IP multicast may be unavailable in constrained environments; skip then.
+	node := NewRealNode("", nil)
+	recvPC, err := node.ListenPacket(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer recvPC.Close()
+	const group = "narada/discovery"
+	if err := recvPC.JoinGroup(group); err != nil {
+		t.Skipf("multicast unavailable: %v", err)
+	}
+	sendPC, err := node.ListenPacket(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sendPC.Close()
+	if err := sendPC.SendGroup(group, []byte("mc")); err != nil {
+		t.Skipf("multicast send unavailable: %v", err)
+	}
+	payload, _, err := recvPC.RecvTimeout(2 * time.Second)
+	if err != nil {
+		t.Skipf("multicast delivery unavailable: %v", err)
+	}
+	if string(payload) != "mc" {
+		t.Fatalf("got %q", payload)
+	}
+}
+
+func TestRealUnknownGroup(t *testing.T) {
+	node := NewRealNode("127.0.0.1", map[string]string{})
+	pc, _ := node.ListenPacket(0)
+	defer pc.Close()
+	if err := pc.JoinGroup("not-a-group-or-addr"); err == nil {
+		t.Fatal("unknown group accepted")
+	}
+}
+
+func TestNodeInterfaceCompliance(t *testing.T) {
+	var _ Node = (*SimNode)(nil)
+	var _ Node = (*RealNode)(nil)
+}
+
+func BenchmarkSimStreamThroughput(b *testing.B) {
+	n := simnet.NewPaperWAN(simnet.Config{Scale: 1000, Seed: 1})
+	a := NewSimNode(n, simnet.SiteBloomington, "a", 0)
+	c := NewSimNode(n, simnet.SiteIndianapolis, "c", 0)
+	l, _ := c.Listen(0)
+	go func() {
+		srv, err := l.Accept()
+		if err != nil {
+			return
+		}
+		for {
+			if _, err := srv.Recv(); err != nil {
+				return
+			}
+		}
+	}()
+	conn, err := a.Dial(l.Addr())
+	if err != nil {
+		b.Fatal(err)
+	}
+	msg := make([]byte, 512)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := conn.Send(msg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func ExampleParseSimAddr() {
+	addr, _ := ParseSimAddr("cardiff/broker2:10042")
+	fmt.Println(addr.Site, addr.Host, addr.Port)
+	// Output: cardiff broker2 10042
+}

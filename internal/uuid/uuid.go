@@ -1,0 +1,93 @@
+// Package uuid implements RFC-4122 version-4 (random) UUIDs.
+//
+// Every BrokerDiscoveryRequest carries a UUID that uniquely identifies it;
+// brokers and BDNs use the UUID both for idempotent request handling and to
+// correlate discovery responses with the request that solicited them.
+package uuid
+
+import (
+	"crypto/rand"
+	"encoding/hex"
+	"errors"
+	"fmt"
+)
+
+// UUID is a 128-bit RFC-4122 universally unique identifier.
+type UUID [16]byte
+
+// Nil is the zero UUID, used to mean "no request".
+var Nil UUID
+
+// New returns a fresh version-4 UUID drawn from crypto/rand.
+// It panics only if the platform entropy source is broken, in which case no
+// part of the system can make progress anyway.
+func New() UUID {
+	var u UUID
+	if _, err := rand.Read(u[:]); err != nil {
+		panic("uuid: entropy source failed: " + err.Error())
+	}
+	u[6] = (u[6] & 0x0f) | 0x40 // version 4
+	u[8] = (u[8] & 0x3f) | 0x80 // RFC-4122 variant
+	return u
+}
+
+// String renders the UUID in the canonical 8-4-4-4-12 form.
+func (u UUID) String() string {
+	var buf [36]byte
+	hex.Encode(buf[0:8], u[0:4])
+	buf[8] = '-'
+	hex.Encode(buf[9:13], u[4:6])
+	buf[13] = '-'
+	hex.Encode(buf[14:18], u[6:8])
+	buf[18] = '-'
+	hex.Encode(buf[19:23], u[8:10])
+	buf[23] = '-'
+	hex.Encode(buf[24:36], u[10:16])
+	return string(buf[:])
+}
+
+// IsNil reports whether u is the zero UUID.
+func (u UUID) IsNil() bool { return u == Nil }
+
+// Version returns the UUID version field (4 for UUIDs from New).
+func (u UUID) Version() int { return int(u[6] >> 4) }
+
+// ErrInvalidUUID is returned by Parse for malformed input.
+var ErrInvalidUUID = errors.New("uuid: invalid format")
+
+// Parse decodes a canonical 8-4-4-4-12 textual UUID.
+func Parse(s string) (UUID, error) {
+	var u UUID
+	if len(s) != 36 || s[8] != '-' || s[13] != '-' || s[18] != '-' || s[23] != '-' {
+		return Nil, fmt.Errorf("%w: %q", ErrInvalidUUID, s)
+	}
+	hexParts := []struct {
+		dst  []byte
+		text string
+	}{
+		{u[0:4], s[0:8]},
+		{u[4:6], s[9:13]},
+		{u[6:8], s[14:18]},
+		{u[8:10], s[19:23]},
+		{u[10:16], s[24:36]},
+	}
+	for _, p := range hexParts {
+		if _, err := hex.Decode(p.dst, []byte(p.text)); err != nil {
+			return Nil, fmt.Errorf("%w: %q", ErrInvalidUUID, s)
+		}
+	}
+	return u, nil
+}
+
+// MarshalText implements encoding.TextMarshaler.
+func (u UUID) MarshalText() ([]byte, error) { return []byte(u.String()), nil }
+
+// UnmarshalText implements encoding.TextUnmarshaler.
+func (u *UUID) UnmarshalText(b []byte) error {
+	v, err := Parse(string(b))
+	if err != nil {
+		return err
+	}
+	*u = v
+	return nil
+}

@@ -1,0 +1,114 @@
+package uuid
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestNewIsV4(t *testing.T) {
+	u := New()
+	if u.Version() != 4 {
+		t.Fatalf("version = %d, want 4", u.Version())
+	}
+	if u[8]&0xc0 != 0x80 {
+		t.Fatalf("variant bits = %x, want 10xxxxxx", u[8])
+	}
+}
+
+func TestNewNotNil(t *testing.T) {
+	if New().IsNil() {
+		t.Fatal("New returned the nil UUID")
+	}
+	if !Nil.IsNil() {
+		t.Fatal("Nil.IsNil() = false")
+	}
+}
+
+func TestUniqueness(t *testing.T) {
+	const n = 10000
+	seen := make(map[UUID]bool, n)
+	for i := 0; i < n; i++ {
+		u := New()
+		if seen[u] {
+			t.Fatalf("duplicate UUID after %d draws: %s", i, u)
+		}
+		seen[u] = true
+	}
+}
+
+func TestStringFormat(t *testing.T) {
+	u := New()
+	s := u.String()
+	if len(s) != 36 {
+		t.Fatalf("len(String()) = %d, want 36", len(s))
+	}
+	for _, i := range []int{8, 13, 18, 23} {
+		if s[i] != '-' {
+			t.Fatalf("String() = %q, missing dash at %d", s, i)
+		}
+	}
+}
+
+func TestParseRoundTrip(t *testing.T) {
+	f := func(b [16]byte) bool {
+		u := UUID(b)
+		v, err := Parse(u.String())
+		return err == nil && v == u
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParseRejectsMalformed(t *testing.T) {
+	bad := []string{
+		"",
+		"not-a-uuid",
+		"00000000-0000-0000-0000-00000000000",   // too short
+		"00000000-0000-0000-0000-0000000000000", // too long
+		"00000000x0000-0000-0000-000000000000",  // wrong separator
+		"g0000000-0000-0000-0000-000000000000",  // non-hex
+		"00000000-0000-0000-0000-00000000000g",  // non-hex at end
+	}
+	for _, s := range bad {
+		if _, err := Parse(s); err == nil {
+			t.Errorf("Parse(%q) succeeded, want error", s)
+		}
+	}
+}
+
+func TestTextMarshalRoundTrip(t *testing.T) {
+	u := New()
+	b, err := u.MarshalText()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var v UUID
+	if err := v.UnmarshalText(b); err != nil {
+		t.Fatal(err)
+	}
+	if v != u {
+		t.Fatalf("round trip mismatch: %s != %s", v, u)
+	}
+}
+
+func TestUnmarshalTextError(t *testing.T) {
+	var v UUID
+	if err := v.UnmarshalText([]byte("bogus")); err == nil {
+		t.Fatal("UnmarshalText accepted bogus input")
+	}
+}
+
+func BenchmarkNew(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_ = New()
+	}
+}
+
+func BenchmarkString(b *testing.B) {
+	u := New()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = u.String()
+	}
+}
