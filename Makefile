@@ -1,0 +1,36 @@
+GO ?= go
+
+.PHONY: all build test race vet fmt-check verify bench fuzz
+
+all: build
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+vet:
+	$(GO) vet ./...
+
+fmt-check:
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
+# verify is the tier-1 gate: everything must pass before a merge.
+verify: build vet fmt-check test race
+
+# bench runs the publish fast-path micro-benchmarks that back
+# BENCH_fastpath.json (fan-out, topic matching, codec, dedup).
+bench:
+	$(GO) test -run '^$$' -bench 'BenchmarkPublishFanout' -benchmem -benchtime=2s ./internal/broker/
+	$(GO) test -run '^$$' -bench 'BenchmarkTableMatch' -benchmem -benchtime=2s ./internal/topics/
+	$(GO) test -run '^$$' -bench 'BenchmarkEventCodec' -benchmem -benchtime=2s ./internal/event/
+	$(GO) test -run '^$$' -bench 'BenchmarkSeenParallel' -benchmem -benchtime=2s ./internal/dedup/
+
+# fuzz gives the differential matcher fuzzer a short budget; CI-friendly.
+fuzz:
+	$(GO) test -run '^$$' -fuzz FuzzTableMatchDifferential -fuzztime 30s ./internal/topics/

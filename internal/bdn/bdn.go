@@ -417,14 +417,23 @@ func (d *BDN) inject(ev *event.Event) {
 	}
 }
 
+// injectTarget is a value snapshot of a registration, taken under d.mu, so
+// inject can send without holding the lock and without racing registration
+// teardown (which nils the conn) or advertisement refreshes.
+type injectTarget struct {
+	ad       *core.Advertisement
+	conn     transport.Conn
+	distance time.Duration
+}
+
 // injectionTargets snapshots the brokers to inject into under the policy.
-func (d *BDN) injectionTargets() []*registration {
+func (d *BDN) injectionTargets() []injectTarget {
 	d.mu.Lock()
-	defer d.mu.Unlock()
-	all := make([]*registration, 0, len(d.brokers))
+	all := make([]injectTarget, 0, len(d.brokers))
 	for _, r := range d.brokers {
-		all = append(all, r)
+		all = append(all, injectTarget{ad: r.ad, conn: r.conn, distance: r.distance})
 	}
+	d.mu.Unlock()
 	// Deterministic order: by logical address.
 	sort.Slice(all, func(i, j int) bool {
 		return all[i].ad.Broker.LogicalAddress < all[j].ad.Broker.LogicalAddress
@@ -434,7 +443,7 @@ func (d *BDN) injectionTargets() []*registration {
 	}
 	// Closest and farthest by measured distance; unmeasured brokers sort
 	// after measured ones so fresh registrations are still reachable.
-	byDist := append([]*registration(nil), all...)
+	byDist := append([]injectTarget(nil), all...)
 	sort.SliceStable(byDist, func(i, j int) bool {
 		di, dj := byDist[i].distance, byDist[j].distance
 		switch {
@@ -446,7 +455,7 @@ func (d *BDN) injectionTargets() []*registration {
 			return di < dj
 		}
 	})
-	return []*registration{byDist[0], byDist[len(byDist)-1]}
+	return []injectTarget{byDist[0], byDist[len(byDist)-1]}
 }
 
 // MeasureDistances pings every registered broker's UDP endpoint and records

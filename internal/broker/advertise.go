@@ -38,16 +38,19 @@ func (b *Broker) RegisterWithBDN(addr string) error {
 	}
 
 	lk := &link{peer: "bdn:" + addr, role: roleBDN, conn: conn}
+	lk.out = newEgress(conn, &b.egressDropped)
 	if !b.registerLink(lk) {
 		_ = conn.Close()
 		return errors.New("broker: closed")
 	}
+	b.startEgress(lk.out)
 	b.connectionsChanged()
 
 	b.wg.Add(1)
 	go func() {
 		defer b.wg.Done()
 		defer func() {
+			lk.out.close()
 			_ = conn.Close()
 			b.mu.Lock()
 			if b.links[lk.peer] == lk {

@@ -112,10 +112,28 @@ type Broker struct {
 	clients map[string]*clientConn
 	started bool
 
+	// egressDropped counts frames discarded by overflowing egress queues
+	// (drop-oldest policy), across all links and clients.
+	egressDropped metrics.Counter
+
 	closed    chan struct{}
 	closeOnce sync.Once
 	wg        sync.WaitGroup
 }
+
+// startEgress launches the writer goroutine draining q, tracked by the
+// broker's waitgroup so Close waits for flushes.
+func (b *Broker) startEgress(q *egress) {
+	b.wg.Add(1)
+	go func() {
+		defer b.wg.Done()
+		q.run()
+	}()
+}
+
+// EgressDropped returns the number of frames dropped by overflowing egress
+// queues since the broker started.
+func (b *Broker) EgressDropped() uint64 { return b.egressDropped.Value() }
 
 // linkSetter is satisfied by samplers that track the live connection count.
 type linkSetter interface{ SetLinks(int) }
@@ -190,7 +208,13 @@ func (b *Broker) Start() error {
 	return nil
 }
 
-// Close stops the broker and tears down every connection.
+// closeFlushTimeout bounds (in model time) how long Close waits for egress
+// queues to flush before tearing connections down.
+const closeFlushTimeout = 2 * time.Second
+
+// Close stops the broker and tears down every connection. Egress queues are
+// asked to flush first so frames already accepted for delivery reach live
+// peers, then the connections are closed to unblock any stalled writer.
 func (b *Broker) Close() {
 	b.closeOnce.Do(func() {
 		close(b.closed)
@@ -201,13 +225,44 @@ func (b *Broker) Close() {
 			_ = b.udp.Close()
 		}
 		b.mu.Lock()
+		links := make([]*link, 0, len(b.links))
 		for _, lk := range b.links {
-			_ = lk.conn.Close()
+			links = append(links, lk)
 		}
+		clients := make([]*clientConn, 0, len(b.clients))
 		for _, c := range b.clients {
-			_ = c.conn.Close()
+			clients = append(clients, c)
 		}
 		b.mu.Unlock()
+		queues := make([]*egress, 0, len(links)+len(clients))
+		for _, lk := range links {
+			if lk.out != nil {
+				queues = append(queues, lk.out)
+			}
+		}
+		for _, c := range clients {
+			if c.out != nil {
+				queues = append(queues, c.out)
+			}
+		}
+		for _, q := range queues {
+			q.close()
+		}
+		if len(queues) > 0 {
+			expire := b.node.Clock().After(closeFlushTimeout)
+			for _, q := range queues {
+				select {
+				case <-q.dead:
+				case <-expire:
+				}
+			}
+		}
+		for _, lk := range links {
+			_ = lk.conn.Close()
+		}
+		for _, c := range clients {
+			_ = c.conn.Close()
+		}
 		b.wg.Wait()
 	})
 }

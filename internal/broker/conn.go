@@ -2,7 +2,7 @@ package broker
 
 import (
 	"errors"
-	"fmt"
+	"strconv"
 	"sync"
 	"time"
 
@@ -16,6 +16,7 @@ type link struct {
 	peer string // peer logical address
 	role string // roleLink or roleBDN
 	conn transport.Conn
+	out  *egress // asynchronous outbound queue (set before registration)
 
 	mu       sync.Mutex
 	lastRecv time.Time // last inbound frame, for heartbeat liveness
@@ -37,6 +38,7 @@ func (lk *link) lastSeen() time.Time {
 type clientConn struct {
 	id   string // remote address, used as subscriber identity
 	conn transport.Conn
+	out  *egress // asynchronous outbound queue (set before registration)
 }
 
 // acceptLoop admits stream connections and classifies them by their first
@@ -75,10 +77,12 @@ func (b *Broker) handleConn(conn transport.Conn) {
 		return
 	}
 	c := &clientConn{id: conn.RemoteAddr(), conn: conn}
+	c.out = newEgress(conn, &b.egressDropped)
 	if !b.registerClient(c) {
 		_ = conn.Close()
 		return
 	}
+	b.startEgress(c.out)
 	b.connectionsChanged()
 	b.handleClientEvent(c, ev)
 	b.serveClient(c)
@@ -87,6 +91,7 @@ func (b *Broker) handleConn(conn transport.Conn) {
 // serveClient pumps a client session until it disconnects.
 func (b *Broker) serveClient(c *clientConn) {
 	defer func() {
+		c.out.close()
 		_ = c.conn.Close()
 		patterns := b.subs.Patterns(c.id)
 		b.subs.UnsubscribeAll(c.id)
@@ -137,10 +142,14 @@ func (b *Broker) handleClientEvent(c *clientConn, ev *event.Event) {
 		// Replay request: re-deliver retained history matching the pattern
 		// straight to this client.
 		if ev.Header(controlOpHeader) == opReplay && b.history != nil {
-			limit := 0
-			fmt.Sscanf(ev.Header(replayLimitHeader), "%d", &limit) //nolint:errcheck
+			// strconv.Atoi is far cheaper than fmt.Sscanf and, unlike it,
+			// rejects trailing garbage instead of silently accepting it.
+			limit, err := strconv.Atoi(ev.Header(replayLimitHeader))
+			if err != nil || limit < 0 {
+				limit = 0
+			}
 			for _, past := range b.history.Replay(ev.Topic, limit) {
-				_ = c.conn.Send(event.Encode(past))
+				c.out.sendData(event.Encode(past))
 			}
 		}
 	case event.TypeDiscoveryRequest:

@@ -78,12 +78,14 @@ func (b *Broker) handleDiscoveryRequest(ev *event.Event, fromPeer string) {
 	if ev.TTL > 0 {
 		fwdReq := *req
 		fwdReq.Hops++
-		fwd := ev.Clone()
+		// Shallow event copy: only the TTL and payload differ, and Encode
+		// does not retain the event.
+		fwd := *ev
 		fwd.TTL--
 		fwd.Payload = core.EncodeDiscoveryRequest(&fwdReq)
-		frame := event.Encode(fwd)
+		frame := event.Encode(&fwd)
 		for _, lk := range b.linksExcept(fromPeer) {
-			_ = lk.conn.Send(frame)
+			lk.out.sendData(frame)
 		}
 	}
 

@@ -1,0 +1,123 @@
+package broker
+
+import (
+	"sync"
+
+	"narada/internal/metrics"
+	"narada/internal/transport"
+)
+
+// egressQueueSize bounds the frames queued in front of one connection. At
+// 512 frames a slow peer can lag ~half a second of full-rate traffic before
+// the overflow policy kicks in, while a dead peer costs at most one queue of
+// memory instead of a stalled routing loop.
+const egressQueueSize = 512
+
+// egress is the bounded asynchronous outbound queue in front of every link
+// and client connection. The routing loop enqueues frames and moves on; a
+// dedicated writer goroutine drains the queue into the connection, so one
+// slow or dead peer no longer head-of-line-blocks delivery to everyone else.
+//
+// Two enqueue disciplines implement the fabric's policies:
+//
+//   - sendData (publishes, discovery floods): never blocks; when the queue
+//     is full the oldest queued frame is dropped and counted, trading
+//     completeness for liveness exactly like the client-side inbox.
+//   - sendControl (interest updates, heartbeats): never dropped; blocks
+//     until queued, applying bounded backpressure for the small volume of
+//     correctness-critical control traffic.
+type egress struct {
+	conn transport.Conn
+	ch   chan []byte
+
+	stopOnce sync.Once
+	stop     chan struct{} // ask the writer to flush and exit
+	dead     chan struct{} // closed when the writer has exited
+
+	dropped *metrics.Counter // broker-wide overflow counter
+}
+
+func newEgress(conn transport.Conn, dropped *metrics.Counter) *egress {
+	return &egress{
+		conn:    conn,
+		ch:      make(chan []byte, egressQueueSize),
+		stop:    make(chan struct{}),
+		dead:    make(chan struct{}),
+		dropped: dropped,
+	}
+}
+
+// run drains the queue into the connection until the connection fails or a
+// close flushes the queue. A failed send closes the connection so the
+// owning recv loop tears the session down.
+func (q *egress) run() {
+	defer close(q.dead)
+	for {
+		select {
+		case frame := <-q.ch:
+			if q.conn.Send(frame) != nil {
+				_ = q.conn.Close()
+				return
+			}
+		case <-q.stop:
+			q.flush()
+			return
+		}
+	}
+}
+
+// flush best-effort drains whatever is queued at close time; frames that
+// fail to send (connection already down) are discarded.
+func (q *egress) flush() {
+	for {
+		select {
+		case frame := <-q.ch:
+			if q.conn.Send(frame) != nil {
+				_ = q.conn.Close()
+				return
+			}
+		default:
+			return
+		}
+	}
+}
+
+// close asks the writer to flush queued frames and exit. Safe to call more
+// than once and concurrently with enqueues.
+func (q *egress) close() {
+	q.stopOnce.Do(func() { close(q.stop) })
+}
+
+// sendData enqueues an application/dissemination frame with the drop-oldest
+// overflow policy.
+func (q *egress) sendData(frame []byte) {
+	select {
+	case q.ch <- frame:
+		return
+	default:
+	}
+	// Queue full: evict the oldest frame, then retry once. A concurrent
+	// writer drain can make room in between, in which case nothing is lost.
+	select {
+	case <-q.ch:
+		q.dropped.Add(1)
+	default:
+	}
+	select {
+	case q.ch <- frame:
+	default:
+		q.dropped.Add(1)
+	}
+}
+
+// sendControl enqueues a control frame that must not be dropped, blocking
+// until there is room. It reports false when the writer has already exited
+// (connection down), so callers can stop producing.
+func (q *egress) sendControl(frame []byte) bool {
+	select {
+	case q.ch <- frame:
+		return true
+	case <-q.dead:
+		return false
+	}
+}

@@ -1,0 +1,144 @@
+package broker
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"narada/internal/metrics"
+	"narada/internal/transport"
+)
+
+// blockConn blocks every Send until released, simulating a stalled peer.
+type blockConn struct {
+	release chan struct{}
+	closed  chan struct{}
+	once    sync.Once
+}
+
+func newBlockConn() *blockConn {
+	return &blockConn{release: make(chan struct{}), closed: make(chan struct{})}
+}
+
+func (c *blockConn) Send([]byte) error {
+	select {
+	case <-c.release:
+		return nil
+	case <-c.closed:
+		return transport.ErrClosed
+	}
+}
+func (c *blockConn) Recv() ([]byte, error)                     { select {} }
+func (c *blockConn) RecvTimeout(time.Duration) ([]byte, error) { return nil, transport.ErrTimeout }
+func (c *blockConn) LocalAddr() string                         { return "test/block:0" }
+func (c *blockConn) RemoteAddr() string                        { return "test/block:0" }
+func (c *blockConn) Close() error {
+	c.once.Do(func() { close(c.closed) })
+	return nil
+}
+
+// recConn records every frame it is asked to send.
+type recConn struct {
+	mu     sync.Mutex
+	frames [][]byte
+}
+
+func (c *recConn) Send(f []byte) error {
+	c.mu.Lock()
+	c.frames = append(c.frames, f)
+	c.mu.Unlock()
+	return nil
+}
+func (c *recConn) Recv() ([]byte, error)                     { select {} }
+func (c *recConn) RecvTimeout(time.Duration) ([]byte, error) { return nil, transport.ErrTimeout }
+func (c *recConn) LocalAddr() string                         { return "test/rec:0" }
+func (c *recConn) RemoteAddr() string                        { return "test/rec:0" }
+func (c *recConn) Close() error                              { return nil }
+
+func (c *recConn) count() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.frames)
+}
+
+// TestEgressOverflowDropsOldest proves the routing loop can never be stalled
+// by a dead peer: sendData against a fully blocked connection keeps
+// returning immediately, and the overflow is counted.
+func TestEgressOverflowDropsOldest(t *testing.T) {
+	var dropped metrics.Counter
+	conn := newBlockConn()
+	q := newEgress(conn, &dropped)
+	go q.run()
+
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 4*egressQueueSize; i++ {
+			q.sendData([]byte{byte(i)})
+		}
+	}()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("sendData blocked on a stalled peer")
+	}
+	if dropped.Value() == 0 {
+		t.Fatal("overflow on a stalled peer was not counted")
+	}
+	_ = conn.Close()
+	<-q.dead
+}
+
+// TestEgressFlushesOnClose proves frames accepted before a close are still
+// written out: the writer drains the whole queue before exiting.
+func TestEgressFlushesOnClose(t *testing.T) {
+	var dropped metrics.Counter
+	conn := &recConn{}
+	q := newEgress(conn, &dropped)
+	const frames = 100
+	for i := 0; i < frames; i++ {
+		q.sendData([]byte{byte(i)})
+	}
+	q.close()
+	q.run() // synchronous: drains everything, then exits via flush
+	if got := conn.count(); got != frames {
+		t.Fatalf("flushed %d frames on close, want %d", got, frames)
+	}
+	if dropped.Value() != 0 {
+		t.Fatalf("flush dropped %d frames", dropped.Value())
+	}
+}
+
+// TestEgressControlFailsAfterDeath proves sendControl cannot hang forever on
+// a dead connection: once the writer exits, it reports failure.
+func TestEgressControlFailsAfterDeath(t *testing.T) {
+	var dropped metrics.Counter
+	conn := newBlockConn()
+	_ = conn.Close() // sends fail immediately
+	q := newEgress(conn, &dropped)
+	q.sendData([]byte{1}) // give the writer a frame so it hits the send error
+	go q.run()
+	<-q.dead
+	// Past a dead writer, sendControl may still queue into the buffered
+	// channel (a benign race with the dead signal) but can never block and
+	// can never succeed more often than the queue holds.
+	successes := 0
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 2*egressQueueSize; i++ {
+			if q.sendControl([]byte{2}) {
+				successes++
+			}
+		}
+	}()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("sendControl blocked on a dead writer")
+	}
+	if successes > egressQueueSize {
+		t.Fatalf("%d sendControl calls succeeded past a dead writer, queue holds %d",
+			successes, egressQueueSize)
+	}
+}

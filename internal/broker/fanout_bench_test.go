@@ -1,0 +1,88 @@
+package broker
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"narada/internal/event"
+	"narada/internal/metrics"
+	"narada/internal/ntptime"
+	"narada/internal/simnet"
+	"narada/internal/transport"
+)
+
+// nopConn is a transport.Conn that discards every frame, so the fan-out
+// benchmark measures the broker's own publish pipeline (matching, locking,
+// encoding, queueing) rather than a peer's consumption speed.
+type nopConn struct{}
+
+func (nopConn) Send([]byte) error                         { return nil }
+func (nopConn) Recv() ([]byte, error)                     { select {} }
+func (nopConn) RecvTimeout(time.Duration) ([]byte, error) { return nil, transport.ErrTimeout }
+func (nopConn) LocalAddr() string                         { return "bench/nop:0" }
+func (nopConn) RemoteAddr() string                        { return "bench/nop:0" }
+func (nopConn) Close() error                              { return nil }
+
+// newFanoutBroker builds an unstarted broker suitable for driving
+// routePublish directly.
+func newFanoutBroker(b *testing.B) *Broker {
+	b.Helper()
+	net := simnet.NewPaperWAN(simnet.Config{Scale: 20000, Seed: 1})
+	node := transport.NewSimNode(net, simnet.SiteIndianapolis, "fan", 0)
+	ntp := ntptime.NewService(node.Clock(), 0, nil)
+	ntp.InitImmediately()
+	br, err := New(node, ntp, Config{
+		LogicalAddress: "fan",
+		Sampler:        metrics.NewStaticSampler(metrics.Usage{TotalMemBytes: 1 << 30}),
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return br
+}
+
+// addBenchClient registers a discard-everything client straight into the
+// broker's client table, with a running egress writer like a real session.
+func addBenchClient(br *Broker, id string) {
+	c := &clientConn{id: id, conn: nopConn{}}
+	c.out = newEgress(c.conn, &br.egressDropped)
+	br.startEgress(c.out)
+	br.mu.Lock()
+	br.clients[id] = c
+	br.mu.Unlock()
+}
+
+// BenchmarkPublishFanout measures the core publish fan-out path: one event
+// delivered to 64 local subscribers (a mix of exact and wildcard interest).
+// This is the hot loop behind every advertisement, discovery request and
+// application publish in the substrate.
+func BenchmarkPublishFanout(b *testing.B) {
+	br := newFanoutBroker(b)
+	const subscribers = 64
+	for i := 0; i < subscribers; i++ {
+		id := fmt.Sprintf("sub-%d", i)
+		addBenchClient(br, id)
+		pattern := "bench/fan/topic"
+		switch i % 4 {
+		case 1:
+			pattern = "bench/fan/*"
+		case 2:
+			pattern = "bench/**"
+		}
+		if err := br.subs.Subscribe(id, pattern); err != nil {
+			b.Fatal(err)
+		}
+	}
+
+	payload := make([]byte, 256)
+	ev := event.New(event.TypePublish, "bench/fan/topic", payload)
+	ev.Source = "fan"
+
+	b.SetBytes(int64(len(payload)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		br.routePublish(ev, "")
+	}
+}

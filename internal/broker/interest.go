@@ -141,12 +141,14 @@ func (b *Broker) interestUpdate(pattern, source string, delta int) (notify []*li
 	return notify, op
 }
 
-// sendInterest transmits one interest-control event over a link.
+// sendInterest transmits one interest-control event over a link. Interest
+// updates are correctness-critical, so they use the non-droppable control
+// discipline of the egress queue.
 func (b *Broker) sendInterest(lk *link, op, pattern string) {
 	ev := event.New(event.TypeControl, pattern, nil)
 	ev.Source = b.cfg.LogicalAddress
 	ev.SetHeader(controlOpHeader, op)
-	_ = lk.conn.Send(event.Encode(ev))
+	_ = lk.out.sendControl(event.Encode(ev))
 }
 
 // localInterestChanged is called when a client subscription is added or

@@ -1,6 +1,7 @@
 package broker
 
 import (
+	"sync"
 	"time"
 
 	"narada/internal/event"
@@ -24,10 +25,12 @@ func (b *Broker) serveLink(lk *link, replyHello bool) {
 		}
 	}
 
+	lk.out = newEgress(lk.conn, &b.egressDropped)
 	if !b.registerLink(lk) {
 		_ = lk.conn.Close()
 		return
 	}
+	b.startEgress(lk.out)
 	b.connectionsChanged()
 	b.cfg.Logger.Info("link up", "peer", lk.peer, "role", lk.role)
 	lk.touch(b.node.Clock().Now())
@@ -42,6 +45,7 @@ func (b *Broker) serveLink(lk *link, replyHello bool) {
 		}()
 	}
 	defer func() {
+		lk.out.close()
 		_ = lk.conn.Close()
 		b.mu.Lock()
 		wasCurrent := b.links[lk.peer] == lk
@@ -87,7 +91,7 @@ func (b *Broker) heartbeatLink(lk *link) {
 		}
 		hb := event.New(event.TypeLinkHeartbeat, "", nil)
 		hb.Source = b.cfg.LogicalAddress
-		if err := lk.conn.Send(event.Encode(hb)); err != nil {
+		if !lk.out.sendControl(event.Encode(hb)) {
 			_ = lk.conn.Close()
 			return
 		}
@@ -116,44 +120,97 @@ func (b *Broker) handleLinkEvent(lk *link, ev *event.Event) {
 	}
 }
 
+// pubScratch holds the per-publish scratch buffers the fan-out path reuses
+// across events, keeping the hot loop free of allocations.
+type pubScratch struct {
+	ids    []string  // matched subscriber ids (deduped, unsorted)
+	peers  []string  // link peers with matching remote interest
+	locals []*egress // matched local client queues
+	links  []*egress // forwarding targets
+}
+
+var pubScratchPool = sync.Pool{New: func() any {
+	return &pubScratch{
+		ids:    make([]string, 0, 64),
+		peers:  make([]string, 0, 8),
+		locals: make([]*egress, 0, 64),
+		links:  make([]*egress, 0, 8),
+	}
+}}
+
+func containsString(ss []string, s string) bool {
+	for _, have := range ss {
+		if have == s {
+			return true
+		}
+	}
+	return false
+}
+
 // routePublish delivers a publish event to matching local subscribers and
 // forwards it over links (except the one it arrived on), decrementing the
 // TTL. In RouteFlood mode every link is used; in RouteSubscriptions mode
 // only links whose peer registered a matching interest. Duplicate
 // suppression has already happened at the ingress point.
+//
+// This is the substrate's hottest loop, so it is built around three rules:
+// match without allocating (MatchAppend into pooled scratch), snapshot every
+// delivery target under a single lock acquisition, and encode each distinct
+// frame exactly once no matter how wide the fan-out. Actual writes happen on
+// the per-connection egress queues, so a slow peer cannot stall routing.
 func (b *Broker) routePublish(ev *event.Event, fromPeer string) {
 	if b.history != nil {
 		b.history.Add(ev)
 	}
-	var interestedPeers map[string]bool
-	for _, id := range b.subs.Match(ev.Topic) {
+	sc := pubScratchPool.Get().(*pubScratch)
+	sc.ids = b.subs.MatchAppend(ev.Topic, sc.ids[:0])
+	sc.peers = sc.peers[:0]
+	sc.locals = sc.locals[:0]
+	sc.links = sc.links[:0]
+
+	// One lock acquisition snapshots every delivery target: matched local
+	// clients, and (TTL permitting) the forwarding links.
+	b.mu.Lock()
+	for _, id := range sc.ids {
 		if peer, isLink := isLinkSubscriber(id); isLink {
-			if interestedPeers == nil {
-				interestedPeers = make(map[string]bool, 4)
+			sc.peers = append(sc.peers, peer)
+			continue
+		}
+		if c, ok := b.clients[id]; ok {
+			sc.locals = append(sc.locals, c.out)
+		}
+	}
+	if ev.TTL > 0 {
+		for name, lk := range b.links {
+			if name == fromPeer || lk.role == roleBDN {
+				continue
 			}
-			interestedPeers[peer] = true
-			continue
-		}
-		b.mu.Lock()
-		c, ok := b.clients[id]
-		b.mu.Unlock()
-		if ok {
-			_ = c.conn.Send(event.Encode(ev))
+			if b.cfg.Routing == RouteSubscriptions && !containsString(sc.peers, name) {
+				continue
+			}
+			sc.links = append(sc.links, lk.out)
 		}
 	}
-	// Network dissemination.
-	if ev.TTL == 0 {
-		return
-	}
-	fwd := ev.Clone()
-	fwd.TTL--
-	frame := event.Encode(fwd)
-	for _, lk := range b.linksExcept(fromPeer) {
-		if b.cfg.Routing == RouteSubscriptions && !interestedPeers[lk.peer] {
-			continue
+	b.mu.Unlock()
+
+	// Local delivery: one frame shared by every matched subscriber.
+	if len(sc.locals) > 0 {
+		frame := event.Encode(ev)
+		for _, q := range sc.locals {
+			q.sendData(frame)
 		}
-		_ = lk.conn.Send(frame)
 	}
+	// Network dissemination: one TTL-decremented frame shared by every link.
+	// A shallow copy suffices — Encode only reads the event.
+	if len(sc.links) > 0 {
+		fwd := *ev
+		fwd.TTL--
+		frame := event.Encode(&fwd)
+		for _, q := range sc.links {
+			q.sendData(frame)
+		}
+	}
+	pubScratchPool.Put(sc)
 }
 
 // linksExcept snapshots the broker links excluding one peer and excluding

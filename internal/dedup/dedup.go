@@ -7,6 +7,13 @@
 // The cache is a fixed-capacity FIFO set: insertion order decides eviction
 // (the *last N seen*, exactly as specified), lookups are O(1), and the whole
 // structure is safe for concurrent use by the broker's transport goroutines.
+//
+// Large caches (the broker's event-flood window) are split into shards
+// indexed by the first UUID byte, so concurrent ingress goroutines stop
+// serialising on a single mutex. UUIDs are uniformly random, so each shard
+// holds a fair 1/N slice of the stream and the aggregate keeps the paper's
+// last-N window semantics per shard; small caches stay single-sharded and
+// exactly FIFO.
 package dedup
 
 import (
@@ -18,8 +25,18 @@ import (
 // DefaultCapacity mirrors the paper's default of 1000 remembered requests.
 const DefaultCapacity = 1000
 
-// Cache remembers the most recent Capacity UUIDs it has seen.
-type Cache struct {
+const (
+	// numShards is the shard count for large caches; a power of two so the
+	// shard index is a mask of the (uniformly random) first UUID byte.
+	numShards = 16
+	// shardedMinCapacity is the capacity at which sharding kicks in. Below
+	// it the per-shard windows would be too small to approximate the global
+	// FIFO, and contention on a small cache is rarely the bottleneck.
+	shardedMinCapacity = 2048
+)
+
+// shard is one independently locked FIFO window.
+type shard struct {
 	mu    sync.Mutex
 	cap   int
 	set   map[uuid.UUID]struct{}
@@ -30,75 +47,111 @@ type Cache struct {
 	adds  uint64
 }
 
+// Cache remembers the most recent Capacity UUIDs it has seen.
+type Cache struct {
+	cap    int
+	shards []shard // length 1 or numShards
+}
+
 // New returns a Cache remembering the last capacity UUIDs.
 // capacity <= 0 falls back to DefaultCapacity.
 func New(capacity int) *Cache {
 	if capacity <= 0 {
 		capacity = DefaultCapacity
 	}
-	return &Cache{
-		cap:   capacity,
-		set:   make(map[uuid.UUID]struct{}, capacity),
-		order: make([]uuid.UUID, capacity),
+	n := 1
+	if capacity >= shardedMinCapacity {
+		n = numShards
 	}
+	per := (capacity + n - 1) / n
+	c := &Cache{cap: per * n, shards: make([]shard, n)}
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.cap = per
+		s.set = make(map[uuid.UUID]struct{}, per)
+		s.order = make([]uuid.UUID, per)
+	}
+	return c
+}
+
+func (c *Cache) shardFor(id uuid.UUID) *shard {
+	return &c.shards[int(id[0])&(len(c.shards)-1)]
 }
 
 // Seen records id and reports whether it had already been seen (and is still
 // within the last-capacity window). A true return means "duplicate: skip it".
 func (c *Cache) Seen(id uuid.UUID) bool {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if _, dup := c.set[id]; dup {
-		c.hits++
+	s := c.shardFor(id)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, dup := s.set[id]; dup {
+		s.hits++
 		return true
 	}
-	if c.full {
-		delete(c.set, c.order[c.head])
+	if s.full {
+		delete(s.set, s.order[s.head])
 	}
-	c.order[c.head] = id
-	c.set[id] = struct{}{}
-	c.head++
-	if c.head == c.cap {
-		c.head = 0
-		c.full = true
+	s.order[s.head] = id
+	s.set[id] = struct{}{}
+	s.head++
+	if s.head == s.cap {
+		s.head = 0
+		s.full = true
 	}
-	c.adds++
+	s.adds++
 	return false
 }
 
 // Contains reports whether id is currently remembered, without recording it.
 func (c *Cache) Contains(id uuid.UUID) bool {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	_, ok := c.set[id]
+	s := c.shardFor(id)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	_, ok := s.set[id]
 	return ok
 }
 
 // Len returns the number of UUIDs currently remembered.
 func (c *Cache) Len() int {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return len(c.set)
+	n := 0
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		n += len(s.set)
+		s.mu.Unlock()
+	}
+	return n
 }
 
-// Capacity returns the configured window size.
+// Capacity returns the configured window size (rounded up to a multiple of
+// the shard count for large caches).
 func (c *Cache) Capacity() int { return c.cap }
 
 // Stats returns the number of duplicate hits and total distinct insertions,
 // used by the broker's usage metrics.
 func (c *Cache) Stats() (hits, adds uint64) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.hits, c.adds
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		hits += s.hits
+		adds += s.adds
+		s.mu.Unlock()
+	}
+	return hits, adds
 }
 
-// Reset forgets everything.
+// Reset forgets everything, including the UUIDs lingering in the order ring's
+// backing array, so a reset cache holds no references to old identifiers.
 func (c *Cache) Reset() {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	c.set = make(map[uuid.UUID]struct{}, c.cap)
-	c.head = 0
-	c.full = false
-	c.hits = 0
-	c.adds = 0
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		s.set = make(map[uuid.UUID]struct{}, s.cap)
+		clear(s.order)
+		s.head = 0
+		s.full = false
+		s.hits = 0
+		s.adds = 0
+		s.mu.Unlock()
+	}
 }

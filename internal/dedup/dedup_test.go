@@ -173,3 +173,93 @@ func BenchmarkSeen(b *testing.B) {
 		c.Seen(ids[i%len(ids)])
 	}
 }
+
+// shardedIDs generates ids that cycle shards round-robin, so a sharded
+// cache behaves exactly like a global FIFO and eviction is deterministic.
+func shardedIDs(n int) []uuid.UUID {
+	ids := make([]uuid.UUID, n)
+	for i := range ids {
+		ids[i][0] = byte(i % numShards)
+		ids[i][1] = byte(i >> 16)
+		ids[i][2] = byte(i >> 8)
+		ids[i][3] = byte(i)
+		ids[i][4] = 0xA5 // avoid the zero UUID
+	}
+	return ids
+}
+
+func TestShardedEvictionKeepsLastN(t *testing.T) {
+	const capacity = 4096
+	c := New(capacity)
+	if len(c.shards) != numShards {
+		t.Fatalf("expected %d shards for capacity %d, got %d", numShards, capacity, len(c.shards))
+	}
+	if c.Capacity() != capacity {
+		t.Fatalf("Capacity = %d, want %d", c.Capacity(), capacity)
+	}
+	ids := shardedIDs(2 * capacity)
+	for _, id := range ids {
+		c.Seen(id)
+	}
+	for _, id := range ids[len(ids)-capacity:] {
+		if !c.Contains(id) {
+			t.Fatal("recently seen id evicted early")
+		}
+	}
+	for _, id := range ids[:len(ids)-capacity] {
+		if c.Contains(id) {
+			t.Fatal("stale id survived eviction")
+		}
+	}
+	if c.Len() != capacity {
+		t.Fatalf("Len = %d, want %d", c.Len(), capacity)
+	}
+}
+
+func TestShardedLenNeverExceedsCapacity(t *testing.T) {
+	c := New(shardedMinCapacity)
+	for i := 0; i < 4*shardedMinCapacity; i++ {
+		c.Seen(uuid.New())
+	}
+	if c.Len() > c.Capacity() {
+		t.Fatalf("Len = %d exceeds capacity %d", c.Len(), c.Capacity())
+	}
+}
+
+func TestSmallCapacityStaysSingleShard(t *testing.T) {
+	if c := New(DefaultCapacity); len(c.shards) != 1 {
+		t.Fatalf("capacity %d should use one shard, got %d", DefaultCapacity, len(c.shards))
+	}
+}
+
+func TestResetClearsOrderRing(t *testing.T) {
+	c := New(8)
+	for i := 0; i < 8; i++ {
+		c.Seen(uuid.New())
+	}
+	c.Reset()
+	var zero uuid.UUID
+	for i := range c.shards {
+		for _, id := range c.shards[i].order {
+			if id != zero {
+				t.Fatal("Reset left a stale UUID in the order ring")
+			}
+		}
+	}
+}
+
+func BenchmarkSeenParallel(b *testing.B) {
+	c := New(4096)
+	b.ReportAllocs()
+	b.RunParallel(func(pb *testing.PB) {
+		ids := make([]uuid.UUID, 1024)
+		for i := range ids {
+			ids[i] = uuid.New()
+		}
+		i := 0
+		for pb.Next() {
+			c.Seen(ids[i%len(ids)])
+			i++
+		}
+	})
+}

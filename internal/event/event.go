@@ -122,9 +122,23 @@ const (
 	version byte = 1
 )
 
-// Encode serialises the event with the wire codec.
+// Encode serialises the event with the wire codec. The returned frame is
+// freshly allocated and owned by the caller; the Writer itself is pooled.
 func Encode(e *Event) []byte {
-	w := wire.NewWriter(64 + len(e.Topic) + len(e.Payload))
+	size := 64 + len(e.Topic) + len(e.Source) + len(e.Payload)
+	for k, v := range e.Headers {
+		size += len(k) + len(v) + 4
+	}
+	w := wire.GetWriter(size)
+	EncodeTo(w, e)
+	frame := w.Detach()
+	w.Release()
+	return frame
+}
+
+// EncodeTo serialises the event into an existing writer, letting callers
+// that control the frame's lifecycle reuse buffers.
+func EncodeTo(w *wire.Writer, e *Event) {
 	w.Byte(magic)
 	w.Byte(version)
 	w.Byte(byte(e.Type))
@@ -135,7 +149,6 @@ func Encode(e *Event) []byte {
 	w.Byte(e.TTL)
 	w.StringMap(e.Headers)
 	w.BytesField(e.Payload)
-	return w.Bytes()
 }
 
 // Decode parses an encoded event, validating framing and type.

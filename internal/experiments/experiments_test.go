@@ -11,9 +11,15 @@ import (
 )
 
 // quickOpts keeps test runtime modest while leaving enough samples for the
-// shape assertions to be stable.
+// shape assertions to be stable. Under the race detector model time runs
+// slower, trading runtime for timing deltas the instrumented scheduler
+// cannot blur.
 func quickOpts(seed int64) Options {
-	return Options{Runs: 12, Keep: 10, Scale: 200, Seed: seed}
+	scale := float64(200)
+	if raceEnabled {
+		scale = 25
+	}
+	return Options{Runs: 12, Keep: 10, Scale: scale, Seed: seed}
 }
 
 func TestRegistryComplete(t *testing.T) {

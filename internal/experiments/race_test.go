@@ -1,0 +1,9 @@
+//go:build race
+
+package experiments
+
+// raceEnabled is true when the race detector is compiled in. Race
+// instrumentation inflates real scheduling latency, so the timing-shape
+// tests dilate model time to keep site-to-site delay deltas above the
+// scheduler's noise floor.
+const raceEnabled = true

@@ -1,0 +1,84 @@
+package topics
+
+import (
+	"sort"
+	"testing"
+)
+
+// FuzzTableMatchDifferential cross-checks the trie-based Table.Match (and
+// its allocation-free MatchAppend/MatchEach variants) against the linear
+// Match predicate: for any set of registered patterns, the trie must report
+// exactly the subscribers whose pattern matches the topic linearly.
+func FuzzTableMatchDifferential(f *testing.F) {
+	f.Add("a/b/c", "a/*/c", "a/b/c")
+	f.Add("a/**", "a/b", "a/b/c")
+	f.Add("*", "**", "x")
+	f.Add("Services/*/Advertisement", "Services/**", "Services/BrokerDiscoveryNodes/BrokerAdvertisement")
+	f.Add("a", "a/b", "a")
+	f.Add("*/*", "x/*", "x/y")
+	f.Fuzz(func(t *testing.T, p1, p2, topic string) {
+		if Validate(topic) != nil {
+			return // only concrete topics are publishable
+		}
+		tbl := NewTable()
+		patterns := map[string]string{}
+		if ValidatePattern(p1) == nil {
+			if err := tbl.Subscribe("id1", p1); err != nil {
+				t.Fatalf("subscribe %q: %v", p1, err)
+			}
+			patterns["id1"] = p1
+		}
+		if ValidatePattern(p2) == nil {
+			if err := tbl.Subscribe("id2", p2); err != nil {
+				t.Fatalf("subscribe %q: %v", p2, err)
+			}
+			patterns["id2"] = p2
+		}
+
+		var want []string
+		for id, pattern := range patterns {
+			if Match(pattern, topic) {
+				want = append(want, id)
+			}
+		}
+		sort.Strings(want)
+
+		got := tbl.Match(topic)
+		if !equalStrings(got, want) {
+			t.Fatalf("Match(%q) = %v, linear reference = %v (patterns %v)",
+				topic, got, want, patterns)
+		}
+		if tbl.HasMatch(topic) != (len(want) > 0) {
+			t.Fatalf("HasMatch(%q) = %v disagrees with %v", topic, tbl.HasMatch(topic), want)
+		}
+
+		appended := tbl.MatchAppend(topic, nil)
+		sort.Strings(appended)
+		if !equalStrings(appended, want) {
+			t.Fatalf("MatchAppend(%q) = %v, want %v", topic, appended, want)
+		}
+
+		visited := map[string]bool{}
+		tbl.MatchEach(topic, func(id string) { visited[id] = true })
+		if len(visited) != len(want) {
+			t.Fatalf("MatchEach(%q) visited %v, want %v", topic, visited, want)
+		}
+		for _, id := range want {
+			if !visited[id] {
+				t.Fatalf("MatchEach(%q) missed %s", topic, id)
+			}
+		}
+	})
+}
+
+func equalStrings(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -273,72 +273,133 @@ func (t *Table) removeLocked(id, pattern string) {
 }
 
 // Match returns the sorted, de-duplicated subscriber ids whose patterns
-// match the concrete topic.
+// match the concrete topic. It is a convenience wrapper over MatchAppend;
+// hot paths that can reuse a scratch buffer should call MatchAppend or
+// MatchEach instead.
 func (t *Table) Match(topic string) []string {
-	segs := Split(topic)
-	out := make(map[string]struct{})
-	t.mu.RLock()
-	matchTrie(t.root, segs, out)
-	t.mu.RUnlock()
-	if len(out) == 0 {
+	ids := t.MatchAppend(topic, nil)
+	if len(ids) == 0 {
 		return nil
-	}
-	ids := make([]string, 0, len(out))
-	for id := range out {
-		ids = append(ids, id)
 	}
 	sort.Strings(ids)
 	return ids
 }
 
-func matchTrie(node *trieNode, segs []string, out map[string]struct{}) {
+// MatchAppend appends the de-duplicated (but unsorted) subscriber ids whose
+// patterns match the concrete topic to dst and returns the extended slice.
+// Passing a caller-owned scratch buffer with sufficient capacity makes the
+// whole match allocation-free; ids already present in dst are not appended
+// again, so dst doubles as the de-duplication window.
+func (t *Table) MatchAppend(topic string, dst []string) []string {
+	t.mu.RLock()
+	dst = matchAppendTrie(t.root, topic, 0, dst)
+	t.mu.RUnlock()
+	return dst
+}
+
+// MatchEach invokes visit for every subscriber id whose pattern matches the
+// concrete topic, without allocating. An id registered under several
+// patterns that all match is visited once per matching pattern; callers
+// needing exactly-once semantics use MatchAppend with a scratch buffer.
+func (t *Table) MatchEach(topic string, visit func(id string)) {
+	t.mu.RLock()
+	matchEachTrie(t.root, topic, 0, visit)
+	t.mu.RUnlock()
+}
+
+// nextSegment cuts the segment of topic starting at byte offset start and
+// returns it with the offset of the following segment. An offset past
+// len(topic) means the topic is exhausted. Operating on offsets instead of
+// strings.Split keeps the match path free of allocations.
+func nextSegment(topic string, start int) (seg string, next int) {
+	if i := strings.IndexByte(topic[start:], '/'); i >= 0 {
+		return topic[start : start+i], start + i + 1
+	}
+	return topic[start:], len(topic) + 1
+}
+
+func matchAppendTrie(node *trieNode, topic string, start int, dst []string) []string {
 	// A terminal ** at this node matches the (non-empty) remaining suffix —
 	// and also an exact end: "a/**" matches "a/b" and "a/b/c" but not "a".
-	if len(segs) > 0 {
-		for id := range node.anyIDs {
-			out[id] = struct{}{}
+	if start > len(topic) {
+		for id := range node.ids {
+			dst = appendUnique(dst, id)
+		}
+		return dst
+	}
+	for id := range node.anyIDs {
+		dst = appendUnique(dst, id)
+	}
+	if node.children == nil {
+		return dst
+	}
+	seg, next := nextSegment(topic, start)
+	if child, ok := node.children[seg]; ok {
+		dst = matchAppendTrie(child, topic, next, dst)
+	}
+	if child, ok := node.children[WildcardOne]; ok {
+		dst = matchAppendTrie(child, topic, next, dst)
+	}
+	return dst
+}
+
+// appendUnique appends id unless dst already holds it. The linear scan is
+// cheaper than a map for the small fan-out sets a single event matches, and
+// it allocates nothing.
+func appendUnique(dst []string, id string) []string {
+	for _, have := range dst {
+		if have == id {
+			return dst
 		}
 	}
-	if len(segs) == 0 {
+	return append(dst, id)
+}
+
+func matchEachTrie(node *trieNode, topic string, start int, visit func(id string)) {
+	if start > len(topic) {
 		for id := range node.ids {
-			out[id] = struct{}{}
+			visit(id)
 		}
 		return
+	}
+	for id := range node.anyIDs {
+		visit(id)
 	}
 	if node.children == nil {
 		return
 	}
-	if next, ok := node.children[segs[0]]; ok {
-		matchTrie(next, segs[1:], out)
+	seg, next := nextSegment(topic, start)
+	if child, ok := node.children[seg]; ok {
+		matchEachTrie(child, topic, next, visit)
 	}
-	if next, ok := node.children[WildcardOne]; ok {
-		matchTrie(next, segs[1:], out)
+	if child, ok := node.children[WildcardOne]; ok {
+		matchEachTrie(child, topic, next, visit)
 	}
 }
 
 // HasMatch reports whether any subscriber matches the topic (cheaper than
 // Match when only a boolean is needed, e.g. deciding whether to forward).
 func (t *Table) HasMatch(topic string) bool {
-	segs := Split(topic)
 	t.mu.RLock()
 	defer t.mu.RUnlock()
-	return hasMatchTrie(t.root, segs)
+	return hasMatchTrie(t.root, topic, 0)
 }
 
-func hasMatchTrie(node *trieNode, segs []string) bool {
-	if len(segs) > 0 && len(node.anyIDs) > 0 {
-		return true
-	}
-	if len(segs) == 0 {
+func hasMatchTrie(node *trieNode, topic string, start int) bool {
+	if start > len(topic) {
 		return len(node.ids) > 0
+	}
+	if len(node.anyIDs) > 0 {
+		return true
 	}
 	if node.children == nil {
 		return false
 	}
-	if next, ok := node.children[segs[0]]; ok && hasMatchTrie(next, segs[1:]) {
+	seg, next := nextSegment(topic, start)
+	if child, ok := node.children[seg]; ok && hasMatchTrie(child, topic, next) {
 		return true
 	}
-	if next, ok := node.children[WildcardOne]; ok && hasMatchTrie(next, segs[1:]) {
+	if child, ok := node.children[WildcardOne]; ok && hasMatchTrie(child, topic, next) {
 		return true
 	}
 	return false

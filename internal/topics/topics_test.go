@@ -327,3 +327,36 @@ func BenchmarkMatchFunc(b *testing.B) {
 		Match("Services/*/BrokerAdvertisement", AdvertisementTopic)
 	}
 }
+
+func BenchmarkTableMatchAppend(b *testing.B) {
+	tbl := NewTable()
+	for i := 0; i < 1000; i++ {
+		_ = tbl.Subscribe(fmt.Sprintf("s%d", i), fmt.Sprintf("a/b%d/c%d", i%50, i%7))
+	}
+	_ = tbl.Subscribe("wild", "a/*/c1")
+	_ = tbl.Subscribe("any", "a/**")
+	scratch := make([]string, 0, 64)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		scratch = tbl.MatchAppend("a/b17/c3", scratch[:0])
+	}
+	_ = scratch
+}
+
+func BenchmarkTableMatchEach(b *testing.B) {
+	tbl := NewTable()
+	for i := 0; i < 1000; i++ {
+		_ = tbl.Subscribe(fmt.Sprintf("s%d", i), fmt.Sprintf("a/b%d/c%d", i%50, i%7))
+	}
+	_ = tbl.Subscribe("wild", "a/*/c1")
+	_ = tbl.Subscribe("any", "a/**")
+	n := 0
+	visit := func(string) { n++ }
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tbl.MatchEach("a/b17/c3", visit)
+	}
+	_ = n
+}

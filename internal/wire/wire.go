@@ -10,6 +10,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"sync"
 	"time"
 )
 
@@ -35,6 +36,44 @@ type Writer struct {
 // NewWriter returns a Writer with capacity preallocated.
 func NewWriter(capacity int) *Writer {
 	return &Writer{buf: make([]byte, 0, capacity)}
+}
+
+// maxPooledCap caps the buffer capacity retained by pooled writers, so one
+// jumbo frame does not pin megabytes inside the pool forever.
+const maxPooledCap = 1 << 16
+
+// writerPool recycles Writer structs (and their grown buffers) across
+// messages; encoding is the per-frame hot path of the whole substrate.
+var writerPool = sync.Pool{New: func() any { return new(Writer) }}
+
+// GetWriter returns a pooled Writer with at least capacity bytes of buffer.
+// Pair it with Release; take ownership of encoded bytes with Detach first.
+func GetWriter(capacity int) *Writer {
+	w := writerPool.Get().(*Writer)
+	if cap(w.buf) < capacity {
+		w.buf = make([]byte, 0, capacity)
+	} else {
+		w.buf = w.buf[:0]
+	}
+	return w
+}
+
+// Release returns w to the pool. The buffer is retained for reuse, so the
+// caller must not hold on to slices obtained from Bytes — use Detach to keep
+// the encoded message alive past Release.
+func (w *Writer) Release() {
+	if cap(w.buf) > maxPooledCap {
+		w.buf = nil
+	}
+	writerPool.Put(w)
+}
+
+// Detach hands ownership of the encoded bytes to the caller, stripping the
+// buffer from the writer so a subsequent Release cannot alias the frame.
+func (w *Writer) Detach() []byte {
+	b := w.buf
+	w.buf = nil
+	return b
 }
 
 // Bytes returns the encoded message.
