@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet fmt-check verify bench fuzz
+.PHONY: all build test race vet fmt-check verify bench fuzz obs-smoke
 
 all: build
 
@@ -30,6 +30,11 @@ bench:
 	$(GO) test -run '^$$' -bench 'BenchmarkTableMatch' -benchmem -benchtime=2s ./internal/topics/
 	$(GO) test -run '^$$' -bench 'BenchmarkEventCodec' -benchmem -benchtime=2s ./internal/event/
 	$(GO) test -run '^$$' -bench 'BenchmarkSeenParallel' -benchmem -benchtime=2s ./internal/dedup/
+
+# obs-smoke boots a real broker with -telemetry-addr and checks /healthz and
+# the /metrics exposition (>= 12 narada_ metric families).
+obs-smoke:
+	sh scripts/obs_smoke.sh
 
 # fuzz gives the differential matcher fuzzer a short budget; CI-friendly.
 fuzz:

@@ -11,7 +11,6 @@ package main
 import (
 	"flag"
 	"log"
-	"log/slog"
 	"math/rand"
 	"os"
 	"os/signal"
@@ -21,6 +20,7 @@ import (
 	"narada/internal/bdn"
 	"narada/internal/config"
 	"narada/internal/ntptime"
+	"narada/internal/obs"
 	"narada/internal/transport"
 )
 
@@ -33,6 +33,8 @@ func main() {
 		udpPort    = flag.Int("udp-port", 0, "UDP port (0 = auto)")
 		policy     = flag.String("policy", "", "injection policy: all | closest-farthest")
 		measure    = flag.Duration("measure-every", time.Minute, "broker distance measurement interval (0 = never)")
+		telemetry  = flag.String("telemetry-addr", "", "listen addr for /metrics, /healthz, /debug/traces and pprof (overrides config; '' = off)")
+		logLevel   = flag.String("log-level", "", "log level: debug | info | warn | error (overrides config)")
 	)
 	flag.Parse()
 
@@ -57,9 +59,20 @@ func main() {
 	if *policy != "" {
 		cfg.Policy = *policy
 	}
+	if *telemetry != "" {
+		cfg.TelemetryAddr = *telemetry
+	}
+	if *logLevel != "" {
+		cfg.LogLevel = *logLevel
+	}
 	if err := cfg.Validate(); err != nil {
 		log.Fatalf("bdn: %v", err)
 	}
+	level, err := obs.ParseLevel(cfg.LogLevel)
+	if err != nil {
+		log.Fatalf("bdn: %v", err)
+	}
+	logger := obs.NewLogger(os.Stderr, level)
 
 	injection := bdn.InjectClosestFarthest
 	if cfg.Policy == "all" {
@@ -70,8 +83,12 @@ func main() {
 	ntp := ntptime.NewService(node.Clock(), 0, rand.New(rand.NewSource(time.Now().UnixNano())))
 	go ntp.Init()
 
+	reg := obs.NewRegistry()
+	obs.RegisterProcessMetrics(reg)
+	tracer := obs.NewTracer(obs.DefaultTraceCapacity, logger)
+
 	d, err := bdn.New(node, ntp, bdn.Config{
-		Logger:             slog.Default(),
+		Logger:             logger,
 		Name:               cfg.Name,
 		StreamPort:         cfg.StreamPort,
 		UDPPort:            cfg.UDPPort,
@@ -79,6 +96,8 @@ func main() {
 		InjectOverhead:     cfg.InjectOverhead(),
 		Private:            cfg.Private,
 		RequiredCredential: []byte(cfg.RequiredCredential),
+		Metrics:            reg,
+		Tracer:             tracer,
 	})
 	if err != nil {
 		log.Fatalf("bdn: %v", err)
@@ -87,6 +106,15 @@ func main() {
 		log.Fatalf("bdn: %v", err)
 	}
 	log.Printf("bdn %s listening on %s", d.Name(), d.Addr())
+
+	if cfg.TelemetryAddr != "" {
+		srv, err := obs.Serve(cfg.TelemetryAddr, reg, tracer)
+		if err != nil {
+			log.Fatalf("bdn: telemetry: %v", err)
+		}
+		defer srv.Close()
+		log.Printf("bdn: telemetry on http://%s/metrics", srv.Addr())
+	}
 
 	stop := make(chan struct{})
 	if *measure > 0 {

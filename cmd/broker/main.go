@@ -14,7 +14,6 @@ import (
 	"flag"
 	"fmt"
 	"log"
-	"log/slog"
 	"math/rand"
 	"os"
 	"os/signal"
@@ -25,6 +24,7 @@ import (
 	"narada/internal/broker"
 	"narada/internal/config"
 	"narada/internal/ntptime"
+	"narada/internal/obs"
 	"narada/internal/transport"
 )
 
@@ -39,6 +39,8 @@ func main() {
 		bdns       = flag.String("bdn", "", "comma-separated BDN addresses to register with")
 		links      = flag.String("link", "", "comma-separated peer broker addresses to link to")
 		multicast  = flag.Bool("multicast", false, "join the discovery multicast group")
+		telemetry  = flag.String("telemetry-addr", "", "listen addr for /metrics, /healthz, /debug/traces and pprof (overrides config; '' = off)")
+		logLevel   = flag.String("log-level", "", "log level: debug | info | warn | error (overrides config)")
 	)
 	flag.Parse()
 
@@ -72,9 +74,20 @@ func main() {
 	if *multicast && cfg.MulticastGroup == "" {
 		cfg.MulticastGroup = "narada/discovery"
 	}
+	if *telemetry != "" {
+		cfg.TelemetryAddr = *telemetry
+	}
+	if *logLevel != "" {
+		cfg.LogLevel = *logLevel
+	}
 	if err := cfg.Validate(); err != nil {
 		log.Fatalf("broker: %v", err)
 	}
+	level, err := obs.ParseLevel(cfg.LogLevel)
+	if err != nil {
+		log.Fatalf("broker: %v", err)
+	}
+	logger := obs.NewLogger(os.Stderr, level)
 
 	node := transport.NewRealNode(*bind, nil)
 	hostname, _ := os.Hostname()
@@ -86,8 +99,12 @@ func main() {
 	ntp := ntptime.NewService(node.Clock(), 0, rand.New(rand.NewSource(time.Now().UnixNano())))
 	go ntp.Init()
 
+	reg := obs.NewRegistry()
+	obs.RegisterProcessMetrics(reg)
+	tracer := obs.NewTracer(obs.DefaultTraceCapacity, logger)
+
 	b, err := broker.New(node, ntp, broker.Config{
-		Logger:         slog.Default(),
+		Logger:         logger,
 		LogicalAddress: cfg.LogicalAddress,
 		Hostname:       cfg.Hostname,
 		Realm:          cfg.Realm,
@@ -98,6 +115,8 @@ func main() {
 		DedupCapacity:  cfg.DedupCapacity,
 		Policy:         cfg.Policy(),
 		MulticastGroup: cfg.MulticastGroup,
+		Metrics:        reg,
+		Tracer:         tracer,
 	})
 	if err != nil {
 		log.Fatalf("broker: %v", err)
@@ -107,6 +126,15 @@ func main() {
 	}
 	log.Printf("broker %s listening: stream=%s udp=%s",
 		b.LogicalAddress(), b.StreamAddr(), b.UDPAddr())
+
+	if cfg.TelemetryAddr != "" {
+		srv, err := obs.Serve(cfg.TelemetryAddr, reg, tracer)
+		if err != nil {
+			log.Fatalf("broker: telemetry: %v", err)
+		}
+		defer srv.Close()
+		log.Printf("broker: telemetry on http://%s/metrics", srv.Addr())
+	}
 
 	for _, addr := range cfg.BDNs {
 		if err := b.RegisterWithBDN(addr); err != nil {

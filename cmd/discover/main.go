@@ -21,6 +21,7 @@ import (
 	"narada/internal/config"
 	"narada/internal/core"
 	"narada/internal/ntptime"
+	"narada/internal/obs"
 	"narada/internal/transport"
 )
 
@@ -37,6 +38,8 @@ func main() {
 		pings      = flag.Int("pings", 3, "pings per target broker")
 		multicast  = flag.Bool("multicast", false, "fall back to multicast when no BDN answers")
 		verbose    = flag.Bool("verbose", false, "print every response and ping measurement")
+		telemetry  = flag.String("telemetry-addr", "", "listen addr for /metrics, /healthz, /debug/traces and pprof ('' = off)")
+		linger     = flag.Duration("linger", 0, "keep the process (and telemetry endpoints) up this long after the discovery")
 	)
 	flag.Parse()
 
@@ -89,6 +92,20 @@ func main() {
 	ntp := ntptime.NewService(node.Clock(), 0, rand.New(rand.NewSource(time.Now().UnixNano())))
 	ntp.InitImmediately() // host clock assumed NTP-disciplined
 
+	reg := obs.NewRegistry()
+	obs.RegisterProcessMetrics(reg)
+	tracer := obs.NewTracer(obs.DefaultTraceCapacity, nil)
+	cfg.Metrics = reg
+	cfg.Tracer = tracer
+	if *telemetry != "" {
+		srv, err := obs.Serve(*telemetry, reg, tracer)
+		if err != nil {
+			log.Fatalf("discover: telemetry: %v", err)
+		}
+		defer srv.Close()
+		log.Printf("discover: telemetry on http://%s/metrics", srv.Addr())
+	}
+
 	d := core.NewDiscoverer(node, ntp, cfg)
 	res, err := d.Discover()
 	if err != nil {
@@ -125,4 +142,9 @@ func main() {
 		fmt.Println("  (no pongs received; selected by weight)")
 	}
 	fmt.Printf("\ntiming:\n%s\n", res.Timing.String())
+
+	if *linger > 0 {
+		log.Printf("discover: lingering %v (trace at /debug/traces)", *linger)
+		time.Sleep(*linger)
+	}
 }

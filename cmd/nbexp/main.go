@@ -16,16 +16,18 @@ import (
 	"strings"
 
 	"narada/internal/experiments"
+	"narada/internal/obs"
 )
 
 func main() {
 	var (
-		exp   = flag.String("exp", "all", "experiment id (see -list) or 'all' / 'figures' / 'ablations'")
-		list  = flag.Bool("list", false, "list experiment ids and exit")
-		runs  = flag.Int("runs", 120, "discovery repetitions per experiment (paper: 120)")
-		keep  = flag.Int("keep", 100, "samples kept after outlier removal (paper: 100)")
-		scale = flag.Float64("scale", 200, "simulator model-time speed-up")
-		seed  = flag.Int64("seed", 1, "random seed")
+		exp       = flag.String("exp", "all", "experiment id (see -list) or 'all' / 'figures' / 'ablations'")
+		list      = flag.Bool("list", false, "list experiment ids and exit")
+		runs      = flag.Int("runs", 120, "discovery repetitions per experiment (paper: 120)")
+		keep      = flag.Int("keep", 100, "samples kept after outlier removal (paper: 100)")
+		scale     = flag.Float64("scale", 200, "simulator model-time speed-up")
+		seed      = flag.Int64("seed", 1, "random seed")
+		telemetry = flag.String("telemetry-addr", "", "listen addr for /metrics, /healthz and pprof while experiments run ('' = off)")
 	)
 	flag.Parse()
 
@@ -34,6 +36,18 @@ func main() {
 			fmt.Println(id)
 		}
 		return
+	}
+
+	if *telemetry != "" {
+		reg := obs.NewRegistry()
+		obs.RegisterProcessMetrics(reg)
+		srv, err := obs.Serve(*telemetry, reg, nil)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "nbexp: telemetry: %v\n", err)
+			os.Exit(1)
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "nbexp: telemetry on http://%s/metrics\n", srv.Addr())
 	}
 
 	opts := experiments.Options{Runs: *runs, Keep: *keep, Scale: *scale, Seed: *seed}

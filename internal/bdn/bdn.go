@@ -12,7 +12,6 @@ package bdn
 import (
 	"errors"
 	"fmt"
-	"io"
 	"log/slog"
 	"sort"
 	"sync"
@@ -22,6 +21,7 @@ import (
 	"narada/internal/dedup"
 	"narada/internal/event"
 	"narada/internal/ntptime"
+	"narada/internal/obs"
 	"narada/internal/topics"
 	"narada/internal/transport"
 	"narada/internal/uuid"
@@ -70,6 +70,11 @@ type Config struct {
 	DedupCapacity int
 	// Logger receives operational events; nil discards them.
 	Logger *slog.Logger
+	// Metrics, when set, receives the BDN's metric families (nil disables
+	// exposition; recording stays enabled against a private registry).
+	Metrics *obs.Registry
+	// Tracer, when set, records per-request discovery trace events.
+	Tracer *obs.Tracer
 }
 
 // DefaultInjectOverhead is the default per-injection cost.
@@ -97,6 +102,7 @@ type BDN struct {
 	started bool
 
 	reqDedup *dedup.Cache
+	tel      telemetry
 
 	closed    chan struct{}
 	closeOnce sync.Once
@@ -118,10 +124,10 @@ func New(node transport.Node, ntp *ntptime.Service, cfg Config) (*BDN, error) {
 		cfg.DedupCapacity = dedup.DefaultCapacity
 	}
 	if cfg.Logger == nil {
-		cfg.Logger = slog.New(slog.NewTextHandler(io.Discard, nil))
+		cfg.Logger = obs.Nop()
 	}
 	cfg.Logger = cfg.Logger.With("bdn", cfg.Name)
-	return &BDN{
+	d := &BDN{
 		node:     node,
 		ntp:      ntp,
 		cfg:      cfg,
@@ -129,7 +135,9 @@ func New(node transport.Node, ntp *ntptime.Service, cfg Config) (*BDN, error) {
 		conns:    make(map[transport.Conn]struct{}),
 		reqDedup: dedup.New(cfg.DedupCapacity),
 		closed:   make(chan struct{}),
-	}, nil
+	}
+	d.initTelemetry(cfg.Metrics, cfg.Tracer)
+	return d, nil
 }
 
 // Start binds the BDN's endpoints and launches its accept loop.
@@ -320,8 +328,10 @@ func (d *BDN) storeAdvertisement(ev *event.Event, conn transport.Conn) string {
 	// "Upon receipt of an advertisement at the BDN, this BDN may choose to
 	// store the advertisement or ignore it."
 	if d.cfg.AdmitFilter != nil && !d.cfg.AdmitFilter(ad) {
+		d.tel.adsRejected.Inc()
 		return ""
 	}
+	d.tel.adsStored.Inc()
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	r, ok := d.brokers[ad.Broker.LogicalAddress]
@@ -379,28 +389,37 @@ func (d *BDN) processRequest(conn transport.Conn, ev *event.Event, req *core.Dis
 	reply.Source = d.cfg.Name
 	reply.Timestamp = d.now()
 	_ = conn.Send(event.Encode(reply))
+	d.tel.reqAcked.Inc()
+	d.traceEvent(req.ID.String(), "bdn-ack", "requester", req.Requester)
 
 	if !authorized {
+		d.tel.reqDenied.Inc()
 		return
 	}
 	// "Multiple requests forwarded to the same BDN would be idempotent."
 	if d.reqDedup.Seen(req.ID) {
+		d.tel.reqDup.Inc()
 		return
 	}
 	d.cfg.Logger.Debug("injecting discovery request",
 		"requester", req.Requester, "id", req.ID.String())
-	d.inject(ev)
+	d.inject(ev, req.ID.String())
 }
 
 // inject propagates the discovery request into the broker network according
 // to the configured policy. Each transmission pays the BDN's InjectOverhead
 // serially — the source of the unconnected topology's O(N) inefficiency.
-func (d *BDN) inject(ev *event.Event) {
+// reqID keys the trace events ("" disables tracing for this injection).
+func (d *BDN) inject(ev *event.Event, reqID string) {
 	targets := d.injectionTargets()
 	frame := event.Encode(ev)
 	for _, r := range targets {
 		if d.cfg.InjectOverhead > 0 {
 			d.node.Clock().Sleep(d.cfg.InjectOverhead)
+		}
+		d.tel.injects.Inc()
+		if reqID != "" {
+			d.traceEvent(reqID, "bdn-inject", "broker", r.ad.Broker.LogicalAddress)
 		}
 		if r.conn != nil {
 			_ = r.conn.Send(frame)

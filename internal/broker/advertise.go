@@ -38,7 +38,7 @@ func (b *Broker) RegisterWithBDN(addr string) error {
 	}
 
 	lk := &link{peer: "bdn:" + addr, role: roleBDN, conn: conn}
-	lk.out = newEgress(conn, &b.egressDropped)
+	lk.out = newEgress(conn, b.tel.egressDropped)
 	if !b.registerLink(lk) {
 		_ = conn.Close()
 		return errors.New("broker: closed")

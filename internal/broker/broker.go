@@ -10,7 +10,6 @@ package broker
 import (
 	"errors"
 	"fmt"
-	"io"
 	"log/slog"
 	"sync"
 	"time"
@@ -20,6 +19,7 @@ import (
 	"narada/internal/event"
 	"narada/internal/metrics"
 	"narada/internal/ntptime"
+	"narada/internal/obs"
 	"narada/internal/replay"
 	"narada/internal/topics"
 	"narada/internal/transport"
@@ -74,6 +74,13 @@ type Config struct {
 	// Logger receives operational events (start, links, discovery); nil
 	// discards them.
 	Logger *slog.Logger
+	// Metrics receives the broker's metric families, labelled with the
+	// broker's logical address; nil records into a private registry (the
+	// handles stay live, nothing is exposed).
+	Metrics *obs.Registry
+	// Tracer, when set, receives per-request discovery trace events keyed
+	// by the request UUID.
+	Tracer *obs.Tracer
 }
 
 // RoutingMode selects the broker network's dissemination strategy for
@@ -112,9 +119,10 @@ type Broker struct {
 	clients map[string]*clientConn
 	started bool
 
-	// egressDropped counts frames discarded by overflowing egress queues
-	// (drop-oldest policy), across all links and clients.
-	egressDropped metrics.Counter
+	// tel holds the broker's metric handles and trace recorder; the
+	// egress-drop counter and delivery counters it carries sit on the
+	// publish fast path.
+	tel telemetry
 
 	closed    chan struct{}
 	closeOnce sync.Once
@@ -133,7 +141,7 @@ func (b *Broker) startEgress(q *egress) {
 
 // EgressDropped returns the number of frames dropped by overflowing egress
 // queues since the broker started.
-func (b *Broker) EgressDropped() uint64 { return b.egressDropped.Value() }
+func (b *Broker) EgressDropped() uint64 { return b.tel.egressDropped.Value() }
 
 // linkSetter is satisfied by samplers that track the live connection count.
 type linkSetter interface{ SetLinks(int) }
@@ -154,10 +162,10 @@ func New(node transport.Node, ntp *ntptime.Service, cfg Config) (*Broker, error)
 		history = replay.NewStore(cfg.ReplayCapacity)
 	}
 	if cfg.Logger == nil {
-		cfg.Logger = slog.New(slog.NewTextHandler(io.Discard, nil))
+		cfg.Logger = obs.Nop()
 	}
 	cfg.Logger = cfg.Logger.With("broker", cfg.LogicalAddress)
-	return &Broker{
+	b := &Broker{
 		history:  history,
 		node:     node,
 		ntp:      ntp,
@@ -169,7 +177,9 @@ func New(node transport.Node, ntp *ntptime.Service, cfg Config) (*Broker, error)
 		links:    make(map[string]*link),
 		clients:  make(map[string]*clientConn),
 		closed:   make(chan struct{}),
-	}, nil
+	}
+	b.initTelemetry(cfg.Metrics, cfg.Tracer)
+	return b, nil
 }
 
 // Start binds the broker's endpoints and launches its service loops.

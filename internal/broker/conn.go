@@ -77,7 +77,7 @@ func (b *Broker) handleConn(conn transport.Conn) {
 		return
 	}
 	c := &clientConn{id: conn.RemoteAddr(), conn: conn}
-	c.out = newEgress(conn, &b.egressDropped)
+	c.out = newEgress(conn, b.tel.egressDropped)
 	if !b.registerClient(c) {
 		_ = conn.Close()
 		return
@@ -119,15 +119,18 @@ func (b *Broker) serveClient(c *clientConn) {
 func (b *Broker) handleClientEvent(c *clientConn, ev *event.Event) {
 	switch ev.Type {
 	case event.TypeSubscribe:
+		b.tel.framesControl.Inc()
 		added, err := b.subs.SubscribeAdded(c.id, ev.Topic)
 		if err == nil && added {
 			b.localInterestChanged(ev.Topic, +1)
 		}
 	case event.TypeUnsubscribe:
+		b.tel.framesControl.Inc()
 		if b.subs.Unsubscribe(c.id, ev.Topic) {
 			b.localInterestChanged(ev.Topic, -1)
 		}
 	case event.TypePublish:
+		b.tel.framesPublish.Inc()
 		if topics.Validate(ev.Topic) != nil {
 			return
 		}
@@ -139,6 +142,7 @@ func (b *Broker) handleClientEvent(c *clientConn, ev *event.Event) {
 		}
 		b.routePublish(ev, "")
 	case event.TypeControl:
+		b.tel.framesControl.Inc()
 		// Replay request: re-deliver retained history matching the pattern
 		// straight to this client.
 		if ev.Header(controlOpHeader) == opReplay && b.history != nil {
@@ -155,9 +159,11 @@ func (b *Broker) handleClientEvent(c *clientConn, ev *event.Event) {
 	case event.TypeDiscoveryRequest:
 		// Injection from a connected entity (e.g. a BDN speaking the client
 		// protocol, or a test harness).
+		b.tel.framesDiscovery.Inc()
 		b.handleDiscoveryRequest(ev, "")
 	case event.TypeAdvertisement:
 		// Clients relaying advertisements publish them on the public topic.
+		b.tel.framesOther.Inc()
 		if b.evDedup.Seen(ev.ID) {
 			return
 		}

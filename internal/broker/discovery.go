@@ -1,6 +1,8 @@
 package broker
 
 import (
+	"strconv"
+
 	"narada/internal/core"
 	"narada/internal/event"
 )
@@ -22,11 +24,14 @@ func (b *Broker) udpLoop() {
 		}
 		switch ev.Type {
 		case event.TypePing:
+			b.tel.framesControl.Inc()
 			b.answerPing(ev, from)
 		case event.TypeDiscoveryRequest:
+			b.tel.framesDiscovery.Inc()
 			b.handleDiscoveryRequest(ev, "")
 		default:
 			// Other datagram traffic is not part of the protocol.
+			b.tel.framesOther.Inc()
 		}
 	}
 }
@@ -50,6 +55,7 @@ func (b *Broker) answerPing(ev *event.Event, from string) {
 	reply.Source = b.cfg.LogicalAddress
 	reply.Timestamp = b.now()
 	_ = b.udp.Send(from, event.Encode(reply))
+	b.tel.pings.Inc()
 }
 
 // handleDiscoveryRequest implements the broker side of paper §4–5: duplicate
@@ -68,7 +74,14 @@ func (b *Broker) handleDiscoveryRequest(ev *event.Event, fromPeer string) {
 	// so that additional CPU/network cycles are not expended on previously
 	// processed requests."
 	if b.reqDedup.Seen(req.ID) {
+		b.tel.discoveryDup.Inc()
 		return
+	}
+	// Trace the request's passage through this broker; resolve the trace
+	// once (the UUID stringifies only when tracing is on).
+	var tr reqTrace
+	if b.tel.tracer != nil {
+		tr = reqTrace{b.tel.tracer.Trace(req.ID.String())}
 	}
 
 	// Propagate through the broker network before responding: dissemination
@@ -84,12 +97,17 @@ func (b *Broker) handleDiscoveryRequest(ev *event.Event, fromPeer string) {
 		fwd.TTL--
 		fwd.Payload = core.EncodeDiscoveryRequest(&fwdReq)
 		frame := event.Encode(&fwd)
-		for _, lk := range b.linksExcept(fromPeer) {
+		links := b.linksExcept(fromPeer)
+		for _, lk := range links {
 			lk.out.sendData(frame)
 		}
+		tr.event(b, "broker-fanout", "links", strconv.Itoa(len(links)),
+			"hops", strconv.Itoa(int(req.Hops)))
 	}
 
 	if !b.cfg.Policy.Permits(req) {
+		b.tel.discoveryDenied.Inc()
+		tr.event(b, "broker-denied", "requester", req.Requester)
 		b.cfg.Logger.Debug("discovery request denied by policy",
 			"requester", req.Requester, "realm", req.Realm)
 		return
@@ -113,6 +131,8 @@ func (b *Broker) handleDiscoveryRequest(ev *event.Event, fromPeer string) {
 	// "The communication protocol used for transporting this response is
 	// UDP" — sent from the broker's datagram endpoint to the requester.
 	_ = b.udp.Send(req.ResponseAddr, event.Encode(reply))
+	b.tel.discoveryAnswers.Inc()
+	tr.event(b, "broker-respond", "to", req.ResponseAddr)
 	b.cfg.Logger.Debug("discovery response sent",
 		"requester", req.Requester, "to", req.ResponseAddr, "hops", req.Hops)
 }

@@ -3,7 +3,7 @@ package broker
 import (
 	"sync"
 
-	"narada/internal/metrics"
+	"narada/internal/obs"
 	"narada/internal/transport"
 )
 
@@ -34,10 +34,10 @@ type egress struct {
 	stop     chan struct{} // ask the writer to flush and exit
 	dead     chan struct{} // closed when the writer has exited
 
-	dropped *metrics.Counter // broker-wide overflow counter
+	dropped *obs.Counter // broker-wide overflow counter
 }
 
-func newEgress(conn transport.Conn, dropped *metrics.Counter) *egress {
+func newEgress(conn transport.Conn, dropped *obs.Counter) *egress {
 	return &egress{
 		conn:    conn,
 		ch:      make(chan []byte, egressQueueSize),
@@ -109,6 +109,9 @@ func (q *egress) sendData(frame []byte) {
 		q.dropped.Add(1)
 	}
 }
+
+// depth returns the number of frames currently queued (telemetry only).
+func (q *egress) depth() int { return len(q.ch) }
 
 // sendControl enqueues a control frame that must not be dropped, blocking
 // until there is room. It reports false when the writer has already exited

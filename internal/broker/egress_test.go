@@ -5,7 +5,7 @@ import (
 	"testing"
 	"time"
 
-	"narada/internal/metrics"
+	"narada/internal/obs"
 	"narada/internal/transport"
 )
 
@@ -65,7 +65,7 @@ func (c *recConn) count() int {
 // by a dead peer: sendData against a fully blocked connection keeps
 // returning immediately, and the overflow is counted.
 func TestEgressOverflowDropsOldest(t *testing.T) {
-	var dropped metrics.Counter
+	var dropped obs.Counter
 	conn := newBlockConn()
 	q := newEgress(conn, &dropped)
 	go q.run()
@@ -92,7 +92,7 @@ func TestEgressOverflowDropsOldest(t *testing.T) {
 // TestEgressFlushesOnClose proves frames accepted before a close are still
 // written out: the writer drains the whole queue before exiting.
 func TestEgressFlushesOnClose(t *testing.T) {
-	var dropped metrics.Counter
+	var dropped obs.Counter
 	conn := &recConn{}
 	q := newEgress(conn, &dropped)
 	const frames = 100
@@ -112,7 +112,7 @@ func TestEgressFlushesOnClose(t *testing.T) {
 // TestEgressControlFailsAfterDeath proves sendControl cannot hang forever on
 // a dead connection: once the writer exits, it reports failure.
 func TestEgressControlFailsAfterDeath(t *testing.T) {
-	var dropped metrics.Counter
+	var dropped obs.Counter
 	conn := newBlockConn()
 	_ = conn.Close() // sends fail immediately
 	q := newEgress(conn, &dropped)

@@ -46,7 +46,7 @@ func newFanoutBroker(b *testing.B) *Broker {
 // broker's client table, with a running egress writer like a real session.
 func addBenchClient(br *Broker, id string) {
 	c := &clientConn{id: id, conn: nopConn{}}
-	c.out = newEgress(c.conn, &br.egressDropped)
+	c.out = newEgress(c.conn, br.tel.egressDropped)
 	br.startEgress(c.out)
 	br.mu.Lock()
 	br.clients[id] = c

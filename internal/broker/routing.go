@@ -25,7 +25,7 @@ func (b *Broker) serveLink(lk *link, replyHello bool) {
 		}
 	}
 
-	lk.out = newEgress(lk.conn, &b.egressDropped)
+	lk.out = newEgress(lk.conn, b.tel.egressDropped)
 	if !b.registerLink(lk) {
 		_ = lk.conn.Close()
 		return
@@ -105,18 +105,23 @@ func (b *Broker) heartbeatLink(lk *link) {
 func (b *Broker) handleLinkEvent(lk *link, ev *event.Event) {
 	switch ev.Type {
 	case event.TypePublish:
+		b.tel.framesPublish.Inc()
 		if b.evDedup.Seen(ev.ID) {
 			return
 		}
 		b.routePublish(ev, lk.peer)
 	case event.TypeDiscoveryRequest:
+		b.tel.framesDiscovery.Inc()
 		b.handleDiscoveryRequest(ev, lk.peer)
 	case event.TypeControl:
+		b.tel.framesControl.Inc()
 		b.handleInterestControl(lk, ev)
 	case event.TypeLinkHeartbeat:
 		// Liveness only; nothing to route.
+		b.tel.framesControl.Inc()
 	default:
 		// Links carry only substrate traffic; ignore anything else.
+		b.tel.framesOther.Inc()
 	}
 }
 
@@ -199,6 +204,7 @@ func (b *Broker) routePublish(ev *event.Event, fromPeer string) {
 		for _, q := range sc.locals {
 			q.sendData(frame)
 		}
+		b.tel.deliveredLocal.Add(uint64(len(sc.locals)))
 	}
 	// Network dissemination: one TTL-decremented frame shared by every link.
 	// A shallow copy suffices — Encode only reads the event.
@@ -209,6 +215,7 @@ func (b *Broker) routePublish(ev *event.Event, fromPeer string) {
 		for _, q := range sc.links {
 			q.sendData(frame)
 		}
+		b.tel.deliveredLink.Add(uint64(len(sc.links)))
 	}
 	pubScratchPool.Put(sc)
 }

@@ -1,0 +1,137 @@
+package broker
+
+import (
+	"narada/internal/obs"
+)
+
+// telemetry bundles the broker's metric handles. Handles are resolved once
+// in initTelemetry, so recording on the publish fast path is a single atomic
+// add. A broker constructed without a registry records into a private
+// throwaway registry — the handles are always valid and the hot paths stay
+// branch-free.
+type telemetry struct {
+	framesPublish   *obs.Counter // ingress publish frames (links + clients)
+	framesDiscovery *obs.Counter // ingress discovery requests (all paths)
+	framesControl   *obs.Counter // ingress control/heartbeat/(un)subscribe
+	framesOther     *obs.Counter // anything else
+
+	deliveredLocal *obs.Counter // publish frames enqueued to local clients
+	deliveredLink  *obs.Counter // publish frames enqueued to links
+
+	discoveryDup     *obs.Counter // requests suppressed by the dedup cache
+	discoveryDenied  *obs.Counter // requests rejected by the response policy
+	discoveryAnswers *obs.Counter // discovery responses sent
+	pings            *obs.Counter // UDP pings answered
+
+	egressDropped *obs.Counter // frames dropped by overflowing egress queues
+
+	tracer *obs.Tracer
+}
+
+// initTelemetry registers this broker's metric families on reg (a nil reg
+// gets a private registry so the handles still work) and captures the trace
+// recorder. Instance identity rides in labels — broker="<logical>" for
+// broker families, node="<logical>" for the shared dedup/ntptime families —
+// so one registry can serve a whole in-process deployment.
+func (b *Broker) initTelemetry(reg *obs.Registry, tracer *obs.Tracer) {
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
+	who := obs.L("broker", b.cfg.LogicalAddress)
+	node := obs.L("node", b.cfg.LogicalAddress)
+	t := &b.tel
+	t.tracer = tracer
+
+	const frames = "narada_broker_frames_total"
+	const framesHelp = "Frames received by the broker, by kind."
+	t.framesPublish = reg.Counter(frames, framesHelp, who, obs.L("kind", "publish"))
+	t.framesDiscovery = reg.Counter(frames, framesHelp, who, obs.L("kind", "discovery"))
+	t.framesControl = reg.Counter(frames, framesHelp, who, obs.L("kind", "control"))
+	t.framesOther = reg.Counter(frames, framesHelp, who, obs.L("kind", "other"))
+
+	const delivered = "narada_broker_publish_delivered_total"
+	const deliveredHelp = "Publish frames enqueued for delivery, by destination."
+	t.deliveredLocal = reg.Counter(delivered, deliveredHelp, who, obs.L("dest", "local"))
+	t.deliveredLink = reg.Counter(delivered, deliveredHelp, who, obs.L("dest", "link"))
+
+	const disc = "narada_broker_discovery_requests_total"
+	const discHelp = "Discovery requests processed, by outcome."
+	t.discoveryDup = reg.Counter(disc, discHelp, who, obs.L("outcome", "duplicate"))
+	t.discoveryDenied = reg.Counter(disc, discHelp, who, obs.L("outcome", "denied"))
+	t.discoveryAnswers = reg.Counter("narada_broker_discovery_responses_total",
+		"Discovery responses sent over UDP.", who)
+	t.pings = reg.Counter("narada_broker_pings_total", "UDP pings answered.", who)
+
+	t.egressDropped = reg.Counter("narada_broker_egress_dropped_total",
+		"Frames dropped by overflowing egress queues (drop-oldest policy).", who)
+
+	reg.GaugeFunc("narada_broker_links", "Active broker-to-broker links.",
+		func() float64 { return float64(b.LinkCount()) }, who)
+	reg.GaugeFunc("narada_broker_clients", "Connected clients (including BDN subscribers).",
+		func() float64 { return float64(b.ClientCount()) }, who)
+	reg.GaugeFunc("narada_broker_egress_queue_depth",
+		"Frames currently queued across all egress queues.",
+		func() float64 { return float64(b.egressQueueDepth()) }, who)
+
+	const dedupHits = "narada_dedup_hits_total"
+	const dedupHitsHelp = "Duplicate hits in the suppression caches."
+	const dedupAdds = "narada_dedup_adds_total"
+	const dedupAddsHelp = "Distinct insertions into the suppression caches."
+	reg.CounterFunc(dedupHits, dedupHitsHelp,
+		func() uint64 { h, _ := b.reqDedup.Stats(); return h }, node, obs.L("cache", "request"))
+	reg.CounterFunc(dedupAdds, dedupAddsHelp,
+		func() uint64 { _, a := b.reqDedup.Stats(); return a }, node, obs.L("cache", "request"))
+	reg.CounterFunc(dedupHits, dedupHitsHelp,
+		func() uint64 { h, _ := b.evDedup.Stats(); return h }, node, obs.L("cache", "event"))
+	reg.CounterFunc(dedupAdds, dedupAddsHelp,
+		func() uint64 { _, a := b.evDedup.Stats(); return a }, node, obs.L("cache", "event"))
+
+	reg.GaugeFunc("narada_ntptime_offset_seconds",
+		"Signed error of the NTP-corrected clock against true UTC.",
+		func() float64 { return b.ntp.Residual().Seconds() }, node)
+	reg.GaugeFunc("narada_ntptime_synchronized",
+		"1 once the NTP service has computed clock offsets.",
+		func() float64 {
+			if b.ntp.Synchronized() {
+				return 1
+			}
+			return 0
+		}, node)
+}
+
+// reqTrace wraps an obs.Trace for discovery-request events; the zero value
+// records nothing, so untraced deployments pay no attr construction.
+type reqTrace struct{ tr *obs.Trace }
+
+// event records a point event stamped with this broker's identity and clock.
+// kv is alternating attribute keys and values.
+func (t reqTrace) event(b *Broker, name string, kv ...string) {
+	if t.tr == nil {
+		return
+	}
+	attrs := make([]obs.Attr, 0, 1+len(kv)/2)
+	attrs = append(attrs, obs.A("broker", b.cfg.LogicalAddress))
+	for i := 0; i+1 < len(kv); i += 2 {
+		attrs = append(attrs, obs.A(kv[i], kv[i+1]))
+	}
+	t.tr.Event(name, b.node.Clock().Now(), attrs...)
+}
+
+// egressQueueDepth sums the frames queued in front of every live connection.
+// Called at scrape time only.
+func (b *Broker) egressQueueDepth() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	n := 0
+	for _, lk := range b.links {
+		if lk.out != nil {
+			n += lk.out.depth()
+		}
+	}
+	for _, c := range b.clients {
+		if c.out != nil {
+			n += c.out.depth()
+		}
+	}
+	return n
+}

@@ -16,6 +16,7 @@ import (
 	"narada/internal/core"
 	"narada/internal/dedup"
 	"narada/internal/metrics"
+	"narada/internal/obs"
 )
 
 // Broker is a broker process configuration file.
@@ -34,6 +35,9 @@ type Broker struct {
 	// Response policy.
 	RequiredCredential string   `json:"requiredCredential,omitempty"`
 	AllowedRealms      []string `json:"allowedRealms,omitempty"`
+	// Telemetry.
+	TelemetryAddr string `json:"telemetryAddr,omitempty"` // /metrics + pprof listen addr
+	LogLevel      string `json:"logLevel,omitempty"`      // debug, info, warn, error
 }
 
 // Validate checks required fields and fills defaults.
@@ -46,6 +50,9 @@ func (b *Broker) Validate() error {
 	}
 	if b.DedupCapacity == 0 {
 		b.DedupCapacity = dedup.DefaultCapacity
+	}
+	if _, err := obs.ParseLevel(b.LogLevel); err != nil {
+		return fmt.Errorf("config: broker: %w", err)
 	}
 	return nil
 }
@@ -68,6 +75,9 @@ type BDN struct {
 	InjectOverheadMs   int    `json:"injectOverheadMs,omitempty"`
 	Private            bool   `json:"private,omitempty"`
 	RequiredCredential string `json:"requiredCredential,omitempty"`
+	// Telemetry.
+	TelemetryAddr string `json:"telemetryAddr,omitempty"` // /metrics + pprof listen addr
+	LogLevel      string `json:"logLevel,omitempty"`      // debug, info, warn, error
 }
 
 // Validate checks required fields.
@@ -82,6 +92,9 @@ func (d *BDN) Validate() error {
 	}
 	if d.Private && d.RequiredCredential == "" {
 		return fmt.Errorf("config: bdn: private BDN requires a credential")
+	}
+	if _, err := obs.ParseLevel(d.LogLevel); err != nil {
+		return fmt.Errorf("config: bdn: %w", err)
 	}
 	return nil
 }

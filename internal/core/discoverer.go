@@ -3,12 +3,14 @@ package core
 import (
 	"errors"
 	"fmt"
+	"strconv"
 	"sync"
 	"time"
 
 	"narada/internal/event"
 	"narada/internal/metrics"
 	"narada/internal/ntptime"
+	"narada/internal/obs"
 	"narada/internal/transport"
 	"narada/internal/uuid"
 )
@@ -54,6 +56,13 @@ type Config struct {
 	Credentials []byte
 	// Protocols lists transports the requester can speak.
 	Protocols []string
+	// Metrics, when set, receives the discovery metric families (nil
+	// disables exposition; recording stays enabled against a private
+	// registry).
+	Metrics *obs.Registry
+	// Tracer, when set, records a per-request trace of every discovery —
+	// one span per phase plus point events — keyed by the request UUID.
+	Tracer *obs.Tracer
 }
 
 // Paper-typical defaults.
@@ -134,13 +143,17 @@ type Discoverer struct {
 
 	mu          sync.Mutex
 	lastTargets []BrokerInfo // "Every node keeps track of its last target set of brokers"
+
+	tel telemetry
 }
 
 // NewDiscoverer creates a discovery engine. ntp must be synchronized (or be
 // synchronized before Discover is called) for latency estimation to work.
 func NewDiscoverer(node transport.Node, ntp *ntptime.Service, cfg Config) *Discoverer {
 	cfg.fillDefaults()
-	return &Discoverer{node: node, ntp: ntp, cfg: cfg}
+	d := &Discoverer{node: node, ntp: ntp, cfg: cfg}
+	d.initTelemetry(cfg.Metrics, cfg.Tracer)
+	return d
 }
 
 // Config returns the effective (default-filled) configuration.
@@ -164,7 +177,17 @@ func (d *Discoverer) SeedTargetSet(brokers []BrokerInfo) {
 // then multicast, then cached-target-set fallback), collect responses for the
 // window, shortlist by delay+usage weighting, ping the target set over UDP
 // and select the broker with the lowest measured delay.
+//
+// Every run is folded into the discovery metric families, and — when a tracer
+// is configured — recorded as a per-request trace keyed by the request UUID:
+// one span per Phase plus point events for the responses and the selection.
 func (d *Discoverer) Discover() (*Result, error) {
+	res, err := d.discover()
+	d.observeOutcome(res, err)
+	return res, err
+}
+
+func (d *Discoverer) discover() (*Result, error) {
 	clock := d.node.Clock()
 	res := &Result{}
 
@@ -187,11 +210,16 @@ func (d *Discoverer) Discover() (*Result, error) {
 	} else {
 		req.IssuedAt = clock.Now()
 	}
+	// Nil tracer yields a nil trace; every method on it is a no-op.
+	tr := d.tel.tracer.Trace(req.ID.String())
 
 	// Phase 1: issue the request.
 	start := clock.Now()
 	via, bdnName, retransmits, err := d.issue(req, pc)
-	res.Timing.Set(PhaseRequestIssue, clock.Now().Sub(start))
+	dur := clock.Now().Sub(start)
+	res.Timing.Set(PhaseRequestIssue, dur)
+	tr.Span(PhaseRequestIssue.String(), start, dur,
+		obs.A("node", d.cfg.NodeName), obs.A("via", string(via)))
 	if err != nil {
 		return res, err
 	}
@@ -201,7 +229,10 @@ func (d *Discoverer) Discover() (*Result, error) {
 	// this endpoint (stray late ones from earlier runs); they are skipped.
 	start = clock.Now()
 	responses := d.collect(pc, req.ID)
-	res.Timing.Set(PhaseWaitResponses, clock.Now().Sub(start))
+	dur = clock.Now().Sub(start)
+	res.Timing.Set(PhaseWaitResponses, dur)
+	tr.Span(PhaseWaitResponses.String(), start, dur,
+		obs.A("responses", strconv.Itoa(len(responses))))
 	res.Responses = responses
 	if len(responses) == 0 {
 		return res, ErrNoResponses
@@ -210,7 +241,10 @@ func (d *Discoverer) Discover() (*Result, error) {
 	// Phase 3: shortlist the target set.
 	start = clock.Now()
 	res.TargetSet = Shortlist(responses, d.cfg.Selection)
-	res.Timing.Set(PhaseShortlist, clock.Now().Sub(start))
+	dur = clock.Now().Sub(start)
+	res.Timing.Set(PhaseShortlist, dur)
+	tr.Span(PhaseShortlist.String(), start, dur,
+		obs.A("target-set", strconv.Itoa(len(res.TargetSet))))
 
 	d.mu.Lock()
 	d.lastTargets = d.lastTargets[:0]
@@ -222,7 +256,9 @@ func (d *Discoverer) Discover() (*Result, error) {
 	// Phase 4: UDP ping refinement.
 	start = clock.Now()
 	d.ping(pc, res.TargetSet)
-	res.Timing.Set(PhasePing, clock.Now().Sub(start))
+	dur = clock.Now().Sub(start)
+	res.Timing.Set(PhasePing, dur)
+	tr.Span(PhasePing.String(), start, dur)
 
 	// Phase 5: decide.
 	start = clock.Now()
@@ -233,7 +269,11 @@ func (d *Discoverer) Discover() (*Result, error) {
 	res.Selected = res.TargetSet[idx].Response.Broker
 	res.SelectedRTT = res.TargetSet[idx].PingRTT
 	res.PingDecided = pinged
-	res.Timing.Set(PhaseDecide, clock.Now().Sub(start))
+	dur = clock.Now().Sub(start)
+	res.Timing.Set(PhaseDecide, dur)
+	tr.Span(PhaseDecide.String(), start, dur,
+		obs.A("selected", res.Selected.LogicalAddress),
+		obs.A("rtt", res.SelectedRTT.String()))
 	return res, nil
 }
 

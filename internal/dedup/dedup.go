@@ -128,30 +128,43 @@ func (c *Cache) Len() int {
 func (c *Cache) Capacity() int { return c.cap }
 
 // Stats returns the number of duplicate hits and total distinct insertions,
-// used by the broker's usage metrics.
+// used by the broker's usage metrics. All shard locks are held together (in
+// shard order, the same order Reset uses) while the counters are read, so
+// the totals are a consistent point-in-time snapshot: a concurrent Reset or
+// burst of Seen calls can never produce torn sums that mix pre- and
+// post-update shard values.
 func (c *Cache) Stats() (hits, adds uint64) {
 	for i := range c.shards {
-		s := &c.shards[i]
-		s.mu.Lock()
-		hits += s.hits
-		adds += s.adds
-		s.mu.Unlock()
+		c.shards[i].mu.Lock()
+	}
+	for i := range c.shards {
+		hits += c.shards[i].hits
+		adds += c.shards[i].adds
+	}
+	for i := range c.shards {
+		c.shards[i].mu.Unlock()
 	}
 	return hits, adds
 }
 
 // Reset forgets everything, including the UUIDs lingering in the order ring's
 // backing array, so a reset cache holds no references to old identifiers.
+// Like Stats it holds every shard lock at once, so a concurrent Stats sees
+// either the whole pre-reset state or all zeros, never a partial wipe.
 func (c *Cache) Reset() {
 	for i := range c.shards {
+		c.shards[i].mu.Lock()
+	}
+	for i := range c.shards {
 		s := &c.shards[i]
-		s.mu.Lock()
 		s.set = make(map[uuid.UUID]struct{}, s.cap)
 		clear(s.order)
 		s.head = 0
 		s.full = false
 		s.hits = 0
 		s.adds = 0
-		s.mu.Unlock()
+	}
+	for i := range c.shards {
+		c.shards[i].mu.Unlock()
 	}
 }

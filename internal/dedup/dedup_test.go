@@ -263,3 +263,101 @@ func BenchmarkSeenParallel(b *testing.B) {
 		}
 	})
 }
+
+// TestStatsConsistentSnapshotRace checks the consistency contract of Stats
+// under concurrent writers: every writer performs add/hit pairs (Seen on a
+// fresh id, then Seen on the same id again), so at any consistent snapshot
+// adds-hits is bounded by the number of writers mid-pair — at most one
+// unmatched add per writer. A torn sum over the shards could count one
+// writer's in-flight pair on several shards and break the bound. Run with
+// -race; a concurrent Reset phase additionally exercises the all-shard
+// locking against partial wipes.
+func TestStatsConsistentSnapshotRace(t *testing.T) {
+	const writers = 8
+	c := New(4 * shardedMinCapacity) // sharded: 16 independently locked shards
+	if len(c.shards) != numShards {
+		t.Fatalf("test needs a sharded cache, got %d shards", len(c.shards))
+	}
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	var ops [writers]uint64
+	for g := 0; g < writers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				id := uuid.New()
+				c.Seen(id) // add
+				c.Seen(id) // hit (same shard, immediately after)
+				ops[g] += 2
+			}
+		}(g)
+	}
+
+	for i := 0; i < 2000; i++ {
+		hits, adds := c.Stats()
+		if hits > adds {
+			t.Errorf("snapshot %d: hits %d > adds %d", i, hits, adds)
+			break
+		}
+		if adds-hits > writers {
+			t.Errorf("snapshot %d: torn totals, adds-hits = %d exceeds %d in-flight writers",
+				i, adds-hits, writers)
+			break
+		}
+	}
+	close(stop)
+	wg.Wait()
+
+	// Quiesced: every Seen call was counted exactly once, as an add or a hit.
+	total := uint64(0)
+	for _, n := range ops {
+		total += n
+	}
+	hits, adds := c.Stats()
+	if hits+adds != total {
+		t.Errorf("final totals: hits %d + adds %d = %d, want %d Seen calls",
+			hits, adds, hits+adds, total)
+	}
+
+	// Stats racing Reset must see all-or-nothing, never hits > adds from a
+	// half-wiped cache.
+	stop = make(chan struct{})
+	var wg2 sync.WaitGroup
+	for g := 0; g < writers; g++ {
+		wg2.Add(1)
+		go func() {
+			defer wg2.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				id := uuid.New()
+				c.Seen(id)
+				c.Seen(id)
+			}
+		}()
+	}
+	wg2.Add(1)
+	go func() {
+		defer wg2.Done()
+		for i := 0; i < 200; i++ {
+			c.Reset()
+		}
+	}()
+	for i := 0; i < 2000; i++ {
+		if hits, adds := c.Stats(); hits > adds {
+			t.Errorf("snapshot during Reset: hits %d > adds %d", hits, adds)
+			break
+		}
+	}
+	close(stop)
+	wg2.Wait()
+}

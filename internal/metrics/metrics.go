@@ -9,21 +9,9 @@ package metrics
 import (
 	"runtime"
 	"sync"
-	"sync/atomic"
 
 	"narada/internal/wire"
 )
-
-// Counter is a monotonically increasing, concurrency-safe event counter for
-// fabric health figures (e.g. frames dropped by overflowing egress queues).
-// The zero value is ready to use; Counter must not be copied after first use.
-type Counter struct{ n atomic.Uint64 }
-
-// Add increments the counter by d.
-func (c *Counter) Add(d uint64) { c.n.Add(d) }
-
-// Value returns the current count.
-func (c *Counter) Value() uint64 { return c.n.Load() }
 
 // Usage is a snapshot of a broker's load, carried in every discovery
 // response.

@@ -1,0 +1,205 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"runtime"
+	"strconv"
+	"strings"
+)
+
+// WritePrometheus renders every registered family in the Prometheus text
+// exposition format (version 0.0.4): # HELP / # TYPE headers, one sample
+// line per series, histogram buckets cumulative with the canonical
+// _bucket/_sum/_count suffixes.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	for _, f := range r.snapshotFamilies() {
+		if f.help != "" {
+			fmt.Fprintf(bw, "# HELP %s %s\n", f.name, escapeHelp(f.help))
+		}
+		fmt.Fprintf(bw, "# TYPE %s %s\n", f.name, f.kind)
+		for _, c := range f.snapshotChildren() {
+			writeChild(bw, f, c)
+		}
+	}
+	return bw.Flush()
+}
+
+func writeChild(w *bufio.Writer, f *family, c *child) {
+	switch f.kind {
+	case kindCounter:
+		v := uint64(0)
+		if c.counter != nil {
+			v = c.counter.Value()
+		} else if c.counterFn != nil {
+			v = c.counterFn()
+		}
+		w.WriteString(f.name)
+		writeLabels(w, c.labels, "", 0)
+		w.WriteByte(' ')
+		w.WriteString(strconv.FormatUint(v, 10))
+		w.WriteByte('\n')
+	case kindGauge:
+		v := 0.0
+		if c.gauge != nil {
+			v = c.gauge.Value()
+		} else if c.gaugeFn != nil {
+			v = c.gaugeFn()
+		}
+		w.WriteString(f.name)
+		writeLabels(w, c.labels, "", 0)
+		w.WriteByte(' ')
+		w.WriteString(formatFloat(v))
+		w.WriteByte('\n')
+	case kindHistogram:
+		bounds, counts := c.hist.Snapshot()
+		cum := uint64(0)
+		for i, b := range bounds {
+			cum += counts[i]
+			w.WriteString(f.name)
+			w.WriteString("_bucket")
+			writeLabels(w, c.labels, "le", b)
+			w.WriteByte(' ')
+			w.WriteString(strconv.FormatUint(cum, 10))
+			w.WriteByte('\n')
+		}
+		cum += counts[len(counts)-1]
+		w.WriteString(f.name)
+		w.WriteString("_bucket")
+		writeLabels(w, c.labels, "le", math.Inf(1))
+		w.WriteByte(' ')
+		w.WriteString(strconv.FormatUint(cum, 10))
+		w.WriteByte('\n')
+		w.WriteString(f.name)
+		w.WriteString("_sum")
+		writeLabels(w, c.labels, "", 0)
+		w.WriteByte(' ')
+		w.WriteString(formatFloat(c.hist.Sum()))
+		w.WriteByte('\n')
+		w.WriteString(f.name)
+		w.WriteString("_count")
+		writeLabels(w, c.labels, "", 0)
+		w.WriteByte(' ')
+		w.WriteString(strconv.FormatUint(c.hist.Count(), 10))
+		w.WriteByte('\n')
+	}
+}
+
+// writeLabels renders {k="v",...}; leKey, when non-empty, appends the
+// histogram le bound as the final label.
+func writeLabels(w *bufio.Writer, labels []Label, leKey string, le float64) {
+	if len(labels) == 0 && leKey == "" {
+		return
+	}
+	w.WriteByte('{')
+	for i, l := range labels {
+		if i > 0 {
+			w.WriteByte(',')
+		}
+		w.WriteString(l.Key)
+		w.WriteString(`="`)
+		w.WriteString(escapeLabel(l.Value))
+		w.WriteByte('"')
+	}
+	if leKey != "" {
+		if len(labels) > 0 {
+			w.WriteByte(',')
+		}
+		w.WriteString(leKey)
+		w.WriteString(`="`)
+		w.WriteString(formatFloat(le))
+		w.WriteByte('"')
+	}
+	w.WriteByte('}')
+}
+
+// formatFloat renders a float the way Prometheus expects: shortest
+// round-trip representation, with +Inf/-Inf/NaN spelled out.
+func formatFloat(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	case math.IsNaN(v):
+		return "NaN"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+func escapeLabel(s string) string {
+	if !strings.ContainsAny(s, "\\\"\n") {
+		return s
+	}
+	r := strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+	return r.Replace(s)
+}
+
+func escapeHelp(s string) string {
+	if !strings.ContainsAny(s, "\\\n") {
+		return s
+	}
+	r := strings.NewReplacer(`\`, `\\`, "\n", `\n`)
+	return r.Replace(s)
+}
+
+// Handler returns the /metrics HTTP handler for this registry.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = r.WritePrometheus(w)
+	})
+}
+
+// NewMux assembles the telemetry endpoint set: /metrics (Prometheus text),
+// /healthz (JSON liveness), /debug/traces (recent discovery traces, when a
+// tracer is supplied) and the net/http/pprof handlers under /debug/pprof/.
+func NewMux(reg *Registry, tracer *Tracer) *http.ServeMux {
+	mux := http.NewServeMux()
+	if reg != nil {
+		mux.Handle("/metrics", reg.Handler())
+	}
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		fmt.Fprintf(w, `{"status":"ok","goroutines":%d}`+"\n", runtime.NumGoroutine())
+	})
+	if tracer != nil {
+		mux.Handle("/debug/traces", tracer.Handler())
+	}
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// Server is a running telemetry HTTP endpoint.
+type Server struct {
+	lis  net.Listener
+	http *http.Server
+}
+
+// Serve binds addr (host:port; port 0 picks a free one) and serves the
+// telemetry mux on it in a background goroutine.
+func Serve(addr string, reg *Registry, tracer *Tracer) (*Server, error) {
+	lis, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("obs: telemetry listen %s: %w", addr, err)
+	}
+	s := &Server{lis: lis, http: &http.Server{Handler: NewMux(reg, tracer)}}
+	go func() { _ = s.http.Serve(lis) }()
+	return s, nil
+}
+
+// Addr returns the bound address (useful with port 0).
+func (s *Server) Addr() string { return s.lis.Addr().String() }
+
+// Close stops the server.
+func (s *Server) Close() error { return s.http.Close() }

@@ -1,0 +1,150 @@
+package obs
+
+import (
+	"io"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// TestWritePrometheusGolden pins the exact exposition text for a registry
+// covering all metric kinds, so format regressions are caught byte-for-byte.
+func TestWritePrometheusGolden(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("narada_broker_frames_total", "Frames received.", L("kind", "publish"), L("broker", "b1"))
+	c.Add(7)
+	r.Counter("narada_broker_frames_total", "Frames received.", L("kind", "control"), L("broker", "b1")).Add(2)
+	g := r.Gauge("narada_broker_links", "Active links.", L("broker", "b1"))
+	g.Set(3)
+	r.GaugeFunc("narada_ntptime_offset_seconds", "Clock offset.", func() float64 { return -0.004 }, L("node", "b1"))
+	r.CounterFunc("narada_dedup_hits_total", "Dedup hits.", func() uint64 { return 41 }, L("cache", "request"))
+	h := r.Histogram("narada_discovery_phase_seconds", "Phase latency.", []float64{0.01, 0.1, 1}, L("phase", "ping-measurement"))
+	h.Observe(0.005)
+	h.Observe(0.05)
+	h.Observe(0.05)
+	h.Observe(5)
+
+	const want = `# HELP narada_broker_frames_total Frames received.
+# TYPE narada_broker_frames_total counter
+narada_broker_frames_total{broker="b1",kind="control"} 2
+narada_broker_frames_total{broker="b1",kind="publish"} 7
+# HELP narada_broker_links Active links.
+# TYPE narada_broker_links gauge
+narada_broker_links{broker="b1"} 3
+# HELP narada_dedup_hits_total Dedup hits.
+# TYPE narada_dedup_hits_total counter
+narada_dedup_hits_total{cache="request"} 41
+# HELP narada_discovery_phase_seconds Phase latency.
+# TYPE narada_discovery_phase_seconds histogram
+narada_discovery_phase_seconds_bucket{phase="ping-measurement",le="0.01"} 1
+narada_discovery_phase_seconds_bucket{phase="ping-measurement",le="0.1"} 3
+narada_discovery_phase_seconds_bucket{phase="ping-measurement",le="1"} 3
+narada_discovery_phase_seconds_bucket{phase="ping-measurement",le="+Inf"} 4
+narada_discovery_phase_seconds_sum{phase="ping-measurement"} 5.105
+narada_discovery_phase_seconds_count{phase="ping-measurement"} 4
+# HELP narada_ntptime_offset_seconds Clock offset.
+# TYPE narada_ntptime_offset_seconds gauge
+narada_ntptime_offset_seconds{node="b1"} -0.004
+`
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if got := sb.String(); got != want {
+		t.Errorf("exposition mismatch:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}
+
+// TestExpositionParses walks every emitted line and checks it is a
+// syntactically valid Prometheus text-format line: a comment, or
+// name{labels} value with a parseable value.
+func TestExpositionParses(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("narada_a_total", "a", L("x", `quote " backslash \ done`)).Add(1)
+	r.Gauge("narada_b", "b").Set(4.25)
+	r.Histogram("narada_c_seconds", "c", nil).ObserveDuration(0)
+
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	for _, line := range strings.Split(strings.TrimSuffix(sb.String(), "\n"), "\n") {
+		if strings.HasPrefix(line, "# HELP ") || strings.HasPrefix(line, "# TYPE ") {
+			continue
+		}
+		name, value, ok := splitSample(line)
+		if !ok {
+			t.Errorf("malformed sample line: %q", line)
+			continue
+		}
+		base := name
+		if i := strings.IndexByte(name, '{'); i >= 0 {
+			if !strings.HasSuffix(name, "}") {
+				t.Errorf("unterminated label set: %q", line)
+			}
+			base = name[:i]
+		}
+		if !validName(base) {
+			t.Errorf("invalid metric name %q in line %q", base, line)
+		}
+		if value != "+Inf" && value != "-Inf" && value != "NaN" {
+			if _, err := strconv.ParseFloat(value, 64); err != nil {
+				t.Errorf("unparseable value %q in line %q", value, line)
+			}
+		}
+	}
+}
+
+// splitSample splits a sample line into its series name (with labels) and
+// value, honouring spaces inside quoted label values.
+func splitSample(line string) (name, value string, ok bool) {
+	inQuotes := false
+	for i := 0; i < len(line); i++ {
+		switch line[i] {
+		case '\\':
+			if inQuotes {
+				i++
+			}
+		case '"':
+			inQuotes = !inQuotes
+		case ' ':
+			if !inQuotes {
+				return line[:i], line[i+1:], true
+			}
+		}
+	}
+	return "", "", false
+}
+
+func TestMuxEndpoints(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("narada_x_total", "x").Inc()
+	tr := NewTracer(4, nil)
+	tr.Trace("req-1").Event("broker-respond", testTime(), A("broker", "b1"))
+	mux := NewMux(r, tr)
+
+	srv := httptest.NewServer(mux)
+	defer srv.Close()
+
+	for path, want := range map[string]string{
+		"/metrics":               "narada_x_total 1",
+		"/healthz":               `"status":"ok"`,
+		"/debug/traces":          "broker-respond",
+		"/debug/pprof/":          "profile",
+		"/debug/traces?id=req-1": "req-1",
+	} {
+		resp, err := srv.Client().Get(srv.URL + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != 200 {
+			t.Errorf("GET %s: status %d", path, resp.StatusCode)
+		}
+		if !strings.Contains(string(body), want) {
+			t.Errorf("GET %s: body does not contain %q:\n%s", path, want, body)
+		}
+	}
+}

@@ -1,0 +1,60 @@
+// Package obs is the fabric's telemetry layer: a dependency-free metric
+// registry (counters, gauges, fixed-bucket histograms with atomic buckets),
+// a hand-rolled Prometheus-text-format exposition endpoint with /healthz and
+// net/http/pprof wiring, per-request discovery tracing kept in an in-memory
+// ring, and shared slog construction helpers.
+//
+// Metric families follow the naming scheme
+//
+//	narada_<subsystem>_<name>_<unit>
+//
+// (e.g. narada_broker_egress_dropped_total, narada_discovery_phase_seconds)
+// with instance identity carried in labels (broker="...", bdn="...",
+// node="..."), so one registry can expose any number of in-process brokers,
+// BDNs and discoverers — the testbed shares a single registry across a whole
+// simulated deployment.
+//
+// The record path is allocation-free: handles are resolved once at component
+// start-up and recording is a single atomic add (plus a CAS for histogram
+// sums), so the publish fast path can be instrumented without giving back
+// PR 1's zero-allocation property.
+package obs
+
+import "fmt"
+
+// Label is one metric dimension. Families are identified by name; each
+// distinct label set under a family is an independent child series.
+type Label struct {
+	Key   string
+	Value string
+}
+
+// L is shorthand for constructing a Label.
+func L(key, value string) Label { return Label{Key: key, Value: value} }
+
+// validName reports whether s is a legal Prometheus metric or label name:
+// [a-zA-Z_:][a-zA-Z0-9_:]* (colons are reserved for recording rules but
+// tolerated here).
+func validName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, r := range s {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r == '_', r == ':':
+		case r >= '0' && r <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+func mustValidName(kind, s string) {
+	if !validName(s) {
+		panic(fmt.Sprintf("obs: invalid %s name %q", kind, s))
+	}
+}

@@ -1,0 +1,33 @@
+package obs
+
+import (
+	"runtime"
+	"time"
+)
+
+// RegisterProcessMetrics adds Go-runtime health gauges to reg, evaluated at
+// scrape time: goroutine count, heap in use, total GC cycles and process
+// uptime (measured from this call). Call once per process.
+func RegisterProcessMetrics(reg *Registry) {
+	start := time.Now()
+	reg.GaugeFunc("narada_process_goroutines",
+		"Live goroutines in the process.",
+		func() float64 { return float64(runtime.NumGoroutine()) })
+	reg.GaugeFunc("narada_process_heap_inuse_bytes",
+		"Bytes in in-use heap spans.",
+		func() float64 {
+			var ms runtime.MemStats
+			runtime.ReadMemStats(&ms)
+			return float64(ms.HeapInuse)
+		})
+	reg.GaugeFunc("narada_process_gc_cycles_total",
+		"Completed GC cycles.",
+		func() float64 {
+			var ms runtime.MemStats
+			runtime.ReadMemStats(&ms)
+			return float64(ms.NumGC)
+		})
+	reg.GaugeFunc("narada_process_uptime_seconds",
+		"Wall-clock seconds since telemetry registration.",
+		func() float64 { return time.Since(start).Seconds() })
+}

@@ -1,0 +1,99 @@
+package obs
+
+import (
+	"testing"
+	"time"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("narada_test_frames_total", "frames", L("kind", "publish"))
+	c.Inc()
+	c.Add(4)
+	if got := c.Value(); got != 5 {
+		t.Fatalf("counter = %d, want 5", got)
+	}
+	// Same name+labels returns the same handle.
+	if again := r.Counter("narada_test_frames_total", "frames", L("kind", "publish")); again != c {
+		t.Fatal("re-registration returned a different handle")
+	}
+	// Different labels are a different series.
+	other := r.Counter("narada_test_frames_total", "frames", L("kind", "control"))
+	if other == c {
+		t.Fatal("distinct label sets share a handle")
+	}
+	// Label order does not matter for identity.
+	g := r.Gauge("narada_test_depth", "depth", L("a", "1"), L("b", "2"))
+	g.Set(2.5)
+	g.Add(-0.5)
+	if got := g.Value(); got != 2.0 {
+		t.Fatalf("gauge = %v, want 2.0", got)
+	}
+	if again := r.Gauge("narada_test_depth", "depth", L("b", "2"), L("a", "1")); again != g {
+		t.Fatal("label order changed series identity")
+	}
+}
+
+func TestKindMismatchPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("narada_test_x_total", "x")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("registering a gauge under a counter name did not panic")
+		}
+	}()
+	r.Gauge("narada_test_x_total", "x")
+}
+
+func TestInvalidNamePanics(t *testing.T) {
+	r := NewRegistry()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("invalid metric name did not panic")
+		}
+	}()
+	r.Counter("narada test", "bad name")
+}
+
+// TestRecordPathAllocs is the acceptance-criteria guard: metric recording on
+// the publish fast path must not allocate.
+func TestRecordPathAllocs(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("narada_test_hot_total", "hot", L("kind", "publish"))
+	g := r.Gauge("narada_test_hot_depth", "hot")
+	h := r.Histogram("narada_test_hot_seconds", "hot", nil)
+	if n := testing.AllocsPerRun(1000, func() { c.Add(1) }); n != 0 {
+		t.Errorf("Counter.Add allocates %v/op, want 0", n)
+	}
+	if n := testing.AllocsPerRun(1000, func() { g.Set(3) }); n != 0 {
+		t.Errorf("Gauge.Set allocates %v/op, want 0", n)
+	}
+	if n := testing.AllocsPerRun(1000, func() { h.Observe(0.017) }); n != 0 {
+		t.Errorf("Histogram.Observe allocates %v/op, want 0", n)
+	}
+	if n := testing.AllocsPerRun(1000, func() { h.ObserveDuration(3 * time.Millisecond) }); n != 0 {
+		t.Errorf("Histogram.ObserveDuration allocates %v/op, want 0", n)
+	}
+}
+
+func BenchmarkCounterAdd(b *testing.B) {
+	r := NewRegistry()
+	c := r.Counter("narada_bench_total", "bench")
+	b.ReportAllocs()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			c.Add(1)
+		}
+	})
+}
+
+func BenchmarkHistogramObserve(b *testing.B) {
+	r := NewRegistry()
+	h := r.Histogram("narada_bench_seconds", "bench", nil)
+	b.ReportAllocs()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			h.Observe(0.042)
+		}
+	})
+}

@@ -14,6 +14,7 @@ import (
 	"narada/internal/core"
 	"narada/internal/metrics"
 	"narada/internal/ntptime"
+	"narada/internal/obs"
 	"narada/internal/simnet"
 	"narada/internal/topology"
 	"narada/internal/transport"
@@ -77,6 +78,12 @@ type Options struct {
 	Routing broker.RoutingMode
 	// MaxSkew bounds each node's hardware clock error (default 20 ms).
 	MaxSkew time.Duration
+	// Metrics, when set, is shared by every deployed broker, BDN and
+	// discoverer — instance identity rides in metric labels.
+	Metrics *obs.Registry
+	// Tracer, when set, records per-request discovery traces across the
+	// whole deployment (BDN injection, broker fan-out, requester phases).
+	Tracer *obs.Tracer
 }
 
 func (o *Options) fillDefaults() {
@@ -171,6 +178,8 @@ func New(opts Options) (*Testbed, error) {
 				Name:           "gridservicelocator." + tlds[i%len(tlds)],
 				Policy:         opts.InjectPolicy,
 				InjectOverhead: opts.InjectOverhead,
+				Metrics:        opts.Metrics,
+				Tracer:         opts.Tracer,
 			})
 			if err != nil {
 				tb.Close()
@@ -203,6 +212,8 @@ func New(opts Options) (*Testbed, error) {
 			Realm:           spec.Site,
 			Sampler:         metrics.NewStaticSampler(usage),
 			ProcessingDelay: proc,
+			Metrics:         opts.Metrics,
+			Tracer:          opts.Tracer,
 		}
 		if opts.Multicast {
 			cfg.MulticastGroup = MulticastGroup
@@ -283,6 +294,12 @@ func (tb *Testbed) NewDiscoverer(site, name string, cfg core.Config) *core.Disco
 	}
 	if cfg.MulticastGroup == "" && tb.opts.Multicast {
 		cfg.MulticastGroup = MulticastGroup
+	}
+	if cfg.Metrics == nil {
+		cfg.Metrics = tb.opts.Metrics
+	}
+	if cfg.Tracer == nil {
+		cfg.Tracer = tb.opts.Tracer
 	}
 	return core.NewDiscoverer(node, ntp, cfg)
 }

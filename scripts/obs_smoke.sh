@@ -1,0 +1,55 @@
+#!/bin/sh
+# obs_smoke.sh boots one real broker with telemetry enabled, then checks the
+# /healthz and /metrics endpoints: healthz must report ok, and the exposition
+# must show at least 12 distinct narada_ metric families. Uses curl or wget,
+# whichever the host has.
+set -eu
+
+ADDR="127.0.0.1:18081"
+TMP="$(mktemp -d)"
+trap 'kill "$BROKER_PID" 2>/dev/null || true; wait "$BROKER_PID" 2>/dev/null || true; rm -rf "$TMP"' EXIT
+
+fetch() {
+    if command -v curl >/dev/null 2>&1; then
+        curl -sf "$1"
+    elif command -v wget >/dev/null 2>&1; then
+        wget -qO- "$1"
+    else
+        echo "obs-smoke: need curl or wget" >&2
+        exit 1
+    fi
+}
+
+go build -o "$TMP/broker" ./cmd/broker
+"$TMP/broker" -bind 127.0.0.1 -logical smoke-broker -telemetry-addr "$ADDR" \
+    >"$TMP/broker.log" 2>&1 &
+BROKER_PID=$!
+
+# Wait for the telemetry endpoint to come up.
+i=0
+until fetch "http://$ADDR/healthz" >"$TMP/healthz" 2>/dev/null; do
+    i=$((i + 1))
+    if [ "$i" -ge 50 ]; then
+        echo "obs-smoke: telemetry endpoint never came up" >&2
+        cat "$TMP/broker.log" >&2
+        exit 1
+    fi
+    sleep 0.1
+done
+
+grep -q '"status":"ok"' "$TMP/healthz" || {
+    echo "obs-smoke: /healthz not ok: $(cat "$TMP/healthz")" >&2
+    exit 1
+}
+
+fetch "http://$ADDR/metrics" >"$TMP/metrics"
+FAMILIES=$(grep -c '^# TYPE narada_' "$TMP/metrics" || true)
+if [ "$FAMILIES" -lt 12 ]; then
+    echo "obs-smoke: only $FAMILIES narada_ families on /metrics, want >= 12" >&2
+    grep '^# TYPE' "$TMP/metrics" >&2 || true
+    exit 1
+fi
+
+fetch "http://$ADDR/debug/traces" >/dev/null
+
+echo "obs-smoke: ok (/healthz ok, $FAMILIES metric families, /debug/traces serving)"
