@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet fmt-check verify bench fuzz obs-smoke
+.PHONY: all build test race vet fmt-check verify bench fuzz obs-smoke ci
 
 all: build
 
@@ -32,9 +32,14 @@ bench:
 	$(GO) test -run '^$$' -bench 'BenchmarkSeenParallel' -benchmem -benchtime=2s ./internal/dedup/
 
 # obs-smoke boots a real broker with -telemetry-addr and checks /healthz and
-# the /metrics exposition (>= 12 narada_ metric families).
+# the /metrics exposition, then a BDN + broker + obscollect fabric and
+# asserts one synthetic probe trace assembles end to end.
 obs-smoke:
 	sh scripts/obs_smoke.sh
+
+# ci is the full pre-merge pipeline: verify + obs-smoke.
+ci:
+	sh scripts/ci.sh
 
 # fuzz gives the differential matcher fuzzer a short budget; CI-friendly.
 fuzz:

@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"log"
 	"math/rand"
@@ -34,6 +35,7 @@ func main() {
 		policy     = flag.String("policy", "", "injection policy: all | closest-farthest")
 		measure    = flag.Duration("measure-every", time.Minute, "broker distance measurement interval (0 = never)")
 		telemetry  = flag.String("telemetry-addr", "", "listen addr for /metrics, /healthz, /debug/traces and pprof (overrides config; '' = off)")
+		obsExport  = flag.String("obs-export", "", "obscollect UDP addr to export spans + metric snapshots to (overrides config; '' = off)")
 		logLevel   = flag.String("log-level", "", "log level: debug | info | warn | error (overrides config)")
 	)
 	flag.Parse()
@@ -62,6 +64,9 @@ func main() {
 	if *telemetry != "" {
 		cfg.TelemetryAddr = *telemetry
 	}
+	if *obsExport != "" {
+		cfg.ObsExportAddr = *obsExport
+	}
 	if *logLevel != "" {
 		cfg.LogLevel = *logLevel
 	}
@@ -86,6 +91,20 @@ func main() {
 	reg := obs.NewRegistry()
 	obs.RegisterProcessMetrics(reg)
 	tracer := obs.NewTracer(obs.DefaultTraceCapacity, logger)
+	if cfg.ObsExportAddr != "" {
+		exp, err := obs.NewExporter(obs.ExporterConfig{
+			Addr:     cfg.ObsExportAddr,
+			Node:     cfg.Name,
+			Offset:   ntp.Offset,
+			Registry: reg,
+		})
+		if err != nil {
+			log.Fatalf("bdn: obs export: %v", err)
+		}
+		defer exp.Close() //nolint:errcheck
+		tracer.SetExporter(exp)
+		log.Printf("bdn: exporting observability to udp://%s", cfg.ObsExportAddr)
+	}
 
 	d, err := bdn.New(node, ntp, bdn.Config{
 		Logger:             logger,
@@ -112,7 +131,11 @@ func main() {
 		if err != nil {
 			log.Fatalf("bdn: telemetry: %v", err)
 		}
-		defer srv.Close()
+		defer func() {
+			ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+			defer cancel()
+			_ = srv.Shutdown(ctx)
+		}()
 		log.Printf("bdn: telemetry on http://%s/metrics", srv.Addr())
 	}
 

@@ -11,6 +11,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -40,6 +41,7 @@ func main() {
 		links      = flag.String("link", "", "comma-separated peer broker addresses to link to")
 		multicast  = flag.Bool("multicast", false, "join the discovery multicast group")
 		telemetry  = flag.String("telemetry-addr", "", "listen addr for /metrics, /healthz, /debug/traces and pprof (overrides config; '' = off)")
+		obsExport  = flag.String("obs-export", "", "obscollect UDP addr to export spans + metric snapshots to (overrides config; '' = off)")
 		logLevel   = flag.String("log-level", "", "log level: debug | info | warn | error (overrides config)")
 	)
 	flag.Parse()
@@ -77,6 +79,9 @@ func main() {
 	if *telemetry != "" {
 		cfg.TelemetryAddr = *telemetry
 	}
+	if *obsExport != "" {
+		cfg.ObsExportAddr = *obsExport
+	}
 	if *logLevel != "" {
 		cfg.LogLevel = *logLevel
 	}
@@ -102,6 +107,20 @@ func main() {
 	reg := obs.NewRegistry()
 	obs.RegisterProcessMetrics(reg)
 	tracer := obs.NewTracer(obs.DefaultTraceCapacity, logger)
+	if cfg.ObsExportAddr != "" {
+		exp, err := obs.NewExporter(obs.ExporterConfig{
+			Addr:     cfg.ObsExportAddr,
+			Node:     cfg.LogicalAddress,
+			Offset:   ntp.Offset,
+			Registry: reg,
+		})
+		if err != nil {
+			log.Fatalf("broker: obs export: %v", err)
+		}
+		defer exp.Close() //nolint:errcheck
+		tracer.SetExporter(exp)
+		log.Printf("broker: exporting observability to udp://%s", cfg.ObsExportAddr)
+	}
 
 	b, err := broker.New(node, ntp, broker.Config{
 		Logger:         logger,
@@ -132,7 +151,11 @@ func main() {
 		if err != nil {
 			log.Fatalf("broker: telemetry: %v", err)
 		}
-		defer srv.Close()
+		defer func() {
+			ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+			defer cancel()
+			_ = srv.Shutdown(ctx)
+		}()
 		log.Printf("broker: telemetry on http://%s/metrics", srv.Addr())
 	}
 

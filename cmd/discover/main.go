@@ -10,6 +10,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -39,6 +40,7 @@ func main() {
 		multicast  = flag.Bool("multicast", false, "fall back to multicast when no BDN answers")
 		verbose    = flag.Bool("verbose", false, "print every response and ping measurement")
 		telemetry  = flag.String("telemetry-addr", "", "listen addr for /metrics, /healthz, /debug/traces and pprof ('' = off)")
+		obsExport  = flag.String("obs-export", "", "obscollect UDP addr to export spans + metric snapshots to ('' = off)")
 		linger     = flag.Duration("linger", 0, "keep the process (and telemetry endpoints) up this long after the discovery")
 	)
 	flag.Parse()
@@ -97,12 +99,29 @@ func main() {
 	tracer := obs.NewTracer(obs.DefaultTraceCapacity, nil)
 	cfg.Metrics = reg
 	cfg.Tracer = tracer
+	if *obsExport != "" {
+		exp, err := obs.NewExporter(obs.ExporterConfig{
+			Addr:     *obsExport,
+			Node:     cfg.NodeName,
+			Offset:   ntp.Offset,
+			Registry: reg,
+		})
+		if err != nil {
+			log.Fatalf("discover: obs export: %v", err)
+		}
+		defer exp.Close() //nolint:errcheck
+		tracer.SetExporter(exp)
+	}
 	if *telemetry != "" {
 		srv, err := obs.Serve(*telemetry, reg, tracer)
 		if err != nil {
 			log.Fatalf("discover: telemetry: %v", err)
 		}
-		defer srv.Close()
+		defer func() {
+			ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+			defer cancel()
+			_ = srv.Shutdown(ctx)
+		}()
 		log.Printf("discover: telemetry on http://%s/metrics", srv.Addr())
 	}
 

@@ -10,10 +10,12 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
 	"narada/internal/experiments"
 	"narada/internal/obs"
@@ -46,7 +48,11 @@ func main() {
 			fmt.Fprintf(os.Stderr, "nbexp: telemetry: %v\n", err)
 			os.Exit(1)
 		}
-		defer srv.Close()
+		defer func() {
+			ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+			defer cancel()
+			_ = srv.Shutdown(ctx)
+		}()
 		fmt.Fprintf(os.Stderr, "nbexp: telemetry on http://%s/metrics\n", srv.Addr())
 	}
 

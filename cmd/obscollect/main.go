@@ -1,0 +1,123 @@
+// Command obscollect runs the fabric-wide observability collector: a UDP
+// sink for the span batches and metric snapshots every broker, BDN and
+// requester exports, serving the assembled view over HTTP —
+//
+//	/metrics       federated Prometheus exposition (node label per source)
+//	/traces        retained cross-node trace summaries
+//	/traces/{id}   one assembled trace, spans in NTP-aligned causal order
+//	/fabric        per-node liveness, clock offset, load and latency SLIs
+//
+// With -probe-interval it also runs the synthetic prober: periodic
+// end-to-end discoveries against the live fabric whose traces and
+// success-rate/latency SLIs land in this collector.
+//
+// Usage:
+//
+//	obscollect -listen 127.0.0.1:9310 -http 127.0.0.1:9311
+//	obscollect -listen :9310 -http :9311 -probe-interval 10s -probe-bdn 127.0.0.1:7000
+package main
+
+import (
+	"context"
+	"flag"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"narada/internal/obs"
+	"narada/internal/obs/collect"
+)
+
+func main() {
+	var (
+		listen        = flag.String("listen", "127.0.0.1:9310", "UDP listen addr for export packets")
+		httpAddr      = flag.String("http", "127.0.0.1:9311", "HTTP listen addr for /metrics, /traces, /fabric")
+		traceCap      = flag.Int("trace-capacity", collect.DefaultTraceCapacity, "assembled traces retained (oldest evicted)")
+		probeInterval = flag.Duration("probe-interval", 0, "synthetic discovery probe interval (0 = no prober)")
+		probeBDN      = flag.String("probe-bdn", "", "comma-separated BDN stream addrs the prober discovers through")
+		probeWindow   = flag.Duration("probe-window", time.Second, "per-probe response collection window")
+		logLevel      = flag.String("log-level", "info", "log level: debug | info | warn | error")
+	)
+	flag.Parse()
+
+	level, err := obs.ParseLevel(*logLevel)
+	if err != nil {
+		log.Fatalf("obscollect: %v", err)
+	}
+	logger := obs.NewLogger(os.Stderr, level)
+
+	reg := obs.NewRegistry()
+	obs.RegisterProcessMetrics(reg)
+
+	col, err := collect.New(collect.Config{
+		Listen:        *listen,
+		TraceCapacity: *traceCap,
+		Logger:        logger,
+		Registry:      reg,
+	})
+	if err != nil {
+		log.Fatalf("obscollect: %v", err)
+	}
+	defer col.Close()
+	log.Printf("obscollect: receiving export packets on udp://%s", col.Addr())
+
+	lis, err := net.Listen("tcp", *httpAddr)
+	if err != nil {
+		log.Fatalf("obscollect: http listen: %v", err)
+	}
+	srv := &http.Server{Handler: col.Handler()}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		_ = srv.Serve(lis)
+	}()
+	log.Printf("obscollect: serving http://%s/metrics /traces /fabric", lis.Addr())
+
+	var prober *collect.Prober
+	if *probeInterval > 0 {
+		addrs := splitNonEmpty(*probeBDN)
+		if len(addrs) == 0 {
+			log.Fatal("obscollect: -probe-interval requires -probe-bdn")
+		}
+		prober, err = collect.NewProber(collect.ProbeConfig{
+			Interval:      *probeInterval,
+			BDNAddrs:      addrs,
+			CollectWindow: *probeWindow,
+			Export:        col.Addr(),
+			Registry:      col.Registry(),
+			Logger:        logger,
+		})
+		if err != nil {
+			log.Fatalf("obscollect: prober: %v", err)
+		}
+		prober.Run()
+		log.Printf("obscollect: probing %s every %s", strings.Join(addrs, ","), *probeInterval)
+	}
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	log.Print("obscollect: shutting down")
+	if prober != nil {
+		_ = prober.Close()
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 3*time.Second)
+	defer cancel()
+	_ = srv.Shutdown(ctx)
+	<-done
+}
+
+func splitNonEmpty(s string) []string {
+	var out []string
+	for _, p := range strings.Split(s, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}

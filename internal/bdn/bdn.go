@@ -382,15 +382,25 @@ func (d *BDN) processRequest(conn transport.Conn, ev *event.Event, req *core.Dis
 		authorized = string(req.Credentials) == string(d.cfg.RequiredCredential)
 	}
 
+	// Normalise trace context: instrumented requesters stamp it on the
+	// event; for anyone else it heals here from the request body, so every
+	// frame the BDN emits downstream carries it.
+	traceID, origin, hop, hasTrace := ev.Trace()
+	if !hasTrace {
+		traceID, origin, hop = req.ID.String(), req.Requester, 0
+		ev.SetTrace(traceID, origin, hop)
+	}
+
 	// "A BDN is expected to acknowledge the receipt of a discovery request
 	// in a timely manner."
 	ack := &core.Ack{RequestID: req.ID, BDN: d.cfg.Name}
 	reply := event.New(event.TypeDiscoveryAck, "", core.EncodeAck(ack))
 	reply.Source = d.cfg.Name
 	reply.Timestamp = d.now()
+	reply.SetTrace(traceID, origin, hop)
 	_ = conn.Send(event.Encode(reply))
 	d.tel.reqAcked.Inc()
-	d.traceEvent(req.ID.String(), "bdn-ack", "requester", req.Requester)
+	d.traceEvent(traceID, "bdn-ack", "requester", req.Requester, "origin", origin)
 
 	if !authorized {
 		d.tel.reqDenied.Inc()
@@ -402,15 +412,16 @@ func (d *BDN) processRequest(conn transport.Conn, ev *event.Event, req *core.Dis
 		return
 	}
 	d.cfg.Logger.Debug("injecting discovery request",
-		"requester", req.Requester, "id", req.ID.String())
-	d.inject(ev, req.ID.String())
+		"requester", req.Requester, "id", traceID)
+	d.inject(ev, traceID, origin)
 }
 
 // inject propagates the discovery request into the broker network according
 // to the configured policy. Each transmission pays the BDN's InjectOverhead
 // serially — the source of the unconnected topology's O(N) inefficiency.
-// reqID keys the trace events ("" disables tracing for this injection).
-func (d *BDN) inject(ev *event.Event, reqID string) {
+// reqID keys the trace events ("" disables tracing for this injection);
+// origin names the request's issuing node for the trace.
+func (d *BDN) inject(ev *event.Event, reqID, origin string) {
 	targets := d.injectionTargets()
 	frame := event.Encode(ev)
 	for _, r := range targets {
@@ -419,7 +430,8 @@ func (d *BDN) inject(ev *event.Event, reqID string) {
 		}
 		d.tel.injects.Inc()
 		if reqID != "" {
-			d.traceEvent(reqID, "bdn-inject", "broker", r.ad.Broker.LogicalAddress)
+			d.traceEvent(reqID, "bdn-inject", "broker", r.ad.Broker.LogicalAddress,
+				"origin", origin)
 		}
 		if r.conn != nil {
 			_ = r.conn.Send(frame)

@@ -54,6 +54,15 @@ func (b *Broker) answerPing(ev *event.Event, from string) {
 	reply := event.New(event.TypePong, "", core.EncodePong(pong))
 	reply.Source = b.cfg.LogicalAddress
 	reply.Timestamp = b.now()
+	// Pings sent by a discovery's refinement phase carry the request's trace
+	// context; echo it on the pong and record the handling against the trace.
+	if id, origin, hop, ok := ev.Trace(); ok {
+		reply.SetTrace(id, origin, hop)
+		if b.tel.tracer != nil {
+			tr := reqTrace{b.tel.tracer.Trace(id)}
+			tr.event(b, "broker-ping", "seq", strconv.Itoa(int(ping.Seq)), "origin", origin)
+		}
+	}
 	_ = b.udp.Send(from, event.Encode(reply))
 	b.tel.pings.Inc()
 }
@@ -77,11 +86,18 @@ func (b *Broker) handleDiscoveryRequest(ev *event.Event, fromPeer string) {
 		b.tel.discoveryDup.Inc()
 		return
 	}
+	// Wire trace context: requests issued by instrumented requesters carry
+	// it in headers; requests from pre-propagation peers fall back to the
+	// body's request UUID and requester name so the context heals here.
+	traceID, origin, _, hasTrace := ev.Trace()
+	if !hasTrace {
+		traceID, origin = req.ID.String(), req.Requester
+	}
 	// Trace the request's passage through this broker; resolve the trace
-	// once (the UUID stringifies only when tracing is on).
+	// once.
 	var tr reqTrace
 	if b.tel.tracer != nil {
-		tr = reqTrace{b.tel.tracer.Trace(req.ID.String())}
+		tr = reqTrace{b.tel.tracer.Trace(traceID)}
 	}
 
 	// Propagate through the broker network before responding: dissemination
@@ -91,18 +107,24 @@ func (b *Broker) handleDiscoveryRequest(ev *event.Event, fromPeer string) {
 	if ev.TTL > 0 {
 		fwdReq := *req
 		fwdReq.Hops++
-		// Shallow event copy: only the TTL and payload differ, and Encode
-		// does not retain the event.
+		// Shallow event copy: only the TTL, payload and trace headers differ,
+		// and Encode does not retain the event. The headers map is re-made so
+		// the hop bump cannot alias the inbound event's map.
 		fwd := *ev
 		fwd.TTL--
 		fwd.Payload = core.EncodeDiscoveryRequest(&fwdReq)
+		fwd.Headers = make(map[string]string, len(ev.Headers)+3)
+		for k, v := range ev.Headers {
+			fwd.Headers[k] = v
+		}
+		fwd.SetTrace(traceID, origin, fwdReq.Hops)
 		frame := event.Encode(&fwd)
 		links := b.linksExcept(fromPeer)
 		for _, lk := range links {
 			lk.out.sendData(frame)
 		}
 		tr.event(b, "broker-fanout", "links", strconv.Itoa(len(links)),
-			"hops", strconv.Itoa(int(req.Hops)))
+			"hops", strconv.Itoa(int(req.Hops)), "origin", origin)
 	}
 
 	if !b.cfg.Policy.Permits(req) {
@@ -128,6 +150,7 @@ func (b *Broker) handleDiscoveryRequest(ev *event.Event, fromPeer string) {
 	reply := event.New(event.TypeDiscoveryResponse, "", core.EncodeDiscoveryResponse(resp))
 	reply.Source = b.cfg.LogicalAddress
 	reply.Timestamp = resp.Timestamp
+	reply.SetTrace(traceID, origin, req.Hops)
 	// "The communication protocol used for transporting this response is
 	// UDP" — sent from the broker's datagram endpoint to the requester.
 	_ = b.udp.Send(req.ResponseAddr, event.Encode(reply))

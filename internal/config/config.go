@@ -37,6 +37,7 @@ type Broker struct {
 	AllowedRealms      []string `json:"allowedRealms,omitempty"`
 	// Telemetry.
 	TelemetryAddr string `json:"telemetryAddr,omitempty"` // /metrics + pprof listen addr
+	ObsExportAddr string `json:"obsExportAddr,omitempty"` // obscollect UDP addr for span/metric export
 	LogLevel      string `json:"logLevel,omitempty"`      // debug, info, warn, error
 }
 
@@ -77,6 +78,7 @@ type BDN struct {
 	RequiredCredential string `json:"requiredCredential,omitempty"`
 	// Telemetry.
 	TelemetryAddr string `json:"telemetryAddr,omitempty"` // /metrics + pprof listen addr
+	ObsExportAddr string `json:"obsExportAddr,omitempty"` // obscollect UDP addr for span/metric export
 	LogLevel      string `json:"logLevel,omitempty"`      // debug, info, warn, error
 }
 

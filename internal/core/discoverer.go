@@ -118,6 +118,7 @@ const (
 
 // Result is the outcome of one discovery.
 type Result struct {
+	RequestID   uuid.UUID     // the request UUID (keys the cross-node trace)
 	Selected    BrokerInfo    // the broker to connect to
 	SelectedRTT time.Duration // its measured average ping RTT
 	PingDecided bool          // false when no target ponged and score decided
@@ -210,6 +211,7 @@ func (d *Discoverer) discover() (*Result, error) {
 	} else {
 		req.IssuedAt = clock.Now()
 	}
+	res.RequestID = req.ID
 	// Nil tracer yields a nil trace; every method on it is a no-op.
 	tr := d.tel.tracer.Trace(req.ID.String())
 
@@ -228,7 +230,7 @@ func (d *Discoverer) discover() (*Result, error) {
 	// Phase 2: wait for the initial set of responses. Pongs can also land on
 	// this endpoint (stray late ones from earlier runs); they are skipped.
 	start = clock.Now()
-	responses := d.collect(pc, req.ID)
+	responses := d.collect(pc, req.ID, tr)
 	dur = clock.Now().Sub(start)
 	res.Timing.Set(PhaseWaitResponses, dur)
 	tr.Span(PhaseWaitResponses.String(), start, dur,
@@ -255,7 +257,7 @@ func (d *Discoverer) discover() (*Result, error) {
 
 	// Phase 4: UDP ping refinement.
 	start = clock.Now()
-	d.ping(pc, res.TargetSet)
+	d.ping(pc, res.TargetSet, req.ID.String())
 	dur = clock.Now().Sub(start)
 	res.Timing.Set(PhasePing, dur)
 	tr.Span(PhasePing.String(), start, dur)
@@ -286,6 +288,7 @@ func (d *Discoverer) issue(req *DiscoveryRequest, pc transport.PacketConn) (Via,
 	ev := event.New(event.TypeDiscoveryRequest, "", body)
 	ev.Source = d.cfg.NodeName
 	ev.Timestamp = req.IssuedAt
+	ev.SetTrace(req.ID.String(), d.cfg.NodeName, 0)
 	frame := event.Encode(ev)
 
 	for _, addr := range d.cfg.BDNAddrs {
@@ -362,8 +365,10 @@ func (d *Discoverer) issueToBDN(addr string, frame []byte, id uuid.UUID) (string
 // collect gathers discovery responses for the collection window, ending early
 // once MaxResponses distinct brokers have answered. Duplicate responses from
 // the same broker (multiple injection points can reach it; it dedups, but
-// responses may still race) are folded.
-func (d *Discoverer) collect(pc transport.PacketConn, id uuid.UUID) []Candidate {
+// responses may still race) are folded. Each accepted response is recorded as
+// a point event on the trace, carrying the broker identity and the hop count
+// the response's trace headers travelled.
+func (d *Discoverer) collect(pc transport.PacketConn, id uuid.UUID, tr *obs.Trace) []Candidate {
 	clock := d.node.Clock()
 	deadline := clock.Now().Add(d.cfg.CollectWindow)
 	seen := make(map[string]struct{})
@@ -394,6 +399,11 @@ func (d *Discoverer) collect(pc transport.PacketConn, id uuid.UUID) []Candidate 
 		if err != nil {
 			receivedAt = clock.Now()
 		}
+		_, _, hop, _ := ev.Trace()
+		tr.Event("response-received", clock.Now(),
+			obs.A("node", d.cfg.NodeName),
+			obs.A("broker", key),
+			obs.A("hop", strconv.Itoa(int(hop))))
 		out = append(out, Candidate{
 			Response:   resp,
 			ReceivedAt: receivedAt,
@@ -407,8 +417,10 @@ func (d *Discoverer) collect(pc transport.PacketConn, id uuid.UUID) []Candidate 
 
 // ping sends PingCount UDP pings to every target broker and collects pongs
 // until the ping window closes or every expected pong has arrived, filling
-// each candidate's PingRTT/PingCount.
-func (d *Discoverer) ping(pc transport.PacketConn, targets []Candidate) {
+// each candidate's PingRTT/PingCount. Pings carry the discovery's trace
+// context so the pinged brokers record their ping handling into the same
+// cross-node trace.
+func (d *Discoverer) ping(pc transport.PacketConn, targets []Candidate, traceID string) {
 	clock := d.node.Clock()
 	type slot struct {
 		idx  int
@@ -430,6 +442,7 @@ func (d *Discoverer) ping(pc transport.PacketConn, targets []Candidate) {
 			body := EncodePing(&Ping{ID: pid, SentAt: now, Seq: uint32(seq)})
 			ev := event.New(event.TypePing, "", body)
 			ev.Source = d.cfg.NodeName
+			ev.SetTrace(traceID, d.cfg.NodeName, 0)
 			if err := pc.Send(udp, event.Encode(ev)); err != nil {
 				continue
 			}

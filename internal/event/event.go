@@ -9,6 +9,7 @@ package event
 
 import (
 	"fmt"
+	"strconv"
 	"time"
 
 	"narada/internal/uuid"
@@ -88,6 +89,38 @@ func New(t Type, topic string, payload []byte) *Event {
 		TTL:     DefaultTTL,
 		Payload: payload,
 	}
+}
+
+// Trace-context headers. Every discovery-related frame (request, BDN
+// ack/inject, broker fan-out, response, ping, pong) carries the request UUID,
+// the originating node's identity and the dissemination hop count, so each
+// process the request crosses can record its spans against the same trace and
+// a collector can assemble the end-to-end picture.
+const (
+	HeaderTraceID     = "trace-id"     // request UUID keying the trace
+	HeaderTraceOrigin = "trace-origin" // node that issued the request
+	HeaderTraceHop    = "trace-hop"    // dissemination hops from the origin
+)
+
+// SetTrace stamps the trace-context headers onto the event.
+func (e *Event) SetTrace(id, origin string, hop uint8) {
+	e.SetHeader(HeaderTraceID, id)
+	e.SetHeader(HeaderTraceOrigin, origin)
+	e.SetHeader(HeaderTraceHop, strconv.Itoa(int(hop)))
+}
+
+// Trace reads the trace-context headers. ok is false when the frame carries
+// no trace context (pre-propagation peers, non-discovery traffic); a missing
+// or malformed hop header reads as 0.
+func (e *Event) Trace() (id, origin string, hop uint8, ok bool) {
+	id = e.Header(HeaderTraceID)
+	if id == "" {
+		return "", "", 0, false
+	}
+	if h, err := strconv.Atoi(e.Header(HeaderTraceHop)); err == nil && h >= 0 && h <= 255 {
+		hop = uint8(h)
+	}
+	return id, e.Header(HeaderTraceOrigin), hop, true
 }
 
 // Header returns a header value ("" when absent).

@@ -166,3 +166,30 @@ func BenchmarkDecode(b *testing.B) {
 		}
 	}
 }
+
+// TestTraceContextRoundTrip pins the trace-context header contract: SetTrace
+// populates the reserved headers, Trace reads them back, and both survive the
+// wire — so a request UUID, origin node and hop count propagate across every
+// discovery frame untouched.
+func TestTraceContextRoundTrip(t *testing.T) {
+	ev := New(TypeDiscoveryRequest, "topic", []byte("payload"))
+	if _, _, _, ok := ev.Trace(); ok {
+		t.Fatal("fresh event claims trace context")
+	}
+	ev.SetTrace("6ba7b810-9dad-11d1-80b4-00c04fd430c8", "requester-1", 3)
+
+	decoded, err := Decode(Encode(ev))
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	id, origin, hop, ok := decoded.Trace()
+	if !ok || id != "6ba7b810-9dad-11d1-80b4-00c04fd430c8" || origin != "requester-1" || hop != 3 {
+		t.Fatalf("Trace() = %q %q %d %v after round-trip", id, origin, hop, ok)
+	}
+
+	// Re-stamping overwrites in place (brokers bump the hop on fan-out).
+	decoded.SetTrace(id, origin, 4)
+	if _, _, hop, _ = decoded.Trace(); hop != 4 {
+		t.Fatalf("hop = %d after re-stamp, want 4", hop)
+	}
+}

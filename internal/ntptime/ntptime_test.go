@@ -191,3 +191,32 @@ func TestTwoNodesWithinPaperBound(t *testing.T) {
 		t.Fatalf("nodes disagree by %v, want <= %v", diff, 2*MaxResidual)
 	}
 }
+
+// TestServiceOffset pins the exporter contract: Offset is 0 before the sync
+// completes, and afterwards local.Now().Add(-Offset()) equals the corrected
+// UTC() — which is what a collector relies on when aligning span timestamps.
+func TestServiceOffset(t *testing.T) {
+	base := NewManualClock(time.Date(2005, 7, 1, 12, 0, 0, 0, time.UTC))
+	skew := -350 * time.Millisecond
+	local := NewSkewedClock(base, skew)
+	s := NewService(local, skew, rand.New(rand.NewSource(11)))
+	if got := s.Offset(); got != 0 {
+		t.Fatalf("pre-sync Offset = %v, want 0", got)
+	}
+	s.InitImmediately()
+	off := s.Offset()
+	if off == 0 {
+		t.Fatal("post-sync Offset is still 0 despite a 350ms skew")
+	}
+	utc, err := s.UTC()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if aligned := local.Now().Add(-off); !aligned.Equal(utc) {
+		t.Fatalf("local - Offset = %v, UTC() = %v; alignment identity broken", aligned, utc)
+	}
+	// The estimate misses true skew by exactly the residual.
+	if miss := off - skew; miss != -s.Residual() {
+		t.Fatalf("Offset error vs true skew = %v, want residual %v", miss, -s.Residual())
+	}
+}

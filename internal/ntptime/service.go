@@ -128,6 +128,21 @@ func (s *Service) Residual() time.Duration {
 	return -s.residual
 }
 
+// Offset returns the service's current estimate of the local clock's offset
+// from UTC: local time minus Offset() is this node's best-effort UTC. Before
+// synchronisation it returns 0 — matching UTC(), which serves uncorrected
+// local time until the offsets are computed. Telemetry exporters ship this
+// value with every packet so a collector can align span timestamps recorded
+// on 1-20 ms-skewed node clocks onto one fabric-wide timeline.
+func (s *Service) Offset() time.Duration {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.synced {
+		return 0
+	}
+	return s.estimate
+}
+
 // Local returns the node's local clock (used for interval timing, which must
 // not jump when offsets are re-estimated).
 func (s *Service) Local() Clock { return s.local }

@@ -1,0 +1,313 @@
+// Package collect implements the fabric-wide observability collector: a
+// connectionless UDP sink for the span batches and metric snapshots every
+// broker, BDN and requester exports (internal/obs Exporter), assembling
+// per-request cross-node traces and a federated metrics view.
+//
+// Clock alignment: span timestamps are recorded on each node's local clock,
+// which may be skewed from UTC. Every export packet carries the sending
+// node's ntptime-estimated offset (local − UTC); the collector subtracts it
+// — aligned = recorded − offset — which places all spans on one best-effort
+// UTC timeline, accurate to each node's 1-20 ms NTP residual. That is enough
+// to render dissemination steps separated by network or processing delays in
+// true causal order.
+package collect
+
+import (
+	"fmt"
+	"log/slog"
+	"net"
+	"sort"
+	"sync"
+	"time"
+
+	"narada/internal/obs"
+)
+
+// DefaultTraceCapacity bounds the assembled-trace ring.
+const DefaultTraceCapacity = 512
+
+// Config parameterises a Collector.
+type Config struct {
+	// Listen is the UDP bind address for export packets (port 0 = auto).
+	Listen string
+	// TraceCapacity bounds the assembled-trace ring; the oldest trace is
+	// evicted when full (<= 0 uses DefaultTraceCapacity).
+	TraceCapacity int
+	// Logger receives operational events; nil discards them.
+	Logger *slog.Logger
+	// Registry receives the collector's own metrics; nil creates a private
+	// one (still served on /metrics, labelled node="obscollect").
+	Registry *obs.Registry
+}
+
+// span is one recorded span with its provenance: which node recorded it and
+// that node's clock offset at export time.
+type span struct {
+	Node   string
+	Offset time.Duration
+	View   obs.SpanView
+}
+
+// Aligned returns the span's timestamp mapped onto the collector's
+// best-effort UTC timeline.
+func (s span) Aligned() time.Time { return s.View.At.Add(-s.Offset) }
+
+// trace is one assembling cross-node trace.
+type trace struct {
+	id        string
+	firstSeen time.Time // collector wall clock, for the listing
+	spans     []span
+}
+
+// nodeState is everything known about one exporting node.
+type nodeState struct {
+	name      string
+	offset    time.Duration // last reported clock offset
+	lastSeen  time.Time     // collector wall clock
+	metricsAt time.Time     // node-local capture time of families
+	families  []obs.ExportFamily
+	spans     uint64 // spans received from this node
+}
+
+// Collector receives export packets and assembles the fabric view.
+type Collector struct {
+	cfg Config
+	pc  *net.UDPConn
+	reg *obs.Registry
+	log *slog.Logger
+
+	mu     sync.Mutex
+	nodes  map[string]*nodeState
+	traces map[string]*trace
+	order  []string // trace ids, oldest first
+
+	packetsRx  *obs.Counter
+	packetsBad *obs.Counter
+	spansRx    *obs.Counter
+
+	wg        sync.WaitGroup
+	closeOnce sync.Once
+}
+
+// New binds the UDP endpoint and starts receiving export packets.
+func New(cfg Config) (*Collector, error) {
+	if cfg.TraceCapacity <= 0 {
+		cfg.TraceCapacity = DefaultTraceCapacity
+	}
+	if cfg.Logger == nil {
+		cfg.Logger = obs.Nop()
+	}
+	addr, err := net.ResolveUDPAddr("udp", cfg.Listen)
+	if err != nil {
+		return nil, fmt.Errorf("collect: resolve %s: %w", cfg.Listen, err)
+	}
+	pc, err := net.ListenUDP("udp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("collect: listen %s: %w", cfg.Listen, err)
+	}
+	reg := cfg.Registry
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
+	c := &Collector{
+		cfg:    cfg,
+		pc:     pc,
+		reg:    reg,
+		log:    cfg.Logger.With("component", "obscollect"),
+		nodes:  make(map[string]*nodeState),
+		traces: make(map[string]*trace),
+	}
+	who := obs.L("node", "obscollect")
+	const pkts = "narada_collect_packets_total"
+	const pktsHelp = "Export packets received, by result."
+	c.packetsRx = reg.Counter(pkts, pktsHelp, who, obs.L("result", "ok"))
+	c.packetsBad = reg.Counter(pkts, pktsHelp, who, obs.L("result", "error"))
+	c.spansRx = reg.Counter("narada_collect_spans_total",
+		"Spans received from exporting nodes.", who)
+	reg.GaugeFunc("narada_collect_nodes", "Exporting nodes seen.",
+		func() float64 { return float64(c.NodeCount()) }, who)
+	reg.GaugeFunc("narada_collect_traces", "Traces currently retained.",
+		func() float64 { return float64(c.TraceCount()) }, who)
+
+	c.wg.Add(1)
+	go c.recvLoop()
+	return c, nil
+}
+
+// Addr returns the bound UDP address (what exporters dial).
+func (c *Collector) Addr() string { return c.pc.LocalAddr().String() }
+
+// Registry returns the collector's own metric registry — the prober records
+// its SLIs here so they appear on the federated exposition.
+func (c *Collector) Registry() *obs.Registry { return c.reg }
+
+// Close stops the receive loop and releases the socket.
+func (c *Collector) Close() error {
+	c.closeOnce.Do(func() {
+		_ = c.pc.Close()
+		c.wg.Wait()
+	})
+	return nil
+}
+
+// NodeCount returns the number of distinct exporting nodes seen.
+func (c *Collector) NodeCount() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.nodes)
+}
+
+// TraceCount returns the number of retained traces.
+func (c *Collector) TraceCount() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.traces)
+}
+
+func (c *Collector) recvLoop() {
+	defer c.wg.Done()
+	buf := make([]byte, 64*1024)
+	for {
+		n, _, err := c.pc.ReadFromUDP(buf)
+		if err != nil {
+			return // socket closed
+		}
+		pkt, err := obs.DecodeExportPacket(buf[:n])
+		if err != nil {
+			c.packetsBad.Inc()
+			c.log.Debug("bad export packet", "err", err)
+			continue
+		}
+		c.packetsRx.Inc()
+		c.ingest(pkt)
+	}
+}
+
+func (c *Collector) ingest(pkt *obs.ExportPacket) {
+	now := time.Now()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	ns := c.nodes[pkt.Node]
+	if ns == nil {
+		ns = &nodeState{name: pkt.Node}
+		c.nodes[pkt.Node] = ns
+	}
+	ns.offset = pkt.Offset
+	ns.lastSeen = now
+	if pkt.Families != nil {
+		ns.families = pkt.Families
+		ns.metricsAt = pkt.MetricsAt
+	}
+	for _, rec := range pkt.Spans {
+		ns.spans++
+		c.spansRx.Inc()
+		tr := c.traces[rec.TraceID]
+		if tr == nil {
+			tr = &trace{id: rec.TraceID, firstSeen: now}
+			if len(c.order) == c.cfg.TraceCapacity {
+				old := c.order[0]
+				copy(c.order, c.order[1:])
+				c.order[len(c.order)-1] = rec.TraceID
+				delete(c.traces, old)
+			} else {
+				c.order = append(c.order, rec.TraceID)
+			}
+			c.traces[rec.TraceID] = tr
+		}
+		tr.spans = append(tr.spans, span{Node: pkt.Node, Offset: pkt.Offset, View: rec.Span})
+	}
+}
+
+// SpanInfo is one span of an assembled trace, with its recording node and
+// the offset-corrected timestamp.
+type SpanInfo struct {
+	Node      string        `json:"node"`
+	Name      string        `json:"name"`
+	At        time.Time     `json:"at"`        // as recorded (node-local clock)
+	AtAligned time.Time     `json:"atAligned"` // offset-corrected best-effort UTC
+	Dur       time.Duration `json:"durNs,omitempty"`
+	Attrs     []obs.Attr    `json:"attrs,omitempty"`
+}
+
+// TraceInfo is an assembled cross-node trace, spans in aligned order.
+type TraceInfo struct {
+	ID    string     `json:"id"`
+	Nodes []string   `json:"nodes"`
+	Spans []SpanInfo `json:"spans"`
+}
+
+// TraceSummary is the /traces listing entry.
+type TraceSummary struct {
+	ID        string    `json:"id"`
+	FirstSeen time.Time `json:"firstSeen"`
+	SpanCount int       `json:"spanCount"`
+	Nodes     []string  `json:"nodes"`
+}
+
+func (t *trace) nodes() []string {
+	seen := make(map[string]struct{}, 4)
+	var out []string
+	for _, s := range t.spans {
+		if _, ok := seen[s.Node]; !ok {
+			seen[s.Node] = struct{}{}
+			out = append(out, s.Node)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Trace returns the assembled trace for id, spans sorted by aligned time.
+func (c *Collector) Trace(id string) (TraceInfo, bool) {
+	c.mu.Lock()
+	tr := c.traces[id]
+	var spans []span
+	if tr != nil {
+		spans = append(spans, tr.spans...)
+	}
+	c.mu.Unlock()
+	if tr == nil {
+		return TraceInfo{}, false
+	}
+	out := TraceInfo{ID: id}
+	nodes := make(map[string]struct{}, 4)
+	for _, s := range spans {
+		nodes[s.Node] = struct{}{}
+		out.Spans = append(out.Spans, SpanInfo{
+			Node:      s.Node,
+			Name:      s.View.Name,
+			At:        s.View.At,
+			AtAligned: s.Aligned(),
+			Dur:       s.View.Dur,
+			Attrs:     s.View.Attrs,
+		})
+	}
+	sort.SliceStable(out.Spans, func(i, j int) bool {
+		return out.Spans[i].AtAligned.Before(out.Spans[j].AtAligned)
+	})
+	for n := range nodes {
+		out.Nodes = append(out.Nodes, n)
+	}
+	sort.Strings(out.Nodes)
+	return out, true
+}
+
+// Traces returns summaries of every retained trace, oldest first.
+func (c *Collector) Traces() []TraceSummary {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]TraceSummary, 0, len(c.order))
+	for _, id := range c.order {
+		tr := c.traces[id]
+		if tr == nil {
+			continue
+		}
+		out = append(out, TraceSummary{
+			ID:        tr.id,
+			FirstSeen: tr.firstSeen,
+			SpanCount: len(tr.spans),
+			Nodes:     tr.nodes(),
+		})
+	}
+	return out
+}

@@ -1,0 +1,268 @@
+package collect
+
+import (
+	"io"
+	"net"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"narada/internal/obs"
+)
+
+func newTestCollector(t *testing.T, cfg Config) *Collector {
+	t.Helper()
+	if cfg.Listen == "" {
+		cfg.Listen = "127.0.0.1:0"
+	}
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatalf("collector: %v", err)
+	}
+	t.Cleanup(func() { _ = c.Close() })
+	return c
+}
+
+func spanPkt(node string, offset time.Duration, traceID, name string, at time.Time) *obs.ExportPacket {
+	return &obs.ExportPacket{
+		Node:   node,
+		Offset: offset,
+		Spans:  []obs.SpanRecord{{TraceID: traceID, Span: obs.SpanView{Name: name, At: at}}},
+	}
+}
+
+// TestIngestAlignsAcrossSkewedClocks feeds spans whose raw timestamps are
+// misordered by large clock offsets and asserts the assembled trace comes
+// back in offset-corrected causal order.
+func TestIngestAlignsAcrossSkewedClocks(t *testing.T) {
+	c := newTestCollector(t, Config{})
+	base := time.Date(2005, 7, 1, 12, 0, 0, 0, time.UTC)
+
+	// True order: issue (t+0, node fast by +400ms), inject (t+100ms, node
+	// slow by -300ms), respond (t+200ms, honest clock). Raw timestamps
+	// reverse the first two.
+	c.ingest(spanPkt("requester", 400*time.Millisecond, "t1", "request-issue", base.Add(400*time.Millisecond)))
+	c.ingest(spanPkt("bdn0", -300*time.Millisecond, "t1", "bdn-inject", base.Add(100*time.Millisecond-300*time.Millisecond)))
+	c.ingest(spanPkt("broker-1", 0, "t1", "broker-respond", base.Add(200*time.Millisecond)))
+
+	tr, ok := c.Trace("t1")
+	if !ok {
+		t.Fatal("trace t1 not assembled")
+	}
+	want := []string{"request-issue", "bdn-inject", "broker-respond"}
+	if len(tr.Spans) != len(want) {
+		t.Fatalf("got %d spans, want %d", len(tr.Spans), len(want))
+	}
+	for i, s := range tr.Spans {
+		if s.Name != want[i] {
+			t.Fatalf("aligned order = %v, want %v", spanNames(tr), want)
+		}
+		if !s.AtAligned.Equal(base.Add(time.Duration(i) * 100 * time.Millisecond)) {
+			t.Fatalf("span %s aligned to %v, want %v", s.Name, s.AtAligned,
+				base.Add(time.Duration(i)*100*time.Millisecond))
+		}
+	}
+	if len(tr.Nodes) != 3 {
+		t.Fatalf("trace nodes = %v, want 3", tr.Nodes)
+	}
+}
+
+func spanNames(tr TraceInfo) []string {
+	out := make([]string, len(tr.Spans))
+	for i, s := range tr.Spans {
+		out[i] = s.Name
+	}
+	return out
+}
+
+// TestTraceRingEviction fills the bounded trace ring past capacity and
+// asserts the oldest trace is fully forgotten — listing, lookup and count.
+func TestTraceRingEviction(t *testing.T) {
+	c := newTestCollector(t, Config{TraceCapacity: 2})
+	at := time.Unix(1000, 0)
+	c.ingest(spanPkt("n", 0, "t1", "a", at))
+	c.ingest(spanPkt("n", 0, "t2", "b", at))
+	c.ingest(spanPkt("n", 0, "t3", "c", at))
+
+	if n := c.TraceCount(); n != 2 {
+		t.Fatalf("TraceCount = %d, want 2", n)
+	}
+	if _, ok := c.Trace("t1"); ok {
+		t.Fatal("evicted trace t1 still retrievable")
+	}
+	sums := c.Traces()
+	if len(sums) != 2 || sums[0].ID != "t2" || sums[1].ID != "t3" {
+		t.Fatalf("summaries = %+v, want t2 then t3", sums)
+	}
+	// A new span for the evicted id re-creates it (and evicts t2).
+	c.ingest(spanPkt("n", 0, "t1", "a2", at))
+	if _, ok := c.Trace("t2"); ok {
+		t.Fatal("t2 should have been evicted on t1's return")
+	}
+}
+
+// TestFederatedMetrics merges two nodes' snapshots with the collector's own
+// registry and checks the node label discipline.
+func TestFederatedMetrics(t *testing.T) {
+	c := newTestCollector(t, Config{})
+	c.ingest(&obs.ExportPacket{
+		Node: "broker-1", MetricsAt: time.Unix(2000, 0),
+		Families: []obs.ExportFamily{
+			// No node label: federation must add node="broker-1".
+			{Name: "narada_broker_links", Help: "Links.", Kind: "gauge",
+				Series: []obs.ExportSeries{{Gauge: 4}}},
+		},
+	})
+	c.ingest(&obs.ExportPacket{
+		Node: "broker-2", MetricsAt: time.Unix(2000, 0),
+		Families: []obs.ExportFamily{
+			// Already labelled (per-node registries stamp identity): kept as-is.
+			{Name: "narada_broker_links", Help: "Links.", Kind: "gauge",
+				Series: []obs.ExportSeries{{Labels: []obs.Label{obs.L("node", "broker-2")}, Gauge: 7}}},
+		},
+	})
+
+	srv := httptest.NewServer(c.Handler())
+	defer srv.Close()
+	resp, err := srv.Client().Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatalf("GET /metrics: %v", err)
+	}
+	defer resp.Body.Close()
+	raw, _ := io.ReadAll(resp.Body)
+	body := string(raw)
+
+	for _, want := range []string{
+		`narada_broker_links{node="broker-1"} 4`,
+		`narada_broker_links{node="broker-2"} 7`,
+		`narada_collect_packets_total{node="obscollect",result="ok"}`,
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("federated exposition missing %q:\n%s", want, body)
+		}
+	}
+	if strings.Count(body, "# TYPE narada_broker_links gauge") != 1 {
+		t.Errorf("family narada_broker_links not merged once:\n%s", body)
+	}
+}
+
+// TestFabricView checks per-node extraction of load gauges and discovery
+// latency percentiles.
+func TestFabricView(t *testing.T) {
+	c := newTestCollector(t, Config{})
+	c.ingest(&obs.ExportPacket{
+		Node: "broker-1", Offset: 250 * time.Millisecond, MetricsAt: time.Unix(2000, 0),
+		Families: []obs.ExportFamily{
+			{Name: "narada_broker_egress_queue_depth", Kind: "gauge",
+				Series: []obs.ExportSeries{{Gauge: 3}, {Gauge: 2}}},
+			{Name: "narada_broker_egress_dropped_total", Kind: "counter",
+				Series: []obs.ExportSeries{{Counter: 5}}},
+			{Name: "narada_broker_links", Kind: "gauge", Series: []obs.ExportSeries{{Gauge: 4}}},
+			{Name: "narada_broker_clients", Kind: "gauge", Series: []obs.ExportSeries{{Gauge: 9}}},
+		},
+	})
+	c.ingest(&obs.ExportPacket{
+		Node: "requester", MetricsAt: time.Unix(2000, 0),
+		Families: []obs.ExportFamily{
+			{Name: "narada_discovery_total_seconds", Kind: "histogram",
+				Series: []obs.ExportSeries{{
+					Bounds:  []float64{0.1, 1},
+					Buckets: []uint64{8, 2, 0},
+					Sum:     1.5, Count: 10,
+				}}},
+		},
+	})
+
+	view := c.Fabric()
+	if len(view.Nodes) != 2 {
+		t.Fatalf("fabric nodes = %+v, want 2", view.Nodes)
+	}
+	b := view.Nodes[0]
+	if b.Name != "broker-1" || b.EgressDepth != 5 || b.EgressDropped != 5 ||
+		b.Links != 4 || b.Clients != 9 || b.ClockOffsetMs != 250 {
+		t.Fatalf("broker entry = %+v", b)
+	}
+	r := view.Nodes[1]
+	if r.Discovery == nil || r.Discovery.Count != 10 {
+		t.Fatalf("requester entry = %+v", r)
+	}
+	// Rank 5 of 10 falls mid-way through the 8-strong [0, 0.1) bucket.
+	if p50 := r.Discovery.P50; p50 <= 0 || p50 > 0.1 {
+		t.Fatalf("p50 = %v, want within (0, 0.1]", p50)
+	}
+	if p99 := r.Discovery.P99; p99 <= 0.1 || p99 > 1 {
+		t.Fatalf("p99 = %v, want within (0.1, 1]", p99)
+	}
+}
+
+func TestHistQuantile(t *testing.T) {
+	bounds := []float64{1, 2, 4}
+	buckets := []uint64{10, 10, 0, 5} // 25 observations, 5 in +Inf
+	cases := []struct {
+		q    float64
+		want float64
+	}{
+		{0.2, 0.5}, // rank 5, halfway through [0,1)
+		{0.4, 1},   // rank 10, exactly the first bound
+		{0.8, 2},   // rank 20: the empty (2,4] bucket collapses to its bound... rank 20 ends bucket 2
+		{0.99, 4},  // lands in +Inf: clamped to the last finite bound
+	}
+	for _, tc := range cases {
+		if got := histQuantile(tc.q, bounds, buckets); got != tc.want {
+			t.Errorf("q=%v: got %v, want %v", tc.q, got, tc.want)
+		}
+	}
+	if got := histQuantile(0.5, nil, nil); got != 0 {
+		t.Errorf("empty histogram: got %v, want 0", got)
+	}
+	if got := histQuantile(0.5, bounds, []uint64{1, 2}); got != 0 {
+		t.Errorf("malformed buckets: got %v, want 0", got)
+	}
+}
+
+// TestCollectorOverUDP exercises the real datagram path: encoded packets in,
+// assembled state out, and garbage counted without wedging the loop.
+func TestCollectorOverUDP(t *testing.T) {
+	c := newTestCollector(t, Config{})
+	conn, err := net.Dial("udp", c.Addr())
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	defer conn.Close()
+
+	if _, err := conn.Write([]byte("not an export packet")); err != nil {
+		t.Fatalf("write garbage: %v", err)
+	}
+	frame := obs.EncodeSpanPacket("broker-1", 10*time.Millisecond,
+		[]obs.SpanRecord{{TraceID: "udp-1", Span: obs.SpanView{Name: "broker-respond", At: time.Unix(3000, 0)}}})
+	if _, err := conn.Write(frame); err != nil {
+		t.Fatalf("write frame: %v", err)
+	}
+
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if _, ok := c.Trace("udp-1"); ok {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("UDP span packet never ingested")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if c.packetsBad.Value() != 1 {
+		t.Fatalf("bad-packet counter = %d, want 1", c.packetsBad.Value())
+	}
+	if c.NodeCount() != 1 {
+		t.Fatalf("NodeCount = %d, want 1", c.NodeCount())
+	}
+}
+
+func TestProberConfigValidation(t *testing.T) {
+	if _, err := NewProber(ProbeConfig{BDNAddrs: []string{"127.0.0.1:1"}}); err == nil {
+		t.Error("zero interval accepted")
+	}
+	if _, err := NewProber(ProbeConfig{Interval: time.Second}); err == nil {
+		t.Error("missing BDN addrs accepted")
+	}
+}

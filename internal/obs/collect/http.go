@@ -1,0 +1,269 @@
+package collect
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"runtime"
+	"sort"
+	"strings"
+	"time"
+
+	"narada/internal/obs"
+)
+
+// Handler assembles the collector's HTTP API:
+//
+//	/metrics       federated Prometheus exposition — every exporting node's
+//	               last snapshot plus the collector's own metrics, with a
+//	               node label identifying the source
+//	/traces        JSON listing of retained trace summaries
+//	/traces/{id}   one assembled cross-node trace, spans in aligned order
+//	/fabric        JSON fabric view: per-node liveness, clock offset, load,
+//	               egress queue depth and discovery latency percentiles
+//	/healthz       liveness
+func (c *Collector) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", c.serveMetrics)
+	mux.HandleFunc("/traces", c.serveTraces)
+	mux.HandleFunc("/traces/{id}", c.serveTrace)
+	mux.HandleFunc("/fabric", c.serveFabric)
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		fmt.Fprintf(w, `{"status":"ok","goroutines":%d}`+"\n", runtime.NumGoroutine())
+	})
+	return mux
+}
+
+// federatedFamilies merges the last snapshot of every node with the
+// collector's own registry. Series gain a node label naming their exporter
+// when they do not already carry one (per-node registries label their own
+// series with the same identity, so collisions cannot arise).
+func (c *Collector) federatedFamilies() []obs.ExportFamily {
+	c.mu.Lock()
+	nodes := make([]*nodeState, 0, len(c.nodes))
+	for _, ns := range c.nodes {
+		nodes = append(nodes, ns)
+	}
+	c.mu.Unlock()
+
+	merged := make(map[string]*obs.ExportFamily)
+	add := func(fams []obs.ExportFamily, node string) {
+		for _, f := range fams {
+			dst := merged[f.Name]
+			if dst == nil {
+				merged[f.Name] = &obs.ExportFamily{Name: f.Name, Help: f.Help, Kind: f.Kind}
+				dst = merged[f.Name]
+			} else if dst.Kind != f.Kind {
+				continue // conflicting registration across nodes; keep the first
+			}
+			for _, s := range f.Series {
+				dst.Series = append(dst.Series, labelled(s, node))
+			}
+		}
+	}
+	add(c.reg.ExportSnapshot(), "")
+	// Deterministic order across nodes so the exposition is stable.
+	sort.Slice(nodes, func(i, j int) bool { return nodes[i].name < nodes[j].name })
+	for _, ns := range nodes {
+		c.mu.Lock()
+		fams := ns.families
+		c.mu.Unlock()
+		add(fams, ns.name)
+	}
+
+	out := make([]obs.ExportFamily, 0, len(merged))
+	for _, f := range merged {
+		sort.SliceStable(f.Series, func(i, j int) bool {
+			return seriesKey(f.Series[i]) < seriesKey(f.Series[j])
+		})
+		out = append(out, *f)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// labelled returns s with a node label naming the exporter, added when the
+// series does not already carry one, and labels re-sorted by key.
+func labelled(s obs.ExportSeries, node string) obs.ExportSeries {
+	if node == "" {
+		return s
+	}
+	for _, l := range s.Labels {
+		if l.Key == "node" {
+			return s
+		}
+	}
+	labels := make([]obs.Label, 0, len(s.Labels)+1)
+	labels = append(labels, s.Labels...)
+	labels = append(labels, obs.L("node", node))
+	sort.Slice(labels, func(i, j int) bool { return labels[i].Key < labels[j].Key })
+	s.Labels = labels
+	return s
+}
+
+func seriesKey(s obs.ExportSeries) string {
+	var sb strings.Builder
+	for _, l := range s.Labels {
+		sb.WriteString(l.Key)
+		sb.WriteByte('\xff')
+		sb.WriteString(l.Value)
+		sb.WriteByte('\xfe')
+	}
+	return sb.String()
+}
+
+func (c *Collector) serveMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_ = obs.WriteFamiliesText(w, c.federatedFamilies())
+}
+
+func (c *Collector) serveTraces(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, c.Traces())
+}
+
+func (c *Collector) serveTrace(w http.ResponseWriter, r *http.Request) {
+	tr, ok := c.Trace(r.PathValue("id"))
+	if !ok {
+		writeJSON(w, http.StatusNotFound, map[string]string{"error": "trace not found"})
+		return
+	}
+	writeJSON(w, http.StatusOK, tr)
+}
+
+// LatencySummary is a histogram condensed to its headline percentiles.
+type LatencySummary struct {
+	Count uint64  `json:"count"`
+	P50   float64 `json:"p50Seconds"`
+	P90   float64 `json:"p90Seconds"`
+	P99   float64 `json:"p99Seconds"`
+}
+
+// FabricNode is the /fabric entry for one exporting node. The load fields
+// are populated from whichever families the node exports (brokers report
+// egress and link gauges; requesters report discovery latency).
+type FabricNode struct {
+	Name          string          `json:"name"`
+	LastSeen      time.Time       `json:"lastSeen"`
+	ClockOffsetMs float64         `json:"clockOffsetMs"`
+	Spans         uint64          `json:"spans"`
+	EgressDepth   float64         `json:"egressQueueDepth"`
+	EgressDropped uint64          `json:"egressDropped"`
+	Links         float64         `json:"links"`
+	Clients       float64         `json:"clients"`
+	Discovery     *LatencySummary `json:"discoveryLatency,omitempty"`
+}
+
+// FabricView is the /fabric payload.
+type FabricView struct {
+	Nodes  []FabricNode `json:"nodes"`
+	Traces int          `json:"traces"`
+}
+
+// Fabric summarises every exporting node's health and load.
+func (c *Collector) Fabric() FabricView {
+	c.mu.Lock()
+	nodes := make([]*nodeState, 0, len(c.nodes))
+	for _, ns := range c.nodes {
+		nodes = append(nodes, ns)
+	}
+	traces := len(c.traces)
+	c.mu.Unlock()
+
+	view := FabricView{Traces: traces}
+	for _, ns := range nodes {
+		c.mu.Lock()
+		fn := FabricNode{
+			Name:          ns.name,
+			LastSeen:      ns.lastSeen,
+			ClockOffsetMs: float64(ns.offset) / float64(time.Millisecond),
+			Spans:         ns.spans,
+		}
+		fams := ns.families
+		c.mu.Unlock()
+		for _, f := range fams {
+			switch f.Name {
+			case "narada_broker_egress_queue_depth":
+				for _, s := range f.Series {
+					fn.EgressDepth += s.Gauge
+				}
+			case "narada_broker_egress_dropped_total":
+				for _, s := range f.Series {
+					fn.EgressDropped += s.Counter
+				}
+			case "narada_broker_links":
+				for _, s := range f.Series {
+					fn.Links += s.Gauge
+				}
+			case "narada_broker_clients":
+				for _, s := range f.Series {
+					fn.Clients += s.Gauge
+				}
+			case "narada_discovery_total_seconds":
+				for _, s := range f.Series {
+					if s.Count == 0 {
+						continue
+					}
+					fn.Discovery = &LatencySummary{
+						Count: s.Count,
+						P50:   histQuantile(0.50, s.Bounds, s.Buckets),
+						P90:   histQuantile(0.90, s.Bounds, s.Buckets),
+						P99:   histQuantile(0.99, s.Bounds, s.Buckets),
+					}
+				}
+			}
+		}
+		view.Nodes = append(view.Nodes, fn)
+	}
+	sort.Slice(view.Nodes, func(i, j int) bool { return view.Nodes[i].Name < view.Nodes[j].Name })
+	return view
+}
+
+func (c *Collector) serveFabric(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, c.Fabric())
+}
+
+// histQuantile estimates quantile q from fixed buckets (Prometheus-style
+// linear interpolation within the bucket containing the target rank; the
+// +Inf bucket clamps to the last finite bound).
+func histQuantile(q float64, bounds []float64, buckets []uint64) float64 {
+	if len(bounds) == 0 || len(buckets) != len(bounds)+1 {
+		return 0
+	}
+	total := uint64(0)
+	for _, b := range buckets {
+		total += b
+	}
+	if total == 0 {
+		return 0
+	}
+	rank := q * float64(total)
+	cum := 0.0
+	for i, b := range buckets {
+		prev := cum
+		cum += float64(b)
+		if cum < rank {
+			continue
+		}
+		if i == len(bounds) { // +Inf bucket
+			return bounds[len(bounds)-1]
+		}
+		lower := 0.0
+		if i > 0 {
+			lower = bounds[i-1]
+		}
+		if b == 0 {
+			return bounds[i]
+		}
+		return lower + (bounds[i]-lower)*(rank-prev)/float64(b)
+	}
+	return bounds[len(bounds)-1]
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}

@@ -1,0 +1,554 @@
+package obs
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+
+	"narada/internal/wire"
+)
+
+// Export packet framing. Packets are self-contained UDP datagrams: any one of
+// them can be decoded on its own, so loss never corrupts collector state —
+// it only widens the gap between snapshots.
+const (
+	exportMagic   byte = 0xB8 // obs export frame marker (event frames use 0xB7)
+	exportVersion byte = 1
+
+	packetSpans   byte = 1
+	packetMetrics byte = 2
+)
+
+// Family kind bytes on the wire.
+const (
+	wireKindCounter   byte = 0
+	wireKindGauge     byte = 1
+	wireKindHistogram byte = 2
+)
+
+// MaxExportPacket bounds an encoded export datagram. Metric snapshots larger
+// than this are split on family boundaries into several packets.
+const MaxExportPacket = 60 * 1024
+
+// ExportSeries is one labelled series of an ExportFamily, with its value
+// captured at snapshot time. The populated fields follow the family kind:
+// Counter for counters, Gauge for gauges, Bounds/Buckets/Sum/Count for
+// histograms (Buckets holds len(Bounds)+1 non-cumulative counts, the last
+// being the +Inf catch-all).
+type ExportSeries struct {
+	Labels  []Label
+	Counter uint64
+	Gauge   float64
+	Bounds  []float64
+	Buckets []uint64
+	Sum     float64
+	Count   uint64
+}
+
+// ExportFamily is the value snapshot of one metric family: what travels from
+// a node to the collector, and what both ends render as Prometheus text.
+type ExportFamily struct {
+	Name   string
+	Help   string
+	Kind   string // "counter" | "gauge" | "histogram"
+	Series []ExportSeries
+}
+
+// ExportSnapshot captures every registered family with current values
+// (function-backed series are evaluated), sorted by family name with series
+// sorted by label key — the same order the exposition uses.
+func (r *Registry) ExportSnapshot() []ExportFamily {
+	fams := r.snapshotFamilies()
+	out := make([]ExportFamily, 0, len(fams))
+	for _, f := range fams {
+		ef := ExportFamily{Name: f.name, Help: f.help, Kind: f.kind.String()}
+		for _, c := range f.snapshotChildren() {
+			s := ExportSeries{Labels: c.labels}
+			switch f.kind {
+			case kindCounter:
+				if c.counter != nil {
+					s.Counter = c.counter.Value()
+				} else if c.counterFn != nil {
+					s.Counter = c.counterFn()
+				}
+			case kindGauge:
+				if c.gauge != nil {
+					s.Gauge = c.gauge.Value()
+				} else if c.gaugeFn != nil {
+					s.Gauge = c.gaugeFn()
+				}
+			case kindHistogram:
+				s.Bounds, s.Buckets = c.hist.Snapshot()
+				s.Sum = c.hist.Sum()
+				s.Count = c.hist.Count()
+			}
+			ef.Series = append(ef.Series, s)
+		}
+		out = append(out, ef)
+	}
+	return out
+}
+
+// SpanRecord pairs a completed span with the trace (request UUID) it belongs
+// to — the unit the exporter ships.
+type SpanRecord struct {
+	TraceID string
+	Span    SpanView
+}
+
+// ExportPacket is one decoded export datagram. Exactly one of Spans or
+// Families is populated, matching the packet kind.
+type ExportPacket struct {
+	Node   string
+	Offset time.Duration // sender's estimated local-clock offset from UTC
+
+	Spans []SpanRecord // span batch
+
+	MetricsAt time.Time // metrics snapshot: node-local capture time
+	Families  []ExportFamily
+}
+
+func encodeExportHeader(w *wire.Writer, kind byte, node string, offset time.Duration) {
+	w.Byte(exportMagic)
+	w.Byte(exportVersion)
+	w.Byte(kind)
+	w.String(node)
+	w.Duration(offset)
+}
+
+// EncodeSpanPacket serialises a batch of spans into one export datagram.
+func EncodeSpanPacket(node string, offset time.Duration, spans []SpanRecord) []byte {
+	w := wire.GetWriter(256 + 96*len(spans))
+	encodeExportHeader(w, packetSpans, node, offset)
+	w.Uvarint(uint64(len(spans)))
+	for _, r := range spans {
+		w.String(r.TraceID)
+		w.String(r.Span.Name)
+		w.Time(r.Span.At)
+		w.Duration(r.Span.Dur)
+		w.Uvarint(uint64(len(r.Span.Attrs)))
+		for _, a := range r.Span.Attrs {
+			w.String(a.Key)
+			w.String(a.Value)
+		}
+	}
+	frame := w.Detach()
+	w.Release()
+	return frame
+}
+
+func encodeFamily(w *wire.Writer, f ExportFamily) {
+	w.String(f.Name)
+	w.String(f.Help)
+	switch f.Kind {
+	case "gauge":
+		w.Byte(wireKindGauge)
+	case "histogram":
+		w.Byte(wireKindHistogram)
+	default:
+		w.Byte(wireKindCounter)
+	}
+	w.Uvarint(uint64(len(f.Series)))
+	for _, s := range f.Series {
+		w.Uvarint(uint64(len(s.Labels)))
+		for _, l := range s.Labels {
+			w.String(l.Key)
+			w.String(l.Value)
+		}
+		switch f.Kind {
+		case "counter":
+			w.Uvarint(s.Counter)
+		case "gauge":
+			w.Float64(s.Gauge)
+		case "histogram":
+			w.Uvarint(uint64(len(s.Bounds)))
+			for _, b := range s.Bounds {
+				w.Float64(b)
+			}
+			for _, c := range s.Buckets {
+				w.Uvarint(c)
+			}
+			w.Float64(s.Sum)
+			w.Uvarint(s.Count)
+		}
+	}
+}
+
+// EncodeMetricsPackets serialises a metrics snapshot into one or more export
+// datagrams, splitting on family boundaries so no packet exceeds maxBytes
+// (<= 0 uses MaxExportPacket). Each packet repeats the header and capture
+// time and is independently decodable. A single family larger than maxBytes
+// still ships, alone, in an oversized packet.
+func EncodeMetricsPackets(node string, offset time.Duration, at time.Time, fams []ExportFamily, maxBytes int) [][]byte {
+	if maxBytes <= 0 {
+		maxBytes = MaxExportPacket
+	}
+	// Encode each family body on its own so packets can be packed greedily
+	// with the family count up front.
+	bodies := make([][]byte, len(fams))
+	for i, f := range fams {
+		w := wire.GetWriter(512)
+		encodeFamily(w, f)
+		bodies[i] = w.Detach()
+		w.Release()
+	}
+	header := func(n int) []byte {
+		w := wire.GetWriter(64)
+		encodeExportHeader(w, packetMetrics, node, offset)
+		w.Time(at)
+		w.Uvarint(uint64(n))
+		h := w.Detach()
+		w.Release()
+		return h
+	}
+	var packets [][]byte
+	for i := 0; i < len(bodies); {
+		size, n := 72, 0 // 72 ≈ worst-case header
+		for i+n < len(bodies) && (n == 0 || size+len(bodies[i+n]) <= maxBytes) {
+			size += len(bodies[i+n])
+			n++
+		}
+		pkt := header(n)
+		for j := 0; j < n; j++ {
+			pkt = append(pkt, bodies[i+j]...)
+		}
+		packets = append(packets, pkt)
+		i += n
+	}
+	return packets
+}
+
+// DecodeExportPacket parses one export datagram.
+func DecodeExportPacket(b []byte) (*ExportPacket, error) {
+	r := wire.NewReader(b)
+	if m := r.Byte(); r.Err() == nil && m != exportMagic {
+		return nil, fmt.Errorf("obs: export: bad magic 0x%02x", m)
+	}
+	if v := r.Byte(); r.Err() == nil && v != exportVersion {
+		return nil, fmt.Errorf("obs: export: unsupported version %d", v)
+	}
+	kind := r.Byte()
+	p := &ExportPacket{Node: r.String(), Offset: r.Duration()}
+	switch kind {
+	case packetSpans:
+		n := r.Uvarint()
+		if r.Err() == nil && n > wire.MaxListLen {
+			return nil, fmt.Errorf("obs: export: span batch of %d", n)
+		}
+		for i := uint64(0); i < n && r.Err() == nil; i++ {
+			rec := SpanRecord{TraceID: r.String()}
+			rec.Span.Name = r.String()
+			rec.Span.At = r.Time()
+			rec.Span.Dur = r.Duration()
+			na := r.Uvarint()
+			if r.Err() == nil && na > wire.MaxListLen {
+				return nil, fmt.Errorf("obs: export: %d attrs", na)
+			}
+			for j := uint64(0); j < na && r.Err() == nil; j++ {
+				rec.Span.Attrs = append(rec.Span.Attrs, Attr{Key: r.String(), Value: r.String()})
+			}
+			p.Spans = append(p.Spans, rec)
+		}
+	case packetMetrics:
+		p.MetricsAt = r.Time()
+		nf := r.Uvarint()
+		if r.Err() == nil && nf > wire.MaxListLen {
+			return nil, fmt.Errorf("obs: export: %d families", nf)
+		}
+		for i := uint64(0); i < nf && r.Err() == nil; i++ {
+			if f, ok := decodeFamily(r); ok {
+				p.Families = append(p.Families, f)
+			}
+		}
+	default:
+		return nil, fmt.Errorf("obs: export: unknown packet kind %d", kind)
+	}
+	if err := r.Err(); err != nil {
+		return nil, fmt.Errorf("obs: export: %w", err)
+	}
+	return p, nil
+}
+
+func decodeFamily(r *wire.Reader) (ExportFamily, bool) {
+	f := ExportFamily{Name: r.String(), Help: r.String()}
+	switch r.Byte() {
+	case wireKindGauge:
+		f.Kind = "gauge"
+	case wireKindHistogram:
+		f.Kind = "histogram"
+	default:
+		f.Kind = "counter"
+	}
+	n := r.Uvarint()
+	if r.Err() != nil || n > wire.MaxListLen {
+		return f, false
+	}
+	for i := uint64(0); i < n && r.Err() == nil; i++ {
+		s := ExportSeries{}
+		nl := r.Uvarint()
+		if r.Err() != nil || nl > wire.MaxListLen {
+			return f, false
+		}
+		for j := uint64(0); j < nl && r.Err() == nil; j++ {
+			s.Labels = append(s.Labels, Label{Key: r.String(), Value: r.String()})
+		}
+		switch f.Kind {
+		case "counter":
+			s.Counter = r.Uvarint()
+		case "gauge":
+			s.Gauge = r.Float64()
+		case "histogram":
+			nb := r.Uvarint()
+			if r.Err() != nil || nb > wire.MaxListLen {
+				return f, false
+			}
+			for j := uint64(0); j < nb && r.Err() == nil; j++ {
+				s.Bounds = append(s.Bounds, r.Float64())
+			}
+			for j := uint64(0); j <= nb && r.Err() == nil; j++ {
+				s.Buckets = append(s.Buckets, r.Uvarint())
+			}
+			s.Sum = r.Float64()
+			s.Count = r.Uvarint()
+		}
+		f.Series = append(f.Series, s)
+	}
+	return f, r.Err() == nil
+}
+
+// ExporterConfig parameterises an Exporter.
+type ExporterConfig struct {
+	// Addr is the collector's UDP address.
+	Addr string
+	// Node is this process's identity, stamped on every packet (and onto
+	// every span the collector assembles from it).
+	Node string
+	// Offset reports the node's current estimated local-clock offset from
+	// UTC (ntptime.Service.Offset); nil exports 0 (honest clock).
+	Offset func() time.Duration
+	// Registry, when set, is snapshotted every MetricsInterval and shipped;
+	// the exporter's own counters also register here. Nil ships spans only.
+	Registry *Registry
+	// MetricsInterval is the metric-snapshot period (default 1s; < 0
+	// disables periodic snapshots — a final one still ships on Close).
+	MetricsInterval time.Duration
+	// SpanBuffer bounds the in-flight span queue (default 256). When the
+	// buffer is full new spans are dropped and counted, never blocked on.
+	SpanBuffer int
+	// FlushInterval bounds how long a partial span batch waits before being
+	// sent (default 25ms).
+	FlushInterval time.Duration
+	// MaxBatch is the span count that triggers an immediate send (default 64).
+	MaxBatch int
+}
+
+func (c *ExporterConfig) fillDefaults() {
+	if c.MetricsInterval == 0 {
+		c.MetricsInterval = time.Second
+	}
+	if c.SpanBuffer <= 0 {
+		c.SpanBuffer = 256
+	}
+	if c.FlushInterval <= 0 {
+		c.FlushInterval = 25 * time.Millisecond
+	}
+	if c.MaxBatch <= 0 {
+		c.MaxBatch = 64
+	}
+}
+
+// Exporter ships completed spans and periodic metric snapshots to a collector
+// over connectionless UDP. It is strictly fire-and-forget: RecordSpan is a
+// non-blocking bounded-buffer enqueue (overflow increments a drop counter),
+// datagram sends happen on a background goroutine, and send errors are
+// counted and otherwise ignored — a slow, absent or dead collector costs the
+// caller's hot path nothing. All methods are safe on a nil *Exporter.
+type Exporter struct {
+	cfg  ExporterConfig
+	sink io.Writer // UDP conn in production; injectable for tests
+
+	ch   chan SpanRecord
+	done chan struct{}
+	wg   sync.WaitGroup
+	once sync.Once
+
+	spansSent    *Counter
+	spansDropped *Counter
+	packetsOK    *Counter
+	packetsErr   *Counter
+}
+
+// NewExporter dials the collector and starts the export goroutines.
+func NewExporter(cfg ExporterConfig) (*Exporter, error) {
+	if cfg.Addr == "" {
+		return nil, errors.New("obs: exporter: Addr is required")
+	}
+	if cfg.Node == "" {
+		return nil, errors.New("obs: exporter: Node is required")
+	}
+	conn, err := net.Dial("udp", cfg.Addr)
+	if err != nil {
+		return nil, fmt.Errorf("obs: exporter: dial %s: %w", cfg.Addr, err)
+	}
+	e := newExporterWithSink(cfg, conn)
+	return e, nil
+}
+
+// newExporterWithSink wires an exporter onto an arbitrary datagram sink;
+// tests use it to make the sink block or fail deterministically.
+func newExporterWithSink(cfg ExporterConfig, sink io.Writer) *Exporter {
+	cfg.fillDefaults()
+	e := &Exporter{
+		cfg:  cfg,
+		sink: sink,
+		ch:   make(chan SpanRecord, cfg.SpanBuffer),
+		done: make(chan struct{}),
+	}
+	reg := cfg.Registry
+	if reg == nil {
+		reg = NewRegistry()
+	}
+	who := L("node", cfg.Node)
+	const spans = "narada_obs_export_spans_total"
+	const spansHelp = "Spans handed to the UDP exporter, by outcome."
+	e.spansSent = reg.Counter(spans, spansHelp, who, L("outcome", "sent"))
+	e.spansDropped = reg.Counter(spans, spansHelp, who, L("outcome", "dropped"))
+	const pkts = "narada_obs_export_packets_total"
+	const pktsHelp = "Export datagrams written, by result."
+	e.packetsOK = reg.Counter(pkts, pktsHelp, who, L("result", "ok"))
+	e.packetsErr = reg.Counter(pkts, pktsHelp, who, L("result", "error"))
+
+	e.wg.Add(1)
+	go e.spanLoop()
+	if cfg.Registry != nil && cfg.MetricsInterval > 0 {
+		e.wg.Add(1)
+		go e.metricsLoop()
+	}
+	return e
+}
+
+// RecordSpan enqueues one completed span for export. Never blocks: a full
+// buffer drops the span and increments the drop counter.
+func (e *Exporter) RecordSpan(traceID string, sv SpanView) {
+	if e == nil {
+		return
+	}
+	select {
+	case e.ch <- SpanRecord{TraceID: traceID, Span: sv}:
+	default:
+		e.spansDropped.Inc()
+	}
+}
+
+// Dropped returns the number of spans dropped on a full buffer.
+func (e *Exporter) Dropped() uint64 {
+	if e == nil {
+		return 0
+	}
+	return e.spansDropped.Value()
+}
+
+// Sent returns the number of spans handed to the network.
+func (e *Exporter) Sent() uint64 {
+	if e == nil {
+		return 0
+	}
+	return e.spansSent.Value()
+}
+
+func (e *Exporter) offset() time.Duration {
+	if e.cfg.Offset == nil {
+		return 0
+	}
+	return e.cfg.Offset()
+}
+
+func (e *Exporter) send(pkt []byte) {
+	if _, err := e.sink.Write(pkt); err != nil {
+		e.packetsErr.Inc()
+		return
+	}
+	e.packetsOK.Inc()
+}
+
+func (e *Exporter) flushSpans(batch []SpanRecord) []SpanRecord {
+	if len(batch) == 0 {
+		return batch
+	}
+	e.send(EncodeSpanPacket(e.cfg.Node, e.offset(), batch))
+	e.spansSent.Add(uint64(len(batch)))
+	return batch[:0]
+}
+
+func (e *Exporter) spanLoop() {
+	defer e.wg.Done()
+	ticker := time.NewTicker(e.cfg.FlushInterval)
+	defer ticker.Stop()
+	batch := make([]SpanRecord, 0, e.cfg.MaxBatch)
+	for {
+		select {
+		case r := <-e.ch:
+			batch = append(batch, r)
+			if len(batch) >= e.cfg.MaxBatch {
+				batch = e.flushSpans(batch)
+			}
+		case <-ticker.C:
+			batch = e.flushSpans(batch)
+		case <-e.done:
+			// Drain whatever was enqueued before Close, then flush.
+			for {
+				select {
+				case r := <-e.ch:
+					batch = append(batch, r)
+					if len(batch) >= e.cfg.MaxBatch {
+						batch = e.flushSpans(batch)
+					}
+				default:
+					e.flushSpans(batch)
+					return
+				}
+			}
+		}
+	}
+}
+
+func (e *Exporter) shipMetrics() {
+	fams := e.cfg.Registry.ExportSnapshot()
+	for _, pkt := range EncodeMetricsPackets(e.cfg.Node, e.offset(), time.Now(), fams, 0) {
+		e.send(pkt)
+	}
+}
+
+func (e *Exporter) metricsLoop() {
+	defer e.wg.Done()
+	ticker := time.NewTicker(e.cfg.MetricsInterval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-ticker.C:
+			e.shipMetrics()
+		case <-e.done:
+			e.shipMetrics() // final snapshot so short-lived processes report
+			return
+		}
+	}
+}
+
+// Close flushes buffered spans, ships a final metric snapshot and releases
+// the socket.
+func (e *Exporter) Close() error {
+	if e == nil {
+		return nil
+	}
+	e.once.Do(func() {
+		close(e.done)
+		e.wg.Wait()
+		if c, ok := e.sink.(io.Closer); ok {
+			_ = c.Close()
+		}
+	})
+	return nil
+}

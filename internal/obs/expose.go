@@ -2,6 +2,7 @@ package obs
 
 import (
 	"bufio"
+	"context"
 	"fmt"
 	"io"
 	"math"
@@ -18,75 +19,72 @@ import (
 // line per series, histogram buckets cumulative with the canonical
 // _bucket/_sum/_count suffixes.
 func (r *Registry) WritePrometheus(w io.Writer) error {
+	return WriteFamiliesText(w, r.ExportSnapshot())
+}
+
+// WriteFamiliesText renders family value snapshots in the Prometheus text
+// format. It is the single renderer behind both a node's own /metrics and
+// the collector's federated endpoint, so the two expositions cannot drift.
+func WriteFamiliesText(w io.Writer, fams []ExportFamily) error {
 	bw := bufio.NewWriter(w)
-	for _, f := range r.snapshotFamilies() {
-		if f.help != "" {
-			fmt.Fprintf(bw, "# HELP %s %s\n", f.name, escapeHelp(f.help))
+	for _, f := range fams {
+		if f.Help != "" {
+			fmt.Fprintf(bw, "# HELP %s %s\n", f.Name, escapeHelp(f.Help))
 		}
-		fmt.Fprintf(bw, "# TYPE %s %s\n", f.name, f.kind)
-		for _, c := range f.snapshotChildren() {
-			writeChild(bw, f, c)
+		fmt.Fprintf(bw, "# TYPE %s %s\n", f.Name, f.Kind)
+		for _, s := range f.Series {
+			writeSeries(bw, f.Name, f.Kind, s)
 		}
 	}
 	return bw.Flush()
 }
 
-func writeChild(w *bufio.Writer, f *family, c *child) {
-	switch f.kind {
-	case kindCounter:
-		v := uint64(0)
-		if c.counter != nil {
-			v = c.counter.Value()
-		} else if c.counterFn != nil {
-			v = c.counterFn()
-		}
-		w.WriteString(f.name)
-		writeLabels(w, c.labels, "", 0)
+func writeSeries(w *bufio.Writer, name, kind string, s ExportSeries) {
+	switch kind {
+	case "counter":
+		w.WriteString(name)
+		writeLabels(w, s.Labels, "", 0)
 		w.WriteByte(' ')
-		w.WriteString(strconv.FormatUint(v, 10))
+		w.WriteString(strconv.FormatUint(s.Counter, 10))
 		w.WriteByte('\n')
-	case kindGauge:
-		v := 0.0
-		if c.gauge != nil {
-			v = c.gauge.Value()
-		} else if c.gaugeFn != nil {
-			v = c.gaugeFn()
-		}
-		w.WriteString(f.name)
-		writeLabels(w, c.labels, "", 0)
+	case "gauge":
+		w.WriteString(name)
+		writeLabels(w, s.Labels, "", 0)
 		w.WriteByte(' ')
-		w.WriteString(formatFloat(v))
+		w.WriteString(formatFloat(s.Gauge))
 		w.WriteByte('\n')
-	case kindHistogram:
-		bounds, counts := c.hist.Snapshot()
+	case "histogram":
+		if len(s.Buckets) != len(s.Bounds)+1 {
+			return // malformed snapshot (hostile packet); skip the series
+		}
 		cum := uint64(0)
-		for i, b := range bounds {
-			cum += counts[i]
-			w.WriteString(f.name)
+		for i, b := range s.Bounds {
+			cum += s.Buckets[i]
+			w.WriteString(name)
 			w.WriteString("_bucket")
-			writeLabels(w, c.labels, "le", b)
+			writeLabels(w, s.Labels, "le", b)
 			w.WriteByte(' ')
 			w.WriteString(strconv.FormatUint(cum, 10))
 			w.WriteByte('\n')
 		}
-		cum += counts[len(counts)-1]
-		w.WriteString(f.name)
+		cum += s.Buckets[len(s.Buckets)-1]
+		w.WriteString(name)
 		w.WriteString("_bucket")
-		writeLabels(w, c.labels, "le", math.Inf(1))
+		writeLabels(w, s.Labels, "le", math.Inf(1))
 		w.WriteByte(' ')
 		w.WriteString(strconv.FormatUint(cum, 10))
 		w.WriteByte('\n')
-		w.WriteString(f.name)
+		w.WriteString(name)
 		w.WriteString("_sum")
-		writeLabels(w, c.labels, "", 0)
+		writeLabels(w, s.Labels, "", 0)
 		w.WriteByte(' ')
-		w.WriteString(formatFloat(c.hist.Sum()))
+		w.WriteString(formatFloat(s.Sum))
 		w.WriteByte('\n')
-		w.WriteString(f.name)
+		w.WriteString(name)
 		w.WriteString("_count")
-		writeLabels(w, c.labels, "", 0)
+		writeLabels(w, s.Labels, "", 0)
 		w.WriteByte(' ')
-		w.WriteString(strconv.FormatUint(c.hist.Count(), 10))
+		w.WriteString(strconv.FormatUint(s.Count, 10))
 		w.WriteByte('\n')
 	}
 }
@@ -184,6 +182,7 @@ func NewMux(reg *Registry, tracer *Tracer) *http.ServeMux {
 type Server struct {
 	lis  net.Listener
 	http *http.Server
+	done chan struct{} // closed when the serve goroutine exits
 }
 
 // Serve binds addr (host:port; port 0 picks a free one) and serves the
@@ -193,13 +192,35 @@ func Serve(addr string, reg *Registry, tracer *Tracer) (*Server, error) {
 	if err != nil {
 		return nil, fmt.Errorf("obs: telemetry listen %s: %w", addr, err)
 	}
-	s := &Server{lis: lis, http: &http.Server{Handler: NewMux(reg, tracer)}}
-	go func() { _ = s.http.Serve(lis) }()
+	s := &Server{lis: lis, http: &http.Server{Handler: NewMux(reg, tracer)}, done: make(chan struct{})}
+	go func() {
+		defer close(s.done)
+		_ = s.http.Serve(lis)
+	}()
 	return s, nil
 }
 
 // Addr returns the bound address (useful with port 0).
 func (s *Server) Addr() string { return s.lis.Addr().String() }
 
-// Close stops the server.
-func (s *Server) Close() error { return s.http.Close() }
+// Shutdown stops the server gracefully: the listener closes immediately,
+// in-flight requests get until ctx's deadline to finish, and the serve
+// goroutine is waited for so a clean process exit leaks nothing.
+func (s *Server) Shutdown(ctx context.Context) error {
+	err := s.http.Shutdown(ctx)
+	select {
+	case <-s.done:
+	case <-ctx.Done():
+		if err == nil {
+			err = ctx.Err()
+		}
+	}
+	return err
+}
+
+// Close stops the server immediately, abandoning in-flight requests.
+func (s *Server) Close() error {
+	err := s.http.Close()
+	<-s.done
+	return err
+}

@@ -1,11 +1,16 @@
 package obs
 
 import (
+	"context"
+	"encoding/json"
 	"io"
+	"net/http"
 	"net/http/httptest"
+	"runtime"
 	"strconv"
 	"strings"
 	"testing"
+	"time"
 )
 
 // TestWritePrometheusGolden pins the exact exposition text for a registry
@@ -146,5 +151,83 @@ func TestMuxEndpoints(t *testing.T) {
 		if !strings.Contains(string(body), want) {
 			t.Errorf("GET %s: body does not contain %q:\n%s", path, want, body)
 		}
+	}
+}
+
+// TestServerShutdownNoLeak serves real traffic, shuts the telemetry server
+// down gracefully, and asserts the serve goroutine (and the connections it
+// spawned) are gone — the process-exit path must not leak.
+func TestServerShutdownNoLeak(t *testing.T) {
+	before := runtime.NumGoroutine()
+
+	reg := NewRegistry()
+	reg.Counter("narada_x_total", "x").Inc()
+	srv, err := Serve("127.0.0.1:0", reg, nil)
+	if err != nil {
+		t.Fatalf("serve: %v", err)
+	}
+	client := &http.Client{Transport: &http.Transport{DisableKeepAlives: true}}
+	resp, err := client.Get("http://" + srv.Addr() + "/metrics")
+	if err != nil {
+		t.Fatalf("GET /metrics: %v", err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+	// The listener must be released and the serve goroutine gone.
+	if _, err := client.Get("http://" + srv.Addr() + "/metrics"); err == nil {
+		t.Fatal("server still accepting after Shutdown")
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for runtime.NumGoroutine() > before {
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutines: %d before serve, %d after shutdown", before, runtime.NumGoroutine())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestDebugTracesByID pins the single-trace lookup: ?id= returns exactly that
+// trace, and an unknown id is a JSON 404.
+func TestDebugTracesByID(t *testing.T) {
+	tr := NewTracer(4, nil)
+	tr.Trace("req-a").Event("bdn-ack", testTime(), A("requester", "n1"))
+	tr.Trace("req-b").Event("broker-respond", testTime())
+	srv := httptest.NewServer(NewMux(nil, tr))
+	defer srv.Close()
+
+	resp, err := srv.Client().Get(srv.URL + "/debug/traces?id=req-a")
+	if err != nil {
+		t.Fatalf("GET: %v", err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	var v TraceView
+	if err := json.Unmarshal(body, &v); err != nil {
+		t.Fatalf("unmarshal: %v\n%s", err, body)
+	}
+	if v.ID != "req-a" || len(v.Spans) != 1 || v.Spans[0].Name != "bdn-ack" {
+		t.Fatalf("trace = %+v, want req-a with one bdn-ack span", v)
+	}
+	if strings.Contains(string(body), "broker-respond") {
+		t.Fatal("?id= lookup leaked another trace's spans")
+	}
+
+	resp, err = srv.Client().Get(srv.URL + "/debug/traces?id=nope")
+	if err != nil {
+		t.Fatalf("GET: %v", err)
+	}
+	body, _ = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound || !strings.Contains(string(body), "not found") {
+		t.Fatalf("unknown id: status %d body %s", resp.StatusCode, body)
 	}
 }

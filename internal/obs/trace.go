@@ -6,6 +6,7 @@ import (
 	"net/http"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -55,6 +56,7 @@ type Trace struct {
 type Tracer struct {
 	logger *slog.Logger
 	cap    int
+	exp    atomic.Pointer[Exporter] // optional UDP span exporter
 
 	mu   sync.Mutex
 	byID map[string]*Trace
@@ -69,6 +71,15 @@ func NewTracer(capacity int, logger *slog.Logger) *Tracer {
 		capacity = DefaultTraceCapacity
 	}
 	return &Tracer{cap: capacity, logger: logger, byID: make(map[string]*Trace, capacity)}
+}
+
+// SetExporter attaches (or, with nil, detaches) a UDP exporter: every span
+// recorded from then on is also enqueued for shipping to the collector.
+// Safe to call concurrently with recording, and a no-op on a nil tracer.
+func (t *Tracer) SetExporter(e *Exporter) {
+	if t != nil {
+		t.exp.Store(e)
+	}
 }
 
 // Trace returns the trace for id, creating it (and evicting the oldest
@@ -182,6 +193,9 @@ func (tr *Trace) record(sv SpanView) {
 	}
 	tr.spans = append(tr.spans, sv)
 	tr.mu.Unlock()
+	if e := tr.t.exp.Load(); e != nil {
+		e.RecordSpan(tr.id, sv)
+	}
 	if lg := tr.t.logger; lg != nil {
 		args := make([]any, 0, 6+2*len(sv.Attrs))
 		args = append(args, "trace", tr.id, "span", sv.Name)

@@ -138,3 +138,27 @@ func TestTraceRingConcurrent(t *testing.T) {
 		}
 	}
 }
+
+// TestTraceByIDIndexBounded proves eviction deletes evicted ids from the byID
+// index: after heavy churn the index holds exactly the ring's members, so a
+// long-lived tracer cannot leak one map entry per request ever traced.
+func TestTraceByIDIndexBounded(t *testing.T) {
+	const capacity = 8
+	tr := NewTracer(capacity, nil)
+	for i := 0; i < 100*capacity; i++ {
+		tr.Trace(fmt.Sprintf("req-%d", i)).Event("e", testTime())
+	}
+	tr.mu.Lock()
+	indexed := len(tr.byID)
+	ringed := len(tr.ring)
+	tr.mu.Unlock()
+	if indexed != ringed || indexed != capacity {
+		t.Fatalf("byID holds %d entries for a ring of %d (capacity %d); evicted ids leaked",
+			indexed, ringed, capacity)
+	}
+	for i := 0; i < 100*capacity-capacity; i++ {
+		if _, ok := tr.Get(fmt.Sprintf("req-%d", i)); ok {
+			t.Fatalf("evicted trace req-%d still reachable via byID", i)
+		}
+	}
+}

@@ -84,6 +84,14 @@ type Options struct {
 	// Tracer, when set, records per-request discovery traces across the
 	// whole deployment (BDN injection, broker fan-out, requester phases).
 	Tracer *obs.Tracer
+	// ExportAddr, when set, is an obscollect UDP address: every deployed
+	// component then gets its OWN registry, tracer and exporter (overriding
+	// Metrics/Tracer), so the deployment behaves like separate processes
+	// whose telemetry meets only at the collector.
+	ExportAddr string
+	// ExportInterval is the per-component metric snapshot period when
+	// ExportAddr is set (default 1s; tests use a few ms).
+	ExportInterval time.Duration
 }
 
 func (o *Options) fillDefaults() {
@@ -144,9 +152,10 @@ type Testbed struct {
 	Brokers []*broker.Broker
 	Edges   []topology.Edge
 
-	opts Options
-	rng  *rand.Rand
-	ntps []*ntptime.Service // broker (and BDN) time services, for inspection
+	opts      Options
+	rng       *rand.Rand
+	ntps      []*ntptime.Service // broker (and BDN) time services, for inspection
+	exporters []*obs.Exporter    // per-node exporters when ExportAddr is set
 }
 
 // New builds and starts a testbed.
@@ -174,12 +183,18 @@ func New(opts Options) (*Testbed, error) {
 				site = sites[i%len(sites)]
 			}
 			node, ntp := tb.newNode(site, fmt.Sprintf("bdn%d", i))
+			name := "gridservicelocator." + tlds[i%len(tlds)]
+			reg, tracer, err := tb.obsFor(name, ntp)
+			if err != nil {
+				tb.Close()
+				return nil, err
+			}
 			d, err := bdn.New(node, ntp, bdn.Config{
-				Name:           "gridservicelocator." + tlds[i%len(tlds)],
+				Name:           name,
 				Policy:         opts.InjectPolicy,
 				InjectOverhead: opts.InjectOverhead,
-				Metrics:        opts.Metrics,
-				Tracer:         opts.Tracer,
+				Metrics:        reg,
+				Tracer:         tracer,
 			})
 			if err != nil {
 				tb.Close()
@@ -206,14 +221,19 @@ func New(opts Options) (*Testbed, error) {
 			usage.UsedMemBytes = 64 * mib
 		}
 		node, ntp := tb.newNode(spec.Site, spec.Name)
+		reg, tracer, err := tb.obsFor(spec.Name, ntp)
+		if err != nil {
+			tb.Close()
+			return nil, err
+		}
 		cfg := broker.Config{
 			LogicalAddress:  spec.Name,
 			Hostname:        spec.Name + "." + spec.Site,
 			Realm:           spec.Site,
 			Sampler:         metrics.NewStaticSampler(usage),
 			ProcessingDelay: proc,
-			Metrics:         opts.Metrics,
-			Tracer:          opts.Tracer,
+			Metrics:         reg,
+			Tracer:          tracer,
 		}
 		if opts.Multicast {
 			cfg.MulticastGroup = MulticastGroup
@@ -265,6 +285,31 @@ func New(opts Options) (*Testbed, error) {
 	return tb, nil
 }
 
+// obsFor returns the registry and tracer a component named name should use.
+// Without ExportAddr both come from Options (possibly shared, possibly nil).
+// With ExportAddr each component gets a private registry, tracer and exporter
+// keyed by its NTP service — the same shape as one process per node.
+func (tb *Testbed) obsFor(name string, ntp *ntptime.Service) (*obs.Registry, *obs.Tracer, error) {
+	if tb.opts.ExportAddr == "" {
+		return tb.opts.Metrics, tb.opts.Tracer, nil
+	}
+	reg := obs.NewRegistry()
+	tracer := obs.NewTracer(0, nil)
+	exp, err := obs.NewExporter(obs.ExporterConfig{
+		Addr:            tb.opts.ExportAddr,
+		Node:            name,
+		Offset:          ntp.Offset,
+		Registry:        reg,
+		MetricsInterval: tb.opts.ExportInterval,
+	})
+	if err != nil {
+		return nil, nil, fmt.Errorf("testbed: exporter for %s: %w", name, err)
+	}
+	tracer.SetExporter(exp)
+	tb.exporters = append(tb.exporters, exp)
+	return reg, tracer, nil
+}
+
 // newNode creates a transport node with a random hardware-clock skew and a
 // synchronized NTP service for it.
 func (tb *Testbed) newNode(site, host string) (*transport.SimNode, *ntptime.Service) {
@@ -295,11 +340,12 @@ func (tb *Testbed) NewDiscoverer(site, name string, cfg core.Config) *core.Disco
 	if cfg.MulticastGroup == "" && tb.opts.Multicast {
 		cfg.MulticastGroup = MulticastGroup
 	}
-	if cfg.Metrics == nil {
-		cfg.Metrics = tb.opts.Metrics
-	}
-	if cfg.Tracer == nil {
-		cfg.Tracer = tb.opts.Tracer
+	if cfg.Metrics == nil && cfg.Tracer == nil {
+		reg, tracer, err := tb.obsFor(cfg.NodeName, ntp)
+		if err != nil {
+			panic(err) // ExportAddr was accepted at New; a dial failure here is a test bug
+		}
+		cfg.Metrics, cfg.Tracer = reg, tracer
 	}
 	return core.NewDiscoverer(node, ntp, cfg)
 }
@@ -320,12 +366,16 @@ func (tb *Testbed) BrokerByName(name string) *broker.Broker {
 	return nil
 }
 
-// Close tears the deployment down.
+// Close tears the deployment down. Per-node exporters are closed last so
+// every component's final spans and metric snapshot still flush out.
 func (tb *Testbed) Close() {
 	for _, b := range tb.Brokers {
 		b.Close()
 	}
 	for _, d := range tb.BDNs {
 		d.Close()
+	}
+	for _, e := range tb.exporters {
+		_ = e.Close()
 	}
 }

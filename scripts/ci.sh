@@ -1,0 +1,14 @@
+#!/bin/sh
+# ci.sh is the complete pre-merge gate: the tier-1 verify target (build, vet,
+# gofmt, tests, race) followed by the observability smoke test on real
+# sockets (broker telemetry endpoint + collector/prober end-to-end trace).
+set -eu
+cd "$(dirname "$0")/.."
+
+echo "ci: make verify"
+make verify
+
+echo "ci: make obs-smoke"
+make obs-smoke
+
+echo "ci: ok"

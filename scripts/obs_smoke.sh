@@ -1,13 +1,24 @@
 #!/bin/sh
-# obs_smoke.sh boots one real broker with telemetry enabled, then checks the
-# /healthz and /metrics endpoints: healthz must report ok, and the exposition
-# must show at least 12 distinct narada_ metric families. Uses curl or wget,
-# whichever the host has.
+# obs_smoke.sh smoke-tests the observability plane on real sockets, twice
+# over:
+#
+#  1. Node telemetry: one broker with -telemetry-addr must serve /healthz,
+#     >= 12 narada_ metric families on /metrics, and /debug/traces.
+#  2. Fabric observability: a BDN + broker (both exporting via -obs-export)
+#     and an obscollect running the synthetic prober; one probe trace must
+#     assemble end to end — spans from the prober, the BDN and the broker on
+#     the collector's /traces/{id} — and /fabric must list all three nodes.
+#
+# Uses curl or wget, whichever the host has.
 set -eu
 
 ADDR="127.0.0.1:18081"
+BDN_STREAM="127.0.0.1:17010"
+COLLECT_UDP="127.0.0.1:17310"
+COLLECT_HTTP="127.0.0.1:17311"
 TMP="$(mktemp -d)"
-trap 'kill "$BROKER_PID" 2>/dev/null || true; wait "$BROKER_PID" 2>/dev/null || true; rm -rf "$TMP"' EXIT
+PIDS=""
+trap 'for p in $PIDS; do kill "$p" 2>/dev/null || true; done; for p in $PIDS; do wait "$p" 2>/dev/null || true; done; rm -rf "$TMP"' EXIT
 
 fetch() {
     if command -v curl >/dev/null 2>&1; then
@@ -20,22 +31,30 @@ fetch() {
     fi
 }
 
+wait_for() { # wait_for <url> <out> <what> <logfile>
+    i=0
+    until fetch "$1" >"$2" 2>/dev/null; do
+        i=$((i + 1))
+        if [ "$i" -ge 50 ]; then
+            echo "obs-smoke: $3 never came up" >&2
+            cat "$4" >&2
+            exit 1
+        fi
+        sleep 0.1
+    done
+}
+
 go build -o "$TMP/broker" ./cmd/broker
+go build -o "$TMP/bdn" ./cmd/bdn
+go build -o "$TMP/obscollect" ./cmd/obscollect
+
+# --- Part 1: node telemetry endpoint -------------------------------------
+
 "$TMP/broker" -bind 127.0.0.1 -logical smoke-broker -telemetry-addr "$ADDR" \
     >"$TMP/broker.log" 2>&1 &
-BROKER_PID=$!
+PIDS="$PIDS $!"
 
-# Wait for the telemetry endpoint to come up.
-i=0
-until fetch "http://$ADDR/healthz" >"$TMP/healthz" 2>/dev/null; do
-    i=$((i + 1))
-    if [ "$i" -ge 50 ]; then
-        echo "obs-smoke: telemetry endpoint never came up" >&2
-        cat "$TMP/broker.log" >&2
-        exit 1
-    fi
-    sleep 0.1
-done
+wait_for "http://$ADDR/healthz" "$TMP/healthz" "telemetry endpoint" "$TMP/broker.log"
 
 grep -q '"status":"ok"' "$TMP/healthz" || {
     echo "obs-smoke: /healthz not ok: $(cat "$TMP/healthz")" >&2
@@ -52,4 +71,67 @@ fi
 
 fetch "http://$ADDR/debug/traces" >/dev/null
 
-echo "obs-smoke: ok (/healthz ok, $FAMILIES metric families, /debug/traces serving)"
+# --- Part 2: collector + prober end to end -------------------------------
+
+"$TMP/bdn" -bind 127.0.0.1 -name gridservicelocator.org -stream-port 17010 \
+    -obs-export "$COLLECT_UDP" >"$TMP/bdn.log" 2>&1 &
+PIDS="$PIDS $!"
+sleep 0.3
+
+"$TMP/broker" -bind 127.0.0.1 -logical fabric-broker -bdn "$BDN_STREAM" \
+    -obs-export "$COLLECT_UDP" >"$TMP/fabric-broker.log" 2>&1 &
+PIDS="$PIDS $!"
+sleep 0.3
+
+"$TMP/obscollect" -listen "$COLLECT_UDP" -http "$COLLECT_HTTP" \
+    -probe-interval 1s -probe-bdn "$BDN_STREAM" -probe-window 500ms \
+    >"$TMP/obscollect.log" 2>&1 &
+PIDS="$PIDS $!"
+
+wait_for "http://$COLLECT_HTTP/healthz" "$TMP/chealthz" "collector" "$TMP/obscollect.log"
+
+# Wait for one probe trace to assemble with spans from all three nodes.
+i=0
+TRACE_ID=""
+while :; do
+    fetch "http://$COLLECT_HTTP/traces" >"$TMP/traces" 2>/dev/null || true
+    TRACE_ID=$(sed -n 's/.*"id": "\([0-9a-f-]\{36\}\)".*/\1/p' "$TMP/traces" | head -1)
+    if [ -n "$TRACE_ID" ]; then
+        fetch "http://$COLLECT_HTTP/traces/$TRACE_ID" >"$TMP/trace" 2>/dev/null || true
+        if grep -q '"node": "obsprobe"' "$TMP/trace" &&
+            grep -q '"node": "gridservicelocator.org"' "$TMP/trace" &&
+            grep -q '"node": "fabric-broker"' "$TMP/trace"; then
+            break
+        fi
+    fi
+    i=$((i + 1))
+    if [ "$i" -ge 100 ]; then
+        echo "obs-smoke: no probe trace assembled end to end" >&2
+        echo "--- traces:" >&2; cat "$TMP/traces" >&2 || true
+        echo "--- trace $TRACE_ID:" >&2; cat "$TMP/trace" >&2 || true
+        echo "--- obscollect:" >&2; cat "$TMP/obscollect.log" >&2
+        echo "--- bdn:" >&2; cat "$TMP/bdn.log" >&2
+        echo "--- broker:" >&2; cat "$TMP/fabric-broker.log" >&2
+        exit 1
+    fi
+    sleep 0.1
+done
+
+fetch "http://$COLLECT_HTTP/fabric" >"$TMP/fabric"
+for node in obsprobe gridservicelocator.org fabric-broker; do
+    grep -q "\"name\": \"$node\"" "$TMP/fabric" || {
+        echo "obs-smoke: /fabric missing node $node" >&2
+        cat "$TMP/fabric" >&2
+        exit 1
+    }
+done
+
+fetch "http://$COLLECT_HTTP/metrics" >"$TMP/fedmetrics"
+N=$(grep -c 'narada_probe_runs_total{node="obsprobe",outcome="ok"}' "$TMP/fedmetrics" || true)
+if [ "$N" -ne 1 ]; then
+    echo "obs-smoke: probe SLI appears $N times on federated /metrics, want exactly 1" >&2
+    grep 'narada_probe' "$TMP/fedmetrics" >&2 || true
+    exit 1
+fi
+
+echo "obs-smoke: ok (/healthz ok, $FAMILIES metric families, probe trace $TRACE_ID assembled across obsprobe+bdn+broker, /fabric and federated /metrics serving)"
