@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet fmt-check verify bench fuzz obs-smoke ci
+.PHONY: all build test race vet fmt-check verify bench fuzz obs-smoke health-smoke ci
 
 all: build
 
@@ -36,6 +36,12 @@ bench:
 # asserts one synthetic probe trace assembles end to end.
 obs-smoke:
 	sh scripts/obs_smoke.sh
+
+# health-smoke boots a BDN + 2 brokers + obscollect on real sockets, kills a
+# broker and asserts the deadman alert fires on /alerts, then resolves once a
+# broker under the same identity restarts.
+health-smoke:
+	sh scripts/health_smoke.sh
 
 # ci is the full pre-merge pipeline: verify + obs-smoke.
 ci:

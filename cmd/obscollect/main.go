@@ -6,6 +6,13 @@
 //	/traces        retained cross-node trace summaries
 //	/traces/{id}   one assembled trace, spans in NTP-aligned causal order
 //	/fabric        per-node liveness, clock offset, load and latency SLIs
+//	/alerts        health-alert list (deadman, clock drift, egress, SLO burn)
+//	/query         range queries over the retained multi-resolution series
+//
+// Every ingested snapshot also feeds the in-memory time-series store and the
+// health engine, which evaluates deadman / clock-drift / egress / SLO
+// burn-rate rules each -health-interval and publishes alert transitions to
+// the log and, with -alert-webhook, to a JSON webhook.
 //
 // With -probe-interval it also runs the synthetic prober: periodic
 // end-to-end discoveries against the live fabric whose traces and
@@ -15,6 +22,10 @@
 //
 //	obscollect -listen 127.0.0.1:9310 -http 127.0.0.1:9311
 //	obscollect -listen :9310 -http :9311 -probe-interval 10s -probe-bdn 127.0.0.1:7000
+//	obscollect -listen :9310 -http :9311 -deadman-intervals 3 -alert-webhook http://ops/hook
+//
+// On SIGINT/SIGTERM the prober stops first, then the collector (flushing
+// still-firing alerts to the sinks), then the HTTP server drains.
 package main
 
 import (
@@ -31,17 +42,27 @@ import (
 
 	"narada/internal/obs"
 	"narada/internal/obs/collect"
+	"narada/internal/obs/collect/health"
 )
 
 func main() {
 	var (
 		listen        = flag.String("listen", "127.0.0.1:9310", "UDP listen addr for export packets")
-		httpAddr      = flag.String("http", "127.0.0.1:9311", "HTTP listen addr for /metrics, /traces, /fabric")
+		httpAddr      = flag.String("http", "127.0.0.1:9311", "HTTP listen addr for /metrics, /traces, /fabric, /alerts, /query")
 		traceCap      = flag.Int("trace-capacity", collect.DefaultTraceCapacity, "assembled traces retained (oldest evicted)")
 		probeInterval = flag.Duration("probe-interval", 0, "synthetic discovery probe interval (0 = no prober)")
 		probeBDN      = flag.String("probe-bdn", "", "comma-separated BDN stream addrs the prober discovers through")
 		probeWindow   = flag.Duration("probe-window", time.Second, "per-probe response collection window")
 		logLevel      = flag.String("log-level", "info", "log level: debug | info | warn | error")
+
+		healthInterval = flag.Duration("health-interval", time.Second, "health rule evaluation period")
+		exportInterval = flag.Duration("export-interval", time.Second, "fabric metric export period (deadman unit of silence)")
+		deadmanAfter   = flag.Int("deadman-intervals", 3, "export intervals of silence before a node is declared vanished")
+		clockEnvelope  = flag.Duration("clock-envelope", 20*time.Millisecond, "acceptable NTP clock-offset envelope (±)")
+		sloTarget      = flag.Float64("slo-target", 0.99, "probe success-rate SLO for burn-rate alerting")
+		latencySLO     = flag.Duration("latency-slo", time.Second, "probe latency SLO (slower probes burn latency budget)")
+		pendingFor     = flag.Duration("alert-pending-for", 0, "how long a violation must persist before firing")
+		webhook        = flag.String("alert-webhook", "", "URL POSTed one JSON document per alert transition (optional)")
 	)
 	flag.Parse()
 
@@ -54,16 +75,30 @@ func main() {
 	reg := obs.NewRegistry()
 	obs.RegisterProcessMetrics(reg)
 
+	hc := &health.Config{
+		ExportInterval:   *exportInterval,
+		DeadmanIntervals: *deadmanAfter,
+		ClockEnvelope:    *clockEnvelope,
+		SLOTarget:        *sloTarget,
+		LatencySLO:       *latencySLO,
+		PendingFor:       *pendingFor,
+	}
+	hc.Sinks = append(hc.Sinks, health.NewLogSink(logger))
+	if *webhook != "" {
+		hc.Sinks = append(hc.Sinks, health.NewWebhookSink(*webhook, 0, logger))
+	}
+
 	col, err := collect.New(collect.Config{
-		Listen:        *listen,
-		TraceCapacity: *traceCap,
-		Logger:        logger,
-		Registry:      reg,
+		Listen:         *listen,
+		TraceCapacity:  *traceCap,
+		Logger:         logger,
+		Registry:       reg,
+		Health:         hc,
+		HealthInterval: *healthInterval,
 	})
 	if err != nil {
 		log.Fatalf("obscollect: %v", err)
 	}
-	defer col.Close()
 	log.Printf("obscollect: receiving export packets on udp://%s", col.Addr())
 
 	lis, err := net.Listen("tcp", *httpAddr)
@@ -76,7 +111,7 @@ func main() {
 		defer close(done)
 		_ = srv.Serve(lis)
 	}()
-	log.Printf("obscollect: serving http://%s/metrics /traces /fabric", lis.Addr())
+	log.Printf("obscollect: serving http://%s/metrics /traces /fabric /alerts /query", lis.Addr())
 
 	var prober *collect.Prober
 	if *probeInterval > 0 {
@@ -84,12 +119,16 @@ func main() {
 		if len(addrs) == 0 {
 			log.Fatal("obscollect: -probe-interval requires -probe-bdn")
 		}
+		// No Registry: the prober keeps a private one and ships SLI snapshots
+		// through the export plane like any other node, so probe series land
+		// in the retention store — /query and the SLO burn-rate rules read
+		// them from there. (A collector-shared registry would sit only on the
+		// federated /metrics, invisible to retention and alerting.)
 		prober, err = collect.NewProber(collect.ProbeConfig{
 			Interval:      *probeInterval,
 			BDNAddrs:      addrs,
 			CollectWindow: *probeWindow,
 			Export:        col.Addr(),
-			Registry:      col.Registry(),
 			Logger:        logger,
 		})
 		if err != nil {
@@ -103,13 +142,19 @@ func main() {
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	<-sig
 	log.Print("obscollect: shutting down")
+	// Shutdown order matters: the prober stops exporting first, then the
+	// collector stops ingesting and evaluating (flushing still-firing alerts
+	// to the sinks), and only then does the HTTP plane drain — so a final
+	// scrape of /alerts during shutdown still sees the flushed state.
 	if prober != nil {
 		_ = prober.Close()
 	}
+	_ = col.Close()
 	ctx, cancel := context.WithTimeout(context.Background(), 3*time.Second)
 	defer cancel()
 	_ = srv.Shutdown(ctx)
 	<-done
+	log.Print("obscollect: drained")
 }
 
 func splitNonEmpty(s string) []string {

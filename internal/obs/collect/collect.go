@@ -21,6 +21,7 @@ import (
 	"time"
 
 	"narada/internal/obs"
+	"narada/internal/obs/collect/health"
 )
 
 // DefaultTraceCapacity bounds the assembled-trace ring.
@@ -38,6 +39,19 @@ type Config struct {
 	// Registry receives the collector's own metrics; nil creates a private
 	// one (still served on /metrics, labelled node="obscollect").
 	Registry *obs.Registry
+	// Resolutions configures the series store's retention tiers, finest
+	// first; nil uses DefaultResolutions (1s/10s/60s).
+	Resolutions []Resolution
+	// MaxSeries bounds the tracked (node, metric, label-set) series
+	// (<= 0 uses DefaultMaxSeries); excess series are dropped and counted.
+	MaxSeries int
+	// Health parameterises the health engine's rules and sinks; nil runs
+	// the engine with its documented defaults. The engine's Registry and
+	// Logger default to the collector's own.
+	Health *health.Config
+	// HealthInterval is the rule-evaluation period (0 uses 1s; < 0
+	// disables the ticker — tests call EvaluateHealthNow directly).
+	HealthInterval time.Duration
 }
 
 // span is one recorded span with its provenance: which node recorded it and
@@ -65,16 +79,19 @@ type nodeState struct {
 	offset    time.Duration // last reported clock offset
 	lastSeen  time.Time     // collector wall clock
 	metricsAt time.Time     // node-local capture time of families
+	seq       uint64        // exporter snapshot sequence (restart detection)
 	families  []obs.ExportFamily
 	spans     uint64 // spans received from this node
 }
 
 // Collector receives export packets and assembles the fabric view.
 type Collector struct {
-	cfg Config
-	pc  *net.UDPConn
-	reg *obs.Registry
-	log *slog.Logger
+	cfg    Config
+	pc     *net.UDPConn
+	reg    *obs.Registry
+	log    *slog.Logger
+	store  *seriesStore
+	health *health.Engine
 
 	mu     sync.Mutex
 	nodes  map[string]*nodeState
@@ -85,8 +102,9 @@ type Collector struct {
 	packetsBad *obs.Counter
 	spansRx    *obs.Counter
 
-	wg        sync.WaitGroup
-	closeOnce sync.Once
+	healthStop chan struct{}
+	wg         sync.WaitGroup
+	closeOnce  sync.Once
 }
 
 // New binds the UDP endpoint and starts receiving export packets.
@@ -110,12 +128,14 @@ func New(cfg Config) (*Collector, error) {
 		reg = obs.NewRegistry()
 	}
 	c := &Collector{
-		cfg:    cfg,
-		pc:     pc,
-		reg:    reg,
-		log:    cfg.Logger.With("component", "obscollect"),
-		nodes:  make(map[string]*nodeState),
-		traces: make(map[string]*trace),
+		cfg:        cfg,
+		pc:         pc,
+		reg:        reg,
+		log:        cfg.Logger.With("component", "obscollect"),
+		store:      newSeriesStore(cfg.Resolutions, cfg.MaxSeries),
+		nodes:      make(map[string]*nodeState),
+		traces:     make(map[string]*trace),
+		healthStop: make(chan struct{}),
 	}
 	who := obs.L("node", "obscollect")
 	const pkts = "narada_collect_packets_total"
@@ -128,9 +148,36 @@ func New(cfg Config) (*Collector, error) {
 		func() float64 { return float64(c.NodeCount()) }, who)
 	reg.GaugeFunc("narada_collect_traces", "Traces currently retained.",
 		func() float64 { return float64(c.TraceCount()) }, who)
+	reg.GaugeFunc("narada_collect_series", "Time series retained in the store.",
+		func() float64 { return float64(c.store.SeriesCount()) }, who)
+	reg.CounterFunc("narada_collect_series_dropped_total",
+		"Series discarded at the store's capacity cap.", c.store.DroppedSeries, who)
+
+	hc := health.Config{}
+	if cfg.Health != nil {
+		hc = *cfg.Health
+	}
+	if hc.Registry == nil {
+		hc.Registry = reg
+	}
+	if hc.Logger == nil {
+		hc.Logger = c.log
+	}
+	if len(hc.Sinks) == 0 {
+		hc.Sinks = []health.Sink{health.NewLogSink(c.log)}
+	}
+	c.health = health.New(hc)
 
 	c.wg.Add(1)
 	go c.recvLoop()
+	if cfg.HealthInterval >= 0 {
+		interval := cfg.HealthInterval
+		if interval == 0 {
+			interval = time.Second
+		}
+		c.wg.Add(1)
+		go c.healthLoop(interval)
+	}
 	return c, nil
 }
 
@@ -141,11 +188,15 @@ func (c *Collector) Addr() string { return c.pc.LocalAddr().String() }
 // its SLIs here so they appear on the federated exposition.
 func (c *Collector) Registry() *obs.Registry { return c.reg }
 
-// Close stops the receive loop and releases the socket.
+// Close stops the receive and health-evaluation loops, releases the socket
+// and flushes still-firing alerts to the sinks so in-flight incidents
+// survive the collector's own shutdown.
 func (c *Collector) Close() error {
 	c.closeOnce.Do(func() {
 		_ = c.pc.Close()
+		close(c.healthStop)
 		c.wg.Wait()
+		c.health.Flush()
 	})
 	return nil
 }
@@ -197,6 +248,8 @@ func (c *Collector) ingest(pkt *obs.ExportPacket) {
 	if pkt.Families != nil {
 		ns.families = pkt.Families
 		ns.metricsAt = pkt.MetricsAt
+		ns.seq = pkt.Seq
+		c.store.Observe(now, pkt.Node, pkt.Seq, pkt.Families)
 	}
 	for _, rec := range pkt.Spans {
 		ns.spans++

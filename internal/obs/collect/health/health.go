@@ -1,0 +1,477 @@
+// Package health is the fabric health engine's rule evaluator and alert
+// state machine. The collector feeds it one Input per evaluation tick —
+// per-node liveness, clock offsets and windowed rates derived from the
+// series store — and the engine turns rule violations into deduplicated
+// alerts with a pending → firing → resolved lifecycle, published to
+// pluggable sinks and exposed as narada_alerts_firing gauges.
+//
+// The engine is deliberately decoupled from the collector: it sees only the
+// Input snapshot, so every rule is unit-testable with hand-built inputs and
+// a deterministic clock.
+package health
+
+import (
+	"fmt"
+	"log/slog"
+	"sort"
+	"sync"
+	"time"
+
+	"narada/internal/obs"
+)
+
+// Rule names, used for dedup keys, sink payloads and alert gauge labels.
+const (
+	RuleDeadman          = "deadman"
+	RuleClockDrift       = "clock_drift"
+	RuleEgressSaturation = "egress_saturation"
+	RuleEgressDrops      = "egress_drops"
+	RuleProbeSLOBurn     = "probe_slo_burn"
+	RuleProbeLatencyBurn = "probe_latency_burn"
+)
+
+// Alert states.
+const (
+	StatePending  = "pending"
+	StateFiring   = "firing"
+	StateResolved = "resolved"
+)
+
+// Alert is one rule violation for one node, deduplicated by (rule, node):
+// re-evaluating an already-known violation updates the existing alert rather
+// than raising a new one.
+type Alert struct {
+	Rule       string     `json:"rule"`
+	Node       string     `json:"node"`
+	State      string     `json:"state"`
+	Message    string     `json:"message"`
+	Value      float64    `json:"value"`
+	Threshold  float64    `json:"threshold"`
+	Since      time.Time  `json:"since"` // condition first observed (this cycle)
+	FiredAt    *time.Time `json:"firedAt,omitempty"`
+	ResolvedAt *time.Time `json:"resolvedAt,omitempty"`
+}
+
+// Sink receives alert lifecycle transitions (firing and resolved; pending
+// transitions are internal). Publish must tolerate being called from the
+// evaluation tick — keep it fast or buffer internally.
+type Sink interface {
+	Publish(Alert)
+}
+
+// Config parameterises the engine. Zero values fall back to the documented
+// defaults.
+type Config struct {
+	// ExportInterval is the fabric's metric export period — the deadman
+	// rule's unit of silence (default 1s).
+	ExportInterval time.Duration
+	// DeadmanIntervals is how many export intervals a node may stay silent
+	// before it is declared vanished (default 3).
+	DeadmanIntervals int
+	// ClockEnvelope bounds a node's acceptable clock offset estimate; the
+	// paper's NTP scheme keeps nodes within 1-20 ms, so an offset beyond
+	// ±20 ms (the default) silently corrupts one-way latency estimates.
+	ClockEnvelope time.Duration
+	// EgressDepthMax is the egress queue depth (summed across links) above
+	// which a broker counts as saturated (default 512 — the default
+	// per-connection data queue bound).
+	EgressDepthMax float64
+	// EgressDropRateMax is the tolerated egress drop rate in events/second
+	// over EgressWindow (default 1/s).
+	EgressDropRateMax float64
+	// EgressWindow is the averaging window for the drop rate (default 1m).
+	EgressWindow time.Duration
+
+	// SLOTarget is the probe success-rate objective (default 0.99).
+	SLOTarget float64
+	// LatencySLO is the probe latency objective: probes slower than this
+	// consume latency error budget (default 1s).
+	LatencySLO time.Duration
+	// FastWindow / SlowWindow are the multi-window burn-rate windows
+	// (defaults 5m / 1h).
+	FastWindow, SlowWindow time.Duration
+	// FastBurnMax / SlowBurnMax are the burn-rate thresholds: the alert
+	// fires when BOTH windows burn error budget faster than their bound
+	// (defaults 14.4 / 6 — the SRE-workbook page thresholds).
+	FastBurnMax, SlowBurnMax float64
+
+	// PendingFor is the hysteresis before a violated rule fires (default 0:
+	// fire on first evaluation — deadman detection latency matters more
+	// than flap suppression at fabric scale; raise it for noisy fabrics).
+	PendingFor time.Duration
+	// ResolveAfter is how long a condition must stay clear before a firing
+	// alert resolves (default 3 × ExportInterval).
+	ResolveAfter time.Duration
+	// RetainResolved keeps resolved alerts visible on /alerts (default 10m).
+	RetainResolved time.Duration
+
+	// Sinks receive firing and resolved transitions.
+	Sinks []Sink
+	// Registry, when set, carries narada_alerts_firing{rule,node} gauges.
+	Registry *obs.Registry
+	// Logger receives evaluation diagnostics; nil discards them.
+	Logger *slog.Logger
+}
+
+func (c *Config) fillDefaults() {
+	if c.ExportInterval <= 0 {
+		c.ExportInterval = time.Second
+	}
+	if c.DeadmanIntervals <= 0 {
+		c.DeadmanIntervals = 3
+	}
+	if c.ClockEnvelope <= 0 {
+		c.ClockEnvelope = 20 * time.Millisecond
+	}
+	if c.EgressDepthMax <= 0 {
+		c.EgressDepthMax = 512
+	}
+	if c.EgressDropRateMax <= 0 {
+		c.EgressDropRateMax = 1
+	}
+	if c.EgressWindow <= 0 {
+		c.EgressWindow = time.Minute
+	}
+	if c.SLOTarget <= 0 || c.SLOTarget >= 1 {
+		c.SLOTarget = 0.99
+	}
+	if c.LatencySLO <= 0 {
+		c.LatencySLO = time.Second
+	}
+	if c.FastWindow <= 0 {
+		c.FastWindow = 5 * time.Minute
+	}
+	if c.SlowWindow <= 0 {
+		c.SlowWindow = time.Hour
+	}
+	if c.FastBurnMax <= 0 {
+		c.FastBurnMax = 14.4
+	}
+	if c.SlowBurnMax <= 0 {
+		c.SlowBurnMax = 6
+	}
+	if c.ResolveAfter <= 0 {
+		c.ResolveAfter = 3 * c.ExportInterval
+	}
+	if c.RetainResolved <= 0 {
+		c.RetainResolved = 10 * time.Minute
+	}
+	if c.Logger == nil {
+		c.Logger = obs.Nop()
+	}
+}
+
+// NodeInput is one node's health snapshot for an evaluation tick, assembled
+// by the collector from ingest state and the series store.
+type NodeInput struct {
+	Name        string
+	LastSeen    time.Time     // collector wall clock of the last export packet
+	ClockOffset time.Duration // node's own NTP offset estimate
+
+	EgressDepth    float64 // current egress queue depth (summed over links)
+	HasEgress      bool    // node exports egress gauges (i.e. is a broker)
+	EgressDropRate float64 // drops/second over Config.EgressWindow
+}
+
+// ProbeInput is one probe source's windowed SLI snapshot: success and
+// latency error counts over the fast and slow burn windows.
+type ProbeInput struct {
+	Node                string
+	FastOK, FastErr     float64
+	SlowOK, SlowErr     float64
+	FastSlow, FastTotal float64 // latency SLI: slow-vs-total in fast window
+	SlowSlow, SlowTotal float64
+}
+
+// Input is one evaluation tick's complete view of the fabric.
+type Input struct {
+	Now    time.Time
+	Nodes  []NodeInput
+	Probes []ProbeInput
+}
+
+// alertState is the retained per-(rule,node) lifecycle state.
+type alertState struct {
+	Alert
+	clearSince time.Time // when the condition was last seen clear (firing only)
+	gauge      *obs.Gauge
+}
+
+// Engine evaluates the rule set against successive Inputs and runs the alert
+// state machine. Safe for concurrent use.
+type Engine struct {
+	cfg Config
+
+	mu     sync.Mutex
+	alerts map[string]*alertState
+
+	evals       *obs.Counter
+	transitions *obs.Counter
+}
+
+// New assembles an engine.
+func New(cfg Config) *Engine {
+	cfg.fillDefaults()
+	e := &Engine{cfg: cfg, alerts: make(map[string]*alertState)}
+	if cfg.Registry != nil {
+		who := obs.L("node", "obscollect")
+		e.evals = cfg.Registry.Counter("narada_health_evaluations_total",
+			"Health rule evaluation ticks.", who)
+		e.transitions = cfg.Registry.Counter("narada_health_transitions_total",
+			"Alert state transitions (to firing or resolved).", who)
+		cfg.Registry.GaugeFunc("narada_alerts_pending",
+			"Alerts currently pending.", func() float64 { return float64(e.count(StatePending)) }, who)
+	}
+	return e
+}
+
+// Config returns the effective (default-filled) configuration — the
+// collector reads the windows back when assembling Input.
+func (e *Engine) Config() Config { return e.cfg }
+
+// Evaluate runs every rule against one input snapshot and advances the alert
+// state machine.
+func (e *Engine) Evaluate(in Input) {
+	if e.evals != nil {
+		e.evals.Inc()
+	}
+	now := in.Now
+	deadmanAfter := time.Duration(e.cfg.DeadmanIntervals) * e.cfg.ExportInterval
+	for _, n := range in.Nodes {
+		silent := now.Sub(n.LastSeen)
+		e.apply(RuleDeadman, n.Name, silent > deadmanAfter,
+			silent.Seconds(), deadmanAfter.Seconds(),
+			fmt.Sprintf("node silent for %s (deadman after %s = %d × %s export interval)",
+				silent.Round(time.Millisecond), deadmanAfter, e.cfg.DeadmanIntervals, e.cfg.ExportInterval), now)
+
+		off := n.ClockOffset
+		if off < 0 {
+			off = -off
+		}
+		// A vanished node's last reported offset is stale, not drifting.
+		driftActive := silent <= deadmanAfter && off > e.cfg.ClockEnvelope
+		e.apply(RuleClockDrift, n.Name, driftActive,
+			n.ClockOffset.Seconds(), e.cfg.ClockEnvelope.Seconds(),
+			fmt.Sprintf("clock offset %s outside the ±%s NTP envelope: one-way latency estimates are suspect",
+				n.ClockOffset.Round(time.Millisecond), e.cfg.ClockEnvelope), now)
+
+		if n.HasEgress {
+			e.apply(RuleEgressSaturation, n.Name, n.EgressDepth > e.cfg.EgressDepthMax,
+				n.EgressDepth, e.cfg.EgressDepthMax,
+				fmt.Sprintf("egress queue depth %.0f above %.0f: broker saturated, data frames at risk",
+					n.EgressDepth, e.cfg.EgressDepthMax), now)
+			e.apply(RuleEgressDrops, n.Name, n.EgressDropRate > e.cfg.EgressDropRateMax,
+				n.EgressDropRate, e.cfg.EgressDropRateMax,
+				fmt.Sprintf("egress dropping %.2f events/s over %s (max %.2f/s)",
+					n.EgressDropRate, e.cfg.EgressWindow, e.cfg.EgressDropRateMax), now)
+		}
+	}
+
+	budget := 1 - e.cfg.SLOTarget
+	for _, p := range in.Probes {
+		fastBurn := burnRate(p.FastErr, p.FastOK+p.FastErr, budget)
+		slowBurn := burnRate(p.SlowErr, p.SlowOK+p.SlowErr, budget)
+		e.apply(RuleProbeSLOBurn, p.Node,
+			fastBurn >= e.cfg.FastBurnMax && slowBurn >= e.cfg.SlowBurnMax,
+			fastBurn, e.cfg.FastBurnMax,
+			fmt.Sprintf("probe success SLO burning %.1fx budget over %s and %.1fx over %s (SLO %.2f%%)",
+				fastBurn, e.cfg.FastWindow, slowBurn, e.cfg.SlowWindow, e.cfg.SLOTarget*100), now)
+
+		fastLatBurn := burnRate(p.FastSlow, p.FastTotal, budget)
+		slowLatBurn := burnRate(p.SlowSlow, p.SlowTotal, budget)
+		e.apply(RuleProbeLatencyBurn, p.Node,
+			fastLatBurn >= e.cfg.FastBurnMax && slowLatBurn >= e.cfg.SlowBurnMax,
+			fastLatBurn, e.cfg.FastBurnMax,
+			fmt.Sprintf("probe latency SLO (p<%s) burning %.1fx budget over %s and %.1fx over %s",
+				e.cfg.LatencySLO, fastLatBurn, e.cfg.FastWindow, slowLatBurn, e.cfg.SlowWindow), now)
+	}
+
+	e.gc(now)
+}
+
+// burnRate is errors/total divided by the error budget; zero totals burn
+// nothing (no data is not an outage).
+func burnRate(errs, total, budget float64) float64 {
+	if total <= 0 || budget <= 0 {
+		return 0
+	}
+	return (errs / total) / budget
+}
+
+// apply advances one (rule, node) through the state machine given whether
+// its condition is currently violated.
+func (e *Engine) apply(rule, node string, active bool, value, threshold float64, msg string, now time.Time) {
+	key := rule + "\xff" + node
+	e.mu.Lock()
+	st := e.alerts[key]
+
+	if st == nil {
+		if !active {
+			e.mu.Unlock()
+			return
+		}
+		st = &alertState{Alert: Alert{Rule: rule, Node: node, State: StatePending, Since: now}}
+		if e.cfg.Registry != nil {
+			st.gauge = e.cfg.Registry.Gauge("narada_alerts_firing",
+				"Health alerts currently firing, by rule and node.",
+				obs.L("rule", rule), obs.L("node", node))
+		}
+		e.alerts[key] = st
+	}
+	st.Value, st.Threshold, st.Message = value, threshold, msg
+
+	var fired, resolved *Alert
+	switch st.State {
+	case StatePending:
+		switch {
+		case !active:
+			delete(e.alerts, key) // condition cleared before firing: drop silently
+		case now.Sub(st.Since) >= e.cfg.PendingFor:
+			st.State = StateFiring
+			at := now
+			st.FiredAt, st.ResolvedAt = &at, nil
+			if st.gauge != nil {
+				st.gauge.Set(1)
+			}
+			a := st.Alert
+			fired = &a
+		}
+	case StateFiring:
+		if active {
+			st.clearSince = time.Time{}
+		} else {
+			if st.clearSince.IsZero() {
+				st.clearSince = now
+			}
+			if now.Sub(st.clearSince) >= e.cfg.ResolveAfter {
+				st.State = StateResolved
+				at := now
+				st.ResolvedAt = &at
+				if st.gauge != nil {
+					st.gauge.Set(0)
+				}
+				a := st.Alert
+				resolved = &a
+			}
+		}
+	case StateResolved:
+		if active {
+			// A fresh violation re-arms the same alert entry (dedup by key).
+			st.State, st.Since = StatePending, now
+			st.FiredAt, st.ResolvedAt = nil, nil
+			st.clearSince = time.Time{}
+			if now.Sub(st.Since) >= e.cfg.PendingFor {
+				st.State = StateFiring
+				at := now
+				st.FiredAt = &at
+				if st.gauge != nil {
+					st.gauge.Set(1)
+				}
+				a := st.Alert
+				fired = &a
+			}
+		}
+	}
+	e.mu.Unlock()
+
+	if fired != nil {
+		e.publish(*fired)
+	}
+	if resolved != nil {
+		e.publish(*resolved)
+	}
+}
+
+func (e *Engine) publish(a Alert) {
+	if e.transitions != nil {
+		e.transitions.Inc()
+	}
+	e.cfg.Logger.Info("alert transition", "rule", a.Rule, "node", a.Node,
+		"state", a.State, "value", a.Value, "threshold", a.Threshold, "msg", a.Message)
+	for _, s := range e.cfg.Sinks {
+		s.Publish(a)
+	}
+}
+
+// gc drops resolved alerts past their retention.
+func (e *Engine) gc(now time.Time) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	for key, st := range e.alerts {
+		if st.State == StateResolved && st.ResolvedAt != nil &&
+			now.Sub(*st.ResolvedAt) > e.cfg.RetainResolved {
+			delete(e.alerts, key)
+		}
+	}
+}
+
+// stateRank orders /alerts output: firing first, then pending, then resolved.
+func stateRank(s string) int {
+	switch s {
+	case StateFiring:
+		return 0
+	case StatePending:
+		return 1
+	default:
+		return 2
+	}
+}
+
+// Alerts returns every retained alert, firing first, then by rule and node.
+func (e *Engine) Alerts() []Alert {
+	e.mu.Lock()
+	out := make([]Alert, 0, len(e.alerts))
+	for _, st := range e.alerts {
+		out = append(out, st.Alert)
+	}
+	e.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool {
+		if r := stateRank(out[i].State) - stateRank(out[j].State); r != 0 {
+			return r < 0
+		}
+		if out[i].Rule != out[j].Rule {
+			return out[i].Rule < out[j].Rule
+		}
+		return out[i].Node < out[j].Node
+	})
+	return out
+}
+
+func (e *Engine) count(state string) int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	n := 0
+	for _, st := range e.alerts {
+		if st.State == state {
+			n++
+		}
+	}
+	return n
+}
+
+// Firing returns the number of alerts currently firing.
+func (e *Engine) Firing() int { return e.count(StateFiring) }
+
+// Flush publishes every currently-firing alert to the sinks — called on
+// collector shutdown so in-flight incidents are not lost with the process.
+func (e *Engine) Flush() {
+	e.mu.Lock()
+	var firing []Alert
+	for _, st := range e.alerts {
+		if st.State == StateFiring {
+			firing = append(firing, st.Alert)
+		}
+	}
+	e.mu.Unlock()
+	sort.Slice(firing, func(i, j int) bool {
+		if firing[i].Rule != firing[j].Rule {
+			return firing[i].Rule < firing[j].Rule
+		}
+		return firing[i].Node < firing[j].Node
+	})
+	for _, a := range firing {
+		for _, s := range e.cfg.Sinks {
+			s.Publish(a)
+		}
+	}
+}

@@ -1,0 +1,373 @@
+package health
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"narada/internal/obs"
+)
+
+// captureSink records every published transition.
+type captureSink struct {
+	mu  sync.Mutex
+	got []Alert
+}
+
+func (s *captureSink) Publish(a Alert) {
+	s.mu.Lock()
+	s.got = append(s.got, a)
+	s.mu.Unlock()
+}
+
+func (s *captureSink) alerts() []Alert {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]Alert(nil), s.got...)
+}
+
+func liveNode(name string, now time.Time) NodeInput {
+	return NodeInput{Name: name, LastSeen: now}
+}
+
+// TestDeadmanLifecycle walks one node through silent → firing → back →
+// resolved, checking the hysteresis on both edges.
+func TestDeadmanLifecycle(t *testing.T) {
+	sink := &captureSink{}
+	e := New(Config{
+		ExportInterval:   time.Second,
+		DeadmanIntervals: 3,
+		ResolveAfter:     2 * time.Second,
+		Sinks:            []Sink{sink},
+	})
+	base := time.Date(2026, 8, 5, 12, 0, 0, 0, time.UTC)
+	lastSeen := base
+
+	// Silent for 2 intervals: not yet dead.
+	e.Evaluate(Input{Now: base.Add(2 * time.Second), Nodes: []NodeInput{{Name: "b1", LastSeen: lastSeen}}})
+	if e.Firing() != 0 {
+		t.Fatalf("firing after 2s silence, deadman is 3 intervals")
+	}
+
+	// Past the deadman horizon: fires (PendingFor defaults to 0).
+	e.Evaluate(Input{Now: base.Add(4 * time.Second), Nodes: []NodeInput{{Name: "b1", LastSeen: lastSeen}}})
+	if e.Firing() != 1 {
+		t.Fatalf("firing = %d, want 1", e.Firing())
+	}
+	got := sink.alerts()
+	if len(got) != 1 || got[0].Rule != RuleDeadman || got[0].State != StateFiring || got[0].Node != "b1" {
+		t.Fatalf("sink saw %+v", got)
+	}
+
+	// Node returns; condition clear but within ResolveAfter — still firing.
+	lastSeen = base.Add(5 * time.Second)
+	e.Evaluate(Input{Now: base.Add(5 * time.Second), Nodes: []NodeInput{{Name: "b1", LastSeen: lastSeen}}})
+	if e.Firing() != 1 {
+		t.Fatal("alert resolved without hysteresis")
+	}
+
+	// Clear for ResolveAfter: resolves.
+	e.Evaluate(Input{Now: base.Add(8 * time.Second), Nodes: []NodeInput{{Name: "b1", LastSeen: base.Add(7 * time.Second)}}})
+	if e.Firing() != 0 {
+		t.Fatalf("firing = %d after recovery, want 0", e.Firing())
+	}
+	got = sink.alerts()
+	if len(got) != 2 || got[1].State != StateResolved {
+		t.Fatalf("sink saw %+v, want firing then resolved", got)
+	}
+	alerts := e.Alerts()
+	if len(alerts) != 1 || alerts[0].State != StateResolved || alerts[0].ResolvedAt == nil {
+		t.Fatalf("retained alerts = %+v", alerts)
+	}
+}
+
+// TestPendingHysteresis checks a violation must persist for PendingFor before
+// firing, and that a blip shorter than that never reaches the sinks.
+func TestPendingHysteresis(t *testing.T) {
+	sink := &captureSink{}
+	e := New(Config{
+		ExportInterval:   time.Second,
+		DeadmanIntervals: 3,
+		PendingFor:       5 * time.Second,
+		Sinks:            []Sink{sink},
+	})
+	base := time.Date(2026, 8, 5, 12, 0, 0, 0, time.UTC)
+
+	// Violation appears: pending, not firing.
+	e.Evaluate(Input{Now: base.Add(4 * time.Second), Nodes: []NodeInput{{Name: "b1", LastSeen: base}}})
+	if e.Firing() != 0 {
+		t.Fatal("fired without waiting out PendingFor")
+	}
+	if alerts := e.Alerts(); len(alerts) != 1 || alerts[0].State != StatePending {
+		t.Fatalf("alerts = %+v, want one pending", alerts)
+	}
+
+	// Blip clears before PendingFor: dropped silently.
+	e.Evaluate(Input{Now: base.Add(5 * time.Second), Nodes: []NodeInput{liveNode("b1", base.Add(5*time.Second))}})
+	if len(e.Alerts()) != 0 || len(sink.alerts()) != 0 {
+		t.Fatalf("blip left state: alerts=%+v sink=%+v", e.Alerts(), sink.alerts())
+	}
+
+	// Sustained violation fires after PendingFor.
+	e.Evaluate(Input{Now: base.Add(10 * time.Second), Nodes: []NodeInput{{Name: "b1", LastSeen: base.Add(5 * time.Second)}}})
+	e.Evaluate(Input{Now: base.Add(15 * time.Second), Nodes: []NodeInput{{Name: "b1", LastSeen: base.Add(5 * time.Second)}}})
+	if e.Firing() != 1 {
+		t.Fatalf("firing = %d after sustained violation, want 1", e.Firing())
+	}
+}
+
+func TestClockDriftRule(t *testing.T) {
+	e := New(Config{ExportInterval: time.Second})
+	base := time.Date(2026, 8, 5, 12, 0, 0, 0, time.UTC)
+
+	in := func(off time.Duration, lastSeen time.Time) Input {
+		return Input{Now: base, Nodes: []NodeInput{{Name: "b1", LastSeen: lastSeen, ClockOffset: off}}}
+	}
+	e.Evaluate(in(15*time.Millisecond, base))
+	if e.Firing() != 0 {
+		t.Fatal("15ms offset inside the ±20ms envelope fired")
+	}
+	e.Evaluate(in(-25*time.Millisecond, base))
+	if e.Firing() != 1 {
+		t.Fatalf("-25ms offset did not fire; alerts=%+v", e.Alerts())
+	}
+	found := false
+	for _, a := range e.Alerts() {
+		if a.Rule == RuleClockDrift && a.State == StateFiring {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("no firing clock_drift alert: %+v", e.Alerts())
+	}
+
+	// A deadman-silent node's stale offset must not raise clock drift.
+	e2 := New(Config{ExportInterval: time.Second})
+	e2.Evaluate(Input{Now: base.Add(10 * time.Second),
+		Nodes: []NodeInput{{Name: "b2", LastSeen: base, ClockOffset: 30 * time.Millisecond}}})
+	for _, a := range e2.Alerts() {
+		if a.Rule == RuleClockDrift {
+			t.Fatalf("silent node raised clock drift: %+v", a)
+		}
+	}
+}
+
+func TestEgressRules(t *testing.T) {
+	e := New(Config{EgressDepthMax: 100, EgressDropRateMax: 2})
+	base := time.Date(2026, 8, 5, 12, 0, 0, 0, time.UTC)
+
+	// Non-broker (HasEgress false) with huge numbers: no egress alerts.
+	e.Evaluate(Input{Now: base, Nodes: []NodeInput{{
+		Name: "r1", LastSeen: base, EgressDepth: 9999, EgressDropRate: 9999}}})
+	if len(e.Alerts()) != 0 {
+		t.Fatalf("non-broker raised egress alerts: %+v", e.Alerts())
+	}
+
+	e.Evaluate(Input{Now: base, Nodes: []NodeInput{{
+		Name: "b1", LastSeen: base, HasEgress: true, EgressDepth: 150, EgressDropRate: 5}}})
+	rules := map[string]bool{}
+	for _, a := range e.Alerts() {
+		if a.State == StateFiring {
+			rules[a.Rule] = true
+		}
+	}
+	if !rules[RuleEgressSaturation] || !rules[RuleEgressDrops] {
+		t.Fatalf("firing rules = %v, want saturation and drops", rules)
+	}
+}
+
+// TestBurnRateBothWindows checks the multi-window guard: a fast-window error
+// spike alone (slow window healthy) must not fire, and a genuine sustained
+// burn (both windows hot) must.
+func TestBurnRateBothWindows(t *testing.T) {
+	e := New(Config{SLOTarget: 0.99}) // budget 0.01; thresholds 14.4 / 6
+	base := time.Date(2026, 8, 5, 12, 0, 0, 0, time.UTC)
+
+	// Fast window 50% errors (burn 50x) but slow window clean (burn ~1x).
+	e.Evaluate(Input{Now: base, Probes: []ProbeInput{{
+		Node: "p", FastOK: 5, FastErr: 5, SlowOK: 990, SlowErr: 10}}})
+	if e.Firing() != 0 {
+		t.Fatalf("short spike fired: %+v", e.Alerts())
+	}
+
+	// Both windows hot: fast 50x, slow 20x.
+	e.Evaluate(Input{Now: base.Add(time.Second), Probes: []ProbeInput{{
+		Node: "p", FastOK: 5, FastErr: 5, SlowOK: 800, SlowErr: 200}}})
+	if e.Firing() != 1 {
+		t.Fatalf("sustained burn did not fire: %+v", e.Alerts())
+	}
+
+	// No data burns nothing.
+	e2 := New(Config{})
+	e2.Evaluate(Input{Now: base, Probes: []ProbeInput{{Node: "idle"}}})
+	if len(e2.Alerts()) != 0 {
+		t.Fatalf("zero-total probe raised alerts: %+v", e2.Alerts())
+	}
+}
+
+func TestLatencyBurnRule(t *testing.T) {
+	e := New(Config{SLOTarget: 0.99})
+	base := time.Date(2026, 8, 5, 12, 0, 0, 0, time.UTC)
+	e.Evaluate(Input{Now: base, Probes: []ProbeInput{{
+		Node:   "p",
+		FastOK: 100, SlowOK: 1000, // success SLI healthy
+		FastSlow: 30, FastTotal: 100, // 30% slow => burn 30x
+		SlowSlow: 100, SlowTotal: 1000, // 10% slow => burn 10x
+	}}})
+	firing := map[string]bool{}
+	for _, a := range e.Alerts() {
+		if a.State == StateFiring {
+			firing[a.Rule] = true
+		}
+	}
+	if !firing[RuleProbeLatencyBurn] || firing[RuleProbeSLOBurn] {
+		t.Fatalf("firing = %v, want latency burn only", firing)
+	}
+}
+
+// TestRearmAfterResolve checks dedup: a resolved alert re-fires in place on a
+// new violation instead of accumulating duplicate entries.
+func TestRearmAfterResolve(t *testing.T) {
+	sink := &captureSink{}
+	e := New(Config{ExportInterval: time.Second, ResolveAfter: time.Second, Sinks: []Sink{sink}})
+	base := time.Date(2026, 8, 5, 12, 0, 0, 0, time.UTC)
+
+	dead := func(at time.Time) Input {
+		return Input{Now: at, Nodes: []NodeInput{{Name: "b1", LastSeen: base}}}
+	}
+	alive := func(at time.Time) Input {
+		return Input{Now: at, Nodes: []NodeInput{liveNode("b1", at)}}
+	}
+	e.Evaluate(dead(base.Add(10 * time.Second)))  // fire
+	e.Evaluate(alive(base.Add(11 * time.Second))) // clear...
+	e.Evaluate(alive(base.Add(13 * time.Second))) // ...resolved
+	e.Evaluate(Input{Now: base.Add(30 * time.Second),
+		Nodes: []NodeInput{{Name: "b1", LastSeen: base.Add(13 * time.Second)}}}) // fire again
+	if e.Firing() != 1 || len(e.Alerts()) != 1 {
+		t.Fatalf("firing=%d alerts=%d, want one deduped alert", e.Firing(), len(e.Alerts()))
+	}
+	states := []string{}
+	for _, a := range sink.alerts() {
+		states = append(states, a.State)
+	}
+	want := []string{StateFiring, StateResolved, StateFiring}
+	if len(states) != len(want) {
+		t.Fatalf("transitions = %v, want %v", states, want)
+	}
+	for i := range want {
+		if states[i] != want[i] {
+			t.Fatalf("transitions = %v, want %v", states, want)
+		}
+	}
+}
+
+func TestResolvedGC(t *testing.T) {
+	e := New(Config{ExportInterval: time.Second, ResolveAfter: time.Second, RetainResolved: time.Minute})
+	base := time.Date(2026, 8, 5, 12, 0, 0, 0, time.UTC)
+	e.Evaluate(Input{Now: base.Add(10 * time.Second), Nodes: []NodeInput{{Name: "b1", LastSeen: base}}})
+	e.Evaluate(Input{Now: base.Add(11 * time.Second), Nodes: []NodeInput{liveNode("b1", base.Add(11*time.Second))}})
+	e.Evaluate(Input{Now: base.Add(13 * time.Second), Nodes: []NodeInput{liveNode("b1", base.Add(13*time.Second))}})
+	if len(e.Alerts()) != 1 {
+		t.Fatalf("want one resolved alert retained, got %+v", e.Alerts())
+	}
+	e.Evaluate(Input{Now: base.Add(2 * time.Minute), Nodes: []NodeInput{liveNode("b1", base.Add(2*time.Minute))}})
+	if len(e.Alerts()) != 0 {
+		t.Fatalf("resolved alert survived RetainResolved: %+v", e.Alerts())
+	}
+}
+
+func TestFiringGauges(t *testing.T) {
+	reg := obs.NewRegistry()
+	e := New(Config{ExportInterval: time.Second, Registry: reg})
+	base := time.Date(2026, 8, 5, 12, 0, 0, 0, time.UTC)
+	e.Evaluate(Input{Now: base.Add(10 * time.Second), Nodes: []NodeInput{{Name: "b1", LastSeen: base}}})
+
+	val, found := firingGauge(reg, "b1")
+	if !found || val != 1 {
+		t.Fatalf("narada_alerts_firing{deadman,b1} = %v found=%v, want 1", val, found)
+	}
+	e.Evaluate(Input{Now: base.Add(11 * time.Second), Nodes: []NodeInput{liveNode("b1", base.Add(11*time.Second))}})
+	e.Evaluate(Input{Now: base.Add(20 * time.Second), Nodes: []NodeInput{liveNode("b1", base.Add(20*time.Second))}})
+	if val, _ := firingGauge(reg, "b1"); val != 0 {
+		t.Fatalf("gauge = %v after resolve, want 0", val)
+	}
+}
+
+func firingGauge(reg *obs.Registry, node string) (float64, bool) {
+	for _, f := range reg.ExportSnapshot() {
+		if f.Name != "narada_alerts_firing" {
+			continue
+		}
+		for _, s := range f.Series {
+			match := false
+			for _, l := range s.Labels {
+				if l.Key == "node" && l.Value == node {
+					match = true
+				}
+			}
+			if match {
+				return s.Gauge, true
+			}
+		}
+	}
+	return 0, false
+}
+
+func TestFlushPublishesFiring(t *testing.T) {
+	sink := &captureSink{}
+	e := New(Config{ExportInterval: time.Second})
+	base := time.Date(2026, 8, 5, 12, 0, 0, 0, time.UTC)
+	e.Evaluate(Input{Now: base.Add(10 * time.Second), Nodes: []NodeInput{
+		{Name: "b1", LastSeen: base}, {Name: "b2", LastSeen: base}}})
+
+	// Attach the sink only now: Flush must still deliver the firing set.
+	e.cfg.Sinks = []Sink{sink}
+	e.Flush()
+	got := sink.alerts()
+	if len(got) != 2 || got[0].Node != "b1" || got[1].Node != "b2" {
+		t.Fatalf("flush delivered %+v, want b1 and b2 firing", got)
+	}
+}
+
+func TestWebhookSink(t *testing.T) {
+	var mu sync.Mutex
+	var seen []Alert
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		var a Alert
+		if err := json.NewDecoder(r.Body).Decode(&a); err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		mu.Lock()
+		seen = append(seen, a)
+		mu.Unlock()
+	}))
+	defer srv.Close()
+
+	s := NewWebhookSink(srv.URL, time.Second, nil)
+	s.Publish(Alert{Rule: RuleDeadman, Node: "b1", State: StateFiring})
+	if s.Delivered() != 1 || s.Failed() != 0 {
+		t.Fatalf("delivered=%d failed=%d", s.Delivered(), s.Failed())
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(seen) != 1 || seen[0].Node != "b1" || seen[0].State != StateFiring {
+		t.Fatalf("webhook saw %+v", seen)
+	}
+}
+
+func TestWebhookSinkFailure(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		http.Error(w, "nope", http.StatusBadGateway)
+	}))
+	s := NewWebhookSink(srv.URL, time.Second, nil)
+	s.Publish(Alert{Rule: RuleDeadman, Node: "b1", State: StateFiring})
+	srv.Close()
+	s.Publish(Alert{Rule: RuleDeadman, Node: "b1", State: StateResolved}) // connection refused
+	if s.Delivered() != 0 || s.Failed() != 2 {
+		t.Fatalf("delivered=%d failed=%d, want 0/2", s.Delivered(), s.Failed())
+	}
+}

@@ -1,0 +1,83 @@
+package health
+
+import (
+	"bytes"
+	"encoding/json"
+	"log/slog"
+	"net/http"
+	"sync/atomic"
+	"time"
+
+	"narada/internal/obs"
+)
+
+// LogSink publishes alert transitions as structured log records — the
+// always-on sink every deployment gets.
+type LogSink struct {
+	log *slog.Logger
+}
+
+// NewLogSink wraps a logger as a sink.
+func NewLogSink(log *slog.Logger) *LogSink { return &LogSink{log: log} }
+
+// Publish logs one transition at warn (firing) or info (resolved).
+func (s *LogSink) Publish(a Alert) {
+	rec := s.log.Info
+	if a.State == StateFiring {
+		rec = s.log.Warn
+	}
+	rec("alert", "rule", a.Rule, "node", a.Node, "state", a.State,
+		"value", a.Value, "threshold", a.Threshold, "message", a.Message)
+}
+
+// WebhookSink POSTs each alert transition as a JSON document to a generic
+// webhook endpoint (chat bridges, incident routers). Delivery is best-effort
+// with a bounded timeout; failures are counted and logged, never retried —
+// the /alerts endpoint remains the source of truth.
+type WebhookSink struct {
+	url    string
+	client *http.Client
+	log    *slog.Logger
+
+	delivered atomic.Uint64
+	failed    atomic.Uint64
+}
+
+// NewWebhookSink builds a webhook sink; timeout <= 0 uses 3s.
+func NewWebhookSink(url string, timeout time.Duration, log *slog.Logger) *WebhookSink {
+	if timeout <= 0 {
+		timeout = 3 * time.Second
+	}
+	if log == nil {
+		log = obs.Nop()
+	}
+	return &WebhookSink{url: url, client: &http.Client{Timeout: timeout}, log: log}
+}
+
+// Publish POSTs one alert.
+func (s *WebhookSink) Publish(a Alert) {
+	body, err := json.Marshal(a)
+	if err != nil {
+		s.failed.Add(1)
+		return
+	}
+	resp, err := s.client.Post(s.url, "application/json", bytes.NewReader(body))
+	if err != nil {
+		s.failed.Add(1)
+		s.log.Warn("webhook delivery failed", "url", s.url, "err", err)
+		return
+	}
+	resp.Body.Close()
+	if resp.StatusCode >= 300 {
+		s.failed.Add(1)
+		s.log.Warn("webhook rejected alert", "url", s.url, "status", resp.StatusCode)
+		return
+	}
+	s.delivered.Add(1)
+}
+
+// Delivered returns the number of successfully delivered transitions.
+func (s *WebhookSink) Delivered() uint64 { return s.delivered.Load() }
+
+// Failed returns the number of failed deliveries.
+func (s *WebhookSink) Failed() uint64 { return s.failed.Load() }

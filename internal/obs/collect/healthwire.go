@@ -1,0 +1,118 @@
+package collect
+
+import (
+	"time"
+
+	"narada/internal/obs/collect/health"
+)
+
+// Metric families the health rules read from the series store.
+const (
+	metricEgressDepth  = "narada_broker_egress_queue_depth"
+	metricEgressDrops  = "narada_broker_egress_dropped_total"
+	metricProbeRuns    = "narada_probe_runs_total"
+	metricProbeLatency = "narada_probe_latency_seconds"
+)
+
+// Health returns the collector's health engine (alert listing, Firing count).
+func (c *Collector) Health() *health.Engine { return c.health }
+
+// Query runs a range query against the series store at the retention tier
+// whose step matches (the /query endpoint and tests read through this).
+func (c *Collector) Query(metric, node string, step time.Duration, since, now time.Time) []QuerySeries {
+	return c.store.Query(metric, node, step, since, now)
+}
+
+// StoreResolutions returns the configured retention tiers, finest first.
+func (c *Collector) StoreResolutions() []Resolution {
+	return c.store.Resolutions()
+}
+
+func (c *Collector) healthLoop(interval time.Duration) {
+	defer c.wg.Done()
+	ticker := time.NewTicker(interval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-ticker.C:
+			c.EvaluateHealthNow()
+		case <-c.healthStop:
+			return
+		}
+	}
+}
+
+// EvaluateHealthNow assembles one health Input from ingest state and the
+// series store and runs the rule evaluator. The ticker calls this every
+// HealthInterval; tests call it directly for deterministic evaluation.
+func (c *Collector) EvaluateHealthNow() {
+	now := time.Now()
+	hcfg := c.health.Config()
+
+	c.mu.Lock()
+	nodes := make([]health.NodeInput, 0, len(c.nodes))
+	for _, ns := range c.nodes {
+		nodes = append(nodes, health.NodeInput{
+			Name:        ns.name,
+			LastSeen:    ns.lastSeen,
+			ClockOffset: ns.offset,
+		})
+	}
+	c.mu.Unlock()
+
+	staleAfter := time.Duration(hcfg.DeadmanIntervals) * hcfg.ExportInterval
+	for i := range nodes {
+		n := &nodes[i]
+		if depth, ok := c.store.LastGauge(metricEgressDepth, n.Name, staleAfter, now); ok {
+			n.HasEgress = true
+			n.EgressDepth = depth
+		}
+		if drops, ok := c.store.WindowSum(metricEgressDrops, n.Name, hcfg.EgressWindow, now); ok {
+			n.HasEgress = true
+			n.EgressDropRate = drops / hcfg.EgressWindow.Seconds()
+		}
+	}
+
+	var probes []health.ProbeInput
+	for _, pn := range c.store.NodesWith(metricProbeRuns) {
+		fast := c.store.WindowSumBy(metricProbeRuns, pn, "outcome", hcfg.FastWindow, now)
+		slow := c.store.WindowSumBy(metricProbeRuns, pn, "outcome", hcfg.SlowWindow, now)
+		pi := health.ProbeInput{
+			Node:    pn,
+			FastOK:  fast["ok"],
+			FastErr: fast["error"],
+			SlowOK:  slow["ok"],
+			SlowErr: slow["error"],
+		}
+		pi.FastTotal, pi.FastSlow = c.latencySLI(pn, hcfg.FastWindow, hcfg.LatencySLO, now)
+		pi.SlowTotal, pi.SlowSlow = c.latencySLI(pn, hcfg.SlowWindow, hcfg.LatencySLO, now)
+		probes = append(probes, pi)
+	}
+
+	c.health.Evaluate(health.Input{Now: now, Nodes: nodes, Probes: probes})
+}
+
+// latencySLI reads the probe latency histogram window and splits it into
+// total observations and those slower than the SLO. Observations land on the
+// slow side unless their whole bucket fits under the objective, so the SLI
+// never flatters the fabric.
+func (c *Collector) latencySLI(node string, window, slo time.Duration, now time.Time) (total, slowOnes float64) {
+	bounds, buckets, count, _, ok := c.store.WindowHist(metricProbeLatency, node, window, now)
+	if !ok || count == 0 {
+		return 0, 0
+	}
+	good := uint64(0)
+	for i, b := range bounds {
+		if b <= slo.Seconds() {
+			good += buckets[i]
+		}
+	}
+	return float64(count), float64(count - min(good, count))
+}
+
+func min(a, b uint64) uint64 {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"narada/internal/obs"
+	"narada/internal/obs/collect/health"
 )
 
 // Handler assembles the collector's HTTP API:
@@ -21,6 +22,9 @@ import (
 //	/traces/{id}   one assembled cross-node trace, spans in aligned order
 //	/fabric        JSON fabric view: per-node liveness, clock offset, load,
 //	               egress queue depth and discovery latency percentiles
+//	/alerts        JSON health-alert list (firing first), with firing count
+//	/query         range query over the retained series store:
+//	               ?metric= (required) &node= &res=10s &since=5m|RFC3339
 //	/healthz       liveness
 func (c *Collector) Handler() http.Handler {
 	mux := http.NewServeMux()
@@ -28,6 +32,8 @@ func (c *Collector) Handler() http.Handler {
 	mux.HandleFunc("/traces", c.serveTraces)
 	mux.HandleFunc("/traces/{id}", c.serveTrace)
 	mux.HandleFunc("/fabric", c.serveFabric)
+	mux.HandleFunc("/alerts", c.serveAlerts)
+	mux.HandleFunc("/query", c.serveQuery)
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
 		fmt.Fprintf(w, `{"status":"ok","goroutines":%d}`+"\n", runtime.NumGoroutine())
@@ -258,6 +264,83 @@ func histQuantile(q float64, bounds []float64, buckets []uint64) float64 {
 		return lower + (bounds[i]-lower)*(rank-prev)/float64(b)
 	}
 	return bounds[len(bounds)-1]
+}
+
+// AlertsView is the /alerts payload.
+type AlertsView struct {
+	Firing int            `json:"firing"`
+	Alerts []health.Alert `json:"alerts"`
+}
+
+func (c *Collector) serveAlerts(w http.ResponseWriter, _ *http.Request) {
+	alerts := c.health.Alerts()
+	if alerts == nil {
+		alerts = []health.Alert{}
+	}
+	writeJSON(w, http.StatusOK, AlertsView{Firing: c.health.Firing(), Alerts: alerts})
+}
+
+// QueryView is the /query payload.
+type QueryView struct {
+	Metric string        `json:"metric"`
+	Step   string        `json:"step"`
+	Since  time.Time     `json:"since"`
+	Series []QuerySeries `json:"series"`
+}
+
+func (c *Collector) serveQuery(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	metric := q.Get("metric")
+	if metric == "" {
+		writeJSON(w, http.StatusBadRequest, map[string]string{"error": "metric parameter is required"})
+		return
+	}
+	resolutions := c.store.Resolutions()
+	step := resolutions[0].Step
+	span := resolutions[0].Span()
+	if res := q.Get("res"); res != "" {
+		d, err := time.ParseDuration(res)
+		if err != nil {
+			writeJSON(w, http.StatusBadRequest, map[string]string{"error": "bad res: " + err.Error()})
+			return
+		}
+		found := false
+		for _, rg := range resolutions {
+			if rg.Step == d {
+				step, span, found = rg.Step, rg.Span(), true
+				break
+			}
+		}
+		if !found {
+			steps := make([]string, len(resolutions))
+			for i, rg := range resolutions {
+				steps[i] = rg.Step.String()
+			}
+			writeJSON(w, http.StatusBadRequest, map[string]string{
+				"error": "res must be one of: " + strings.Join(steps, ", ")})
+			return
+		}
+	}
+	now := time.Now()
+	since := now.Add(-span)
+	if s := q.Get("since"); s != "" {
+		if d, err := time.ParseDuration(s); err == nil {
+			since = now.Add(-d)
+		} else if t, err := time.Parse(time.RFC3339, s); err == nil {
+			since = t
+		} else {
+			writeJSON(w, http.StatusBadRequest,
+				map[string]string{"error": "since must be a duration (5m) or RFC3339 time"})
+			return
+		}
+	}
+	series := c.store.Query(metric, q.Get("node"), step, since, now)
+	if series == nil {
+		series = []QuerySeries{}
+	}
+	writeJSON(w, http.StatusOK, QueryView{
+		Metric: metric, Step: step.String(), Since: since, Series: series,
+	})
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {

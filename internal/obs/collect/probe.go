@@ -26,6 +26,11 @@ type ProbeConfig struct {
 	// CollectWindow bounds each probe's response collection (default 1s —
 	// probes favour tight SLIs over exhaustive response sets).
 	CollectWindow time.Duration
+	// AckTimeout bounds each probe's wait for a BDN acknowledgement (0 uses
+	// the discoverer default of 1s). It also bounds how long Close can block
+	// on an in-flight probe against an unreachable fabric, so tests and
+	// fast-shutdown deployments set it low.
+	AckTimeout time.Duration
 	// BindIP is the local interface for probe traffic (default 127.0.0.1).
 	BindIP string
 	// Export, when non-empty, is the collector UDP address the prober's own
@@ -117,6 +122,7 @@ func NewProber(cfg ProbeConfig) (*Prober, error) {
 		NodeName:      ProberNodeName,
 		BDNAddrs:      cfg.BDNAddrs,
 		CollectWindow: cfg.CollectWindow,
+		AckTimeout:    cfg.AckTimeout,
 		Metrics:       reg,
 		Tracer:        p.tracer,
 	})

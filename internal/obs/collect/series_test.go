@@ -1,0 +1,241 @@
+package collect
+
+import (
+	"testing"
+	"time"
+
+	"narada/internal/obs"
+)
+
+func counterFam(name string, value uint64, labels ...obs.Label) obs.ExportFamily {
+	return obs.ExportFamily{Name: name, Kind: "counter",
+		Series: []obs.ExportSeries{{Labels: labels, Counter: value}}}
+}
+
+func gaugeFam(name string, value float64, labels ...obs.Label) obs.ExportFamily {
+	return obs.ExportFamily{Name: name, Kind: "gauge",
+		Series: []obs.ExportSeries{{Labels: labels, Gauge: value}}}
+}
+
+func histFam(name string, bounds []float64, buckets []uint64, sum float64, count uint64) obs.ExportFamily {
+	return obs.ExportFamily{Name: name, Kind: "histogram",
+		Series: []obs.ExportSeries{{Bounds: bounds, Buckets: buckets, Sum: sum, Count: count}}}
+}
+
+func testResolutions() []Resolution {
+	return []Resolution{
+		{Step: time.Second, Slots: 60},
+		{Step: 10 * time.Second, Slots: 30},
+		{Step: time.Minute, Slots: 10},
+	}
+}
+
+// TestStoreCounterWindows checks that cumulative counter snapshots become
+// windowed increases: the first sight is a baseline, later deltas land in
+// every resolution tier, and a value decrease re-baselines (process restart).
+func TestStoreCounterWindows(t *testing.T) {
+	st := newSeriesStore(testResolutions(), 0)
+	base := time.Date(2026, 8, 5, 12, 0, 0, 0, time.UTC)
+
+	st.Observe(base, "b1", 1, []obs.ExportFamily{counterFam("m", 100)})
+	now := base.Add(time.Second)
+	if sum, ok := st.WindowSum("m", "b1", 30*time.Second, now); !ok || sum != 0 {
+		t.Fatalf("after baseline: sum=%v ok=%v, want 0 true", sum, ok)
+	}
+
+	st.Observe(base.Add(2*time.Second), "b1", 2, []obs.ExportFamily{counterFam("m", 130)})
+	st.Observe(base.Add(4*time.Second), "b1", 3, []obs.ExportFamily{counterFam("m", 150)})
+	now = base.Add(5 * time.Second)
+	if sum, _ := st.WindowSum("m", "b1", 30*time.Second, now); sum != 50 {
+		t.Fatalf("windowed increase = %v, want 50", sum)
+	}
+	// The coarser tiers saw the same increments.
+	if sum, _ := st.WindowSum("m", "b1", 5*time.Minute, now); sum != 50 {
+		t.Fatalf("10s tier increase = %v, want 50", sum)
+	}
+
+	// Counter reset: value drops to 5 — the new total is all-new increase.
+	st.Observe(base.Add(6*time.Second), "b1", 4, []obs.ExportFamily{counterFam("m", 5)})
+	now = base.Add(7 * time.Second)
+	if sum, _ := st.WindowSum("m", "b1", 30*time.Second, now); sum != 55 {
+		t.Fatalf("post-reset increase = %v, want 55", sum)
+	}
+
+	if _, ok := st.WindowSum("m", "nosuch", 30*time.Second, now); ok {
+		t.Fatal("unknown node reported ok")
+	}
+}
+
+// TestStoreSeqRestart checks that a sequence-number decrease (exporter
+// restart) re-baselines even when the new counter value is higher than the
+// old one.
+func TestStoreSeqRestart(t *testing.T) {
+	st := newSeriesStore(testResolutions(), 0)
+	base := time.Date(2026, 8, 5, 12, 0, 0, 0, time.UTC)
+
+	st.Observe(base, "b1", 900, []obs.ExportFamily{counterFam("m", 40)})
+	st.Observe(base.Add(time.Second), "b1", 901, []obs.ExportFamily{counterFam("m", 60)})
+	// Restart: seq resets to 1, counter already re-accumulated past the old
+	// value. Without seq the delta would read 70-60=10; with it, 70.
+	st.Observe(base.Add(2*time.Second), "b1", 1, []obs.ExportFamily{counterFam("m", 70)})
+	if sum, _ := st.WindowSum("m", "b1", 30*time.Second, base.Add(3*time.Second)); sum != 90 {
+		t.Fatalf("increase = %v, want 90 (20 pre-restart + 70 post)", sum)
+	}
+}
+
+func TestStoreWindowSumBy(t *testing.T) {
+	st := newSeriesStore(testResolutions(), 0)
+	base := time.Date(2026, 8, 5, 12, 0, 0, 0, time.UTC)
+	fams := func(ok, errs uint64) []obs.ExportFamily {
+		return []obs.ExportFamily{{Name: "runs", Kind: "counter", Series: []obs.ExportSeries{
+			{Labels: []obs.Label{obs.L("outcome", "ok")}, Counter: ok},
+			{Labels: []obs.Label{obs.L("outcome", "error")}, Counter: errs},
+		}}}
+	}
+	st.Observe(base, "p", 1, fams(10, 1))
+	st.Observe(base.Add(time.Second), "p", 2, fams(25, 4))
+	by := st.WindowSumBy("runs", "p", "outcome", 30*time.Second, base.Add(2*time.Second))
+	if by["ok"] != 15 || by["error"] != 3 {
+		t.Fatalf("by-outcome = %v, want ok=15 error=3", by)
+	}
+}
+
+func TestStoreGaugeLastAndAvg(t *testing.T) {
+	st := newSeriesStore(testResolutions(), 0)
+	base := time.Date(2026, 8, 5, 12, 0, 0, 0, time.UTC)
+
+	st.Observe(base, "b1", 1, []obs.ExportFamily{gaugeFam("depth", 10)})
+	st.Observe(base.Add(time.Second), "b1", 2, []obs.ExportFamily{gaugeFam("depth", 30)})
+	now := base.Add(2 * time.Second)
+	if v, ok := st.LastGauge("depth", "b1", 30*time.Second, now); !ok || v != 30 {
+		t.Fatalf("last gauge = %v ok=%v, want 30 true", v, ok)
+	}
+	// Outside maxAge the sample is stale.
+	if _, ok := st.LastGauge("depth", "b1", 500*time.Millisecond, base.Add(30*time.Second)); ok {
+		t.Fatal("stale gauge reported ok")
+	}
+
+	// Both samples landed in the same 10s window: avg = 20 at that tier.
+	series := st.Query("depth", "b1", 10*time.Second, base.Add(-time.Minute), now)
+	if len(series) != 1 || len(series[0].Points) != 1 {
+		t.Fatalf("10s query = %+v, want one series with one point", series)
+	}
+	p := series[0].Points[0]
+	if p.Value != 30 || p.Avg != 20 || p.Count != 2 {
+		t.Fatalf("10s point = %+v, want last=30 avg=20 n=2", p)
+	}
+}
+
+func TestStoreHistogramWindows(t *testing.T) {
+	st := newSeriesStore(testResolutions(), 0)
+	base := time.Date(2026, 8, 5, 12, 0, 0, 0, time.UTC)
+	bounds := []float64{0.1, 1, 10}
+
+	st.Observe(base, "p", 1, []obs.ExportFamily{
+		histFam("lat", bounds, []uint64{5, 2, 0, 0}, 1.2, 7)})
+	st.Observe(base.Add(time.Second), "p", 2, []obs.ExportFamily{
+		histFam("lat", bounds, []uint64{8, 2, 3, 1}, 9.9, 14)})
+
+	gotBounds, buckets, count, sum, ok := st.WindowHist("lat", "p", 30*time.Second, base.Add(2*time.Second))
+	if !ok {
+		t.Fatal("WindowHist not ok")
+	}
+	if len(gotBounds) != 3 {
+		t.Fatalf("bounds = %v", gotBounds)
+	}
+	want := []uint64{3, 0, 3, 1}
+	for i := range want {
+		if buckets[i] != want[i] {
+			t.Fatalf("buckets = %v, want %v", buckets, want)
+		}
+	}
+	if count != 7 || sum < 8.69 || sum > 8.71 {
+		t.Fatalf("count=%d sum=%v, want 7 and ~8.7", count, sum)
+	}
+}
+
+// TestStoreSlotInvalidation checks the ring wraps correctly: a window older
+// than the ring span is overwritten, and queries do not resurrect it.
+func TestStoreSlotInvalidation(t *testing.T) {
+	st := newSeriesStore([]Resolution{{Step: time.Second, Slots: 5}}, 0)
+	base := time.Date(2026, 8, 5, 12, 0, 0, 0, time.UTC)
+
+	st.Observe(base, "b1", 1, []obs.ExportFamily{counterFam("m", 0)})
+	st.Observe(base.Add(time.Second), "b1", 2, []obs.ExportFamily{counterFam("m", 10)})
+	// 7s later the ring has wrapped past the old slot's index.
+	st.Observe(base.Add(8*time.Second), "b1", 3, []obs.ExportFamily{counterFam("m", 13)})
+	if sum, _ := st.WindowSum("m", "b1", 4*time.Second, base.Add(8*time.Second)); sum != 3 {
+		t.Fatalf("recent window = %v, want only the fresh delta 3", sum)
+	}
+}
+
+func TestStoreSeriesCap(t *testing.T) {
+	st := newSeriesStore(testResolutions(), 2)
+	base := time.Date(2026, 8, 5, 12, 0, 0, 0, time.UTC)
+	st.Observe(base, "b1", 1, []obs.ExportFamily{
+		counterFam("a", 1), counterFam("b", 1), counterFam("c", 1)})
+	if st.SeriesCount() != 2 {
+		t.Fatalf("series count = %d, want 2", st.SeriesCount())
+	}
+	if st.DroppedSeries() != 1 {
+		t.Fatalf("dropped = %d, want 1", st.DroppedSeries())
+	}
+	// Existing series still update past the cap.
+	st.Observe(base.Add(time.Second), "b1", 2, []obs.ExportFamily{counterFam("a", 5)})
+	if sum, _ := st.WindowSum("a", "b1", 10*time.Second, base.Add(2*time.Second)); sum != 4 {
+		t.Fatalf("capped store delta = %v, want 4", sum)
+	}
+}
+
+func TestStoreQueryResolutionsAndNodes(t *testing.T) {
+	st := newSeriesStore(testResolutions(), 0)
+	base := time.Date(2026, 8, 5, 12, 0, 0, 0, time.UTC)
+	for i := 0; i < 15; i++ {
+		at := base.Add(time.Duration(i) * time.Second)
+		st.Observe(at, "b1", uint64(i+1), []obs.ExportFamily{counterFam("m", uint64(10*i))})
+		st.Observe(at, "b2", uint64(i+1), []obs.ExportFamily{counterFam("m", uint64(i))})
+	}
+	now := base.Add(15 * time.Second)
+
+	// Finest tier: one point per second with data.
+	fine := st.Query("m", "b1", time.Second, base, now)
+	if len(fine) != 1 {
+		t.Fatalf("fine series = %d, want 1", len(fine))
+	}
+	if got := len(fine[0].Points); got != 14 { // first observation is baseline-only
+		t.Fatalf("fine points = %d, want 14", got)
+	}
+	var total float64
+	for _, p := range fine[0].Points {
+		total += p.Value
+	}
+	if total != 140 {
+		t.Fatalf("fine total = %v, want 140", total)
+	}
+
+	// 10s tier: two windows covering the same increase.
+	coarse := st.Query("m", "b1", 10*time.Second, base, now)
+	if len(coarse) != 1 || len(coarse[0].Points) != 2 {
+		t.Fatalf("coarse = %+v, want 1 series with 2 points", coarse)
+	}
+	if coarse[0].Points[0].Value+coarse[0].Points[1].Value != 140 {
+		t.Fatalf("coarse total = %v, want 140",
+			coarse[0].Points[0].Value+coarse[0].Points[1].Value)
+	}
+
+	// Unfiltered query returns both nodes, sorted.
+	all := st.Query("m", "", time.Second, base, now)
+	if len(all) != 2 || all[0].Node != "b1" || all[1].Node != "b2" {
+		t.Fatalf("all-node query order = %+v", all)
+	}
+
+	// An unknown step is rejected as nil (HTTP layer reports the valid set).
+	if got := st.Query("m", "b1", 3*time.Second, base, now); got != nil {
+		t.Fatalf("bad step query = %+v, want nil", got)
+	}
+
+	nodes := st.NodesWith("m")
+	if len(nodes) != 2 || nodes[0] != "b1" || nodes[1] != "b2" {
+		t.Fatalf("NodesWith = %v", nodes)
+	}
+}

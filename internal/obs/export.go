@@ -6,6 +6,7 @@ import (
 	"io"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"narada/internal/wire"
@@ -16,7 +17,8 @@ import (
 // it only widens the gap between snapshots.
 const (
 	exportMagic   byte = 0xB8 // obs export frame marker (event frames use 0xB7)
-	exportVersion byte = 1
+	exportVersion byte = 2    // v2 adds a snapshot sequence to metrics packets
+	exportMinVer  byte = 1    // v1 (no sequence) still decodes; Seq reads as 0
 
 	packetSpans   byte = 1
 	packetMetrics byte = 2
@@ -108,7 +110,13 @@ type ExportPacket struct {
 	Spans []SpanRecord // span batch
 
 	MetricsAt time.Time // metrics snapshot: node-local capture time
-	Families  []ExportFamily
+	// Seq is the exporter's snapshot sequence number: it increments with
+	// every metrics snapshot shipped and restarts from 1 when the process
+	// does. Collectors derive counter rates from snapshot-to-snapshot
+	// deltas; a sequence decrease marks a restart, so cumulative values are
+	// re-baselined instead of read as a (possibly huge) spurious increase.
+	Seq      uint64
+	Families []ExportFamily
 }
 
 func encodeExportHeader(w *wire.Writer, kind byte, node string, offset time.Duration) {
@@ -179,10 +187,10 @@ func encodeFamily(w *wire.Writer, f ExportFamily) {
 
 // EncodeMetricsPackets serialises a metrics snapshot into one or more export
 // datagrams, splitting on family boundaries so no packet exceeds maxBytes
-// (<= 0 uses MaxExportPacket). Each packet repeats the header and capture
-// time and is independently decodable. A single family larger than maxBytes
-// still ships, alone, in an oversized packet.
-func EncodeMetricsPackets(node string, offset time.Duration, at time.Time, fams []ExportFamily, maxBytes int) [][]byte {
+// (<= 0 uses MaxExportPacket). Each packet repeats the header, capture time
+// and snapshot sequence and is independently decodable. A single family
+// larger than maxBytes still ships, alone, in an oversized packet.
+func EncodeMetricsPackets(node string, offset time.Duration, at time.Time, seq uint64, fams []ExportFamily, maxBytes int) [][]byte {
 	if maxBytes <= 0 {
 		maxBytes = MaxExportPacket
 	}
@@ -199,6 +207,7 @@ func EncodeMetricsPackets(node string, offset time.Duration, at time.Time, fams 
 		w := wire.GetWriter(64)
 		encodeExportHeader(w, packetMetrics, node, offset)
 		w.Time(at)
+		w.Uvarint(seq)
 		w.Uvarint(uint64(n))
 		h := w.Detach()
 		w.Release()
@@ -227,8 +236,9 @@ func DecodeExportPacket(b []byte) (*ExportPacket, error) {
 	if m := r.Byte(); r.Err() == nil && m != exportMagic {
 		return nil, fmt.Errorf("obs: export: bad magic 0x%02x", m)
 	}
-	if v := r.Byte(); r.Err() == nil && v != exportVersion {
-		return nil, fmt.Errorf("obs: export: unsupported version %d", v)
+	version := r.Byte()
+	if r.Err() == nil && (version < exportMinVer || version > exportVersion) {
+		return nil, fmt.Errorf("obs: export: unsupported version %d", version)
 	}
 	kind := r.Byte()
 	p := &ExportPacket{Node: r.String(), Offset: r.Duration()}
@@ -254,14 +264,24 @@ func DecodeExportPacket(b []byte) (*ExportPacket, error) {
 		}
 	case packetMetrics:
 		p.MetricsAt = r.Time()
+		if version >= 2 {
+			p.Seq = r.Uvarint()
+		}
 		nf := r.Uvarint()
 		if r.Err() == nil && nf > wire.MaxListLen {
 			return nil, fmt.Errorf("obs: export: %d families", nf)
 		}
 		for i := uint64(0); i < nf && r.Err() == nil; i++ {
-			if f, ok := decodeFamily(r); ok {
-				p.Families = append(p.Families, f)
+			f, ok := decodeFamily(r)
+			if !ok {
+				// A family that violates a list bound leaves the reader
+				// desynchronised; nothing after it can be trusted.
+				if err := r.Err(); err != nil {
+					return nil, fmt.Errorf("obs: export: %w", err)
+				}
+				return nil, fmt.Errorf("obs: export: malformed family %q", f.Name)
 			}
+			p.Families = append(p.Families, f)
 		}
 	default:
 		return nil, fmt.Errorf("obs: export: unknown packet kind %d", kind)
@@ -343,6 +363,18 @@ type ExporterConfig struct {
 	FlushInterval time.Duration
 	// MaxBatch is the span count that triggers an immediate send (default 64).
 	MaxBatch int
+	// RedialAfter is the number of failed sends (accumulated since the last
+	// redial attempt) after which the exporter re-resolves and redials Addr —
+	// so a collector that restarted on a new address behind the same name (a
+	// re-scheduled pod, a DNS flip) is picked up without restarting the
+	// exporting broker. Failures are not required to be consecutive: ICMP
+	// port-unreachable surfaces on a connected UDP socket only every other
+	// write, so a dead collector alternates error and success. Default 8;
+	// < 0 disables re-resolution.
+	RedialAfter int
+	// Dial overrides how Addr is resolved and dialled (tests move the
+	// collector mid-run; production leaves it nil for net.Dial("udp", …)).
+	Dial func(addr string) (net.Conn, error)
 }
 
 func (c *ExporterConfig) fillDefaults() {
@@ -358,6 +390,9 @@ func (c *ExporterConfig) fillDefaults() {
 	if c.MaxBatch <= 0 {
 		c.MaxBatch = 64
 	}
+	if c.RedialAfter == 0 {
+		c.RedialAfter = 8
+	}
 }
 
 // Exporter ships completed spans and periodic metric snapshots to a collector
@@ -367,8 +402,13 @@ func (c *ExporterConfig) fillDefaults() {
 // counted and otherwise ignored — a slow, absent or dead collector costs the
 // caller's hot path nothing. All methods are safe on a nil *Exporter.
 type Exporter struct {
-	cfg  ExporterConfig
-	sink io.Writer // UDP conn in production; injectable for tests
+	cfg ExporterConfig
+
+	sendMu    sync.Mutex // guards sink + sendFails (span and metric loops both send)
+	sink      io.Writer  // UDP conn in production; injectable for tests
+	sendFails int        // failed sends since the last redial attempt
+
+	seq atomic.Uint64 // metrics snapshot sequence; see ExportPacket.Seq
 
 	ch   chan SpanRecord
 	done chan struct{}
@@ -379,6 +419,7 @@ type Exporter struct {
 	spansDropped *Counter
 	packetsOK    *Counter
 	packetsErr   *Counter
+	redials      *Counter
 }
 
 // NewExporter dials the collector and starts the export goroutines.
@@ -389,7 +430,12 @@ func NewExporter(cfg ExporterConfig) (*Exporter, error) {
 	if cfg.Node == "" {
 		return nil, errors.New("obs: exporter: Node is required")
 	}
-	conn, err := net.Dial("udp", cfg.Addr)
+	dial := cfg.Dial
+	if dial == nil {
+		dial = func(addr string) (net.Conn, error) { return net.Dial("udp", addr) }
+	}
+	cfg.Dial = dial
+	conn, err := dial(cfg.Addr)
 	if err != nil {
 		return nil, fmt.Errorf("obs: exporter: dial %s: %w", cfg.Addr, err)
 	}
@@ -420,6 +466,8 @@ func newExporterWithSink(cfg ExporterConfig, sink io.Writer) *Exporter {
 	const pktsHelp = "Export datagrams written, by result."
 	e.packetsOK = reg.Counter(pkts, pktsHelp, who, L("result", "ok"))
 	e.packetsErr = reg.Counter(pkts, pktsHelp, who, L("result", "error"))
+	e.redials = reg.Counter("narada_obs_export_redials_total",
+		"Collector re-resolutions after consecutive send failures.", who)
 
 	e.wg.Add(1)
 	go e.spanLoop()
@@ -467,11 +515,46 @@ func (e *Exporter) offset() time.Duration {
 }
 
 func (e *Exporter) send(pkt []byte) {
+	e.sendMu.Lock()
+	defer e.sendMu.Unlock()
 	if _, err := e.sink.Write(pkt); err != nil {
 		e.packetsErr.Inc()
+		e.sendFails++
+		if e.cfg.RedialAfter > 0 && e.sendFails >= e.cfg.RedialAfter {
+			e.redialLocked()
+		}
 		return
 	}
 	e.packetsOK.Inc()
+}
+
+// redialLocked re-resolves cfg.Addr and swaps the sink. The address is
+// resolved fresh on every dial, so a collector that came back on a new IP
+// behind the same name — or rebound its port after a restart — is picked up
+// without restarting this process. Requires sendMu.
+func (e *Exporter) redialLocked() {
+	if e.cfg.Dial == nil || e.cfg.Addr == "" {
+		return // sink-injected exporter with no address to re-resolve
+	}
+	conn, err := e.cfg.Dial(e.cfg.Addr)
+	if err != nil {
+		e.sendFails = 0 // back off: give the next RedialAfter sends a chance
+		return
+	}
+	if c, ok := e.sink.(io.Closer); ok {
+		_ = c.Close()
+	}
+	e.sink = conn
+	e.sendFails = 0
+	e.redials.Inc()
+}
+
+// Redials returns the number of successful collector re-resolutions.
+func (e *Exporter) Redials() uint64 {
+	if e == nil {
+		return 0
+	}
+	return e.redials.Value()
 }
 
 func (e *Exporter) flushSpans(batch []SpanRecord) []SpanRecord {
@@ -517,7 +600,8 @@ func (e *Exporter) spanLoop() {
 
 func (e *Exporter) shipMetrics() {
 	fams := e.cfg.Registry.ExportSnapshot()
-	for _, pkt := range EncodeMetricsPackets(e.cfg.Node, e.offset(), time.Now(), fams, 0) {
+	seq := e.seq.Add(1)
+	for _, pkt := range EncodeMetricsPackets(e.cfg.Node, e.offset(), time.Now(), seq, fams, 0) {
 		e.send(pkt)
 	}
 }

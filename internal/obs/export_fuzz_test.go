@@ -1,0 +1,108 @@
+package obs
+
+import (
+	"testing"
+	"time"
+
+	"narada/internal/wire"
+)
+
+// corruptCases builds a set of malformed export datagrams alongside the valid
+// frames they were derived from. Shared by the table test and the fuzz seed
+// corpus.
+func corruptCases() map[string][]byte {
+	spanFrame := EncodeSpanPacket("n1", 5*time.Millisecond, sampleSpans())
+	metricFrames := EncodeMetricsPackets("n1", 0, time.Unix(1120176060, 0), 3, sampleFamilies(), 0)
+
+	truncated := append([]byte(nil), metricFrames[0]...)
+	truncated = truncated[:len(truncated)/2]
+
+	badMagic := append([]byte(nil), spanFrame...)
+	badMagic[0] = 0x42
+
+	badVersion := append([]byte(nil), spanFrame...)
+	badVersion[1] = 0x7f
+
+	// Header claiming 2^40 spans follow: must be rejected by the list bound,
+	// not trusted as an allocation size.
+	w := wire.GetWriter(64)
+	w.Byte(0xb8)
+	w.Byte(2)
+	w.Byte(1) // packetSpans
+	w.String("n1")
+	w.Duration(0)
+	w.Uvarint(1 << 40)
+	hugeSpans := w.Detach()
+	w.Release()
+
+	// Metrics packet whose histogram series claims 2^30 buckets.
+	w = wire.GetWriter(128)
+	w.Byte(0xb8)
+	w.Byte(2)
+	w.Byte(2) // packetMetrics
+	w.String("n1")
+	w.Duration(0)
+	w.Time(time.Unix(0, 0))
+	w.Uvarint(1)       // seq
+	w.Uvarint(1)       // one family
+	w.String("m")      // name
+	w.String("")       // help
+	w.Byte(2)          // histogram
+	w.Uvarint(1)       // one series
+	w.Uvarint(0)       // no labels
+	w.Uvarint(1 << 30) // bucket bound count
+	hugeBuckets := w.Detach()
+	w.Release()
+
+	return map[string][]byte{
+		"truncated chunk":   truncated,
+		"bad magic":         badMagic,
+		"bad version":       badVersion,
+		"oversized spans":   hugeSpans,
+		"oversized buckets": hugeBuckets,
+		"empty":             {},
+		"header only":       spanFrame[:3],
+	}
+}
+
+// TestDecodeCorruptExportPackets asserts every corruption is rejected with an
+// error — no panic, no partially-trusted result.
+func TestDecodeCorruptExportPackets(t *testing.T) {
+	for name, frame := range corruptCases() {
+		if pkt, err := DecodeExportPacket(frame); err == nil {
+			t.Errorf("%s: decoded without error: %+v", name, pkt)
+		}
+	}
+}
+
+// FuzzDecodeExportPacket hammers the varint decoder with mutated frames. The
+// invariant is totality: any byte string either decodes into a bounded packet
+// or errors — never panics, never allocates unbounded lists.
+func FuzzDecodeExportPacket(f *testing.F) {
+	f.Add(EncodeSpanPacket("n1", 5*time.Millisecond, sampleSpans()))
+	for _, frame := range EncodeMetricsPackets("n1", 0, time.Unix(1120176060, 0), 3, sampleFamilies(), 0) {
+		f.Add(frame)
+	}
+	for _, frame := range corruptCases() {
+		f.Add(frame)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		pkt, err := DecodeExportPacket(data)
+		if err != nil {
+			return
+		}
+		if len(pkt.Spans) > wire.MaxListLen {
+			t.Fatalf("decoded %d spans past the list bound", len(pkt.Spans))
+		}
+		if len(pkt.Families) > wire.MaxListLen {
+			t.Fatalf("decoded %d families past the list bound", len(pkt.Families))
+		}
+		for _, fam := range pkt.Families {
+			for _, s := range fam.Series {
+				if len(s.Buckets) > wire.MaxListLen+1 {
+					t.Fatalf("decoded %d buckets past the list bound", len(s.Buckets))
+				}
+			}
+		}
+	})
+}

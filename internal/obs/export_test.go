@@ -102,7 +102,7 @@ func familiesEqual(t *testing.T, got, want []ExportFamily) {
 func TestMetricsPacketRoundTrip(t *testing.T) {
 	fams := sampleFamilies()
 	at := time.Unix(1120176060, 0).UTC()
-	pkts := EncodeMetricsPackets("b1", 75*time.Millisecond, at, fams, 0)
+	pkts := EncodeMetricsPackets("b1", 75*time.Millisecond, at, 7, fams, 0)
 	if len(pkts) != 1 {
 		t.Fatalf("got %d packets, want 1", len(pkts))
 	}
@@ -112,6 +112,9 @@ func TestMetricsPacketRoundTrip(t *testing.T) {
 	}
 	if pkt.Node != "b1" || pkt.Offset != 75*time.Millisecond || !pkt.MetricsAt.Equal(at) {
 		t.Fatalf("header = %q %v %v", pkt.Node, pkt.Offset, pkt.MetricsAt)
+	}
+	if pkt.Seq != 7 {
+		t.Fatalf("seq = %d, want 7", pkt.Seq)
 	}
 	familiesEqual(t, pkt.Families, fams)
 }
@@ -127,7 +130,7 @@ func TestMetricsPacketChunking(t *testing.T) {
 		fams = append(fams, f)
 	}
 	const maxBytes = 512
-	pkts := EncodeMetricsPackets("chunky", 0, time.Unix(0, 0), fams, maxBytes)
+	pkts := EncodeMetricsPackets("chunky", 0, time.Unix(0, 0), 1, fams, maxBytes)
 	if len(pkts) < 2 {
 		t.Fatalf("got %d packets, want several", len(pkts))
 	}

@@ -32,6 +32,9 @@ type BrokerSpec struct {
 	Usage      metrics.Usage // initial load profile (zero = sensible default)
 	Register   bool          // register with the BDN at start-up
 	Processing time.Duration // per-request handling cost
+	// ClockSkew fixes this broker's hardware-clock skew instead of drawing
+	// randomly within MaxSkew (0 = random) — clock-drift fault injection.
+	ClockSkew time.Duration
 }
 
 // Options configures a testbed deployment.
@@ -155,7 +158,8 @@ type Testbed struct {
 	opts      Options
 	rng       *rand.Rand
 	ntps      []*ntptime.Service // broker (and BDN) time services, for inspection
-	exporters []*obs.Exporter    // per-node exporters when ExportAddr is set
+	ntpByName map[string]*ntptime.Service
+	exporters map[string]*obs.Exporter // per-node exporters when ExportAddr is set
 }
 
 // New builds and starts a testbed.
@@ -167,7 +171,13 @@ func New(opts Options) (*Testbed, error) {
 		DefaultLoss:   opts.Loss,
 		DuplicateProb: opts.DuplicateProb,
 	})
-	tb := &Testbed{Net: net, opts: opts, rng: rand.New(rand.NewSource(opts.Seed + 7))}
+	tb := &Testbed{
+		Net:       net,
+		opts:      opts,
+		rng:       rand.New(rand.NewSource(opts.Seed + 7)),
+		ntpByName: make(map[string]*ntptime.Service),
+		exporters: make(map[string]*obs.Exporter),
+	}
 
 	// BDNs: gridservicelocator.org at the primary site, further replicas
 	// (.com, .net, .info) spread across the WAN.
@@ -220,7 +230,11 @@ func New(opts Options) (*Testbed, error) {
 			usage.TotalMemBytes = 512 * mib
 			usage.UsedMemBytes = 64 * mib
 		}
-		node, ntp := tb.newNode(spec.Site, spec.Name)
+		skew := spec.ClockSkew
+		if skew == 0 {
+			skew = tb.Net.RandomSkew(tb.opts.MaxSkew)
+		}
+		node, ntp := tb.newNodeWithSkew(spec.Site, spec.Name, skew)
 		reg, tracer, err := tb.obsFor(spec.Name, ntp)
 		if err != nil {
 			tb.Close()
@@ -306,19 +320,36 @@ func (tb *Testbed) obsFor(name string, ntp *ntptime.Service) (*obs.Registry, *ob
 		return nil, nil, fmt.Errorf("testbed: exporter for %s: %w", name, err)
 	}
 	tracer.SetExporter(exp)
-	tb.exporters = append(tb.exporters, exp)
+	tb.exporters[name] = exp
 	return reg, tracer, nil
 }
 
 // newNode creates a transport node with a random hardware-clock skew and a
 // synchronized NTP service for it.
 func (tb *Testbed) newNode(site, host string) (*transport.SimNode, *ntptime.Service) {
-	skew := tb.Net.RandomSkew(tb.opts.MaxSkew)
+	return tb.newNodeWithSkew(site, host, tb.Net.RandomSkew(tb.opts.MaxSkew))
+}
+
+// newNodeWithSkew is newNode with the hardware-clock skew pinned (fault
+// injection for clock-drift scenarios).
+func (tb *Testbed) newNodeWithSkew(site, host string, skew time.Duration) (*transport.SimNode, *ntptime.Service) {
 	node := transport.NewSimNode(tb.Net, site, host, skew)
 	ntp := ntptime.NewService(node.Clock(), skew, tb.rng)
 	ntp.InitImmediately()
 	tb.ntps = append(tb.ntps, ntp)
+	tb.ntpByName[host] = ntp
 	return node, ntp
+}
+
+// NTPOffset returns the named node's current NTP offset estimate (what its
+// exporter stamps on packets) — tests assert fault-injection preconditions
+// through this.
+func (tb *Testbed) NTPOffset(name string) (time.Duration, bool) {
+	ntp, ok := tb.ntpByName[name]
+	if !ok {
+		return 0, false
+	}
+	return ntp.Offset(), true
 }
 
 // NewDiscoverer creates a discovery client at the given site. The supplied
@@ -364,6 +395,28 @@ func (tb *Testbed) BrokerByName(name string) *broker.Broker {
 		}
 	}
 	return nil
+}
+
+// KillBroker abruptly removes the named broker from the fabric: the broker
+// stops AND its telemetry exporter dies with it, exactly like a crashed
+// process — the collector hears nothing further from the node (deadman
+// fault injection). Returns false if no such broker is deployed.
+func (tb *Testbed) KillBroker(name string) bool {
+	for i, b := range tb.Brokers {
+		if b.LogicalAddress() != name {
+			continue
+		}
+		b.Close()
+		tb.Brokers = append(tb.Brokers[:i], tb.Brokers[i+1:]...)
+		if e, ok := tb.exporters[name]; ok {
+			// Close ships a final snapshot; acceptable — a real crash's
+			// last export also races its death.
+			_ = e.Close()
+			delete(tb.exporters, name)
+		}
+		return true
+	}
+	return false
 }
 
 // Close tears the deployment down. Per-node exporters are closed last so

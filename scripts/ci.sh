@@ -1,14 +1,25 @@
 #!/bin/sh
-# ci.sh is the complete pre-merge gate: the tier-1 verify target (build, vet,
-# gofmt, tests, race) followed by the observability smoke test on real
-# sockets (broker telemetry endpoint + collector/prober end-to-end trace).
+# ci.sh is the complete pre-merge gate: fast static checks first (vet, then
+# race-enabled tests for the observability plane, the packages most exposed to
+# concurrency bugs), the tier-1 verify target (build, vet, gofmt, tests,
+# race), and finally the two real-socket smoke tests (collector/prober trace
+# assembly, and health-engine failure detection).
 set -eu
 cd "$(dirname "$0")/.."
+
+echo "ci: go vet ./..."
+go vet ./...
+
+echo "ci: go test -race ./internal/obs/..."
+go test -race ./internal/obs/...
 
 echo "ci: make verify"
 make verify
 
 echo "ci: make obs-smoke"
 make obs-smoke
+
+echo "ci: make health-smoke"
+make health-smoke
 
 echo "ci: ok"

@@ -1,0 +1,147 @@
+#!/bin/sh
+# health_smoke.sh smoke-tests the fabric health engine on real sockets: a BDN
+# and two brokers export into an obscollect whose deadman horizon is three
+# 1-second export intervals. Killing one broker must raise a firing deadman
+# alert on /alerts (and the narada_alerts_firing gauge on /metrics); restarting
+# a broker under the same logical identity must resolve it.
+#
+# Uses curl or wget, whichever the host has.
+set -eu
+
+BDN_STREAM="127.0.0.1:17410"
+COLLECT_UDP="127.0.0.1:17510"
+COLLECT_HTTP="127.0.0.1:17511"
+TMP="$(mktemp -d)"
+PIDS=""
+trap 'for p in $PIDS; do kill "$p" 2>/dev/null || true; done; for p in $PIDS; do wait "$p" 2>/dev/null || true; done; rm -rf "$TMP"' EXIT
+
+fetch() {
+    if command -v curl >/dev/null 2>&1; then
+        curl -sf "$1"
+    elif command -v wget >/dev/null 2>&1; then
+        wget -qO- "$1"
+    else
+        echo "health-smoke: need curl or wget" >&2
+        exit 1
+    fi
+}
+
+# flat_alerts fetches /alerts with whitespace stripped, so one alert object's
+# fields ("rule":"deadman","node":"health-b","state":"firing") grep as a unit.
+flat_alerts() {
+    fetch "http://$COLLECT_HTTP/alerts" | tr -d ' \n\t'
+}
+
+wait_for() { # wait_for <url> <what> <logfile>
+    i=0
+    until fetch "$1" >/dev/null 2>&1; do
+        i=$((i + 1))
+        if [ "$i" -ge 50 ]; then
+            echo "health-smoke: $2 never came up" >&2
+            cat "$3" >&2
+            exit 1
+        fi
+        sleep 0.1
+    done
+}
+
+go build -o "$TMP/broker" ./cmd/broker
+go build -o "$TMP/bdn" ./cmd/bdn
+go build -o "$TMP/obscollect" ./cmd/obscollect
+
+"$TMP/bdn" -bind 127.0.0.1 -name gridservicelocator.org -stream-port 17410 \
+    -obs-export "$COLLECT_UDP" >"$TMP/bdn.log" 2>&1 &
+PIDS="$PIDS $!"
+sleep 0.3
+
+"$TMP/broker" -bind 127.0.0.1 -logical health-a -bdn "$BDN_STREAM" \
+    -obs-export "$COLLECT_UDP" >"$TMP/broker-a.log" 2>&1 &
+PIDS="$PIDS $!"
+
+"$TMP/broker" -bind 127.0.0.1 -logical health-b -bdn "$BDN_STREAM" \
+    -obs-export "$COLLECT_UDP" >"$TMP/broker-b.log" 2>&1 &
+BPID=$!
+PIDS="$PIDS $BPID"
+
+"$TMP/obscollect" -listen "$COLLECT_UDP" -http "$COLLECT_HTTP" \
+    -export-interval 1s -deadman-intervals 3 -health-interval 200ms \
+    >"$TMP/obscollect.log" 2>&1 &
+PIDS="$PIDS $!"
+
+wait_for "http://$COLLECT_HTTP/healthz" "collector" "$TMP/obscollect.log"
+
+# Both brokers must be visible on /fabric before the fault is injected.
+i=0
+while :; do
+    FABRIC=$(fetch "http://$COLLECT_HTTP/fabric" | tr -d ' \n\t' || true)
+    case "$FABRIC" in
+    *'"name":"health-a"'*'"name":"health-b"'* | *'"name":"health-b"'*'"name":"health-a"'*) break ;;
+    esac
+    i=$((i + 1))
+    if [ "$i" -ge 100 ]; then
+        echo "health-smoke: brokers never appeared on /fabric" >&2
+        fetch "http://$COLLECT_HTTP/fabric" >&2 || true
+        cat "$TMP/obscollect.log" >&2
+        exit 1
+    fi
+    sleep 0.1
+done
+
+# No deadman may be firing while everything is alive.
+if flat_alerts | grep -q '"rule":"deadman","node":"health-[ab]","state":"firing"'; then
+    echo "health-smoke: deadman firing before the fault was injected" >&2
+    fetch "http://$COLLECT_HTTP/alerts" >&2
+    exit 1
+fi
+
+# Fault: kill broker b. Deadman horizon is 3 x 1s of silence; allow eval and
+# scheduling slack on top before declaring the detector broken.
+kill -9 "$BPID"
+wait "$BPID" 2>/dev/null || true
+KILLED_AT=$(date +%s)
+i=0
+until flat_alerts | grep -q '"rule":"deadman","node":"health-b","state":"firing"'; do
+    i=$((i + 1))
+    if [ "$i" -ge 100 ]; then
+        echo "health-smoke: deadman never fired for the killed broker" >&2
+        fetch "http://$COLLECT_HTTP/alerts" >&2 || true
+        cat "$TMP/obscollect.log" >&2
+        exit 1
+    fi
+    sleep 0.1
+done
+FIRE_LATENCY=$(($(date +%s) - KILLED_AT))
+
+# The firing alert is also a gauge on the collector's own exposition.
+fetch "http://$COLLECT_HTTP/metrics" | grep 'narada_alerts_firing' | grep -q 'health-b' || {
+    echo "health-smoke: narada_alerts_firing gauge missing for health-b" >&2
+    fetch "http://$COLLECT_HTTP/metrics" | grep narada_alerts >&2 || true
+    exit 1
+}
+
+# The survivor must not be implicated.
+if flat_alerts | grep -q '"rule":"deadman","node":"health-a","state":"firing"'; then
+    echo "health-smoke: deadman fired for the surviving broker" >&2
+    fetch "http://$COLLECT_HTTP/alerts" >&2
+    exit 1
+fi
+
+# Recovery: restart the broker under the same logical identity; fresh
+# snapshots must resolve the alert (hysteresis: 3 export intervals).
+"$TMP/broker" -bind 127.0.0.1 -logical health-b -bdn "$BDN_STREAM" \
+    -obs-export "$COLLECT_UDP" >"$TMP/broker-b2.log" 2>&1 &
+PIDS="$PIDS $!"
+i=0
+until flat_alerts | grep -q '"rule":"deadman","node":"health-b","state":"resolved"'; do
+    i=$((i + 1))
+    if [ "$i" -ge 150 ]; then
+        echo "health-smoke: deadman never resolved after restart" >&2
+        fetch "http://$COLLECT_HTTP/alerts" >&2 || true
+        cat "$TMP/obscollect.log" >&2
+        cat "$TMP/broker-b2.log" >&2
+        exit 1
+    fi
+    sleep 0.1
+done
+
+echo "health-smoke: ok (deadman fired ~${FIRE_LATENCY}s after kill, gauge exported, survivor clean, resolved after restart)"

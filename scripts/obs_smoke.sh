@@ -126,12 +126,39 @@ for node in obsprobe gridservicelocator.org fabric-broker; do
     }
 done
 
-fetch "http://$COLLECT_HTTP/metrics" >"$TMP/fedmetrics"
-N=$(grep -c 'narada_probe_runs_total{node="obsprobe",outcome="ok"}' "$TMP/fedmetrics" || true)
-if [ "$N" -ne 1 ]; then
-    echo "obs-smoke: probe SLI appears $N times on federated /metrics, want exactly 1" >&2
-    grep 'narada_probe' "$TMP/fedmetrics" >&2 || true
-    exit 1
-fi
+# The prober keeps a private registry and ships SLI snapshots over the export
+# plane one probe interval after startup — poll for the first one, then insist
+# the series appears exactly once (shipping a collector-shared registry back
+# through ingest would duplicate it).
+i=0
+while :; do
+    fetch "http://$COLLECT_HTTP/metrics" >"$TMP/fedmetrics"
+    N=$(grep -c 'narada_probe_runs_total{node="obsprobe",outcome="ok"}' "$TMP/fedmetrics" || true)
+    [ "$N" -eq 1 ] && break
+    i=$((i + 1))
+    if [ "$i" -ge 50 ]; then
+        echo "obs-smoke: probe SLI appears $N times on federated /metrics, want exactly 1" >&2
+        grep 'narada_probe' "$TMP/fedmetrics" >&2 || true
+        exit 1
+    fi
+    sleep 0.1
+done
+
+# Probe SLIs must also land in the retention store and serve on /query. The
+# first snapshot only establishes the counter baseline; deltas (points) appear
+# once a later snapshot shows the counter moved, so poll a few more intervals.
+i=0
+while :; do
+    QUERY=$(fetch "http://$COLLECT_HTTP/query?metric=narada_probe_runs_total&node=obsprobe&res=1s&since=60s" | tr -d ' \n\t')
+    case "$QUERY" in
+    *'"kind":"counter"'*'"points":[{'*) break ;;
+    esac
+    i=$((i + 1))
+    if [ "$i" -ge 80 ]; then
+        echo "obs-smoke: /query has no retained probe series: $QUERY" >&2
+        exit 1
+    fi
+    sleep 0.1
+done
 
 echo "obs-smoke: ok (/healthz ok, $FAMILIES metric families, probe trace $TRACE_ID assembled across obsprobe+bdn+broker, /fabric and federated /metrics serving)"
