@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet fmt-check verify bench fuzz obs-smoke health-smoke ci
+.PHONY: all build test race vet fmt-check verify bench fuzz obs-smoke health-smoke chaos-smoke ci
 
 all: build
 
@@ -42,6 +42,12 @@ obs-smoke:
 # broker under the same identity restarts.
 health-smoke:
 	sh scripts/health_smoke.sh
+
+# chaos-smoke boots a BDN + supervised broker on real sockets, kills and
+# restarts the BDN on the same port, and asserts the broker re-registers
+# itself and discovery keeps selecting it.
+chaos-smoke:
+	sh scripts/chaos_smoke.sh
 
 # ci is the full pre-merge pipeline: verify + obs-smoke.
 ci:

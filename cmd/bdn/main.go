@@ -34,6 +34,8 @@ func main() {
 		udpPort    = flag.Int("udp-port", 0, "UDP port (0 = auto)")
 		policy     = flag.String("policy", "", "injection policy: all | closest-farthest")
 		measure    = flag.Duration("measure-every", time.Minute, "broker distance measurement interval (0 = never)")
+		adTTL      = flag.Duration("ad-ttl", 0, "registration validity for advertisements without their own TTL (overrides config; 0 = forever)")
+		sweepEvery = flag.Duration("sweep-every", 0, "expired-registration sweep period (overrides config; 0 = 1s)")
 		telemetry  = flag.String("telemetry-addr", "", "listen addr for /metrics, /healthz, /debug/traces and pprof (overrides config; '' = off)")
 		obsExport  = flag.String("obs-export", "", "obscollect UDP addr to export spans + metric snapshots to (overrides config; '' = off)")
 		logLevel   = flag.String("log-level", "", "log level: debug | info | warn | error (overrides config)")
@@ -60,6 +62,12 @@ func main() {
 	}
 	if *policy != "" {
 		cfg.Policy = *policy
+	}
+	if *adTTL > 0 {
+		cfg.AdTTLMs = int(adTTL.Milliseconds())
+	}
+	if *sweepEvery > 0 {
+		cfg.SweepIntervalMs = int(sweepEvery.Milliseconds())
 	}
 	if *telemetry != "" {
 		cfg.TelemetryAddr = *telemetry
@@ -113,6 +121,8 @@ func main() {
 		UDPPort:            cfg.UDPPort,
 		Policy:             injection,
 		InjectOverhead:     cfg.InjectOverhead(),
+		AdTTL:              cfg.AdTTL(),
+		SweepInterval:      cfg.SweepInterval(),
 		Private:            cfg.Private,
 		RequiredCredential: []byte(cfg.RequiredCredential),
 		Metrics:            reg,

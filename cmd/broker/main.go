@@ -40,6 +40,10 @@ func main() {
 		bdns       = flag.String("bdn", "", "comma-separated BDN addresses to register with")
 		links      = flag.String("link", "", "comma-separated peer broker addresses to link to")
 		multicast  = flag.Bool("multicast", false, "join the discovery multicast group")
+		superviseF = flag.Bool("supervise", false, "self-heal links and BDN registrations with backoff redial")
+		heartbeat  = flag.Duration("heartbeat", 0, "link keepalive interval (overrides config; 0 = off)")
+		advEvery   = flag.Duration("advertise-every", 0, "registration refresh period (overrides config; 0 = off)")
+		advTTL     = flag.Duration("ad-ttl", 0, "advertised validity window (overrides config; 0 = 3x refresh period)")
 		telemetry  = flag.String("telemetry-addr", "", "listen addr for /metrics, /healthz, /debug/traces and pprof (overrides config; '' = off)")
 		obsExport  = flag.String("obs-export", "", "obscollect UDP addr to export spans + metric snapshots to (overrides config; '' = off)")
 		logLevel   = flag.String("log-level", "", "log level: debug | info | warn | error (overrides config)")
@@ -75,6 +79,18 @@ func main() {
 	}
 	if *multicast && cfg.MulticastGroup == "" {
 		cfg.MulticastGroup = "narada/discovery"
+	}
+	if *superviseF {
+		cfg.Supervise = true
+	}
+	if *heartbeat > 0 {
+		cfg.HeartbeatMs = int(heartbeat.Milliseconds())
+	}
+	if *advEvery > 0 {
+		cfg.AdvertiseIntervalMs = int(advEvery.Milliseconds())
+	}
+	if *advTTL > 0 {
+		cfg.AdvertiseTTLMs = int(advTTL.Milliseconds())
 	}
 	if *telemetry != "" {
 		cfg.TelemetryAddr = *telemetry
@@ -123,19 +139,23 @@ func main() {
 	}
 
 	b, err := broker.New(node, ntp, broker.Config{
-		Logger:         logger,
-		LogicalAddress: cfg.LogicalAddress,
-		Hostname:       cfg.Hostname,
-		Realm:          cfg.Realm,
-		Geo:            cfg.Geo,
-		Institution:    cfg.Institution,
-		StreamPort:     cfg.StreamPort,
-		UDPPort:        cfg.UDPPort,
-		DedupCapacity:  cfg.DedupCapacity,
-		Policy:         cfg.Policy(),
-		MulticastGroup: cfg.MulticastGroup,
-		Metrics:        reg,
-		Tracer:         tracer,
+		Logger:            logger,
+		LogicalAddress:    cfg.LogicalAddress,
+		Hostname:          cfg.Hostname,
+		Realm:             cfg.Realm,
+		Geo:               cfg.Geo,
+		Institution:       cfg.Institution,
+		StreamPort:        cfg.StreamPort,
+		UDPPort:           cfg.UDPPort,
+		DedupCapacity:     cfg.DedupCapacity,
+		Policy:            cfg.Policy(),
+		MulticastGroup:    cfg.MulticastGroup,
+		Supervise:         cfg.SupervisePolicy(),
+		HeartbeatInterval: cfg.HeartbeatInterval(),
+		AdvertiseInterval: cfg.AdvertiseInterval(),
+		AdvertiseTTL:      cfg.AdvertiseTTL(),
+		Metrics:           reg,
+		Tracer:            tracer,
 	})
 	if err != nil {
 		log.Fatalf("broker: %v", err)

@@ -1,0 +1,49 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"time"
+
+	"narada/internal/core"
+)
+
+// brokerCache is the on-disk shape of a persisted target set: the brokers a
+// previous discovery shortlisted, reusable as the cached-target-set fallback
+// when every BDN is unreachable on the next run.
+type brokerCache struct {
+	SavedAt time.Time         `json:"saved_at"`
+	Brokers []core.BrokerInfo `json:"brokers"`
+}
+
+// loadBrokerCache reads a persisted target set. A missing file is a normal
+// cold start, not an error.
+func loadBrokerCache(path string) ([]core.BrokerInfo, error) {
+	data, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	var cache brokerCache
+	if err := json.Unmarshal(data, &cache); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return cache.Brokers, nil
+}
+
+// saveBrokerCache persists the target set via a same-directory temp file and
+// rename, so a crash mid-write never leaves a truncated cache behind.
+func saveBrokerCache(path string, brokers []core.BrokerInfo) error {
+	data, err := json.MarshalIndent(brokerCache{SavedAt: time.Now().UTC(), Brokers: brokers}, "", "  ")
+	if err != nil {
+		return err
+	}
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, path)
+}

@@ -1,0 +1,54 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"narada/internal/core"
+)
+
+func TestBrokerCacheRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "targets.json")
+
+	// Cold start: no file is not an error and seeds nothing.
+	brokers, err := loadBrokerCache(path)
+	if err != nil {
+		t.Fatalf("load missing: %v", err)
+	}
+	if len(brokers) != 0 {
+		t.Fatalf("load missing: got %d brokers, want 0", len(brokers))
+	}
+
+	want := []core.BrokerInfo{
+		{LogicalAddress: "broker-a", Hostname: "a.example", Realm: "siteA",
+			Endpoints: []core.TransportEndpoint{{Protocol: "tcp", Address: "siteA/a:7000"}}},
+		{LogicalAddress: "broker-b", Hostname: "b.example", Realm: "siteB"},
+	}
+	if err := saveBrokerCache(path, want); err != nil {
+		t.Fatalf("save: %v", err)
+	}
+	got, err := loadBrokerCache(path)
+	if err != nil {
+		t.Fatalf("load: %v", err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("got %d brokers, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i].LogicalAddress != want[i].LogicalAddress || got[i].Realm != want[i].Realm {
+			t.Errorf("broker %d = %+v, want %+v", i, got[i], want[i])
+		}
+	}
+	if got[0].Endpoints[0].Address != "siteA/a:7000" {
+		t.Errorf("endpoint lost in round trip: %+v", got[0].Endpoints)
+	}
+
+	// A corrupt cache reports its path and does not panic.
+	if err := os.WriteFile(path, []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := loadBrokerCache(path); err == nil {
+		t.Error("corrupt cache: want error, got nil")
+	}
+}

@@ -39,6 +39,7 @@ func main() {
 		pings      = flag.Int("pings", 3, "pings per target broker")
 		multicast  = flag.Bool("multicast", false, "fall back to multicast when no BDN answers")
 		verbose    = flag.Bool("verbose", false, "print every response and ping measurement")
+		cacheFile  = flag.String("cache-file", "", "persist the discovered target set to this JSON file and seed the next run's cached-set fallback from it")
 		telemetry  = flag.String("telemetry-addr", "", "listen addr for /metrics, /healthz, /debug/traces and pprof ('' = off)")
 		obsExport  = flag.String("obs-export", "", "obscollect UDP addr to export spans + metric snapshots to ('' = off)")
 		linger     = flag.Duration("linger", 0, "keep the process (and telemetry endpoints) up this long after the discovery")
@@ -126,9 +127,22 @@ func main() {
 	}
 
 	d := core.NewDiscoverer(node, ntp, cfg)
+	if *cacheFile != "" {
+		if brokers, err := loadBrokerCache(*cacheFile); err != nil {
+			log.Printf("discover: ignoring broker cache: %v", err)
+		} else if len(brokers) > 0 {
+			d.SeedTargetSet(brokers)
+			log.Printf("discover: seeded %d cached brokers from %s", len(brokers), *cacheFile)
+		}
+	}
 	res, err := d.Discover()
 	if err != nil {
 		log.Fatalf("discover: %v", err)
+	}
+	if *cacheFile != "" {
+		if err := saveBrokerCache(*cacheFile, d.LastTargetSet()); err != nil {
+			log.Printf("discover: saving broker cache: %v", err)
+		}
 	}
 
 	fmt.Printf("discovered via %s", res.Via)

@@ -66,6 +66,16 @@ type Config struct {
 	RequiredCredential []byte
 	// PingWindow bounds broker distance measurement.
 	PingWindow time.Duration
+	// AdTTL is the registration validity applied to advertisements that do
+	// not carry their own TTL; a registration not refreshed within its TTL
+	// is pruned so dead brokers stop appearing in target sets. 0 keeps
+	// registrations forever (the legacy behaviour).
+	AdTTL time.Duration
+	// SweepInterval is how often expired registrations are pruned
+	// (default 1s). Expired entries are also filtered out of every read
+	// between sweeps, so the sweep cadence only bounds memory, not
+	// correctness.
+	SweepInterval time.Duration
 	// DedupCapacity sizes the idempotency cache.
 	DedupCapacity int
 	// Logger receives operational events; nil discards them.
@@ -82,9 +92,15 @@ const DefaultInjectOverhead = 40 * time.Millisecond
 
 // registration is one broker known to the BDN.
 type registration struct {
-	ad       *core.Advertisement
-	conn     transport.Conn // live registration connection (nil if topic-learned)
-	distance time.Duration  // measured RTT from the BDN; 0 = unmeasured
+	ad        *core.Advertisement
+	conn      transport.Conn // live registration connection (nil if topic-learned)
+	distance  time.Duration  // measured RTT from the BDN; 0 = unmeasured
+	expiresAt time.Time      // refresh deadline; zero = never expires
+}
+
+// expired reports whether the registration's refresh deadline has lapsed.
+func (r *registration) expired(now time.Time) bool {
+	return !r.expiresAt.IsZero() && now.After(r.expiresAt)
 }
 
 // BDN is a broker discovery node.
@@ -122,6 +138,9 @@ func New(node transport.Node, ntp *ntptime.Service, cfg Config) (*BDN, error) {
 	}
 	if cfg.DedupCapacity <= 0 {
 		cfg.DedupCapacity = dedup.DefaultCapacity
+	}
+	if cfg.SweepInterval <= 0 {
+		cfg.SweepInterval = time.Second
 	}
 	if cfg.Logger == nil {
 		cfg.Logger = obs.Nop()
@@ -161,9 +180,40 @@ func (d *BDN) Start() error {
 	}
 	d.listener, d.udp = l, pc
 	d.cfg.Logger.Info("bdn started", "addr", l.Addr())
-	d.wg.Add(1)
+	d.wg.Add(2)
 	go d.acceptLoop()
+	go d.sweepLoop()
 	return nil
+}
+
+// sweepLoop periodically prunes registrations whose refresh deadline lapsed,
+// so a crashed broker's advertisement ages out instead of being shortlisted
+// forever. Reads also filter expired entries, so the sweep only reclaims
+// memory and emits the authoritative expiry log/metric.
+func (d *BDN) sweepLoop() {
+	defer d.wg.Done()
+	clock := d.node.Clock()
+	for {
+		select {
+		case <-d.closed:
+			return
+		case <-clock.After(d.cfg.SweepInterval):
+		}
+		now := d.now()
+		d.mu.Lock()
+		var expired []string
+		for logical, r := range d.brokers {
+			if r.expired(now) {
+				expired = append(expired, logical)
+				delete(d.brokers, logical)
+			}
+		}
+		d.mu.Unlock()
+		for _, logical := range expired {
+			d.tel.adsExpired.Inc()
+			d.cfg.Logger.Info("registration expired", "broker", logical)
+		}
+	}
 }
 
 // Close stops the BDN.
@@ -188,22 +238,37 @@ func (d *BDN) Close() {
 // Addr returns the BDN's stream address (what goes in node config files).
 func (d *BDN) Addr() string { return d.listener.Addr() }
 
+// UDPAddr returns the BDN's distance-measurement endpoint address.
+func (d *BDN) UDPAddr() string { return d.udp.LocalAddr() }
+
 // Name returns the BDN's name.
 func (d *BDN) Name() string { return d.cfg.Name }
 
-// BrokerCount returns the number of stored advertisements.
+// BrokerCount returns the number of stored, unexpired advertisements.
 func (d *BDN) BrokerCount() int {
+	now := d.now()
 	d.mu.Lock()
 	defer d.mu.Unlock()
-	return len(d.brokers)
+	n := 0
+	for _, r := range d.brokers {
+		if !r.expired(now) {
+			n++
+		}
+	}
+	return n
 }
 
-// Brokers returns the advertised broker infos, sorted by logical address.
+// Brokers returns the unexpired advertised broker infos, sorted by logical
+// address.
 func (d *BDN) Brokers() []core.BrokerInfo {
+	now := d.now()
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	out := make([]core.BrokerInfo, 0, len(d.brokers))
 	for _, r := range d.brokers {
+		if r.expired(now) {
+			continue
+		}
 		out = append(out, r.ad.Broker)
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].LogicalAddress < out[j].LogicalAddress })
@@ -308,11 +373,19 @@ func (d *BDN) serveBrokerRegistration(conn transport.Conn) {
 		}
 		ev, err := event.Decode(frame)
 		if err != nil {
+			d.tel.framesMalformed.Inc()
 			continue
 		}
-		if ev.Type == event.TypeAdvertisement {
+		switch ev.Type {
+		case event.TypeAdvertisement:
 			if who := d.storeAdvertisement(ev, conn); who != "" {
 				logical = who
+			}
+		case event.TypeLinkHeartbeat:
+			// Echo the broker's keepalive so its liveness clock sees inbound
+			// traffic; a BDN that stops echoing gets torn down and redialed.
+			if conn.Send(frame) != nil {
+				return
 			}
 		}
 	}
@@ -332,6 +405,17 @@ func (d *BDN) storeAdvertisement(ev *event.Event, conn transport.Conn) string {
 		return ""
 	}
 	d.tel.adsStored.Inc()
+	// The advertisement's own TTL wins; the BDN's AdTTL covers brokers that
+	// do not stamp one. Either way the deadline is measured from receipt —
+	// the broker's IssuedAt clock may be skewed.
+	ttl := ad.TTL
+	if ttl <= 0 {
+		ttl = d.cfg.AdTTL
+	}
+	var expiresAt time.Time
+	if ttl > 0 {
+		expiresAt = d.now().Add(ttl)
+	}
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	r, ok := d.brokers[ad.Broker.LogicalAddress]
@@ -340,6 +424,7 @@ func (d *BDN) storeAdvertisement(ev *event.Event, conn transport.Conn) string {
 		d.brokers[ad.Broker.LogicalAddress] = r
 	}
 	r.ad = ad
+	r.expiresAt = expiresAt
 	if conn != nil {
 		r.conn = conn
 	}
@@ -457,11 +542,17 @@ type injectTarget struct {
 	distance time.Duration
 }
 
-// injectionTargets snapshots the brokers to inject into under the policy.
+// injectionTargets snapshots the unexpired brokers to inject into under the
+// policy — an expired registration must never receive a request, or a dead
+// broker could still be shortlisted between sweeps.
 func (d *BDN) injectionTargets() []injectTarget {
+	now := d.now()
 	d.mu.Lock()
 	all := make([]injectTarget, 0, len(d.brokers))
 	for _, r := range d.brokers {
+		if r.expired(now) {
+			continue
+		}
 		all = append(all, injectTarget{ad: r.ad, conn: r.conn, distance: r.distance})
 	}
 	d.mu.Unlock()
@@ -501,9 +592,13 @@ func (d *BDN) MeasureDistances() map[string]time.Duration {
 	}
 	probes := make(map[uuid.UUID]probe)
 
+	now := d.now()
 	d.mu.Lock()
 	targets := make(map[string]string, len(d.brokers)) // logical -> udp addr
 	for logical, r := range d.brokers {
+		if r.expired(now) {
+			continue
+		}
 		if udp := r.ad.Broker.Endpoint("udp"); udp != "" {
 			targets[logical] = udp
 		}
@@ -592,6 +687,7 @@ func (d *BDN) SubscribeViaBroker(brokerAddr string) error {
 			}
 			ev, err := event.Decode(frame)
 			if err != nil {
+				d.tel.framesMalformed.Inc()
 				continue
 			}
 			if ev.Type == event.TypePublish && ev.Topic == topics.AdvertisementTopic {

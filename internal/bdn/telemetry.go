@@ -11,6 +11,9 @@ import (
 type telemetry struct {
 	adsStored   *obs.Counter // advertisements admitted and stored
 	adsRejected *obs.Counter // advertisements dropped by the admit filter
+	adsExpired  *obs.Counter // registrations pruned by the TTL sweeper
+
+	framesMalformed *obs.Counter // inbound frames that failed to decode
 
 	reqAcked  *obs.Counter // discovery requests acknowledged
 	reqDup    *obs.Counter // retransmissions suppressed by the dedup cache
@@ -36,6 +39,10 @@ func (d *BDN) initTelemetry(reg *obs.Registry, tracer *obs.Tracer) {
 	const adsHelp = "Broker advertisements received, by outcome."
 	t.adsStored = reg.Counter(ads, adsHelp, who, obs.L("outcome", "stored"))
 	t.adsRejected = reg.Counter(ads, adsHelp, who, obs.L("outcome", "rejected"))
+	t.adsExpired = reg.Counter(ads, adsHelp, who, obs.L("outcome", "expired"))
+
+	t.framesMalformed = reg.Counter("narada_bdn_frames_malformed_total",
+		"Inbound frames that failed to decode and were discarded.", who)
 
 	const reqs = "narada_bdn_requests_total"
 	const reqsHelp = "Discovery requests processed, by outcome."

@@ -1,7 +1,6 @@
 package broker
 
 import (
-	"errors"
 	"fmt"
 
 	"narada/internal/core"
@@ -13,11 +12,28 @@ import (
 // dissemination form: "sending this advertisement directly to the BDNs that
 // are listed in the broker's configuration file") and keeps the connection
 // open: the BDN uses it as one of its "active concurrent connections to one
-// or more brokers" for injecting discovery requests into the network.
+// or more brokers" for injecting discovery requests into the network. With
+// Config.Supervise set the registration becomes self-healing: when the
+// connection dies (BDN restart, heartbeat teardown, partition) a supervise
+// runner redials it and the fresh dial re-sends the advertisement, so the
+// broker reappears at the BDN without operator action.
 func (b *Broker) RegisterWithBDN(addr string) error {
+	if b.cfg.Supervise != nil {
+		return b.superviseDial(SuperviseBDN, addr, b.dialRegistration)
+	}
+	_, err := b.dialRegistration(addr)
+	return err
+}
+
+// dialRegistration performs one registration dial: hello, advertisement,
+// then a pump goroutine that accepts BDN request injections and (with
+// HeartbeatInterval set) exchanges keepalives so a silently dead BDN is
+// detected — registration links previously had no liveness at all. The
+// returned channel closes when the registration session ends.
+func (b *Broker) dialRegistration(addr string) (<-chan struct{}, error) {
 	conn, err := b.node.Dial(addr)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	hello := event.New(event.TypeLinkHello, "", nil)
 	hello.Source = b.cfg.LogicalAddress
@@ -25,30 +41,37 @@ func (b *Broker) RegisterWithBDN(addr string) error {
 	hello.Timestamp = b.now()
 	if err := conn.Send(event.Encode(hello)); err != nil {
 		_ = conn.Close()
-		return err
+		return nil, err
 	}
 
-	adv := &core.Advertisement{Broker: b.Info(), IssuedAt: b.now()}
-	ev := event.New(event.TypeAdvertisement, topics.AdvertisementTopic, core.EncodeAdvertisement(adv))
-	ev.Source = b.cfg.LogicalAddress
-	ev.Timestamp = adv.IssuedAt
-	if err := conn.Send(event.Encode(ev)); err != nil {
+	if err := conn.Send(event.Encode(b.advertisement())); err != nil {
 		_ = conn.Close()
-		return err
+		return nil, err
 	}
 
 	lk := &link{peer: "bdn:" + addr, role: roleBDN, conn: conn}
 	lk.out = newEgress(conn, b.tel.egressDropped)
 	if !b.registerLink(lk) {
 		_ = conn.Close()
-		return errors.New("broker: closed")
+		return nil, errClosed
 	}
 	b.startEgress(lk.out)
 	b.connectionsChanged()
+	b.noteAdvertised(lk.peer)
+	lk.touch(b.node.Clock().Now())
+	if b.cfg.HeartbeatInterval > 0 {
+		b.wg.Add(1)
+		go func() {
+			defer b.wg.Done()
+			b.heartbeatLink(lk)
+		}()
+	}
 
+	done := make(chan struct{})
 	b.wg.Add(1)
 	go func() {
 		defer b.wg.Done()
+		defer close(done)
 		defer func() {
 			lk.out.close()
 			_ = conn.Close()
@@ -64,25 +87,31 @@ func (b *Broker) RegisterWithBDN(addr string) error {
 			if err != nil {
 				return
 			}
+			lk.touch(b.node.Clock().Now())
 			ev, err := event.Decode(frame)
 			if err != nil {
+				b.tel.framesMalformed.Inc()
 				continue
 			}
-			if ev.Type == event.TypeDiscoveryRequest {
+			switch ev.Type {
+			case event.TypeDiscoveryRequest:
 				// BDN injection: fromPeer is this BDN connection so the
 				// flood covers every true broker link.
 				b.handleDiscoveryRequest(ev, lk.peer)
+			case event.TypeLinkHeartbeat:
+				// BDN's keepalive echo; the touch above is the point.
+				b.tel.framesControl.Inc()
 			}
 		}
 	}()
-	return nil
+	return done, nil
 }
 
 // PublishAdvertisement disseminates this broker's advertisement on the public
 // topic all BDNs subscribe to (paper §2.3, second form) — useful when the
 // broker does not know any BDN address directly.
 func (b *Broker) PublishAdvertisement() error {
-	adv := &core.Advertisement{Broker: b.Info(), IssuedAt: b.now()}
+	adv := &core.Advertisement{Broker: b.Info(), IssuedAt: b.now(), TTL: b.cfg.AdvertiseTTL}
 	return b.Publish(topics.AdvertisementTopic, core.EncodeAdvertisement(adv))
 }
 

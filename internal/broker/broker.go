@@ -21,9 +21,13 @@ import (
 	"narada/internal/ntptime"
 	"narada/internal/obs"
 	"narada/internal/replay"
+	"narada/internal/supervise"
 	"narada/internal/topics"
 	"narada/internal/transport"
 )
+
+// errClosed reports an operation attempted on a closed broker.
+var errClosed = errors.New("broker: closed")
 
 // Role header values distinguishing peer kinds on stream connections.
 const (
@@ -63,7 +67,22 @@ type Config struct {
 	// heartbeat every interval and is torn down after three silent
 	// intervals, so the fluid broker network ("broker processes may join
 	// and leave at arbitrary times") sheds dead links. 0 disables.
+	// Applies to broker-to-broker links and to BDN registration links.
 	HeartbeatInterval time.Duration
+	// Supervise, when set, makes LinkTo and RegisterWithBDN self-healing:
+	// a torn-down link or dead BDN registration is redialed under the
+	// policy's backoff until Close, with interest resync and
+	// re-advertisement on every successful relink. nil keeps the legacy
+	// dial-once behaviour.
+	Supervise *supervise.Policy
+	// AdvertiseInterval re-sends this broker's advertisement over every BDN
+	// registration link on the interval, refreshing the registration before
+	// its TTL lapses. 0 disables periodic refresh.
+	AdvertiseInterval time.Duration
+	// AdvertiseTTL is the validity window stamped into advertisements;
+	// BDNs prune registrations older than this. 0 defaults to
+	// 3×AdvertiseInterval when refresh is enabled, otherwise no expiry.
+	AdvertiseTTL time.Duration
 	// Routing selects how publish events cross links; discovery requests
 	// are always flooded (control traffic must reach every broker).
 	Routing RoutingMode
@@ -114,10 +133,12 @@ type Broker struct {
 	interest *interestState // link interest refcounts (RouteSubscriptions)
 	history  *replay.Store  // nil unless ReplayCapacity > 0
 
-	mu      sync.Mutex
-	links   map[string]*link // peer logical address -> link
-	clients map[string]*clientConn
-	started bool
+	mu          sync.Mutex
+	links       map[string]*link // peer logical address -> link
+	clients     map[string]*clientConn
+	supervisors map[string]*supervise.Runner // "link:addr"/"bdn:addr" -> runner
+	lastAd      map[string]time.Time         // BDN addr -> last successful advertise
+	started     bool
 
 	// tel holds the broker's metric handles and trace recorder; the
 	// egress-drop counter and delivery counters it carries sit on the
@@ -165,18 +186,23 @@ func New(node transport.Node, ntp *ntptime.Service, cfg Config) (*Broker, error)
 		cfg.Logger = obs.Nop()
 	}
 	cfg.Logger = cfg.Logger.With("broker", cfg.LogicalAddress)
+	if cfg.AdvertiseTTL <= 0 && cfg.AdvertiseInterval > 0 {
+		cfg.AdvertiseTTL = 3 * cfg.AdvertiseInterval
+	}
 	b := &Broker{
-		history:  history,
-		node:     node,
-		ntp:      ntp,
-		cfg:      cfg,
-		reqDedup: dedup.New(cfg.DedupCapacity),
-		evDedup:  dedup.New(4 * cfg.DedupCapacity),
-		subs:     topics.NewTable(),
-		interest: newInterestState(),
-		links:    make(map[string]*link),
-		clients:  make(map[string]*clientConn),
-		closed:   make(chan struct{}),
+		history:     history,
+		node:        node,
+		ntp:         ntp,
+		cfg:         cfg,
+		reqDedup:    dedup.New(cfg.DedupCapacity),
+		evDedup:     dedup.New(4 * cfg.DedupCapacity),
+		subs:        topics.NewTable(),
+		interest:    newInterestState(),
+		links:       make(map[string]*link),
+		clients:     make(map[string]*clientConn),
+		supervisors: make(map[string]*supervise.Runner),
+		lastAd:      make(map[string]time.Time),
+		closed:      make(chan struct{}),
 	}
 	b.initTelemetry(cfg.Metrics, cfg.Tracer)
 	return b, nil
@@ -215,6 +241,10 @@ func (b *Broker) Start() error {
 	b.wg.Add(2)
 	go b.acceptLoop()
 	go b.udpLoop()
+	if b.cfg.AdvertiseInterval > 0 {
+		b.wg.Add(1)
+		go b.advertiseLoop()
+	}
 	return nil
 }
 
@@ -228,6 +258,18 @@ const closeFlushTimeout = 2 * time.Second
 func (b *Broker) Close() {
 	b.closeOnce.Do(func() {
 		close(b.closed)
+		// Stop the supervisors first so nothing redials while we tear down.
+		b.mu.Lock()
+		runners := make([]*supervise.Runner, 0, len(b.supervisors))
+		for _, r := range b.supervisors {
+			if r != nil {
+				runners = append(runners, r)
+			}
+		}
+		b.mu.Unlock()
+		for _, r := range runners {
+			r.Stop()
+		}
 		if b.listener != nil {
 			_ = b.listener.Close()
 		}
@@ -310,6 +352,18 @@ func (b *Broker) LinkCount() int {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	return len(b.links)
+}
+
+// Peers returns the logical addresses of the currently linked peers
+// (broker links and BDN registrations), unsorted.
+func (b *Broker) Peers() []string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	out := make([]string, 0, len(b.links))
+	for peer := range b.links {
+		out = append(out, peer)
+	}
+	return out
 }
 
 // ClientCount returns the number of connected clients (including BDN

@@ -110,6 +110,7 @@ func (b *Broker) serveClient(c *clientConn) {
 		}
 		ev, err := event.Decode(frame)
 		if err != nil {
+			b.tel.framesMalformed.Inc()
 			continue
 		}
 		b.handleClientEvent(c, ev)
@@ -176,11 +177,27 @@ func (b *Broker) handleClientEvent(c *clientConn, ev *event.Event) {
 	}
 }
 
-// LinkTo establishes a broker link to a peer broker's stream address.
+// LinkTo establishes a broker link to a peer broker's stream address. With
+// Config.Supervise set the link becomes self-healing: a supervise runner
+// redials it whenever the session dies (heartbeat teardown, peer restart,
+// healed partition), and every fresh link re-announces this side's interest
+// table to the peer. The initial dial still runs synchronously so the
+// caller sees its error either way.
 func (b *Broker) LinkTo(addr string) error {
+	if b.cfg.Supervise != nil {
+		return b.superviseDial(SuperviseLink, addr, b.dialLink)
+	}
+	_, err := b.dialLink(addr)
+	return err
+}
+
+// dialLink performs one link dial + hello handshake and hands the link to
+// serveLink on its own goroutine. The returned channel closes when the link
+// session ends (however it ends), which is what a supervise runner watches.
+func (b *Broker) dialLink(addr string) (<-chan struct{}, error) {
 	conn, err := b.node.Dial(addr)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	hello := event.New(event.TypeLinkHello, "", nil)
 	hello.Source = b.cfg.LogicalAddress
@@ -188,24 +205,26 @@ func (b *Broker) LinkTo(addr string) error {
 	hello.Timestamp = b.now()
 	if err := conn.Send(event.Encode(hello)); err != nil {
 		_ = conn.Close()
-		return err
+		return nil, err
 	}
 	// Peer replies with its own hello so both sides learn identities.
 	frame, err := conn.RecvTimeout(helloTimeout)
 	if err != nil {
 		_ = conn.Close()
-		return err
+		return nil, err
 	}
 	reply, err := event.Decode(frame)
 	if err != nil || reply.Type != event.TypeLinkHello {
 		_ = conn.Close()
-		return errors.New("broker: link handshake failed")
+		return nil, errors.New("broker: link handshake failed")
 	}
 	lk := &link{peer: reply.Source, role: roleLink, conn: conn}
+	done := make(chan struct{})
 	b.wg.Add(1)
 	go func() {
 		defer b.wg.Done()
+		defer close(done)
 		b.serveLink(lk, false)
 	}()
-	return nil
+	return done, nil
 }

@@ -72,6 +72,7 @@ func (b *Broker) serveLink(lk *link, replyHello bool) {
 		lk.touch(b.node.Clock().Now())
 		ev, err := event.Decode(frame)
 		if err != nil {
+			b.tel.framesMalformed.Inc()
 			continue
 		}
 		b.handleLinkEvent(lk, ev)

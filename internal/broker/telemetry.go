@@ -2,6 +2,7 @@ package broker
 
 import (
 	"narada/internal/obs"
+	"narada/internal/supervise"
 )
 
 // telemetry bundles the broker's metric handles. Handles are resolved once
@@ -14,6 +15,12 @@ type telemetry struct {
 	framesDiscovery *obs.Counter // ingress discovery requests (all paths)
 	framesControl   *obs.Counter // ingress control/heartbeat/(un)subscribe
 	framesOther     *obs.Counter // anything else
+	framesMalformed *obs.Counter // inbound frames that failed to decode
+
+	reconnAttemptLink *obs.Counter // supervised link redial attempts
+	reconnAttemptBDN  *obs.Counter // supervised registration redial attempts
+	reconnLink        *obs.Counter // successful supervised link redials
+	reconnBDN         *obs.Counter // successful supervised registration redials
 
 	deliveredLocal *obs.Counter // publish frames enqueued to local clients
 	deliveredLink  *obs.Counter // publish frames enqueued to links
@@ -24,6 +31,12 @@ type telemetry struct {
 	pings            *obs.Counter // UDP pings answered
 
 	egressDropped *obs.Counter // frames dropped by overflowing egress queues
+
+	// reg and who back the per-target supervision gauges, whose label sets
+	// are only known when a supervised relationship is created. These sit
+	// off the fast path (state transitions and advertise refreshes only).
+	reg *obs.Registry
+	who obs.Label
 
 	tracer *obs.Tracer
 }
@@ -42,12 +55,25 @@ func (b *Broker) initTelemetry(reg *obs.Registry, tracer *obs.Tracer) {
 	t := &b.tel
 	t.tracer = tracer
 
+	t.reg, t.who = reg, who
+
 	const frames = "narada_broker_frames_total"
 	const framesHelp = "Frames received by the broker, by kind."
 	t.framesPublish = reg.Counter(frames, framesHelp, who, obs.L("kind", "publish"))
 	t.framesDiscovery = reg.Counter(frames, framesHelp, who, obs.L("kind", "discovery"))
 	t.framesControl = reg.Counter(frames, framesHelp, who, obs.L("kind", "control"))
 	t.framesOther = reg.Counter(frames, framesHelp, who, obs.L("kind", "other"))
+	t.framesMalformed = reg.Counter("narada_broker_frames_malformed_total",
+		"Inbound frames that failed to decode and were discarded.", who)
+
+	const reconnAttempts = "narada_broker_reconnect_attempts_total"
+	const reconnAttemptsHelp = "Supervised redial attempts, by relationship kind."
+	t.reconnAttemptLink = reg.Counter(reconnAttempts, reconnAttemptsHelp, who, obs.L("kind", SuperviseLink))
+	t.reconnAttemptBDN = reg.Counter(reconnAttempts, reconnAttemptsHelp, who, obs.L("kind", SuperviseBDN))
+	const reconns = "narada_broker_reconnects_total"
+	const reconnsHelp = "Successful supervised redials, by relationship kind."
+	t.reconnLink = reg.Counter(reconns, reconnsHelp, who, obs.L("kind", SuperviseLink))
+	t.reconnBDN = reg.Counter(reconns, reconnsHelp, who, obs.L("kind", SuperviseBDN))
 
 	const delivered = "narada_broker_publish_delivered_total"
 	const deliveredHelp = "Publish frames enqueued for delivery, by destination."
@@ -97,6 +123,49 @@ func (b *Broker) initTelemetry(reg *obs.Registry, tracer *obs.Tracer) {
 			}
 			return 0
 		}, node)
+}
+
+// reconnectAttempt counts one supervised redial attempt of the given kind.
+func (t *telemetry) reconnectAttempt(kind string) {
+	if kind == SuperviseBDN {
+		t.reconnAttemptBDN.Inc()
+		return
+	}
+	t.reconnAttemptLink.Inc()
+}
+
+// reconnected counts one successful supervised redial of the given kind.
+func (t *telemetry) reconnected(kind string) {
+	if kind == SuperviseBDN {
+		t.reconnBDN.Inc()
+		return
+	}
+	t.reconnLink.Inc()
+}
+
+// setLinkState publishes a supervised relationship's health as a gauge:
+// 0 connected, 1 degraded, 2 reconnecting, 3 stopped. The per-target series
+// is created on the relationship's first transition; re-registration returns
+// the same handle, so this is safe to call on every transition.
+func (t *telemetry) setLinkState(kind, target string, s supervise.State) {
+	t.reg.Gauge("narada_broker_link_state",
+		"Supervised relationship state (0 connected, 1 degraded, 2 reconnecting, 3 stopped).",
+		t.who, obs.L("kind", kind), obs.L("target", target)).Set(float64(s))
+}
+
+// registrationAgeGauge registers the registration-age series for one BDN
+// target the first time the broker advertises to it: seconds since the last
+// successful advertisement, the client-side view of registration freshness.
+func (t *telemetry) registrationAgeGauge(b *Broker, target string) {
+	t.reg.GaugeFunc("narada_broker_registration_age_seconds",
+		"Seconds since the broker last refreshed its advertisement at the BDN.",
+		func() float64 {
+			last := b.lastAdvertised(target)
+			if last.IsZero() {
+				return 0
+			}
+			return b.node.Clock().Now().Sub(last).Seconds()
+		}, t.who, obs.L("target", target))
 }
 
 // reqTrace wraps an obs.Trace for discovery-request events; the zero value

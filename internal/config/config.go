@@ -17,6 +17,7 @@ import (
 	"narada/internal/dedup"
 	"narada/internal/metrics"
 	"narada/internal/obs"
+	"narada/internal/supervise"
 )
 
 // Broker is a broker process configuration file.
@@ -35,6 +36,16 @@ type Broker struct {
 	// Response policy.
 	RequiredCredential string   `json:"requiredCredential,omitempty"`
 	AllowedRealms      []string `json:"allowedRealms,omitempty"`
+	// Self-healing: supervised links/registrations, keepalives and
+	// registration refresh. Zero backoff fields take supervise defaults.
+	Supervise              bool `json:"supervise,omitempty"`              // redial dead links and registrations
+	SuperviseBaseBackoffMs int  `json:"superviseBaseBackoffMs,omitempty"` // first redial delay
+	SuperviseMaxBackoffMs  int  `json:"superviseMaxBackoffMs,omitempty"`  // backoff ceiling
+	SuperviseMaxAttempts   int  `json:"superviseMaxAttempts,omitempty"`   // give-up threshold (0 = never)
+	SuperviseBreakerEvery  int  `json:"superviseBreakerEvery,omitempty"`  // failures per breaker trip (0 = off)
+	HeartbeatMs            int  `json:"heartbeatMs,omitempty"`            // link keepalive interval (0 = off)
+	AdvertiseIntervalMs    int  `json:"advertiseIntervalMs,omitempty"`    // registration refresh period (0 = off)
+	AdvertiseTTLMs         int  `json:"advertiseTtlMs,omitempty"`         // advertised validity (0 = 3x refresh)
 	// Telemetry.
 	TelemetryAddr string `json:"telemetryAddr,omitempty"` // /metrics + pprof listen addr
 	ObsExportAddr string `json:"obsExportAddr,omitempty"` // obscollect UDP addr for span/metric export
@@ -58,6 +69,36 @@ func (b *Broker) Validate() error {
 	return nil
 }
 
+// SupervisePolicy assembles the self-healing policy, or nil when supervision
+// is disabled. Unset backoff fields stay zero and take the supervise
+// package's defaults.
+func (b *Broker) SupervisePolicy() *supervise.Policy {
+	if !b.Supervise {
+		return nil
+	}
+	return &supervise.Policy{
+		BaseBackoff:      time.Duration(b.SuperviseBaseBackoffMs) * time.Millisecond,
+		MaxBackoff:       time.Duration(b.SuperviseMaxBackoffMs) * time.Millisecond,
+		MaxAttempts:      b.SuperviseMaxAttempts,
+		BreakerThreshold: b.SuperviseBreakerEvery,
+	}
+}
+
+// HeartbeatInterval returns the configured link keepalive interval.
+func (b *Broker) HeartbeatInterval() time.Duration {
+	return time.Duration(b.HeartbeatMs) * time.Millisecond
+}
+
+// AdvertiseInterval returns the configured registration refresh period.
+func (b *Broker) AdvertiseInterval() time.Duration {
+	return time.Duration(b.AdvertiseIntervalMs) * time.Millisecond
+}
+
+// AdvertiseTTL returns the configured advertisement validity window.
+func (b *Broker) AdvertiseTTL() time.Duration {
+	return time.Duration(b.AdvertiseTTLMs) * time.Millisecond
+}
+
 // Policy assembles the broker's response policy.
 func (b *Broker) Policy() core.ResponsePolicy {
 	p := core.ResponsePolicy{AllowedRealms: b.AllowedRealms}
@@ -76,6 +117,10 @@ type BDN struct {
 	InjectOverheadMs   int    `json:"injectOverheadMs,omitempty"`
 	Private            bool   `json:"private,omitempty"`
 	RequiredCredential string `json:"requiredCredential,omitempty"`
+	// Registration expiry: advertisements that carry no TTL of their own
+	// stay valid this long (0 = forever); the sweeper prunes at this cadence.
+	AdTTLMs         int `json:"adTtlMs,omitempty"`
+	SweepIntervalMs int `json:"sweepIntervalMs,omitempty"`
 	// Telemetry.
 	TelemetryAddr string `json:"telemetryAddr,omitempty"` // /metrics + pprof listen addr
 	ObsExportAddr string `json:"obsExportAddr,omitempty"` // obscollect UDP addr for span/metric export
@@ -104,6 +149,16 @@ func (d *BDN) Validate() error {
 // InjectOverhead returns the configured per-injection cost.
 func (d *BDN) InjectOverhead() time.Duration {
 	return time.Duration(d.InjectOverheadMs) * time.Millisecond
+}
+
+// AdTTL returns the default registration validity window.
+func (d *BDN) AdTTL() time.Duration {
+	return time.Duration(d.AdTTLMs) * time.Millisecond
+}
+
+// SweepInterval returns the expired-registration sweep period.
+func (d *BDN) SweepInterval() time.Duration {
+	return time.Duration(d.SweepIntervalMs) * time.Millisecond
 }
 
 // Node is a requesting node's configuration file.

@@ -87,6 +87,11 @@ func decodeBrokerInfo(r *wire.Reader) BrokerInfo {
 type Advertisement struct {
 	Broker   BrokerInfo
 	IssuedAt time.Time // NTP UTC at the broker
+	// TTL is how long the registration stays valid at a BDN before the
+	// broker must refresh it (0 = never expires). Registration freshness is
+	// a protocol concern: a crashed broker's advertisement must age out so
+	// dead brokers stop appearing in target sets.
+	TTL time.Duration
 }
 
 // EncodeAdvertisement serialises an advertisement body.
@@ -94,13 +99,14 @@ func EncodeAdvertisement(a *Advertisement) []byte {
 	w := wire.NewWriter(128)
 	a.Broker.encode(w)
 	w.Time(a.IssuedAt)
+	w.Duration(a.TTL)
 	return w.Bytes()
 }
 
 // DecodeAdvertisement parses an advertisement body.
 func DecodeAdvertisement(b []byte) (*Advertisement, error) {
 	r := wire.NewReader(b)
-	a := &Advertisement{Broker: decodeBrokerInfo(r), IssuedAt: r.Time()}
+	a := &Advertisement{Broker: decodeBrokerInfo(r), IssuedAt: r.Time(), TTL: r.Duration()}
 	if err := r.Finish(); err != nil {
 		return nil, fmt.Errorf("core: advertisement: %w", err)
 	}

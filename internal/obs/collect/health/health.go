@@ -28,6 +28,7 @@ const (
 	RuleEgressDrops      = "egress_drops"
 	RuleProbeSLOBurn     = "probe_slo_burn"
 	RuleProbeLatencyBurn = "probe_latency_burn"
+	RuleLinkFlapping     = "link_flapping"
 )
 
 // Alert states.
@@ -81,6 +82,15 @@ type Config struct {
 	EgressDropRateMax float64
 	// EgressWindow is the averaging window for the drop rate (default 1m).
 	EgressWindow time.Duration
+	// FlapWindow is the averaging window for supervised link reconnects
+	// (default 5m).
+	FlapWindow time.Duration
+	// FlapRateMax is the tolerated supervised-reconnect rate in
+	// reconnects/second over FlapWindow (default 0.05/s, i.e. 15 relinks in
+	// 5 minutes). A steady-state fabric reconnects rarely; a link cycling
+	// up and down faster than this is flapping — a path or peer problem the
+	// supervision layer is papering over.
+	FlapRateMax float64
 
 	// SLOTarget is the probe success-rate objective (default 0.99).
 	SLOTarget float64
@@ -132,6 +142,12 @@ func (c *Config) fillDefaults() {
 	if c.EgressWindow <= 0 {
 		c.EgressWindow = time.Minute
 	}
+	if c.FlapWindow <= 0 {
+		c.FlapWindow = 5 * time.Minute
+	}
+	if c.FlapRateMax <= 0 {
+		c.FlapRateMax = 0.05
+	}
 	if c.SLOTarget <= 0 || c.SLOTarget >= 1 {
 		c.SLOTarget = 0.99
 	}
@@ -171,6 +187,9 @@ type NodeInput struct {
 	EgressDepth    float64 // current egress queue depth (summed over links)
 	HasEgress      bool    // node exports egress gauges (i.e. is a broker)
 	EgressDropRate float64 // drops/second over Config.EgressWindow
+
+	LinkFlapRate float64 // supervised reconnects/second over Config.FlapWindow
+	HasFlaps     bool    // node exports supervision reconnect counters
 }
 
 // ProbeInput is one probe source's windowed SLI snapshot: success and
@@ -264,6 +283,12 @@ func (e *Engine) Evaluate(in Input) {
 				n.EgressDropRate, e.cfg.EgressDropRateMax,
 				fmt.Sprintf("egress dropping %.2f events/s over %s (max %.2f/s)",
 					n.EgressDropRate, e.cfg.EgressWindow, e.cfg.EgressDropRateMax), now)
+		}
+		if n.HasFlaps {
+			e.apply(RuleLinkFlapping, n.Name, n.LinkFlapRate > e.cfg.FlapRateMax,
+				n.LinkFlapRate, e.cfg.FlapRateMax,
+				fmt.Sprintf("supervised links reconnecting %.3f/s over %s (max %.3f/s): link or peer flapping",
+					n.LinkFlapRate, e.cfg.FlapWindow, e.cfg.FlapRateMax), now)
 		}
 	}
 

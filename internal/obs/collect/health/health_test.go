@@ -179,6 +179,53 @@ func TestEgressRules(t *testing.T) {
 	}
 }
 
+// TestLinkFlappingRule checks the supervision-rate rule: a node without
+// reconnect counters never evaluates, occasional relinks stay quiet, and a
+// link cycling faster than FlapRateMax fires and resolves once it calms.
+func TestLinkFlappingRule(t *testing.T) {
+	e := New(Config{FlapWindow: 5 * time.Minute, FlapRateMax: 0.05, ResolveAfter: time.Second})
+	base := time.Date(2026, 8, 5, 12, 0, 0, 0, time.UTC)
+
+	// Non-supervised node (HasFlaps false) with a huge rate: no alert.
+	e.Evaluate(Input{Now: base, Nodes: []NodeInput{{
+		Name: "r1", LastSeen: base, LinkFlapRate: 10}}})
+	if len(e.Alerts()) != 0 {
+		t.Fatalf("non-supervised node raised flap alerts: %+v", e.Alerts())
+	}
+
+	// A couple of relinks over 5 minutes is healthy self-healing.
+	e.Evaluate(Input{Now: base, Nodes: []NodeInput{{
+		Name: "b1", LastSeen: base, HasFlaps: true, LinkFlapRate: 2.0 / 300}}})
+	if e.Firing() != 0 {
+		t.Fatalf("healthy relink rate fired: %+v", e.Alerts())
+	}
+
+	// 60 relinks over 5 minutes (0.2/s) is a flapping link.
+	e.Evaluate(Input{Now: base, Nodes: []NodeInput{{
+		Name: "b1", LastSeen: base, HasFlaps: true, LinkFlapRate: 0.2}}})
+	if e.Firing() != 1 {
+		t.Fatalf("firing = %d for 0.2/s flap rate, want 1", e.Firing())
+	}
+	found := false
+	for _, a := range e.Alerts() {
+		if a.Rule == RuleLinkFlapping && a.State == StateFiring {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("no firing link_flapping alert: %+v", e.Alerts())
+	}
+
+	// Rate back under the bound for ResolveAfter: resolves.
+	e.Evaluate(Input{Now: base.Add(time.Second), Nodes: []NodeInput{{
+		Name: "b1", LastSeen: base.Add(time.Second), HasFlaps: true, LinkFlapRate: 0}}})
+	e.Evaluate(Input{Now: base.Add(3 * time.Second), Nodes: []NodeInput{{
+		Name: "b1", LastSeen: base.Add(3 * time.Second), HasFlaps: true, LinkFlapRate: 0}}})
+	if e.Firing() != 0 {
+		t.Fatalf("flap alert did not resolve: %+v", e.Alerts())
+	}
+}
+
 // TestBurnRateBothWindows checks the multi-window guard: a fast-window error
 // spike alone (slow window healthy) must not fire, and a genuine sustained
 // burn (both windows hot) must.

@@ -10,6 +10,7 @@ import (
 const (
 	metricEgressDepth  = "narada_broker_egress_queue_depth"
 	metricEgressDrops  = "narada_broker_egress_dropped_total"
+	metricReconnects   = "narada_broker_reconnects_total"
 	metricProbeRuns    = "narada_probe_runs_total"
 	metricProbeLatency = "narada_probe_latency_seconds"
 )
@@ -70,6 +71,10 @@ func (c *Collector) EvaluateHealthNow() {
 		if drops, ok := c.store.WindowSum(metricEgressDrops, n.Name, hcfg.EgressWindow, now); ok {
 			n.HasEgress = true
 			n.EgressDropRate = drops / hcfg.EgressWindow.Seconds()
+		}
+		if reconns, ok := c.store.WindowSum(metricReconnects, n.Name, hcfg.FlapWindow, now); ok {
+			n.HasFlaps = true
+			n.LinkFlapRate = reconns / hcfg.FlapWindow.Seconds()
 		}
 	}
 

@@ -1,0 +1,279 @@
+// Package supervise keeps long-lived relationships alive. The fabric's
+// broker links and BDN registrations are established exactly once by nature
+// of their dial calls, yet the paper assumes brokers "maintain active
+// concurrent connections" for the lifetime of the network — after a
+// heartbeat teardown, a peer restart or a healed partition the relationship
+// must come back by itself. A Runner owns one such relationship: it redials
+// with capped exponential backoff and jitter, trips a per-target circuit
+// breaker under sustained failure, honours an optional give-up policy, and
+// reports its health through a small state machine
+// (connected → degraded → reconnecting) that callers can wire into gauges.
+package supervise
+
+import (
+	"log/slog"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"narada/internal/ntptime"
+	"narada/internal/obs"
+)
+
+// State is a runner's connection health.
+type State int32
+
+// Runner states. Connected means a live session; Degraded means the session
+// just died and a redial is imminent; Reconnecting means dial attempts are
+// failing and the runner is backing off; Stopped means the runner exited
+// (Stop was called or the give-up policy triggered).
+const (
+	Connected State = iota
+	Degraded
+	Reconnecting
+	Stopped
+)
+
+// String renders the state for logs and gauges.
+func (s State) String() string {
+	switch s {
+	case Connected:
+		return "connected"
+	case Degraded:
+		return "degraded"
+	case Reconnecting:
+		return "reconnecting"
+	default:
+		return "stopped"
+	}
+}
+
+// Policy parameterises the retry behaviour. The zero value is NOT a valid
+// enabled policy — callers decide separately whether to supervise at all —
+// but any zero field falls back to the documented default.
+type Policy struct {
+	// BaseBackoff is the delay before the first redial after a failure or a
+	// session death (default 100ms). A dead session always waits at least
+	// this long, so an instantly-dying flap cannot become a hot loop.
+	BaseBackoff time.Duration
+	// MaxBackoff caps the exponential ladder (default 30s).
+	MaxBackoff time.Duration
+	// Multiplier is the backoff growth factor (default 2).
+	Multiplier float64
+	// Jitter is the ± fractional randomization applied to every wait
+	// (default 0.2), decorrelating redial storms after a shared fault.
+	Jitter float64
+	// MaxAttempts gives up after that many consecutive dial failures
+	// (0 = retry forever). A successful session resets the count.
+	MaxAttempts int
+	// BreakerThreshold opens the circuit breaker after that many
+	// consecutive failures (0 = no breaker): the runner rests for
+	// BreakerCooldown instead of the capped backoff, then retries
+	// half-open with the ladder reset to BaseBackoff.
+	BreakerThreshold int
+	// BreakerCooldown is the open-breaker rest period (default 4×MaxBackoff).
+	BreakerCooldown time.Duration
+}
+
+func (p Policy) withDefaults() Policy {
+	if p.BaseBackoff <= 0 {
+		p.BaseBackoff = 100 * time.Millisecond
+	}
+	if p.MaxBackoff <= 0 {
+		p.MaxBackoff = 30 * time.Second
+	}
+	if p.MaxBackoff < p.BaseBackoff {
+		p.MaxBackoff = p.BaseBackoff
+	}
+	if p.Multiplier < 1 {
+		p.Multiplier = 2
+	}
+	if p.Jitter <= 0 || p.Jitter >= 1 {
+		p.Jitter = 0.2
+	}
+	if p.BreakerCooldown <= 0 {
+		p.BreakerCooldown = 4 * p.MaxBackoff
+	}
+	return p
+}
+
+// RunnerConfig assembles a Runner.
+type RunnerConfig struct {
+	// Target names the supervised relationship (peer address), for logs and
+	// state-gauge labels.
+	Target string
+	// Policy is the retry behaviour; zero fields use defaults.
+	Policy Policy
+	// Clock drives all waits (model time in the simulator).
+	Clock ntptime.Clock
+	// Dial establishes one session. It returns a channel that closes when
+	// the session ends; the runner then redials. Dial must be safe to call
+	// repeatedly.
+	Dial func() (done <-chan struct{}, err error)
+	// Initial, when non-nil, is an already-established session: the runner
+	// starts Connected and supervises it without dialing first.
+	Initial <-chan struct{}
+	// Logger receives reconnection events; nil discards them.
+	Logger *slog.Logger
+	// OnState observes state transitions (telemetry gauges). Called from
+	// the runner goroutine; keep it fast.
+	OnState func(State)
+	// OnAttempt observes every dial attempt's outcome (telemetry counters).
+	OnAttempt func(success bool)
+}
+
+// Runner supervises one connection. Create with New, drive with Run (which
+// blocks until Stop or give-up), interrogate concurrently via State and the
+// counters.
+type Runner struct {
+	cfg RunnerConfig
+
+	state        atomic.Int32
+	attempts     atomic.Uint64
+	successes    atomic.Uint64
+	breakerTrips atomic.Uint64
+
+	stopOnce sync.Once
+	stop     chan struct{}
+	done     chan struct{}
+}
+
+// New assembles a runner; call Run (usually on its own goroutine) to start.
+func New(cfg RunnerConfig) *Runner {
+	cfg.Policy = cfg.Policy.withDefaults()
+	if cfg.Logger == nil {
+		cfg.Logger = obs.Nop()
+	}
+	r := &Runner{cfg: cfg, stop: make(chan struct{}), done: make(chan struct{})}
+	if cfg.Initial != nil {
+		r.state.Store(int32(Connected))
+	} else {
+		r.state.Store(int32(Reconnecting))
+	}
+	return r
+}
+
+// State returns the runner's current health.
+func (r *Runner) State() State { return State(r.state.Load()) }
+
+// Attempts returns the number of dial attempts performed.
+func (r *Runner) Attempts() uint64 { return r.attempts.Load() }
+
+// Successes returns the number of dial attempts that produced a session.
+func (r *Runner) Successes() uint64 { return r.successes.Load() }
+
+// BreakerTrips returns how often the circuit breaker opened.
+func (r *Runner) BreakerTrips() uint64 { return r.breakerTrips.Load() }
+
+// Target returns the supervised target's name.
+func (r *Runner) Target() string { return r.cfg.Target }
+
+// Stop asks the runner to exit; it returns immediately. Safe to call more
+// than once and before Run.
+func (r *Runner) Stop() { r.stopOnce.Do(func() { close(r.stop) }) }
+
+// Done is closed when Run has returned.
+func (r *Runner) Done() <-chan struct{} { return r.done }
+
+func (r *Runner) setState(s State) {
+	if State(r.state.Swap(int32(s))) == s {
+		return
+	}
+	if r.cfg.OnState != nil {
+		r.cfg.OnState(s)
+	}
+}
+
+// jittered randomizes d by ±Policy.Jitter.
+func (r *Runner) jittered(d time.Duration) time.Duration {
+	j := r.cfg.Policy.Jitter
+	if j == 0 {
+		return d
+	}
+	return time.Duration(float64(d) * (1 + j*(2*rand.Float64()-1))) //nolint:gosec
+}
+
+// Run supervises the connection until Stop or give-up. It blocks; start it
+// on a dedicated goroutine.
+func (r *Runner) Run() {
+	defer close(r.done)
+	defer r.setState(Stopped)
+	p := r.cfg.Policy
+	session := r.cfg.Initial
+	failures := 0
+	backoff := p.BaseBackoff
+	for {
+		if session != nil {
+			r.setState(Connected)
+			select {
+			case <-session:
+				// Session died: wait at least the base backoff before the
+				// redial so an instantly-dying flap cannot spin hot.
+				r.setState(Degraded)
+				r.cfg.Logger.Info("supervised session died", "target", r.cfg.Target)
+				session = nil
+				failures, backoff = 0, p.BaseBackoff
+				if !r.sleep(r.jittered(p.BaseBackoff)) {
+					return
+				}
+			case <-r.stop:
+				return
+			}
+		}
+		select {
+		case <-r.stop:
+			return
+		default:
+		}
+		r.attempts.Add(1)
+		s, err := r.cfg.Dial()
+		if r.cfg.OnAttempt != nil {
+			r.cfg.OnAttempt(err == nil)
+		}
+		if err == nil {
+			r.successes.Add(1)
+			failures, backoff = 0, p.BaseBackoff
+			session = s
+			r.cfg.Logger.Info("supervised session established", "target", r.cfg.Target)
+			continue
+		}
+		failures++
+		r.setState(Reconnecting)
+		if p.MaxAttempts > 0 && failures >= p.MaxAttempts {
+			r.cfg.Logger.Warn("supervision giving up",
+				"target", r.cfg.Target, "failures", failures, "err", err)
+			return
+		}
+		wait := r.jittered(backoff)
+		if p.BreakerThreshold > 0 && failures%p.BreakerThreshold == 0 {
+			// Sustained failure: open the breaker, rest, then half-open with
+			// the ladder reset so recovery probes start gently again.
+			r.breakerTrips.Add(1)
+			wait = r.jittered(p.BreakerCooldown)
+			backoff = p.BaseBackoff
+			r.cfg.Logger.Warn("supervision breaker open",
+				"target", r.cfg.Target, "failures", failures, "cooldown", p.BreakerCooldown)
+		} else {
+			backoff = time.Duration(float64(backoff) * p.Multiplier)
+			if backoff > p.MaxBackoff {
+				backoff = p.MaxBackoff
+			}
+		}
+		r.cfg.Logger.Debug("supervised dial failed",
+			"target", r.cfg.Target, "failures", failures, "retry-in", wait, "err", err)
+		if !r.sleep(wait) {
+			return
+		}
+	}
+}
+
+// sleep waits d on the runner's clock; false means Stop fired first.
+func (r *Runner) sleep(d time.Duration) bool {
+	select {
+	case <-r.cfg.Clock.After(d):
+		return true
+	case <-r.stop:
+		return false
+	}
+}

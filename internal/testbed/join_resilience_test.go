@@ -1,0 +1,86 @@
+package testbed
+
+import (
+	"testing"
+	"time"
+
+	"narada/internal/core"
+	"narada/internal/simnet"
+	"narada/internal/topology"
+)
+
+// TestJoinNetworkSurvivesSelectedBrokerDeath is the discovery-side resilience
+// contract: a joiner discovers and links to the nearest broker; that broker
+// then crashes. Once the dead broker's registration has aged out of the BDN,
+// a re-run of the join MUST select a live broker — the dead one can never be
+// handed out again.
+func TestJoinNetworkSurvivesSelectedBrokerDeath(t *testing.T) {
+	opts := chaosOptions()
+	opts.Topology = topology.Unconnected
+	opts.Brokers = append(PaperBrokers(),
+		BrokerSpec{Site: simnet.SiteCardiff, Name: "joiner", Register: false})
+	tb, err := New(opts)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	defer tb.Close()
+
+	joiner := tb.BrokerByName("joiner")
+	if joiner == nil {
+		t.Fatal("joiner broker not deployed")
+	}
+
+	d1 := tb.NewDiscoverer(simnet.SiteCardiff, "joiner-disc1", core.Config{})
+	first, err := joiner.JoinNetwork(d1)
+	if err != nil {
+		t.Fatalf("first join: %v", err)
+	}
+	if tb.BrokerByName(first.LogicalAddress) == nil {
+		t.Fatalf("first join selected unknown broker %s", first.LogicalAddress)
+	}
+
+	// The selected broker crashes. Its registration carries a TTL, so after
+	// the refresh window lapses the BDN must stop advertising it.
+	if !tb.KillBroker(first.LogicalAddress) {
+		t.Fatalf("could not kill %s", first.LogicalAddress)
+	}
+	clock := tb.Net.Clock()
+	deadline := clock.Now().Add(15 * time.Second)
+	for {
+		listed := false
+		for _, info := range tb.BDN.Brokers() {
+			if info.LogicalAddress == first.LogicalAddress {
+				listed = true
+			}
+		}
+		if !listed {
+			break
+		}
+		if clock.Now().After(deadline) {
+			t.Fatalf("dead broker %s still advertised after TTL window", first.LogicalAddress)
+		}
+		clock.Sleep(100 * time.Millisecond)
+	}
+
+	// Rediscovery after expiry: the join must succeed and must pick a broker
+	// that is actually alive.
+	d2 := tb.NewDiscoverer(simnet.SiteCardiff, "joiner-disc2", core.Config{})
+	second, err := joiner.JoinNetwork(d2)
+	if err != nil {
+		t.Fatalf("rediscovery join: %v", err)
+	}
+	if second.LogicalAddress == first.LogicalAddress {
+		t.Fatalf("rediscovery re-selected dead broker %s", first.LogicalAddress)
+	}
+	if tb.BrokerByName(second.LogicalAddress) == nil {
+		t.Fatalf("rediscovery selected non-live broker %s", second.LogicalAddress)
+	}
+
+	// The shortlist the discoverer worked from must not contain the dead
+	// broker either — the target set, not just the final pick, is clean.
+	for _, info := range d2.LastTargetSet() {
+		if info.LogicalAddress == first.LogicalAddress {
+			t.Errorf("dead broker %s still in rediscovery target set", first.LogicalAddress)
+		}
+	}
+}

@@ -16,6 +16,7 @@ import (
 	"narada/internal/ntptime"
 	"narada/internal/obs"
 	"narada/internal/simnet"
+	"narada/internal/supervise"
 	"narada/internal/topology"
 	"narada/internal/transport"
 )
@@ -79,6 +80,22 @@ type Options struct {
 	// Routing selects the broker network's dissemination mode for
 	// application events (flooding by default).
 	Routing broker.RoutingMode
+	// Supervise, when set, makes every broker's links and BDN registrations
+	// self-healing under the policy (see broker.Config.Supervise).
+	Supervise *supervise.Policy
+	// Heartbeat is the brokers' link keepalive interval (0 disables).
+	Heartbeat time.Duration
+	// AdvertiseInterval is the brokers' registration refresh period
+	// (0 disables periodic re-advertisement).
+	AdvertiseInterval time.Duration
+	// AdvertiseTTL is the validity window brokers stamp on advertisements
+	// (0 defaults to 3×AdvertiseInterval when refresh is enabled).
+	AdvertiseTTL time.Duration
+	// AdTTL is the BDN-side registration validity for advertisements that
+	// carry no TTL of their own (0 = registrations never expire).
+	AdTTL time.Duration
+	// SweepInterval is the BDNs' expired-registration sweep period.
+	SweepInterval time.Duration
 	// MaxSkew bounds each node's hardware clock error (default 20 ms).
 	MaxSkew time.Duration
 	// Metrics, when set, is shared by every deployed broker, BDN and
@@ -160,6 +177,30 @@ type Testbed struct {
 	ntps      []*ntptime.Service // broker (and BDN) time services, for inspection
 	ntpByName map[string]*ntptime.Service
 	exporters map[string]*obs.Exporter // per-node exporters when ExportAddr is set
+
+	// Deployment records let chaos schedules restart a killed component on
+	// the same node with the same ports, so supervised peers find it again.
+	brokerDeps map[string]*brokerDeployment
+	bdnDeps    map[string]*bdnDeployment
+
+	probeSeq int // chaos probe topic/client uniquifier
+}
+
+// brokerDeployment remembers how a broker was deployed.
+type brokerDeployment struct {
+	spec                BrokerSpec
+	node                *transport.SimNode
+	ntp                 *ntptime.Service
+	cfg                 broker.Config // Metrics/Tracer re-resolved per (re)start
+	streamPort, udpPort int
+}
+
+// bdnDeployment remembers how a BDN was deployed.
+type bdnDeployment struct {
+	node                *transport.SimNode
+	ntp                 *ntptime.Service
+	cfg                 bdn.Config
+	streamPort, udpPort int
 }
 
 // New builds and starts a testbed.
@@ -172,11 +213,13 @@ func New(opts Options) (*Testbed, error) {
 		DuplicateProb: opts.DuplicateProb,
 	})
 	tb := &Testbed{
-		Net:       net,
-		opts:      opts,
-		rng:       rand.New(rand.NewSource(opts.Seed + 7)),
-		ntpByName: make(map[string]*ntptime.Service),
-		exporters: make(map[string]*obs.Exporter),
+		Net:        net,
+		opts:       opts,
+		rng:        rand.New(rand.NewSource(opts.Seed + 7)),
+		ntpByName:  make(map[string]*ntptime.Service),
+		exporters:  make(map[string]*obs.Exporter),
+		brokerDeps: make(map[string]*brokerDeployment),
+		bdnDeps:    make(map[string]*bdnDeployment),
 	}
 
 	// BDNs: gridservicelocator.org at the primary site, further replicas
@@ -199,13 +242,16 @@ func New(opts Options) (*Testbed, error) {
 				tb.Close()
 				return nil, err
 			}
-			d, err := bdn.New(node, ntp, bdn.Config{
+			dcfg := bdn.Config{
 				Name:           name,
 				Policy:         opts.InjectPolicy,
 				InjectOverhead: opts.InjectOverhead,
+				AdTTL:          opts.AdTTL,
+				SweepInterval:  opts.SweepInterval,
 				Metrics:        reg,
 				Tracer:         tracer,
-			})
+			}
+			d, err := bdn.New(node, ntp, dcfg)
 			if err != nil {
 				tb.Close()
 				return nil, err
@@ -215,6 +261,7 @@ func New(opts Options) (*Testbed, error) {
 				return nil, err
 			}
 			tb.BDNs = append(tb.BDNs, d)
+			tb.recordBDN(name, node, ntp, dcfg, d)
 		}
 		tb.BDN = tb.BDNs[0]
 	}
@@ -256,6 +303,10 @@ func New(opts Options) (*Testbed, error) {
 			cfg.Policy = *opts.Policy
 		}
 		cfg.Routing = opts.Routing
+		cfg.Supervise = opts.Supervise
+		cfg.HeartbeatInterval = opts.Heartbeat
+		cfg.AdvertiseInterval = opts.AdvertiseInterval
+		cfg.AdvertiseTTL = opts.AdvertiseTTL
 		b, err := broker.New(node, ntp, cfg)
 		if err != nil {
 			tb.Close()
@@ -266,6 +317,7 @@ func New(opts Options) (*Testbed, error) {
 			return nil, err
 		}
 		tb.Brokers = append(tb.Brokers, b)
+		tb.recordBroker(spec, node, ntp, cfg, b)
 		if spec.Register {
 			for _, d := range tb.BDNs {
 				if err := b.RegisterWithBDN(d.Addr()); err != nil {
@@ -417,6 +469,148 @@ func (tb *Testbed) KillBroker(name string) bool {
 		return true
 	}
 	return false
+}
+
+// recordBroker remembers how a broker was deployed — node, NTP service, config
+// and the ports it actually bound — so a chaos schedule can restart it at the
+// same address after a kill.
+func (tb *Testbed) recordBroker(spec BrokerSpec, node *transport.SimNode, ntp *ntptime.Service, cfg broker.Config, b *broker.Broker) {
+	dep := &brokerDeployment{spec: spec, node: node, ntp: ntp, cfg: cfg}
+	if a, err := transport.ParseSimAddr(b.StreamAddr()); err == nil {
+		dep.streamPort = a.Port
+	}
+	if a, err := transport.ParseSimAddr(b.UDPAddr()); err == nil {
+		dep.udpPort = a.Port
+	}
+	tb.brokerDeps[spec.Name] = dep
+}
+
+// recordBDN is recordBroker for discovery nodes.
+func (tb *Testbed) recordBDN(name string, node *transport.SimNode, ntp *ntptime.Service, cfg bdn.Config, d *bdn.BDN) {
+	dep := &bdnDeployment{node: node, ntp: ntp, cfg: cfg}
+	if a, err := transport.ParseSimAddr(d.Addr()); err == nil {
+		dep.streamPort = a.Port
+	}
+	if a, err := transport.ParseSimAddr(d.UDPAddr()); err == nil {
+		dep.udpPort = a.Port
+	}
+	tb.bdnDeps[name] = dep
+}
+
+// RestartBroker brings a previously killed broker back on the SAME node with
+// the SAME ports, so surviving supervised peers reconnect to it without any
+// configuration change — exactly like a crashed process being restarted by an
+// init system. The broker re-registers with every live BDN (when its spec
+// asked for registration) and re-dials its own outgoing topology edges;
+// inbound edges heal from the other side via supervision.
+func (tb *Testbed) RestartBroker(name string) error {
+	dep, ok := tb.brokerDeps[name]
+	if !ok {
+		return fmt.Errorf("testbed: no deployment record for broker %s", name)
+	}
+	if tb.BrokerByName(name) != nil {
+		return fmt.Errorf("testbed: broker %s is still running", name)
+	}
+	reg, tracer, err := tb.obsFor(name, dep.ntp)
+	if err != nil {
+		return err
+	}
+	cfg := dep.cfg
+	cfg.Metrics, cfg.Tracer = reg, tracer
+	cfg.StreamPort, cfg.UDPPort = dep.streamPort, dep.udpPort
+	b, err := broker.New(dep.node, dep.ntp, cfg)
+	if err != nil {
+		return fmt.Errorf("testbed: restarting %s: %w", name, err)
+	}
+	if err := b.Start(); err != nil {
+		return fmt.Errorf("testbed: restarting %s: %w", name, err)
+	}
+	tb.Brokers = append(tb.Brokers, b)
+	if dep.spec.Register {
+		for _, d := range tb.BDNs {
+			if err := b.RegisterWithBDN(d.Addr()); err != nil {
+				return fmt.Errorf("testbed: re-registering %s: %w", name, err)
+			}
+		}
+	}
+	for _, e := range tb.Edges {
+		if e.From != name {
+			continue
+		}
+		peer := tb.BrokerByName(e.To)
+		if peer == nil {
+			continue
+		}
+		if err := b.LinkTo(peer.StreamAddr()); err != nil {
+			return fmt.Errorf("testbed: relinking %s->%s: %w", name, e.To, err)
+		}
+	}
+	return nil
+}
+
+// BDNByName returns the deployed BDN with the given name, or nil.
+func (tb *Testbed) BDNByName(name string) *bdn.BDN {
+	for _, d := range tb.BDNs {
+		if d.Name() == name {
+			return d
+		}
+	}
+	return nil
+}
+
+// KillBDN abruptly removes the named BDN — its stored registrations die with
+// it, exactly like a crashed discovery-node process. Returns false if no such
+// BDN is deployed.
+func (tb *Testbed) KillBDN(name string) bool {
+	for i, d := range tb.BDNs {
+		if d.Name() != name {
+			continue
+		}
+		d.Close()
+		tb.BDNs = append(tb.BDNs[:i], tb.BDNs[i+1:]...)
+		if e, ok := tb.exporters[name]; ok {
+			_ = e.Close()
+			delete(tb.exporters, name)
+		}
+		if len(tb.BDNs) > 0 {
+			tb.BDN = tb.BDNs[0]
+		} else {
+			tb.BDN = nil
+		}
+		return true
+	}
+	return false
+}
+
+// RestartBDN brings a previously killed BDN back on the SAME node with the
+// SAME ports. It comes back empty: registrations repopulate from the brokers'
+// own supervision (re-registration on reconnect) and periodic advertisement
+// refresh — the recovery path under test.
+func (tb *Testbed) RestartBDN(name string) error {
+	dep, ok := tb.bdnDeps[name]
+	if !ok {
+		return fmt.Errorf("testbed: no deployment record for bdn %s", name)
+	}
+	if tb.BDNByName(name) != nil {
+		return fmt.Errorf("testbed: bdn %s is still running", name)
+	}
+	reg, tracer, err := tb.obsFor(name, dep.ntp)
+	if err != nil {
+		return err
+	}
+	cfg := dep.cfg
+	cfg.Metrics, cfg.Tracer = reg, tracer
+	cfg.StreamPort, cfg.UDPPort = dep.streamPort, dep.udpPort
+	d, err := bdn.New(dep.node, dep.ntp, cfg)
+	if err != nil {
+		return fmt.Errorf("testbed: restarting bdn %s: %w", name, err)
+	}
+	if err := d.Start(); err != nil {
+		return fmt.Errorf("testbed: restarting bdn %s: %w", name, err)
+	}
+	tb.BDNs = append(tb.BDNs, d)
+	tb.BDN = tb.BDNs[0]
+	return nil
 }
 
 // Close tears the deployment down. Per-node exporters are closed last so

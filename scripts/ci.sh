@@ -1,9 +1,10 @@
 #!/bin/sh
 # ci.sh is the complete pre-merge gate: fast static checks first (vet, then
-# race-enabled tests for the observability plane, the packages most exposed to
-# concurrency bugs), the tier-1 verify target (build, vet, gofmt, tests,
-# race), and finally the two real-socket smoke tests (collector/prober trace
-# assembly, and health-engine failure detection).
+# race-enabled tests for the observability plane and the chaos/supervision
+# packages, the ones most exposed to concurrency bugs), the tier-1 verify
+# target (build, vet, gofmt, tests, race), and finally the three real-socket
+# smoke tests (collector/prober trace assembly, health-engine failure
+# detection, and self-healing BDN re-registration).
 set -eu
 cd "$(dirname "$0")/.."
 
@@ -13,6 +14,9 @@ go vet ./...
 echo "ci: go test -race ./internal/obs/..."
 go test -race ./internal/obs/...
 
+echo "ci: go test -race ./internal/supervise/ ./internal/testbed/"
+go test -race ./internal/supervise/ ./internal/testbed/
+
 echo "ci: make verify"
 make verify
 
@@ -21,5 +25,8 @@ make obs-smoke
 
 echo "ci: make health-smoke"
 make health-smoke
+
+echo "ci: make chaos-smoke"
+make chaos-smoke
 
 echo "ci: ok"
