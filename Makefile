@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet fmt-check verify bench fuzz obs-smoke health-smoke chaos-smoke ci
+.PHONY: all build test race vet fmt-check verify bench bench-gate fuzz obs-smoke health-smoke chaos-smoke loadgen-smoke ci
 
 all: build
 
@@ -31,6 +31,17 @@ bench:
 	$(GO) test -run '^$$' -bench 'BenchmarkEventCodec' -benchmem -benchtime=2s ./internal/event/
 	$(GO) test -run '^$$' -bench 'BenchmarkSeenParallel' -benchmem -benchtime=2s ./internal/dedup/
 
+# bench-gate re-runs the publish fan-out benchmark and fails on a >2% ns/op
+# regression or any allocs/op above the gates recorded in BENCH_fanout.json.
+bench-gate:
+	sh scripts/bench_gate.sh
+
+# loadgen-smoke boots a real broker on loopback and drives the open-loop load
+# generator through two fixed-rate stages, asserting zero loss and sane
+# latency percentiles in the JSON report.
+loadgen-smoke:
+	sh scripts/loadgen_smoke.sh
+
 # obs-smoke boots a real broker with -telemetry-addr and checks /healthz and
 # the /metrics exposition, then a BDN + broker + obscollect fabric and
 # asserts one synthetic probe trace assembles end to end.
@@ -53,6 +64,7 @@ chaos-smoke:
 ci:
 	sh scripts/ci.sh
 
-# fuzz gives the differential matcher fuzzer a short budget; CI-friendly.
+# fuzz gives the differential fuzzers a short budget each; CI-friendly.
 fuzz:
 	$(GO) test -run '^$$' -fuzz FuzzTableMatchDifferential -fuzztime 30s ./internal/topics/
+	$(GO) test -run '^$$' -fuzz FuzzTableCOWvsLocked -fuzztime 30s ./internal/topics/

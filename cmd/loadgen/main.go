@@ -1,0 +1,341 @@
+// Command loadgen drives an open-loop publish load against a running broker
+// and reports delivery-latency percentiles per offered rate.
+//
+// Open loop means the send schedule is fixed before the run: event i leaves
+// at start + i/rate whether or not the broker has kept up, and its latency is
+// measured against that scheduled departure, not the actual send. A closed
+// loop (send, wait, send) silently stretches its own schedule when the system
+// slows down and so under-reports exactly the latencies a saturated broker
+// inflicts — the coordinated-omission trap. Here backlog shows up where it
+// belongs: in the tail percentiles.
+//
+// Usage:
+//
+//	loadgen -addr 127.0.0.1:10001 -rates 2000,8000,20000 -duration 5s
+//	loadgen -addr 127.0.0.1:10001 -rates 5000 -subs 4 -payload 512 -out run.json
+package main
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"narada/internal/event"
+	"narada/internal/stats"
+	"narada/internal/transport"
+)
+
+// stageWarmup marks warmup traffic; subscribers discard it.
+const stageWarmup = 0xFFFF
+
+// payloadHeader is the measurement preamble inside each publish payload:
+// 8 bytes of scheduled-departure unix nanos + 2 bytes of stage index.
+const payloadHeader = 10
+
+// Report is the JSON document loadgen emits; bench_gate.sh and
+// BENCH_fanout.json embed it verbatim.
+type Report struct {
+	Benchmark   string        `json:"benchmark"`
+	Addr        string        `json:"addr"`
+	Topic       string        `json:"topic"`
+	PayloadSize int           `json:"payload_bytes"`
+	Subscribers int           `json:"subscribers"`
+	DurationSec float64       `json:"duration_sec_per_stage"`
+	Stages      []StageResult `json:"stages"`
+}
+
+// StageResult summarises one offered-rate stage.
+type StageResult struct {
+	OfferedRate  float64 `json:"offered_rate_eps"`
+	AchievedRate float64 `json:"achieved_rate_eps"`
+	DeliveredEps float64 `json:"delivered_eps"`
+	Sent         uint64  `json:"sent"`
+	Delivered    uint64  `json:"delivered"`
+	Lost         int64   `json:"lost"`
+	P50us        float64 `json:"p50_us"`
+	P99us        float64 `json:"p99_us"`
+	P999us       float64 `json:"p999_us"`
+	MaxUs        float64 `json:"max_us"`
+	MeanUs       float64 `json:"mean_us"`
+}
+
+// subscriber owns one broker connection and per-stage latency recorders.
+// The recv goroutine is the only writer; mu covers the histograms so the
+// reporter can merge them even if a straggler delivery lands mid-summary.
+type subscriber struct {
+	conn      transport.Conn
+	mu        sync.Mutex
+	hists     []*stats.HDR    // one per stage, guarded by mu
+	delivered []atomic.Uint64 // one per stage, read by the pacing loop
+	done      chan struct{}
+}
+
+func main() {
+	var (
+		addr     = flag.String("addr", "", "broker stream address (required)")
+		rates    = flag.String("rates", "1000,5000,10000", "comma-separated offered rates, events/sec")
+		duration = flag.Duration("duration", 5*time.Second, "time spent at each rate")
+		payload  = flag.Int("payload", 256, "publish payload size in bytes (min 10)")
+		topic    = flag.String("topic", "loadgen/open/loop", "topic published and subscribed to")
+		subs     = flag.Int("subs", 1, "subscriber connections (broker fan-out width)")
+		warmup   = flag.Duration("warmup", 500*time.Millisecond, "unmeasured warmup at the first rate")
+		drain    = flag.Duration("drain", 2*time.Second, "max wait for in-flight deliveries after each stage")
+		out      = flag.String("out", "", "write the JSON report here ('' = stdout)")
+	)
+	flag.Parse()
+	if *addr == "" {
+		fmt.Fprintln(os.Stderr, "loadgen: -addr is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+	offered, err := parseRates(*rates)
+	if err != nil {
+		log.Fatalf("loadgen: %v", err)
+	}
+	if *payload < payloadHeader {
+		*payload = payloadHeader
+	}
+	if *subs < 1 {
+		*subs = 1
+	}
+
+	node := transport.NewRealNode("", nil)
+
+	// Subscribers first, so every measured event has its audience in place.
+	recvers := make([]*subscriber, *subs)
+	for i := range recvers {
+		s, err := newSubscriber(node, *addr, *topic, i, len(offered))
+		if err != nil {
+			log.Fatalf("loadgen: subscriber %d: %v", i, err)
+		}
+		defer s.conn.Close() //nolint:errcheck
+		recvers[i] = s
+	}
+	// Subscriptions travel on their own connections; give the broker a beat
+	// to register them before measured traffic flows.
+	time.Sleep(200 * time.Millisecond)
+
+	pub, err := node.Dial(*addr)
+	if err != nil {
+		log.Fatalf("loadgen: publisher dial: %v", err)
+	}
+	defer pub.Close() //nolint:errcheck
+
+	if *warmup > 0 {
+		log.Printf("loadgen: warmup %v at %.0f events/s", *warmup, offered[0])
+		if _, err := runStage(pub, *topic, stageWarmup, offered[0], *warmup, *payload); err != nil {
+			log.Fatalf("loadgen: warmup: %v", err)
+		}
+	}
+
+	report := Report{
+		Benchmark:   "loadgen-open-loop",
+		Addr:        *addr,
+		Topic:       *topic,
+		PayloadSize: *payload,
+		Subscribers: *subs,
+		DurationSec: duration.Seconds(),
+	}
+	for stage, rate := range offered {
+		log.Printf("loadgen: stage %d/%d: %.0f events/s for %v", stage+1, len(offered), rate, *duration)
+		sent, err := runStage(pub, *topic, uint16(stage), rate, *duration, *payload)
+		if err != nil {
+			log.Fatalf("loadgen: stage %d: %v", stage, err)
+		}
+		waitForDeliveries(recvers, stage, sent.count*uint64(*subs), *drain)
+		report.Stages = append(report.Stages, summarize(recvers, stage, rate, sent))
+		r := report.Stages[stage]
+		log.Printf("loadgen: stage %d: achieved %.0f/s, delivered %d/%d, p50 %.0fµs p99 %.0fµs p999 %.0fµs",
+			stage+1, r.AchievedRate, r.Delivered, r.Sent*uint64(*subs), r.P50us, r.P99us, r.P999us)
+	}
+
+	// Tear the subscriber connections down before reading their histograms:
+	// the recv goroutines own them, and the close handshake is the memory
+	// barrier that publishes their final writes.
+	for _, s := range recvers {
+		_ = s.conn.Close()
+		<-s.done
+	}
+
+	enc, err := json.MarshalIndent(&report, "", "  ")
+	if err != nil {
+		log.Fatalf("loadgen: %v", err)
+	}
+	enc = append(enc, '\n')
+	if *out == "" {
+		os.Stdout.Write(enc) //nolint:errcheck
+		return
+	}
+	if err := os.WriteFile(*out, enc, 0o644); err != nil {
+		log.Fatalf("loadgen: %v", err)
+	}
+}
+
+func parseRates(s string) ([]float64, error) {
+	var out []float64
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		r, err := strconv.ParseFloat(part, 64)
+		if err != nil || r <= 0 {
+			return nil, fmt.Errorf("bad rate %q", part)
+		}
+		out = append(out, r)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("no rates in %q", s)
+	}
+	return out, nil
+}
+
+// newSubscriber dials the broker, subscribes to the topic and starts the
+// receive loop that timestamps deliveries against their scheduled departure.
+func newSubscriber(node transport.Node, addr, topic string, idx, stages int) (*subscriber, error) {
+	conn, err := node.Dial(addr)
+	if err != nil {
+		return nil, err
+	}
+	sub := event.New(event.TypeSubscribe, topic, nil)
+	sub.Source = fmt.Sprintf("loadgen-sub-%d", idx)
+	if err := conn.Send(event.Encode(sub)); err != nil {
+		_ = conn.Close()
+		return nil, err
+	}
+	s := &subscriber{
+		conn:      conn,
+		hists:     make([]*stats.HDR, stages),
+		delivered: make([]atomic.Uint64, stages),
+		done:      make(chan struct{}),
+	}
+	for i := range s.hists {
+		s.hists[i] = stats.NewHDR()
+	}
+	go s.recvLoop()
+	return s, nil
+}
+
+func (s *subscriber) recvLoop() {
+	defer close(s.done)
+	for {
+		frame, err := s.conn.Recv()
+		if err != nil {
+			return
+		}
+		now := time.Now().UnixNano()
+		ev, err := event.Decode(frame)
+		if err != nil || ev.Type != event.TypePublish || len(ev.Payload) < payloadHeader {
+			continue
+		}
+		sched := int64(binary.BigEndian.Uint64(ev.Payload[:8]))
+		stage := binary.BigEndian.Uint16(ev.Payload[8:10])
+		if int(stage) >= len(s.hists) { // warmup or stray traffic
+			continue
+		}
+		s.mu.Lock()
+		s.hists[stage].Record(now - sched)
+		s.mu.Unlock()
+		s.delivered[stage].Add(1)
+	}
+}
+
+// sentStats is what the pacing loop hands back about one stage.
+type sentStats struct {
+	count   uint64
+	elapsed time.Duration
+}
+
+// runStage publishes duration*rate events on the open-loop schedule: event i
+// departs at start + i/rate. When the sender falls behind it does not stretch
+// the schedule — it sends back-to-back until caught up, and every event still
+// carries its *scheduled* departure time, so queueing delay the generator
+// itself suffered is charged to the measured latency, not hidden.
+func runStage(pub transport.Conn, topic string, stage uint16, rate float64, duration time.Duration, payloadSize int) (sentStats, error) {
+	n := uint64(rate * duration.Seconds())
+	if n == 0 {
+		n = 1
+	}
+	interval := float64(time.Second) / rate
+	body := make([]byte, payloadSize)
+	binary.BigEndian.PutUint16(body[8:10], stage)
+
+	start := time.Now()
+	for i := uint64(0); i < n; i++ {
+		sched := start.Add(time.Duration(float64(i) * interval))
+		if wait := time.Until(sched); wait > 0 {
+			time.Sleep(wait)
+		}
+		binary.BigEndian.PutUint64(body[:8], uint64(sched.UnixNano()))
+		// event.New per send keeps the ID fresh: brokers dedup on identity.
+		ev := event.New(event.TypePublish, topic, body)
+		ev.Source = "loadgen-pub"
+		ev.Timestamp = sched
+		if err := pub.Send(event.Encode(ev)); err != nil {
+			return sentStats{count: i, elapsed: time.Since(start)}, err
+		}
+	}
+	return sentStats{count: n, elapsed: time.Since(start)}, nil
+}
+
+// waitForDeliveries blocks until every subscriber has seen the stage's full
+// event count, the flow has gone idle, or the drain budget runs out. Anything
+// still missing afterwards is reported as lost.
+func waitForDeliveries(recvers []*subscriber, stage int, want uint64, budget time.Duration) {
+	deadline := time.Now().Add(budget)
+	last := uint64(0)
+	idleSince := time.Now()
+	for time.Now().Before(deadline) {
+		var got uint64
+		for _, s := range recvers {
+			got += s.delivered[stage].Load()
+		}
+		if got >= want {
+			return
+		}
+		if got != last {
+			last, idleSince = got, time.Now()
+		} else if time.Since(idleSince) > 300*time.Millisecond {
+			return // flow went idle below the target: count the rest as lost
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+func summarize(recvers []*subscriber, stage int, rate float64, sent sentStats) StageResult {
+	merged := stats.NewHDR()
+	var delivered uint64
+	var wallNs int64
+	for _, s := range recvers {
+		s.mu.Lock()
+		merged.Merge(s.hists[stage])
+		s.mu.Unlock()
+		delivered += s.delivered[stage].Load()
+	}
+	wallNs = int64(sent.elapsed)
+	us := func(ns int64) float64 { return float64(ns) / 1e3 }
+	res := StageResult{
+		OfferedRate:  rate,
+		AchievedRate: float64(sent.count) / sent.elapsed.Seconds(),
+		Sent:         sent.count,
+		Delivered:    delivered,
+		Lost:         int64(sent.count)*int64(len(recvers)) - int64(delivered),
+		P50us:        us(merged.Quantile(0.50)),
+		P99us:        us(merged.Quantile(0.99)),
+		P999us:       us(merged.Quantile(0.999)),
+		MaxUs:        us(merged.Max()),
+		MeanUs:       merged.Mean() / 1e3,
+	}
+	if wallNs > 0 {
+		res.DeliveredEps = float64(delivered) / (float64(wallNs) / 1e9)
+	}
+	return res
+}

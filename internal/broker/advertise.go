@@ -50,7 +50,7 @@ func (b *Broker) dialRegistration(addr string) (<-chan struct{}, error) {
 	}
 
 	lk := &link{peer: "bdn:" + addr, role: roleBDN, conn: conn}
-	lk.out = newEgress(conn, b.tel.egressDropped)
+	lk.out = b.newEgress(conn)
 	if !b.registerLink(lk) {
 		_ = conn.Close()
 		return nil, errClosed
@@ -78,6 +78,7 @@ func (b *Broker) dialRegistration(addr string) (<-chan struct{}, error) {
 			b.mu.Lock()
 			if b.links[lk.peer] == lk {
 				delete(b.links, lk.peer)
+				b.rebuildLinkSnap()
 			}
 			b.mu.Unlock()
 			b.connectionsChanged()

@@ -12,6 +12,7 @@ import (
 	"fmt"
 	"log/slog"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"narada/internal/core"
@@ -132,6 +133,12 @@ type Broker struct {
 	subs     *topics.Table
 	interest *interestState // link interest refcounts (RouteSubscriptions)
 	history  *replay.Store  // nil unless ReplayCapacity > 0
+	frames   *framePool     // ref-counted shared egress frames
+
+	// linkSnap is the publish path's view of the broker links (BDN-role
+	// connections excluded): an immutable slice swapped atomically whenever
+	// membership changes, so routing and discovery fan-out never take b.mu.
+	linkSnap atomic.Pointer[[]*link]
 
 	mu          sync.Mutex
 	links       map[string]*link // peer logical address -> link
@@ -205,7 +212,27 @@ func New(node transport.Node, ntp *ntptime.Service, cfg Config) (*Broker, error)
 		closed:      make(chan struct{}),
 	}
 	b.initTelemetry(cfg.Metrics, cfg.Tracer)
+	b.frames = newFramePool(b.tel.framePoolHit, b.tel.framePoolMiss)
+	b.linkSnap.Store(&[]*link{})
 	return b, nil
+}
+
+// newEgress builds an egress queue wired to this broker's telemetry.
+func (b *Broker) newEgress(conn transport.Conn) *egress {
+	return newEgress(conn, b.tel.egressDropped, b.tel.framesPerFlush)
+}
+
+// rebuildLinkSnap republishes the link snapshot from the authoritative map.
+// Caller holds b.mu; readers pick up the new slice on their next load.
+func (b *Broker) rebuildLinkSnap() {
+	snap := make([]*link, 0, len(b.links))
+	for _, lk := range b.links {
+		if lk.role == roleBDN {
+			continue
+		}
+		snap = append(snap, lk)
+	}
+	b.linkSnap.Store(&snap)
 }
 
 // Start binds the broker's endpoints and launches its service loops.
@@ -391,6 +418,7 @@ func (b *Broker) registerLink(lk *link) bool {
 	}
 	old := b.links[lk.peer]
 	b.links[lk.peer] = lk
+	b.rebuildLinkSnap()
 	b.mu.Unlock()
 	if old != nil {
 		_ = old.conn.Close()

@@ -77,7 +77,7 @@ func (b *Broker) handleConn(conn transport.Conn) {
 		return
 	}
 	c := &clientConn{id: conn.RemoteAddr(), conn: conn}
-	c.out = newEgress(conn, b.tel.egressDropped)
+	c.out = b.newEgress(conn)
 	if !b.registerClient(c) {
 		_ = conn.Close()
 		return
@@ -121,7 +121,10 @@ func (b *Broker) handleClientEvent(c *clientConn, ev *event.Event) {
 	switch ev.Type {
 	case event.TypeSubscribe:
 		b.tel.framesControl.Inc()
-		added, err := b.subs.SubscribeAdded(c.id, ev.Topic)
+		// The registration carries the client's delivery queue, so matching
+		// on the publish path hands the queue straight back — no client-map
+		// lookup, no lock.
+		added, err := b.subs.SubscribeValue(c.id, ev.Topic, c.out)
 		if err == nil && added {
 			b.localInterestChanged(ev.Topic, +1)
 		}
@@ -154,7 +157,7 @@ func (b *Broker) handleClientEvent(c *clientConn, ev *event.Event) {
 				limit = 0
 			}
 			for _, past := range b.history.Replay(ev.Topic, limit) {
-				c.out.sendData(event.Encode(past))
+				c.out.sendData(b.frames.encode(past, 1))
 			}
 		}
 	case event.TypeDiscoveryRequest:

@@ -118,10 +118,12 @@ func (b *Broker) handleDiscoveryRequest(ev *event.Event, fromPeer string) {
 			fwd.Headers[k] = v
 		}
 		fwd.SetTrace(traceID, origin, fwdReq.Hops)
-		frame := event.Encode(&fwd)
 		links := b.linksExcept(fromPeer)
-		for _, lk := range links {
-			lk.out.sendData(frame)
+		if len(links) > 0 {
+			f := b.frames.encode(&fwd, int32(len(links)))
+			for _, lk := range links {
+				lk.out.sendData(f)
+			}
 		}
 		tr.event(b, "broker-fanout", "links", strconv.Itoa(len(links)),
 			"hops", strconv.Itoa(int(req.Hops)), "origin", origin)

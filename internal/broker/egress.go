@@ -2,6 +2,7 @@ package broker
 
 import (
 	"sync"
+	"sync/atomic"
 
 	"narada/internal/obs"
 	"narada/internal/transport"
@@ -13,10 +14,20 @@ import (
 // memory instead of a stalled routing loop.
 const egressQueueSize = 512
 
+// maxCoalesce bounds how many queued frames one writer wakeup drains into a
+// single flush. Large enough to amortise the per-write cost (syscall on real
+// sockets) under load, small enough that one flush cannot monopolise the
+// connection against control traffic queued behind it.
+const maxCoalesce = 64
+
 // egress is the bounded asynchronous outbound queue in front of every link
-// and client connection. The routing loop enqueues frames and moves on; a
-// dedicated writer goroutine drains the queue into the connection, so one
-// slow or dead peer no longer head-of-line-blocks delivery to everyone else.
+// and client connection. The routing loop enqueues ref-counted shared frames
+// and moves on; a dedicated writer goroutine drains the queue into the
+// connection, so one slow or dead peer no longer head-of-line-blocks
+// delivery to everyone else. Each wakeup the writer drains every queued
+// frame (up to maxCoalesce) and writes them as one batch — a single
+// vectored write on transports that support it — so under load the
+// per-frame syscall cost amortises away.
 //
 // Two enqueue disciplines implement the fabric's policies:
 //
@@ -26,37 +37,54 @@ const egressQueueSize = 512
 //   - sendControl (interest updates, heartbeats): never dropped; blocks
 //     until queued, applying bounded backpressure for the small volume of
 //     correctness-critical control traffic.
+//
+// Every frame enqueued transfers one reference to the queue; the writer (or
+// the teardown drain) releases it after the write. A frame rejected at
+// enqueue time is released immediately, so callers never need to track
+// whether the queue accepted it.
 type egress struct {
-	conn transport.Conn
-	ch   chan []byte
+	conn  transport.Conn
+	batch transport.BatchSender // non-nil when conn supports vectored writes
+	ch    chan *sharedFrame
 
 	stopOnce sync.Once
 	stop     chan struct{} // ask the writer to flush and exit
 	dead     chan struct{} // closed when the writer has exited
+	down     atomic.Bool   // writer gone: reject new frames without queuing
 
-	dropped *obs.Counter // broker-wide overflow counter
+	frames []*sharedFrame // writer-local coalescing scratch
+	bufs   [][]byte       // writer-local batch view of frames
+
+	dropped  *obs.Counter   // broker-wide overflow counter
+	perFlush *obs.Histogram // frames per writer flush; nil in bare tests
 }
 
-func newEgress(conn transport.Conn, dropped *obs.Counter) *egress {
+func newEgress(conn transport.Conn, dropped *obs.Counter, perFlush *obs.Histogram) *egress {
+	b, _ := conn.(transport.BatchSender)
 	return &egress{
-		conn:    conn,
-		ch:      make(chan []byte, egressQueueSize),
-		stop:    make(chan struct{}),
-		dead:    make(chan struct{}),
-		dropped: dropped,
+		conn:     conn,
+		batch:    b,
+		ch:       make(chan *sharedFrame, egressQueueSize),
+		stop:     make(chan struct{}),
+		dead:     make(chan struct{}),
+		frames:   make([]*sharedFrame, 0, maxCoalesce),
+		bufs:     make([][]byte, 0, maxCoalesce),
+		dropped:  dropped,
+		perFlush: perFlush,
 	}
 }
 
 // run drains the queue into the connection until the connection fails or a
 // close flushes the queue. A failed send closes the connection so the
-// owning recv loop tears the session down.
+// owning recv loop tears the session down. On exit the queue is marked down
+// and drained, releasing every undelivered frame back to its pool.
 func (q *egress) run() {
 	defer close(q.dead)
+	defer q.drainRelease()
 	for {
 		select {
-		case frame := <-q.ch:
-			if q.conn.Send(frame) != nil {
-				_ = q.conn.Close()
+		case f := <-q.ch:
+			if !q.writeCoalesced(f) {
 				return
 			}
 		case <-q.stop:
@@ -66,16 +94,71 @@ func (q *egress) run() {
 	}
 }
 
+// writeCoalesced drains whatever else is already queued behind first (up to
+// maxCoalesce) and writes the run as one batch. It reports false when the
+// connection failed.
+func (q *egress) writeCoalesced(first *sharedFrame) bool {
+	q.frames = append(q.frames[:0], first)
+drain:
+	for len(q.frames) < maxCoalesce {
+		select {
+		case f := <-q.ch:
+			q.frames = append(q.frames, f)
+		default:
+			break drain
+		}
+	}
+	if q.perFlush != nil {
+		q.perFlush.Observe(float64(len(q.frames)))
+	}
+	var err error
+	if q.batch != nil && len(q.frames) > 1 {
+		q.bufs = q.bufs[:0]
+		for _, f := range q.frames {
+			q.bufs = append(q.bufs, f.bytes())
+		}
+		err = q.batch.SendBatch(q.bufs)
+	} else {
+		for _, f := range q.frames {
+			if err = q.conn.Send(f.bytes()); err != nil {
+				break
+			}
+		}
+	}
+	for i, f := range q.frames {
+		f.release()
+		q.frames[i] = nil
+	}
+	if err != nil {
+		_ = q.conn.Close()
+		return false
+	}
+	return true
+}
+
 // flush best-effort drains whatever is queued at close time; frames that
-// fail to send (connection already down) are discarded.
+// fail to send (connection already down) are released by the exit drain.
 func (q *egress) flush() {
 	for {
 		select {
-		case frame := <-q.ch:
-			if q.conn.Send(frame) != nil {
-				_ = q.conn.Close()
+		case f := <-q.ch:
+			if !q.writeCoalesced(f) {
 				return
 			}
+		default:
+			return
+		}
+	}
+}
+
+// drainRelease marks the queue down and releases every frame still queued,
+// so no reference leaks when a connection dies with frames in flight.
+func (q *egress) drainRelease() {
+	q.down.Store(true)
+	for {
+		select {
+		case f := <-q.ch:
+			f.release()
 		default:
 			return
 		}
@@ -89,24 +172,44 @@ func (q *egress) close() {
 }
 
 // sendData enqueues an application/dissemination frame with the drop-oldest
-// overflow policy.
-func (q *egress) sendData(frame []byte) {
+// overflow policy, consuming the caller's reference either way.
+func (q *egress) sendData(f *sharedFrame) {
+	if q.down.Load() {
+		f.release()
+		return
+	}
 	select {
-	case q.ch <- frame:
+	case q.ch <- f:
+		q.reapIfDown()
 		return
 	default:
 	}
 	// Queue full: evict the oldest frame, then retry once. A concurrent
 	// writer drain can make room in between, in which case nothing is lost.
 	select {
-	case <-q.ch:
+	case old := <-q.ch:
+		old.release()
 		q.dropped.Add(1)
 	default:
 	}
 	select {
-	case q.ch <- frame:
+	case q.ch <- f:
+		q.reapIfDown()
 	default:
+		f.release()
 		q.dropped.Add(1)
+	}
+}
+
+// reapIfDown closes the enqueue/teardown race: if the writer exited between
+// our down-check and our enqueue, nothing will ever drain the frame we just
+// queued. The down store happens before the writer's exit drain, so seeing
+// down==false here guarantees the exit drain (which runs after) will reap
+// our frame; seeing true means we must drain ourselves. Draining twice is
+// harmless — every frame is received, and thus released, exactly once.
+func (q *egress) reapIfDown() {
+	if q.down.Load() {
+		q.drainRelease()
 	}
 }
 
@@ -115,12 +218,23 @@ func (q *egress) depth() int { return len(q.ch) }
 
 // sendControl enqueues a control frame that must not be dropped, blocking
 // until there is room. It reports false when the writer has already exited
-// (connection down), so callers can stop producing.
-func (q *egress) sendControl(frame []byte) bool {
+// (connection down) — a frame a dead writer will never deliver does not
+// count as sent — so callers can stop producing; the frame's reference is
+// consumed either way.
+func (q *egress) sendControl(f *sharedFrame) bool {
+	if q.down.Load() {
+		f.release()
+		return false
+	}
 	select {
-	case q.ch <- frame:
+	case q.ch <- f:
+		if q.down.Load() { // writer exited concurrently; reap our frame
+			q.drainRelease()
+			return false
+		}
 		return true
 	case <-q.dead:
+		f.release()
 		return false
 	}
 }

@@ -37,7 +37,8 @@ func (c *blockConn) Close() error {
 	return nil
 }
 
-// recConn records every frame it is asked to send.
+// recConn records every frame it is asked to send. Frames are copied: the
+// shared buffer handed to Send is recycled once the egress releases it.
 type recConn struct {
 	mu     sync.Mutex
 	frames [][]byte
@@ -45,7 +46,7 @@ type recConn struct {
 
 func (c *recConn) Send(f []byte) error {
 	c.mu.Lock()
-	c.frames = append(c.frames, f)
+	c.frames = append(c.frames, append([]byte(nil), f...))
 	c.mu.Unlock()
 	return nil
 }
@@ -61,20 +62,39 @@ func (c *recConn) count() int {
 	return len(c.frames)
 }
 
+// newTestPool builds a frame pool with throwaway counters.
+func newTestPool() *framePool {
+	return newFramePool(&obs.Counter{}, &obs.Counter{})
+}
+
+// frameOf checks a raw-payload frame out of the pool, mirroring encode.
+func frameOf(p *framePool, payload []byte, refs int32) *sharedFrame {
+	f, _ := p.pool.Get().(*sharedFrame)
+	if f == nil {
+		f = &sharedFrame{pool: p}
+	}
+	f.buf = append(f.buf[:0], payload...)
+	f.refs.Store(refs)
+	p.live.Add(1)
+	return f
+}
+
 // TestEgressOverflowDropsOldest proves the routing loop can never be stalled
 // by a dead peer: sendData against a fully blocked connection keeps
-// returning immediately, and the overflow is counted.
+// returning immediately, and the overflow is counted. Every frame reference
+// must come back to the pool regardless of how it was dropped.
 func TestEgressOverflowDropsOldest(t *testing.T) {
 	var dropped obs.Counter
+	pool := newTestPool()
 	conn := newBlockConn()
-	q := newEgress(conn, &dropped)
+	q := newEgress(conn, &dropped, nil)
 	go q.run()
 
 	done := make(chan struct{})
 	go func() {
 		defer close(done)
 		for i := 0; i < 4*egressQueueSize; i++ {
-			q.sendData([]byte{byte(i)})
+			q.sendData(frameOf(pool, []byte{byte(i)}, 1))
 		}
 	}()
 	select {
@@ -87,17 +107,21 @@ func TestEgressOverflowDropsOldest(t *testing.T) {
 	}
 	_ = conn.Close()
 	<-q.dead
+	if live := pool.Live(); live != 0 {
+		t.Fatalf("%d frame references leaked through the overflow path", live)
+	}
 }
 
 // TestEgressFlushesOnClose proves frames accepted before a close are still
 // written out: the writer drains the whole queue before exiting.
 func TestEgressFlushesOnClose(t *testing.T) {
 	var dropped obs.Counter
+	pool := newTestPool()
 	conn := &recConn{}
-	q := newEgress(conn, &dropped)
+	q := newEgress(conn, &dropped, nil)
 	const frames = 100
 	for i := 0; i < frames; i++ {
-		q.sendData([]byte{byte(i)})
+		q.sendData(frameOf(pool, []byte{byte(i)}, 1))
 	}
 	q.close()
 	q.run() // synchronous: drains everything, then exits via flush
@@ -107,27 +131,29 @@ func TestEgressFlushesOnClose(t *testing.T) {
 	if dropped.Value() != 0 {
 		t.Fatalf("flush dropped %d frames", dropped.Value())
 	}
+	if live := pool.Live(); live != 0 {
+		t.Fatalf("%d frame references leaked through the flush path", live)
+	}
 }
 
 // TestEgressControlFailsAfterDeath proves sendControl cannot hang forever on
-// a dead connection: once the writer exits, it reports failure.
+// a dead connection: once the writer exits, every call reports failure and
+// releases its frame.
 func TestEgressControlFailsAfterDeath(t *testing.T) {
 	var dropped obs.Counter
+	pool := newTestPool()
 	conn := newBlockConn()
 	_ = conn.Close() // sends fail immediately
-	q := newEgress(conn, &dropped)
-	q.sendData([]byte{1}) // give the writer a frame so it hits the send error
+	q := newEgress(conn, &dropped, nil)
+	q.sendData(frameOf(pool, []byte{1}, 1)) // give the writer a frame so it hits the send error
 	go q.run()
 	<-q.dead
-	// Past a dead writer, sendControl may still queue into the buffered
-	// channel (a benign race with the dead signal) but can never block and
-	// can never succeed more often than the queue holds.
 	successes := 0
 	done := make(chan struct{})
 	go func() {
 		defer close(done)
 		for i := 0; i < 2*egressQueueSize; i++ {
-			if q.sendControl([]byte{2}) {
+			if q.sendControl(frameOf(pool, []byte{2}, 1)) {
 				successes++
 			}
 		}
@@ -137,8 +163,85 @@ func TestEgressControlFailsAfterDeath(t *testing.T) {
 	case <-time.After(10 * time.Second):
 		t.Fatal("sendControl blocked on a dead writer")
 	}
-	if successes > egressQueueSize {
-		t.Fatalf("%d sendControl calls succeeded past a dead writer, queue holds %d",
-			successes, egressQueueSize)
+	if successes != 0 {
+		t.Fatalf("%d sendControl calls reported success past a dead writer", successes)
 	}
+	if live := pool.Live(); live != 0 {
+		t.Fatalf("%d frame references leaked past a dead writer", live)
+	}
+}
+
+// TestEgressCoalescesBatches proves the writer drains a backlog through the
+// vectored-write capability when the connection offers one: frames queued
+// while the connection is stalled leave in batches, not one write per frame.
+func TestEgressCoalescesBatches(t *testing.T) {
+	var dropped obs.Counter
+	pool := newTestPool()
+	conn := &batchRecConn{gate: make(chan struct{})}
+	q := newEgress(conn, &dropped, nil)
+	go q.run()
+
+	const frames = 100
+	for i := 0; i < frames; i++ {
+		q.sendData(frameOf(pool, []byte{byte(i)}, 1))
+	}
+	close(conn.gate) // un-stall: the writer should now drain in bursts
+	deadline := time.After(10 * time.Second)
+	for conn.total() < frames {
+		select {
+		case <-deadline:
+			t.Fatalf("writer delivered %d of %d frames", conn.total(), frames)
+		case <-time.After(time.Millisecond):
+		}
+	}
+	q.close()
+	<-q.dead
+	if conn.batches() >= frames {
+		t.Fatalf("%d writes for %d frames: no coalescing happened", conn.batches(), frames)
+	}
+	if live := pool.Live(); live != 0 {
+		t.Fatalf("%d frame references leaked through the batch path", live)
+	}
+}
+
+// batchRecConn implements transport.BatchSender and records batch sizes. The
+// gate stalls the first write so a backlog can build behind it.
+type batchRecConn struct {
+	gate chan struct{}
+
+	mu    sync.Mutex
+	sizes []int
+}
+
+func (c *batchRecConn) record(n int) {
+	<-c.gate
+	c.mu.Lock()
+	c.sizes = append(c.sizes, n)
+	c.mu.Unlock()
+}
+
+func (c *batchRecConn) Send([]byte) error               { c.record(1); return nil }
+func (c *batchRecConn) SendBatch(frames [][]byte) error { c.record(len(frames)); return nil }
+func (c *batchRecConn) Recv() ([]byte, error)           { select {} }
+func (c *batchRecConn) RecvTimeout(time.Duration) ([]byte, error) {
+	return nil, transport.ErrTimeout
+}
+func (c *batchRecConn) LocalAddr() string  { return "test/batch:0" }
+func (c *batchRecConn) RemoteAddr() string { return "test/batch:0" }
+func (c *batchRecConn) Close() error       { return nil }
+
+func (c *batchRecConn) total() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n := 0
+	for _, s := range c.sizes {
+		n += s
+	}
+	return n
+}
+
+func (c *batchRecConn) batches() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.sizes)
 }

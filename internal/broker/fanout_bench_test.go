@@ -26,7 +26,7 @@ func (nopConn) Close() error                              { return nil }
 
 // newFanoutBroker builds an unstarted broker suitable for driving
 // routePublish directly.
-func newFanoutBroker(b *testing.B) *Broker {
+func newFanoutBroker(b testing.TB) *Broker {
 	b.Helper()
 	net := simnet.NewPaperWAN(simnet.Config{Scale: 20000, Seed: 1})
 	node := transport.NewSimNode(net, simnet.SiteIndianapolis, "fan", 0)
@@ -44,13 +44,14 @@ func newFanoutBroker(b *testing.B) *Broker {
 
 // addBenchClient registers a discard-everything client straight into the
 // broker's client table, with a running egress writer like a real session.
-func addBenchClient(br *Broker, id string) {
+func addBenchClient(br *Broker, id string) *clientConn {
 	c := &clientConn{id: id, conn: nopConn{}}
-	c.out = newEgress(c.conn, br.tel.egressDropped)
+	c.out = br.newEgress(c.conn)
 	br.startEgress(c.out)
 	br.mu.Lock()
 	br.clients[id] = c
 	br.mu.Unlock()
+	return c
 }
 
 // BenchmarkPublishFanout measures the core publish fan-out path: one event
@@ -62,7 +63,7 @@ func BenchmarkPublishFanout(b *testing.B) {
 	const subscribers = 64
 	for i := 0; i < subscribers; i++ {
 		id := fmt.Sprintf("sub-%d", i)
-		addBenchClient(br, id)
+		c := addBenchClient(br, id)
 		pattern := "bench/fan/topic"
 		switch i % 4 {
 		case 1:
@@ -70,7 +71,9 @@ func BenchmarkPublishFanout(b *testing.B) {
 		case 2:
 			pattern = "bench/**"
 		}
-		if err := br.subs.Subscribe(id, pattern); err != nil {
+		// The registration carries the delivery queue, as a real subscribe
+		// does.
+		if _, err := br.subs.SubscribeValue(id, pattern, c.out); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -1,0 +1,94 @@
+package broker
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"narada/internal/event"
+	"narada/internal/obs"
+)
+
+// maxPooledFrame caps the buffer capacity a recycled frame retains, so one
+// jumbo payload does not pin megabytes inside the pool forever.
+const maxPooledFrame = 1 << 16
+
+// sharedFrame is one encoded wire frame shared by every egress queue of a
+// fan-out: the routing loop encodes the event once, sets the reference count
+// to the number of delivery targets and hands the same frame to all of them.
+// Each queue releases its reference after the write (or on drop/teardown);
+// the last release returns the buffer to the pool. Frames are immutable
+// between encode and final release.
+//
+// The lifetime rules every holder must follow:
+//
+//  1. A frame handed to you carries exactly one reference for you.
+//  2. Release exactly once — after the transport write returns, or
+//     immediately when you drop the frame. The transports do not retain the
+//     payload slice past Send (simnet copies; TCP writes synchronously), so
+//     releasing after Send is safe.
+//  3. Never touch f.buf after your release: the buffer may already be
+//     carrying a different event.
+type sharedFrame struct {
+	buf  []byte
+	refs atomic.Int32
+	pool *framePool
+}
+
+// release drops one reference; the last reference returns the frame to the
+// pool. Releasing more references than were taken corrupts the pool (a
+// recycled buffer would be shared with a live fan-out), so over-release
+// panics loudly instead.
+func (f *sharedFrame) release() {
+	switch n := f.refs.Add(-1); {
+	case n == 0:
+		f.pool.put(f)
+	case n < 0:
+		panic("broker: sharedFrame over-released")
+	}
+}
+
+// bytes returns the encoded frame. Valid only while the caller holds a
+// reference.
+func (f *sharedFrame) bytes() []byte { return f.buf }
+
+// framePool recycles sharedFrames (and their encode buffers) across
+// publishes. The live gauge counts frames currently checked out, which the
+// stress tests assert back to zero to prove no reference leaks.
+type framePool struct {
+	pool sync.Pool
+	live atomic.Int64
+
+	hits   *obs.Counter // encode served by a recycled frame
+	misses *obs.Counter // encode that had to allocate a frame
+}
+
+func newFramePool(hits, misses *obs.Counter) *framePool {
+	return &framePool{hits: hits, misses: misses}
+}
+
+// encode serialises the event into a pooled frame carrying refs references.
+// refs must equal the number of release calls that will follow.
+func (p *framePool) encode(e *event.Event, refs int32) *sharedFrame {
+	f, _ := p.pool.Get().(*sharedFrame)
+	if f == nil {
+		f = &sharedFrame{pool: p}
+		p.misses.Inc()
+	} else {
+		p.hits.Inc()
+	}
+	f.buf = event.Append(f.buf, e)
+	f.refs.Store(refs)
+	p.live.Add(1)
+	return f
+}
+
+func (p *framePool) put(f *sharedFrame) {
+	p.live.Add(-1)
+	if cap(f.buf) > maxPooledFrame {
+		f.buf = nil
+	}
+	p.pool.Put(f)
+}
+
+// Live returns the number of frames currently checked out (test/telemetry).
+func (p *framePool) Live() int64 { return p.live.Load() }

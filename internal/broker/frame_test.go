@@ -1,0 +1,126 @@
+package broker
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"narada/internal/event"
+	"narada/internal/obs"
+)
+
+// TestSharedFrameOverReleasePanics proves the refcount guard: releasing more
+// references than a frame carries would hand a recycled buffer to a live
+// fan-out, so the second release must panic instead of corrupting the pool.
+func TestSharedFrameOverReleasePanics(t *testing.T) {
+	pool := newTestPool()
+	f := frameOf(pool, []byte{1, 2, 3}, 1)
+	f.release()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("double release of a shared frame did not panic")
+		}
+	}()
+	f.release()
+}
+
+// TestFramePoolRecycles proves the encode/release cycle reuses buffers and
+// that the hit/miss counters observe it: the first encode allocates, later
+// encodes are served by the recycled frame, and live drops back to zero.
+func TestFramePoolRecycles(t *testing.T) {
+	var hits, misses obs.Counter
+	pool := newFramePool(&hits, &misses)
+	ev := event.New(event.TypePublish, "pool/topic", []byte("payload"))
+
+	f := pool.encode(ev, 2)
+	if pool.Live() != 1 {
+		t.Fatalf("live after encode = %d, want 1", pool.Live())
+	}
+	first := f.bytes()
+	if dec, err := event.Decode(first); err != nil || dec.Topic != "pool/topic" {
+		t.Fatalf("encoded frame failed to decode: %v", err)
+	}
+	f.release()
+	if pool.Live() != 1 {
+		t.Fatalf("live after first of two releases = %d, want 1", pool.Live())
+	}
+	f.release()
+	if pool.Live() != 0 {
+		t.Fatalf("live after final release = %d, want 0", pool.Live())
+	}
+
+	// sync.Pool may drop items under GC pressure, so assert on the counters
+	// only when the pool actually served a recycled frame.
+	g := pool.encode(ev, 1)
+	g.release()
+	if hits.Value()+misses.Value() != 2 {
+		t.Fatalf("hit+miss = %d+%d, want 2 encodes observed", hits.Value(), misses.Value())
+	}
+	if misses.Value() == 0 {
+		t.Fatal("first encode cannot be a pool hit")
+	}
+}
+
+// TestPublishFrameLifecycleUnderChurn is the -race stress for the lock-free
+// fan-out: concurrent publishers share frames across dozens of egress
+// queues while subscription churn swaps trie snapshots underneath them.
+// After producers quiesce and every writer drains, the frame pool must
+// account for every reference — no leak, no double release (which would
+// have panicked).
+func TestPublishFrameLifecycleUnderChurn(t *testing.T) {
+	br := newFanoutBroker(t)
+	const clients = 24
+	conns := make([]*clientConn, clients)
+	for i := range conns {
+		id := fmt.Sprintf("sub-%d", i)
+		conns[i] = addBenchClient(br, id)
+		pattern := "churn/fan/topic"
+		switch i % 4 {
+		case 1:
+			pattern = "churn/fan/*"
+		case 2:
+			pattern = "churn/**"
+		}
+		if _, err := br.subs.SubscribeValue(id, pattern, conns[i].out); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	var wg sync.WaitGroup
+	for p := 0; p < 4; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			ev := event.New(event.TypePublish, "churn/fan/topic", []byte("stress"))
+			ev.Source = fmt.Sprintf("pub%d", p)
+			for i := 0; i < 500; i++ {
+				br.routePublish(ev, "")
+			}
+		}(p)
+	}
+	// Churner: resubscribes a rotating slice of the population while the
+	// publishers run, forcing snapshot swaps and value refreshes mid-match.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 300; i++ {
+			id := fmt.Sprintf("sub-%d", i%clients)
+			br.subs.Unsubscribe(id, "churn/fan/topic")
+			if _, err := br.subs.SubscribeValue(id, "churn/fan/topic", conns[i%clients].out); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+
+	// Quiesce: stop every writer and wait for its exit drain, then every
+	// frame reference must be back in the pool.
+	for _, c := range conns {
+		c.out.close()
+		<-c.out.dead
+	}
+	if live := br.frames.Live(); live != 0 {
+		t.Fatalf("%d frame references leaked through the fan-out", live)
+	}
+}

@@ -148,7 +148,7 @@ func (b *Broker) sendInterest(lk *link, op, pattern string) {
 	ev := event.New(event.TypeControl, pattern, nil)
 	ev.Source = b.cfg.LogicalAddress
 	ev.SetHeader(controlOpHeader, op)
-	_ = lk.out.sendControl(event.Encode(ev))
+	_ = lk.out.sendControl(b.frames.encode(ev, 1))
 }
 
 // localInterestChanged is called when a client subscription is added or

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"narada/internal/event"
+	"narada/internal/topics"
 )
 
 // helloTimeout bounds link handshakes (model time; generous for WAN paths).
@@ -25,7 +26,7 @@ func (b *Broker) serveLink(lk *link, replyHello bool) {
 		}
 	}
 
-	lk.out = newEgress(lk.conn, b.tel.egressDropped)
+	lk.out = b.newEgress(lk.conn)
 	if !b.registerLink(lk) {
 		_ = lk.conn.Close()
 		return
@@ -51,6 +52,7 @@ func (b *Broker) serveLink(lk *link, replyHello bool) {
 		wasCurrent := b.links[lk.peer] == lk
 		if wasCurrent {
 			delete(b.links, lk.peer)
+			b.rebuildLinkSnap()
 		}
 		b.mu.Unlock()
 		// Only the currently registered link owns the peer's interest; a
@@ -92,7 +94,7 @@ func (b *Broker) heartbeatLink(lk *link) {
 		}
 		hb := event.New(event.TypeLinkHeartbeat, "", nil)
 		hb.Source = b.cfg.LogicalAddress
-		if !lk.out.sendControl(event.Encode(hb)) {
+		if !lk.out.sendControl(b.frames.encode(hb, 1)) {
 			_ = lk.conn.Close()
 			return
 		}
@@ -126,22 +128,38 @@ func (b *Broker) handleLinkEvent(lk *link, ev *event.Event) {
 	}
 }
 
-// pubScratch holds the per-publish scratch buffers the fan-out path reuses
-// across events, keeping the hot loop free of allocations.
+// pubScratch holds the per-publish scratch state the fan-out path reuses
+// across events, keeping the hot loop free of allocations. The visit closure
+// is built once at pool-New time (not per publish — a fresh closure would be
+// the fan-out's only allocation) and appends each matched registration to
+// the scratch it is bound to.
 type pubScratch struct {
-	ids    []string  // matched subscriber ids (deduped, unsorted)
-	peers  []string  // link peers with matching remote interest
-	locals []*egress // matched local client queues
-	links  []*egress // forwarding targets
+	match  topics.Scratch // epoch-stamped dedup state for MatchEachUnique
+	peers  []string       // link peers with matching remote interest
+	locals []*egress      // matched local client queues
+	links  []*egress      // forwarding targets
+	visit  func(id string, val any)
 }
 
 var pubScratchPool = sync.Pool{New: func() any {
-	return &pubScratch{
-		ids:    make([]string, 0, 64),
+	sc := &pubScratch{
 		peers:  make([]string, 0, 8),
 		locals: make([]*egress, 0, 64),
 		links:  make([]*egress, 0, 8),
 	}
+	sc.visit = func(id string, val any) {
+		// Local subscriptions carry their delivery queue as the registration
+		// value; link-interest registrations carry none and are recognised by
+		// their namespaced id.
+		if q, ok := val.(*egress); ok {
+			sc.locals = append(sc.locals, q)
+			return
+		}
+		if peer, isLink := isLinkSubscriber(id); isLink {
+			sc.peers = append(sc.peers, peer)
+		}
+	}
+	return sc
 }}
 
 func containsString(ss []string, s string) bool {
@@ -159,76 +177,66 @@ func containsString(ss []string, s string) bool {
 // only links whose peer registered a matching interest. Duplicate
 // suppression has already happened at the ingress point.
 //
-// This is the substrate's hottest loop, so it is built around three rules:
-// match without allocating (MatchAppend into pooled scratch), snapshot every
-// delivery target under a single lock acquisition, and encode each distinct
-// frame exactly once no matter how wide the fan-out. Actual writes happen on
-// the per-connection egress queues, so a slow peer cannot stall routing.
+// This is the substrate's hottest loop, and it is lock-free: matching walks
+// the immutable COW trie snapshot (each registration hands back its egress
+// queue directly, so there is no client-map lookup), forwarding links come
+// from an atomically swapped snapshot, and each distinct frame is encoded
+// exactly once into a pooled ref-counted buffer shared by every target
+// queue. Actual writes happen on the per-connection egress writers, so a
+// slow peer cannot stall routing.
 func (b *Broker) routePublish(ev *event.Event, fromPeer string) {
 	if b.history != nil {
 		b.history.Add(ev)
 	}
 	sc := pubScratchPool.Get().(*pubScratch)
-	sc.ids = b.subs.MatchAppend(ev.Topic, sc.ids[:0])
 	sc.peers = sc.peers[:0]
 	sc.locals = sc.locals[:0]
 	sc.links = sc.links[:0]
+	b.subs.MatchEachUnique(ev.Topic, &sc.match, sc.visit)
 
-	// One lock acquisition snapshots every delivery target: matched local
-	// clients, and (TTL permitting) the forwarding links.
-	b.mu.Lock()
-	for _, id := range sc.ids {
-		if peer, isLink := isLinkSubscriber(id); isLink {
-			sc.peers = append(sc.peers, peer)
-			continue
-		}
-		if c, ok := b.clients[id]; ok {
-			sc.locals = append(sc.locals, c.out)
-		}
-	}
 	if ev.TTL > 0 {
-		for name, lk := range b.links {
-			if name == fromPeer || lk.role == roleBDN {
+		for _, lk := range *b.linkSnap.Load() {
+			if lk.peer == fromPeer {
 				continue
 			}
-			if b.cfg.Routing == RouteSubscriptions && !containsString(sc.peers, name) {
+			if b.cfg.Routing == RouteSubscriptions && !containsString(sc.peers, lk.peer) {
 				continue
 			}
 			sc.links = append(sc.links, lk.out)
 		}
 	}
-	b.mu.Unlock()
 
-	// Local delivery: one frame shared by every matched subscriber.
+	// Local delivery: one ref-counted frame shared by every matched
+	// subscriber; the last egress writer to flush it returns it to the pool.
 	if len(sc.locals) > 0 {
-		frame := event.Encode(ev)
+		f := b.frames.encode(ev, int32(len(sc.locals)))
 		for _, q := range sc.locals {
-			q.sendData(frame)
+			q.sendData(f)
 		}
 		b.tel.deliveredLocal.Add(uint64(len(sc.locals)))
 	}
 	// Network dissemination: one TTL-decremented frame shared by every link.
-	// A shallow copy suffices — Encode only reads the event.
+	// A shallow copy suffices — encoding only reads the event.
 	if len(sc.links) > 0 {
 		fwd := *ev
 		fwd.TTL--
-		frame := event.Encode(&fwd)
+		f := b.frames.encode(&fwd, int32(len(sc.links)))
 		for _, q := range sc.links {
-			q.sendData(frame)
+			q.sendData(f)
 		}
 		b.tel.deliveredLink.Add(uint64(len(sc.links)))
 	}
 	pubScratchPool.Put(sc)
 }
 
-// linksExcept snapshots the broker links excluding one peer and excluding
-// BDN-role connections (BDNs inject; they are not flooding targets).
+// linksExcept returns the broker links excluding one peer; BDN-role
+// connections (BDNs inject; they are not flooding targets) are already
+// absent from the link snapshot. Lock-free: reads the atomic snapshot.
 func (b *Broker) linksExcept(peer string) []*link {
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	out := make([]*link, 0, len(b.links))
-	for name, lk := range b.links {
-		if name == peer || lk.role == roleBDN {
+	snap := *b.linkSnap.Load()
+	out := make([]*link, 0, len(snap))
+	for _, lk := range snap {
+		if lk.peer == peer {
 			continue
 		}
 		out = append(out, lk)

@@ -1,12 +1,15 @@
 package broker
 
 import (
+	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
 	"narada/internal/simnet"
+	"narada/internal/transport"
 )
 
 // TestConcurrentPubSubStress hammers a three-broker chain with concurrent
@@ -39,7 +42,15 @@ func TestConcurrentPubSubStress(t *testing.T) {
 	if err := stable.Subscribe("stress/**"); err != nil {
 		t.Fatal(err)
 	}
-	time.Sleep(50 * time.Millisecond) // let interest reach b1
+	// Wait until the interest has actually propagated down the chain to b1
+	// (a fixed sleep flakes when the race detector slows the control path).
+	interestDeadline := time.Now().Add(10 * time.Second)
+	for !b1.subs.HasMatch("stress/probe") {
+		if time.Now().After(interestDeadline) {
+			t.Fatal("stable subscriber's interest never reached b1")
+		}
+		time.Sleep(time.Millisecond)
+	}
 
 	var wg sync.WaitGroup
 
@@ -85,20 +96,41 @@ func TestConcurrentPubSubStress(t *testing.T) {
 		}(i, br)
 	}
 
-	// Drain the stable subscriber while the storm runs.
+	// Drain the stable subscriber while the storm runs. Publishing is
+	// fire-and-forget (publisher -> egress queue -> simnet -> client pump),
+	// so the publishers finish well before their events finish arriving, and
+	// Next's timeout runs on compressed model time — milliseconds of wall
+	// time. A single post-publish timeout therefore proves nothing; the drain
+	// only stops once deliveries have quiesced: publishers done, something
+	// received, and several consecutive empty timeouts. A wall-clock deadline
+	// backstops the no-delivery failure case.
 	received := 0
+	var pubsDone atomic.Bool
 	done := make(chan struct{})
 	go func() {
 		defer close(done)
-		for {
-			if _, err := stable.Next(2 * time.Second); err != nil {
+		deadline := time.Now().Add(20 * time.Second)
+		idle := 0
+		for time.Now().Before(deadline) {
+			_, err := stable.Next(2 * time.Second)
+			if err == nil {
+				received++
+				idle = 0
+				continue
+			}
+			if !errors.Is(err, transport.ErrTimeout) {
 				return
 			}
-			received++
+			if pubsDone.Load() {
+				if idle++; idle >= 5 && received > 0 {
+					return
+				}
+			}
 		}
 	}()
 
 	wg.Wait()
+	pubsDone.Store(true)
 	<-done
 	if received == 0 {
 		t.Fatal("stable subscriber received nothing during the stress run")

@@ -128,9 +128,10 @@ func (b *Broker) advertiseLoop() {
 		if len(bdns) == 0 {
 			continue
 		}
-		frame := event.Encode(b.advertisement())
+		// One shared frame, one reference per registration link.
+		f := b.frames.encode(b.advertisement(), int32(len(bdns)))
 		for _, lk := range bdns {
-			if lk.out.sendControl(frame) {
+			if lk.out.sendControl(f) {
 				b.noteAdvertised(lk.peer)
 			}
 		}

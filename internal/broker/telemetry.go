@@ -32,6 +32,10 @@ type telemetry struct {
 
 	egressDropped *obs.Counter // frames dropped by overflowing egress queues
 
+	framePoolHit   *obs.Counter   // shared-frame encodes served from the pool
+	framePoolMiss  *obs.Counter   // shared-frame encodes that allocated
+	framesPerFlush *obs.Histogram // frames coalesced into one egress flush
+
 	// reg and who back the per-target supervision gauges, whose label sets
 	// are only known when a supervised relationship is created. These sit
 	// off the fast path (state transitions and advertise refreshes only).
@@ -90,6 +94,14 @@ func (b *Broker) initTelemetry(reg *obs.Registry, tracer *obs.Tracer) {
 
 	t.egressDropped = reg.Counter("narada_broker_egress_dropped_total",
 		"Frames dropped by overflowing egress queues (drop-oldest policy).", who)
+
+	const framePool = "narada_broker_frame_pool_total"
+	const framePoolHelp = "Shared-frame encodes, by whether the pool had a recycled frame."
+	t.framePoolHit = reg.Counter(framePool, framePoolHelp, who, obs.L("result", "hit"))
+	t.framePoolMiss = reg.Counter(framePool, framePoolHelp, who, obs.L("result", "miss"))
+	t.framesPerFlush = reg.Histogram("narada_broker_egress_frames_per_flush",
+		"Frames coalesced into a single egress writer flush.",
+		[]float64{1, 2, 4, 8, 16, 32, 64}, who)
 
 	reg.GaugeFunc("narada_broker_links", "Active broker-to-broker links.",
 		func() float64 { return float64(b.LinkCount()) }, who)

@@ -169,6 +169,17 @@ func Encode(e *Event) []byte {
 	return frame
 }
 
+// Append serialises the event onto buf (truncated to zero length) and
+// returns the extended slice. Unlike Encode it allocates only when buf's
+// capacity is insufficient, which is what the broker's ref-counted frame
+// pool relies on to keep the publish fan-out allocation-free.
+func Append(buf []byte, e *Event) []byte {
+	var w wire.Writer
+	w.ResetWith(buf)
+	EncodeTo(&w, e)
+	return w.Bytes()
+}
+
 // EncodeTo serialises the event into an existing writer, letting callers
 // that control the frame's lifecycle reuse buffers.
 func EncodeTo(w *wire.Writer, e *Event) {

@@ -1,0 +1,150 @@
+package stats
+
+import "math/bits"
+
+// HDR is a log-linear high-dynamic-range histogram in the style latency
+// recorders use: each power of two is split into 32 linear sub-buckets, so
+// any recorded value is resolved to within 1/32 (~3.1%) of its magnitude
+// while the whole int64 range fits in a couple of kilobytes of counters.
+// Values are unitless int64s; latency recorders feed it nanoseconds.
+//
+// HDR is not safe for concurrent use. The intended pattern is one recorder
+// per producing goroutine, merged with Merge when the run quiesces.
+type HDR struct {
+	counts [hdrBuckets]uint64
+	total  uint64
+	min    int64
+	max    int64
+	sum    int64
+}
+
+const (
+	hdrSubBits  = 5 // 32 sub-buckets per power of two
+	hdrSubCount = 1 << hdrSubBits
+	// Indices: values below hdrSubCount map 1:1; above, shift compresses the
+	// value into [32, 64) within its power-of-two band. 58 bands cover the
+	// non-negative int64 range.
+	hdrBuckets = hdrSubCount * 59
+)
+
+// NewHDR returns an empty histogram.
+func NewHDR() *HDR { return &HDR{min: int64(^uint64(0) >> 1)} }
+
+// hdrIndex maps a non-negative value to its bucket.
+func hdrIndex(v int64) int {
+	if v < hdrSubCount {
+		return int(v)
+	}
+	shift := bits.Len64(uint64(v)) - hdrSubBits - 1
+	idx := shift*hdrSubCount + int(v>>uint(shift))
+	if idx >= hdrBuckets {
+		return hdrBuckets - 1
+	}
+	return idx
+}
+
+// hdrUpper returns the largest value a bucket can hold.
+func hdrUpper(idx int) int64 {
+	if idx < hdrSubCount {
+		return int64(idx)
+	}
+	shift := idx/hdrSubCount - 1
+	sub := int64(idx - shift*hdrSubCount)
+	return (sub+1)<<uint(shift) - 1
+}
+
+// Record adds one observation. Negative values clamp to zero (a latency
+// recorder fed by skewed clocks must not corrupt the scale).
+func (h *HDR) Record(v int64) {
+	if v < 0 {
+		v = 0
+	}
+	h.counts[hdrIndex(v)]++
+	h.total++
+	h.sum += v
+	if v < h.min {
+		h.min = v
+	}
+	if v > h.max {
+		h.max = v
+	}
+}
+
+// Count returns the number of recorded observations.
+func (h *HDR) Count() uint64 { return h.total }
+
+// Min returns the smallest recorded value (0 when empty).
+func (h *HDR) Min() int64 {
+	if h.total == 0 {
+		return 0
+	}
+	return h.min
+}
+
+// Max returns the largest recorded value (0 when empty).
+func (h *HDR) Max() int64 { return h.max }
+
+// Mean returns the arithmetic mean of the recorded values (0 when empty).
+func (h *HDR) Mean() float64 {
+	if h.total == 0 {
+		return 0
+	}
+	return float64(h.sum) / float64(h.total)
+}
+
+// Quantile returns an upper bound for the q-quantile (0 <= q <= 1) that is
+// exact for values under 32 and within one sub-bucket (~3.1%) above. Out-of-
+// range q clamps; an empty histogram reports 0.
+func (h *HDR) Quantile(q float64) int64 {
+	if h.total == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	} else if q > 1 {
+		q = 1
+	}
+	rank := uint64(q * float64(h.total))
+	if rank < 1 {
+		rank = 1
+	}
+	var seen uint64
+	for i, c := range h.counts {
+		seen += c
+		if seen >= rank {
+			v := hdrUpper(i)
+			// The exact extremes are tracked; never report beyond them.
+			if v > h.max {
+				v = h.max
+			}
+			if v < h.min {
+				v = h.min
+			}
+			return v
+		}
+	}
+	return h.max
+}
+
+// Merge folds other's observations into h.
+func (h *HDR) Merge(other *HDR) {
+	if other == nil || other.total == 0 {
+		return
+	}
+	for i, c := range other.counts {
+		h.counts[i] += c
+	}
+	h.total += other.total
+	h.sum += other.sum
+	if other.min < h.min {
+		h.min = other.min
+	}
+	if other.max > h.max {
+		h.max = other.max
+	}
+}
+
+// Reset returns the histogram to its empty state.
+func (h *HDR) Reset() {
+	*h = HDR{min: int64(^uint64(0) >> 1)}
+}

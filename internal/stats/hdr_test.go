@@ -1,0 +1,133 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// TestHDRExactSmallValues: values below the sub-bucket count resolve exactly,
+// so quantiles over them are exact order statistics (upper-bound convention).
+func TestHDRExactSmallValues(t *testing.T) {
+	h := NewHDR()
+	for v := int64(1); v <= 20; v++ {
+		h.Record(v)
+	}
+	cases := []struct {
+		q    float64
+		want int64
+	}{
+		{0, 1}, {0.05, 1}, {0.5, 10}, {0.95, 19}, {1, 20},
+	}
+	for _, c := range cases {
+		if got := h.Quantile(c.q); got != c.want {
+			t.Errorf("Quantile(%v) = %d, want %d", c.q, got, c.want)
+		}
+	}
+	if h.Count() != 20 || h.Min() != 1 || h.Max() != 20 {
+		t.Fatalf("count/min/max = %d/%d/%d", h.Count(), h.Min(), h.Max())
+	}
+	if got := h.Mean(); got != 10.5 {
+		t.Fatalf("Mean() = %v, want 10.5", got)
+	}
+}
+
+// TestHDRRelativeError: for a wide random distribution every reported
+// quantile must land within one sub-bucket (1/32) of the true order
+// statistic. This is the histogram's advertised accuracy contract.
+func TestHDRRelativeError(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	h := NewHDR()
+	xs := make([]int64, 0, 20000)
+	for i := 0; i < 20000; i++ {
+		// Log-uniform over [1µs, 10s] in nanoseconds — a latency-like spread.
+		v := int64(math.Exp(rng.Float64()*math.Log(1e10/1e3)) * 1e3)
+		xs = append(xs, v)
+		h.Record(v)
+	}
+	sort.Slice(xs, func(i, j int) bool { return xs[i] < xs[j] })
+	for _, q := range []float64{0.5, 0.9, 0.99, 0.999, 1} {
+		rank := int(q * float64(len(xs)))
+		if rank < 1 {
+			rank = 1
+		}
+		exact := xs[rank-1]
+		got := h.Quantile(q)
+		if got < exact {
+			t.Errorf("Quantile(%v) = %d below exact %d (upper-bound convention broken)", q, got, exact)
+		}
+		if float64(got-exact) > float64(exact)/32+1 {
+			t.Errorf("Quantile(%v) = %d, exact %d: error beyond one sub-bucket", q, got, exact)
+		}
+	}
+}
+
+// TestHDRMerge: merged recorders must agree with a single recorder fed the
+// union of the samples.
+func TestHDRMerge(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	whole, a, b := NewHDR(), NewHDR(), NewHDR()
+	for i := 0; i < 5000; i++ {
+		v := rng.Int63n(1 << 40)
+		whole.Record(v)
+		if i%2 == 0 {
+			a.Record(v)
+		} else {
+			b.Record(v)
+		}
+	}
+	a.Merge(b)
+	a.Merge(nil)      // must be a no-op
+	a.Merge(NewHDR()) // empty merge must be a no-op
+	if a.Count() != whole.Count() || a.Min() != whole.Min() || a.Max() != whole.Max() {
+		t.Fatalf("merged count/min/max diverge: %d/%d/%d vs %d/%d/%d",
+			a.Count(), a.Min(), a.Max(), whole.Count(), whole.Min(), whole.Max())
+	}
+	for _, q := range []float64{0.1, 0.5, 0.99, 0.999} {
+		if a.Quantile(q) != whole.Quantile(q) {
+			t.Errorf("Quantile(%v): merged %d, whole %d", q, a.Quantile(q), whole.Quantile(q))
+		}
+	}
+}
+
+// TestHDREdges covers the empty histogram, negative clamping, extreme values
+// and Reset.
+func TestHDREdges(t *testing.T) {
+	h := NewHDR()
+	if h.Quantile(0.5) != 0 || h.Max() != 0 || h.Min() != 0 || h.Mean() != 0 {
+		t.Fatal("empty histogram must report zeros")
+	}
+	h.Record(-5) // clamps to 0
+	if h.Min() != 0 || h.Quantile(1) != 0 {
+		t.Fatalf("negative record: min=%d q1=%d, want 0,0", h.Min(), h.Quantile(1))
+	}
+	huge := int64(1) << 62
+	h.Record(huge)
+	if h.Max() != huge {
+		t.Fatalf("max = %d, want %d", h.Max(), huge)
+	}
+	if got := h.Quantile(1); got != huge {
+		t.Fatalf("Quantile(1) = %d, want clamped max %d", got, huge)
+	}
+	h.Reset()
+	if h.Count() != 0 || h.Quantile(0.99) != 0 {
+		t.Fatal("Reset did not empty the histogram")
+	}
+}
+
+// TestHDRBucketRoundTrip: every bucket's upper bound must map back to the
+// same bucket, and bucket upper bounds must be strictly increasing.
+func TestHDRBucketRoundTrip(t *testing.T) {
+	last := int64(-1)
+	for i := 0; i < hdrBuckets; i++ {
+		u := hdrUpper(i)
+		if u <= last && i > 0 {
+			t.Fatalf("bucket %d upper %d not increasing past %d", i, u, last)
+		}
+		last = u
+		if u >= 0 && hdrIndex(u) != i {
+			t.Fatalf("upper(%d)=%d maps back to bucket %d", i, u, hdrIndex(u))
+		}
+	}
+}

@@ -1,0 +1,84 @@
+package topics
+
+import "sync"
+
+// lockedTable is the test-only reference implementation the COW Table is
+// differentially checked against: a mutex around the registration set and
+// linear pattern matching through the Match predicate. It is deliberately
+// the dumbest correct implementation — the shapes the trie optimises
+// (shared prefixes, wildcard branches, dedup across patterns) are exactly
+// where it must not be able to disagree with this.
+type lockedTable struct {
+	mu   sync.RWMutex
+	subs map[string]map[string]struct{} // id -> patterns
+}
+
+func newLockedTable() *lockedTable {
+	return &lockedTable{subs: make(map[string]map[string]struct{})}
+}
+
+func (t *lockedTable) Subscribe(id, pattern string) error {
+	if err := ValidatePattern(pattern); err != nil {
+		return err
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	pats := t.subs[id]
+	if pats == nil {
+		pats = make(map[string]struct{})
+		t.subs[id] = pats
+	}
+	pats[pattern] = struct{}{}
+	return nil
+}
+
+func (t *lockedTable) Unsubscribe(id, pattern string) bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	pats := t.subs[id]
+	if _, ok := pats[pattern]; !ok {
+		return false
+	}
+	delete(pats, pattern)
+	if len(pats) == 0 {
+		delete(t.subs, id)
+	}
+	return true
+}
+
+func (t *lockedTable) UnsubscribeAll(id string) int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	n := len(t.subs[id])
+	delete(t.subs, id)
+	return n
+}
+
+// match returns the de-duplicated, unsorted ids whose patterns match topic.
+func (t *lockedTable) match(topic string) []string {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	var out []string
+	for id, pats := range t.subs {
+		for pattern := range pats {
+			if Match(pattern, topic) {
+				out = append(out, id)
+				break
+			}
+		}
+	}
+	return out
+}
+
+func (t *lockedTable) hasMatch(topic string) bool {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	for _, pats := range t.subs {
+		for pattern := range pats {
+			if Match(pattern, topic) {
+				return true
+			}
+		}
+	}
+	return false
+}

@@ -1,0 +1,499 @@
+package topics
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Table is a concurrent subscription registry mapping patterns to subscriber
+// identities. It is built for a read-dominated workload: the registry is an
+// immutable segment-trie snapshot behind an atomic pointer, so the match
+// methods — the publish fast path of the whole substrate — never acquire a
+// lock and never contend with subscription churn. Subscribe and Unsubscribe
+// serialise on a writer mutex, path-copy the trie (every untouched node is
+// shared with the previous snapshot) and publish the new root with a single
+// atomic swap. A matcher that loaded the old root keeps reading a consistent
+// generation; nodes reachable from a published snapshot are never mutated.
+//
+// Each registration may carry an opaque attachment (SubscribeValue), which
+// the match path hands back without any side lookup — brokers attach the
+// subscriber's delivery queue so a publish touches no other shared state.
+type Table struct {
+	snap atomic.Pointer[snapshot]
+
+	mu    sync.Mutex                     // serialises writers
+	byID  map[string]map[string]struct{} // subscriber -> patterns (bulk removal)
+	index map[string]int32               // subscriber -> dense dedup index
+	free  []int32                        // recycled dedup indexes
+	width int32                          // high-water dedup index bound
+	subs  int                            // total (id, pattern) registrations
+}
+
+// snapshot is one immutable generation of the subscription trie.
+type snapshot struct {
+	root  *trieNode
+	width int32 // scratch size needed to dedup this generation
+}
+
+// entry is one registration as seen by the match path.
+type entry struct {
+	id  string
+	idx int32 // dense per-subscriber index for O(1) match dedup
+	val any   // opaque attachment (e.g. a delivery queue); may be nil
+}
+
+// trieNode is a node of an immutable snapshot. Writers clone every node on
+// the path they change and replace (never mutate) the entry slices, so
+// concurrent matchers can walk any published generation without locks.
+type trieNode struct {
+	children map[string]*trieNode
+	ids      []entry // registrations whose pattern ends exactly here
+	anyIDs   []entry // registrations with a terminal ** here
+}
+
+// NewTable returns an empty subscription table.
+func NewTable() *Table {
+	t := &Table{
+		byID:  make(map[string]map[string]struct{}),
+		index: make(map[string]int32),
+	}
+	t.snap.Store(&snapshot{root: &trieNode{}})
+	return t
+}
+
+// Subscribe registers the subscriber id for the pattern.
+// Duplicate registrations are idempotent.
+func (t *Table) Subscribe(id, pattern string) error {
+	_, err := t.SubscribeValue(id, pattern, nil)
+	return err
+}
+
+// SubscribeAdded registers the subscriber id for the pattern and reports
+// whether a new registration was created (false for idempotent duplicates) —
+// the signal interest propagation needs.
+func (t *Table) SubscribeAdded(id, pattern string) (bool, error) {
+	return t.SubscribeValue(id, pattern, nil)
+}
+
+// SubscribeValue registers the subscriber id for the pattern with an opaque
+// attachment that the match path returns alongside the id (MatchEachUnique).
+// Duplicate (id, pattern) registrations are idempotent but refresh a non-nil
+// attachment, so a re-registering subscriber can hand in its new delivery
+// queue. It reports whether a new registration was created.
+func (t *Table) SubscribeValue(id, pattern string, val any) (bool, error) {
+	if err := ValidatePattern(pattern); err != nil {
+		return false, err
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+
+	pats := t.byID[id]
+	if _, dup := pats[pattern]; dup {
+		if val != nil {
+			t.publishLocked(insertPath(t.snap.Load().root, pattern,
+				entry{id: id, idx: t.index[id], val: val}))
+		}
+		return false, nil
+	}
+	if pats == nil {
+		pats = make(map[string]struct{})
+		t.byID[id] = pats
+	}
+	pats[pattern] = struct{}{}
+	t.subs++
+
+	e := entry{id: id, idx: t.indexLocked(id), val: val}
+	t.publishLocked(insertPath(t.snap.Load().root, pattern, e))
+	return true, nil
+}
+
+// Unsubscribe removes one (id, pattern) registration; it reports whether the
+// registration existed.
+func (t *Table) Unsubscribe(id, pattern string) bool {
+	if ValidatePattern(pattern) != nil {
+		return false
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.removeLocked(id, pattern)
+}
+
+// UnsubscribeAll removes every registration of the subscriber, returning the
+// number removed.
+func (t *Table) UnsubscribeAll(id string) int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	pats := t.byID[id]
+	patterns := make([]string, 0, len(pats))
+	for pattern := range pats {
+		patterns = append(patterns, pattern)
+	}
+	n := 0
+	for _, pattern := range patterns {
+		if t.removeLocked(id, pattern) {
+			n++
+		}
+	}
+	return n
+}
+
+// indexLocked returns the subscriber's dense dedup index, assigning one on
+// first use (recycled indexes first, so the scratch bound stays tight).
+func (t *Table) indexLocked(id string) int32 {
+	if idx, ok := t.index[id]; ok {
+		return idx
+	}
+	var idx int32
+	if n := len(t.free); n > 0 {
+		idx = t.free[n-1]
+		t.free = t.free[:n-1]
+	} else {
+		idx = t.width
+		t.width++
+	}
+	t.index[id] = idx
+	return idx
+}
+
+// publishLocked swaps in a new trie generation. Caller holds mu.
+func (t *Table) publishLocked(root *trieNode) {
+	t.snap.Store(&snapshot{root: root, width: t.width})
+}
+
+// removeLocked deletes one registration, recycles the subscriber's dedup
+// index when its last pattern goes, and publishes the pruned snapshot.
+func (t *Table) removeLocked(id, pattern string) bool {
+	pats, ok := t.byID[id]
+	if !ok {
+		return false
+	}
+	if _, ok := pats[pattern]; !ok {
+		return false
+	}
+	delete(pats, pattern)
+	if len(pats) == 0 {
+		delete(t.byID, id)
+		if idx, ok := t.index[id]; ok {
+			delete(t.index, id)
+			t.free = append(t.free, idx)
+		}
+	}
+	t.subs--
+	t.publishLocked(removePath(t.snap.Load().root, pattern, id))
+	return true
+}
+
+// cloneNode shallow-copies a node for path-copying: the children map is
+// duplicated (the writer will replace one slot), the entry slices are shared
+// (they are immutable; terminal mutations substitute fresh slices).
+func cloneNode(n *trieNode) *trieNode {
+	c := &trieNode{ids: n.ids, anyIDs: n.anyIDs}
+	if n.children != nil {
+		c.children = make(map[string]*trieNode, len(n.children)+1)
+		for k, v := range n.children {
+			c.children[k] = v
+		}
+	}
+	return c
+}
+
+// insertPath returns a new root with the entry registered under pattern,
+// sharing every node off the mutated path with the previous generation.
+func insertPath(root *trieNode, pattern string, e entry) *trieNode {
+	segs := Split(pattern)
+	terminalAny := segs[len(segs)-1] == WildcardAny
+	if terminalAny {
+		segs = segs[:len(segs)-1]
+	}
+	newRoot := cloneNode(root)
+	node := newRoot
+	for _, s := range segs {
+		var next *trieNode
+		if child, ok := node.children[s]; ok {
+			next = cloneNode(child)
+		} else {
+			next = &trieNode{}
+		}
+		if node.children == nil {
+			node.children = make(map[string]*trieNode, 1)
+		}
+		node.children[s] = next
+		node = next
+	}
+	if terminalAny {
+		node.anyIDs = withEntry(node.anyIDs, e)
+	} else {
+		node.ids = withEntry(node.ids, e)
+	}
+	return newRoot
+}
+
+// withEntry returns a fresh slice with e appended, or substituted for an
+// existing registration of the same id (attachment refresh). The old slice
+// is never written: concurrent matchers may still be iterating it.
+func withEntry(old []entry, e entry) []entry {
+	out := make([]entry, len(old), len(old)+1)
+	copy(out, old)
+	for i := range out {
+		if out[i].id == e.id {
+			out[i] = e
+			return out
+		}
+	}
+	return append(out, e)
+}
+
+// removePath returns a new root without (id, pattern), pruning nodes the
+// removal empties. Untouched subtrees are shared with the old generation.
+func removePath(root *trieNode, pattern, id string) *trieNode {
+	segs := Split(pattern)
+	terminalAny := segs[len(segs)-1] == WildcardAny
+	if terminalAny {
+		segs = segs[:len(segs)-1]
+	}
+	newRoot := cloneNode(root)
+	path := make([]*trieNode, 0, len(segs)+1)
+	path = append(path, newRoot)
+	node := newRoot
+	for _, s := range segs {
+		child, ok := node.children[s]
+		if !ok {
+			return newRoot // bookkeeping said it exists; nothing to prune
+		}
+		next := cloneNode(child)
+		node.children[s] = next
+		node = next
+		path = append(path, next)
+	}
+	if terminalAny {
+		node.anyIDs = without(node.anyIDs, id)
+	} else {
+		node.ids = without(node.ids, id)
+	}
+	// Prune empty leaves bottom-up; every node on the path is a fresh clone,
+	// so deleting from its parent's children map is safe.
+	for i := len(path) - 1; i > 0; i-- {
+		n := path[i]
+		if len(n.ids) == 0 && len(n.anyIDs) == 0 && len(n.children) == 0 {
+			delete(path[i-1].children, segs[i-1])
+		} else {
+			break
+		}
+	}
+	return newRoot
+}
+
+// without returns a fresh slice with the id's entry removed (or the original
+// slice unchanged when absent).
+func without(old []entry, id string) []entry {
+	for i := range old {
+		if old[i].id == id {
+			out := make([]entry, 0, len(old)-1)
+			out = append(out, old[:i]...)
+			return append(out, old[i+1:]...)
+		}
+	}
+	return old
+}
+
+// Match returns the sorted, de-duplicated subscriber ids whose patterns
+// match the concrete topic. It is a convenience wrapper over MatchAppend;
+// hot paths that can reuse a scratch buffer should call MatchAppend,
+// MatchEach or MatchEachUnique instead.
+func (t *Table) Match(topic string) []string {
+	ids := t.MatchAppend(topic, nil)
+	if len(ids) == 0 {
+		return nil
+	}
+	sort.Strings(ids)
+	return ids
+}
+
+// MatchAppend appends the de-duplicated (but unsorted) subscriber ids whose
+// patterns match the concrete topic to dst and returns the extended slice.
+// Passing a caller-owned scratch buffer with sufficient capacity makes the
+// whole match allocation-free; ids already present in dst are not appended
+// again, so dst doubles as the de-duplication window.
+func (t *Table) MatchAppend(topic string, dst []string) []string {
+	return matchAppendTrie(t.snap.Load().root, topic, 0, dst)
+}
+
+// MatchEach invokes visit for every subscriber id whose pattern matches the
+// concrete topic, without allocating. An id registered under several
+// patterns that all match is visited once per matching pattern; callers
+// needing exactly-once semantics use MatchEachUnique with a Scratch.
+func (t *Table) MatchEach(topic string, visit func(id string)) {
+	matchEachTrie(t.snap.Load().root, topic, 0, visit)
+}
+
+// Scratch is the reusable dedup state for MatchEachUnique: an epoch-stamped
+// array indexed by the table's dense subscriber indexes, so de-duplicating a
+// visit costs one array load instead of a string comparison sweep. The zero
+// value is ready. A Scratch must not be used concurrently, but may be reused
+// across calls and across tables (it grows to the widest generation seen).
+type Scratch struct {
+	seen []uint32
+	seq  uint32
+}
+
+// MatchEachUnique invokes visit exactly once per matching subscriber with
+// the attachment supplied at registration (nil for Subscribe). It takes no
+// locks and allocates nothing once the scratch has grown to the table's
+// subscriber high-water mark.
+func (t *Table) MatchEachUnique(topic string, sc *Scratch, visit func(id string, val any)) {
+	s := t.snap.Load()
+	if int(s.width) > len(sc.seen) {
+		sc.seen = make([]uint32, s.width+s.width/2+8)
+	}
+	sc.seq++
+	if sc.seq == 0 { // epoch wrap: stale stamps could alias, reset
+		clear(sc.seen)
+		sc.seq = 1
+	}
+	matchUniqueTrie(s.root, topic, 0, sc, visit)
+}
+
+func (sc *Scratch) visitNew(es []entry, visit func(id string, val any)) {
+	for i := range es {
+		e := &es[i]
+		if sc.seen[e.idx] == sc.seq {
+			continue
+		}
+		sc.seen[e.idx] = sc.seq
+		visit(e.id, e.val)
+	}
+}
+
+func matchUniqueTrie(node *trieNode, topic string, start int, sc *Scratch, visit func(id string, val any)) {
+	// A terminal ** at this node matches the (non-empty) remaining suffix —
+	// and also an exact end: "a/**" matches "a/b" and "a/b/c" but not "a".
+	if start > len(topic) {
+		sc.visitNew(node.ids, visit)
+		return
+	}
+	sc.visitNew(node.anyIDs, visit)
+	if node.children == nil {
+		return
+	}
+	seg, next := nextSegment(topic, start)
+	if child, ok := node.children[seg]; ok {
+		matchUniqueTrie(child, topic, next, sc, visit)
+	}
+	if child, ok := node.children[WildcardOne]; ok {
+		matchUniqueTrie(child, topic, next, sc, visit)
+	}
+}
+
+func matchAppendTrie(node *trieNode, topic string, start int, dst []string) []string {
+	if start > len(topic) {
+		for i := range node.ids {
+			dst = appendUnique(dst, node.ids[i].id)
+		}
+		return dst
+	}
+	for i := range node.anyIDs {
+		dst = appendUnique(dst, node.anyIDs[i].id)
+	}
+	if node.children == nil {
+		return dst
+	}
+	seg, next := nextSegment(topic, start)
+	if child, ok := node.children[seg]; ok {
+		dst = matchAppendTrie(child, topic, next, dst)
+	}
+	if child, ok := node.children[WildcardOne]; ok {
+		dst = matchAppendTrie(child, topic, next, dst)
+	}
+	return dst
+}
+
+// appendUnique appends id unless dst already holds it. The linear scan is
+// cheaper than a map for the small fan-out sets a single event matches, and
+// it allocates nothing.
+func appendUnique(dst []string, id string) []string {
+	for _, have := range dst {
+		if have == id {
+			return dst
+		}
+	}
+	return append(dst, id)
+}
+
+func matchEachTrie(node *trieNode, topic string, start int, visit func(id string)) {
+	if start > len(topic) {
+		for i := range node.ids {
+			visit(node.ids[i].id)
+		}
+		return
+	}
+	for i := range node.anyIDs {
+		visit(node.anyIDs[i].id)
+	}
+	if node.children == nil {
+		return
+	}
+	seg, next := nextSegment(topic, start)
+	if child, ok := node.children[seg]; ok {
+		matchEachTrie(child, topic, next, visit)
+	}
+	if child, ok := node.children[WildcardOne]; ok {
+		matchEachTrie(child, topic, next, visit)
+	}
+}
+
+// HasMatch reports whether any subscriber matches the topic (cheaper than
+// Match when only a boolean is needed, e.g. deciding whether to forward).
+func (t *Table) HasMatch(topic string) bool {
+	return hasMatchTrie(t.snap.Load().root, topic, 0)
+}
+
+func hasMatchTrie(node *trieNode, topic string, start int) bool {
+	if start > len(topic) {
+		return len(node.ids) > 0
+	}
+	if len(node.anyIDs) > 0 {
+		return true
+	}
+	if node.children == nil {
+		return false
+	}
+	seg, next := nextSegment(topic, start)
+	if child, ok := node.children[seg]; ok && hasMatchTrie(child, topic, next) {
+		return true
+	}
+	if child, ok := node.children[WildcardOne]; ok && hasMatchTrie(child, topic, next) {
+		return true
+	}
+	return false
+}
+
+// Patterns returns the sorted patterns registered by a subscriber.
+func (t *Table) Patterns(id string) []string {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	pats := t.byID[id]
+	if len(pats) == 0 {
+		return nil
+	}
+	out := make([]string, 0, len(pats))
+	for p := range pats {
+		out = append(out, p)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Len returns the total number of (subscriber, pattern) registrations.
+func (t *Table) Len() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.subs
+}
+
+// Subscribers returns the number of distinct subscriber ids.
+func (t *Table) Subscribers() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.byID)
+}

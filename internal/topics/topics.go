@@ -10,15 +10,16 @@
 //	"**" matches any suffix, terminal only (Services/**)
 //
 // Matching is served by a segment trie, so the cost is proportional to the
-// topic depth rather than to the number of subscriptions.
+// topic depth rather than to the number of subscriptions. The trie is an
+// immutable copy-on-write snapshot behind an atomic pointer (RCU-style):
+// the match methods on the publish fast path never take a lock and never
+// contend with subscription churn — see Table.
 package topics
 
 import (
 	"errors"
 	"fmt"
-	"sort"
 	"strings"
-	"sync"
 )
 
 // Well-known topics used by the discovery scheme (paper §2.3).
@@ -118,195 +119,6 @@ func Match(pattern, topic string) bool {
 	return len(ps) == len(ts)
 }
 
-// Table is a concurrent subscription registry mapping patterns to subscriber
-// identities.
-type Table struct {
-	mu   sync.RWMutex
-	root *trieNode
-	// byID tracks each subscriber's patterns for bulk removal.
-	byID map[string]map[string]struct{}
-	subs int // total (id, pattern) registrations
-}
-
-type trieNode struct {
-	children map[string]*trieNode
-	ids      map[string]struct{} // ids subscribed to the exact path ending here
-	anyIDs   map[string]struct{} // ids subscribed with a terminal ** here
-}
-
-func newTrieNode() *trieNode { return &trieNode{} }
-
-// NewTable returns an empty subscription table.
-func NewTable() *Table {
-	return &Table{root: newTrieNode(), byID: make(map[string]map[string]struct{})}
-}
-
-// Subscribe registers the subscriber id for the pattern.
-// Duplicate registrations are idempotent.
-func (t *Table) Subscribe(id, pattern string) error {
-	_, err := t.SubscribeAdded(id, pattern)
-	return err
-}
-
-// SubscribeAdded registers the subscriber id for the pattern and reports
-// whether a new registration was created (false for idempotent duplicates) —
-// the signal interest propagation needs.
-func (t *Table) SubscribeAdded(id, pattern string) (bool, error) {
-	if err := ValidatePattern(pattern); err != nil {
-		return false, err
-	}
-	segs := Split(pattern)
-	t.mu.Lock()
-	defer t.mu.Unlock()
-
-	node := t.root
-	terminalAny := false
-	for i, s := range segs {
-		if s == WildcardAny && i == len(segs)-1 {
-			terminalAny = true
-			break
-		}
-		if node.children == nil {
-			node.children = make(map[string]*trieNode)
-		}
-		next, ok := node.children[s]
-		if !ok {
-			next = newTrieNode()
-			node.children[s] = next
-		}
-		node = next
-	}
-	var set *map[string]struct{}
-	if terminalAny {
-		set = &node.anyIDs
-	} else {
-		set = &node.ids
-	}
-	if *set == nil {
-		*set = make(map[string]struct{})
-	}
-	if _, dup := (*set)[id]; dup {
-		return false, nil
-	}
-	(*set)[id] = struct{}{}
-
-	pats, ok := t.byID[id]
-	if !ok {
-		pats = make(map[string]struct{})
-		t.byID[id] = pats
-	}
-	pats[pattern] = struct{}{}
-	t.subs++
-	return true, nil
-}
-
-// Unsubscribe removes one (id, pattern) registration; it reports whether the
-// registration existed.
-func (t *Table) Unsubscribe(id, pattern string) bool {
-	if ValidatePattern(pattern) != nil {
-		return false
-	}
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	if pats, ok := t.byID[id]; !ok {
-		return false
-	} else if _, ok := pats[pattern]; !ok {
-		return false
-	}
-	t.removeLocked(id, pattern)
-	return true
-}
-
-// UnsubscribeAll removes every registration of the subscriber, returning the
-// number removed.
-func (t *Table) UnsubscribeAll(id string) int {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	pats := t.byID[id]
-	n := 0
-	for pattern := range pats {
-		t.removeLocked(id, pattern)
-		n++
-	}
-	return n
-}
-
-// removeLocked deletes one registration and prunes empty trie nodes.
-func (t *Table) removeLocked(id, pattern string) {
-	segs := Split(pattern)
-	terminalAny := segs[len(segs)-1] == WildcardAny
-	if terminalAny {
-		segs = segs[:len(segs)-1]
-	}
-	// Walk down recording the path for pruning.
-	path := make([]*trieNode, 0, len(segs)+1)
-	node := t.root
-	path = append(path, node)
-	for _, s := range segs {
-		next, ok := node.children[s]
-		if !ok {
-			return
-		}
-		node = next
-		path = append(path, node)
-	}
-	if terminalAny {
-		delete(node.anyIDs, id)
-	} else {
-		delete(node.ids, id)
-	}
-	// Prune empty leaves bottom-up.
-	for i := len(path) - 1; i > 0; i-- {
-		n := path[i]
-		if len(n.ids) == 0 && len(n.anyIDs) == 0 && len(n.children) == 0 {
-			delete(path[i-1].children, segs[i-1])
-		} else {
-			break
-		}
-	}
-	pats := t.byID[id]
-	delete(pats, pattern)
-	if len(pats) == 0 {
-		delete(t.byID, id)
-	}
-	t.subs--
-}
-
-// Match returns the sorted, de-duplicated subscriber ids whose patterns
-// match the concrete topic. It is a convenience wrapper over MatchAppend;
-// hot paths that can reuse a scratch buffer should call MatchAppend or
-// MatchEach instead.
-func (t *Table) Match(topic string) []string {
-	ids := t.MatchAppend(topic, nil)
-	if len(ids) == 0 {
-		return nil
-	}
-	sort.Strings(ids)
-	return ids
-}
-
-// MatchAppend appends the de-duplicated (but unsorted) subscriber ids whose
-// patterns match the concrete topic to dst and returns the extended slice.
-// Passing a caller-owned scratch buffer with sufficient capacity makes the
-// whole match allocation-free; ids already present in dst are not appended
-// again, so dst doubles as the de-duplication window.
-func (t *Table) MatchAppend(topic string, dst []string) []string {
-	t.mu.RLock()
-	dst = matchAppendTrie(t.root, topic, 0, dst)
-	t.mu.RUnlock()
-	return dst
-}
-
-// MatchEach invokes visit for every subscriber id whose pattern matches the
-// concrete topic, without allocating. An id registered under several
-// patterns that all match is visited once per matching pattern; callers
-// needing exactly-once semantics use MatchAppend with a scratch buffer.
-func (t *Table) MatchEach(topic string, visit func(id string)) {
-	t.mu.RLock()
-	matchEachTrie(t.root, topic, 0, visit)
-	t.mu.RUnlock()
-}
-
 // nextSegment cuts the segment of topic starting at byte offset start and
 // returns it with the offset of the following segment. An offset past
 // len(topic) means the topic is exhausted. Operating on offsets instead of
@@ -316,121 +128,4 @@ func nextSegment(topic string, start int) (seg string, next int) {
 		return topic[start : start+i], start + i + 1
 	}
 	return topic[start:], len(topic) + 1
-}
-
-func matchAppendTrie(node *trieNode, topic string, start int, dst []string) []string {
-	// A terminal ** at this node matches the (non-empty) remaining suffix —
-	// and also an exact end: "a/**" matches "a/b" and "a/b/c" but not "a".
-	if start > len(topic) {
-		for id := range node.ids {
-			dst = appendUnique(dst, id)
-		}
-		return dst
-	}
-	for id := range node.anyIDs {
-		dst = appendUnique(dst, id)
-	}
-	if node.children == nil {
-		return dst
-	}
-	seg, next := nextSegment(topic, start)
-	if child, ok := node.children[seg]; ok {
-		dst = matchAppendTrie(child, topic, next, dst)
-	}
-	if child, ok := node.children[WildcardOne]; ok {
-		dst = matchAppendTrie(child, topic, next, dst)
-	}
-	return dst
-}
-
-// appendUnique appends id unless dst already holds it. The linear scan is
-// cheaper than a map for the small fan-out sets a single event matches, and
-// it allocates nothing.
-func appendUnique(dst []string, id string) []string {
-	for _, have := range dst {
-		if have == id {
-			return dst
-		}
-	}
-	return append(dst, id)
-}
-
-func matchEachTrie(node *trieNode, topic string, start int, visit func(id string)) {
-	if start > len(topic) {
-		for id := range node.ids {
-			visit(id)
-		}
-		return
-	}
-	for id := range node.anyIDs {
-		visit(id)
-	}
-	if node.children == nil {
-		return
-	}
-	seg, next := nextSegment(topic, start)
-	if child, ok := node.children[seg]; ok {
-		matchEachTrie(child, topic, next, visit)
-	}
-	if child, ok := node.children[WildcardOne]; ok {
-		matchEachTrie(child, topic, next, visit)
-	}
-}
-
-// HasMatch reports whether any subscriber matches the topic (cheaper than
-// Match when only a boolean is needed, e.g. deciding whether to forward).
-func (t *Table) HasMatch(topic string) bool {
-	t.mu.RLock()
-	defer t.mu.RUnlock()
-	return hasMatchTrie(t.root, topic, 0)
-}
-
-func hasMatchTrie(node *trieNode, topic string, start int) bool {
-	if start > len(topic) {
-		return len(node.ids) > 0
-	}
-	if len(node.anyIDs) > 0 {
-		return true
-	}
-	if node.children == nil {
-		return false
-	}
-	seg, next := nextSegment(topic, start)
-	if child, ok := node.children[seg]; ok && hasMatchTrie(child, topic, next) {
-		return true
-	}
-	if child, ok := node.children[WildcardOne]; ok && hasMatchTrie(child, topic, next) {
-		return true
-	}
-	return false
-}
-
-// Patterns returns the sorted patterns registered by a subscriber.
-func (t *Table) Patterns(id string) []string {
-	t.mu.RLock()
-	defer t.mu.RUnlock()
-	pats := t.byID[id]
-	if len(pats) == 0 {
-		return nil
-	}
-	out := make([]string, 0, len(pats))
-	for p := range pats {
-		out = append(out, p)
-	}
-	sort.Strings(out)
-	return out
-}
-
-// Len returns the total number of (subscriber, pattern) registrations.
-func (t *Table) Len() int {
-	t.mu.RLock()
-	defer t.mu.RUnlock()
-	return t.subs
-}
-
-// Subscribers returns the number of distinct subscriber ids.
-func (t *Table) Subscribers() int {
-	t.mu.RLock()
-	defer t.mu.RUnlock()
-	return len(t.byID)
 }

@@ -242,6 +242,11 @@ type realConn struct {
 	c       net.Conn
 	readMu  sync.Mutex
 	writeMu sync.Mutex
+
+	// Batch-write scratch, guarded by writeMu: headers for every frame of a
+	// batch and the vectored-write view over headers and payloads.
+	batchHdrs []byte
+	batchBufs net.Buffers
 }
 
 func newRealConn(c net.Conn) *realConn { return &realConn{c: c} }
@@ -258,6 +263,30 @@ func (c *realConn) Send(payload []byte) error {
 		return translateNetErr(err)
 	}
 	_, err := c.c.Write(payload)
+	return translateNetErr(err)
+}
+
+// SendBatch implements BatchSender: all frames (each with its length prefix)
+// leave in one vectored write, so a coalescing egress writer pays one
+// syscall per flush instead of two per frame. The header scratch may regrow
+// mid-loop; slices into the old backing array keep their bytes, so the
+// already-collected views stay valid.
+func (c *realConn) SendBatch(frames [][]byte) error {
+	c.writeMu.Lock()
+	defer c.writeMu.Unlock()
+	hdrs := c.batchHdrs[:0]
+	bufs := c.batchBufs[:0]
+	for _, p := range frames {
+		if len(p) > MaxFrame {
+			return fmt.Errorf("transport: frame of %d bytes exceeds limit", len(p))
+		}
+		off := len(hdrs)
+		hdrs = binary.BigEndian.AppendUint32(hdrs, uint32(len(p)))
+		bufs = append(bufs, hdrs[off:off+4], p)
+	}
+	c.batchHdrs = hdrs[:0]
+	c.batchBufs = bufs[:0]
+	_, err := bufs.WriteTo(c.c)
 	return translateNetErr(err)
 }
 

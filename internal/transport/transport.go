@@ -56,6 +56,15 @@ type Conn interface {
 	Close() error
 }
 
+// BatchSender is an optional Conn capability: transmit several frames in one
+// operation (a single vectored write on real sockets). Egress writers that
+// coalesce queued frames type-assert for it and fall back to per-frame Send.
+// The frames slice and its buffers are only borrowed for the duration of the
+// call.
+type BatchSender interface {
+	SendBatch(frames [][]byte) error
+}
+
 // Listener accepts incoming Conns.
 type Listener interface {
 	Accept() (Conn, error)

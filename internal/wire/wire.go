@@ -79,6 +79,13 @@ func (w *Writer) Detach() []byte {
 // Bytes returns the encoded message.
 func (w *Writer) Bytes() []byte { return w.buf }
 
+// ResetWith points the writer at a caller-owned buffer, truncated to zero
+// length. Encoding then appends in place, so a caller recycling its own
+// frame buffers (e.g. a ref-counted frame pool) pays no allocation when the
+// buffer's capacity already fits the message; take the possibly-regrown
+// result back with Bytes.
+func (w *Writer) ResetWith(buf []byte) { w.buf = buf[:0] }
+
 // Len returns the number of bytes written so far.
 func (w *Writer) Len() int { return len(w.buf) }
 

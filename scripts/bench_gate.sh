@@ -1,0 +1,62 @@
+#!/bin/sh
+# bench_gate.sh is the publish fast-path performance gate: it re-runs
+# BenchmarkPublishFanout COUNT times, takes the best (minimum) ns/op — the
+# run least disturbed by scheduler noise — and compares it against the
+# gate_ns_op / gate_allocs_op recorded in BENCH_fanout.json. More than a 2%
+# ns/op regression, or any allocs/op above the recorded gate, fails.
+#
+#   sh scripts/bench_gate.sh            # defaults: COUNT=8, 2% threshold
+#   COUNT=12 REGRESSION_PCT=5 sh scripts/bench_gate.sh
+set -eu
+cd "$(dirname "$0")/.."
+
+BENCH_FILE=${BENCH_FILE:-BENCH_fanout.json}
+COUNT=${COUNT:-8}
+REGRESSION_PCT=${REGRESSION_PCT:-2}
+
+if [ ! -f "$BENCH_FILE" ]; then
+    echo "bench-gate: $BENCH_FILE not found" >&2
+    exit 1
+fi
+
+GATE_NS=$(sed -n 's/.*"gate_ns_op"[[:space:]]*:[[:space:]]*\([0-9][0-9]*\).*/\1/p' "$BENCH_FILE" | head -1)
+GATE_ALLOCS=$(sed -n 's/.*"gate_allocs_op"[[:space:]]*:[[:space:]]*\([0-9][0-9]*\).*/\1/p' "$BENCH_FILE" | head -1)
+if [ -z "$GATE_NS" ] || [ -z "$GATE_ALLOCS" ]; then
+    echo "bench-gate: $BENCH_FILE carries no gate_ns_op / gate_allocs_op" >&2
+    exit 1
+fi
+
+OUT=$(mktemp)
+trap 'rm -f "$OUT"' EXIT
+
+echo "bench-gate: running BenchmarkPublishFanout x$COUNT (gate: ${GATE_NS} ns/op +${REGRESSION_PCT}%, ${GATE_ALLOCS} allocs/op)"
+go test -run '^$' -bench 'BenchmarkPublishFanout$' -benchmem -benchtime=1s \
+    -count "$COUNT" ./internal/broker/ | tee "$OUT"
+
+# Benchmark lines: name  iters  X ns/op  Y MB/s  Z B/op  W allocs/op
+awk -v gate_ns="$GATE_NS" -v gate_allocs="$GATE_ALLOCS" -v pct="$REGRESSION_PCT" '
+/^BenchmarkPublishFanout/ {
+    for (i = 1; i <= NF; i++) {
+        if ($i == "ns/op" && (best_ns == "" || $(i-1) + 0 < best_ns)) best_ns = $(i-1) + 0
+        if ($i == "allocs/op" && (best_allocs == "" || $(i-1) + 0 < best_allocs)) best_allocs = $(i-1) + 0
+    }
+    runs++
+}
+END {
+    if (runs == 0) { print "bench-gate: no benchmark output parsed" > "/dev/stderr"; exit 1 }
+    limit = gate_ns * (1 + pct / 100)
+    printf "bench-gate: best of %d runs: %.0f ns/op (limit %.0f), %d allocs/op (gate %d)\n", \
+        runs, best_ns, limit, best_allocs, gate_allocs
+    failed = 0
+    if (best_ns > limit) {
+        printf "bench-gate: FAIL: %.0f ns/op exceeds %.0f (gate %.0f +%s%%)\n", best_ns, limit, gate_ns, pct > "/dev/stderr"
+        failed = 1
+    }
+    if (best_allocs > gate_allocs) {
+        printf "bench-gate: FAIL: %d allocs/op exceeds gate %d\n", best_allocs, gate_allocs > "/dev/stderr"
+        failed = 1
+    }
+    exit failed
+}' "$OUT"
+
+echo "bench-gate: ok"

@@ -2,9 +2,11 @@
 # ci.sh is the complete pre-merge gate: fast static checks first (vet, then
 # race-enabled tests for the observability plane and the chaos/supervision
 # packages, the ones most exposed to concurrency bugs), the tier-1 verify
-# target (build, vet, gofmt, tests, race), and finally the three real-socket
-# smoke tests (collector/prober trace assembly, health-engine failure
-# detection, and self-healing BDN re-registration).
+# target (build, vet, gofmt, tests, race), the publish fan-out performance
+# gate (>2% ns/op regression or any new allocation on the fast path fails),
+# and finally the four real-socket smoke tests (collector/prober trace
+# assembly, health-engine failure detection, self-healing BDN
+# re-registration, and the open-loop load generator end to end).
 set -eu
 cd "$(dirname "$0")/.."
 
@@ -19,6 +21,12 @@ go test -race ./internal/supervise/ ./internal/testbed/
 
 echo "ci: make verify"
 make verify
+
+echo "ci: make bench-gate"
+make bench-gate
+
+echo "ci: make loadgen-smoke"
+make loadgen-smoke
 
 echo "ci: make obs-smoke"
 make obs-smoke
