@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet fmt-check verify bench bench-gate fuzz obs-smoke health-smoke chaos-smoke loadgen-smoke ci
+.PHONY: all build test race vet fmt-check verify bench bench-gate fuzz obs-smoke health-smoke chaos-smoke loadgen-smoke flows-smoke ci
 
 all: build
 
@@ -53,6 +53,12 @@ obs-smoke:
 # broker under the same identity restarts.
 health-smoke:
 	sh scripts/health_smoke.sh
+
+# flows-smoke boots an obscollect + a broker with the publish sampler enabled
+# and drives loadgen traffic through it, asserting the collector's /flows
+# endpoint accounts the topic and at least one message trace assembles.
+flows-smoke:
+	sh scripts/flows_smoke.sh
 
 # chaos-smoke boots a BDN + supervised broker on real sockets, kills and
 # restarts the BDN on the same port, and asserts the broker re-registers

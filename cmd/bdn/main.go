@@ -99,8 +99,9 @@ func main() {
 	reg := obs.NewRegistry()
 	obs.RegisterProcessMetrics(reg)
 	tracer := obs.NewTracer(obs.DefaultTraceCapacity, logger)
+	var exp *obs.Exporter
 	if cfg.ObsExportAddr != "" {
-		exp, err := obs.NewExporter(obs.ExporterConfig{
+		exp, err = obs.NewExporter(obs.ExporterConfig{
 			Addr:     cfg.ObsExportAddr,
 			Node:     cfg.Name,
 			Offset:   ntp.Offset,
@@ -109,7 +110,6 @@ func main() {
 		if err != nil {
 			log.Fatalf("bdn: obs export: %v", err)
 		}
-		defer exp.Close() //nolint:errcheck
 		tracer.SetExporter(exp)
 		log.Printf("bdn: exporting observability to udp://%s", cfg.ObsExportAddr)
 	}
@@ -136,16 +136,12 @@ func main() {
 	}
 	log.Printf("bdn %s listening on %s", d.Name(), d.Addr())
 
+	var srv *obs.Server
 	if cfg.TelemetryAddr != "" {
-		srv, err := obs.Serve(cfg.TelemetryAddr, reg, tracer)
+		srv, err = obs.Serve(cfg.TelemetryAddr, reg, tracer)
 		if err != nil {
 			log.Fatalf("bdn: telemetry: %v", err)
 		}
-		defer func() {
-			ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
-			defer cancel()
-			_ = srv.Shutdown(ctx)
-		}()
 		log.Printf("bdn: telemetry on http://%s/metrics", srv.Addr())
 	}
 
@@ -166,10 +162,23 @@ func main() {
 		}()
 	}
 
+	// Ordered shutdown on SIGINT/SIGTERM: stop the daemon first, then the
+	// telemetry server, and close the exporter last so its final drained
+	// spans and metric snapshot reach the collector before the socket dies.
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
-	<-sig
+	s := <-sig
 	close(stop)
-	log.Print("bdn: shutting down")
+	log.Printf("bdn: %s: shutting down", s)
 	d.Close()
+	if srv != nil {
+		ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+		_ = srv.Shutdown(ctx)
+		cancel()
+	}
+	if exp != nil {
+		_ = exp.Close()
+		log.Print("bdn: final telemetry snapshot exported")
+	}
+	log.Print("bdn: shutdown complete")
 }

@@ -19,6 +19,7 @@ import (
 	"os"
 	"os/signal"
 	"strings"
+	"sync/atomic"
 	"syscall"
 	"time"
 
@@ -46,6 +47,8 @@ func main() {
 		advTTL     = flag.Duration("ad-ttl", 0, "advertised validity window (overrides config; 0 = 3x refresh period)")
 		telemetry  = flag.String("telemetry-addr", "", "listen addr for /metrics, /healthz, /debug/traces and pprof (overrides config; '' = off)")
 		obsExport  = flag.String("obs-export", "", "obscollect UDP addr to export spans + metric snapshots to (overrides config; '' = off)")
+		sampleN    = flag.Int("sample-every", 0, "trace ~1 in N publishes originating here (overrides config; 0 = off)")
+		samplePS   = flag.Int("sample-topic-persec", 0, "per-topic cap on traced messages/second (overrides config; 0 = uncapped)")
 		logLevel   = flag.String("log-level", "", "log level: debug | info | warn | error (overrides config)")
 	)
 	flag.Parse()
@@ -98,6 +101,12 @@ func main() {
 	if *obsExport != "" {
 		cfg.ObsExportAddr = *obsExport
 	}
+	if *sampleN > 0 {
+		cfg.SampleEvery = *sampleN
+	}
+	if *samplePS > 0 {
+		cfg.SampleTopicPerSec = *samplePS
+	}
 	if *logLevel != "" {
 		cfg.LogLevel = *logLevel
 	}
@@ -123,17 +132,26 @@ func main() {
 	reg := obs.NewRegistry()
 	obs.RegisterProcessMetrics(reg)
 	tracer := obs.NewTracer(obs.DefaultTraceCapacity, logger)
+	// The exporter is wired before the broker exists, so its per-tick flow
+	// snapshot reads through an atomic indirection filled in below.
+	var flowSource atomic.Pointer[func() []obs.FlowSnapshot]
+	var exp *obs.Exporter
 	if cfg.ObsExportAddr != "" {
-		exp, err := obs.NewExporter(obs.ExporterConfig{
+		exp, err = obs.NewExporter(obs.ExporterConfig{
 			Addr:     cfg.ObsExportAddr,
 			Node:     cfg.LogicalAddress,
 			Offset:   ntp.Offset,
 			Registry: reg,
+			Flows: func() []obs.FlowSnapshot {
+				if f := flowSource.Load(); f != nil {
+					return (*f)()
+				}
+				return nil
+			},
 		})
 		if err != nil {
 			log.Fatalf("broker: obs export: %v", err)
 		}
-		defer exp.Close() //nolint:errcheck
 		tracer.SetExporter(exp)
 		log.Printf("broker: exporting observability to udp://%s", cfg.ObsExportAddr)
 	}
@@ -156,26 +174,28 @@ func main() {
 		AdvertiseTTL:      cfg.AdvertiseTTL(),
 		Metrics:           reg,
 		Tracer:            tracer,
+		PublishSampler:    obs.NewSampler(uint64(cfg.SampleEvery), uint64(cfg.SampleTopicPerSec)),
 	})
 	if err != nil {
 		log.Fatalf("broker: %v", err)
 	}
+	flows := b.Flows
+	flowSource.Store(&flows)
 	if err := b.Start(); err != nil {
 		log.Fatalf("broker: %v", err)
+	}
+	if cfg.SampleEvery > 0 {
+		log.Printf("broker: sampling ~1/%d publishes for message tracing", cfg.SampleEvery)
 	}
 	log.Printf("broker %s listening: stream=%s udp=%s",
 		b.LogicalAddress(), b.StreamAddr(), b.UDPAddr())
 
+	var srv *obs.Server
 	if cfg.TelemetryAddr != "" {
-		srv, err := obs.Serve(cfg.TelemetryAddr, reg, tracer)
+		srv, err = obs.Serve(cfg.TelemetryAddr, reg, tracer)
 		if err != nil {
 			log.Fatalf("broker: telemetry: %v", err)
 		}
-		defer func() {
-			ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
-			defer cancel()
-			_ = srv.Shutdown(ctx)
-		}()
 		log.Printf("broker: telemetry on http://%s/metrics", srv.Addr())
 	}
 
@@ -194,11 +214,26 @@ func main() {
 		}
 	}
 
+	// Ordered shutdown on SIGINT/SIGTERM: stop producing (broker) first,
+	// then stop serving telemetry, and close the exporter last — its Close
+	// drains buffered spans and ships a final metric + flow snapshot, so the
+	// collector keeps the process's last moments instead of losing them with
+	// the socket.
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
-	<-sig
-	log.Print("broker: shutting down")
+	s := <-sig
+	log.Printf("broker: %s: shutting down", s)
 	b.Close()
+	if srv != nil {
+		ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+		_ = srv.Shutdown(ctx)
+		cancel()
+	}
+	if exp != nil {
+		_ = exp.Close()
+		log.Print("broker: final telemetry snapshot exported")
+	}
+	log.Print("broker: shutdown complete")
 }
 
 func splitList(s string) []string {

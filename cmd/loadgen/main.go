@@ -88,6 +88,7 @@ func main() {
 		subs     = flag.Int("subs", 1, "subscriber connections (broker fan-out width)")
 		warmup   = flag.Duration("warmup", 500*time.Millisecond, "unmeasured warmup at the first rate")
 		drain    = flag.Duration("drain", 2*time.Second, "max wait for in-flight deliveries after each stage")
+		sampleN  = flag.Uint64("sample-every", 0, "stamp every Nth publish with the sampled message-trace headers (0 = off)")
 		out      = flag.String("out", "", "write the JSON report here ('' = stdout)")
 	)
 	flag.Parse()
@@ -131,7 +132,7 @@ func main() {
 
 	if *warmup > 0 {
 		log.Printf("loadgen: warmup %v at %.0f events/s", *warmup, offered[0])
-		if _, err := runStage(pub, *topic, stageWarmup, offered[0], *warmup, *payload); err != nil {
+		if _, err := runStage(pub, *topic, stageWarmup, offered[0], *warmup, *payload, *sampleN); err != nil {
 			log.Fatalf("loadgen: warmup: %v", err)
 		}
 	}
@@ -146,7 +147,7 @@ func main() {
 	}
 	for stage, rate := range offered {
 		log.Printf("loadgen: stage %d/%d: %.0f events/s for %v", stage+1, len(offered), rate, *duration)
-		sent, err := runStage(pub, *topic, uint16(stage), rate, *duration, *payload)
+		sent, err := runStage(pub, *topic, uint16(stage), rate, *duration, *payload, *sampleN)
 		if err != nil {
 			log.Fatalf("loadgen: stage %d: %v", stage, err)
 		}
@@ -259,7 +260,12 @@ type sentStats struct {
 // the schedule — it sends back-to-back until caught up, and every event still
 // carries its *scheduled* departure time, so queueing delay the generator
 // itself suffered is charged to the measured latency, not hidden.
-func runStage(pub transport.Conn, topic string, stage uint16, rate float64, duration time.Duration, payloadSize int) (sentStats, error) {
+//
+// With sampleEvery > 0, every Nth event is stamped with the sampled
+// message-trace headers: publisher-decided sampling, which the ingress broker
+// honours without re-rolling — its msg-publish span and everything downstream
+// key off the event UUID.
+func runStage(pub transport.Conn, topic string, stage uint16, rate float64, duration time.Duration, payloadSize int, sampleEvery uint64) (sentStats, error) {
 	n := uint64(rate * duration.Seconds())
 	if n == 0 {
 		n = 1
@@ -279,6 +285,9 @@ func runStage(pub transport.Conn, topic string, stage uint16, rate float64, dura
 		ev := event.New(event.TypePublish, topic, body)
 		ev.Source = "loadgen-pub"
 		ev.Timestamp = sched
+		if sampleEvery > 0 && i%sampleEvery == 0 {
+			ev.SetMsgTrace("loadgen-pub", 0)
+		}
 		if err := pub.Send(event.Encode(ev)); err != nil {
 			return sentStats{count: i, elapsed: time.Since(start)}, err
 		}

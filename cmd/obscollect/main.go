@@ -4,9 +4,12 @@
 //
 //	/metrics       federated Prometheus exposition (node label per source)
 //	/traces        retained cross-node trace summaries
-//	/traces/{id}   one assembled trace, spans in NTP-aligned causal order
+//	/traces/{id}   one assembled trace, spans in NTP-aligned causal order;
+//	               message traces carry per-hop queue-wait breakdowns
+//	/flows         per-topic flow accounting (top-k per node + fabric merge)
 //	/fabric        per-node liveness, clock offset, load and latency SLIs
-//	/alerts        health-alert list (deadman, clock drift, egress, SLO burn)
+//	/alerts        health-alert list (deadman, clock drift, egress, SLO burn,
+//	               delivery-latency burn, drop ratio)
 //	/query         range queries over the retained multi-resolution series
 //
 // Every ingested snapshot also feeds the in-memory time-series store and the
@@ -61,6 +64,10 @@ func main() {
 		clockEnvelope  = flag.Duration("clock-envelope", 20*time.Millisecond, "acceptable NTP clock-offset envelope (±)")
 		sloTarget      = flag.Float64("slo-target", 0.99, "probe success-rate SLO for burn-rate alerting")
 		latencySLO     = flag.Duration("latency-slo", time.Second, "probe latency SLO (slower probes burn latency budget)")
+		deliveryTarget = flag.Float64("delivery-slo-target", 0.99, "delivery-latency SLO target for burn-rate alerting")
+		deliverySLO    = flag.Duration("delivery-latency-slo", 100*time.Millisecond, "end-to-end delivery latency SLO (slower deliveries burn budget)")
+		dropRatioMax   = flag.Float64("drop-ratio-max", 0.01, "egress drops / delivery attempts ratio that fires drop_ratio")
+		dropMinVolume  = flag.Float64("drop-min-volume", 100, "delivery attempts per window before drop_ratio may fire")
 		pendingFor     = flag.Duration("alert-pending-for", 0, "how long a violation must persist before firing")
 		webhook        = flag.String("alert-webhook", "", "URL POSTed one JSON document per alert transition (optional)")
 	)
@@ -76,12 +83,16 @@ func main() {
 	obs.RegisterProcessMetrics(reg)
 
 	hc := &health.Config{
-		ExportInterval:   *exportInterval,
-		DeadmanIntervals: *deadmanAfter,
-		ClockEnvelope:    *clockEnvelope,
-		SLOTarget:        *sloTarget,
-		LatencySLO:       *latencySLO,
-		PendingFor:       *pendingFor,
+		ExportInterval:     *exportInterval,
+		DeadmanIntervals:   *deadmanAfter,
+		ClockEnvelope:      *clockEnvelope,
+		SLOTarget:          *sloTarget,
+		LatencySLO:         *latencySLO,
+		DeliverySLOTarget:  *deliveryTarget,
+		DeliveryLatencySLO: *deliverySLO,
+		DropRatioMax:       *dropRatioMax,
+		DropMinVolume:      *dropMinVolume,
+		PendingFor:         *pendingFor,
 	}
 	hc.Sinks = append(hc.Sinks, health.NewLogSink(logger))
 	if *webhook != "" {
@@ -111,7 +122,7 @@ func main() {
 		defer close(done)
 		_ = srv.Serve(lis)
 	}()
-	log.Printf("obscollect: serving http://%s/metrics /traces /fabric /alerts /query", lis.Addr())
+	log.Printf("obscollect: serving http://%s/metrics /traces /flows /fabric /alerts /query", lis.Addr())
 
 	var prober *collect.Prober
 	if *probeInterval > 0 {

@@ -50,7 +50,7 @@ func (b *Broker) dialRegistration(addr string) (<-chan struct{}, error) {
 	}
 
 	lk := &link{peer: "bdn:" + addr, role: roleBDN, conn: conn}
-	lk.out = b.newEgress(conn)
+	lk.out = b.newEgress(conn, "link")
 	if !b.registerLink(lk) {
 		_ = conn.Close()
 		return nil, errClosed

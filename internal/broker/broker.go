@@ -101,6 +101,14 @@ type Config struct {
 	// Tracer, when set, receives per-request discovery trace events keyed
 	// by the request UUID.
 	Tracer *obs.Tracer
+	// PublishSampler decides, at publish ingress, which messages get full
+	// message-path tracing (publish→match→flush→hop spans stamped into the
+	// event headers and followed across links). nil never samples; the
+	// unsampled path stays allocation-free either way.
+	PublishSampler *obs.Sampler
+	// FlowK overrides the per-topic flow sketch width (top-K heaviest
+	// topics tracked; default obs.DefaultFlowK).
+	FlowK int
 }
 
 // RoutingMode selects the broker network's dissemination strategy for
@@ -134,6 +142,8 @@ type Broker struct {
 	interest *interestState // link interest refcounts (RouteSubscriptions)
 	history  *replay.Store  // nil unless ReplayCapacity > 0
 	frames   *framePool     // ref-counted shared egress frames
+	flows    *obs.FlowTable // per-topic flow accounting (top-k sketch)
+	egTel    egressTel      // instruments shared by every egress queue
 
 	// linkSnap is the publish path's view of the broker links (BDN-role
 	// connections excluded): an immutable slice swapped atomically whenever
@@ -167,9 +177,19 @@ func (b *Broker) startEgress(q *egress) {
 	}()
 }
 
-// EgressDropped returns the number of frames dropped by overflowing egress
-// queues since the broker started.
-func (b *Broker) EgressDropped() uint64 { return b.tel.egressDropped.Value() }
+// EgressDropped returns the number of frames dropped at egress queues since
+// the broker started, across every drop reason.
+func (b *Broker) EgressDropped() uint64 {
+	return b.tel.egressDropQueueFull.Value() +
+		b.tel.egressDropConnDown.Value() +
+		b.tel.egressDropTooLarge.Value()
+}
+
+// Flows snapshots the broker's per-topic flow accounting: the top-K
+// published topics with delivered and dropped-by-reason tallies (plus the
+// <other> fold bucket). Wire it into obs.ExporterConfig.Flows so the
+// collector's /flows can assemble the fabric-wide view.
+func (b *Broker) Flows() []obs.FlowSnapshot { return b.flows.Snapshot() }
 
 // linkSetter is satisfied by samplers that track the live connection count.
 type linkSetter interface{ SetLinks(int) }
@@ -213,13 +233,24 @@ func New(node transport.Node, ntp *ntptime.Service, cfg Config) (*Broker, error)
 	}
 	b.initTelemetry(cfg.Metrics, cfg.Tracer)
 	b.frames = newFramePool(b.tel.framePoolHit, b.tel.framePoolMiss)
+	b.flows = obs.NewFlowTable(cfg.FlowK)
+	b.egTel = egressTel{
+		dropQueueFull: b.tel.egressDropQueueFull,
+		dropConnDown:  b.tel.egressDropConnDown,
+		dropTooLarge:  b.tel.egressDropTooLarge,
+		perFlush:      b.tel.framesPerFlush,
+		latency:       b.tel.deliveryLatency,
+		tracer:        cfg.Tracer,
+		now:           b.now,
+	}
 	b.linkSnap.Store(&[]*link{})
 	return b, nil
 }
 
-// newEgress builds an egress queue wired to this broker's telemetry.
-func (b *Broker) newEgress(conn transport.Conn) *egress {
-	return newEgress(conn, b.tel.egressDropped, b.tel.framesPerFlush)
+// newEgress builds an egress queue wired to this broker's telemetry. dest
+// ("local" or "link") labels the queue's spans with where its frames go.
+func (b *Broker) newEgress(conn transport.Conn, dest string) *egress {
+	return newEgress(conn, &b.egTel, dest)
 }
 
 // rebuildLinkSnap republishes the link snapshot from the authoritative map.

@@ -77,7 +77,7 @@ func (b *Broker) handleConn(conn transport.Conn) {
 		return
 	}
 	c := &clientConn{id: conn.RemoteAddr(), conn: conn}
-	c.out = b.newEgress(conn)
+	c.out = b.newEgress(conn, "local")
 	if !b.registerClient(c) {
 		_ = conn.Close()
 		return

@@ -1,8 +1,10 @@
 package broker
 
 import (
+	"strconv"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"narada/internal/obs"
 	"narada/internal/transport"
@@ -19,6 +21,35 @@ const egressQueueSize = 512
 // sockets) under load, small enough that one flush cannot monopolise the
 // connection against control traffic queued behind it.
 const maxCoalesce = 64
+
+// maxEgressFrame is the largest encoded frame an egress queue accepts; bigger
+// frames are dropped (and counted with reason frame_too_large) rather than
+// handed to the transport, where a multi-megabyte write would stall the
+// writer against every frame coalesced behind it.
+const maxEgressFrame = 1 << 20
+
+// egressTel bundles the instruments every egress queue records into. One
+// instance is shared by all of a broker's queues; bare tests construct their
+// own. The drop counters must be non-nil; everything else is optional (nil
+// histograms/flow table/tracer are skipped or no-ops).
+type egressTel struct {
+	dropQueueFull *obs.Counter // bounded queue overflowed (drop-oldest)
+	dropConnDown  *obs.Counter // writer already gone when the frame arrived
+	dropTooLarge  *obs.Counter // frame exceeded maxEgressFrame
+
+	perFlush *obs.Histogram   // frames per writer flush
+	latency  *obs.Histogram   // narada_delivery_latency_seconds (born→flush)
+	tracer   *obs.Tracer      // msg-flush / msg-drop spans for sampled frames
+	now      func() time.Time // NTP-aligned clock for span/latency stamps
+}
+
+// clock returns the telemetry clock (wall clock when unset).
+func (t *egressTel) clock() time.Time {
+	if t.now != nil {
+		return t.now()
+	}
+	return time.Now()
+}
 
 // egress is the bounded asynchronous outbound queue in front of every link
 // and client connection. The routing loop enqueues ref-counted shared frames
@@ -55,23 +86,44 @@ type egress struct {
 	frames []*sharedFrame // writer-local coalescing scratch
 	bufs   [][]byte       // writer-local batch view of frames
 
-	dropped  *obs.Counter   // broker-wide overflow counter
-	perFlush *obs.Histogram // frames per writer flush; nil in bare tests
+	tel  *egressTel // shared instruments; never nil
+	dest string     // "local" (client) or "link", stamped on spans
 }
 
-func newEgress(conn transport.Conn, dropped *obs.Counter, perFlush *obs.Histogram) *egress {
+func newEgress(conn transport.Conn, tel *egressTel, dest string) *egress {
 	b, _ := conn.(transport.BatchSender)
 	return &egress{
-		conn:     conn,
-		batch:    b,
-		ch:       make(chan *sharedFrame, egressQueueSize),
-		stop:     make(chan struct{}),
-		dead:     make(chan struct{}),
-		frames:   make([]*sharedFrame, 0, maxCoalesce),
-		bufs:     make([][]byte, 0, maxCoalesce),
-		dropped:  dropped,
-		perFlush: perFlush,
+		conn:   conn,
+		batch:  b,
+		ch:     make(chan *sharedFrame, egressQueueSize),
+		stop:   make(chan struct{}),
+		dead:   make(chan struct{}),
+		frames: make([]*sharedFrame, 0, maxCoalesce),
+		bufs:   make([][]byte, 0, maxCoalesce),
+		tel:    tel,
+		dest:   dest,
 	}
+}
+
+// drop accounts one dropped frame — counter by reason, per-topic flow tally
+// via the entry handle routePublish stamped (no topic re-hashing: overflow
+// eviction runs inside the publish hot loop), and an msg-drop trace event
+// when the frame was sampled — then releases the caller's reference.
+func (q *egress) drop(f *sharedFrame, reason int) {
+	switch reason {
+	case obs.DropConnDown:
+		q.tel.dropConnDown.Add(1)
+	case obs.DropFrameTooLarge:
+		q.tel.dropTooLarge.Add(1)
+	default:
+		q.tel.dropQueueFull.Add(1)
+	}
+	f.flow.Dropped(reason)
+	if f.traceID != "" && q.tel.tracer != nil {
+		q.tel.tracer.Trace(f.traceID).Event("msg-drop", q.tel.clock(),
+			obs.A("dest", q.dest), obs.A("reason", obs.DropReasonNames[reason]))
+	}
+	f.release()
 }
 
 // run drains the queue into the connection until the connection fails or a
@@ -108,8 +160,8 @@ drain:
 			break drain
 		}
 	}
-	if q.perFlush != nil {
-		q.perFlush.Observe(float64(len(q.frames)))
+	if q.tel.perFlush != nil {
+		q.tel.perFlush.Observe(float64(len(q.frames)))
 	}
 	var err error
 	if q.batch != nil && len(q.frames) > 1 {
@@ -125,15 +177,62 @@ drain:
 			}
 		}
 	}
+	if err != nil {
+		// The connection failed mid-flush. Frames already written by the
+		// per-frame loop are conservatively counted with the rest: a failed
+		// flush means the peer cannot be assumed to have received any of it.
+		for i, f := range q.frames {
+			q.drop(f, obs.DropConnDown)
+			q.frames[i] = nil
+		}
+		_ = q.conn.Close()
+		return false
+	}
+	q.observeFlushed()
 	for i, f := range q.frames {
 		f.release()
 		q.frames[i] = nil
 	}
-	if err != nil {
-		_ = q.conn.Close()
-		return false
-	}
 	return true
+}
+
+// observeFlushed records delivery accounting for a successfully written
+// batch: per-topic delivered tallies, the end-to-end delivery latency
+// histogram (event origin → flush, on the NTP-aligned clock), and an
+// msg-flush span per sampled frame whose duration is the wall-clock
+// queue wait from egress enqueue to this flush. Clock reads happen once per
+// batch, not per frame. Control and replay frames (no flow handle, no trace)
+// are skipped entirely; the latency histogram additionally needs a born
+// stamp, which publishers that set no Timestamp don't provide.
+func (q *egress) observeFlushed() {
+	var at time.Time // batch-wide clocks, read lazily on the first data frame
+	var wallNs int64
+	batch := len(q.frames)
+	for _, f := range q.frames {
+		if f.flow == nil && f.traceID == "" {
+			continue
+		}
+		if wallNs == 0 {
+			at = q.tel.clock()
+			wallNs = time.Now().UnixNano()
+		}
+		if f.born != 0 && q.tel.latency != nil {
+			if d := at.UnixNano() - f.born; d > 0 {
+				q.tel.latency.Observe(time.Duration(d).Seconds())
+			}
+		}
+		if f.flow != nil {
+			f.flow.Delivered(len(f.buf))
+		}
+		if f.traceID != "" && q.tel.tracer != nil {
+			wait := time.Duration(wallNs - f.enqueuedNs)
+			if wait <= 0 {
+				wait = time.Nanosecond // clock granularity; the wait happened
+			}
+			q.tel.tracer.Trace(f.traceID).Span("msg-flush", at, wait,
+				obs.A("dest", q.dest), obs.A("batch", strconv.Itoa(batch)))
+		}
+	}
 }
 
 // flush best-effort drains whatever is queued at close time; frames that
@@ -152,13 +251,14 @@ func (q *egress) flush() {
 }
 
 // drainRelease marks the queue down and releases every frame still queued,
-// so no reference leaks when a connection dies with frames in flight.
+// so no reference leaks when a connection dies with frames in flight. The
+// undelivered frames are accounted as conn-down drops.
 func (q *egress) drainRelease() {
 	q.down.Store(true)
 	for {
 		select {
 		case f := <-q.ch:
-			f.release()
+			q.drop(f, obs.DropConnDown)
 		default:
 			return
 		}
@@ -171,11 +271,63 @@ func (q *egress) close() {
 	q.stopOnce.Do(func() { close(q.stop) })
 }
 
+// dropBatch accumulates queue-full eviction accounting across one fan-out's
+// enqueues. When a publish overflows many egress queues at once — the storm
+// case: every subscriber queue backed up behind the same hot topic — the
+// per-eviction cost collapses to one atomic add per topic run instead of one
+// per evicted frame, which matters because eviction happens inside the
+// publish hot loop. Frames are still traced and released immediately; only
+// the counter and flow-tally adds are deferred until settle.
+type dropBatch struct {
+	tel  *egressTel
+	flow *obs.FlowEntry
+	n    uint64
+}
+
+// evicted absorbs one queue-full eviction from queue q: the msg-drop trace
+// event (sampled frames only) and the frame release happen now, the counting
+// is batched.
+func (d *dropBatch) evicted(q *egress, f *sharedFrame) {
+	if f.flow != d.flow {
+		d.settle()
+		d.flow = f.flow
+	}
+	d.tel = q.tel
+	d.n++
+	if f.traceID != "" && q.tel.tracer != nil {
+		q.tel.tracer.Trace(f.traceID).Event("msg-drop", q.tel.clock(),
+			obs.A("dest", q.dest),
+			obs.A("reason", obs.DropReasonNames[obs.DropQueueFull]))
+	}
+	f.release()
+}
+
+// settle flushes the accumulated evictions into the reason counter and the
+// flow table. Must be called before the batch's owner releases it.
+func (d *dropBatch) settle() {
+	if d.n == 0 {
+		return
+	}
+	d.tel.dropQueueFull.Add(d.n)
+	d.flow.DroppedN(obs.DropQueueFull, d.n)
+	d.n = 0
+}
+
 // sendData enqueues an application/dissemination frame with the drop-oldest
 // overflow policy, consuming the caller's reference either way.
-func (q *egress) sendData(f *sharedFrame) {
+func (q *egress) sendData(f *sharedFrame) { q.sendDataBatch(f, nil) }
+
+// sendDataBatch is sendData with optional batched eviction accounting: a
+// non-nil db absorbs queue-full evictions for a later settle instead of
+// counting each one immediately. The publish fan-out passes its per-scratch
+// batch; everyone else passes nil.
+func (q *egress) sendDataBatch(f *sharedFrame, db *dropBatch) {
 	if q.down.Load() {
-		f.release()
+		q.drop(f, obs.DropConnDown)
+		return
+	}
+	if len(f.buf) > maxEgressFrame {
+		q.drop(f, obs.DropFrameTooLarge)
 		return
 	}
 	select {
@@ -188,16 +340,22 @@ func (q *egress) sendData(f *sharedFrame) {
 	// writer drain can make room in between, in which case nothing is lost.
 	select {
 	case old := <-q.ch:
-		old.release()
-		q.dropped.Add(1)
+		if db != nil {
+			db.evicted(q, old)
+		} else {
+			q.drop(old, obs.DropQueueFull)
+		}
 	default:
 	}
 	select {
 	case q.ch <- f:
 		q.reapIfDown()
 	default:
-		f.release()
-		q.dropped.Add(1)
+		if db != nil {
+			db.evicted(q, f)
+		} else {
+			q.drop(f, obs.DropQueueFull)
+		}
 	}
 }
 
@@ -223,7 +381,7 @@ func (q *egress) depth() int { return len(q.ch) }
 // consumed either way.
 func (q *egress) sendControl(f *sharedFrame) bool {
 	if q.down.Load() {
-		f.release()
+		q.drop(f, obs.DropConnDown)
 		return false
 	}
 	select {
@@ -234,7 +392,7 @@ func (q *egress) sendControl(f *sharedFrame) bool {
 		}
 		return true
 	case <-q.dead:
-		f.release()
+		q.drop(f, obs.DropConnDown)
 		return false
 	}
 }

@@ -67,6 +67,27 @@ func newTestPool() *framePool {
 	return newFramePool(&obs.Counter{}, &obs.Counter{})
 }
 
+// testTel is a bare egressTel with one distinct counter per drop reason, so
+// tests can assert both the aggregate and the classification.
+type testTel struct {
+	queueFull, connDown, tooLarge obs.Counter
+	tel                           egressTel
+}
+
+func newTestTel() *testTel {
+	tt := &testTel{}
+	tt.tel = egressTel{
+		dropQueueFull: &tt.queueFull,
+		dropConnDown:  &tt.connDown,
+		dropTooLarge:  &tt.tooLarge,
+	}
+	return tt
+}
+
+func (tt *testTel) dropped() uint64 {
+	return tt.queueFull.Value() + tt.connDown.Value() + tt.tooLarge.Value()
+}
+
 // frameOf checks a raw-payload frame out of the pool, mirroring encode.
 func frameOf(p *framePool, payload []byte, refs int32) *sharedFrame {
 	f, _ := p.pool.Get().(*sharedFrame)
@@ -84,10 +105,10 @@ func frameOf(p *framePool, payload []byte, refs int32) *sharedFrame {
 // returning immediately, and the overflow is counted. Every frame reference
 // must come back to the pool regardless of how it was dropped.
 func TestEgressOverflowDropsOldest(t *testing.T) {
-	var dropped obs.Counter
+	tt := newTestTel()
 	pool := newTestPool()
 	conn := newBlockConn()
-	q := newEgress(conn, &dropped, nil)
+	q := newEgress(conn, &tt.tel, "local")
 	go q.run()
 
 	done := make(chan struct{})
@@ -102,8 +123,8 @@ func TestEgressOverflowDropsOldest(t *testing.T) {
 	case <-time.After(10 * time.Second):
 		t.Fatal("sendData blocked on a stalled peer")
 	}
-	if dropped.Value() == 0 {
-		t.Fatal("overflow on a stalled peer was not counted")
+	if tt.queueFull.Value() == 0 {
+		t.Fatal("overflow on a stalled peer was not counted as queue_full")
 	}
 	_ = conn.Close()
 	<-q.dead
@@ -115,10 +136,10 @@ func TestEgressOverflowDropsOldest(t *testing.T) {
 // TestEgressFlushesOnClose proves frames accepted before a close are still
 // written out: the writer drains the whole queue before exiting.
 func TestEgressFlushesOnClose(t *testing.T) {
-	var dropped obs.Counter
+	tt := newTestTel()
 	pool := newTestPool()
 	conn := &recConn{}
-	q := newEgress(conn, &dropped, nil)
+	q := newEgress(conn, &tt.tel, "local")
 	const frames = 100
 	for i := 0; i < frames; i++ {
 		q.sendData(frameOf(pool, []byte{byte(i)}, 1))
@@ -128,8 +149,8 @@ func TestEgressFlushesOnClose(t *testing.T) {
 	if got := conn.count(); got != frames {
 		t.Fatalf("flushed %d frames on close, want %d", got, frames)
 	}
-	if dropped.Value() != 0 {
-		t.Fatalf("flush dropped %d frames", dropped.Value())
+	if tt.dropped() != 0 {
+		t.Fatalf("flush dropped %d frames", tt.dropped())
 	}
 	if live := pool.Live(); live != 0 {
 		t.Fatalf("%d frame references leaked through the flush path", live)
@@ -140,11 +161,11 @@ func TestEgressFlushesOnClose(t *testing.T) {
 // a dead connection: once the writer exits, every call reports failure and
 // releases its frame.
 func TestEgressControlFailsAfterDeath(t *testing.T) {
-	var dropped obs.Counter
+	tt := newTestTel()
 	pool := newTestPool()
 	conn := newBlockConn()
 	_ = conn.Close() // sends fail immediately
-	q := newEgress(conn, &dropped, nil)
+	q := newEgress(conn, &tt.tel, "local")
 	q.sendData(frameOf(pool, []byte{1}, 1)) // give the writer a frame so it hits the send error
 	go q.run()
 	<-q.dead
@@ -175,10 +196,10 @@ func TestEgressControlFailsAfterDeath(t *testing.T) {
 // vectored-write capability when the connection offers one: frames queued
 // while the connection is stalled leave in batches, not one write per frame.
 func TestEgressCoalescesBatches(t *testing.T) {
-	var dropped obs.Counter
+	tt := newTestTel()
 	pool := newTestPool()
 	conn := &batchRecConn{gate: make(chan struct{})}
-	q := newEgress(conn, &dropped, nil)
+	q := newEgress(conn, &tt.tel, "local")
 	go q.run()
 
 	const frames = 100
@@ -201,6 +222,43 @@ func TestEgressCoalescesBatches(t *testing.T) {
 	}
 	if live := pool.Live(); live != 0 {
 		t.Fatalf("%d frame references leaked through the batch path", live)
+	}
+}
+
+// TestEgressDropReasons proves drops are classified by cause: an oversized
+// frame is rejected as frame_too_large, frames stranded or offered after the
+// writer died count as conn_down, and neither path leaks a frame reference.
+func TestEgressDropReasons(t *testing.T) {
+	tt := newTestTel()
+	pool := newTestPool()
+	conn := newBlockConn()
+	q := newEgress(conn, &tt.tel, "local")
+
+	q.sendData(frameOf(pool, make([]byte, maxEgressFrame+1), 1))
+	if got := tt.tooLarge.Value(); got != 1 {
+		t.Fatalf("oversized frame counted as frame_too_large %d times, want 1", got)
+	}
+
+	// Two queued frames, writer running against a closed connection: the
+	// failed flush and the exit drain both classify as conn_down.
+	q.sendData(frameOf(pool, []byte{1}, 1))
+	q.sendData(frameOf(pool, []byte{2}, 1))
+	_ = conn.Close()
+	q.run() // synchronous: send error tears the queue down
+	if got := tt.connDown.Value(); got != 2 {
+		t.Fatalf("death stranded 2 frames but conn_down counted %d", got)
+	}
+
+	// A frame offered after death is conn_down too, never queue_full.
+	q.sendData(frameOf(pool, []byte{3}, 1))
+	if got := tt.connDown.Value(); got != 3 {
+		t.Fatalf("post-death sendData counted conn_down %d times, want 3", got)
+	}
+	if got := tt.queueFull.Value(); got != 0 {
+		t.Fatalf("no queue ever overflowed, yet queue_full counted %d", got)
+	}
+	if live := pool.Live(); live != 0 {
+		t.Fatalf("%d frame references leaked through the drop paths", live)
 	}
 }
 

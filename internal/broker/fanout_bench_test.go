@@ -8,6 +8,7 @@ import (
 	"narada/internal/event"
 	"narada/internal/metrics"
 	"narada/internal/ntptime"
+	"narada/internal/obs"
 	"narada/internal/simnet"
 	"narada/internal/transport"
 )
@@ -25,17 +26,21 @@ func (nopConn) RemoteAddr() string                        { return "bench/nop:0"
 func (nopConn) Close() error                              { return nil }
 
 // newFanoutBroker builds an unstarted broker suitable for driving
-// routePublish directly.
-func newFanoutBroker(b testing.TB) *Broker {
+// routePublish directly. mut, when non-nil, adjusts the config before New.
+func newFanoutBroker(b testing.TB, mut func(*Config)) *Broker {
 	b.Helper()
 	net := simnet.NewPaperWAN(simnet.Config{Scale: 20000, Seed: 1})
 	node := transport.NewSimNode(net, simnet.SiteIndianapolis, "fan", 0)
 	ntp := ntptime.NewService(node.Clock(), 0, nil)
 	ntp.InitImmediately()
-	br, err := New(node, ntp, Config{
+	cfg := Config{
 		LogicalAddress: "fan",
 		Sampler:        metrics.NewStaticSampler(metrics.Usage{TotalMemBytes: 1 << 30}),
-	})
+	}
+	if mut != nil {
+		mut(&cfg)
+	}
+	br, err := New(node, ntp, cfg)
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -46,7 +51,7 @@ func newFanoutBroker(b testing.TB) *Broker {
 // broker's client table, with a running egress writer like a real session.
 func addBenchClient(br *Broker, id string) *clientConn {
 	c := &clientConn{id: id, conn: nopConn{}}
-	c.out = br.newEgress(c.conn)
+	c.out = br.newEgress(c.conn, "local")
 	br.startEgress(c.out)
 	br.mu.Lock()
 	br.clients[id] = c
@@ -59,7 +64,24 @@ func addBenchClient(br *Broker, id string) *clientConn {
 // This is the hot loop behind every advertisement, discovery request and
 // application publish in the substrate.
 func BenchmarkPublishFanout(b *testing.B) {
-	br := newFanoutBroker(b)
+	br := newFanoutBroker(b, nil)
+	subscribeFanout(b, br)
+
+	payload := make([]byte, 256)
+	ev := event.New(event.TypePublish, "bench/fan/topic", payload)
+	ev.Source = "fan"
+
+	b.SetBytes(int64(len(payload)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		br.routePublish(ev, "")
+	}
+}
+
+// subscribeFanout registers the benchmark's 64-subscriber interest mix.
+func subscribeFanout(b testing.TB, br *Broker) {
+	b.Helper()
 	const subscribers = 64
 	for i := 0; i < subscribers; i++ {
 		id := fmt.Sprintf("sub-%d", i)
@@ -77,15 +99,35 @@ func BenchmarkPublishFanout(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// BenchmarkPublishFanoutSampled measures the fan-out with message-path
+// sampling active: a 1-in-1024 sampler and a live tracer, the production
+// shape. Sampled iterations pay for header stamping, trace-id formatting and
+// span recording; amortised over the sampling interval the path must stay at
+// 0 allocs/op (the bench gate checks allocations only — wall time belongs to
+// the unsampled benchmark above).
+func BenchmarkPublishFanoutSampled(b *testing.B) {
+	tracer := obs.NewTracer(obs.DefaultTraceCapacity, nil)
+	br := newFanoutBroker(b, func(cfg *Config) {
+		cfg.PublishSampler = obs.NewSampler(1024, 0)
+		cfg.Tracer = tracer
+	})
+	subscribeFanout(b, br)
 
 	payload := make([]byte, 256)
 	ev := event.New(event.TypePublish, "bench/fan/topic", payload)
 	ev.Source = "fan"
+	ev.Timestamp = br.now()
 
 	b.SetBytes(int64(len(payload)))
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
+		// Fresh header map view per publish: a real stream decodes a new
+		// event per frame, so a prior iteration's sampling verdict must not
+		// leak into the next.
+		ev.Headers = nil
 		br.routePublish(ev, "")
 	}
 }

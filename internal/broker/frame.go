@@ -32,6 +32,15 @@ type sharedFrame struct {
 	buf  []byte
 	refs atomic.Int32
 	pool *framePool
+
+	// Delivery accounting, stamped by routePublish on publish frames only
+	// (control/replay frames leave them zero). None of these fields affect
+	// the reference count: sampling observes a frame's life, never extends
+	// or shortens it.
+	flow       *obs.FlowEntry // topic's flow counters, for flush/drop tallies
+	born       int64          // event-origin NTP UnixNano; 0 = latency not tracked
+	traceID    string         // non-empty when the message is sampled for tracing
+	enqueuedNs int64          // wall clock at egress enqueue (queue-wait); sampled only
 }
 
 // release drops one reference; the last reference returns the frame to the
@@ -87,6 +96,10 @@ func (p *framePool) put(f *sharedFrame) {
 	if cap(f.buf) > maxPooledFrame {
 		f.buf = nil
 	}
+	// Clear the accounting stamps so a recycled frame never reports the
+	// previous event's flow or trace.
+	f.flow, f.traceID = nil, ""
+	f.born, f.enqueuedNs = 0, 0
 	p.pool.Put(f)
 }
 

@@ -68,7 +68,7 @@ func TestFramePoolRecycles(t *testing.T) {
 // account for every reference — no leak, no double release (which would
 // have panicked).
 func TestPublishFrameLifecycleUnderChurn(t *testing.T) {
-	br := newFanoutBroker(t)
+	br := newFanoutBroker(t, nil)
 	const clients = 24
 	conns := make([]*clientConn, clients)
 	for i := range conns {
@@ -122,5 +122,55 @@ func TestPublishFrameLifecycleUnderChurn(t *testing.T) {
 	}
 	if live := br.frames.Live(); live != 0 {
 		t.Fatalf("%d frame references leaked through the fan-out", live)
+	}
+}
+
+// TestSampledPublishFrameLifecycle re-runs the fan-out churn with message
+// sampling fully live (sample every publish, real tracer): the trace-id and
+// flow stamps ride the shared frames, and when the writers quiesce every
+// reference must still come back to the pool — sampling must not perturb
+// refcounting.
+func TestSampledPublishFrameLifecycle(t *testing.T) {
+	tracer := obs.NewTracer(obs.DefaultTraceCapacity, nil)
+	br := newFanoutBroker(t, func(cfg *Config) {
+		cfg.PublishSampler = obs.NewSampler(1, 0) // every publish sampled
+		cfg.Tracer = tracer
+	})
+	const clients = 16
+	conns := make([]*clientConn, clients)
+	for i := range conns {
+		id := fmt.Sprintf("sampled-sub-%d", i)
+		conns[i] = addBenchClient(br, id)
+		if _, err := br.subs.SubscribeValue(id, "sampled/fan/topic", conns[i].out); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	var wg sync.WaitGroup
+	for p := 0; p < 4; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			for i := 0; i < 300; i++ {
+				// Fresh event per publish: each gets its own UUID (trace
+				// key) and a clean header map for the sampling stamp.
+				ev := event.New(event.TypePublish, "sampled/fan/topic", []byte("stress"))
+				ev.Source = fmt.Sprintf("pub%d", p)
+				ev.Timestamp = br.now()
+				br.routePublish(ev, "")
+			}
+		}(p)
+	}
+	wg.Wait()
+
+	for _, c := range conns {
+		c.out.close()
+		<-c.out.dead
+	}
+	if live := br.frames.Live(); live != 0 {
+		t.Fatalf("%d frame references leaked through the sampled fan-out", live)
+	}
+	if br.cfg.PublishSampler.Taken() == 0 {
+		t.Fatal("sampler never fired despite every=1")
 	}
 }

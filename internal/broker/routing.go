@@ -1,10 +1,12 @@
 package broker
 
 import (
+	"strconv"
 	"sync"
 	"time"
 
 	"narada/internal/event"
+	"narada/internal/obs"
 	"narada/internal/topics"
 )
 
@@ -26,7 +28,7 @@ func (b *Broker) serveLink(lk *link, replyHello bool) {
 		}
 	}
 
-	lk.out = b.newEgress(lk.conn)
+	lk.out = b.newEgress(lk.conn, "link")
 	if !b.registerLink(lk) {
 		_ = lk.conn.Close()
 		return
@@ -112,6 +114,15 @@ func (b *Broker) handleLinkEvent(lk *link, ev *event.Event) {
 		if b.evDedup.Seen(ev.ID) {
 			return
 		}
+		// A sampled message crossing a link records the hop, so the
+		// assembled trace shows which broker-to-broker edges it travelled.
+		if origin, hop, ok := ev.MsgTrace(); ok {
+			b.traceFor(ev.ID.String()).Event("msg-hop", b.now(),
+				obs.A("broker", b.cfg.LogicalAddress),
+				obs.A("from", lk.peer),
+				obs.A("origin", origin),
+				obs.A("hop", strconv.Itoa(int(hop))))
+		}
 		b.routePublish(ev, lk.peer)
 	case event.TypeDiscoveryRequest:
 		b.tel.framesDiscovery.Inc()
@@ -138,6 +149,7 @@ type pubScratch struct {
 	peers  []string       // link peers with matching remote interest
 	locals []*egress      // matched local client queues
 	links  []*egress      // forwarding targets
+	drops  dropBatch      // batched queue-full accounting for this fan-out
 	visit  func(id string, val any)
 }
 
@@ -188,6 +200,24 @@ func (b *Broker) routePublish(ev *event.Event, fromPeer string) {
 	if b.history != nil {
 		b.history.Add(ev)
 	}
+	// The returned entry handle is stamped onto every frame of this fan-out,
+	// so delivered/dropped tallies on the egress side are plain atomic adds.
+	flow := b.flows.Published(ev.Topic, len(ev.Payload))
+
+	// Decision-at-publish sampling: the ingress broker rolls the dice once;
+	// events arriving over a link already carry the verdict in their headers
+	// and are never re-decided. The unsampled path costs one nil-map header
+	// check plus the sampler's atomic counter — no clock read, no allocation.
+	sampled := ev.MsgSampled()
+	if !sampled && fromPeer == "" && b.cfg.PublishSampler.Decide(ev.Topic) {
+		sampled = true
+		ev.SetMsgTrace(b.cfg.LogicalAddress, 0)
+	}
+	var matchStart time.Time
+	if sampled {
+		matchStart = time.Now()
+	}
+
 	sc := pubScratchPool.Get().(*pubScratch)
 	sc.peers = sc.peers[:0]
 	sc.locals = sc.locals[:0]
@@ -206,27 +236,89 @@ func (b *Broker) routePublish(ev *event.Event, fromPeer string) {
 		}
 	}
 
+	// born stamps every publish frame for the delivery-latency histogram
+	// observed at egress flush; control/replay frames never carry it.
+	var born int64
+	if !ev.Timestamp.IsZero() {
+		born = ev.Timestamp.UnixNano()
+	}
+	var traceID string
+	var enqueuedNs int64
+	if sampled {
+		traceID = ev.ID.String()
+		enqueuedNs = time.Now().UnixNano()
+		_, hop, _ := ev.MsgTrace()
+		tr := b.traceFor(traceID)
+		// The ingress broker records the origin span — whether it rolled the
+		// dice itself or the publisher pre-stamped the sampled headers (e.g.
+		// loadgen -sample-every). Link-forwarded messages record msg-hop
+		// events instead, at the link ingress.
+		if fromPeer == "" {
+			at := ev.Timestamp
+			if at.IsZero() {
+				at = b.now()
+			}
+			tr.Span("msg-publish", at, 0,
+				obs.A("broker", b.cfg.LogicalAddress),
+				obs.A("topic", ev.Topic),
+				obs.A("source", ev.Source))
+		}
+		tr.Span("msg-match", b.now(), time.Since(matchStart),
+			obs.A("broker", b.cfg.LogicalAddress),
+			obs.A("hop", strconv.Itoa(int(hop))),
+			obs.A("locals", strconv.Itoa(len(sc.locals))),
+			obs.A("links", strconv.Itoa(len(sc.links))))
+	}
+
 	// Local delivery: one ref-counted frame shared by every matched
 	// subscriber; the last egress writer to flush it returns it to the pool.
 	if len(sc.locals) > 0 {
 		f := b.frames.encode(ev, int32(len(sc.locals)))
+		f.flow, f.born = flow, born
+		if sampled {
+			f.traceID, f.enqueuedNs = traceID, enqueuedNs
+		}
 		for _, q := range sc.locals {
-			q.sendData(f)
+			q.sendDataBatch(f, &sc.drops)
 		}
 		b.tel.deliveredLocal.Add(uint64(len(sc.locals)))
 	}
 	// Network dissemination: one TTL-decremented frame shared by every link.
-	// A shallow copy suffices — encoding only reads the event.
+	// A shallow copy suffices — encoding only reads the event — except when
+	// sampled, where the forward gets its own header map so the hop counter
+	// can advance without mutating the event local subscribers saw.
 	if len(sc.links) > 0 {
 		fwd := *ev
 		fwd.TTL--
+		if sampled {
+			_, hop, _ := ev.MsgTrace()
+			fwd.Headers = make(map[string]string, len(ev.Headers)+1)
+			for k, v := range ev.Headers {
+				fwd.Headers[k] = v
+			}
+			fwd.Headers[event.HeaderMsgHop] = strconv.Itoa(int(hop) + 1)
+		}
 		f := b.frames.encode(&fwd, int32(len(sc.links)))
+		f.flow, f.born = flow, born
+		if sampled {
+			f.traceID, f.enqueuedNs = traceID, enqueuedNs
+		}
 		for _, q := range sc.links {
-			q.sendData(f)
+			q.sendDataBatch(f, &sc.drops)
 		}
 		b.tel.deliveredLink.Add(uint64(len(sc.links)))
 	}
+	// Flush batched eviction accounting and shed the pointers it holds before
+	// the scratch goes back in the pool.
+	sc.drops.settle()
+	sc.drops = dropBatch{}
 	pubScratchPool.Put(sc)
+}
+
+// traceFor returns the trace recorder for a sampled message. Both the nil
+// tracer and the returned nil *Trace record nothing, so callers don't branch.
+func (b *Broker) traceFor(traceID string) *obs.Trace {
+	return b.tel.tracer.Trace(traceID)
 }
 
 // linksExcept returns the broker links excluding one peer; BDN-role

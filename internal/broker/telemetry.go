@@ -30,11 +30,14 @@ type telemetry struct {
 	discoveryAnswers *obs.Counter // discovery responses sent
 	pings            *obs.Counter // UDP pings answered
 
-	egressDropped *obs.Counter // frames dropped by overflowing egress queues
+	egressDropQueueFull *obs.Counter // drop-oldest on a full egress queue
+	egressDropConnDown  *obs.Counter // frame arrived after the writer died
+	egressDropTooLarge  *obs.Counter // frame over the egress size ceiling
 
-	framePoolHit   *obs.Counter   // shared-frame encodes served from the pool
-	framePoolMiss  *obs.Counter   // shared-frame encodes that allocated
-	framesPerFlush *obs.Histogram // frames coalesced into one egress flush
+	framePoolHit    *obs.Counter   // shared-frame encodes served from the pool
+	framePoolMiss   *obs.Counter   // shared-frame encodes that allocated
+	framesPerFlush  *obs.Histogram // frames coalesced into one egress flush
+	deliveryLatency *obs.Histogram // event origin -> egress flush, seconds
 
 	// reg and who back the per-target supervision gauges, whose label sets
 	// are only known when a supervised relationship is created. These sit
@@ -92,8 +95,11 @@ func (b *Broker) initTelemetry(reg *obs.Registry, tracer *obs.Tracer) {
 		"Discovery responses sent over UDP.", who)
 	t.pings = reg.Counter("narada_broker_pings_total", "UDP pings answered.", who)
 
-	t.egressDropped = reg.Counter("narada_broker_egress_dropped_total",
-		"Frames dropped by overflowing egress queues (drop-oldest policy).", who)
+	const dropped = "narada_broker_egress_dropped_total"
+	const droppedHelp = "Frames dropped at egress queues, by reason."
+	t.egressDropQueueFull = reg.Counter(dropped, droppedHelp, who, obs.L("reason", "queue_full"))
+	t.egressDropConnDown = reg.Counter(dropped, droppedHelp, who, obs.L("reason", "conn_down"))
+	t.egressDropTooLarge = reg.Counter(dropped, droppedHelp, who, obs.L("reason", "frame_too_large"))
 
 	const framePool = "narada_broker_frame_pool_total"
 	const framePoolHelp = "Shared-frame encodes, by whether the pool had a recycled frame."
@@ -102,6 +108,9 @@ func (b *Broker) initTelemetry(reg *obs.Registry, tracer *obs.Tracer) {
 	t.framesPerFlush = reg.Histogram("narada_broker_egress_frames_per_flush",
 		"Frames coalesced into a single egress writer flush.",
 		[]float64{1, 2, 4, 8, 16, 32, 64}, who)
+	t.deliveryLatency = reg.Histogram("narada_delivery_latency_seconds",
+		"End-to-end delivery latency: event origin timestamp to egress flush, NTP-aligned.",
+		[]float64{0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5}, who)
 
 	reg.GaugeFunc("narada_broker_links", "Active broker-to-broker links.",
 		func() float64 { return float64(b.LinkCount()) }, who)

@@ -50,6 +50,11 @@ type Broker struct {
 	TelemetryAddr string `json:"telemetryAddr,omitempty"` // /metrics + pprof listen addr
 	ObsExportAddr string `json:"obsExportAddr,omitempty"` // obscollect UDP addr for span/metric export
 	LogLevel      string `json:"logLevel,omitempty"`      // debug, info, warn, error
+	// Message-path sampling: trace roughly 1 in SampleEvery publishes
+	// originating at this broker (0 = off), capped per topic hash at
+	// SampleTopicPerSec traced messages per second (0 = uncapped).
+	SampleEvery       int `json:"sampleEvery,omitempty"`
+	SampleTopicPerSec int `json:"sampleTopicPerSec,omitempty"`
 }
 
 // Validate checks required fields and fills defaults.
@@ -62,6 +67,9 @@ func (b *Broker) Validate() error {
 	}
 	if b.DedupCapacity == 0 {
 		b.DedupCapacity = dedup.DefaultCapacity
+	}
+	if b.SampleEvery < 0 || b.SampleTopicPerSec < 0 {
+		return fmt.Errorf("config: broker: sampleEvery and sampleTopicPerSec must be >= 0")
 	}
 	if _, err := obs.ParseLevel(b.LogLevel); err != nil {
 		return fmt.Errorf("config: broker: %w", err)

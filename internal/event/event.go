@@ -123,6 +123,43 @@ func (e *Event) Trace() (id, origin string, hop uint8, ok bool) {
 	return id, e.Header(HeaderTraceOrigin), hop, true
 }
 
+// Message-trace headers. A broker (or an instrumented publisher) that
+// samples a publish stamps these so every hop downstream records its spans
+// against the same trace — keyed by the event UUID, so no separate trace-id
+// header is needed. Unsampled messages carry no headers at all: the sampling
+// decision is made once, at publish, and the unsampled path never allocates.
+const (
+	HeaderMsgSampled = "msg-sampled" // "1" when the message is traced
+	HeaderMsgOrigin  = "msg-origin"  // node that made the sampling decision
+	HeaderMsgHop     = "msg-hop"     // broker hops from the origin
+)
+
+// SetMsgTrace marks the event as sampled for message-path tracing.
+func (e *Event) SetMsgTrace(origin string, hop uint8) {
+	e.SetHeader(HeaderMsgSampled, "1")
+	e.SetHeader(HeaderMsgOrigin, origin)
+	e.SetHeader(HeaderMsgHop, strconv.Itoa(int(hop)))
+}
+
+// MsgTrace reads the message-trace headers. sampled is false for the common
+// unsampled message (possibly with a nil header map); a missing or malformed
+// hop header reads as 0.
+func (e *Event) MsgTrace() (origin string, hop uint8, sampled bool) {
+	if e.Headers == nil || e.Headers[HeaderMsgSampled] != "1" {
+		return "", 0, false
+	}
+	if h, err := strconv.Atoi(e.Headers[HeaderMsgHop]); err == nil && h >= 0 && h <= 255 {
+		hop = uint8(h)
+	}
+	return e.Headers[HeaderMsgOrigin], hop, true
+}
+
+// MsgSampled reports whether the event carries the sampled flag, without
+// touching the header map when it is nil (the publish fast path).
+func (e *Event) MsgSampled() bool {
+	return e.Headers != nil && e.Headers[HeaderMsgSampled] == "1"
+}
+
 // Header returns a header value ("" when absent).
 func (e *Event) Header(k string) string { return e.Headers[k] }
 

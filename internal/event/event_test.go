@@ -193,3 +193,48 @@ func TestTraceContextRoundTrip(t *testing.T) {
 		t.Fatalf("hop = %d after re-stamp, want 4", hop)
 	}
 }
+
+func TestMsgTraceHeadersRoundTrip(t *testing.T) {
+	ev := New(TypePublish, "sensors/temp", []byte("p"))
+	if ev.MsgSampled() {
+		t.Fatal("fresh event claims sampled")
+	}
+	if _, _, sampled := ev.MsgTrace(); sampled {
+		t.Fatal("fresh event yields trace headers")
+	}
+
+	ev.SetMsgTrace("broker-a", 0)
+	if !ev.MsgSampled() {
+		t.Fatal("sampled flag lost after SetMsgTrace")
+	}
+
+	// The verdict must survive the wire: this is what carries sampling
+	// across broker links.
+	decoded, err := Decode(Encode(ev))
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	origin, hop, sampled := decoded.MsgTrace()
+	if !sampled || origin != "broker-a" || hop != 0 {
+		t.Fatalf("MsgTrace() = %q %d %v after round-trip", origin, hop, sampled)
+	}
+
+	// Forwarding brokers advance only the hop header.
+	decoded.SetHeader(HeaderMsgHop, "3")
+	if _, hop, _ = decoded.MsgTrace(); hop != 3 {
+		t.Fatalf("hop = %d after re-stamp, want 3", hop)
+	}
+}
+
+func TestMsgTraceMalformedHop(t *testing.T) {
+	ev := New(TypePublish, "a", nil)
+	ev.SetHeader(HeaderMsgSampled, "1")
+	ev.SetHeader(HeaderMsgOrigin, "b1")
+	for _, bad := range []string{"", "x", "-1", "256", "9999999999999999999"} {
+		ev.SetHeader(HeaderMsgHop, bad)
+		origin, hop, sampled := ev.MsgTrace()
+		if !sampled || origin != "b1" || hop != 0 {
+			t.Fatalf("hop %q: MsgTrace() = %q %d %v, want b1/0/true", bad, origin, hop, sampled)
+		}
+	}
+}

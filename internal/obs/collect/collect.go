@@ -17,6 +17,7 @@ import (
 	"log/slog"
 	"net"
 	"sort"
+	"strings"
 	"sync"
 	"time"
 
@@ -82,6 +83,8 @@ type nodeState struct {
 	seq       uint64        // exporter snapshot sequence (restart detection)
 	families  []obs.ExportFamily
 	spans     uint64 // spans received from this node
+	flowsAt   time.Time
+	flows     []obs.FlowSnapshot // last per-topic flow snapshot (top-k)
 }
 
 // Collector receives export packets and assembles the fabric view.
@@ -251,6 +254,10 @@ func (c *Collector) ingest(pkt *obs.ExportPacket) {
 		ns.seq = pkt.Seq
 		c.store.Observe(now, pkt.Node, pkt.Seq, pkt.Families)
 	}
+	if pkt.Flows != nil {
+		ns.flows = pkt.Flows
+		ns.flowsAt = pkt.FlowsAt
+	}
 	for _, rec := range pkt.Spans {
 		ns.spans++
 		c.spansRx.Inc()
@@ -282,19 +289,53 @@ type SpanInfo struct {
 	Attrs     []obs.Attr    `json:"attrs,omitempty"`
 }
 
-// TraceInfo is an assembled cross-node trace, spans in aligned order.
+// Trace kinds: discovery/request traces carry the original span taxonomy;
+// message traces are assembled from the msg-* spans a sampled publish leaves
+// behind at each broker it crosses.
+const (
+	TraceKindRequest = "request"
+	TraceKindMessage = "message"
+)
+
+// HopWait is one egress flush of a sampled message: where it happened, which
+// queue class it left through, and how long the frame waited in that queue.
+type HopWait struct {
+	Node        string        `json:"node"`
+	Dest        string        `json:"dest"` // "local" (client) or "link"
+	QueueWaitNs time.Duration `json:"queueWaitNs"`
+	At          time.Time     `json:"at"` // aligned flush time
+}
+
+// TraceInfo is an assembled cross-node trace, spans in aligned order. For
+// message traces Hops breaks out the per-hop queue waits (one entry per
+// msg-flush span, in aligned order) so the dominant queueing delay along the
+// path is readable without parsing span attributes.
 type TraceInfo struct {
 	ID    string     `json:"id"`
+	Kind  string     `json:"kind"`
 	Nodes []string   `json:"nodes"`
 	Spans []SpanInfo `json:"spans"`
+	Hops  []HopWait  `json:"hops,omitempty"`
 }
 
 // TraceSummary is the /traces listing entry.
 type TraceSummary struct {
 	ID        string    `json:"id"`
+	Kind      string    `json:"kind"`
 	FirstSeen time.Time `json:"firstSeen"`
 	SpanCount int       `json:"spanCount"`
 	Nodes     []string  `json:"nodes"`
+}
+
+// kind classifies a trace by its spans: any msg-* span makes it a message
+// trace.
+func (t *trace) kind() string {
+	for _, s := range t.spans {
+		if strings.HasPrefix(s.View.Name, "msg-") {
+			return TraceKindMessage
+		}
+	}
+	return TraceKindRequest
 }
 
 func (t *trace) nodes() []string {
@@ -315,14 +356,16 @@ func (c *Collector) Trace(id string) (TraceInfo, bool) {
 	c.mu.Lock()
 	tr := c.traces[id]
 	var spans []span
+	var kind string
 	if tr != nil {
 		spans = append(spans, tr.spans...)
+		kind = tr.kind()
 	}
 	c.mu.Unlock()
 	if tr == nil {
 		return TraceInfo{}, false
 	}
-	out := TraceInfo{ID: id}
+	out := TraceInfo{ID: id, Kind: kind}
 	nodes := make(map[string]struct{}, 4)
 	for _, s := range spans {
 		nodes[s.Node] = struct{}{}
@@ -334,9 +377,24 @@ func (c *Collector) Trace(id string) (TraceInfo, bool) {
 			Dur:       s.View.Dur,
 			Attrs:     s.View.Attrs,
 		})
+		// msg-flush spans carry the queue wait as their duration and the
+		// queue class as the dest attribute; surface them as the per-hop
+		// breakdown.
+		if s.View.Name == "msg-flush" {
+			hop := HopWait{Node: s.Node, QueueWaitNs: s.View.Dur, At: s.Aligned()}
+			for _, a := range s.View.Attrs {
+				if a.Key == "dest" {
+					hop.Dest = a.Value
+				}
+			}
+			out.Hops = append(out.Hops, hop)
+		}
 	}
 	sort.SliceStable(out.Spans, func(i, j int) bool {
 		return out.Spans[i].AtAligned.Before(out.Spans[j].AtAligned)
+	})
+	sort.SliceStable(out.Hops, func(i, j int) bool {
+		return out.Hops[i].At.Before(out.Hops[j].At)
 	})
 	for n := range nodes {
 		out.Nodes = append(out.Nodes, n)
@@ -357,6 +415,7 @@ func (c *Collector) Traces() []TraceSummary {
 		}
 		out = append(out, TraceSummary{
 			ID:        tr.id,
+			Kind:      tr.kind(),
 			FirstSeen: tr.firstSeen,
 			SpanCount: len(tr.spans),
 			Nodes:     tr.nodes(),

@@ -29,6 +29,14 @@ const (
 	RuleProbeSLOBurn     = "probe_slo_burn"
 	RuleProbeLatencyBurn = "probe_latency_burn"
 	RuleLinkFlapping     = "link_flapping"
+	// RuleDeliveryLatencyBurn fires when a broker's end-to-end delivery
+	// latency (publish timestamp → egress flush) burns its SLO budget on
+	// both burn windows — the message-path analogue of the probe rules.
+	RuleDeliveryLatencyBurn = "delivery_latency_burn"
+	// RuleDropRatio fires when the fraction of a broker's egress traffic
+	// being dropped (any reason) exceeds the tolerated ratio, with a
+	// minimum-volume guard so an idle broker's single drop cannot alert.
+	RuleDropRatio = "drop_ratio"
 )
 
 // Alert states.
@@ -105,6 +113,21 @@ type Config struct {
 	// (defaults 14.4 / 6 — the SRE-workbook page thresholds).
 	FastBurnMax, SlowBurnMax float64
 
+	// DeliverySLOTarget is the delivery-latency objective ratio: the fraction
+	// of delivered messages that must beat DeliveryLatencySLO (default 0.99).
+	DeliverySLOTarget float64
+	// DeliveryLatencySLO is the end-to-end delivery latency objective:
+	// deliveries slower than this consume error budget (default 100ms — LAN
+	// fabrics deliver in microseconds; a sustained breach means queueing).
+	DeliveryLatencySLO time.Duration
+	// DropRatioMax is the tolerated dropped/(delivered+dropped) ratio over
+	// EgressWindow (default 0.01).
+	DropRatioMax float64
+	// DropMinVolume is the minimum delivered+dropped volume over EgressWindow
+	// before the drop-ratio rule evaluates (default 100): ratios over tiny
+	// denominators are noise, not outages.
+	DropMinVolume float64
+
 	// PendingFor is the hysteresis before a violated rule fires (default 0:
 	// fire on first evaluation — deadman detection latency matters more
 	// than flap suppression at fabric scale; raise it for noisy fabrics).
@@ -166,6 +189,18 @@ func (c *Config) fillDefaults() {
 	if c.SlowBurnMax <= 0 {
 		c.SlowBurnMax = 6
 	}
+	if c.DeliverySLOTarget <= 0 || c.DeliverySLOTarget >= 1 {
+		c.DeliverySLOTarget = 0.99
+	}
+	if c.DeliveryLatencySLO <= 0 {
+		c.DeliveryLatencySLO = 100 * time.Millisecond
+	}
+	if c.DropRatioMax <= 0 {
+		c.DropRatioMax = 0.01
+	}
+	if c.DropMinVolume <= 0 {
+		c.DropMinVolume = 100
+	}
 	if c.ResolveAfter <= 0 {
 		c.ResolveAfter = 3 * c.ExportInterval
 	}
@@ -190,6 +225,19 @@ type NodeInput struct {
 
 	LinkFlapRate float64 // supervised reconnects/second over Config.FlapWindow
 	HasFlaps     bool    // node exports supervision reconnect counters
+
+	// Delivery SLIs, derived from narada_delivery_latency_seconds: total
+	// deliveries and deliveries slower than Config.DeliveryLatencySLO, over
+	// the fast and slow burn windows.
+	HasDelivery                         bool
+	DeliveryFastTotal, DeliveryFastSlow float64
+	DeliverySlowTotal, DeliverySlowSlow float64
+
+	// Drop ratio: dropped/(delivered+dropped) over Config.EgressWindow, and
+	// the denominator volume for the minimum-volume guard.
+	HasDropRatio bool
+	DropRatio    float64
+	DropVolume   float64
 }
 
 // ProbeInput is one probe source's windowed SLI snapshot: success and
@@ -289,6 +337,24 @@ func (e *Engine) Evaluate(in Input) {
 				n.LinkFlapRate, e.cfg.FlapRateMax,
 				fmt.Sprintf("supervised links reconnecting %.3f/s over %s (max %.3f/s): link or peer flapping",
 					n.LinkFlapRate, e.cfg.FlapWindow, e.cfg.FlapRateMax), now)
+		}
+		if n.HasDelivery {
+			deliveryBudget := 1 - e.cfg.DeliverySLOTarget
+			fastBurn := burnRate(n.DeliveryFastSlow, n.DeliveryFastTotal, deliveryBudget)
+			slowBurn := burnRate(n.DeliverySlowSlow, n.DeliverySlowTotal, deliveryBudget)
+			e.apply(RuleDeliveryLatencyBurn, n.Name,
+				fastBurn >= e.cfg.FastBurnMax && slowBurn >= e.cfg.SlowBurnMax,
+				fastBurn, e.cfg.FastBurnMax,
+				fmt.Sprintf("delivery latency SLO (p<%s) burning %.1fx budget over %s and %.1fx over %s (SLO %.2f%%)",
+					e.cfg.DeliveryLatencySLO, fastBurn, e.cfg.FastWindow, slowBurn, e.cfg.SlowWindow,
+					e.cfg.DeliverySLOTarget*100), now)
+		}
+		if n.HasDropRatio {
+			active := n.DropVolume >= e.cfg.DropMinVolume && n.DropRatio > e.cfg.DropRatioMax
+			e.apply(RuleDropRatio, n.Name, active,
+				n.DropRatio, e.cfg.DropRatioMax,
+				fmt.Sprintf("dropping %.1f%% of egress traffic over %s (max %.1f%%, volume %.0f)",
+					n.DropRatio*100, e.cfg.EgressWindow, e.cfg.DropRatioMax*100, n.DropVolume), now)
 		}
 	}
 

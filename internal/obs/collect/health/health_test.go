@@ -418,3 +418,123 @@ func TestWebhookSinkFailure(t *testing.T) {
 		t.Fatalf("delivered=%d failed=%d, want 0/2", s.Delivered(), s.Failed())
 	}
 }
+
+// TestDeliveryLatencyBurnRule drives the delivery-latency SLI through fire
+// and resolve: both burn windows must exceed their thresholds to fire, and a
+// recovered SLI must stay clear for ResolveAfter before resolving.
+func TestDeliveryLatencyBurnRule(t *testing.T) {
+	e := New(Config{DeliverySLOTarget: 0.99, DeliveryLatencySLO: 100 * time.Millisecond,
+		ResolveAfter: 2 * time.Second})
+	base := time.Date(2026, 8, 5, 12, 0, 0, 0, time.UTC)
+
+	// A node without the delivery histogram (HasDelivery false) never
+	// evaluates, no matter what the fields say.
+	e.Evaluate(Input{Now: base, Nodes: []NodeInput{{
+		Name: "r1", LastSeen: base,
+		DeliveryFastSlow: 100, DeliveryFastTotal: 100,
+		DeliverySlowSlow: 100, DeliverySlowTotal: 100}}})
+	if len(e.Alerts()) != 0 {
+		t.Fatalf("node without delivery SLI raised %+v", e.Alerts())
+	}
+
+	// Fast window burning alone (slow window healthy): a blip, not an alert.
+	e.Evaluate(Input{Now: base, Nodes: []NodeInput{{
+		Name: "b1", LastSeen: base, HasDelivery: true,
+		DeliveryFastSlow: 30, DeliveryFastTotal: 100, // 30% slow => 30x budget
+		DeliverySlowSlow: 1, DeliverySlowTotal: 1000}}})
+	if e.Firing() != 0 {
+		t.Fatalf("fast-window blip fired: %+v", e.Alerts())
+	}
+
+	// Both windows burning: fires.
+	e.Evaluate(Input{Now: base.Add(time.Second), Nodes: []NodeInput{{
+		Name: "b1", LastSeen: base.Add(time.Second), HasDelivery: true,
+		DeliveryFastSlow: 30, DeliveryFastTotal: 100, // 30x
+		DeliverySlowSlow: 100, DeliverySlowTotal: 1000}}}) // 10x
+	firing := map[string]bool{}
+	for _, a := range e.Alerts() {
+		if a.State == StateFiring {
+			firing[a.Rule] = true
+		}
+	}
+	if !firing[RuleDeliveryLatencyBurn] {
+		t.Fatalf("both windows burning, firing = %v", firing)
+	}
+
+	// Healthy again: clears only after ResolveAfter of continuous calm.
+	healthy := func(at time.Time) Input {
+		return Input{Now: at, Nodes: []NodeInput{{
+			Name: "b1", LastSeen: at, HasDelivery: true,
+			DeliveryFastSlow: 0, DeliveryFastTotal: 100,
+			DeliverySlowSlow: 0, DeliverySlowTotal: 1000}}}
+	}
+	e.Evaluate(healthy(base.Add(2 * time.Second)))
+	if e.Firing() != 1 {
+		t.Fatal("delivery burn resolved without hysteresis")
+	}
+	e.Evaluate(healthy(base.Add(5 * time.Second)))
+	if e.Firing() != 0 {
+		t.Fatalf("delivery burn never resolved: %+v", e.Alerts())
+	}
+}
+
+// TestDropRatioRule drives the egress drop-ratio rule through its guards:
+// no evaluation without the SLI, no fire below the volume floor, fire above
+// ratio+volume, resolve on healthy volume.
+func TestDropRatioRule(t *testing.T) {
+	e := New(Config{DropRatioMax: 0.05, DropMinVolume: 100, ResolveAfter: 2 * time.Second,
+		EgressWindow: time.Minute})
+	base := time.Date(2026, 8, 5, 12, 0, 0, 0, time.UTC)
+
+	// No SLI (HasDropRatio false): silent even at ratio 1.0.
+	e.Evaluate(Input{Now: base, Nodes: []NodeInput{{
+		Name: "r1", LastSeen: base, DropRatio: 1, DropVolume: 1e6}}})
+	if len(e.Alerts()) != 0 {
+		t.Fatalf("node without drop SLI raised %+v", e.Alerts())
+	}
+
+	// Bad ratio but volume below the floor: an idle broker dropping its
+	// only frame must not page anyone.
+	e.Evaluate(Input{Now: base, Nodes: []NodeInput{{
+		Name: "b1", LastSeen: base, HasDropRatio: true, DropRatio: 0.5, DropVolume: 10}}})
+	if e.Firing() != 0 {
+		t.Fatalf("low-volume ratio fired: %+v", e.Alerts())
+	}
+
+	// Volume and ratio both over: fires, carrying the ratio as the value.
+	e.Evaluate(Input{Now: base.Add(time.Second), Nodes: []NodeInput{{
+		Name: "b1", LastSeen: base.Add(time.Second), HasDropRatio: true,
+		DropRatio: 0.25, DropVolume: 4000}}})
+	if e.Firing() != 1 {
+		t.Fatalf("drop storm did not fire: %+v", e.Alerts())
+	}
+	var fired Alert
+	for _, a := range e.Alerts() {
+		if a.Rule == RuleDropRatio {
+			fired = a
+		}
+	}
+	if fired.State != StateFiring || fired.Value != 0.25 || fired.Threshold != 0.05 {
+		t.Fatalf("drop_ratio alert = %+v", fired)
+	}
+
+	// Healthy delivery volume with a clean ratio: resolves after the
+	// hysteresis window.
+	healthy := func(at time.Time) Input {
+		return Input{Now: at, Nodes: []NodeInput{{
+			Name: "b1", LastSeen: at, HasDropRatio: true, DropRatio: 0.001, DropVolume: 4000}}}
+	}
+	e.Evaluate(healthy(base.Add(2 * time.Second)))
+	if e.Firing() != 1 {
+		t.Fatal("drop_ratio resolved without hysteresis")
+	}
+	e.Evaluate(healthy(base.Add(5 * time.Second)))
+	if e.Firing() != 0 {
+		t.Fatalf("drop_ratio never resolved: %+v", e.Alerts())
+	}
+	for _, a := range e.Alerts() {
+		if a.Rule == RuleDropRatio && (a.State != StateResolved || a.ResolvedAt == nil) {
+			t.Fatalf("resolved alert malformed: %+v", a)
+		}
+	}
+}

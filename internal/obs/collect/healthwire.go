@@ -8,11 +8,13 @@ import (
 
 // Metric families the health rules read from the series store.
 const (
-	metricEgressDepth  = "narada_broker_egress_queue_depth"
-	metricEgressDrops  = "narada_broker_egress_dropped_total"
-	metricReconnects   = "narada_broker_reconnects_total"
-	metricProbeRuns    = "narada_probe_runs_total"
-	metricProbeLatency = "narada_probe_latency_seconds"
+	metricEgressDepth     = "narada_broker_egress_queue_depth"
+	metricEgressDrops     = "narada_broker_egress_dropped_total"
+	metricReconnects      = "narada_broker_reconnects_total"
+	metricProbeRuns       = "narada_probe_runs_total"
+	metricProbeLatency    = "narada_probe_latency_seconds"
+	metricDelivered       = "narada_broker_publish_delivered_total"
+	metricDeliveryLatency = "narada_delivery_latency_seconds"
 )
 
 // Health returns the collector's health engine (alert listing, Firing count).
@@ -76,6 +78,24 @@ func (c *Collector) EvaluateHealthNow() {
 			n.HasFlaps = true
 			n.LinkFlapRate = reconns / hcfg.FlapWindow.Seconds()
 		}
+		// Delivery-latency burn: split the e2e latency histogram at the SLO
+		// over both burn windows, exactly like the probe latency SLI.
+		fastTotal, fastSlow := c.windowLatencySLI(metricDeliveryLatency, n.Name, hcfg.FastWindow, hcfg.DeliveryLatencySLO, now)
+		slowTotal, slowSlow := c.windowLatencySLI(metricDeliveryLatency, n.Name, hcfg.SlowWindow, hcfg.DeliveryLatencySLO, now)
+		if fastTotal > 0 || slowTotal > 0 {
+			n.HasDelivery = true
+			n.DeliveryFastTotal, n.DeliveryFastSlow = fastTotal, fastSlow
+			n.DeliverySlowTotal, n.DeliverySlowSlow = slowTotal, slowSlow
+		}
+		// Drop ratio: drops over delivery attempts. The delivered counter is
+		// recorded at egress enqueue, so every dropped data frame is already
+		// in the denominator — no double counting.
+		if delivered, ok := c.store.WindowSum(metricDelivered, n.Name, hcfg.EgressWindow, now); ok && delivered > 0 {
+			drops, _ := c.store.WindowSum(metricEgressDrops, n.Name, hcfg.EgressWindow, now)
+			n.HasDropRatio = true
+			n.DropVolume = delivered
+			n.DropRatio = drops / delivered
+		}
 	}
 
 	var probes []health.ProbeInput
@@ -98,11 +118,17 @@ func (c *Collector) EvaluateHealthNow() {
 }
 
 // latencySLI reads the probe latency histogram window and splits it into
+// total observations and those slower than the SLO.
+func (c *Collector) latencySLI(node string, window, slo time.Duration, now time.Time) (total, slowOnes float64) {
+	return c.windowLatencySLI(metricProbeLatency, node, window, slo, now)
+}
+
+// windowLatencySLI reads a latency histogram's window and splits it into
 // total observations and those slower than the SLO. Observations land on the
 // slow side unless their whole bucket fits under the objective, so the SLI
 // never flatters the fabric.
-func (c *Collector) latencySLI(node string, window, slo time.Duration, now time.Time) (total, slowOnes float64) {
-	bounds, buckets, count, _, ok := c.store.WindowHist(metricProbeLatency, node, window, now)
+func (c *Collector) windowLatencySLI(metric, node string, window, slo time.Duration, now time.Time) (total, slowOnes float64) {
+	bounds, buckets, count, _, ok := c.store.WindowHist(metric, node, window, now)
 	if !ok || count == 0 {
 		return 0, 0
 	}

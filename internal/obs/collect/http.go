@@ -19,7 +19,12 @@ import (
 //	               last snapshot plus the collector's own metrics, with a
 //	               node label identifying the source
 //	/traces        JSON listing of retained trace summaries
-//	/traces/{id}   one assembled cross-node trace, spans in aligned order
+//	/traces/{id}   one assembled cross-node trace, spans in aligned order;
+//	               message traces additionally carry the per-hop queue-wait
+//	               breakdown assembled from their msg-flush spans
+//	/flows         JSON per-topic flow accounting: each node's top-k table
+//	               (published/delivered/dropped-by-reason) plus the
+//	               fabric-wide merge
 //	/fabric        JSON fabric view: per-node liveness, clock offset, load,
 //	               egress queue depth and discovery latency percentiles
 //	/alerts        JSON health-alert list (firing first), with firing count
@@ -31,6 +36,9 @@ func (c *Collector) Handler() http.Handler {
 	mux.HandleFunc("/metrics", c.serveMetrics)
 	mux.HandleFunc("/traces", c.serveTraces)
 	mux.HandleFunc("/traces/{id}", c.serveTrace)
+	mux.HandleFunc("/flows", func(w http.ResponseWriter, _ *http.Request) {
+		writeJSON(w, http.StatusOK, c.Flows())
+	})
 	mux.HandleFunc("/fabric", c.serveFabric)
 	mux.HandleFunc("/alerts", c.serveAlerts)
 	mux.HandleFunc("/query", c.serveQuery)

@@ -17,11 +17,12 @@ import (
 // it only widens the gap between snapshots.
 const (
 	exportMagic   byte = 0xB8 // obs export frame marker (event frames use 0xB7)
-	exportVersion byte = 2    // v2 adds a snapshot sequence to metrics packets
+	exportVersion byte = 3    // v3 adds per-topic flow packets; v2 added Seq
 	exportMinVer  byte = 1    // v1 (no sequence) still decodes; Seq reads as 0
 
 	packetSpans   byte = 1
 	packetMetrics byte = 2
+	packetFlows   byte = 3 // space-saving top-k flow snapshot (wire v3)
 )
 
 // Family kind bytes on the wire.
@@ -117,6 +118,9 @@ type ExportPacket struct {
 	// re-baselined instead of read as a (possibly huge) spurious increase.
 	Seq      uint64
 	Families []ExportFamily
+
+	FlowsAt time.Time      // flow snapshot: node-local capture time
+	Flows   []FlowSnapshot // top-k per-topic flow accounting
 }
 
 func encodeExportHeader(w *wire.Writer, kind byte, node string, offset time.Duration) {
@@ -142,6 +146,30 @@ func EncodeSpanPacket(node string, offset time.Duration, spans []SpanRecord) []b
 			w.String(a.Key)
 			w.String(a.Value)
 		}
+	}
+	frame := w.Detach()
+	w.Release()
+	return frame
+}
+
+// EncodeFlowsPacket serialises a flow-table snapshot into one export
+// datagram. The sketch is fixed-size (top-k plus the <other> fold bucket), so
+// a single packet always suffices at any realistic K.
+func EncodeFlowsPacket(node string, offset time.Duration, at time.Time, flows []FlowSnapshot) []byte {
+	w := wire.GetWriter(128 + 64*len(flows))
+	encodeExportHeader(w, packetFlows, node, offset)
+	w.Time(at)
+	w.Uvarint(uint64(len(flows)))
+	for _, f := range flows {
+		w.String(f.Topic)
+		w.Uvarint(f.PubMsgs)
+		w.Uvarint(f.PubBytes)
+		w.Uvarint(f.DelMsgs)
+		w.Uvarint(f.DelBytes)
+		for _, d := range f.Drops {
+			w.Uvarint(d)
+		}
+		w.Uvarint(f.ErrBound)
 	}
 	frame := w.Detach()
 	w.Release()
@@ -283,6 +311,25 @@ func DecodeExportPacket(b []byte) (*ExportPacket, error) {
 			}
 			p.Families = append(p.Families, f)
 		}
+	case packetFlows:
+		p.FlowsAt = r.Time()
+		n := r.Uvarint()
+		if r.Err() == nil && n > wire.MaxListLen {
+			return nil, fmt.Errorf("obs: export: flow batch of %d", n)
+		}
+		for i := uint64(0); i < n && r.Err() == nil; i++ {
+			f := FlowSnapshot{Topic: r.String()}
+			f.PubMsgs = r.Uvarint()
+			f.PubBytes = r.Uvarint()
+			f.DelMsgs = r.Uvarint()
+			f.DelBytes = r.Uvarint()
+			for j := range f.Drops {
+				f.Drops[j] = r.Uvarint()
+			}
+			f.ErrBound = r.Uvarint()
+			f.finishDrops()
+			p.Flows = append(p.Flows, f)
+		}
 	default:
 		return nil, fmt.Errorf("obs: export: unknown packet kind %d", kind)
 	}
@@ -363,6 +410,9 @@ type ExporterConfig struct {
 	FlushInterval time.Duration
 	// MaxBatch is the span count that triggers an immediate send (default 64).
 	MaxBatch int
+	// Flows, when set, is snapshotted alongside every metrics snapshot and
+	// shipped as a flow packet (the broker passes its FlowTable's Snapshot).
+	Flows func() []FlowSnapshot
 	// RedialAfter is the number of failed sends (accumulated since the last
 	// redial attempt) after which the exporter re-resolves and redials Addr —
 	// so a collector that restarted on a new address behind the same name (a
@@ -471,7 +521,7 @@ func newExporterWithSink(cfg ExporterConfig, sink io.Writer) *Exporter {
 
 	e.wg.Add(1)
 	go e.spanLoop()
-	if cfg.Registry != nil && cfg.MetricsInterval > 0 {
+	if (cfg.Registry != nil || cfg.Flows != nil) && cfg.MetricsInterval > 0 {
 		e.wg.Add(1)
 		go e.metricsLoop()
 	}
@@ -599,10 +649,18 @@ func (e *Exporter) spanLoop() {
 }
 
 func (e *Exporter) shipMetrics() {
-	fams := e.cfg.Registry.ExportSnapshot()
-	seq := e.seq.Add(1)
-	for _, pkt := range EncodeMetricsPackets(e.cfg.Node, e.offset(), time.Now(), seq, fams, 0) {
-		e.send(pkt)
+	now := time.Now()
+	if e.cfg.Registry != nil {
+		fams := e.cfg.Registry.ExportSnapshot()
+		seq := e.seq.Add(1)
+		for _, pkt := range EncodeMetricsPackets(e.cfg.Node, e.offset(), now, seq, fams, 0) {
+			e.send(pkt)
+		}
+	}
+	if e.cfg.Flows != nil {
+		if flows := e.cfg.Flows(); len(flows) > 0 {
+			e.send(EncodeFlowsPacket(e.cfg.Node, e.offset(), now, flows))
+		}
 	}
 }
 

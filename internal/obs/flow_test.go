@@ -1,0 +1,201 @@
+package obs
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func snapshotByTopic(t *FlowTable) map[string]FlowSnapshot {
+	out := make(map[string]FlowSnapshot)
+	for _, s := range t.Snapshot() {
+		out[s.Topic] = s
+	}
+	return out
+}
+
+func TestFlowTableNilSafe(t *testing.T) {
+	var ft *FlowTable
+	if e := ft.Published("a", 10); e != nil {
+		t.Fatal("nil table returned an entry")
+	}
+	if s := ft.Snapshot(); s != nil {
+		t.Fatalf("nil table snapshot = %v", s)
+	}
+	var e *FlowEntry
+	e.Delivered(5)          // must not panic
+	e.Dropped(DropConnDown) // must not panic
+}
+
+func TestFlowTableAccounting(t *testing.T) {
+	ft := NewFlowTable(8)
+	for i := 0; i < 5; i++ {
+		e := ft.Published("sensors/temp", 100)
+		e.Delivered(100)
+	}
+	e := ft.Published("sensors/humidity", 40)
+	e.Dropped(DropQueueFull)
+	e.DroppedN(DropConnDown, 2)
+
+	snaps := ft.Snapshot()
+	if len(snaps) != 2 {
+		t.Fatalf("snapshot has %d rows, want 2: %+v", len(snaps), snaps)
+	}
+	// Sorted by published count descending.
+	if snaps[0].Topic != "sensors/temp" || snaps[1].Topic != "sensors/humidity" {
+		t.Fatalf("order = %s, %s", snaps[0].Topic, snaps[1].Topic)
+	}
+	temp := snaps[0]
+	if temp.PubMsgs != 5 || temp.PubBytes != 500 || temp.DelMsgs != 5 || temp.DelBytes != 500 {
+		t.Fatalf("temp accounting: %+v", temp)
+	}
+	hum := snaps[1]
+	if hum.PubMsgs != 1 || hum.DropQueue != 1 || hum.DropConn != 2 || hum.DropMsgs != 3 {
+		t.Fatalf("humidity accounting: %+v", hum)
+	}
+	if temp.ErrBound != 0 || hum.ErrBound != 0 {
+		t.Fatal("entries inserted below capacity carry an error bound")
+	}
+}
+
+// TestFlowTableEvictionInheritsErrBound walks the space-saving replacement:
+// at capacity, a new topic evicts the current minimum, inherits its count as
+// the starting point and error bound, and the evicted topic's delivered and
+// dropped tallies fold into <other> so node totals stay exact.
+func TestFlowTableEvictionInheritsErrBound(t *testing.T) {
+	ft := NewFlowTable(2)
+	for i := 0; i < 7; i++ {
+		ft.Published("heavy", 10)
+	}
+	small := ft.Published("small", 10)
+	ft.Published("small", 10)
+	ft.Published("small", 10) // small: count 3
+	small.Delivered(10)
+	small.Dropped(DropQueueFull)
+
+	// Table full; a third topic must replace the minimum (small, count 3).
+	ft.Published("newcomer", 10)
+
+	byTopic := snapshotByTopic(ft)
+	if _, ok := byTopic["small"]; ok {
+		t.Fatalf("minimum entry survived eviction: %+v", byTopic)
+	}
+	nc, ok := byTopic["newcomer"]
+	if !ok {
+		t.Fatalf("newcomer not tracked: %+v", byTopic)
+	}
+	// Space-saving: count = evicted minimum + 1, errBound = evicted minimum.
+	if nc.PubMsgs != 4 || nc.ErrBound != 3 {
+		t.Fatalf("newcomer count=%d errBound=%d, want 4/3", nc.PubMsgs, nc.ErrBound)
+	}
+	other, ok := byTopic[FlowOther]
+	if !ok {
+		t.Fatalf("no <other> fold after eviction: %+v", byTopic)
+	}
+	if other.DelMsgs != 1 || other.DropQueue != 1 {
+		t.Fatalf("<other> fold = %+v, want the evicted topic's 1 delivered / 1 dropped", other)
+	}
+
+	// The evicted entry handle stays safe: frames in flight may still hold
+	// it, and its updates must not panic (they are simply lost to snapshots).
+	small.Delivered(10)
+	small.Dropped(DropConnDown)
+}
+
+// TestFlowTableHeavyHitterGuarantee exercises the top-k claim: a topic with
+// true frequency above N/K is present in the sketch no matter how much
+// one-shot churn competes for slots, and its count error respects errBound.
+func TestFlowTableHeavyHitterGuarantee(t *testing.T) {
+	const k = 8
+	ft := NewFlowTable(k)
+	const heavyTrue = 600
+	total := 0
+	for i := 0; i < heavyTrue; i++ {
+		ft.Published("heavy", 1)
+		total++
+		// Interleave churn: 900 distinct one-shot topics across the run.
+		if i%2 == 0 {
+			ft.Published(fmt.Sprintf("churn/%d", i), 1)
+			total++
+		}
+		if i%3 == 0 {
+			ft.Published(fmt.Sprintf("churn2/%d", i), 1)
+			total++
+		}
+	}
+	if heavyTrue <= total/k {
+		t.Fatalf("test invariant broken: heavy %d below N/K = %d", heavyTrue, total/k)
+	}
+	h, ok := snapshotByTopic(ft)["heavy"]
+	if !ok {
+		t.Fatalf("heavy hitter (freq %d > N/K = %d) evicted", heavyTrue, total/k)
+	}
+	// count is an overestimate bounded by errBound: true <= count <= true+err.
+	if h.PubMsgs < heavyTrue || h.PubMsgs > heavyTrue+h.ErrBound {
+		t.Fatalf("heavy count %d outside [%d, %d]", h.PubMsgs, heavyTrue, heavyTrue+h.ErrBound)
+	}
+}
+
+// TestFlowTableConcurrent hits the lock-free fast path and the copy-on-write
+// insert path from many goroutines (run with -race). The topic set fits the
+// table, so no evictions occur and every tally must be exact.
+func TestFlowTableConcurrent(t *testing.T) {
+	const (
+		goroutines = 8
+		perG       = 2_000
+		topics     = 4
+	)
+	ft := NewFlowTable(topics)
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				topic := fmt.Sprintf("t/%d", (g+i)%topics)
+				e := ft.Published(topic, 8)
+				e.Delivered(8)
+				if i%10 == 0 {
+					e.Dropped(DropQueueFull)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+
+	var pub, del, drop uint64
+	for _, s := range ft.Snapshot() {
+		pub += s.PubMsgs
+		del += s.DelMsgs
+		drop += s.DropMsgs
+	}
+	const want = goroutines * perG
+	if pub != want || del != want {
+		t.Fatalf("published/delivered = %d/%d, want %d each", pub, del, want)
+	}
+	if wantDrops := uint64(goroutines * perG / 10); drop != wantDrops {
+		t.Fatalf("drops = %d, want %d", drop, wantDrops)
+	}
+}
+
+// TestFlowEntryInvalidDropReasonIgnored: out-of-range reasons are discarded,
+// not a panic or a misattributed bucket.
+func TestFlowEntryInvalidDropReasonIgnored(t *testing.T) {
+	ft := NewFlowTable(2)
+	e := ft.Published("a", 1)
+	e.Dropped(-1)
+	e.Dropped(NumDropReasons)
+	e.DroppedN(DropQueueFull, 0)
+	if s := snapshotByTopic(ft)["a"]; s.DropMsgs != 0 {
+		t.Fatalf("invalid reasons counted: %+v", s)
+	}
+}
+
+func BenchmarkFlowPublishedHit(b *testing.B) {
+	ft := NewFlowTable(DefaultFlowK)
+	ft.Published("bench/topic", 1)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		ft.Published("bench/topic", 256).Delivered(256)
+	}
+}

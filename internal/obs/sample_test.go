@@ -1,0 +1,151 @@
+package obs
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestSamplerNilAndDisabledNeverSample(t *testing.T) {
+	var nilSampler *Sampler
+	for i := 0; i < 100; i++ {
+		if nilSampler.Decide("a/b") {
+			t.Fatal("nil sampler sampled")
+		}
+	}
+	if nilSampler.Taken() != 0 || nilSampler.Seen() != 0 {
+		t.Fatalf("nil sampler counted: taken=%d seen=%d", nilSampler.Taken(), nilSampler.Seen())
+	}
+	off := NewSampler(0, 10)
+	for i := 0; i < 100; i++ {
+		if off.Decide("a/b") {
+			t.Fatal("every=0 sampler sampled")
+		}
+	}
+	if off.Taken() != 0 {
+		t.Fatalf("every=0 sampler took %d", off.Taken())
+	}
+}
+
+func TestSamplerOneInN(t *testing.T) {
+	s := NewSampler(4, 0)
+	taken := 0
+	for i := 0; i < 400; i++ {
+		if s.Decide("topic") {
+			taken++
+		}
+	}
+	if taken != 100 {
+		t.Fatalf("1-in-4 over 400 publishes took %d, want 100", taken)
+	}
+	if s.Seen() != 400 || s.Taken() != 100 {
+		t.Fatalf("counters seen=%d taken=%d, want 400/100", s.Seen(), s.Taken())
+	}
+}
+
+// TestSamplerPerTopicRateLimit floods one topic with every=1 and a small
+// per-topic cap: decisions must be bounded by the cap per one-second window.
+// The loop finishes in well under a second, so at most two windows (a
+// boundary crossing) can be touched.
+func TestSamplerPerTopicRateLimit(t *testing.T) {
+	const limit = 5
+	s := NewSampler(1, limit)
+	taken := 0
+	for i := 0; i < 10_000; i++ {
+		if s.Decide("hot/topic") {
+			taken++
+		}
+	}
+	if taken == 0 {
+		t.Fatal("rate limit starved the topic entirely")
+	}
+	if taken > 2*limit {
+		t.Fatalf("took %d decisions, cap is %d/s (max 2 windows => %d)", taken, limit, 2*limit)
+	}
+}
+
+// TestSamplerConcurrentRateLimit hammers the limiter from many goroutines
+// (run with -race): the grant count must stay near the per-second cap, with
+// slack only for the window-reset race the implementation documents.
+func TestSamplerConcurrentRateLimit(t *testing.T) {
+	const (
+		limit      = 50
+		goroutines = 8
+		perG       = 5_000
+	)
+	s := NewSampler(1, limit)
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				s.Decide("storm/topic")
+			}
+		}()
+	}
+	wg.Wait()
+	if s.Seen() != goroutines*perG {
+		t.Fatalf("seen = %d, want %d", s.Seen(), goroutines*perG)
+	}
+	// Two windows at most, plus per-goroutine slack for resets racing Add.
+	if max := uint64(2*limit + goroutines); s.Taken() > max {
+		t.Fatalf("took %d decisions under concurrency, want <= %d", s.Taken(), max)
+	}
+	if s.Taken() == 0 {
+		t.Fatal("concurrent limiter granted nothing")
+	}
+}
+
+// TestSamplerDistinctTopicsGetOwnBudget checks the per-topic window is keyed
+// by topic hash: two (non-colliding) topics each get their own allowance.
+func TestSamplerDistinctTopicsGetOwnBudget(t *testing.T) {
+	const limit = 3
+	s := NewSampler(1, limit)
+	perTopic := map[string]int{}
+	for i := 0; i < 100; i++ {
+		for _, topic := range []string{"alpha", "beta"} {
+			if s.Decide(topic) {
+				perTopic[topic]++
+			}
+		}
+	}
+	for _, topic := range []string{"alpha", "beta"} {
+		if perTopic[topic] == 0 {
+			t.Fatalf("topic %s starved: %v", topic, perTopic)
+		}
+		if perTopic[topic] > 2*limit {
+			t.Fatalf("topic %s took %d, cap %d/s", topic, perTopic[topic], limit)
+		}
+	}
+}
+
+// TestSamplerUnsampledPathAllocFree pins the satellite guarantee: the common
+// (not chosen) decision is allocation-free.
+func TestSamplerUnsampledPathAllocFree(t *testing.T) {
+	s := NewSampler(1<<62, 100) // effectively never fires
+	if allocs := testing.AllocsPerRun(1000, func() {
+		if s.Decide("some/topic/name") {
+			t.Fatal("sampler unexpectedly fired")
+		}
+	}); allocs != 0 {
+		t.Fatalf("unsampled Decide allocates %.1f/op, want 0", allocs)
+	}
+}
+
+func BenchmarkSamplerDecideUnsampled(b *testing.B) {
+	s := NewSampler(1<<62, 100)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s.Decide("bench/topic")
+	}
+}
+
+func BenchmarkSamplerDecideParallel(b *testing.B) {
+	s := NewSampler(1024, 100)
+	b.ReportAllocs()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			s.Decide("bench/topic")
+		}
+	})
+}

@@ -7,6 +7,7 @@ package testbed
 import (
 	"fmt"
 	"math/rand"
+	"sync/atomic"
 	"time"
 
 	"narada/internal/bdn"
@@ -112,6 +113,10 @@ type Options struct {
 	// ExportInterval is the per-component metric snapshot period when
 	// ExportAddr is set (default 1s; tests use a few ms).
 	ExportInterval time.Duration
+	// SampleEvery, when > 0, gives every broker a publish sampler tracing
+	// roughly 1 in N messages originating at it (decision-at-publish; events
+	// arriving over links keep the origin's verdict).
+	SampleEvery uint64
 }
 
 func (o *Options) fillDefaults() {
@@ -237,7 +242,7 @@ func New(opts Options) (*Testbed, error) {
 			}
 			node, ntp := tb.newNode(site, fmt.Sprintf("bdn%d", i))
 			name := "gridservicelocator." + tlds[i%len(tlds)]
-			reg, tracer, err := tb.obsFor(name, ntp)
+			reg, tracer, err := tb.obsFor(name, ntp, nil)
 			if err != nil {
 				tb.Close()
 				return nil, err
@@ -282,7 +287,15 @@ func New(opts Options) (*Testbed, error) {
 			skew = tb.Net.RandomSkew(tb.opts.MaxSkew)
 		}
 		node, ntp := tb.newNodeWithSkew(spec.Site, spec.Name, skew)
-		reg, tracer, err := tb.obsFor(spec.Name, ntp)
+		// The exporter is wired before the broker exists; its flow snapshots
+		// read through an atomic pointer filled in after broker.New.
+		var bref atomic.Pointer[broker.Broker]
+		reg, tracer, err := tb.obsFor(spec.Name, ntp, func() []obs.FlowSnapshot {
+			if br := bref.Load(); br != nil {
+				return br.Flows()
+			}
+			return nil
+		})
 		if err != nil {
 			tb.Close()
 			return nil, err
@@ -295,6 +308,9 @@ func New(opts Options) (*Testbed, error) {
 			ProcessingDelay: proc,
 			Metrics:         reg,
 			Tracer:          tracer,
+		}
+		if opts.SampleEvery > 0 {
+			cfg.PublishSampler = obs.NewSampler(opts.SampleEvery, 0)
 		}
 		if opts.Multicast {
 			cfg.MulticastGroup = MulticastGroup
@@ -312,6 +328,7 @@ func New(opts Options) (*Testbed, error) {
 			tb.Close()
 			return nil, err
 		}
+		bref.Store(b)
 		if err := b.Start(); err != nil {
 			tb.Close()
 			return nil, err
@@ -354,8 +371,10 @@ func New(opts Options) (*Testbed, error) {
 // obsFor returns the registry and tracer a component named name should use.
 // Without ExportAddr both come from Options (possibly shared, possibly nil).
 // With ExportAddr each component gets a private registry, tracer and exporter
-// keyed by its NTP service — the same shape as one process per node.
-func (tb *Testbed) obsFor(name string, ntp *ntptime.Service) (*obs.Registry, *obs.Tracer, error) {
+// keyed by its NTP service — the same shape as one process per node. flows,
+// when non-nil, is shipped with each metric snapshot (brokers pass their
+// per-topic flow table; everything else passes nil).
+func (tb *Testbed) obsFor(name string, ntp *ntptime.Service, flows func() []obs.FlowSnapshot) (*obs.Registry, *obs.Tracer, error) {
 	if tb.opts.ExportAddr == "" {
 		return tb.opts.Metrics, tb.opts.Tracer, nil
 	}
@@ -366,6 +385,7 @@ func (tb *Testbed) obsFor(name string, ntp *ntptime.Service) (*obs.Registry, *ob
 		Node:            name,
 		Offset:          ntp.Offset,
 		Registry:        reg,
+		Flows:           flows,
 		MetricsInterval: tb.opts.ExportInterval,
 	})
 	if err != nil {
@@ -424,7 +444,7 @@ func (tb *Testbed) NewDiscoverer(site, name string, cfg core.Config) *core.Disco
 		cfg.MulticastGroup = MulticastGroup
 	}
 	if cfg.Metrics == nil && cfg.Tracer == nil {
-		reg, tracer, err := tb.obsFor(cfg.NodeName, ntp)
+		reg, tracer, err := tb.obsFor(cfg.NodeName, ntp, nil)
 		if err != nil {
 			panic(err) // ExportAddr was accepted at New; a dial failure here is a test bug
 		}
@@ -511,7 +531,13 @@ func (tb *Testbed) RestartBroker(name string) error {
 	if tb.BrokerByName(name) != nil {
 		return fmt.Errorf("testbed: broker %s is still running", name)
 	}
-	reg, tracer, err := tb.obsFor(name, dep.ntp)
+	var bref atomic.Pointer[broker.Broker]
+	reg, tracer, err := tb.obsFor(name, dep.ntp, func() []obs.FlowSnapshot {
+		if br := bref.Load(); br != nil {
+			return br.Flows()
+		}
+		return nil
+	})
 	if err != nil {
 		return err
 	}
@@ -522,6 +548,7 @@ func (tb *Testbed) RestartBroker(name string) error {
 	if err != nil {
 		return fmt.Errorf("testbed: restarting %s: %w", name, err)
 	}
+	bref.Store(b)
 	if err := b.Start(); err != nil {
 		return fmt.Errorf("testbed: restarting %s: %w", name, err)
 	}
@@ -594,7 +621,7 @@ func (tb *Testbed) RestartBDN(name string) error {
 	if tb.BDNByName(name) != nil {
 		return fmt.Errorf("testbed: bdn %s is still running", name)
 	}
-	reg, tracer, err := tb.obsFor(name, dep.ntp)
+	reg, tracer, err := tb.obsFor(name, dep.ntp, nil)
 	if err != nil {
 		return err
 	}

@@ -21,6 +21,7 @@ fi
 
 GATE_NS=$(sed -n 's/.*"gate_ns_op"[[:space:]]*:[[:space:]]*\([0-9][0-9]*\).*/\1/p' "$BENCH_FILE" | head -1)
 GATE_ALLOCS=$(sed -n 's/.*"gate_allocs_op"[[:space:]]*:[[:space:]]*\([0-9][0-9]*\).*/\1/p' "$BENCH_FILE" | head -1)
+GATE_SAMPLED_ALLOCS=$(sed -n 's/.*"gate_sampled_allocs_op"[[:space:]]*:[[:space:]]*\([0-9][0-9]*\).*/\1/p' "$BENCH_FILE" | head -1)
 if [ -z "$GATE_NS" ] || [ -z "$GATE_ALLOCS" ]; then
     echo "bench-gate: $BENCH_FILE carries no gate_ns_op / gate_allocs_op" >&2
     exit 1
@@ -58,5 +59,28 @@ END {
     }
     exit failed
 }' "$OUT"
+
+# Sampled-path gate: with message tracing live (1-in-N sampler + tracer) the
+# fan-out must amortise to the recorded allocs/op — sampling may spend wall
+# time on its winners, so only allocations are gated, not ns/op.
+if [ -n "$GATE_SAMPLED_ALLOCS" ]; then
+    echo "bench-gate: running BenchmarkPublishFanoutSampled x2 (gate: ${GATE_SAMPLED_ALLOCS} allocs/op, ns ungated)"
+    go test -run '^$' -bench 'BenchmarkPublishFanoutSampled$' -benchmem -benchtime=1s \
+        -count 2 ./internal/broker/ | tee "$OUT"
+    awk -v gate_allocs="$GATE_SAMPLED_ALLOCS" '
+    /^BenchmarkPublishFanoutSampled/ {
+        for (i = 1; i <= NF; i++)
+            if ($i == "allocs/op" && (best == "" || $(i-1) + 0 < best)) best = $(i-1) + 0
+        runs++
+    }
+    END {
+        if (runs == 0) { print "bench-gate: no sampled benchmark output parsed" > "/dev/stderr"; exit 1 }
+        printf "bench-gate: sampled best of %d runs: %d allocs/op (gate %d)\n", runs, best, gate_allocs
+        if (best > gate_allocs) {
+            printf "bench-gate: FAIL: sampled path %d allocs/op exceeds gate %d\n", best, gate_allocs > "/dev/stderr"
+            exit 1
+        }
+    }' "$OUT"
+fi
 
 echo "bench-gate: ok"

@@ -4,9 +4,10 @@
 # packages, the ones most exposed to concurrency bugs), the tier-1 verify
 # target (build, vet, gofmt, tests, race), the publish fan-out performance
 # gate (>2% ns/op regression or any new allocation on the fast path fails),
-# and finally the four real-socket smoke tests (collector/prober trace
-# assembly, health-engine failure detection, self-healing BDN
-# re-registration, and the open-loop load generator end to end).
+# and finally the five real-socket smoke tests (collector/prober trace
+# assembly, per-topic flow accounting + message sampling, health-engine
+# failure detection, self-healing BDN re-registration, and the open-loop
+# load generator end to end).
 set -eu
 cd "$(dirname "$0")/.."
 
@@ -30,6 +31,9 @@ make loadgen-smoke
 
 echo "ci: make obs-smoke"
 make obs-smoke
+
+echo "ci: make flows-smoke"
+make flows-smoke
 
 echo "ci: make health-smoke"
 make health-smoke
