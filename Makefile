@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet fmt-check verify bench bench-gate fuzz obs-smoke health-smoke chaos-smoke loadgen-smoke flows-smoke ci
+.PHONY: all build test race vet fmt-check verify bench bench-gate fuzz obs-smoke health-smoke chaos-smoke loadgen-smoke flows-smoke events-smoke ci
 
 all: build
 
@@ -65,6 +65,13 @@ flows-smoke:
 # itself and discovery keeps selecting it.
 chaos-smoke:
 	sh scripts/chaos_smoke.sh
+
+# events-smoke boots a BDN + 2 linked brokers + obscollect on real sockets,
+# kill -9s the dialed broker, and asserts the survivor's link_down and
+# reconnect burst reach /events, /topology?at= time-travels across the
+# teardown, and the deadman alert embeds its correlated event window.
+events-smoke:
+	sh scripts/events_smoke.sh
 
 # ci is the full pre-merge pipeline: verify + obs-smoke.
 ci:

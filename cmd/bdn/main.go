@@ -99,6 +99,7 @@ func main() {
 	reg := obs.NewRegistry()
 	obs.RegisterProcessMetrics(reg)
 	tracer := obs.NewTracer(obs.DefaultTraceCapacity, logger)
+	journal := obs.NewJournal(0, nil)
 	var exp *obs.Exporter
 	if cfg.ObsExportAddr != "" {
 		exp, err = obs.NewExporter(obs.ExporterConfig{
@@ -106,6 +107,7 @@ func main() {
 			Node:     cfg.Name,
 			Offset:   ntp.Offset,
 			Registry: reg,
+			Journal:  journal,
 		})
 		if err != nil {
 			log.Fatalf("bdn: obs export: %v", err)
@@ -127,6 +129,7 @@ func main() {
 		RequiredCredential: []byte(cfg.RequiredCredential),
 		Metrics:            reg,
 		Tracer:             tracer,
+		Journal:            journal,
 	})
 	if err != nil {
 		log.Fatalf("bdn: %v", err)

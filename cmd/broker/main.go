@@ -136,12 +136,14 @@ func main() {
 	// snapshot reads through an atomic indirection filled in below.
 	var flowSource atomic.Pointer[func() []obs.FlowSnapshot]
 	var exp *obs.Exporter
+	journal := obs.NewJournal(0, nil)
 	if cfg.ObsExportAddr != "" {
 		exp, err = obs.NewExporter(obs.ExporterConfig{
 			Addr:     cfg.ObsExportAddr,
 			Node:     cfg.LogicalAddress,
 			Offset:   ntp.Offset,
 			Registry: reg,
+			Journal:  journal,
 			Flows: func() []obs.FlowSnapshot {
 				if f := flowSource.Load(); f != nil {
 					return (*f)()
@@ -174,6 +176,7 @@ func main() {
 		AdvertiseTTL:      cfg.AdvertiseTTL(),
 		Metrics:           reg,
 		Tracer:            tracer,
+		Journal:           journal,
 		PublishSampler:    obs.NewSampler(uint64(cfg.SampleEvery), uint64(cfg.SampleTopicPerSec)),
 	})
 	if err != nil {

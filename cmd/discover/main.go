@@ -101,16 +101,23 @@ func main() {
 	cfg.Metrics = reg
 	cfg.Tracer = tracer
 	if *obsExport != "" {
+		journal := obs.NewJournal(0, nil)
 		exp, err := obs.NewExporter(obs.ExporterConfig{
 			Addr:     *obsExport,
 			Node:     cfg.NodeName,
 			Offset:   ntp.Offset,
 			Registry: reg,
+			Journal:  journal,
 		})
 		if err != nil {
 			log.Fatalf("discover: obs export: %v", err)
 		}
+		// The requester is short-lived: its node_start/node_stop pair bounds
+		// the discovery on the collector's timeline, and Close ships the final
+		// journal drain so node_stop arrives even without a metrics tick.
+		journal.Emit(obs.EventNodeStart, cfg.NodeName, "discovery requester")
 		defer exp.Close() //nolint:errcheck
+		defer journal.Emit(obs.EventNodeStop, cfg.NodeName, "")
 		tracer.SetExporter(exp)
 	}
 	if *telemetry != "" {

@@ -9,7 +9,12 @@
 //	/flows         per-topic flow accounting (top-k per node + fabric merge)
 //	/fabric        per-node liveness, clock offset, load and latency SLIs
 //	/alerts        health-alert list (deadman, clock drift, egress, SLO burn,
-//	               delivery-latency burn, drop ratio)
+//	               delivery-latency burn, drop ratio), each linked to its
+//	               surrounding control-plane event window
+//	/events        merged control-plane event journal (link churn, ad
+//	               lifecycle, alerts, faults), filterable by node/type/since
+//	/topology      fabric graph reconstructed from the journal; ?at=<time>
+//	               replays the topology as of any past instant
 //	/query         range queries over the retained multi-resolution series
 //
 // Every ingested snapshot also feeds the in-memory time-series store and the
@@ -51,8 +56,9 @@ import (
 func main() {
 	var (
 		listen        = flag.String("listen", "127.0.0.1:9310", "UDP listen addr for export packets")
-		httpAddr      = flag.String("http", "127.0.0.1:9311", "HTTP listen addr for /metrics, /traces, /fabric, /alerts, /query")
+		httpAddr      = flag.String("http", "127.0.0.1:9311", "HTTP listen addr for /metrics, /traces, /fabric, /alerts, /events, /topology, /query")
 		traceCap      = flag.Int("trace-capacity", collect.DefaultTraceCapacity, "assembled traces retained (oldest evicted)")
+		eventCap      = flag.Int("event-capacity", collect.DefaultEventCapacity, "control-plane events retained per node (oldest evicted)")
 		probeInterval = flag.Duration("probe-interval", 0, "synthetic discovery probe interval (0 = no prober)")
 		probeBDN      = flag.String("probe-bdn", "", "comma-separated BDN stream addrs the prober discovers through")
 		probeWindow   = flag.Duration("probe-window", time.Second, "per-probe response collection window")
@@ -102,6 +108,7 @@ func main() {
 	col, err := collect.New(collect.Config{
 		Listen:         *listen,
 		TraceCapacity:  *traceCap,
+		EventCapacity:  *eventCap,
 		Logger:         logger,
 		Registry:       reg,
 		Health:         hc,
@@ -122,7 +129,7 @@ func main() {
 		defer close(done)
 		_ = srv.Serve(lis)
 	}()
-	log.Printf("obscollect: serving http://%s/metrics /traces /flows /fabric /alerts /query", lis.Addr())
+	log.Printf("obscollect: serving http://%s/metrics /traces /flows /fabric /alerts /events /topology /query", lis.Addr())
 
 	var prober *collect.Prober
 	if *probeInterval > 0 {

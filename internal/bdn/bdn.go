@@ -85,6 +85,10 @@ type Config struct {
 	Metrics *obs.Registry
 	// Tracer, when set, records per-request discovery trace events.
 	Tracer *obs.Tracer
+	// Journal, when set, records registration lifecycle events
+	// (ad_registered/ad_refreshed/ad_expired/ad_swept) and node start/stop
+	// for the fabric event timeline.
+	Journal *obs.Journal
 }
 
 // DefaultInjectOverhead is the default per-injection cost.
@@ -180,6 +184,7 @@ func (d *BDN) Start() error {
 	}
 	d.listener, d.udp = l, pc
 	d.cfg.Logger.Info("bdn started", "addr", l.Addr())
+	d.cfg.Journal.Emit(obs.EventNodeStart, l.Addr(), "udp="+pc.LocalAddr())
 	d.wg.Add(2)
 	go d.acceptLoop()
 	go d.sweepLoop()
@@ -212,6 +217,11 @@ func (d *BDN) sweepLoop() {
 		for _, logical := range expired {
 			d.tel.adsExpired.Inc()
 			d.cfg.Logger.Info("registration expired", "broker", logical)
+			d.cfg.Journal.Emit(obs.EventAdExpired, logical, "")
+		}
+		if len(expired) > 0 {
+			d.cfg.Journal.Emit(obs.EventAdSwept, d.cfg.Name,
+				fmt.Sprintf("expired=%d", len(expired)))
 		}
 	}
 }
@@ -219,6 +229,7 @@ func (d *BDN) sweepLoop() {
 // Close stops the BDN.
 func (d *BDN) Close() {
 	d.closeOnce.Do(func() {
+		d.cfg.Journal.Emit(obs.EventNodeStop, d.cfg.Name, "")
 		close(d.closed)
 		if d.listener != nil {
 			_ = d.listener.Close()
@@ -422,6 +433,11 @@ func (d *BDN) storeAdvertisement(ev *event.Event, conn transport.Conn) string {
 	if !ok {
 		r = &registration{}
 		d.brokers[ad.Broker.LogicalAddress] = r
+		d.cfg.Journal.Emit(obs.EventAdRegistered, ad.Broker.LogicalAddress,
+			fmt.Sprintf("realm=%s ttl=%s", ad.Broker.Realm, ttl))
+	} else {
+		d.cfg.Journal.Emit(obs.EventAdRefreshed, ad.Broker.LogicalAddress,
+			fmt.Sprintf("ttl=%s", ttl))
 	}
 	r.ad = ad
 	r.expiresAt = expiresAt

@@ -3,6 +3,8 @@ package broker
 import (
 	"fmt"
 
+	"narada/internal/obs"
+
 	"narada/internal/core"
 	"narada/internal/event"
 	"narada/internal/topics"
@@ -57,6 +59,7 @@ func (b *Broker) dialRegistration(addr string) (<-chan struct{}, error) {
 	}
 	b.startEgress(lk.out)
 	b.connectionsChanged()
+	b.cfg.Journal.Emit(obs.EventLinkUp, lk.peer, "role="+lk.role)
 	b.noteAdvertised(lk.peer)
 	lk.touch(b.node.Clock().Now())
 	if b.cfg.HeartbeatInterval > 0 {
@@ -76,11 +79,15 @@ func (b *Broker) dialRegistration(addr string) (<-chan struct{}, error) {
 			lk.out.close()
 			_ = conn.Close()
 			b.mu.Lock()
-			if b.links[lk.peer] == lk {
+			wasCurrent := b.links[lk.peer] == lk
+			if wasCurrent {
 				delete(b.links, lk.peer)
 				b.rebuildLinkSnap()
 			}
 			b.mu.Unlock()
+			if wasCurrent {
+				b.cfg.Journal.Emit(obs.EventLinkDown, lk.peer, "role="+lk.role)
+			}
 			b.connectionsChanged()
 		}()
 		for {

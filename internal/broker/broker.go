@@ -109,6 +109,10 @@ type Config struct {
 	// FlowK overrides the per-topic flow sketch width (top-K heaviest
 	// topics tracked; default obs.DefaultFlowK).
 	FlowK int
+	// Journal, when set, records control-plane transitions (node and link
+	// lifecycle, advertisement refreshes, reconnect attempts) for the
+	// fabric event timeline. Emission never touches the publish fast path.
+	Journal *obs.Journal
 }
 
 // RoutingMode selects the broker network's dissemination strategy for
@@ -287,6 +291,7 @@ func (b *Broker) Start() error {
 	}
 	b.listener, b.udp = l, pc
 	b.cfg.Logger.Info("broker started", "stream", l.Addr(), "udp", pc.LocalAddr())
+	b.cfg.Journal.Emit(obs.EventNodeStart, l.Addr(), "udp="+pc.LocalAddr())
 
 	if b.cfg.MulticastGroup != "" {
 		if err := pc.JoinGroup(b.cfg.MulticastGroup); err != nil {
@@ -315,6 +320,7 @@ const closeFlushTimeout = 2 * time.Second
 // peers, then the connections are closed to unblock any stalled writer.
 func (b *Broker) Close() {
 	b.closeOnce.Do(func() {
+		b.cfg.Journal.Emit(obs.EventNodeStop, b.cfg.LogicalAddress, "")
 		close(b.closed)
 		// Stop the supervisors first so nothing redials while we tear down.
 		b.mu.Lock()

@@ -36,6 +36,7 @@ func (b *Broker) serveLink(lk *link, replyHello bool) {
 	b.startEgress(lk.out)
 	b.connectionsChanged()
 	b.cfg.Logger.Info("link up", "peer", lk.peer, "role", lk.role)
+	b.cfg.Journal.Emit(obs.EventLinkUp, lk.peer, "role="+lk.role)
 	lk.touch(b.node.Clock().Now())
 	if lk.role == roleLink {
 		b.announceInterestTo(lk)
@@ -64,6 +65,7 @@ func (b *Broker) serveLink(lk *link, replyHello bool) {
 		}
 		if wasCurrent {
 			b.cfg.Logger.Info("link down", "peer", lk.peer, "role", lk.role)
+			b.cfg.Journal.Emit(obs.EventLinkDown, lk.peer, "role="+lk.role)
 		}
 		b.connectionsChanged()
 	}()

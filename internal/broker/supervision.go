@@ -5,6 +5,7 @@ import (
 
 	"narada/internal/core"
 	"narada/internal/event"
+	"narada/internal/obs"
 	"narada/internal/supervise"
 	"narada/internal/topics"
 )
@@ -54,6 +55,7 @@ func (b *Broker) superviseDial(kind, addr string, dial func(string) (<-chan stru
 		Dial:    func() (<-chan struct{}, error) { return dial(addr) },
 		Initial: initial,
 		Logger:  b.cfg.Logger.With("kind", kind),
+		Journal: b.cfg.Journal,
 		OnState: func(s supervise.State) { b.tel.setLinkState(kind, addr, s) },
 		OnAttempt: func(ok bool) {
 			b.tel.reconnectAttempt(kind)
@@ -146,6 +148,7 @@ func (b *Broker) noteAdvertised(target string) {
 	_, known := b.lastAd[target]
 	b.lastAd[target] = now
 	b.mu.Unlock()
+	b.cfg.Journal.Emit(obs.EventAdRefreshed, target, "")
 	if !known {
 		b.tel.registrationAgeGauge(b, target)
 	}

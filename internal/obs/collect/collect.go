@@ -53,6 +53,10 @@ type Config struct {
 	// HealthInterval is the rule-evaluation period (0 uses 1s; < 0
 	// disables the ticker — tests call EvaluateHealthNow directly).
 	HealthInterval time.Duration
+	// EventCapacity bounds the per-node journal-event ring (<= 0 uses
+	// DefaultEventCapacity). The ring also bounds how far back /topology
+	// can time-travel.
+	EventCapacity int
 }
 
 // span is one recorded span with its provenance: which node recorded it and
@@ -100,6 +104,13 @@ type Collector struct {
 	nodes  map[string]*nodeState
 	traces map[string]*trace
 	order  []string // trace ids, oldest first
+	events map[string]*eventLog
+
+	// journal records the collector's own control-plane events (the health
+	// engine's alert transitions), drained into the event store under the
+	// collector's identity so alerts sit on the same timeline as the link
+	// and advertisement events that explain them.
+	journal *obs.Journal
 
 	packetsRx  *obs.Counter
 	packetsBad *obs.Counter
@@ -114,6 +125,9 @@ type Collector struct {
 func New(cfg Config) (*Collector, error) {
 	if cfg.TraceCapacity <= 0 {
 		cfg.TraceCapacity = DefaultTraceCapacity
+	}
+	if cfg.EventCapacity <= 0 {
+		cfg.EventCapacity = DefaultEventCapacity
 	}
 	if cfg.Logger == nil {
 		cfg.Logger = obs.Nop()
@@ -138,6 +152,8 @@ func New(cfg Config) (*Collector, error) {
 		store:      newSeriesStore(cfg.Resolutions, cfg.MaxSeries),
 		nodes:      make(map[string]*nodeState),
 		traces:     make(map[string]*trace),
+		events:     make(map[string]*eventLog),
+		journal:    obs.NewJournal(cfg.EventCapacity, nil),
 		healthStop: make(chan struct{}),
 	}
 	who := obs.L("node", "obscollect")
@@ -168,6 +184,9 @@ func New(cfg Config) (*Collector, error) {
 	}
 	if len(hc.Sinks) == 0 {
 		hc.Sinks = []health.Sink{health.NewLogSink(c.log)}
+	}
+	if hc.Journal == nil {
+		hc.Journal = c.journal
 	}
 	c.health = health.New(hc)
 
@@ -258,6 +277,9 @@ func (c *Collector) ingest(pkt *obs.ExportPacket) {
 		ns.flows = pkt.Flows
 		ns.flowsAt = pkt.FlowsAt
 	}
+	if pkt.Events != nil {
+		c.ingestEventsLocked(pkt)
+	}
 	for _, rec := range pkt.Spans {
 		ns.spans++
 		c.spansRx.Inc()
@@ -316,6 +338,9 @@ type TraceInfo struct {
 	Nodes []string   `json:"nodes"`
 	Spans []SpanInfo `json:"spans"`
 	Hops  []HopWait  `json:"hops,omitempty"`
+	// EventsURL selects the journal events surrounding the trace's aligned
+	// span window — the control-plane context a slow or failed request ran in.
+	EventsURL string `json:"eventsUrl,omitempty"`
 }
 
 // TraceSummary is the /traces listing entry.
@@ -400,6 +425,11 @@ func (c *Collector) Trace(id string) (TraceInfo, bool) {
 		out.Nodes = append(out.Nodes, n)
 	}
 	sort.Strings(out.Nodes)
+	if len(out.Spans) > 0 {
+		first := out.Spans[0].AtAligned
+		last := out.Spans[len(out.Spans)-1].AtAligned
+		out.EventsURL = eventsURL(first.Add(-5*time.Second), last.Add(5*time.Second), "")
+	}
 	return out, true
 }
 

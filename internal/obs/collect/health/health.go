@@ -142,6 +142,11 @@ type Config struct {
 	Sinks []Sink
 	// Registry, when set, carries narada_alerts_firing{rule,node} gauges.
 	Registry *obs.Registry
+	// Journal, when set, records alert lifecycle transitions
+	// (alert_pending/alert_firing/alert_resolved) for the fabric timeline;
+	// the collector wires its own journal here so alert events sit beside
+	// the link and advertisement events that explain them.
+	Journal *obs.Journal
 	// Logger receives evaluation diagnostics; nil discards them.
 	Logger *slog.Logger
 }
@@ -402,6 +407,7 @@ func (e *Engine) apply(rule, node string, active bool, value, threshold float64,
 			return
 		}
 		st = &alertState{Alert: Alert{Rule: rule, Node: node, State: StatePending, Since: now}}
+		e.cfg.Journal.Emit(obs.EventAlertPending, node, rule)
 		if e.cfg.Registry != nil {
 			st.gauge = e.cfg.Registry.Gauge("narada_alerts_firing",
 				"Health alerts currently firing, by rule and node.",
@@ -479,6 +485,12 @@ func (e *Engine) publish(a Alert) {
 	}
 	e.cfg.Logger.Info("alert transition", "rule", a.Rule, "node", a.Node,
 		"state", a.State, "value", a.Value, "threshold", a.Threshold, "msg", a.Message)
+	switch a.State {
+	case StateFiring:
+		e.cfg.Journal.Emit(obs.EventAlertFiring, a.Node, a.Rule)
+	case StateResolved:
+		e.cfg.Journal.Emit(obs.EventAlertResolved, a.Node, a.Rule)
+	}
 	for _, s := range e.cfg.Sinks {
 		s.Publish(a)
 	}

@@ -5,6 +5,7 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -411,11 +412,45 @@ func TestWebhookSinkFailure(t *testing.T) {
 		http.Error(w, "nope", http.StatusBadGateway)
 	}))
 	s := NewWebhookSink(srv.URL, time.Second, nil)
+	s.sleep = func(time.Duration) {}
 	s.Publish(Alert{Rule: RuleDeadman, Node: "b1", State: StateFiring})
 	srv.Close()
 	s.Publish(Alert{Rule: RuleDeadman, Node: "b1", State: StateResolved}) // connection refused
-	if s.Delivered() != 0 || s.Failed() != 2 {
-		t.Fatalf("delivered=%d failed=%d, want 0/2", s.Delivered(), s.Failed())
+	// Both failures are transient, so each publish attempts twice.
+	if s.Delivered() != 0 || s.Failed() != 4 || s.Retried() != 2 {
+		t.Fatalf("delivered=%d failed=%d retried=%d, want 0/4/2",
+			s.Delivered(), s.Failed(), s.Retried())
+	}
+}
+
+// TestWebhookSinkRetryRecovers asserts a single transient 5xx is ridden out
+// by the one-shot retry, while a 4xx rejection is terminal (re-posting a
+// payload the receiver refused cannot help).
+func TestWebhookSinkRetryRecovers(t *testing.T) {
+	var calls atomic.Uint64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		if calls.Add(1) == 1 {
+			http.Error(w, "busy", http.StatusServiceUnavailable)
+		}
+	}))
+	defer srv.Close()
+	s := NewWebhookSink(srv.URL, time.Second, nil)
+	s.sleep = func(time.Duration) {}
+	s.Publish(Alert{Rule: RuleDeadman, Node: "b1", State: StateFiring})
+	if s.Delivered() != 1 || s.Retried() != 1 || calls.Load() != 2 {
+		t.Fatalf("delivered=%d retried=%d calls=%d, want 1/1/2",
+			s.Delivered(), s.Retried(), calls.Load())
+	}
+
+	rejects := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		http.Error(w, "bad payload", http.StatusUnprocessableEntity)
+	}))
+	defer rejects.Close()
+	r := NewWebhookSink(rejects.URL, time.Second, nil)
+	r.sleep = func(d time.Duration) { t.Fatalf("4xx must not be retried (slept %s)", d) }
+	r.Publish(Alert{Rule: RuleDeadman, Node: "b1", State: StateFiring})
+	if r.Failed() != 1 || r.Retried() != 0 {
+		t.Fatalf("failed=%d retried=%d, want 1/0", r.Failed(), r.Retried())
 	}
 }
 

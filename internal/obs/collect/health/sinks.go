@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"encoding/json"
 	"log/slog"
+	"math/rand"
 	"net/http"
 	"sync/atomic"
 	"time"
@@ -32,15 +33,19 @@ func (s *LogSink) Publish(a Alert) {
 
 // WebhookSink POSTs each alert transition as a JSON document to a generic
 // webhook endpoint (chat bridges, incident routers). Delivery is best-effort
-// with a bounded timeout; failures are counted and logged, never retried —
-// the /alerts endpoint remains the source of truth.
+// with a bounded per-request timeout and exactly one jittered retry on
+// transient failure (transport error or 5xx); a 4xx means the receiver
+// rejected the payload and is not retried. Ultimately-failed deliveries are
+// counted and logged — the /alerts endpoint remains the source of truth.
 type WebhookSink struct {
 	url    string
 	client *http.Client
 	log    *slog.Logger
+	sleep  func(time.Duration) // injectable for tests
 
 	delivered atomic.Uint64
 	failed    atomic.Uint64
+	retried   atomic.Uint64
 }
 
 // NewWebhookSink builds a webhook sink; timeout <= 0 uses 3s.
@@ -51,33 +56,53 @@ func NewWebhookSink(url string, timeout time.Duration, log *slog.Logger) *Webhoo
 	if log == nil {
 		log = obs.Nop()
 	}
-	return &WebhookSink{url: url, client: &http.Client{Timeout: timeout}, log: log}
+	return &WebhookSink{url: url, client: &http.Client{Timeout: timeout}, log: log, sleep: time.Sleep}
 }
 
-// Publish POSTs one alert.
+// Publish POSTs one alert, retrying once after a jittered pause when the
+// failure looks transient.
 func (s *WebhookSink) Publish(a Alert) {
 	body, err := json.Marshal(a)
 	if err != nil {
 		s.failed.Add(1)
 		return
 	}
+	for attempt := 0; ; attempt++ {
+		retryable := s.post(body)
+		if retryable && attempt == 0 {
+			s.retried.Add(1)
+			// 50–150 ms: enough to ride out a connection blip without
+			// stalling the evaluation tick for long.
+			s.sleep(50*time.Millisecond + time.Duration(rand.Int63n(int64(100*time.Millisecond))))
+			continue
+		}
+		return
+	}
+}
+
+// post performs one delivery attempt and reports whether a retry could help.
+func (s *WebhookSink) post(body []byte) bool {
 	resp, err := s.client.Post(s.url, "application/json", bytes.NewReader(body))
 	if err != nil {
 		s.failed.Add(1)
 		s.log.Warn("webhook delivery failed", "url", s.url, "err", err)
-		return
+		return true
 	}
 	resp.Body.Close()
 	if resp.StatusCode >= 300 {
 		s.failed.Add(1)
 		s.log.Warn("webhook rejected alert", "url", s.url, "status", resp.StatusCode)
-		return
+		return resp.StatusCode >= 500
 	}
 	s.delivered.Add(1)
+	return false
 }
 
 // Delivered returns the number of successfully delivered transitions.
 func (s *WebhookSink) Delivered() uint64 { return s.delivered.Load() }
 
-// Failed returns the number of failed deliveries.
+// Failed returns the number of failed delivery attempts.
 func (s *WebhookSink) Failed() uint64 { return s.failed.Load() }
+
+// Retried returns the number of deliveries that needed the retry.
+func (s *WebhookSink) Retried() uint64 { return s.retried.Load() }

@@ -115,6 +115,10 @@ func (c *Collector) EvaluateHealthNow() {
 	}
 
 	c.health.Evaluate(health.Input{Now: now, Nodes: nodes, Probes: probes})
+	// Alert transitions the evaluation just produced land in the collector's
+	// own journal; fold them into the event store immediately so /events and
+	// /topology reads never trail the /alerts view.
+	c.drainOwnEvents()
 }
 
 // latencySLI reads the probe latency histogram window and splits it into

@@ -27,7 +27,13 @@ import (
 //	               fabric-wide merge
 //	/fabric        JSON fabric view: per-node liveness, clock offset, load,
 //	               egress queue depth and discovery latency percentiles
-//	/alerts        JSON health-alert list (firing first), with firing count
+//	/alerts        JSON health-alert list (firing first), with firing count;
+//	               each alert links to its correlated journal-event window
+//	/events        JSON control-plane event journal, merged across nodes in
+//	               NTP-aligned order: ?node= &type= &since= &until= &limit=
+//	/topology      fabric graph (nodes, links, advertisements with TTL
+//	               state) replayed from the journal: ?at=RFC3339|5m (ago);
+//	               absent or at=live reconstructs the present
 //	/query         range query over the retained series store:
 //	               ?metric= (required) &node= &res=10s &since=5m|RFC3339
 //	/healthz       liveness
@@ -41,6 +47,8 @@ func (c *Collector) Handler() http.Handler {
 	})
 	mux.HandleFunc("/fabric", c.serveFabric)
 	mux.HandleFunc("/alerts", c.serveAlerts)
+	mux.HandleFunc("/events", c.serveEvents)
+	mux.HandleFunc("/topology", c.serveTopology)
 	mux.HandleFunc("/query", c.serveQuery)
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
@@ -274,18 +282,85 @@ func histQuantile(q float64, bounds []float64, buckets []uint64) float64 {
 	return bounds[len(bounds)-1]
 }
 
+// AlertView is one /alerts entry: the alert plus the journal-event window
+// surrounding its anchor — the root-cause correlation ("deadman at T ⇐ 3
+// reconnect_gaveup on link X in [T−30s, T]").
+type AlertView struct {
+	health.Alert
+	EventWindow *EventWindow `json:"eventWindow,omitempty"`
+}
+
 // AlertsView is the /alerts payload.
 type AlertsView struct {
-	Firing int            `json:"firing"`
-	Alerts []health.Alert `json:"alerts"`
+	Firing int         `json:"firing"`
+	Alerts []AlertView `json:"alerts"`
 }
 
 func (c *Collector) serveAlerts(w http.ResponseWriter, _ *http.Request) {
 	alerts := c.health.Alerts()
-	if alerts == nil {
-		alerts = []health.Alert{}
+	out := make([]AlertView, 0, len(alerts))
+	for _, a := range alerts {
+		anchor := a.Since
+		if a.FiredAt != nil {
+			anchor = *a.FiredAt
+		}
+		out = append(out, AlertView{Alert: a, EventWindow: c.eventWindowFor(a.Node, anchor)})
 	}
-	writeJSON(w, http.StatusOK, AlertsView{Firing: c.health.Firing(), Alerts: alerts})
+	writeJSON(w, http.StatusOK, AlertsView{Firing: c.health.Firing(), Alerts: out})
+}
+
+// parseWhen accepts a duration ("30s", meaning that long ago) or an RFC3339
+// instant.
+func parseWhen(s string, now time.Time) (time.Time, error) {
+	if d, err := time.ParseDuration(s); err == nil {
+		return now.Add(-d), nil
+	}
+	return time.Parse(time.RFC3339, s)
+}
+
+func (c *Collector) serveEvents(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	f := EventFilter{Node: q.Get("node"), Type: q.Get("type")}
+	now := time.Now()
+	if s := q.Get("since"); s != "" {
+		t, err := parseWhen(s, now)
+		if err != nil {
+			writeJSON(w, http.StatusBadRequest,
+				map[string]string{"error": "since must be a duration (30s) or RFC3339 time"})
+			return
+		}
+		f.Since = t
+	}
+	if s := q.Get("until"); s != "" {
+		t, err := parseWhen(s, now)
+		if err != nil {
+			writeJSON(w, http.StatusBadRequest,
+				map[string]string{"error": "until must be a duration (30s) or RFC3339 time"})
+			return
+		}
+		f.Until = t
+	}
+	if s := q.Get("limit"); s != "" {
+		if _, err := fmt.Sscanf(s, "%d", &f.Limit); err != nil {
+			writeJSON(w, http.StatusBadRequest, map[string]string{"error": "bad limit"})
+			return
+		}
+	}
+	writeJSON(w, http.StatusOK, c.Events(f))
+}
+
+func (c *Collector) serveTopology(w http.ResponseWriter, r *http.Request) {
+	at, live := time.Now(), true
+	if s := r.URL.Query().Get("at"); s != "" && s != "live" {
+		t, err := parseWhen(s, at)
+		if err != nil {
+			writeJSON(w, http.StatusBadRequest,
+				map[string]string{"error": "at must be a duration (30s ago), an RFC3339 time, or live"})
+			return
+		}
+		at, live = t, false
+	}
+	writeJSON(w, http.StatusOK, c.TopologyAt(at, live))
 }
 
 // QueryView is the /query payload.

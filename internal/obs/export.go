@@ -17,12 +17,13 @@ import (
 // it only widens the gap between snapshots.
 const (
 	exportMagic   byte = 0xB8 // obs export frame marker (event frames use 0xB7)
-	exportVersion byte = 3    // v3 adds per-topic flow packets; v2 added Seq
+	exportVersion byte = 4    // v4 adds journal event packets; v3 flows; v2 Seq
 	exportMinVer  byte = 1    // v1 (no sequence) still decodes; Seq reads as 0
 
 	packetSpans   byte = 1
 	packetMetrics byte = 2
 	packetFlows   byte = 3 // space-saving top-k flow snapshot (wire v3)
+	packetEvents  byte = 4 // control-plane journal batch (wire v4)
 )
 
 // Family kind bytes on the wire.
@@ -121,6 +122,9 @@ type ExportPacket struct {
 
 	FlowsAt time.Time      // flow snapshot: node-local capture time
 	Flows   []FlowSnapshot // top-k per-topic flow accounting
+
+	EventsAt time.Time // event batch: node-local drain time
+	Events   []Event   // control-plane journal events, in seq order
 }
 
 func encodeExportHeader(w *wire.Writer, kind byte, node string, offset time.Duration) {
@@ -170,6 +174,30 @@ func EncodeFlowsPacket(node string, offset time.Duration, at time.Time, flows []
 			w.Uvarint(d)
 		}
 		w.Uvarint(f.ErrBound)
+	}
+	frame := w.Detach()
+	w.Release()
+	return frame
+}
+
+// maxEventsPerPacket keeps an event batch comfortably inside MaxExportPacket
+// even with generous subject/detail strings (~200 bytes/event worst case).
+const maxEventsPerPacket = 256
+
+// EncodeEventsPacket serialises a batch of journal events into one export
+// datagram. Callers chunk at maxEventsPerPacket; the decoder enforces only
+// the generic list bound.
+func EncodeEventsPacket(node string, offset time.Duration, at time.Time, events []Event) []byte {
+	w := wire.GetWriter(128 + 48*len(events))
+	encodeExportHeader(w, packetEvents, node, offset)
+	w.Time(at)
+	w.Uvarint(uint64(len(events)))
+	for _, ev := range events {
+		w.Uvarint(ev.Seq)
+		w.String(ev.Type)
+		w.Time(ev.At)
+		w.String(ev.Subject)
+		w.String(ev.Detail)
 	}
 	frame := w.Detach()
 	w.Release()
@@ -330,6 +358,19 @@ func DecodeExportPacket(b []byte) (*ExportPacket, error) {
 			f.finishDrops()
 			p.Flows = append(p.Flows, f)
 		}
+	case packetEvents:
+		p.EventsAt = r.Time()
+		n := r.Uvarint()
+		if r.Err() == nil && n > wire.MaxListLen {
+			return nil, fmt.Errorf("obs: export: event batch of %d", n)
+		}
+		for i := uint64(0); i < n && r.Err() == nil; i++ {
+			ev := Event{Seq: r.Uvarint(), Type: r.String()}
+			ev.At = r.Time()
+			ev.Subject = r.String()
+			ev.Detail = r.String()
+			p.Events = append(p.Events, ev)
+		}
 	default:
 		return nil, fmt.Errorf("obs: export: unknown packet kind %d", kind)
 	}
@@ -413,6 +454,10 @@ type ExporterConfig struct {
 	// Flows, when set, is snapshotted alongside every metrics snapshot and
 	// shipped as a flow packet (the broker passes its FlowTable's Snapshot).
 	Flows func() []FlowSnapshot
+	// Journal, when set, is drained alongside every metrics snapshot and
+	// shipped as event packets. The final drain on Close ships terminal
+	// events (node_stop) from short-lived processes.
+	Journal *Journal
 	// RedialAfter is the number of failed sends (accumulated since the last
 	// redial attempt) after which the exporter re-resolves and redials Addr —
 	// so a collector that restarted on a new address behind the same name (a
@@ -521,7 +566,7 @@ func newExporterWithSink(cfg ExporterConfig, sink io.Writer) *Exporter {
 
 	e.wg.Add(1)
 	go e.spanLoop()
-	if (cfg.Registry != nil || cfg.Flows != nil) && cfg.MetricsInterval > 0 {
+	if (cfg.Registry != nil || cfg.Flows != nil || cfg.Journal != nil) && cfg.MetricsInterval > 0 {
 		e.wg.Add(1)
 		go e.metricsLoop()
 	}
@@ -660,6 +705,16 @@ func (e *Exporter) shipMetrics() {
 	if e.cfg.Flows != nil {
 		if flows := e.cfg.Flows(); len(flows) > 0 {
 			e.send(EncodeFlowsPacket(e.cfg.Node, e.offset(), now, flows))
+		}
+	}
+	if events := e.cfg.Journal.Drain(); len(events) > 0 {
+		for len(events) > 0 {
+			n := len(events)
+			if n > maxEventsPerPacket {
+				n = maxEventsPerPacket
+			}
+			e.send(EncodeEventsPacket(e.cfg.Node, e.offset(), now, events[:n]))
+			events = events[n:]
 		}
 	}
 }

@@ -54,12 +54,32 @@ func corruptCases() map[string][]byte {
 	hugeBuckets := w.Detach()
 	w.Release()
 
+	// Event packet claiming 2^32 events: rejected by the list bound.
+	w = wire.GetWriter(64)
+	w.Byte(0xb8)
+	w.Byte(4)
+	w.Byte(4) // packetEvents
+	w.String("n1")
+	w.Duration(0)
+	w.Time(time.Unix(0, 0))
+	w.Uvarint(1 << 32)
+	hugeEvents := w.Detach()
+	w.Release()
+
+	// Valid event frame cut mid-entry: the reader's error must fail the
+	// whole packet rather than yield a half-decoded event.
+	eventFrame := EncodeEventsPacket("n1", 5*time.Millisecond, time.Unix(1120176060, 0), sampleEvents())
+	truncatedEvents := append([]byte(nil), eventFrame...)
+	truncatedEvents = truncatedEvents[:len(truncatedEvents)-7]
+
 	return map[string][]byte{
 		"truncated chunk":   truncated,
 		"bad magic":         badMagic,
 		"bad version":       badVersion,
 		"oversized spans":   hugeSpans,
 		"oversized buckets": hugeBuckets,
+		"oversized events":  hugeEvents,
+		"truncated events":  truncatedEvents,
 		"empty":             {},
 		"header only":       spanFrame[:3],
 	}
@@ -83,6 +103,7 @@ func FuzzDecodeExportPacket(f *testing.F) {
 	for _, frame := range EncodeMetricsPackets("n1", 0, time.Unix(1120176060, 0), 3, sampleFamilies(), 0) {
 		f.Add(frame)
 	}
+	f.Add(EncodeEventsPacket("n1", 5*time.Millisecond, time.Unix(1120176060, 0), sampleEvents()))
 	for _, frame := range corruptCases() {
 		f.Add(frame)
 	}
@@ -96,6 +117,9 @@ func FuzzDecodeExportPacket(f *testing.F) {
 		}
 		if len(pkt.Families) > wire.MaxListLen {
 			t.Fatalf("decoded %d families past the list bound", len(pkt.Families))
+		}
+		if len(pkt.Events) > wire.MaxListLen {
+			t.Fatalf("decoded %d events past the list bound", len(pkt.Events))
 		}
 		for _, fam := range pkt.Families {
 			for _, s := range fam.Series {

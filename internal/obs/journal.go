@@ -1,0 +1,146 @@
+package obs
+
+import (
+	"sync"
+	"time"
+)
+
+// Control-plane event types. The journal is a typed record of fabric state
+// transitions — link lifecycle, advertisement lifecycle, alert state machine,
+// fault injection — as opposed to the continuous signals (metrics, flows)
+// and per-request signals (spans) the rest of the package carries.
+const (
+	EventLinkUp           = "link_up"
+	EventLinkDown         = "link_down"
+	EventReconnectAttempt = "reconnect_attempt"
+	EventReconnectGaveup  = "reconnect_gaveup"
+	EventAdRegistered     = "ad_registered"
+	EventAdRefreshed      = "ad_refreshed"
+	EventAdExpired        = "ad_expired"
+	EventAdSwept          = "ad_swept"
+	EventAlertPending     = "alert_pending"
+	EventAlertFiring      = "alert_firing"
+	EventAlertResolved    = "alert_resolved"
+	EventFaultInjected    = "fault_injected"
+	EventNodeStart        = "node_start"
+	EventNodeStop         = "node_stop"
+)
+
+// Event is one journal entry. The node identity is carried at the transport
+// layer (one journal per process), not per event. Seq is assigned by the
+// emitting journal and is strictly monotonic per node, so the collector can
+// detect dropped packets as sequence gaps. At is the emitter's local clock;
+// NTP alignment happens downstream using the per-packet offset.
+type Event struct {
+	Seq     uint64
+	Type    string
+	At      time.Time
+	Subject string // peer address, topic, rule name, fault name — type-dependent
+	Detail  string // free-form context ("role=bdn", "ttl=30s", "expired=3")
+}
+
+// DefaultJournalCapacity bounds a journal created with capacity <= 0.
+const DefaultJournalCapacity = 1024
+
+// Journal is a bounded ring of control-plane events. Emit is cheap (one
+// short mutex hold, no allocation beyond the amortised ring) and never
+// blocks on I/O: the exporter drains the ring on its own schedule, and when
+// producers outrun the drain the oldest events are overwritten. Overwrites
+// surface downstream as sequence gaps, so loss is visible rather than
+// silent. All methods are nil-safe so call sites need no journal-enabled
+// branch.
+type Journal struct {
+	clock func() time.Time
+
+	mu      sync.Mutex
+	buf     []Event
+	start   int // index of oldest buffered event
+	n       int // number of buffered events
+	seq     uint64
+	dropped uint64
+}
+
+// NewJournal returns a journal holding at most capacity undrained events.
+// A nil clock means time.Now.
+func NewJournal(capacity int, clock func() time.Time) *Journal {
+	if capacity <= 0 {
+		capacity = DefaultJournalCapacity
+	}
+	if clock == nil {
+		clock = time.Now
+	}
+	return &Journal{clock: clock, buf: make([]Event, capacity)}
+}
+
+// Emit appends a typed event stamped with the next sequence number and the
+// journal's clock. When the ring is full the oldest undrained event is
+// overwritten and counted as dropped.
+func (j *Journal) Emit(typ, subject, detail string) {
+	if j == nil {
+		return
+	}
+	now := j.clock()
+	j.mu.Lock()
+	j.seq++
+	ev := Event{Seq: j.seq, Type: typ, At: now, Subject: subject, Detail: detail}
+	if j.n == len(j.buf) {
+		// Full: overwrite the oldest. The seq it carried is gone for
+		// good; the collector sees the gap.
+		j.buf[j.start] = ev
+		j.start = (j.start + 1) % len(j.buf)
+		j.dropped++
+	} else {
+		j.buf[(j.start+j.n)%len(j.buf)] = ev
+		j.n++
+	}
+	j.mu.Unlock()
+}
+
+// Drain returns all buffered events in sequence order and clears the ring.
+// It returns nil when the journal is nil or empty.
+func (j *Journal) Drain() []Event {
+	if j == nil {
+		return nil
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.n == 0 {
+		return nil
+	}
+	out := make([]Event, j.n)
+	for i := 0; i < j.n; i++ {
+		out[i] = j.buf[(j.start+i)%len(j.buf)]
+	}
+	j.start, j.n = 0, 0
+	return out
+}
+
+// Len reports the number of buffered (undrained) events.
+func (j *Journal) Len() int {
+	if j == nil {
+		return 0
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.n
+}
+
+// Dropped reports how many events have been overwritten before a drain.
+func (j *Journal) Dropped() uint64 {
+	if j == nil {
+		return 0
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.dropped
+}
+
+// Seq reports the last assigned sequence number.
+func (j *Journal) Seq() uint64 {
+	if j == nil {
+		return 0
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.seq
+}

@@ -1,0 +1,168 @@
+package obs
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+func sampleEvents() []Event {
+	base := time.Unix(1120176060, 0).UTC()
+	return []Event{
+		{Seq: 1, Type: EventNodeStart, At: base, Subject: "127.0.0.1:7001", Detail: ""},
+		{Seq: 2, Type: EventLinkUp, At: base.Add(time.Second), Subject: "broker-b", Detail: "role=broker"},
+		{Seq: 3, Type: EventAdRefreshed, At: base.Add(2 * time.Second), Subject: "bdn:127.0.0.1:9001", Detail: "ttl=30s"},
+	}
+}
+
+func TestJournalEmitDrainOrder(t *testing.T) {
+	j := NewJournal(16, func() time.Time { return time.Unix(100, 0) })
+	j.Emit(EventNodeStart, "addr", "")
+	j.Emit(EventLinkUp, "peer-1", "role=broker")
+	j.Emit(EventLinkDown, "peer-1", "read error")
+
+	evs := j.Drain()
+	if len(evs) != 3 {
+		t.Fatalf("drained %d events, want 3", len(evs))
+	}
+	for i, ev := range evs {
+		if ev.Seq != uint64(i+1) {
+			t.Fatalf("event %d has seq %d, want %d", i, ev.Seq, i+1)
+		}
+	}
+	if evs[1].Type != EventLinkUp || evs[1].Subject != "peer-1" {
+		t.Fatalf("unexpected event: %+v", evs[1])
+	}
+	if got := j.Drain(); got != nil {
+		t.Fatalf("second drain returned %d events, want nil", len(got))
+	}
+	if j.Seq() != 3 {
+		t.Fatalf("seq = %d after drain, want 3 (monotonic across drains)", j.Seq())
+	}
+}
+
+// TestJournalWraparound fills a tiny ring past capacity and asserts the
+// oldest events are overwritten: the drain holds the newest capacity-many
+// events in seq order and the loss is counted, so the collector-side gap
+// detector has something to see.
+func TestJournalWraparound(t *testing.T) {
+	j := NewJournal(4, nil)
+	for i := 0; i < 10; i++ {
+		j.Emit(EventReconnectAttempt, fmt.Sprintf("target-%d", i), "")
+	}
+	if d := j.Dropped(); d != 6 {
+		t.Fatalf("dropped = %d, want 6", d)
+	}
+	evs := j.Drain()
+	if len(evs) != 4 {
+		t.Fatalf("drained %d events, want 4", len(evs))
+	}
+	for i, ev := range evs {
+		want := uint64(7 + i) // seqs 7..10 survive
+		if ev.Seq != want {
+			t.Fatalf("event %d has seq %d, want %d", i, ev.Seq, want)
+		}
+	}
+	// Post-wrap emissions continue the sequence.
+	j.Emit(EventReconnectGaveup, "target", "")
+	if evs := j.Drain(); len(evs) != 1 || evs[0].Seq != 11 {
+		t.Fatalf("post-wrap drain = %+v, want single seq-11 event", evs)
+	}
+}
+
+// TestJournalConcurrentEmit exercises the ring under -race: concurrent
+// emitters and a draining reader must never produce duplicate or zero
+// sequence numbers.
+func TestJournalConcurrentEmit(t *testing.T) {
+	j := NewJournal(64, nil)
+	const goroutines, perG = 8, 200
+
+	seen := make(map[uint64]bool)
+	var seenMu sync.Mutex
+	drain := func() {
+		for _, ev := range j.Drain() {
+			seenMu.Lock()
+			if ev.Seq == 0 || seen[ev.Seq] {
+				t.Errorf("bad or duplicate seq %d", ev.Seq)
+			}
+			seen[ev.Seq] = true
+			seenMu.Unlock()
+		}
+	}
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				drain()
+			}
+		}
+	}()
+	var emitters sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		emitters.Add(1)
+		go func(g int) {
+			defer emitters.Done()
+			for i := 0; i < perG; i++ {
+				j.Emit(EventLinkUp, fmt.Sprintf("peer-%d", g), "")
+			}
+		}(g)
+	}
+	emitters.Wait()
+	close(stop)
+	wg.Wait()
+	drain()
+
+	if j.Seq() != goroutines*perG {
+		t.Fatalf("seq = %d, want %d", j.Seq(), goroutines*perG)
+	}
+	seenMu.Lock()
+	kept := uint64(len(seen))
+	seenMu.Unlock()
+	if kept+j.Dropped() != goroutines*perG {
+		t.Fatalf("kept %d + dropped %d != emitted %d", kept, j.Dropped(), goroutines*perG)
+	}
+}
+
+func TestNilJournalIsSafe(t *testing.T) {
+	var j *Journal
+	j.Emit(EventLinkUp, "x", "y")
+	if j.Drain() != nil || j.Len() != 0 || j.Dropped() != 0 || j.Seq() != 0 {
+		t.Fatal("nil journal must be inert")
+	}
+}
+
+// TestEventsPacketRoundTrip asserts the v4 event frame decodes to exactly
+// what was encoded, including the batch drain time and per-event clocks.
+func TestEventsPacketRoundTrip(t *testing.T) {
+	at := time.Unix(1120176090, 12345).UTC()
+	in := sampleEvents()
+	frame := EncodeEventsPacket("broker-a", -40*time.Millisecond, at, in)
+	pkt, err := DecodeExportPacket(frame)
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if pkt.Node != "broker-a" || pkt.Offset != -40*time.Millisecond {
+		t.Fatalf("header = %q/%v", pkt.Node, pkt.Offset)
+	}
+	if !pkt.EventsAt.Equal(at) {
+		t.Fatalf("EventsAt = %v, want %v", pkt.EventsAt, at)
+	}
+	if len(pkt.Events) != len(in) {
+		t.Fatalf("decoded %d events, want %d", len(pkt.Events), len(in))
+	}
+	for i, ev := range pkt.Events {
+		want := in[i]
+		if ev.Seq != want.Seq || ev.Type != want.Type || ev.Subject != want.Subject ||
+			ev.Detail != want.Detail || !ev.At.Equal(want.At) {
+			t.Fatalf("event %d = %+v, want %+v", i, ev, want)
+		}
+	}
+}

@@ -2,14 +2,39 @@ package obs
 
 import (
 	"runtime"
+	"runtime/debug"
 	"time"
 )
 
+// buildRevision extracts the VCS revision baked into the binary, truncated to
+// the short-hash length Prometheus dashboards expect. Binaries built outside
+// a checkout (go test, bare go build of a dirty tree) report "unknown".
+func buildRevision() string {
+	info, ok := debug.ReadBuildInfo()
+	if !ok {
+		return "unknown"
+	}
+	for _, s := range info.Settings {
+		if s.Key == "vcs.revision" && s.Value != "" {
+			if len(s.Value) > 12 {
+				return s.Value[:12]
+			}
+			return s.Value
+		}
+	}
+	return "unknown"
+}
+
 // RegisterProcessMetrics adds Go-runtime health gauges to reg, evaluated at
-// scrape time: goroutine count, heap in use, total GC cycles and process
-// uptime (measured from this call). Call once per process.
+// scrape time: goroutine count, heap in use, total GC cycles, process uptime
+// (measured from this call) and a constant build-info series so fleet
+// version skew shows up on /metrics. Call once per process.
 func RegisterProcessMetrics(reg *Registry) {
 	start := time.Now()
+	reg.Gauge("narada_build_info",
+		"Build identity; constant 1, labelled with toolchain and VCS revision.",
+		L("go_version", runtime.Version()),
+		L("revision", buildRevision())).Set(1)
 	reg.GaugeFunc("narada_process_goroutines",
 		"Live goroutines in the process.",
 		func() float64 { return float64(runtime.NumGoroutine()) })

@@ -11,6 +11,7 @@
 package supervise
 
 import (
+	"fmt"
 	"log/slog"
 	"math/rand"
 	"sync"
@@ -121,6 +122,10 @@ type RunnerConfig struct {
 	OnState func(State)
 	// OnAttempt observes every dial attempt's outcome (telemetry counters).
 	OnAttempt func(success bool)
+	// Journal, when set, records reconnect_attempt and reconnect_gaveup
+	// events for the control-plane timeline. Emission is off every hot
+	// path: one mutex hold per dial attempt.
+	Journal *obs.Journal
 }
 
 // Runner supervises one connection. Create with New, drive with Run (which
@@ -232,6 +237,11 @@ func (r *Runner) Run() {
 			r.cfg.OnAttempt(err == nil)
 		}
 		if err == nil {
+			r.cfg.Journal.Emit(obs.EventReconnectAttempt, r.cfg.Target, "ok")
+		} else {
+			r.cfg.Journal.Emit(obs.EventReconnectAttempt, r.cfg.Target, "fail: "+err.Error())
+		}
+		if err == nil {
 			r.successes.Add(1)
 			failures, backoff = 0, p.BaseBackoff
 			session = s
@@ -243,6 +253,8 @@ func (r *Runner) Run() {
 		if p.MaxAttempts > 0 && failures >= p.MaxAttempts {
 			r.cfg.Logger.Warn("supervision giving up",
 				"target", r.cfg.Target, "failures", failures, "err", err)
+			r.cfg.Journal.Emit(obs.EventReconnectGaveup, r.cfg.Target,
+				fmt.Sprintf("failures=%d", failures))
 			return
 		}
 		wait := r.jittered(backoff)

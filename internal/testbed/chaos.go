@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"narada/internal/broker"
+	"narada/internal/obs"
 )
 
 // Fault is one scripted event in a chaos schedule: at model-time offset At
@@ -80,6 +81,7 @@ func (tb *Testbed) RunSchedule(schedule []Fault) error {
 			clock.Sleep(f.At - elapsed)
 			elapsed = f.At
 		}
+		tb.journal.Emit(obs.EventFaultInjected, f.Name, fmt.Sprintf("at=%v", f.At))
 		if err := f.Do(tb); err != nil {
 			return fmt.Errorf("testbed: fault %q at %v: %w", f.Name, f.At, err)
 		}

@@ -1,0 +1,131 @@
+package testbed
+
+import (
+	"testing"
+	"time"
+
+	"narada/internal/obs"
+	"narada/internal/obs/collect"
+)
+
+// TestChaosEventTimeline runs a supervised fabric against a live collector,
+// kills a broker, and checks the control-plane record end to end: the
+// survivors' link_down and reconnect_attempt events land on the collector's
+// timeline beside the testbed's fault_injected marker, and /topology
+// time-travel shows the link present just before the kill and absent after.
+func TestChaosEventTimeline(t *testing.T) {
+	col, err := collect.New(collect.Config{Listen: "127.0.0.1:0"})
+	if err != nil {
+		t.Fatalf("collector: %v", err)
+	}
+	defer col.Close()
+
+	opts := chaosOptions()
+	opts.ExportAddr = col.Addr()
+	opts.ExportInterval = 20 * time.Millisecond
+	tb, err := New(opts)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	defer tb.Close()
+	// Export shipping plus the race detector slow the fabric well below its
+	// usual pace; give convergence the same budget as the post-fault waits.
+	if err := tb.WaitConverged(ConvergeOptions{Timeout: 30 * time.Second}); err != nil {
+		t.Fatalf("initial state: %v", err)
+	}
+
+	// The linear chain dials into broker-umn; that edge is the one whose
+	// teardown the survivor will journal. Established links are journalled
+	// under the peer's logical name; the supervisor redials its stream addr.
+	var dialer, target string
+	for _, e := range tb.Edges {
+		if e.To == "broker-umn" {
+			dialer, target = e.From, e.To
+			break
+		}
+	}
+	if dialer == "" {
+		t.Fatalf("no edge into broker-umn in %v", tb.Edges)
+	}
+	targetAddr := tb.BrokerByName(target).StreamAddr()
+
+	hasLink := func(v collect.TopologyView) bool {
+		for _, l := range v.Links {
+			if l.From == dialer && l.To == target {
+				return true
+			}
+		}
+		return false
+	}
+
+	// Wait for the link_up journal batch to reach the collector before the
+	// kill, so the timeline holds the link's establishment.
+	deadline := time.Now().Add(10 * time.Second)
+	for !hasLink(col.TopologyAt(tb.Net.Clock().Now(), true)) {
+		if time.Now().After(deadline) {
+			t.Fatalf("collector never saw link %s -> %s; %d events retained",
+				dialer, target, col.EventCount())
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+
+	if err := tb.RunSchedule([]Fault{at(0, KillBrokerFault(target))}); err != nil {
+		t.Fatalf("schedule: %v", err)
+	}
+
+	// The kill's evidence arrives from three independent journals: the
+	// testbed's fault_injected, the survivor's link_down naming the dead
+	// peer, and its supervisor's reconnect_attempt failures.
+	wantEvent := func(f collect.EventFilter, subject, desc string) collect.NodeEvent {
+		t.Helper()
+		deadline := time.Now().Add(10 * time.Second)
+		for {
+			for _, ev := range col.Events(f).Events {
+				if subject == "" || ev.Subject == subject {
+					return ev
+				}
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("no %s event arrived; %d events retained", desc, col.EventCount())
+			}
+			time.Sleep(20 * time.Millisecond)
+		}
+	}
+	fault := wantEvent(collect.EventFilter{Node: "testbed", Type: obs.EventFaultInjected}, "", "fault_injected")
+	if fault.Subject == "" {
+		t.Errorf("fault_injected carries no fault name: %+v", fault)
+	}
+	wantEvent(collect.EventFilter{Node: dialer, Type: obs.EventLinkDown}, target,
+		"link_down naming the dead peer")
+	wantEvent(collect.EventFilter{Type: obs.EventReconnectAttempt}, targetAddr,
+		"reconnect_attempt against the dead peer")
+
+	// Time travel: the same store answers differently for instants either
+	// side of the teardown. The peer is dead, so the journal's final word on
+	// this edge is a link_down; probe just before it (after the last
+	// preceding link_up) and at it — instants taken from the journal's own
+	// aligned stamps, immune to skew residual and model-clock races.
+	var lastDown, lastUp, curUp time.Time
+	for _, ev := range col.Events(collect.EventFilter{Node: dialer}).Events {
+		if ev.Subject != target {
+			continue
+		}
+		switch ev.Type {
+		case obs.EventLinkUp:
+			curUp = ev.AtAligned
+		case obs.EventLinkDown:
+			lastUp, lastDown = curUp, ev.AtAligned
+		}
+	}
+	if lastDown.IsZero() || lastUp.IsZero() || !lastUp.Before(lastDown) {
+		t.Fatalf("no link_up < link_down pair for %s -> %s (up=%v down=%v)",
+			dialer, target, lastUp, lastDown)
+	}
+	preKill := lastUp.Add(lastDown.Sub(lastUp) / 2)
+	if v := col.TopologyAt(preKill, false); !hasLink(v) {
+		t.Errorf("topology at pre-kill %v lost the link: %+v", preKill, v.Links)
+	}
+	if v := col.TopologyAt(lastDown, false); hasLink(v) {
+		t.Errorf("topology at teardown %v still shows the link: %+v", lastDown, v.Links)
+	}
+}

@@ -85,7 +85,7 @@ func fetchAlerts(t *testing.T, url string) collect.AlertsView {
 }
 
 // alertState polls /alerts until the (rule, node) alert reaches state.
-func awaitAlertState(t *testing.T, url, rule, node, state string, deadline time.Duration) health.Alert {
+func awaitAlertState(t *testing.T, url, rule, node, state string, deadline time.Duration) collect.AlertView {
 	t.Helper()
 	until := time.Now().Add(deadline)
 	var last collect.AlertsView

@@ -183,6 +183,11 @@ type Testbed struct {
 	ntpByName map[string]*ntptime.Service
 	exporters map[string]*obs.Exporter // per-node exporters when ExportAddr is set
 
+	// journal records testbed-level control-plane events (chaos fault
+	// injection) under the node identity "testbed" when ExportAddr is set,
+	// so a collector's timeline shows the faults beside their consequences.
+	journal *obs.Journal
+
 	// Deployment records let chaos schedules restart a killed component on
 	// the same node with the same ports, so supervised peers find it again.
 	brokerDeps map[string]*brokerDeployment
@@ -227,6 +232,23 @@ func New(opts Options) (*Testbed, error) {
 		bdnDeps:    make(map[string]*bdnDeployment),
 	}
 
+	if opts.ExportAddr != "" {
+		// The schedule driver exports its own journal: fault injections are
+		// control-plane events too. The model clock is the true timeline, so
+		// no offset correction applies.
+		tb.journal = obs.NewJournal(0, net.Clock().Now)
+		exp, err := obs.NewExporter(obs.ExporterConfig{
+			Addr:            opts.ExportAddr,
+			Node:            "testbed",
+			Journal:         tb.journal,
+			MetricsInterval: opts.ExportInterval,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("testbed: exporter: %w", err)
+		}
+		tb.exporters["testbed"] = exp
+	}
+
 	// BDNs: gridservicelocator.org at the primary site, further replicas
 	// (.com, .net, .info) spread across the WAN.
 	if !opts.NoBDN {
@@ -242,7 +264,7 @@ func New(opts Options) (*Testbed, error) {
 			}
 			node, ntp := tb.newNode(site, fmt.Sprintf("bdn%d", i))
 			name := "gridservicelocator." + tlds[i%len(tlds)]
-			reg, tracer, err := tb.obsFor(name, ntp, nil)
+			reg, tracer, journal, err := tb.obsFor(name, ntp, nil)
 			if err != nil {
 				tb.Close()
 				return nil, err
@@ -255,6 +277,7 @@ func New(opts Options) (*Testbed, error) {
 				SweepInterval:  opts.SweepInterval,
 				Metrics:        reg,
 				Tracer:         tracer,
+				Journal:        journal,
 			}
 			d, err := bdn.New(node, ntp, dcfg)
 			if err != nil {
@@ -290,7 +313,7 @@ func New(opts Options) (*Testbed, error) {
 		// The exporter is wired before the broker exists; its flow snapshots
 		// read through an atomic pointer filled in after broker.New.
 		var bref atomic.Pointer[broker.Broker]
-		reg, tracer, err := tb.obsFor(spec.Name, ntp, func() []obs.FlowSnapshot {
+		reg, tracer, journal, err := tb.obsFor(spec.Name, ntp, func() []obs.FlowSnapshot {
 			if br := bref.Load(); br != nil {
 				return br.Flows()
 			}
@@ -308,6 +331,7 @@ func New(opts Options) (*Testbed, error) {
 			ProcessingDelay: proc,
 			Metrics:         reg,
 			Tracer:          tracer,
+			Journal:         journal,
 		}
 		if opts.SampleEvery > 0 {
 			cfg.PublishSampler = obs.NewSampler(opts.SampleEvery, 0)
@@ -368,32 +392,37 @@ func New(opts Options) (*Testbed, error) {
 	return tb, nil
 }
 
-// obsFor returns the registry and tracer a component named name should use.
-// Without ExportAddr both come from Options (possibly shared, possibly nil).
-// With ExportAddr each component gets a private registry, tracer and exporter
-// keyed by its NTP service — the same shape as one process per node. flows,
-// when non-nil, is shipped with each metric snapshot (brokers pass their
-// per-topic flow table; everything else passes nil).
-func (tb *Testbed) obsFor(name string, ntp *ntptime.Service, flows func() []obs.FlowSnapshot) (*obs.Registry, *obs.Tracer, error) {
+// obsFor returns the registry, tracer and journal a component named name
+// should use. Without ExportAddr registry and tracer come from Options
+// (possibly shared, possibly nil) and the journal is nil — there is no
+// collector to drain it. With ExportAddr each component gets a private
+// registry, tracer, journal and exporter keyed by its NTP service — the same
+// shape as one process per node. flows, when non-nil, is shipped with each
+// metric snapshot (brokers pass their per-topic flow table; everything else
+// passes nil). Journal events are stamped on the node's local (skewed)
+// clock, like spans, so the collector's offset alignment applies to both.
+func (tb *Testbed) obsFor(name string, ntp *ntptime.Service, flows func() []obs.FlowSnapshot) (*obs.Registry, *obs.Tracer, *obs.Journal, error) {
 	if tb.opts.ExportAddr == "" {
-		return tb.opts.Metrics, tb.opts.Tracer, nil
+		return tb.opts.Metrics, tb.opts.Tracer, nil, nil
 	}
 	reg := obs.NewRegistry()
 	tracer := obs.NewTracer(0, nil)
+	journal := obs.NewJournal(0, ntp.Local().Now)
 	exp, err := obs.NewExporter(obs.ExporterConfig{
 		Addr:            tb.opts.ExportAddr,
 		Node:            name,
 		Offset:          ntp.Offset,
 		Registry:        reg,
 		Flows:           flows,
+		Journal:         journal,
 		MetricsInterval: tb.opts.ExportInterval,
 	})
 	if err != nil {
-		return nil, nil, fmt.Errorf("testbed: exporter for %s: %w", name, err)
+		return nil, nil, nil, fmt.Errorf("testbed: exporter for %s: %w", name, err)
 	}
 	tracer.SetExporter(exp)
 	tb.exporters[name] = exp
-	return reg, tracer, nil
+	return reg, tracer, journal, nil
 }
 
 // newNode creates a transport node with a random hardware-clock skew and a
@@ -444,7 +473,7 @@ func (tb *Testbed) NewDiscoverer(site, name string, cfg core.Config) *core.Disco
 		cfg.MulticastGroup = MulticastGroup
 	}
 	if cfg.Metrics == nil && cfg.Tracer == nil {
-		reg, tracer, err := tb.obsFor(cfg.NodeName, ntp, nil)
+		reg, tracer, _, err := tb.obsFor(cfg.NodeName, ntp, nil)
 		if err != nil {
 			panic(err) // ExportAddr was accepted at New; a dial failure here is a test bug
 		}
@@ -532,7 +561,7 @@ func (tb *Testbed) RestartBroker(name string) error {
 		return fmt.Errorf("testbed: broker %s is still running", name)
 	}
 	var bref atomic.Pointer[broker.Broker]
-	reg, tracer, err := tb.obsFor(name, dep.ntp, func() []obs.FlowSnapshot {
+	reg, tracer, journal, err := tb.obsFor(name, dep.ntp, func() []obs.FlowSnapshot {
 		if br := bref.Load(); br != nil {
 			return br.Flows()
 		}
@@ -542,7 +571,7 @@ func (tb *Testbed) RestartBroker(name string) error {
 		return err
 	}
 	cfg := dep.cfg
-	cfg.Metrics, cfg.Tracer = reg, tracer
+	cfg.Metrics, cfg.Tracer, cfg.Journal = reg, tracer, journal
 	cfg.StreamPort, cfg.UDPPort = dep.streamPort, dep.udpPort
 	b, err := broker.New(dep.node, dep.ntp, cfg)
 	if err != nil {
@@ -621,12 +650,12 @@ func (tb *Testbed) RestartBDN(name string) error {
 	if tb.BDNByName(name) != nil {
 		return fmt.Errorf("testbed: bdn %s is still running", name)
 	}
-	reg, tracer, err := tb.obsFor(name, dep.ntp, nil)
+	reg, tracer, journal, err := tb.obsFor(name, dep.ntp, nil)
 	if err != nil {
 		return err
 	}
 	cfg := dep.cfg
-	cfg.Metrics, cfg.Tracer = reg, tracer
+	cfg.Metrics, cfg.Tracer, cfg.Journal = reg, tracer, journal
 	cfg.StreamPort, cfg.UDPPort = dep.streamPort, dep.udpPort
 	d, err := bdn.New(dep.node, dep.ntp, cfg)
 	if err != nil {

@@ -4,10 +4,10 @@
 # packages, the ones most exposed to concurrency bugs), the tier-1 verify
 # target (build, vet, gofmt, tests, race), the publish fan-out performance
 # gate (>2% ns/op regression or any new allocation on the fast path fails),
-# and finally the five real-socket smoke tests (collector/prober trace
+# and finally the six real-socket smoke tests (collector/prober trace
 # assembly, per-topic flow accounting + message sampling, health-engine
-# failure detection, self-healing BDN re-registration, and the open-loop
-# load generator end to end).
+# failure detection, self-healing BDN re-registration, the open-loop load
+# generator, and the control-plane event journal with topology time-travel).
 set -eu
 cd "$(dirname "$0")/.."
 
@@ -40,5 +40,8 @@ make health-smoke
 
 echo "ci: make chaos-smoke"
 make chaos-smoke
+
+echo "ci: make events-smoke"
+make events-smoke
 
 echo "ci: ok"
