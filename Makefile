@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet fmt-check verify bench bench-gate fuzz obs-smoke health-smoke chaos-smoke loadgen-smoke flows-smoke events-smoke ci
+.PHONY: all build test race vet fmt-check verify bench bench-gate fuzz obs-smoke health-smoke chaos-smoke loadgen-smoke flows-smoke events-smoke profiles-smoke ci
 
 all: build
 
@@ -72,6 +72,14 @@ chaos-smoke:
 # teardown, and the deadman alert embeds its correlated event window.
 events-smoke:
 	sh scripts/events_smoke.sh
+
+# profiles-smoke boots a BDN + 2 profiling brokers + obscollect on real
+# sockets with loadgen traffic, asserts periodic pprof captures are pulled
+# into the collector's /profiles (spooled on disk, rendered by ?view=top),
+# then kill -9s a broker and asserts the deadman alert links the node's
+# retained captures — the flight recorder's dead-node fallback.
+profiles-smoke:
+	sh scripts/profiles_smoke.sh
 
 # ci is the full pre-merge pipeline: verify + obs-smoke.
 ci:

@@ -22,6 +22,7 @@ import (
 	"narada/internal/config"
 	"narada/internal/ntptime"
 	"narada/internal/obs"
+	"narada/internal/obs/profile"
 	"narada/internal/transport"
 )
 
@@ -38,6 +39,9 @@ func main() {
 		sweepEvery = flag.Duration("sweep-every", 0, "expired-registration sweep period (overrides config; 0 = 1s)")
 		telemetry  = flag.String("telemetry-addr", "", "listen addr for /metrics, /healthz, /debug/traces and pprof (overrides config; '' = off)")
 		obsExport  = flag.String("obs-export", "", "obscollect UDP addr to export spans + metric snapshots to (overrides config; '' = off)")
+		profEvery  = flag.Duration("profile-every", 0, "periodic cpu+heap+goroutine profile capture interval (0 = on-demand only; needs -telemetry-addr)")
+		mutexFrac  = flag.Int("mutex-profile-fraction", 0, "record ~1/N mutex contention events (0 = off)")
+		blockRate  = flag.Int("block-profile-rate", 0, "record goroutine blocking events >= N ns (0 = off)")
 		logLevel   = flag.String("log-level", "", "log level: debug | info | warn | error (overrides config)")
 	)
 	flag.Parse()
@@ -86,6 +90,7 @@ func main() {
 		log.Fatalf("bdn: %v", err)
 	}
 	logger := obs.NewLogger(os.Stderr, level)
+	profile.SetRuntimeRates(*mutexFrac, *blockRate)
 
 	injection := bdn.InjectClosestFarthest
 	if cfg.Policy == "all" {
@@ -140,12 +145,26 @@ func main() {
 	log.Printf("bdn %s listening on %s", d.Name(), d.Addr())
 
 	var srv *obs.Server
+	var prof *profile.Capturer
 	if cfg.TelemetryAddr != "" {
-		srv, err = obs.Serve(cfg.TelemetryAddr, reg, tracer)
+		prof = profile.New(profile.Config{
+			Interval: *profEvery,
+			Mutex:    *mutexFrac > 0,
+			Block:    *blockRate > 0,
+			Logger:   logger,
+		})
+		prof.Start()
+		srv, err = obs.ServeWith(cfg.TelemetryAddr, reg, tracer, prof.Mount())
 		if err != nil {
 			log.Fatalf("bdn: telemetry: %v", err)
 		}
 		log.Printf("bdn: telemetry on http://%s/metrics", srv.Addr())
+		if *profEvery > 0 {
+			log.Printf("bdn: capturing profiles every %s", *profEvery)
+		}
+		if exp != nil {
+			exp.AnnounceTelemetry(srv.Addr(), true)
+		}
 	}
 
 	stop := make(chan struct{})
@@ -178,6 +197,9 @@ func main() {
 		ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
 		_ = srv.Shutdown(ctx)
 		cancel()
+	}
+	if prof != nil {
+		prof.Close()
 	}
 	if exp != nil {
 		_ = exp.Close()

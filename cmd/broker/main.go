@@ -27,6 +27,7 @@ import (
 	"narada/internal/config"
 	"narada/internal/ntptime"
 	"narada/internal/obs"
+	"narada/internal/obs/profile"
 	"narada/internal/transport"
 )
 
@@ -49,6 +50,9 @@ func main() {
 		obsExport  = flag.String("obs-export", "", "obscollect UDP addr to export spans + metric snapshots to (overrides config; '' = off)")
 		sampleN    = flag.Int("sample-every", 0, "trace ~1 in N publishes originating here (overrides config; 0 = off)")
 		samplePS   = flag.Int("sample-topic-persec", 0, "per-topic cap on traced messages/second (overrides config; 0 = uncapped)")
+		profEvery  = flag.Duration("profile-every", 0, "periodic cpu+heap+goroutine profile capture interval (0 = on-demand only; needs -telemetry-addr)")
+		mutexFrac  = flag.Int("mutex-profile-fraction", 0, "record ~1/N mutex contention events (0 = off)")
+		blockRate  = flag.Int("block-profile-rate", 0, "record goroutine blocking events >= N ns (0 = off)")
 		logLevel   = flag.String("log-level", "", "log level: debug | info | warn | error (overrides config)")
 	)
 	flag.Parse()
@@ -118,6 +122,7 @@ func main() {
 		log.Fatalf("broker: %v", err)
 	}
 	logger := obs.NewLogger(os.Stderr, level)
+	profile.SetRuntimeRates(*mutexFrac, *blockRate)
 
 	node := transport.NewRealNode(*bind, nil)
 	hostname, _ := os.Hostname()
@@ -194,12 +199,28 @@ func main() {
 		b.LogicalAddress(), b.StreamAddr(), b.UDPAddr())
 
 	var srv *obs.Server
+	var prof *profile.Capturer
 	if cfg.TelemetryAddr != "" {
-		srv, err = obs.Serve(cfg.TelemetryAddr, reg, tracer)
+		prof = profile.New(profile.Config{
+			Interval: *profEvery,
+			Mutex:    *mutexFrac > 0,
+			Block:    *blockRate > 0,
+			Logger:   logger,
+		})
+		prof.Start()
+		srv, err = obs.ServeWith(cfg.TelemetryAddr, reg, tracer, prof.Mount())
 		if err != nil {
 			log.Fatalf("broker: telemetry: %v", err)
 		}
 		log.Printf("broker: telemetry on http://%s/metrics", srv.Addr())
+		if *profEvery > 0 {
+			log.Printf("broker: capturing profiles every %s", *profEvery)
+		}
+		// Announce the telemetry endpoint on the export stream so the
+		// collector can pull profiles and flight-record this node.
+		if exp != nil {
+			exp.AnnounceTelemetry(srv.Addr(), true)
+		}
 	}
 
 	for _, addr := range cfg.BDNs {
@@ -231,6 +252,9 @@ func main() {
 		ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
 		_ = srv.Shutdown(ctx)
 		cancel()
+	}
+	if prof != nil {
+		prof.Close()
 	}
 	if exp != nil {
 		_ = exp.Close()

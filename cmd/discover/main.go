@@ -23,6 +23,7 @@ import (
 	"narada/internal/core"
 	"narada/internal/ntptime"
 	"narada/internal/obs"
+	"narada/internal/obs/profile"
 	"narada/internal/transport"
 )
 
@@ -43,6 +44,9 @@ func main() {
 		telemetry  = flag.String("telemetry-addr", "", "listen addr for /metrics, /healthz, /debug/traces and pprof ('' = off)")
 		obsExport  = flag.String("obs-export", "", "obscollect UDP addr to export spans + metric snapshots to ('' = off)")
 		linger     = flag.Duration("linger", 0, "keep the process (and telemetry endpoints) up this long after the discovery")
+		profEvery  = flag.Duration("profile-every", 0, "periodic cpu+heap+goroutine profile capture interval (0 = on-demand only; needs -telemetry-addr)")
+		mutexFrac  = flag.Int("mutex-profile-fraction", 0, "record ~1/N mutex contention events (0 = off)")
+		blockRate  = flag.Int("block-profile-rate", 0, "record goroutine blocking events >= N ns (0 = off)")
 	)
 	flag.Parse()
 
@@ -100,9 +104,11 @@ func main() {
 	tracer := obs.NewTracer(obs.DefaultTraceCapacity, nil)
 	cfg.Metrics = reg
 	cfg.Tracer = tracer
+	var exp *obs.Exporter
 	if *obsExport != "" {
 		journal := obs.NewJournal(0, nil)
-		exp, err := obs.NewExporter(obs.ExporterConfig{
+		var err error
+		exp, err = obs.NewExporter(obs.ExporterConfig{
 			Addr:     *obsExport,
 			Node:     cfg.NodeName,
 			Offset:   ntp.Offset,
@@ -121,7 +127,15 @@ func main() {
 		tracer.SetExporter(exp)
 	}
 	if *telemetry != "" {
-		srv, err := obs.Serve(*telemetry, reg, tracer)
+		profile.SetRuntimeRates(*mutexFrac, *blockRate)
+		prof := profile.New(profile.Config{
+			Interval: *profEvery,
+			Mutex:    *mutexFrac > 0,
+			Block:    *blockRate > 0,
+		})
+		prof.Start()
+		defer prof.Close()
+		srv, err := obs.ServeWith(*telemetry, reg, tracer, prof.Mount())
 		if err != nil {
 			log.Fatalf("discover: telemetry: %v", err)
 		}
@@ -131,6 +145,9 @@ func main() {
 			_ = srv.Shutdown(ctx)
 		}()
 		log.Printf("discover: telemetry on http://%s/metrics", srv.Addr())
+		if exp != nil {
+			exp.AnnounceTelemetry(srv.Addr(), true)
+		}
 	}
 
 	d := core.NewDiscoverer(node, ntp, cfg)

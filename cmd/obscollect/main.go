@@ -16,6 +16,8 @@
 //	/topology      fabric graph reconstructed from the journal; ?at=<time>
 //	               replays the topology as of any past instant
 //	/query         range queries over the retained multi-resolution series
+//	/profiles      pulled + flight-recorded pprof captures, downloadable by
+//	               id; /profiles/diff renders a text-mode site diff
 //
 // Every ingested snapshot also feeds the in-memory time-series store and the
 // health engine, which evaluates deadman / clock-drift / egress / SLO
@@ -51,6 +53,7 @@ import (
 	"narada/internal/obs"
 	"narada/internal/obs/collect"
 	"narada/internal/obs/collect/health"
+	"narada/internal/obs/profile"
 )
 
 func main() {
@@ -76,6 +79,15 @@ func main() {
 		dropMinVolume  = flag.Float64("drop-min-volume", 100, "delivery attempts per window before drop_ratio may fire")
 		pendingFor     = flag.Duration("alert-pending-for", 0, "how long a violation must persist before firing")
 		webhook        = flag.String("alert-webhook", "", "URL POSTed one JSON document per alert transition (optional)")
+
+		profileDir   = flag.String("profile-dir", "", "spool pulled and flight-recorded profiles to this directory ('' = in-memory only)")
+		profilePull  = flag.Duration("profile-pull", 15*time.Second, "how often to drain announced node capturer rings (0 = flight recorder only)")
+		profileCount = flag.Int("profile-max-count", collect.DefaultProfileMaxCount, "profiles retained before oldest eviction")
+		profileBytes = flag.Int64("profile-max-bytes", collect.DefaultProfileMaxBytes, "total profile bytes retained before oldest eviction")
+		flightCPU    = flag.Int("flight-cpu-seconds", collect.DefaultFlightCPUSeconds, "CPU sampling window of an alert-triggered flight capture")
+		noFlight     = flag.Bool("no-flight-recorder", false, "disable alert-triggered profile capture")
+		mutexFrac    = flag.Int("mutex-profile-fraction", 0, "record ~1/N mutex contention events in this process (0 = off)")
+		blockRate    = flag.Int("block-profile-rate", 0, "record goroutine blocking events >= N ns in this process (0 = off)")
 	)
 	flag.Parse()
 
@@ -84,6 +96,7 @@ func main() {
 		log.Fatalf("obscollect: %v", err)
 	}
 	logger := obs.NewLogger(os.Stderr, level)
+	profile.SetRuntimeRates(*mutexFrac, *blockRate)
 
 	reg := obs.NewRegistry()
 	obs.RegisterProcessMetrics(reg)
@@ -106,13 +119,19 @@ func main() {
 	}
 
 	col, err := collect.New(collect.Config{
-		Listen:         *listen,
-		TraceCapacity:  *traceCap,
-		EventCapacity:  *eventCap,
-		Logger:         logger,
-		Registry:       reg,
-		Health:         hc,
-		HealthInterval: *healthInterval,
+		Listen:                *listen,
+		TraceCapacity:         *traceCap,
+		EventCapacity:         *eventCap,
+		Logger:                logger,
+		Registry:              reg,
+		Health:                hc,
+		HealthInterval:        *healthInterval,
+		ProfileDir:            *profileDir,
+		ProfilePullInterval:   *profilePull,
+		ProfileMaxCount:       *profileCount,
+		ProfileMaxBytes:       *profileBytes,
+		FlightCPUSeconds:      *flightCPU,
+		DisableFlightRecorder: *noFlight,
 	})
 	if err != nil {
 		log.Fatalf("obscollect: %v", err)
@@ -129,7 +148,7 @@ func main() {
 		defer close(done)
 		_ = srv.Serve(lis)
 	}()
-	log.Printf("obscollect: serving http://%s/metrics /traces /flows /fabric /alerts /events /topology /query", lis.Addr())
+	log.Printf("obscollect: serving http://%s/metrics /traces /flows /fabric /alerts /events /topology /query /profiles", lis.Addr())
 
 	var prober *collect.Prober
 	if *probeInterval > 0 {

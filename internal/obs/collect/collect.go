@@ -57,6 +57,22 @@ type Config struct {
 	// DefaultEventCapacity). The ring also bounds how far back /topology
 	// can time-travel.
 	EventCapacity int
+	// ProfileDir spools pulled and flight-recorded profiles to disk; ""
+	// keeps them in memory only.
+	ProfileDir string
+	// ProfilePullInterval is the period of the loop that drains announced
+	// node capturer rings into the collector's store (0 disables periodic
+	// pulling; the flight recorder still works).
+	ProfilePullInterval time.Duration
+	// ProfileMaxCount / ProfileMaxBytes bound the profile store (<= 0 uses
+	// DefaultProfileMaxCount / DefaultProfileMaxBytes).
+	ProfileMaxCount int
+	ProfileMaxBytes int64
+	// FlightCPUSeconds is the CPU-sampling window of an alert-triggered
+	// flight capture (<= 0 uses DefaultFlightCPUSeconds).
+	FlightCPUSeconds int
+	// DisableFlightRecorder turns off alert-triggered profile capture.
+	DisableFlightRecorder bool
 }
 
 // span is one recorded span with its provenance: which node recorded it and
@@ -89,6 +105,11 @@ type nodeState struct {
 	spans     uint64 // spans received from this node
 	flowsAt   time.Time
 	flows     []obs.FlowSnapshot // last per-topic flow snapshot (top-k)
+
+	// Announced via node-info packets (wire v5): where the node's telemetry
+	// HTTP endpoint lives and whether a profile capturer is mounted there.
+	telemetryAddr string
+	profilesOn    bool
 }
 
 // Collector receives export packets and assembles the fabric view.
@@ -112,9 +133,15 @@ type Collector struct {
 	// and advertisement events that explain them.
 	journal *obs.Journal
 
-	packetsRx  *obs.Counter
-	packetsBad *obs.Counter
-	spansRx    *obs.Counter
+	// profiles is the collector-side profile plane (store + puller + flight
+	// recorder); nil only when the store could not be created.
+	profiles *profilePlane
+
+	packetsRx       *obs.Counter
+	packetsBad      *obs.Counter
+	spansRx         *obs.Counter
+	profilesStored  *obs.Counter
+	profilePullErrs *obs.Counter
 
 	healthStop chan struct{}
 	wg         sync.WaitGroup
@@ -172,6 +199,21 @@ func New(cfg Config) (*Collector, error) {
 	reg.CounterFunc("narada_collect_series_dropped_total",
 		"Series discarded at the store's capacity cap.", c.store.DroppedSeries, who)
 
+	pstore, err := newProfileStore(cfg.ProfileDir, cfg.ProfileMaxCount, cfg.ProfileMaxBytes)
+	if err != nil {
+		_ = pc.Close()
+		return nil, err
+	}
+	c.profiles = newProfilePlane(c, pstore, cfg.FlightCPUSeconds)
+	c.profilesStored = reg.Counter("narada_collect_profiles_total",
+		"Profiles stored (pulled or flight-recorded).", who)
+	c.profilePullErrs = reg.Counter("narada_collect_profile_pull_errors_total",
+		"Failed profile listing or download requests to nodes.", who)
+	reg.GaugeFunc("narada_collect_profile_bytes", "Total bytes of retained profiles.",
+		func() float64 { return float64(pstore.Bytes()) }, who)
+	reg.GaugeFunc("narada_collect_profiles", "Profiles currently retained.",
+		func() float64 { return float64(pstore.Count()) }, who)
+
 	hc := health.Config{}
 	if cfg.Health != nil {
 		hc = *cfg.Health
@@ -188,6 +230,9 @@ func New(cfg Config) (*Collector, error) {
 	if hc.Journal == nil {
 		hc.Journal = c.journal
 	}
+	if !cfg.DisableFlightRecorder {
+		hc.Sinks = append(hc.Sinks, c.profiles)
+	}
 	c.health = health.New(hc)
 
 	c.wg.Add(1)
@@ -199,6 +244,10 @@ func New(cfg Config) (*Collector, error) {
 		}
 		c.wg.Add(1)
 		go c.healthLoop(interval)
+	}
+	if cfg.ProfilePullInterval > 0 {
+		c.wg.Add(1)
+		go c.profiles.pullLoop(cfg.ProfilePullInterval)
 	}
 	return c, nil
 }
@@ -217,6 +266,7 @@ func (c *Collector) Close() error {
 	c.closeOnce.Do(func() {
 		_ = c.pc.Close()
 		close(c.healthStop)
+		c.profiles.close()
 		c.wg.Wait()
 		c.health.Flush()
 	})
@@ -267,6 +317,10 @@ func (c *Collector) ingest(pkt *obs.ExportPacket) {
 	}
 	ns.offset = pkt.Offset
 	ns.lastSeen = now
+	if pkt.NodeInfo {
+		ns.telemetryAddr = pkt.TelemetryAddr
+		ns.profilesOn = pkt.ProfilesOn
+	}
 	if pkt.Families != nil {
 		ns.families = pkt.Families
 		ns.metricsAt = pkt.MetricsAt

@@ -37,6 +37,14 @@ const (
 	// being dropped (any reason) exceeds the tolerated ratio, with a
 	// minimum-volume guard so an idle broker's single drop cannot alert.
 	RuleDropRatio = "drop_ratio"
+	// RuleGoroutineLeak fires when a node's goroutine count has grown both
+	// absolutely and relatively over the observation window — the flight
+	// recorder's goroutine-profile diff then names the leaking site.
+	RuleGoroutineLeak = "goroutine_leak"
+	// RuleGCBurn fires when a node's garbage collector has been consuming
+	// an excessive fraction of CPU over the window: allocation pressure
+	// stealing cycles from message routing.
+	RuleGCBurn = "gc_burn"
 )
 
 // Alert states.
@@ -128,6 +136,22 @@ type Config struct {
 	// denominators are noise, not outages.
 	DropMinVolume float64
 
+	// GoroutineLeakWindow is the trend window of the goroutine-leak rule
+	// (default 5m — the finest series-store tier's full span).
+	GoroutineLeakWindow time.Duration
+	// GoroutineLeakGrowth is the absolute goroutine growth (last − min over
+	// the window) above which the leak rule may fire (default 500).
+	GoroutineLeakGrowth float64
+	// GoroutineLeakRatio is the relative guard: last/min must also exceed
+	// this (default 1.5) so a large node's normal churn cannot alert on an
+	// absolute delta that is small relative to its baseline.
+	GoroutineLeakRatio float64
+	// GCBurnWindow is the averaging window for the GC CPU fraction
+	// (default 2m).
+	GCBurnWindow time.Duration
+	// GCBurnMax is the tolerated average GC CPU fraction (default 0.25).
+	GCBurnMax float64
+
 	// PendingFor is the hysteresis before a violated rule fires (default 0:
 	// fire on first evaluation — deadman detection latency matters more
 	// than flap suppression at fabric scale; raise it for noisy fabrics).
@@ -206,6 +230,21 @@ func (c *Config) fillDefaults() {
 	if c.DropMinVolume <= 0 {
 		c.DropMinVolume = 100
 	}
+	if c.GoroutineLeakWindow <= 0 {
+		c.GoroutineLeakWindow = 5 * time.Minute
+	}
+	if c.GoroutineLeakGrowth <= 0 {
+		c.GoroutineLeakGrowth = 500
+	}
+	if c.GoroutineLeakRatio <= 0 {
+		c.GoroutineLeakRatio = 1.5
+	}
+	if c.GCBurnWindow <= 0 {
+		c.GCBurnWindow = 2 * time.Minute
+	}
+	if c.GCBurnMax <= 0 {
+		c.GCBurnMax = 0.25
+	}
 	if c.ResolveAfter <= 0 {
 		c.ResolveAfter = 3 * c.ExportInterval
 	}
@@ -243,6 +282,15 @@ type NodeInput struct {
 	HasDropRatio bool
 	DropRatio    float64
 	DropVolume   float64
+
+	// Runtime telemetry, derived from the RuntimeSampler families: the
+	// goroutine gauge's minimum and latest values over
+	// Config.GoroutineLeakWindow, and the average GC CPU fraction over
+	// Config.GCBurnWindow.
+	HasGoroutines                 bool
+	GoroutinesMin, GoroutinesLast float64
+	HasGCCPU                      bool
+	GCCPUFraction                 float64
 }
 
 // ProbeInput is one probe source's windowed SLI snapshot: success and
@@ -360,6 +408,24 @@ func (e *Engine) Evaluate(in Input) {
 				n.DropRatio, e.cfg.DropRatioMax,
 				fmt.Sprintf("dropping %.1f%% of egress traffic over %s (max %.1f%%, volume %.0f)",
 					n.DropRatio*100, e.cfg.EgressWindow, e.cfg.DropRatioMax*100, n.DropVolume), now)
+		}
+		if n.HasGoroutines {
+			growth := n.GoroutinesLast - n.GoroutinesMin
+			ratio := 0.0
+			if n.GoroutinesMin > 0 {
+				ratio = n.GoroutinesLast / n.GoroutinesMin
+			}
+			active := growth > e.cfg.GoroutineLeakGrowth && ratio > e.cfg.GoroutineLeakRatio
+			e.apply(RuleGoroutineLeak, n.Name, active,
+				growth, e.cfg.GoroutineLeakGrowth,
+				fmt.Sprintf("goroutines grew by %.0f (%.0f → %.0f, %.2fx) over %s: likely leak — diff the flight-recorded goroutine profiles",
+					growth, n.GoroutinesMin, n.GoroutinesLast, ratio, e.cfg.GoroutineLeakWindow), now)
+		}
+		if n.HasGCCPU {
+			e.apply(RuleGCBurn, n.Name, n.GCCPUFraction > e.cfg.GCBurnMax,
+				n.GCCPUFraction, e.cfg.GCBurnMax,
+				fmt.Sprintf("GC consumed %.0f%% of CPU over %s (max %.0f%%): allocation pressure is stealing cycles from routing — check the flight-recorded profiles",
+					n.GCCPUFraction*100, e.cfg.GCBurnWindow, e.cfg.GCBurnMax*100), now)
 		}
 	}
 

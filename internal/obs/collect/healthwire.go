@@ -15,6 +15,8 @@ const (
 	metricProbeLatency    = "narada_probe_latency_seconds"
 	metricDelivered       = "narada_broker_publish_delivered_total"
 	metricDeliveryLatency = "narada_delivery_latency_seconds"
+	metricGoroutines      = "narada_process_goroutines"
+	metricGCCPU           = "narada_runtime_gc_cpu_fraction"
 )
 
 // Health returns the collector's health engine (alert listing, Firing count).
@@ -95,6 +97,16 @@ func (c *Collector) EvaluateHealthNow() {
 			n.HasDropRatio = true
 			n.DropVolume = delivered
 			n.DropRatio = drops / delivered
+		}
+		// Runtime-telemetry rules: goroutine trend and GC CPU pressure, from
+		// the RuntimeSampler gauges every node exports.
+		if minG, lastG, _, ok := c.store.GaugeWindowStats(metricGoroutines, n.Name, hcfg.GoroutineLeakWindow, now); ok {
+			n.HasGoroutines = true
+			n.GoroutinesMin, n.GoroutinesLast = minG, lastG
+		}
+		if _, _, avgGC, ok := c.store.GaugeWindowStats(metricGCCPU, n.Name, hcfg.GCBurnWindow, now); ok {
+			n.HasGCCPU = true
+			n.GCCPUFraction = avgGC
 		}
 	}
 

@@ -36,9 +36,18 @@ import (
 //	               absent or at=live reconstructs the present
 //	/query         range query over the retained series store:
 //	               ?metric= (required) &node= &res=10s &since=5m|RFC3339
+//	/profiles      JSON listing of retained profiles (pulled + flight):
+//	               ?node= &kind= &trigger= &since=5m|RFC3339
+//	/profiles/{id} raw pprof download; ?view=top renders the dep-free text
+//	               summary for goroutine/heap captures
+//	/profiles/diff ?a={id}&b={id} text-mode site diff of two goroutine or
+//	               heap captures (b − a)
 //	/healthz       liveness
 func (c *Collector) Handler() http.Handler {
 	mux := http.NewServeMux()
+	mux.HandleFunc("/profiles", c.serveProfiles)
+	mux.HandleFunc("/profiles/diff", c.serveProfileDiff)
+	mux.HandleFunc("/profiles/{id}", c.serveProfile)
 	mux.HandleFunc("/metrics", c.serveMetrics)
 	mux.HandleFunc("/traces", c.serveTraces)
 	mux.HandleFunc("/traces/{id}", c.serveTrace)
@@ -288,6 +297,9 @@ func histQuantile(q float64, bounds []float64, buckets []uint64) float64 {
 type AlertView struct {
 	health.Alert
 	EventWindow *EventWindow `json:"eventWindow,omitempty"`
+	// Profiles links the flight-recorder evidence captured when this alert
+	// fired (or, for a dead node, its freshest retained captures).
+	Profiles []ProfileRef `json:"profiles,omitempty"`
 }
 
 // AlertsView is the /alerts payload.
@@ -304,7 +316,11 @@ func (c *Collector) serveAlerts(w http.ResponseWriter, _ *http.Request) {
 		if a.FiredAt != nil {
 			anchor = *a.FiredAt
 		}
-		out = append(out, AlertView{Alert: a, EventWindow: c.eventWindowFor(a.Node, anchor)})
+		out = append(out, AlertView{
+			Alert:       a,
+			EventWindow: c.eventWindowFor(a.Node, anchor),
+			Profiles:    c.profiles.linksFor(a.Rule, a.Node),
+		})
 	}
 	writeJSON(w, http.StatusOK, AlertsView{Firing: c.health.Firing(), Alerts: out})
 }

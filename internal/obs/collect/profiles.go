@@ -1,0 +1,469 @@
+package collect
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"narada/internal/obs/collect/health"
+)
+
+// Profile-plane defaults.
+const (
+	// DefaultProfileMaxCount bounds the collector's profile store by count.
+	DefaultProfileMaxCount = 256
+	// DefaultProfileMaxBytes bounds the store by total payload size (64 MiB).
+	DefaultProfileMaxBytes = 64 << 20
+	// DefaultFlightCPUSeconds is how long the flight recorder samples a
+	// node's CPU when an alert fires.
+	DefaultFlightCPUSeconds = 2
+	// flightLinkCap bounds the profile refs remembered per (rule, node)
+	// alert so /alerts links the evidence of the latest firing, not an
+	// unbounded history.
+	flightLinkCap = 6
+)
+
+// ProfileRef is one stored profile's metadata: what /profiles lists and what
+// alert views link to. URL is the collector-relative download path.
+type ProfileRef struct {
+	ID      string    `json:"id"`
+	Node    string    `json:"node"`
+	Kind    string    `json:"kind"`
+	Trigger string    `json:"trigger"`
+	At      time.Time `json:"at"`
+	Size    int       `json:"size"`
+	URL     string    `json:"url"`
+}
+
+// storedProfile is one retained capture. Exactly one of data (in-memory) or
+// path (on-disk spool) is populated.
+type storedProfile struct {
+	ref  ProfileRef
+	data []byte
+	path string
+}
+
+// profileStore is the bounded profile retention layer: newest-wins eviction
+// by count and total bytes, optionally spooled to a directory so captures
+// survive collector restarts of the in-memory state (the index itself is
+// rebuilt empty — the directory is a spool, not a database).
+type profileStore struct {
+	mu         sync.Mutex
+	dir        string // "" = in-memory only
+	maxCount   int
+	maxBytes   int64
+	totalBytes int64
+	seq        uint64
+	order      []*storedProfile // oldest first
+	byID       map[string]*storedProfile
+}
+
+func newProfileStore(dir string, maxCount int, maxBytes int64) (*profileStore, error) {
+	if maxCount <= 0 {
+		maxCount = DefaultProfileMaxCount
+	}
+	if maxBytes <= 0 {
+		maxBytes = DefaultProfileMaxBytes
+	}
+	if dir != "" {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return nil, fmt.Errorf("collect: profile dir: %w", err)
+		}
+	}
+	return &profileStore{dir: dir, maxCount: maxCount, maxBytes: maxBytes,
+		byID: make(map[string]*storedProfile)}, nil
+}
+
+// sanitizeID keeps node names URL- and filename-safe inside profile IDs.
+func sanitizeID(s string) string {
+	return strings.Map(func(r rune) rune {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '-', r == '_', r == '.':
+			return r
+		}
+		return '_'
+	}, s)
+}
+
+// Add stores one capture, evicting oldest entries past the count/bytes
+// bounds. A capture larger than the whole byte budget is rejected.
+func (ps *profileStore) Add(node, kind, trigger string, at time.Time, data []byte) (ProfileRef, error) {
+	if int64(len(data)) > ps.maxBytes {
+		return ProfileRef{}, fmt.Errorf("collect: profile of %d bytes exceeds the %d-byte store budget", len(data), ps.maxBytes)
+	}
+	ps.mu.Lock()
+	defer ps.mu.Unlock()
+	ps.seq++
+	ref := ProfileRef{
+		ID:      fmt.Sprintf("%06d-%s-%s", ps.seq, sanitizeID(node), sanitizeID(kind)),
+		Node:    node,
+		Kind:    kind,
+		Trigger: trigger,
+		At:      at,
+		Size:    len(data),
+	}
+	ref.URL = "/profiles/" + ref.ID
+	sp := &storedProfile{ref: ref}
+	if ps.dir != "" {
+		sp.path = filepath.Join(ps.dir, ref.ID+".pprof")
+		if err := os.WriteFile(sp.path, data, 0o644); err != nil {
+			return ProfileRef{}, fmt.Errorf("collect: spool profile: %w", err)
+		}
+	} else {
+		sp.data = data
+	}
+	ps.order = append(ps.order, sp)
+	ps.byID[ref.ID] = sp
+	ps.totalBytes += int64(len(data))
+	for len(ps.order) > ps.maxCount || ps.totalBytes > ps.maxBytes {
+		old := ps.order[0]
+		ps.order = ps.order[1:]
+		delete(ps.byID, old.ref.ID)
+		ps.totalBytes -= int64(old.ref.Size)
+		if old.path != "" {
+			_ = os.Remove(old.path)
+		}
+	}
+	return ref, nil
+}
+
+// ProfileFilter narrows a profile listing.
+type ProfileFilter struct {
+	Node    string
+	Kind    string
+	Trigger string // prefix match, so "flight" selects every flight capture
+	Since   time.Time
+}
+
+// List returns matching refs, newest first.
+func (ps *profileStore) List(f ProfileFilter) []ProfileRef {
+	ps.mu.Lock()
+	defer ps.mu.Unlock()
+	out := make([]ProfileRef, 0, len(ps.order))
+	for _, sp := range ps.order {
+		r := sp.ref
+		if f.Node != "" && r.Node != f.Node {
+			continue
+		}
+		if f.Kind != "" && r.Kind != f.Kind {
+			continue
+		}
+		if f.Trigger != "" && !strings.HasPrefix(r.Trigger, f.Trigger) {
+			continue
+		}
+		if !f.Since.IsZero() && !r.At.After(f.Since) {
+			continue
+		}
+		out = append(out, r)
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].At.After(out[j].At) })
+	return out
+}
+
+// Get returns one capture's ref and bytes.
+func (ps *profileStore) Get(id string) (ProfileRef, []byte, bool) {
+	ps.mu.Lock()
+	sp := ps.byID[id]
+	ps.mu.Unlock()
+	if sp == nil {
+		return ProfileRef{}, nil, false
+	}
+	if sp.path != "" {
+		data, err := os.ReadFile(sp.path)
+		if err != nil {
+			return ProfileRef{}, nil, false
+		}
+		return sp.ref, data, true
+	}
+	return sp.ref, sp.data, true
+}
+
+// Count returns the number of retained profiles.
+func (ps *profileStore) Count() int {
+	ps.mu.Lock()
+	defer ps.mu.Unlock()
+	return len(ps.order)
+}
+
+// Bytes returns the total retained payload size.
+func (ps *profileStore) Bytes() int64 {
+	ps.mu.Lock()
+	defer ps.mu.Unlock()
+	return ps.totalBytes
+}
+
+// remoteCapture mirrors the obs/profile capturer's listing entry.
+type remoteCapture struct {
+	ID      string    `json:"id"`
+	Kind    string    `json:"kind"`
+	Trigger string    `json:"trigger"`
+	At      time.Time `json:"at"`
+	Size    int       `json:"size"`
+}
+
+// profilePlane is the collector's profile subsystem: the store, the periodic
+// puller draining node capturer rings, and the flight recorder capturing
+// evidence when alerts fire.
+type profilePlane struct {
+	c     *Collector
+	store *profileStore
+
+	client     *http.Client // listing/downloads and goroutine dumps
+	cpuSeconds int
+
+	mu       sync.Mutex
+	lastPull map[string]time.Time    // node → newest capture At already pulled
+	links    map[string][]ProfileRef // rule+node → linked flight evidence
+
+	stop chan struct{}
+}
+
+func newProfilePlane(c *Collector, store *profileStore, cpuSeconds int) *profilePlane {
+	if cpuSeconds <= 0 {
+		cpuSeconds = DefaultFlightCPUSeconds
+	}
+	return &profilePlane{
+		c:          c,
+		store:      store,
+		client:     &http.Client{Timeout: 5 * time.Second},
+		cpuSeconds: cpuSeconds,
+		lastPull:   make(map[string]time.Time),
+		links:      make(map[string][]ProfileRef),
+		stop:       make(chan struct{}),
+	}
+}
+
+// nodeEndpoint returns a node's announced telemetry base URL and whether an
+// obs/profile capturer is mounted there.
+func (c *Collector) nodeEndpoint(node string) (base string, profilesOn bool, ok bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	ns := c.nodes[node]
+	if ns == nil || ns.telemetryAddr == "" {
+		return "", false, false
+	}
+	return "http://" + ns.telemetryAddr, ns.profilesOn, true
+}
+
+// announcedNodes returns every node that has announced a telemetry endpoint.
+func (c *Collector) announcedNodes() []string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var out []string
+	for name, ns := range c.nodes {
+		if ns.telemetryAddr != "" {
+			out = append(out, name)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+func (pp *profilePlane) pullLoop(interval time.Duration) {
+	defer pp.c.wg.Done()
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-t.C:
+			pp.pullAll()
+		case <-pp.stop:
+			return
+		}
+	}
+}
+
+// pullAll drains every announced capturer ring of captures newer than the
+// last pull. Periodic pulling is how node-side captures survive the node:
+// when a broker dies, its last profiles are already here.
+func (pp *profilePlane) pullAll() {
+	for _, node := range pp.c.announcedNodes() {
+		base, profilesOn, ok := pp.c.nodeEndpoint(node)
+		if !ok || !profilesOn {
+			continue
+		}
+		pp.pullNode(node, base)
+	}
+}
+
+func (pp *profilePlane) pullNode(node, base string) {
+	pp.mu.Lock()
+	since := pp.lastPull[node]
+	pp.mu.Unlock()
+	url := base + "/profiles"
+	if !since.IsZero() {
+		url += "?since=" + since.UTC().Format(time.RFC3339Nano)
+	}
+	var listing []remoteCapture
+	if err := pp.getJSON(url, &listing); err != nil {
+		pp.c.log.Debug("profile pull: listing", "node", node, "err", err)
+		pp.c.profilePullErrs.Inc()
+		return
+	}
+	newest := since
+	for i := len(listing) - 1; i >= 0; i-- { // oldest first so eviction order is sane
+		rc := listing[i]
+		data, err := pp.getRaw(base + "/profiles/" + rc.ID)
+		if err != nil {
+			pp.c.log.Debug("profile pull: download", "node", node, "id", rc.ID, "err", err)
+			pp.c.profilePullErrs.Inc()
+			continue
+		}
+		if _, err := pp.store.Add(node, rc.Kind, rc.Trigger, rc.At, data); err != nil {
+			pp.c.log.Warn("profile pull: store", "node", node, "id", rc.ID, "err", err)
+			continue
+		}
+		pp.c.profilesStored.Inc()
+		if rc.At.After(newest) {
+			newest = rc.At
+		}
+	}
+	if newest.After(since) {
+		pp.mu.Lock()
+		pp.lastPull[node] = newest
+		pp.mu.Unlock()
+	}
+}
+
+func (pp *profilePlane) getJSON(url string, v any) error {
+	resp, err := pp.client.Get(url)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("status %s", resp.Status)
+	}
+	return json.NewDecoder(io.LimitReader(resp.Body, 4<<20)).Decode(v)
+}
+
+func (pp *profilePlane) getRaw(url string) ([]byte, error) {
+	resp, err := pp.client.Get(url)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("status %s", resp.Status)
+	}
+	return io.ReadAll(io.LimitReader(resp.Body, 16<<20))
+}
+
+// Publish implements health.Sink: every alert that transitions to firing
+// triggers a flight capture of the affected node. Runs async — sinks are
+// called from the evaluation tick and profile capture takes seconds.
+func (pp *profilePlane) Publish(a health.Alert) {
+	if a.State != health.StateFiring {
+		return
+	}
+	if a.Node == "" || a.Node == "obscollect" {
+		return
+	}
+	select {
+	case <-pp.stop:
+		return
+	default:
+	}
+	go pp.captureFlight(a)
+}
+
+// captureFlight pulls CPU + goroutine profiles from the alerted node's
+// pprof endpoint and links them to the alert. When the node is unreachable
+// (the deadman case: the process is gone), the most recent retained captures
+// for that node become the linked evidence instead — that is exactly what
+// the periodic pull was for.
+func (pp *profilePlane) captureFlight(a health.Alert) {
+	trigger := "flight:" + a.Rule
+	var refs []ProfileRef
+	if base, _, ok := pp.c.nodeEndpoint(a.Node); ok {
+		// Goroutine dump first: it is instant, so even if the CPU capture
+		// times out the pileup evidence is saved.
+		if data, err := pp.getRaw(base + "/debug/pprof/goroutine?debug=1"); err == nil {
+			if ref, err := pp.store.Add(a.Node, "goroutine", trigger, time.Now(), data); err == nil {
+				refs = append(refs, ref)
+				pp.c.profilesStored.Inc()
+			}
+		} else {
+			pp.c.log.Debug("flight capture: goroutine", "node", a.Node, "rule", a.Rule, "err", err)
+		}
+		cpuClient := &http.Client{Timeout: time.Duration(pp.cpuSeconds+5) * time.Second}
+		cpuURL := fmt.Sprintf("%s/debug/pprof/profile?seconds=%d", base, pp.cpuSeconds)
+		if resp, err := cpuClient.Get(cpuURL); err == nil {
+			data, rerr := io.ReadAll(io.LimitReader(resp.Body, 16<<20))
+			resp.Body.Close()
+			if rerr == nil && resp.StatusCode == http.StatusOK {
+				if ref, err := pp.store.Add(a.Node, "cpu", trigger, time.Now(), data); err == nil {
+					refs = append(refs, ref)
+					pp.c.profilesStored.Inc()
+				}
+			}
+		} else {
+			pp.c.log.Debug("flight capture: cpu", "node", a.Node, "rule", a.Rule, "err", err)
+		}
+	}
+	if len(refs) == 0 {
+		// Node unreachable — fall back to its freshest retained captures.
+		recent := pp.store.List(ProfileFilter{Node: a.Node})
+		if len(recent) > 2 {
+			recent = recent[:2]
+		}
+		refs = recent
+		pp.c.log.Info("flight capture: node unreachable, linking retained profiles",
+			"node", a.Node, "rule", a.Rule, "profiles", len(refs))
+	} else {
+		pp.c.log.Info("flight capture complete", "node", a.Node, "rule", a.Rule, "profiles", len(refs))
+	}
+	if len(refs) == 0 {
+		return
+	}
+	key := a.Rule + "\xff" + a.Node
+	pp.mu.Lock()
+	linked := append(pp.links[key], refs...)
+	if len(linked) > flightLinkCap {
+		linked = linked[len(linked)-flightLinkCap:]
+	}
+	pp.links[key] = linked
+	pp.mu.Unlock()
+}
+
+// linksFor returns the flight-recorder evidence linked to one (rule, node)
+// alert, newest first.
+func (pp *profilePlane) linksFor(rule, node string) []ProfileRef {
+	pp.mu.Lock()
+	defer pp.mu.Unlock()
+	linked := pp.links[rule+"\xff"+node]
+	if len(linked) == 0 {
+		return nil
+	}
+	out := append([]ProfileRef(nil), linked...)
+	sort.SliceStable(out, func(i, j int) bool { return out[i].At.After(out[j].At) })
+	return out
+}
+
+func (pp *profilePlane) close() {
+	close(pp.stop)
+}
+
+// Profiles returns matching stored profile refs, newest first — testbed and
+// smoke assertions read through this.
+func (c *Collector) Profiles(f ProfileFilter) []ProfileRef {
+	if c.profiles == nil {
+		return nil
+	}
+	return c.profiles.store.List(f)
+}
+
+// PullProfilesNow forces one synchronous pull sweep over every announced
+// capturer (tests use this instead of waiting out the pull interval).
+func (c *Collector) PullProfilesNow() {
+	if c.profiles != nil {
+		c.profiles.pullAll()
+	}
+}

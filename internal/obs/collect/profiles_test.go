@@ -1,0 +1,276 @@
+package collect
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	rpprof "runtime/pprof"
+	"strings"
+	"testing"
+	"time"
+
+	"narada/internal/obs"
+	"narada/internal/obs/collect/health"
+	"narada/internal/obs/profile"
+)
+
+// nodeTelemetry fakes one node's telemetry HTTP server: an obs/profile
+// capturer mounted at /profiles plus the goroutine pprof endpoint the flight
+// recorder pulls. Returns the capturer and the announced host:port.
+func nodeTelemetry(t *testing.T) (*profile.Capturer, string) {
+	t.Helper()
+	capt := profile.New(profile.Config{})
+	mux := http.NewServeMux()
+	mux.Handle("/profiles", capt.Handler())
+	mux.Handle("/profiles/", capt.Handler())
+	mux.HandleFunc("/debug/pprof/goroutine", func(w http.ResponseWriter, _ *http.Request) {
+		_ = rpprof.Lookup("goroutine").WriteTo(w, 1)
+	})
+	srv := httptest.NewServer(mux)
+	t.Cleanup(srv.Close)
+	return capt, strings.TrimPrefix(srv.URL, "http://")
+}
+
+func announce(c *Collector, node, addr string) {
+	c.ingest(&obs.ExportPacket{Node: node, NodeInfo: true, TelemetryAddr: addr, ProfilesOn: true})
+}
+
+func TestProfilePullAndServe(t *testing.T) {
+	capt, addr := nodeTelemetry(t)
+	if _, err := capt.CaptureNow("periodic", profile.KindGoroutine, profile.KindHeap); err != nil {
+		t.Fatal(err)
+	}
+	c := newTestCollector(t, Config{HealthInterval: -1})
+	announce(c, "b1", addr)
+	c.PullProfilesNow()
+
+	refs := c.Profiles(ProfileFilter{Node: "b1"})
+	if len(refs) != 2 {
+		t.Fatalf("pulled %d profiles, want 2: %+v", len(refs), refs)
+	}
+	// A second sweep must not re-download already-pulled captures.
+	c.PullProfilesNow()
+	if got := len(c.Profiles(ProfileFilter{})); got != 2 {
+		t.Fatalf("after second pull: %d profiles, want 2 (pull not idempotent)", got)
+	}
+	// A fresh node-side capture is picked up incrementally.
+	if _, err := capt.CaptureNow("periodic", profile.KindGoroutine); err != nil {
+		t.Fatal(err)
+	}
+	c.PullProfilesNow()
+	gor := c.Profiles(ProfileFilter{Node: "b1", Kind: "goroutine"})
+	if len(gor) != 2 {
+		t.Fatalf("goroutine profiles after incremental pull = %d, want 2", len(gor))
+	}
+
+	srv := httptest.NewServer(c.Handler())
+	defer srv.Close()
+
+	var listed []ProfileRef
+	resp, err := srv.Client().Get(srv.URL + "/profiles?node=b1&kind=goroutine")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&listed); err != nil {
+		t.Fatalf("list decode: %v", err)
+	}
+	resp.Body.Close()
+	if len(listed) != 2 {
+		t.Fatalf("/profiles listed %d, want 2", len(listed))
+	}
+
+	resp, err = srv.Client().Get(srv.URL + listed[0].URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := make([]byte, 64)
+	n, _ := resp.Body.Read(body)
+	resp.Body.Close()
+	if resp.StatusCode != 200 || !strings.HasPrefix(string(body[:n]), "goroutine profile:") {
+		t.Fatalf("download: status %d body %q", resp.StatusCode, body[:n])
+	}
+
+	resp, err = srv.Client().Get(srv.URL + listed[0].URL + "?view=top")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("top view: status %d", resp.StatusCode)
+	}
+
+	// Diff newest (listed[0]) against oldest (listed[1]).
+	resp, err = srv.Client().Get(srv.URL + "/profiles/diff?a=" + listed[1].ID + "&b=" + listed[0].ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("diff: status %d", resp.StatusCode)
+	}
+
+	resp, err = srv.Client().Get(srv.URL + "/profiles/nope")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 404 {
+		t.Fatalf("missing profile: status %d, want 404", resp.StatusCode)
+	}
+}
+
+// TestFlightRecorderOnGoroutineLeak drives the whole chain: runtime gauges in
+// the series store breach the leak rule, the engine fires, the flight
+// recorder pulls a goroutine profile from the node and /alerts links it.
+func TestFlightRecorderOnGoroutineLeak(t *testing.T) {
+	_, addr := nodeTelemetry(t)
+	c := newTestCollector(t, Config{HealthInterval: -1})
+	announce(c, "b1", addr)
+
+	fams := func(g float64) []obs.ExportFamily {
+		return []obs.ExportFamily{{
+			Name: "narada_process_goroutines", Kind: "gauge",
+			Series: []obs.ExportSeries{{Gauge: g}},
+		}}
+	}
+	now := time.Now()
+	c.store.Observe(now.Add(-3*time.Minute), "b1", 1, fams(100))
+	c.store.Observe(now, "b1", 2, fams(900))
+
+	c.EvaluateHealthNow()
+	if c.health.Firing() < 1 {
+		t.Fatalf("goroutine_leak did not fire; alerts: %+v", c.health.Alerts())
+	}
+
+	srv := httptest.NewServer(c.Handler())
+	defer srv.Close()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		var av AlertsView
+		resp, err := srv.Client().Get(srv.URL + "/alerts")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&av); err != nil {
+			t.Fatalf("alerts decode: %v", err)
+		}
+		resp.Body.Close()
+		for _, a := range av.Alerts {
+			if a.Rule == health.RuleGoroutineLeak && len(a.Profiles) > 0 {
+				p := a.Profiles[0]
+				if p.Node != "b1" || p.Trigger != "flight:"+health.RuleGoroutineLeak {
+					t.Fatalf("linked profile = %+v", p)
+				}
+				return
+			}
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("no profile linked to the goroutine_leak alert; alerts: %+v", av.Alerts)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+}
+
+// TestFlightRecorderDeadNodeFallback: when the alerted node is unreachable
+// (deadman — the process is gone), the alert links the node's freshest
+// retained captures instead of fresh ones.
+func TestFlightRecorderDeadNodeFallback(t *testing.T) {
+	c := newTestCollector(t, Config{HealthInterval: -1})
+	ref, err := c.profiles.store.Add("b2", "goroutine", "periodic", time.Now(),
+		[]byte("goroutine profile: total 1\n1 @ 0x1\n#\t0x1\tmain.f+0x1\tf.go:1\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.profiles.Publish(health.Alert{Rule: health.RuleDeadman, Node: "b2", State: health.StateFiring})
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		links := c.profiles.linksFor(health.RuleDeadman, "b2")
+		if len(links) > 0 {
+			if links[0].ID != ref.ID {
+				t.Fatalf("linked %+v, want the retained capture %s", links[0], ref.ID)
+			}
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("dead-node alert never linked retained captures")
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+func TestProfileStoreBoundsAndSpool(t *testing.T) {
+	dir := t.TempDir()
+	ps, err := newProfileStore(dir, 3, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var refs []ProfileRef
+	for i := 0; i < 5; i++ {
+		r, err := ps.Add("b1", "goroutine", "periodic", time.Now(), []byte("goroutine profile: total 1\n"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		refs = append(refs, r)
+	}
+	if ps.Count() != 3 {
+		t.Fatalf("retained %d, want 3", ps.Count())
+	}
+	if _, _, ok := ps.Get(refs[0].ID); ok {
+		t.Error("oldest profile not evicted")
+	}
+	if _, err := os.Stat(filepath.Join(dir, refs[0].ID+".pprof")); !os.IsNotExist(err) {
+		t.Error("evicted profile's spool file not removed")
+	}
+	_, data, ok := ps.Get(refs[4].ID)
+	if !ok || !strings.HasPrefix(string(data), "goroutine profile:") {
+		t.Fatalf("newest profile not readable from spool: ok=%v data=%q", ok, data)
+	}
+
+	// Byte budget: a capture bigger than the whole budget is rejected.
+	small, err := newProfileStore("", 10, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := small.Add("b1", "heap", "periodic", time.Now(), make([]byte, 64)); err == nil {
+		t.Error("oversized capture accepted")
+	}
+	// And the running total evicts older entries.
+	for i := 0; i < 4; i++ {
+		if _, err := small.Add("b1", "heap", "periodic", time.Now(), make([]byte, 8)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if small.Bytes() > 16 {
+		t.Fatalf("store holds %d bytes past its 16-byte budget", small.Bytes())
+	}
+}
+
+func TestGaugeWindowStats(t *testing.T) {
+	st := newSeriesStore(nil, 0)
+	fams := func(g float64) []obs.ExportFamily {
+		return []obs.ExportFamily{{
+			Name: "narada_process_goroutines", Kind: "gauge",
+			Series: []obs.ExportSeries{{Gauge: g}},
+		}}
+	}
+	now := time.Date(2026, 8, 5, 12, 0, 0, 0, time.UTC)
+	st.Observe(now.Add(-40*time.Second), "b1", 1, fams(300))
+	st.Observe(now.Add(-20*time.Second), "b1", 2, fams(100))
+	st.Observe(now, "b1", 3, fams(700))
+
+	minV, lastV, avgV, ok := st.GaugeWindowStats("narada_process_goroutines", "b1", time.Minute, now)
+	if !ok {
+		t.Fatal("no stats for a populated gauge")
+	}
+	if minV != 100 || lastV != 700 {
+		t.Fatalf("min=%v last=%v, want 100/700", minV, lastV)
+	}
+	if avgV < 300 || avgV > 400 { // (300+100+700)/3
+		t.Fatalf("avg=%v, want ~366", avgV)
+	}
+	if _, _, _, ok := st.GaugeWindowStats("narada_process_goroutines", "nope", time.Minute, now); ok {
+		t.Fatal("stats for an unknown node")
+	}
+}

@@ -374,6 +374,54 @@ func (st *seriesStore) LastGauge(metric, node string, maxAge time.Duration, now 
 	return total, found
 }
 
+// GaugeWindowStats summarises a gauge over the trailing window: the minimum
+// and most recent per-slot values (summed across label sets, like LastGauge)
+// and the sample-weighted average. The min/last pair is what trend rules
+// need — goroutine-leak detection compares where the gauge ended against the
+// lowest point it touched inside the window.
+func (st *seriesStore) GaugeWindowStats(metric, node string, window time.Duration, now time.Time) (minV, lastV, avgV float64, ok bool) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	entries := st.byMetric[storeKey(node, metric)]
+	if len(entries) == 0 {
+		return 0, 0, 0, false
+	}
+	ri := st.resolutionFor(window)
+	byStart := make(map[int64]float64)
+	sum, n := 0.0, uint64(0)
+	for _, e := range entries {
+		if e.kind != "gauge" {
+			continue
+		}
+		e.windowSlots(ri, now, window, func(s *slot) {
+			if s.n == 0 {
+				return
+			}
+			byStart[s.start] += s.last
+			sum += s.sum
+			n += s.n
+		})
+	}
+	if len(byStart) == 0 || n == 0 {
+		return 0, 0, 0, false
+	}
+	first := true
+	var lastStart int64
+	for start, v := range byStart {
+		if first {
+			minV, lastV, lastStart, first = v, v, start, false
+			continue
+		}
+		if v < minV {
+			minV = v
+		}
+		if start > lastStart {
+			lastStart, lastV = start, v
+		}
+	}
+	return minV, lastV, sum / float64(n), true
+}
+
 // WindowHist returns the merged histogram window for metric on node over the
 // trailing window: bounds plus per-bucket observation increments. Multiple
 // label sets merge when their bucket layouts agree.

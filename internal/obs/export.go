@@ -17,13 +17,14 @@ import (
 // it only widens the gap between snapshots.
 const (
 	exportMagic   byte = 0xB8 // obs export frame marker (event frames use 0xB7)
-	exportVersion byte = 4    // v4 adds journal event packets; v3 flows; v2 Seq
+	exportVersion byte = 5    // v5 adds node-info packets; v4 events; v3 flows; v2 Seq
 	exportMinVer  byte = 1    // v1 (no sequence) still decodes; Seq reads as 0
 
-	packetSpans   byte = 1
-	packetMetrics byte = 2
-	packetFlows   byte = 3 // space-saving top-k flow snapshot (wire v3)
-	packetEvents  byte = 4 // control-plane journal batch (wire v4)
+	packetSpans    byte = 1
+	packetMetrics  byte = 2
+	packetFlows    byte = 3 // space-saving top-k flow snapshot (wire v3)
+	packetEvents   byte = 4 // control-plane journal batch (wire v4)
+	packetNodeInfo byte = 5 // telemetry endpoint announcement (wire v5)
 )
 
 // Family kind bytes on the wire.
@@ -125,6 +126,15 @@ type ExportPacket struct {
 
 	EventsAt time.Time // event batch: node-local drain time
 	Events   []Event   // control-plane journal events, in seq order
+
+	// Node-info announcement (wire v5): where this node's telemetry HTTP
+	// endpoint lives, so the collector can pull pprof profiles and capturer
+	// rings on demand. NodeInfo distinguishes a real announcement from the
+	// zero value.
+	NodeInfo      bool
+	InfoAt        time.Time
+	TelemetryAddr string // host:port of the node's obs.Serve listener
+	ProfilesOn    bool   // node runs an obs/profile capturer at /profiles
 }
 
 func encodeExportHeader(w *wire.Writer, kind byte, node string, offset time.Duration) {
@@ -175,6 +185,21 @@ func EncodeFlowsPacket(node string, offset time.Duration, at time.Time, flows []
 		}
 		w.Uvarint(f.ErrBound)
 	}
+	frame := w.Detach()
+	w.Release()
+	return frame
+}
+
+// EncodeNodeInfoPacket serialises a telemetry-endpoint announcement (wire
+// v5). It is tiny and idempotent; exporters resend it with every metrics
+// tick so a collector restarted mid-run re-learns every node's endpoint
+// within one export interval.
+func EncodeNodeInfoPacket(node string, offset time.Duration, at time.Time, telemetryAddr string, profilesOn bool) []byte {
+	w := wire.GetWriter(128)
+	encodeExportHeader(w, packetNodeInfo, node, offset)
+	w.Time(at)
+	w.String(telemetryAddr)
+	w.Bool(profilesOn)
 	frame := w.Detach()
 	w.Release()
 	return frame
@@ -371,6 +396,11 @@ func DecodeExportPacket(b []byte) (*ExportPacket, error) {
 			ev.Detail = r.String()
 			p.Events = append(p.Events, ev)
 		}
+	case packetNodeInfo:
+		p.NodeInfo = true
+		p.InfoAt = r.Time()
+		p.TelemetryAddr = r.String()
+		p.ProfilesOn = r.Bool()
 	default:
 		return nil, fmt.Errorf("obs: export: unknown packet kind %d", kind)
 	}
@@ -504,6 +534,11 @@ type Exporter struct {
 	sendFails int        // failed sends since the last redial attempt
 
 	seq atomic.Uint64 // metrics snapshot sequence; see ExportPacket.Seq
+
+	// announce holds the node-info payload shipped with every metrics tick.
+	// It is set late (AnnounceTelemetry) because the telemetry server binds
+	// after the exporter exists in every cmd main.
+	announce atomic.Pointer[nodeInfoAnnounce]
 
 	ch   chan SpanRecord
 	done chan struct{}
@@ -693,8 +728,30 @@ func (e *Exporter) spanLoop() {
 	}
 }
 
+// nodeInfoAnnounce is the telemetry-endpoint announcement payload.
+type nodeInfoAnnounce struct {
+	addr       string
+	profilesOn bool
+}
+
+// AnnounceTelemetry sets the telemetry HTTP address (host:port) this node
+// serves /metrics and /debug/pprof on, and whether an obs/profile capturer
+// is mounted at /profiles. The announcement ships immediately and then with
+// every metrics tick (wire v5 node-info packet). Safe on a nil exporter and
+// at any time relative to Start.
+func (e *Exporter) AnnounceTelemetry(addr string, profilesOn bool) {
+	if e == nil || addr == "" {
+		return
+	}
+	e.announce.Store(&nodeInfoAnnounce{addr: addr, profilesOn: profilesOn})
+	e.send(EncodeNodeInfoPacket(e.cfg.Node, e.offset(), time.Now(), addr, profilesOn))
+}
+
 func (e *Exporter) shipMetrics() {
 	now := time.Now()
+	if a := e.announce.Load(); a != nil {
+		e.send(EncodeNodeInfoPacket(e.cfg.Node, e.offset(), now, a.addr, a.profilesOn))
+	}
 	if e.cfg.Registry != nil {
 		fams := e.cfg.Registry.ExportSnapshot()
 		seq := e.seq.Add(1)

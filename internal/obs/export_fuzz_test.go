@@ -72,16 +72,22 @@ func corruptCases() map[string][]byte {
 	truncatedEvents := append([]byte(nil), eventFrame...)
 	truncatedEvents = truncatedEvents[:len(truncatedEvents)-7]
 
+	// Node-info frame cut mid-address string (wire v5).
+	infoFrame := EncodeNodeInfoPacket("n1", 5*time.Millisecond, time.Unix(1120176060, 0), "127.0.0.1:9411", true)
+	truncatedInfo := append([]byte(nil), infoFrame...)
+	truncatedInfo = truncatedInfo[:len(truncatedInfo)-5]
+
 	return map[string][]byte{
-		"truncated chunk":   truncated,
-		"bad magic":         badMagic,
-		"bad version":       badVersion,
-		"oversized spans":   hugeSpans,
-		"oversized buckets": hugeBuckets,
-		"oversized events":  hugeEvents,
-		"truncated events":  truncatedEvents,
-		"empty":             {},
-		"header only":       spanFrame[:3],
+		"truncated chunk":     truncated,
+		"bad magic":           badMagic,
+		"bad version":         badVersion,
+		"oversized spans":     hugeSpans,
+		"oversized buckets":   hugeBuckets,
+		"oversized events":    hugeEvents,
+		"truncated events":    truncatedEvents,
+		"truncated node-info": truncatedInfo,
+		"empty":               {},
+		"header only":         spanFrame[:3],
 	}
 }
 
@@ -104,6 +110,7 @@ func FuzzDecodeExportPacket(f *testing.F) {
 		f.Add(frame)
 	}
 	f.Add(EncodeEventsPacket("n1", 5*time.Millisecond, time.Unix(1120176060, 0), sampleEvents()))
+	f.Add(EncodeNodeInfoPacket("n1", 5*time.Millisecond, time.Unix(1120176060, 0), "127.0.0.1:9411", true))
 	for _, frame := range corruptCases() {
 		f.Add(frame)
 	}

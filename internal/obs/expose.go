@@ -159,6 +159,13 @@ func (r *Registry) Handler() http.Handler {
 // /healthz (JSON liveness), /debug/traces (recent discovery traces, when a
 // tracer is supplied) and the net/http/pprof handlers under /debug/pprof/.
 func NewMux(reg *Registry, tracer *Tracer) *http.ServeMux {
+	return NewMuxWith(reg, tracer, nil)
+}
+
+// NewMuxWith is NewMux plus extra pattern → handler mounts (e.g. the
+// obs/profile capturer's /profiles endpoints). Extra mounts must not collide
+// with the built-in telemetry patterns.
+func NewMuxWith(reg *Registry, tracer *Tracer, extra map[string]http.Handler) *http.ServeMux {
 	mux := http.NewServeMux()
 	if reg != nil {
 		mux.Handle("/metrics", reg.Handler())
@@ -175,6 +182,9 @@ func NewMux(reg *Registry, tracer *Tracer) *http.ServeMux {
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	for pattern, h := range extra {
+		mux.Handle(pattern, h)
+	}
 	return mux
 }
 
@@ -188,11 +198,16 @@ type Server struct {
 // Serve binds addr (host:port; port 0 picks a free one) and serves the
 // telemetry mux on it in a background goroutine.
 func Serve(addr string, reg *Registry, tracer *Tracer) (*Server, error) {
+	return ServeWith(addr, reg, tracer, nil)
+}
+
+// ServeWith is Serve with extra mounts on the telemetry mux (see NewMuxWith).
+func ServeWith(addr string, reg *Registry, tracer *Tracer, extra map[string]http.Handler) (*Server, error) {
 	lis, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("obs: telemetry listen %s: %w", addr, err)
 	}
-	s := &Server{lis: lis, http: &http.Server{Handler: NewMux(reg, tracer)}, done: make(chan struct{})}
+	s := &Server{lis: lis, http: &http.Server{Handler: NewMuxWith(reg, tracer, extra)}, done: make(chan struct{})}
 	go func() {
 		defer close(s.done)
 		_ = s.http.Serve(lis)

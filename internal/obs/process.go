@@ -25,34 +25,23 @@ func buildRevision() string {
 	return "unknown"
 }
 
-// RegisterProcessMetrics adds Go-runtime health gauges to reg, evaluated at
-// scrape time: goroutine count, heap in use, total GC cycles, process uptime
-// (measured from this call) and a constant build-info series so fleet
-// version skew shows up on /metrics. Call once per process.
-func RegisterProcessMetrics(reg *Registry) {
+// RegisterProcessMetrics adds Go-runtime health families to reg: goroutine
+// count, heap occupancy and GC counters plus the runtime-telemetry families
+// (GC pause and sched-latency quantiles, GC CPU fraction, heap live/goal) —
+// all served from one shared RuntimeSampler sweep per scrape — alongside
+// process uptime (measured from this call) and a constant build-info series
+// so fleet version skew shows up on /metrics. Call once per process; the
+// sampler is returned for callers that want to force or time sweeps.
+func RegisterProcessMetrics(reg *Registry) *RuntimeSampler {
 	start := time.Now()
 	reg.Gauge("narada_build_info",
 		"Build identity; constant 1, labelled with toolchain and VCS revision.",
 		L("go_version", runtime.Version()),
 		L("revision", buildRevision())).Set(1)
-	reg.GaugeFunc("narada_process_goroutines",
-		"Live goroutines in the process.",
-		func() float64 { return float64(runtime.NumGoroutine()) })
-	reg.GaugeFunc("narada_process_heap_inuse_bytes",
-		"Bytes in in-use heap spans.",
-		func() float64 {
-			var ms runtime.MemStats
-			runtime.ReadMemStats(&ms)
-			return float64(ms.HeapInuse)
-		})
-	reg.GaugeFunc("narada_process_gc_cycles_total",
-		"Completed GC cycles.",
-		func() float64 {
-			var ms runtime.MemStats
-			runtime.ReadMemStats(&ms)
-			return float64(ms.NumGC)
-		})
 	reg.GaugeFunc("narada_process_uptime_seconds",
 		"Wall-clock seconds since telemetry registration.",
 		func() float64 { return time.Since(start).Seconds() })
+	s := NewRuntimeSampler(0)
+	s.Register(reg)
+	return s
 }

@@ -1,0 +1,129 @@
+package profile
+
+import (
+	"encoding/json"
+	"net/http"
+	"runtime"
+	"strings"
+	"time"
+)
+
+// SetRuntimeRates applies the process-wide mutex and block profiling rates
+// the -mutex-profile-fraction / -block-profile-rate flags carry: mutex
+// records ~1/fraction contention events, block records blocking events of at
+// least rate nanoseconds. Zero leaves the corresponding profiler off (its
+// default), so the flags cost nothing unless set.
+func SetRuntimeRates(mutexFraction, blockRate int) {
+	if mutexFraction > 0 {
+		runtime.SetMutexProfileFraction(mutexFraction)
+	}
+	if blockRate > 0 {
+		runtime.SetBlockProfileRate(blockRate)
+	}
+}
+
+// Mount returns the extra-handler map obs.ServeWith expects, exposing the
+// capturer at /profiles on a node's telemetry mux.
+func (c *Capturer) Mount() map[string]http.Handler {
+	h := c.Handler()
+	return map[string]http.Handler{"/profiles": h, "/profiles/": h}
+}
+
+// Handler serves the capturer over HTTP, designed to mount at /profiles on
+// the node telemetry mux:
+//
+//	GET /profiles              capture metadata, newest first (JSON)
+//	GET /profiles?since=...    only captures after an RFC3339 time or a
+//	                           duration-ago ("30s", "5m")
+//	GET /profiles/{id}         raw capture bytes (?view=top renders the
+//	                           dep-free site summary for text profiles)
+//	POST /profiles/capture     take cpu+heap+goroutine profiles now
+//	                           (?kinds=heap,goroutine to narrow)
+func (c *Capturer) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		rest := strings.TrimPrefix(r.URL.Path, "/profiles")
+		rest = strings.Trim(rest, "/")
+		switch {
+		case rest == "":
+			c.serveList(w, r)
+		case rest == "capture":
+			c.serveCapture(w, r)
+		default:
+			c.serveOne(w, r, rest)
+		}
+	})
+}
+
+func (c *Capturer) serveList(w http.ResponseWriter, r *http.Request) {
+	var since time.Time
+	if s := r.URL.Query().Get("since"); s != "" {
+		t, err := parseWhen(s, time.Now())
+		if err != nil {
+			http.Error(w, "bad since: "+err.Error(), http.StatusBadRequest)
+			return
+		}
+		since = t
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(c.List(since))
+}
+
+func (c *Capturer) serveCapture(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST required", http.StatusMethodNotAllowed)
+		return
+	}
+	kinds := []Kind{KindCPU, KindHeap, KindGoroutine}
+	if ks := r.URL.Query().Get("kinds"); ks != "" {
+		kinds = kinds[:0]
+		for _, k := range strings.Split(ks, ",") {
+			if k = strings.TrimSpace(k); k != "" {
+				kinds = append(kinds, Kind(k))
+			}
+		}
+	}
+	caps, err := c.CaptureNow("manual", kinds...)
+	if err != nil && len(caps) == 0 {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	for i := range caps {
+		caps[i].Data = nil
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(caps)
+}
+
+func (c *Capturer) serveOne(w http.ResponseWriter, r *http.Request, id string) {
+	cp, ok := c.Get(id)
+	if !ok {
+		http.Error(w, "no such capture", http.StatusNotFound)
+		return
+	}
+	if r.URL.Query().Get("view") == "top" {
+		s, err := ParseText(cp.Data)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusUnprocessableEntity)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		WriteTop(w, s, 30)
+		return
+	}
+	if cp.Kind == KindCPU {
+		w.Header().Set("Content-Type", "application/octet-stream")
+	} else {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	}
+	w.Header().Set("Content-Disposition", `attachment; filename="`+cp.ID+`.pprof"`)
+	_, _ = w.Write(cp.Data)
+}
+
+// parseWhen accepts an RFC3339 instant or a duration meaning "that long
+// ago" — the same grammar the collector's /events endpoint uses.
+func parseWhen(s string, now time.Time) (time.Time, error) {
+	if d, err := time.ParseDuration(s); err == nil {
+		return now.Add(-d), nil
+	}
+	return time.Parse(time.RFC3339, s)
+}

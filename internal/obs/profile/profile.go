@@ -1,0 +1,240 @@
+// Package profile is a dependency-free continuous profiler: a Capturer takes
+// periodic low-overhead CPU/heap/goroutine (and opt-in mutex/block) profiles
+// of its own process, keeps them in a bounded in-memory ring, and serves
+// them over the node's telemetry mux so the fabric collector can pull them.
+// Heap, goroutine, mutex and block captures use the legacy debug=1 text
+// format — parseable by the dep-free diff in this package and still accepted
+// by `go tool pprof`; CPU captures are the binary proto format.
+package profile
+
+import (
+	"bytes"
+	"fmt"
+	"log/slog"
+	"runtime/pprof"
+	"sort"
+	"sync"
+	"time"
+
+	"narada/internal/obs"
+)
+
+// Kind names one profile type.
+type Kind string
+
+const (
+	KindCPU       Kind = "cpu"
+	KindHeap      Kind = "heap"
+	KindGoroutine Kind = "goroutine"
+	KindMutex     Kind = "mutex"
+	KindBlock     Kind = "block"
+)
+
+// Capture is one stored profile. Listings carry metadata only (Data nil);
+// Get returns the bytes.
+type Capture struct {
+	ID      string    `json:"id"`
+	Kind    Kind      `json:"kind"`
+	Trigger string    `json:"trigger"` // "periodic", "manual", "flight:<rule>", ...
+	At      time.Time `json:"at"`
+	Size    int       `json:"size"`
+	Data    []byte    `json:"-"`
+}
+
+// Config parameterises a Capturer. The zero value is usable: manual captures
+// only, default bounds.
+type Config struct {
+	// Interval between periodic capture rounds; 0 disables the loop
+	// (CaptureNow still works — the collector's flight recorder and the
+	// /profiles handler are manual paths).
+	Interval time.Duration
+	// CPUDuration is how long each CPU capture samples. Defaulted to 1s and
+	// clamped to a quarter of Interval so the profiler's own duty cycle
+	// stays bounded no matter how aggressive the configuration.
+	CPUDuration time.Duration
+	// MaxCaptureBytes drops any single capture larger than this
+	// (default 4 MiB) — a truncated pprof profile is garbage, so oversized
+	// captures are discarded whole, not clipped.
+	MaxCaptureBytes int
+	// MaxCaptures bounds the ring (default 64, oldest evicted).
+	MaxCaptures int
+	// Mutex / Block include contention profiles in periodic rounds. They
+	// only carry data when runtime.SetMutexProfileFraction /
+	// runtime.SetBlockProfileRate are enabled (the cmd flags).
+	Mutex, Block bool
+	Logger       *slog.Logger
+}
+
+// Capturer takes and retains profiles of its own process.
+type Capturer struct {
+	cfg Config
+
+	mu   sync.Mutex
+	ring []Capture // oldest first
+	seq  uint64
+
+	stop chan struct{}
+	done chan struct{}
+	once sync.Once
+}
+
+// New returns a Capturer; call Start to run the periodic loop.
+func New(cfg Config) *Capturer {
+	if cfg.CPUDuration <= 0 {
+		cfg.CPUDuration = time.Second
+	}
+	if cfg.Interval > 0 && cfg.CPUDuration > cfg.Interval/4 {
+		cfg.CPUDuration = cfg.Interval / 4
+	}
+	if cfg.MaxCaptureBytes <= 0 {
+		cfg.MaxCaptureBytes = 4 << 20
+	}
+	if cfg.MaxCaptures <= 0 {
+		cfg.MaxCaptures = 64
+	}
+	if cfg.Logger == nil {
+		cfg.Logger = obs.Nop()
+	}
+	return &Capturer{cfg: cfg, stop: make(chan struct{}), done: make(chan struct{})}
+}
+
+// Start launches the periodic capture loop (no-op when Interval is 0).
+func (c *Capturer) Start() {
+	if c.cfg.Interval <= 0 {
+		close(c.done)
+		return
+	}
+	go c.loop()
+}
+
+func (c *Capturer) loop() {
+	defer close(c.done)
+	t := time.NewTicker(c.cfg.Interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-t.C:
+			kinds := []Kind{KindCPU, KindHeap, KindGoroutine}
+			if c.cfg.Mutex {
+				kinds = append(kinds, KindMutex)
+			}
+			if c.cfg.Block {
+				kinds = append(kinds, KindBlock)
+			}
+			if _, err := c.CaptureNow("periodic", kinds...); err != nil {
+				c.cfg.Logger.Warn("profile: periodic capture", "err", err)
+			}
+		case <-c.stop:
+			return
+		}
+	}
+}
+
+// Close stops the periodic loop. Retained captures stay readable.
+func (c *Capturer) Close() error {
+	c.once.Do(func() { close(c.stop) })
+	<-c.done
+	return nil
+}
+
+// CaptureNow takes the requested profile kinds immediately (all errors are
+// joined; kinds that succeed are stored regardless). A CPU capture blocks
+// for CPUDuration; an error from a concurrently running CPU profile (e.g. a
+// /debug/pprof/profile scrape in flight) is reported, not fatal.
+func (c *Capturer) CaptureNow(trigger string, kinds ...Kind) ([]Capture, error) {
+	var out []Capture
+	var firstErr error
+	for _, k := range kinds {
+		data, err := c.capture(k)
+		if err != nil {
+			if firstErr == nil {
+				firstErr = fmt.Errorf("%s: %w", k, err)
+			}
+			continue
+		}
+		if len(data) > c.cfg.MaxCaptureBytes {
+			c.cfg.Logger.Warn("profile: capture over size bound, dropped",
+				"kind", string(k), "size", len(data), "max", c.cfg.MaxCaptureBytes)
+			continue
+		}
+		out = append(out, c.store(k, trigger, data))
+	}
+	return out, firstErr
+}
+
+func (c *Capturer) capture(k Kind) ([]byte, error) {
+	switch k {
+	case KindCPU:
+		var buf bytes.Buffer
+		if err := pprof.StartCPUProfile(&buf); err != nil {
+			return nil, err
+		}
+		select {
+		case <-time.After(c.cfg.CPUDuration):
+		case <-c.stop:
+		}
+		pprof.StopCPUProfile()
+		return buf.Bytes(), nil
+	case KindHeap, KindGoroutine, KindMutex, KindBlock:
+		p := pprof.Lookup(string(k))
+		if p == nil {
+			return nil, fmt.Errorf("unknown profile %q", k)
+		}
+		var buf bytes.Buffer
+		// debug=1: legacy text format, diffable without the proto decoder.
+		if err := p.WriteTo(&buf, 1); err != nil {
+			return nil, err
+		}
+		return buf.Bytes(), nil
+	default:
+		return nil, fmt.Errorf("unknown profile kind %q", k)
+	}
+}
+
+func (c *Capturer) store(k Kind, trigger string, data []byte) Capture {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.seq++
+	cp := Capture{
+		ID:      fmt.Sprintf("p%06d-%s", c.seq, k),
+		Kind:    k,
+		Trigger: trigger,
+		At:      time.Now(),
+		Size:    len(data),
+		Data:    data,
+	}
+	c.ring = append(c.ring, cp)
+	if over := len(c.ring) - c.cfg.MaxCaptures; over > 0 {
+		c.ring = append(c.ring[:0], c.ring[over:]...)
+	}
+	return cp
+}
+
+// List returns capture metadata (Data stripped), newest first, filtered to
+// captures taken strictly after since (zero = all).
+func (c *Capturer) List(since time.Time) []Capture {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]Capture, 0, len(c.ring))
+	for _, cp := range c.ring {
+		if !since.IsZero() && !cp.At.After(since) {
+			continue
+		}
+		cp.Data = nil
+		out = append(out, cp)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].At.After(out[j].At) })
+	return out
+}
+
+// Get returns the capture with its bytes.
+func (c *Capturer) Get(id string) (Capture, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, cp := range c.ring {
+		if cp.ID == id {
+			return cp, true
+		}
+	}
+	return Capture{}, false
+}

@@ -1,0 +1,286 @@
+package obs
+
+import (
+	"math"
+	"runtime/metrics"
+	"sync"
+	"time"
+)
+
+// runtime/metrics sample names the sampler sweeps. All of them exist since
+// Go 1.21; a name the running toolchain does not know reads as KindBad and
+// its families export zero rather than panicking, so the sampler degrades
+// instead of pinning the build to one runtime version.
+const (
+	rmGoroutines  = "/sched/goroutines:goroutines"
+	rmHeapObjects = "/memory/classes/heap/objects:bytes"
+	rmHeapUnused  = "/memory/classes/heap/unused:bytes"
+	rmHeapLive    = "/gc/heap/live:bytes"
+	rmHeapGoal    = "/gc/heap/goal:bytes"
+	rmGCCycles    = "/gc/cycles/total:gc-cycles"
+	rmGCPauses    = "/gc/pauses:seconds"
+	rmSchedLat    = "/sched/latencies:seconds"
+	rmGCCPU       = "/cpu/classes/gc/total:cpu-seconds"
+	rmTotalCPU    = "/cpu/classes/total:cpu-seconds"
+)
+
+// DefaultRuntimeSampleInterval is the minimum spacing between two
+// runtime/metrics sweeps. One Prometheus scrape or export snapshot reads a
+// dozen runtime families; the cache turns that into at most one sweep per
+// interval instead of one stop-the-world-free-but-not-free read per family.
+const DefaultRuntimeSampleInterval = 250 * time.Millisecond
+
+// runtimeValues is one sweep's derived view, read by the registered gauge
+// functions under the sampler's mutex.
+type runtimeValues struct {
+	goroutines    float64
+	heapInuse     float64 // objects + unused: in-use heap spans, MemStats.HeapInuse equivalent
+	heapLive      float64
+	heapGoal      float64
+	gcCycles      float64
+	gcPauseP50    float64
+	gcPauseP90    float64
+	gcPauseP99    float64
+	schedLatP50   float64
+	schedLatP90   float64
+	schedLatP99   float64
+	gcCPUFraction float64
+}
+
+// RuntimeSampler reads the Go runtime's health counters — goroutine count,
+// heap occupancy and goal, GC cycle/pause/CPU cost, scheduler latency — in a
+// single runtime/metrics sweep and serves every exported family from that
+// cache. It replaces per-GaugeFunc runtime.ReadMemStats calls: one scrape
+// used to trigger two full mem-stat collections; now any number of families
+// share one cheap sweep, re-taken at most once per MinInterval.
+//
+// The sweep itself is allocation-free after the first call: the sample slice
+// and the histogram buffers inside it are reused in place by metrics.Read.
+type RuntimeSampler struct {
+	minInterval time.Duration
+	now         func() time.Time // injectable for tests
+
+	mu      sync.Mutex
+	samples []metrics.Sample
+	idx     map[string]int // name -> index in samples
+	last    time.Time      // zero = never swept
+	vals    runtimeValues
+
+	// Previous cumulative CPU readings, for the windowed GC-CPU fraction.
+	prevGCCPU, prevTotalCPU float64
+	havePrevCPU             bool
+}
+
+// NewRuntimeSampler returns a sampler sweeping at most once per minInterval
+// (<= 0 uses DefaultRuntimeSampleInterval).
+func NewRuntimeSampler(minInterval time.Duration) *RuntimeSampler {
+	if minInterval <= 0 {
+		minInterval = DefaultRuntimeSampleInterval
+	}
+	names := []string{
+		rmGoroutines, rmHeapObjects, rmHeapUnused, rmHeapLive, rmHeapGoal,
+		rmGCCycles, rmGCPauses, rmSchedLat, rmGCCPU, rmTotalCPU,
+	}
+	s := &RuntimeSampler{
+		minInterval: minInterval,
+		now:         time.Now,
+		samples:     make([]metrics.Sample, len(names)),
+		idx:         make(map[string]int, len(names)),
+	}
+	for i, n := range names {
+		s.samples[i].Name = n
+		s.idx[n] = i
+	}
+	return s
+}
+
+// refresh re-sweeps when the cache is older than minInterval. Callers hold
+// no lock; the first gauge read of a scrape pays for the sweep, the rest of
+// the scrape reads the cache.
+func (s *RuntimeSampler) refresh() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	now := s.now()
+	if !s.last.IsZero() && now.Sub(s.last) < s.minInterval {
+		return
+	}
+	s.sweepLocked()
+	s.last = now
+}
+
+// SweepNow forces an immediate sweep regardless of the interval gate —
+// benchmarks and tests measure the sweep itself through this.
+func (s *RuntimeSampler) SweepNow() {
+	s.mu.Lock()
+	s.sweepLocked()
+	s.last = s.now()
+	s.mu.Unlock()
+}
+
+func (s *RuntimeSampler) sweepLocked() {
+	metrics.Read(s.samples)
+	v := &s.vals
+	v.goroutines = s.uintVal(rmGoroutines)
+	v.heapInuse = s.uintVal(rmHeapObjects) + s.uintVal(rmHeapUnused)
+	v.heapLive = s.uintVal(rmHeapLive)
+	v.heapGoal = s.uintVal(rmHeapGoal)
+	v.gcCycles = s.uintVal(rmGCCycles)
+	v.gcPauseP50, v.gcPauseP90, v.gcPauseP99 = s.histQuantiles(rmGCPauses)
+	v.schedLatP50, v.schedLatP90, v.schedLatP99 = s.histQuantiles(rmSchedLat)
+
+	// GC CPU fraction over the sweep-to-sweep window: the cumulative
+	// cpu-seconds classes divide cleanly into "since the last sweep", which
+	// is what a dashboard (and the gc_burn health rule) wants — a process
+	// that burned 80% of its CPU in GC for the last minute should read 0.8
+	// now, not averaged down by a quiet past.
+	gcCPU, totalCPU := s.floatVal(rmGCCPU), s.floatVal(rmTotalCPU)
+	dGC, dTotal := gcCPU, totalCPU
+	if s.havePrevCPU {
+		dGC, dTotal = gcCPU-s.prevGCCPU, totalCPU-s.prevTotalCPU
+	}
+	if dTotal > 0 && dGC >= 0 {
+		v.gcCPUFraction = dGC / dTotal
+	} else if !s.havePrevCPU {
+		v.gcCPUFraction = 0
+	}
+	s.prevGCCPU, s.prevTotalCPU = gcCPU, totalCPU
+	s.havePrevCPU = true
+}
+
+func (s *RuntimeSampler) uintVal(name string) float64 {
+	i, ok := s.idx[name]
+	if !ok {
+		return 0
+	}
+	if s.samples[i].Value.Kind() != metrics.KindUint64 {
+		return 0
+	}
+	return float64(s.samples[i].Value.Uint64())
+}
+
+func (s *RuntimeSampler) floatVal(name string) float64 {
+	i, ok := s.idx[name]
+	if !ok {
+		return 0
+	}
+	if s.samples[i].Value.Kind() != metrics.KindFloat64 {
+		return 0
+	}
+	return s.samples[i].Value.Float64()
+}
+
+// histQuantiles estimates the 50th/90th/99th percentiles of a runtime
+// Float64Histogram without allocating: one cumulative pass per quantile
+// bound, bucket upper edge as the estimate (pessimistic, like the
+// exposition-side histQuantile).
+func (s *RuntimeSampler) histQuantiles(name string) (p50, p90, p99 float64) {
+	i, ok := s.idx[name]
+	if !ok || s.samples[i].Value.Kind() != metrics.KindFloat64Histogram {
+		return 0, 0, 0
+	}
+	h := s.samples[i].Value.Float64Histogram()
+	if h == nil || len(h.Counts) == 0 {
+		return 0, 0, 0
+	}
+	var total uint64
+	for _, c := range h.Counts {
+		total += c
+	}
+	if total == 0 {
+		return 0, 0, 0
+	}
+	return runtimeHistQuantile(h, total, 0.50),
+		runtimeHistQuantile(h, total, 0.90),
+		runtimeHistQuantile(h, total, 0.99)
+}
+
+// runtimeHistQuantile walks one runtime histogram for one quantile.
+// Buckets[i] and Buckets[i+1] bound Counts[i]; the first and last bounds may
+// be infinities, which clamp to the nearest finite edge.
+func runtimeHistQuantile(h *metrics.Float64Histogram, total uint64, q float64) float64 {
+	rank := q * float64(total)
+	var cum float64
+	for i, c := range h.Counts {
+		cum += float64(c)
+		if cum < rank {
+			continue
+		}
+		// Upper edge of the bucket; fall back to its lower edge when the
+		// histogram's catch-all upper bound is +Inf.
+		upper := h.Buckets[i+1]
+		if math.IsInf(upper, 1) {
+			upper = h.Buckets[i]
+		}
+		if upper < 0 || math.IsInf(upper, -1) || math.IsNaN(upper) {
+			upper = 0
+		}
+		return upper
+	}
+	return maxFiniteBound(h)
+}
+
+// maxFiniteBound returns the largest finite bucket boundary.
+func maxFiniteBound(h *metrics.Float64Histogram) float64 {
+	for i := len(h.Buckets) - 1; i >= 0; i-- {
+		b := h.Buckets[i]
+		if !math.IsInf(b, 0) && !math.IsNaN(b) {
+			return b
+		}
+	}
+	return 0
+}
+
+// gauge registers one cached-sweep-backed gauge family member.
+func (s *RuntimeSampler) gauge(reg *Registry, name, help string, read func(*runtimeValues) float64, labels ...Label) {
+	reg.GaugeFunc(name, help, func() float64 {
+		s.refresh()
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		return read(&s.vals)
+	}, labels...)
+}
+
+// Register adds the runtime-telemetry families to reg, all served from the
+// sampler's cached sweep:
+//
+//	narada_process_goroutines            live goroutines
+//	narada_process_heap_inuse_bytes      in-use heap spans
+//	narada_process_gc_cycles_total       completed GC cycles
+//	narada_runtime_heap_live_bytes       bytes of live (reachable) heap
+//	narada_runtime_heap_goal_bytes       next GC's heap-size trigger
+//	narada_runtime_gc_cpu_fraction       fraction of CPU spent in GC since the last sweep
+//	narada_runtime_gc_pause_seconds      GC stop-the-world pause quantiles (quantile label)
+//	narada_runtime_sched_latency_seconds goroutine scheduling-latency quantiles
+//
+// The narada_process_* names predate the sampler and keep their exposition
+// identity; they just stopped costing a runtime.ReadMemStats each.
+func (s *RuntimeSampler) Register(reg *Registry) {
+	s.gauge(reg, "narada_process_goroutines",
+		"Live goroutines in the process.",
+		func(v *runtimeValues) float64 { return v.goroutines })
+	s.gauge(reg, "narada_process_heap_inuse_bytes",
+		"Bytes in in-use heap spans.",
+		func(v *runtimeValues) float64 { return v.heapInuse })
+	s.gauge(reg, "narada_process_gc_cycles_total",
+		"Completed GC cycles.",
+		func(v *runtimeValues) float64 { return v.gcCycles })
+	s.gauge(reg, "narada_runtime_heap_live_bytes",
+		"Bytes of live heap at the end of the last GC mark phase.",
+		func(v *runtimeValues) float64 { return v.heapLive })
+	s.gauge(reg, "narada_runtime_heap_goal_bytes",
+		"Heap size that triggers the next GC cycle.",
+		func(v *runtimeValues) float64 { return v.heapGoal })
+	s.gauge(reg, "narada_runtime_gc_cpu_fraction",
+		"Fraction of available CPU spent in the garbage collector between sweeps.",
+		func(v *runtimeValues) float64 { return v.gcCPUFraction })
+	const pauseName = "narada_runtime_gc_pause_seconds"
+	const pauseHelp = "GC stop-the-world pause latency quantiles since process start."
+	s.gauge(reg, pauseName, pauseHelp, func(v *runtimeValues) float64 { return v.gcPauseP50 }, L("quantile", "0.5"))
+	s.gauge(reg, pauseName, pauseHelp, func(v *runtimeValues) float64 { return v.gcPauseP90 }, L("quantile", "0.9"))
+	s.gauge(reg, pauseName, pauseHelp, func(v *runtimeValues) float64 { return v.gcPauseP99 }, L("quantile", "0.99"))
+	const schedName = "narada_runtime_sched_latency_seconds"
+	const schedHelp = "Goroutine runnable-to-running scheduling latency quantiles since process start."
+	s.gauge(reg, schedName, schedHelp, func(v *runtimeValues) float64 { return v.schedLatP50 }, L("quantile", "0.5"))
+	s.gauge(reg, schedName, schedHelp, func(v *runtimeValues) float64 { return v.schedLatP90 }, L("quantile", "0.9"))
+	s.gauge(reg, schedName, schedHelp, func(v *runtimeValues) float64 { return v.schedLatP99 }, L("quantile", "0.99"))
+}

@@ -1,0 +1,129 @@
+package obs
+
+import (
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+)
+
+// The runtime-telemetry exposition surface is an interface dashboards and the
+// collector's health rules depend on: family names and kinds must not drift.
+func TestRuntimeFamiliesStable(t *testing.T) {
+	reg := NewRegistry()
+	RegisterProcessMetrics(reg)
+
+	var sb strings.Builder
+	if err := WriteFamiliesText(&sb, reg.ExportSnapshot()); err != nil {
+		t.Fatalf("WriteFamiliesText: %v", err)
+	}
+	text := sb.String()
+
+	wantTypes := map[string]string{
+		"narada_build_info":                    "gauge",
+		"narada_process_uptime_seconds":        "gauge",
+		"narada_process_goroutines":            "gauge",
+		"narada_process_heap_inuse_bytes":      "gauge",
+		"narada_process_gc_cycles_total":       "gauge",
+		"narada_runtime_heap_live_bytes":       "gauge",
+		"narada_runtime_heap_goal_bytes":       "gauge",
+		"narada_runtime_gc_cpu_fraction":       "gauge",
+		"narada_runtime_gc_pause_seconds":      "gauge",
+		"narada_runtime_sched_latency_seconds": "gauge",
+	}
+	for name, typ := range wantTypes {
+		want := "# TYPE " + name + " " + typ + "\n"
+		if !strings.Contains(text, want) {
+			t.Errorf("exposition missing %q", strings.TrimSpace(want))
+		}
+	}
+	for _, q := range []string{"0.5", "0.9", "0.99"} {
+		for _, fam := range []string{"narada_runtime_gc_pause_seconds", "narada_runtime_sched_latency_seconds"} {
+			want := fam + `{quantile="` + q + `"}`
+			if !strings.Contains(text, want) {
+				t.Errorf("exposition missing series %q", want)
+			}
+		}
+	}
+}
+
+func TestRuntimeSamplerValues(t *testing.T) {
+	s := NewRuntimeSampler(time.Millisecond)
+	s.SweepNow()
+	s.mu.Lock()
+	v := s.vals
+	s.mu.Unlock()
+	if v.goroutines < 1 {
+		t.Errorf("goroutines = %v, want >= 1", v.goroutines)
+	}
+	if v.heapInuse <= 0 {
+		t.Errorf("heapInuse = %v, want > 0", v.heapInuse)
+	}
+	if v.heapGoal <= 0 {
+		t.Errorf("heapGoal = %v, want > 0", v.heapGoal)
+	}
+	if v.gcCPUFraction < 0 || v.gcCPUFraction > 1 {
+		t.Errorf("gcCPUFraction = %v, want in [0,1]", v.gcCPUFraction)
+	}
+
+	// Force a GC so cycle count and pause quantiles are live.
+	runtime.GC()
+	s.SweepNow()
+	s.mu.Lock()
+	v = s.vals
+	s.mu.Unlock()
+	if v.gcCycles < 1 {
+		t.Errorf("gcCycles = %v after runtime.GC, want >= 1", v.gcCycles)
+	}
+	if v.gcPauseP99 < v.gcPauseP50 {
+		t.Errorf("pause p99 %v < p50 %v", v.gcPauseP99, v.gcPauseP50)
+	}
+	if v.schedLatP99 < v.schedLatP50 {
+		t.Errorf("sched p99 %v < p50 %v", v.schedLatP99, v.schedLatP50)
+	}
+}
+
+// The interval gate must make back-to-back gauge reads share one sweep: a
+// scrape touching a dozen families should cost one metrics.Read, not twelve.
+func TestRuntimeSamplerCachesWithinInterval(t *testing.T) {
+	s := NewRuntimeSampler(time.Hour)
+	base := time.Unix(1000, 0)
+	s.now = func() time.Time { return base }
+	s.refresh()
+	first := s.last
+	if first.IsZero() {
+		t.Fatal("first refresh did not sweep")
+	}
+	base = base.Add(time.Minute) // < minInterval
+	s.refresh()
+	if !s.last.Equal(first) {
+		t.Error("refresh within minInterval re-swept")
+	}
+	base = base.Add(2 * time.Hour) // > minInterval
+	s.refresh()
+	if s.last.Equal(first) {
+		t.Error("refresh past minInterval did not re-sweep")
+	}
+}
+
+// The sweep hot path must be allocation-free in steady state: metrics.Read
+// reuses the sample slice's histogram buffers once they exist.
+func TestRuntimeSamplerSweepZeroAlloc(t *testing.T) {
+	s := NewRuntimeSampler(time.Millisecond)
+	s.SweepNow() // warm-up: first sweep allocates the histogram buffers
+	s.SweepNow()
+	allocs := testing.AllocsPerRun(100, func() { s.SweepNow() })
+	if allocs != 0 {
+		t.Errorf("sweep allocates %v per run, want 0", allocs)
+	}
+}
+
+func BenchmarkRuntimeSamplerSweep(b *testing.B) {
+	s := NewRuntimeSampler(time.Millisecond)
+	s.SweepNow()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.SweepNow()
+	}
+}

@@ -1,0 +1,186 @@
+package testbed
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"narada/internal/metrics"
+	"narada/internal/obs"
+	"narada/internal/obs/collect"
+	"narada/internal/obs/collect/health"
+	"narada/internal/obs/profile"
+	"narada/internal/simnet"
+	"narada/internal/topology"
+)
+
+// leakCollector is healthCollector plus the profile plane: a short
+// goroutine-leak window matched to the fast retention tiers, an aggressive
+// pull cadence and a 1s flight CPU capture so the whole story fits in a test.
+func leakCollector(t *testing.T) *collect.Collector {
+	t.Helper()
+	col, err := collect.New(collect.Config{
+		Listen: "127.0.0.1:0",
+		Resolutions: []collect.Resolution{
+			{Step: 100 * time.Millisecond, Slots: 100},
+			{Step: 300 * time.Millisecond, Slots: 50},
+		},
+		Health: &health.Config{
+			ExportInterval:      100 * time.Millisecond,
+			DeadmanIntervals:    5,
+			GoroutineLeakWindow: 3 * time.Second,
+		},
+		HealthInterval:      20 * time.Millisecond,
+		ProfilePullInterval: 250 * time.Millisecond,
+		FlightCPUSeconds:    1,
+	})
+	if err != nil {
+		t.Fatalf("collector: %v", err)
+	}
+	t.Cleanup(func() { _ = col.Close() })
+	return col
+}
+
+// TestGoroutineLeakFlightRecorder injects a goroutine leak into a testbed
+// broker and follows it end to end: the leaking gauge ships over the real
+// export wire, the collector's goroutine_leak rule fires, the flight recorder
+// pulls pprof captures from the node's announced (real, loopback) telemetry
+// endpoint, and the /alerts view links the captured profiles. The node's
+// periodic captures must also have been drained into the collector store by
+// the pull loop along the way.
+func TestGoroutineLeakFlightRecorder(t *testing.T) {
+	col := leakCollector(t)
+	tb, err := New(Options{
+		Scale:    50,
+		Seed:     42,
+		NoBDN:    true,
+		Topology: topology.Linear,
+		Brokers: []BrokerSpec{
+			{Site: simnet.SiteIndianapolis, Name: "broker-leaky",
+				Usage: metrics.Usage{TotalMemBytes: 512 * mib, UsedMemBytes: 64 * mib}},
+			{Site: simnet.SiteUMN, Name: "broker-quiet",
+				Usage: metrics.Usage{TotalMemBytes: 512 * mib, UsedMemBytes: 64 * mib}},
+		},
+		ExportAddr:     col.Addr(),
+		ExportInterval: 20 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatalf("testbed: %v", err)
+	}
+	t.Cleanup(tb.Close)
+	srv := httptest.NewServer(col.Handler())
+	defer srv.Close()
+
+	// The leaky broker gets a REAL telemetry endpoint on loopback: its
+	// private testbed registry plus a periodically-capturing profiler,
+	// announced to the collector over the node's own export stream — the
+	// same wiring cmd/broker uses, just with the HTTP side outside simnet.
+	reg, ok := tb.BrokerRegistry("broker-leaky")
+	if !ok {
+		t.Fatal("no registry for broker-leaky")
+	}
+	prof := profile.New(profile.Config{Interval: 500 * time.Millisecond})
+	prof.Start()
+	defer prof.Close()
+	tsrv, err := obs.ServeWith("127.0.0.1:0", reg, nil, prof.Mount())
+	if err != nil {
+		t.Fatalf("telemetry: %v", err)
+	}
+	defer func() { _ = tsrv.Close() }()
+	exp, ok := tb.Exporter("broker-leaky")
+	if !ok {
+		t.Fatal("no exporter for broker-leaky")
+	}
+	exp.AnnounceTelemetry(tsrv.Addr(), true)
+
+	// Inject the leak: the testbed shares one OS process, so the per-node
+	// goroutine count is a synthetic gauge — steady baseline long enough to
+	// land in several retention slots, then unbounded growth.
+	goroutines := reg.Gauge("narada_process_goroutines", "Live goroutines.",
+		obs.L("node", "broker-leaky"))
+	goroutines.Set(120)
+	time.Sleep(700 * time.Millisecond)
+	stopLeak := make(chan struct{})
+	defer close(stopLeak)
+	go func() {
+		v := 1000.0
+		ticker := time.NewTicker(100 * time.Millisecond)
+		defer ticker.Stop()
+		for {
+			goroutines.Set(v)
+			v += 60
+			select {
+			case <-ticker.C:
+			case <-stopLeak:
+				return
+			}
+		}
+	}()
+
+	a := awaitAlertState(t, srv.URL, health.RuleGoroutineLeak, "broker-leaky",
+		health.StateFiring, 10*time.Second)
+	if a.Value <= 500 {
+		t.Fatalf("goroutine_leak growth = %v, want > 500", a.Value)
+	}
+	// The quiet broker exports no goroutine gauge and must stay clean.
+	for _, al := range fetchAlerts(t, srv.URL).Alerts {
+		if al.Rule == health.RuleGoroutineLeak && al.Node != "broker-leaky" {
+			t.Fatalf("unexpected goroutine_leak on %s: %+v", al.Node, al)
+		}
+	}
+
+	// The flight recorder captures asynchronously (its CPU pull samples for
+	// a full second); poll until the alert links a flight capture.
+	var flight collect.ProfileRef
+	deadline := time.Now().Add(15 * time.Second)
+	for flight.ID == "" {
+		for _, al := range fetchAlerts(t, srv.URL).Alerts {
+			if al.Rule != health.RuleGoroutineLeak || al.Node != "broker-leaky" {
+				continue
+			}
+			for _, ref := range al.Profiles {
+				if ref.Trigger == "flight:"+health.RuleGoroutineLeak && ref.Kind == "goroutine" {
+					flight = ref
+				}
+			}
+		}
+		if flight.ID != "" {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("alert never linked a flight-recorded profile")
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+
+	// The linked capture is a real goroutine dump of the telemetry process,
+	// downloadable from the collector by the URL the alert carries.
+	resp, err := http.Get(srv.URL + flight.URL)
+	if err != nil {
+		t.Fatalf("GET %s: %v", flight.URL, err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: status %d", flight.URL, resp.StatusCode)
+	}
+	if !strings.Contains(string(body), "goroutine profile:") {
+		t.Fatalf("flight capture is not a goroutine dump: %.120q", string(body))
+	}
+
+	// And the pull loop must have drained the node's periodic captures into
+	// the collector store independently of any alert.
+	pullDeadline := time.Now().Add(10 * time.Second)
+	for {
+		if pulled := col.Profiles(collect.ProfileFilter{Node: "broker-leaky", Trigger: "periodic"}); len(pulled) > 0 {
+			break
+		}
+		if time.Now().After(pullDeadline) {
+			t.Fatal("periodic captures never pulled into the collector")
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+}

@@ -498,6 +498,28 @@ func (tb *Testbed) BrokerByName(name string) *broker.Broker {
 	return nil
 }
 
+// Exporter returns the named node's telemetry exporter, created when the
+// testbed was deployed with ExportAddr. Tests use it to announce a real
+// loopback telemetry endpoint for a simulated node (the collector's profile
+// pull and flight-recorder planes dial whatever address is announced, so a
+// node simulated on simnet can still serve real pprof over localhost).
+func (tb *Testbed) Exporter(name string) (*obs.Exporter, bool) {
+	e, ok := tb.exporters[name]
+	return e, ok
+}
+
+// BrokerRegistry returns the private metric registry of a deployed broker
+// (only distinct per node when ExportAddr is set). Fault-injection tests
+// write synthetic runtime gauges into it — the testbed shares one OS process,
+// so per-node "process" metrics must be injected rather than sampled.
+func (tb *Testbed) BrokerRegistry(name string) (*obs.Registry, bool) {
+	dep, ok := tb.brokerDeps[name]
+	if !ok || dep.cfg.Metrics == nil {
+		return nil, false
+	}
+	return dep.cfg.Metrics, true
+}
+
 // KillBroker abruptly removes the named broker from the fabric: the broker
 // stops AND its telemetry exporter dies with it, exactly like a crashed
 // process — the collector hears nothing further from the node (deadman

@@ -4,10 +4,11 @@
 # packages, the ones most exposed to concurrency bugs), the tier-1 verify
 # target (build, vet, gofmt, tests, race), the publish fan-out performance
 # gate (>2% ns/op regression or any new allocation on the fast path fails),
-# and finally the six real-socket smoke tests (collector/prober trace
+# and finally the seven real-socket smoke tests (collector/prober trace
 # assembly, per-topic flow accounting + message sampling, health-engine
 # failure detection, self-healing BDN re-registration, the open-loop load
-# generator, and the control-plane event journal with topology time-travel).
+# generator, the control-plane event journal with topology time-travel, and
+# the continuous-profiling plane with its flight-recorder fallback).
 set -eu
 cd "$(dirname "$0")/.."
 
@@ -43,5 +44,8 @@ make chaos-smoke
 
 echo "ci: make events-smoke"
 make events-smoke
+
+echo "ci: make profiles-smoke"
+make profiles-smoke
 
 echo "ci: ok"

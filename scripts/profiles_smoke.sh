@@ -1,0 +1,170 @@
+#!/bin/sh
+# profiles_smoke.sh smoke-tests the continuous-profiling plane on real
+# processes: a BDN and two brokers run with -profile-every and an announced
+# -telemetry-addr, a loadgen stage keeps one broker genuinely busy, and an
+# obscollect pulls their periodic pprof captures into its spool. The collector
+# must (1) serve the pulled captures on /profiles with a working ?view=top
+# rendering, (2) spool them to -profile-dir, and (3) when a broker is killed,
+# attach that node's freshest retained captures to the firing deadman alert —
+# the flight recorder's dead-node fallback, which is the whole point of
+# pulling continuously: the post-mortem evidence was collected pre-mortem.
+#
+# Uses curl or wget, whichever the host has.
+set -eu
+cd "$(dirname "$0")/.."
+
+COLLECT_UDP="127.0.0.1:17810"
+COLLECT_HTTP="127.0.0.1:17811"
+BDN_STREAM="127.0.0.1:17812"
+A_STREAM=17813
+A_UDP=17814
+A_TELEMETRY="127.0.0.1:17815"
+B_STREAM=17816
+B_UDP=17817
+B_TELEMETRY="127.0.0.1:17818"
+TMP="$(mktemp -d)"
+PIDS=""
+trap 'for p in $PIDS; do kill "$p" 2>/dev/null || true; done; for p in $PIDS; do wait "$p" 2>/dev/null || true; done; rm -rf "$TMP"' EXIT
+
+fetch() {
+    if command -v curl >/dev/null 2>&1; then
+        curl -sf "$1"
+    elif command -v wget >/dev/null 2>&1; then
+        wget -qO- "$1"
+    else
+        echo "profiles-smoke: need curl or wget" >&2
+        exit 1
+    fi
+}
+
+flat() { tr -d ' \n\t'; }
+
+go build -o "$TMP/broker" ./cmd/broker
+go build -o "$TMP/bdn" ./cmd/bdn
+go build -o "$TMP/loadgen" ./cmd/loadgen
+go build -o "$TMP/obscollect" ./cmd/obscollect
+
+"$TMP/obscollect" -listen "$COLLECT_UDP" -http "$COLLECT_HTTP" \
+    -export-interval 1s -deadman-intervals 3 -health-interval 200ms \
+    -profile-pull 500ms -flight-cpu-seconds 1 -profile-dir "$TMP/spool" \
+    >"$TMP/obscollect.log" 2>&1 &
+PIDS="$PIDS $!"
+
+"$TMP/bdn" -bind 127.0.0.1 -name gridservicelocator.org -stream-port 17812 \
+    -obs-export "$COLLECT_UDP" >"$TMP/bdn.log" 2>&1 &
+PIDS="$PIDS $!"
+sleep 0.3
+
+"$TMP/broker" -bind 127.0.0.1 -logical prof-a -bdn "$BDN_STREAM" \
+    -stream-port "$A_STREAM" -udp-port "$A_UDP" \
+    -obs-export "$COLLECT_UDP" -telemetry-addr "$A_TELEMETRY" \
+    -profile-every 1s >"$TMP/broker-a.log" 2>&1 &
+PIDS="$PIDS $!"
+
+"$TMP/broker" -bind 127.0.0.1 -logical prof-b -bdn "$BDN_STREAM" \
+    -stream-port "$B_STREAM" -udp-port "$B_UDP" \
+    -obs-export "$COLLECT_UDP" -telemetry-addr "$B_TELEMETRY" \
+    -profile-every 1s >"$TMP/broker-b.log" 2>&1 &
+BPID=$!
+PIDS="$PIDS $BPID"
+
+i=0
+until fetch "http://$COLLECT_HTTP/healthz" >/dev/null 2>&1; do
+    i=$((i + 1))
+    if [ "$i" -ge 50 ]; then
+        echo "profiles-smoke: collector never came up" >&2
+        cat "$TMP/obscollect.log" >&2
+        exit 1
+    fi
+    sleep 0.1
+done
+
+# Drive real publish load through prof-a while its profiler samples, so the
+# captured CPU profiles are of a broker actually doing its job. The probe
+# loop doubles as the broker-up wait.
+i=0
+until "$TMP/loadgen" -addr "127.0.0.1:$A_STREAM" -rates 100 -duration 100ms \
+    -warmup 0 -subs 1 -drain 500ms -out "$TMP/probe.json" >/dev/null 2>&1; do
+    i=$((i + 1))
+    if [ "$i" -ge 30 ]; then
+        echo "profiles-smoke: broker prof-a never came up" >&2
+        cat "$TMP/broker-a.log" >&2
+        exit 1
+    fi
+    sleep 0.2
+done
+"$TMP/loadgen" -addr "127.0.0.1:$A_STREAM" -rates 2000 -duration 2s -subs 2 \
+    -out "$TMP/load.json" >"$TMP/loadgen.log" 2>&1 &
+PIDS="$PIDS $!"
+
+# Periodic captures from BOTH brokers must land in the collector via the pull
+# loop (prof-b's are the post-mortem evidence for the kill below).
+for node in prof-a prof-b; do
+    i=0
+    until fetch "http://$COLLECT_HTTP/profiles?node=$node&trigger=periodic" | flat | grep -q '"id":"'; do
+        i=$((i + 1))
+        if [ "$i" -ge 150 ]; then
+            echo "profiles-smoke: no periodic captures pulled from $node" >&2
+            fetch "http://$COLLECT_HTTP/profiles" >&2 || true
+            cat "$TMP/obscollect.log" >&2
+            exit 1
+        fi
+        sleep 0.1
+    done
+done
+
+# The spool directory holds the pulled captures on disk.
+if ! ls "$TMP/spool"/*.pprof >/dev/null 2>&1; then
+    echo "profiles-smoke: spool directory has no .pprof files" >&2
+    ls -la "$TMP/spool" >&2 || true
+    exit 1
+fi
+
+# A pulled goroutine capture renders through the dep-free ?view=top path.
+GID=$(fetch "http://$COLLECT_HTTP/profiles?node=prof-a&kind=goroutine" | flat |
+    sed -n 's/.*"id":"\([^"]*\)".*/\1/p' | head -1)
+if [ -z "$GID" ]; then
+    echo "profiles-smoke: no goroutine capture for prof-a" >&2
+    fetch "http://$COLLECT_HTTP/profiles?node=prof-a" >&2 || true
+    exit 1
+fi
+fetch "http://$COLLECT_HTTP/profiles/$GID?view=top" | grep -q 'goroutine profile: total' || {
+    echo "profiles-smoke: ?view=top did not render capture $GID" >&2
+    fetch "http://$COLLECT_HTTP/profiles/$GID?view=top" >&2 || true
+    exit 1
+}
+
+# Fault: kill prof-b. Deadman must fire, and because the node is gone the
+# flight recorder cannot capture live — it must fall back to linking the
+# captures it already pulled, so the alert still carries pprof evidence.
+kill -9 "$BPID"
+wait "$BPID" 2>/dev/null || true
+i=0
+until fetch "http://$COLLECT_HTTP/alerts" | flat |
+    grep -q '"rule":"deadman","node":"prof-b","state":"firing"'; do
+    i=$((i + 1))
+    if [ "$i" -ge 100 ]; then
+        echo "profiles-smoke: deadman never fired for killed prof-b" >&2
+        fetch "http://$COLLECT_HTTP/alerts" >&2 || true
+        cat "$TMP/obscollect.log" >&2
+        exit 1
+    fi
+    sleep 0.1
+done
+
+# Flight-recorder linkage is asynchronous; poll for the profile refs on the
+# alert (their ids are prefixed with the node they were captured from).
+i=0
+until fetch "http://$COLLECT_HTTP/alerts" | flat |
+    grep -q '"profiles":\[{"id":"[0-9]*-prof-b'; do
+    i=$((i + 1))
+    if [ "$i" -ge 100 ]; then
+        echo "profiles-smoke: deadman alert never linked prof-b captures" >&2
+        fetch "http://$COLLECT_HTTP/alerts" >&2 || true
+        cat "$TMP/obscollect.log" >&2
+        exit 1
+    fi
+    sleep 0.1
+done
+
+echo "profiles-smoke: ok (periodic captures pulled + spooled, view=top rendered, dead-node alert linked retained profiles)"
