@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet fmt-check verify bench bench-gate fuzz obs-smoke health-smoke chaos-smoke loadgen-smoke flows-smoke events-smoke profiles-smoke ci
+.PHONY: all build test race vet fmt-check verify bench bench-gate fuzz obs-smoke health-smoke chaos-smoke loadgen-smoke flows-smoke events-smoke profiles-smoke durability-smoke ci
 
 all: build
 
@@ -80,6 +80,14 @@ events-smoke:
 # retained captures — the flight recorder's dead-node fallback.
 profiles-smoke:
 	sh scripts/profiles_smoke.sh
+
+# durability-smoke boots a 3-member replicated BDN cluster (-data-dir,
+# -peers, -lease) + 2 supervised brokers on real sockets, SIGKILLs the
+# primary, and asserts a standby promotes with the full replicated table,
+# discovery keeps answering, and the brokers' bdn reconnect counters stay
+# at zero — failover without a single re-registration.
+durability-smoke:
+	sh scripts/durability_smoke.sh
 
 # ci is the full pre-merge pipeline: verify + obs-smoke.
 ci:

@@ -15,10 +15,12 @@ import (
 	"math/rand"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
 	"narada/internal/bdn"
+	"narada/internal/bdn/replica"
 	"narada/internal/config"
 	"narada/internal/ntptime"
 	"narada/internal/obs"
@@ -37,6 +39,12 @@ func main() {
 		measure    = flag.Duration("measure-every", time.Minute, "broker distance measurement interval (0 = never)")
 		adTTL      = flag.Duration("ad-ttl", 0, "registration validity for advertisements without their own TTL (overrides config; 0 = forever)")
 		sweepEvery = flag.Duration("sweep-every", 0, "expired-registration sweep period (overrides config; 0 = 1s)")
+		dataDir    = flag.String("data-dir", "", "durable registry directory: WAL + snapshots; registrations survive restarts (overrides config; '' = in-memory only)")
+		fsync      = flag.String("fsync", "", "WAL durability policy: always | interval | never (overrides config)")
+		snapEvery  = flag.Int("snapshot-every", 0, "WAL records between registry snapshots (overrides config; 0 = 1024)")
+		replPort   = flag.Int("replica-port", 0, "TCP port for the replication endpoint (0 = auto; needs -data-dir and -peers)")
+		peers      = flag.String("peers", "", "comma-separated replication addresses of the other cluster members (overrides config)")
+		lease      = flag.Duration("lease", 0, "replication leader lease; standbys promote after it expires (overrides config; 0 = 2s)")
 		telemetry  = flag.String("telemetry-addr", "", "listen addr for /metrics, /healthz, /debug/traces and pprof (overrides config; '' = off)")
 		obsExport  = flag.String("obs-export", "", "obscollect UDP addr to export spans + metric snapshots to (overrides config; '' = off)")
 		profEvery  = flag.Duration("profile-every", 0, "periodic cpu+heap+goroutine profile capture interval (0 = on-demand only; needs -telemetry-addr)")
@@ -72,6 +80,29 @@ func main() {
 	}
 	if *sweepEvery > 0 {
 		cfg.SweepIntervalMs = int(sweepEvery.Milliseconds())
+	}
+	if *dataDir != "" {
+		cfg.DataDir = *dataDir
+	}
+	if *fsync != "" {
+		cfg.Fsync = *fsync
+	}
+	if *snapEvery > 0 {
+		cfg.SnapshotEvery = *snapEvery
+	}
+	if *replPort != 0 {
+		cfg.ReplicaPort = *replPort
+	}
+	if *peers != "" {
+		cfg.Peers = nil
+		for _, p := range strings.Split(*peers, ",") {
+			if p = strings.TrimSpace(p); p != "" {
+				cfg.Peers = append(cfg.Peers, p)
+			}
+		}
+	}
+	if *lease > 0 {
+		cfg.LeaseMs = int(lease.Milliseconds())
 	}
 	if *telemetry != "" {
 		cfg.TelemetryAddr = *telemetry
@@ -132,6 +163,9 @@ func main() {
 		SweepInterval:      cfg.SweepInterval(),
 		Private:            cfg.Private,
 		RequiredCredential: []byte(cfg.RequiredCredential),
+		DataDir:            cfg.DataDir,
+		Fsync:              cfg.SyncPolicy(),
+		SnapshotEvery:      cfg.SnapshotEvery,
 		Metrics:            reg,
 		Tracer:             tracer,
 		Journal:            journal,
@@ -143,6 +177,31 @@ func main() {
 		log.Fatalf("bdn: %v", err)
 	}
 	log.Printf("bdn %s listening on %s", d.Name(), d.Addr())
+	if cfg.DataDir != "" {
+		log.Printf("bdn: durable registry in %s (fsync=%s)", cfg.DataDir, cfg.SyncPolicy())
+	}
+
+	var rep *replica.Replica
+	if len(cfg.Peers) > 0 {
+		rep, err = replica.New(replica.Config{
+			Name:       cfg.Name,
+			Node:       node,
+			Store:      d,
+			ListenPort: cfg.ReplicaPort,
+			Peers:      cfg.Peers,
+			Lease:      cfg.Lease(),
+			Logger:     logger,
+			Metrics:    reg,
+			Journal:    journal,
+		})
+		if err != nil {
+			log.Fatalf("bdn: replica: %v", err)
+		}
+		if err := rep.Start(nil); err != nil {
+			log.Fatalf("bdn: replica: %v", err)
+		}
+		log.Printf("bdn: replicating on %s with %d peers", rep.Addr(), len(cfg.Peers))
+	}
 
 	var srv *obs.Server
 	var prof *profile.Capturer
@@ -192,6 +251,9 @@ func main() {
 	s := <-sig
 	close(stop)
 	log.Printf("bdn: %s: shutting down", s)
+	if rep != nil {
+		rep.Close()
+	}
 	d.Close()
 	if srv != nil {
 		ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)

@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"os"
+	"path/filepath"
 	"time"
 
 	"narada/internal/core"
@@ -34,16 +35,51 @@ func loadBrokerCache(path string) ([]core.BrokerInfo, error) {
 	return cache.Brokers, nil
 }
 
-// saveBrokerCache persists the target set via a same-directory temp file and
-// rename, so a crash mid-write never leaves a truncated cache behind.
+// saveBrokerCache persists the target set crash-safely: write to a unique
+// same-directory temp file, fsync it, rename over the destination, then
+// fsync the directory so the rename itself survives a power cut. A crash at
+// any point leaves either the old cache or the new one — never a truncated
+// file — and concurrent discover runs cannot clobber each other's temp file.
 func saveBrokerCache(path string, brokers []core.BrokerInfo) error {
 	data, err := json.MarshalIndent(brokerCache{SavedAt: time.Now().UTC(), Brokers: brokers}, "", "  ")
 	if err != nil {
 		return err
 	}
-	tmp := path + ".tmp"
-	if err := os.WriteFile(tmp, append(data, '\n'), 0o644); err != nil {
+	dir := filepath.Dir(path)
+	f, err := os.CreateTemp(dir, filepath.Base(path)+".tmp-*")
+	if err != nil {
 		return err
 	}
-	return os.Rename(tmp, path)
+	tmp := f.Name()
+	cleanup := func(err error) error {
+		_ = f.Close()
+		_ = os.Remove(tmp)
+		return err
+	}
+	if _, err := f.Write(append(data, '\n')); err != nil {
+		return cleanup(err)
+	}
+	if err := f.Sync(); err != nil {
+		return cleanup(err)
+	}
+	if err := f.Close(); err != nil {
+		return cleanup(err)
+	}
+	if err := os.Chmod(tmp, 0o644); err != nil {
+		return cleanup(err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		return cleanup(err)
+	}
+	// Persist the rename: without the directory fsync the new entry can
+	// still be lost, resurrecting the old cache after a crash.
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	syncErr := d.Sync()
+	if closeErr := d.Close(); syncErr == nil {
+		syncErr = closeErr
+	}
+	return syncErr
 }

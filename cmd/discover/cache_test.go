@@ -52,3 +52,43 @@ func TestBrokerCacheRoundTrip(t *testing.T) {
 		t.Error("corrupt cache: want error, got nil")
 	}
 }
+
+// TestBrokerCacheAtomicReplace overwrites an existing cache and checks the
+// crash-safety contract's observable half: the new content lands whole, no
+// temp file survives, and the file is world-readable.
+func TestBrokerCacheAtomicReplace(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "targets.json")
+
+	if err := saveBrokerCache(path, []core.BrokerInfo{{LogicalAddress: "old"}}); err != nil {
+		t.Fatalf("first save: %v", err)
+	}
+	if err := saveBrokerCache(path, []core.BrokerInfo{{LogicalAddress: "new-a"}, {LogicalAddress: "new-b"}}); err != nil {
+		t.Fatalf("overwrite: %v", err)
+	}
+
+	got, err := loadBrokerCache(path)
+	if err != nil {
+		t.Fatalf("load: %v", err)
+	}
+	if len(got) != 2 || got[0].LogicalAddress != "new-a" {
+		t.Fatalf("replace lost data: %+v", got)
+	}
+
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if e.Name() != "targets.json" {
+			t.Errorf("stray file left behind: %s", e.Name())
+		}
+	}
+	info, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if perm := info.Mode().Perm(); perm != 0o644 {
+		t.Errorf("cache mode = %o, want 644", perm)
+	}
+}

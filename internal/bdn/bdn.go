@@ -25,6 +25,7 @@ import (
 	"narada/internal/topics"
 	"narada/internal/transport"
 	"narada/internal/uuid"
+	"narada/internal/wal"
 )
 
 // InjectionPolicy selects how a BDN propagates discovery requests.
@@ -78,6 +79,17 @@ type Config struct {
 	SweepInterval time.Duration
 	// DedupCapacity sizes the idempotency cache.
 	DedupCapacity int
+	// DataDir, when set, makes the registry durable: every table mutation
+	// is appended to a write-ahead log under this directory and periodic
+	// snapshots capture the full table, so a restart recovers every live
+	// advertisement with its remaining TTL instead of forcing a fleet-wide
+	// re-registration storm. Empty keeps the legacy in-memory behaviour.
+	DataDir string
+	// Fsync selects the WAL durability policy (always/interval/never).
+	Fsync wal.SyncPolicy
+	// SnapshotEvery is how many WAL records accumulate between snapshots
+	// (default 1024). Each snapshot prunes the log segments it covers.
+	SnapshotEvery int
 	// Logger receives operational events; nil discards them.
 	Logger *slog.Logger
 	// Metrics, when set, receives the BDN's metric families (nil disables
@@ -121,6 +133,17 @@ type BDN struct {
 	conns   map[transport.Conn]struct{}
 	started bool
 
+	// Durable-registry state, all guarded by mu. credential is the runtime
+	// private-BDN credential (seeded from Config.RequiredCredential, then
+	// durably updatable); epoch is the highest replication election epoch
+	// seen; applied tracks per-source replication watermarks; mutHook is
+	// fired with every locally-originated WAL record.
+	persist    *persistence
+	credential []byte
+	epoch      uint64
+	applied    map[string]uint64
+	mutHook    func([]byte)
+
 	reqDedup *dedup.Cache
 	tel      telemetry
 
@@ -151,13 +174,15 @@ func New(node transport.Node, ntp *ntptime.Service, cfg Config) (*BDN, error) {
 	}
 	cfg.Logger = cfg.Logger.With("bdn", cfg.Name)
 	d := &BDN{
-		node:     node,
-		ntp:      ntp,
-		cfg:      cfg,
-		brokers:  make(map[string]*registration),
-		conns:    make(map[transport.Conn]struct{}),
-		reqDedup: dedup.New(cfg.DedupCapacity),
-		closed:   make(chan struct{}),
+		node:       node,
+		ntp:        ntp,
+		cfg:        cfg,
+		brokers:    make(map[string]*registration),
+		conns:      make(map[transport.Conn]struct{}),
+		reqDedup:   dedup.New(cfg.DedupCapacity),
+		credential: cfg.RequiredCredential,
+		applied:    make(map[string]uint64),
+		closed:     make(chan struct{}),
 	}
 	d.initTelemetry(cfg.Metrics, cfg.Tracer)
 	return d, nil
@@ -172,6 +197,12 @@ func (d *BDN) Start() error {
 	}
 	d.started = true
 	d.mu.Unlock()
+
+	// Recover the durable registry before the listeners come up, so no
+	// registration or discovery request can observe a half-rebuilt table.
+	if err := d.initPersistence(); err != nil {
+		return err
+	}
 
 	l, err := d.node.Listen(d.cfg.StreamPort)
 	if err != nil {
@@ -188,6 +219,10 @@ func (d *BDN) Start() error {
 	d.wg.Add(2)
 	go d.acceptLoop()
 	go d.sweepLoop()
+	if d.persist != nil {
+		d.wg.Add(1)
+		go d.snapshotLoop()
+	}
 	return nil
 }
 
@@ -204,13 +239,17 @@ func (d *BDN) sweepLoop() {
 			return
 		case <-clock.After(d.cfg.SweepInterval):
 		}
-		now := d.now()
+		// Expiry runs on the local node clock — the same base the deadlines
+		// were stamped against — never the NTP-corrected wall clock, so an
+		// NTP step can't mass-sweep live registrations.
+		now := clock.Now()
 		d.mu.Lock()
 		var expired []string
 		for logical, r := range d.brokers {
 			if r.expired(now) {
 				expired = append(expired, logical)
 				delete(d.brokers, logical)
+				d.appendRecordLocked(encodeDelete(logical, "expired"))
 			}
 		}
 		d.mu.Unlock()
@@ -243,6 +282,7 @@ func (d *BDN) Close() {
 		}
 		d.mu.Unlock()
 		d.wg.Wait()
+		d.closePersistence()
 	})
 }
 
@@ -257,7 +297,7 @@ func (d *BDN) Name() string { return d.cfg.Name }
 
 // BrokerCount returns the number of stored, unexpired advertisements.
 func (d *BDN) BrokerCount() int {
-	now := d.now()
+	now := d.node.Clock().Now()
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	n := 0
@@ -272,7 +312,7 @@ func (d *BDN) BrokerCount() int {
 // Brokers returns the unexpired advertised broker infos, sorted by logical
 // address.
 func (d *BDN) Brokers() []core.BrokerInfo {
-	now := d.now()
+	now := d.node.Clock().Now()
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	out := make([]core.BrokerInfo, 0, len(d.brokers))
@@ -417,18 +457,19 @@ func (d *BDN) storeAdvertisement(ev *event.Event, conn transport.Conn) string {
 	}
 	d.tel.adsStored.Inc()
 	// The advertisement's own TTL wins; the BDN's AdTTL covers brokers that
-	// do not stamp one. Either way the deadline is measured from receipt —
-	// the broker's IssuedAt clock may be skewed.
+	// do not stamp one. Either way the deadline is measured from receipt on
+	// the local node clock — the broker's IssuedAt clock may be skewed, and
+	// the NTP-corrected clock may step.
 	ttl := ad.TTL
 	if ttl <= 0 {
 		ttl = d.cfg.AdTTL
 	}
 	var expiresAt time.Time
 	if ttl > 0 {
-		expiresAt = d.now().Add(ttl)
+		expiresAt = d.node.Clock().Now().Add(ttl)
 	}
+	rec := encodeUpsert(ev.Payload, ttl > 0, ttl)
 	d.mu.Lock()
-	defer d.mu.Unlock()
 	r, ok := d.brokers[ad.Broker.LogicalAddress]
 	if !ok {
 		r = &registration{}
@@ -443,6 +484,14 @@ func (d *BDN) storeAdvertisement(ev *event.Event, conn transport.Conn) string {
 	r.expiresAt = expiresAt
 	if conn != nil {
 		r.conn = conn
+	}
+	d.appendRecordLocked(rec)
+	hook := d.mutHook
+	d.mu.Unlock()
+	if hook != nil {
+		// A standby forwards direct registrations to the primary so the
+		// whole cluster learns them; fired outside the table lock.
+		hook(rec)
 	}
 	d.cfg.Logger.Info("advertisement stored",
 		"broker", ad.Broker.LogicalAddress, "realm", ad.Broker.Realm)
@@ -479,8 +528,8 @@ func (d *BDN) processRequest(conn transport.Conn, ev *event.Event, req *core.Dis
 	// credentials before it decides whether it will disseminate the broker
 	// discovery request."
 	authorized := true
-	if d.cfg.Private && len(d.cfg.RequiredCredential) > 0 {
-		authorized = string(req.Credentials) == string(d.cfg.RequiredCredential)
+	if cred := d.Credential(); d.cfg.Private && len(cred) > 0 {
+		authorized = string(req.Credentials) == string(cred)
 	}
 
 	// Normalise trace context: instrumented requesters stamp it on the
@@ -538,15 +587,65 @@ func (d *BDN) inject(ev *event.Event, reqID, origin string) {
 			_ = r.conn.Send(frame)
 			continue
 		}
-		// Topic-learned broker without a live registration connection:
-		// dial its advertised stream endpoint and inject as a client.
+		// Broker without a live registration connection (topic-learned, or
+		// recovered from the WAL after a restart): dial its advertised
+		// stream endpoint, inject as a client, and adopt the session as the
+		// registration connection so later injections reuse it. Closing
+		// right after Send would drop the frame while it is still in
+		// flight.
 		if addr := r.ad.Broker.Endpoint("tcp"); addr != "" {
 			if c, err := d.node.Dial(addr); err == nil {
 				_ = c.Send(frame)
-				_ = c.Close()
+				d.adoptInjectionConn(r.ad.Broker.LogicalAddress, c)
 			}
 		}
 	}
+}
+
+// adoptInjectionConn installs a freshly dialed injection connection as the
+// broker's registration connection, with a watcher goroutine that clears it
+// again when the session dies — the same lifecycle a broker-initiated
+// registration gets from serveBrokerRegistration. When adoption loses the
+// race (the broker re-registered, or was dropped, or the BDN is shutting
+// down) the connection is closed only after a model-time linger, so the
+// request frame just sent on it still reaches the broker.
+func (d *BDN) adoptInjectionConn(logical string, conn transport.Conn) {
+	lingerClose := func() {
+		d.node.Clock().Sleep(time.Second)
+		_ = conn.Close()
+	}
+	if !d.trackConn(conn) {
+		go lingerClose()
+		return
+	}
+	d.mu.Lock()
+	r, ok := d.brokers[logical]
+	if !ok || r.conn != nil {
+		d.mu.Unlock()
+		d.untrackConn(conn)
+		go lingerClose()
+		return
+	}
+	r.conn = conn
+	d.mu.Unlock()
+	d.wg.Add(1)
+	go func() {
+		defer d.wg.Done()
+		// The broker side treats this session as an idle client and never
+		// sends on it; a Recv return means the session (or the broker) died.
+		for {
+			if _, err := conn.Recv(); err != nil {
+				break
+			}
+		}
+		d.untrackConn(conn)
+		d.mu.Lock()
+		if r, ok := d.brokers[logical]; ok && r.conn == conn {
+			r.conn = nil
+		}
+		d.mu.Unlock()
+		_ = conn.Close()
+	}()
 }
 
 // injectTarget is a value snapshot of a registration, taken under d.mu, so
@@ -562,7 +661,7 @@ type injectTarget struct {
 // policy — an expired registration must never receive a request, or a dead
 // broker could still be shortlisted between sweeps.
 func (d *BDN) injectionTargets() []injectTarget {
-	now := d.now()
+	now := d.node.Clock().Now()
 	d.mu.Lock()
 	all := make([]injectTarget, 0, len(d.brokers))
 	for _, r := range d.brokers {
@@ -608,7 +707,7 @@ func (d *BDN) MeasureDistances() map[string]time.Duration {
 	}
 	probes := make(map[uuid.UUID]probe)
 
-	now := d.now()
+	now := clock.Now()
 	d.mu.Lock()
 	targets := make(map[string]string, len(d.brokers)) // logical -> udp addr
 	for logical, r := range d.brokers {

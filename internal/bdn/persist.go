@@ -1,0 +1,691 @@
+package bdn
+
+// Durable advertisement registry: every mutation of the broker table —
+// registration, refresh, sweep, credential or epoch change — is appended to
+// a write-ahead log, and periodic snapshots capture the full table so a
+// restarted BDN recovers its registry instead of forcing a fleet-wide
+// re-registration storm.
+//
+// TTL deadlines are never persisted as absolute wall times. Records and
+// snapshots carry the *remaining* validity at write time, measured against
+// the local node clock (the monotonic base recorded in the snapshot
+// header), and recovery rebases each deadline to now+remaining — so clock
+// steps or downtime between crash and restart can't mass-expire live ads.
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"narada/internal/core"
+	"narada/internal/obs"
+	"narada/internal/wal"
+	"narada/internal/wire"
+)
+
+// WAL record payloads: [recVersion][type][body...], encoded with the wire
+// package. The advertisement body is the already-encoded core.Advertisement
+// frame payload, stored verbatim.
+const (
+	recVersion byte = 1
+
+	recUpsert     byte = 1 // BytesField(ad) Bool(hasDeadline) Duration(remaining)
+	recDelete     byte = 2 // String(logical) String(reason)
+	recCredential byte = 3 // Bool(set) BytesField(credential)
+	recEpoch      byte = 4 // Uvarint(epoch)
+	recApplied    byte = 5 // String(source) Uvarint(index)
+)
+
+// record is a decoded WAL record.
+type record struct {
+	typ byte
+
+	adPayload   []byte // recUpsert: encoded core.Advertisement
+	hasDeadline bool
+	remaining   time.Duration
+
+	logical string // recDelete
+	reason  string
+
+	credSet bool // recCredential
+	cred    []byte
+
+	epoch uint64 // recEpoch
+
+	source string // recApplied
+	index  uint64
+}
+
+func encodeUpsert(adPayload []byte, hasDeadline bool, remaining time.Duration) []byte {
+	w := newRecWriter(recUpsert, 16+len(adPayload))
+	w.BytesField(adPayload)
+	w.Bool(hasDeadline)
+	w.Duration(remaining)
+	return w.Detach()
+}
+
+func encodeDelete(logical, reason string) []byte {
+	w := newRecWriter(recDelete, 8+len(logical)+len(reason))
+	w.String(logical)
+	w.String(reason)
+	return w.Detach()
+}
+
+func encodeCredential(cred []byte) []byte {
+	w := newRecWriter(recCredential, 4+len(cred))
+	w.Bool(len(cred) > 0)
+	w.BytesField(cred)
+	return w.Detach()
+}
+
+func encodeEpoch(epoch uint64) []byte {
+	w := newRecWriter(recEpoch, 12)
+	w.Uvarint(epoch)
+	return w.Detach()
+}
+
+func encodeApplied(source string, index uint64) []byte {
+	w := newRecWriter(recApplied, 12+len(source))
+	w.String(source)
+	w.Uvarint(index)
+	return w.Detach()
+}
+
+func newRecWriter(typ byte, capacity int) *wire.Writer {
+	w := wire.NewWriter(capacity + 2)
+	w.Byte(recVersion)
+	w.Byte(typ)
+	return w
+}
+
+func decodeRecord(b []byte) (*record, error) {
+	r := wire.NewReader(b)
+	if len(b) < 2 {
+		return nil, errors.New("bdn: short wal record")
+	}
+	if v := r.Byte(); v != recVersion {
+		return nil, fmt.Errorf("bdn: wal record version %d", v)
+	}
+	rec := &record{typ: r.Byte()}
+	switch rec.typ {
+	case recUpsert:
+		rec.adPayload = r.BytesField()
+		rec.hasDeadline = r.Bool()
+		rec.remaining = r.Duration()
+	case recDelete:
+		rec.logical = r.String()
+		rec.reason = r.String()
+	case recCredential:
+		rec.credSet = r.Bool()
+		rec.cred = r.BytesField()
+	case recEpoch:
+		rec.epoch = r.Uvarint()
+	case recApplied:
+		rec.source = r.String()
+		rec.index = r.Uvarint()
+	default:
+		return nil, fmt.Errorf("bdn: unknown wal record type %d", rec.typ)
+	}
+	if err := r.Finish(); err != nil {
+		return nil, err
+	}
+	return rec, nil
+}
+
+// persistState is the decoded snapshot body.
+//
+// Snapshot schema (wire-encoded, wrapped in wal's CRC envelope):
+//
+//	Byte(stateVersion)
+//	Varint(monotonic base, ns)  — local-clock reading the remainders were
+//	                              computed against; journal/debug only
+//	Time(wall)                  — NTP wall time at capture; journal/debug only
+//	Uvarint(epoch)
+//	Bool(credSet) BytesField(credential)
+//	Uvarint(#applied) { String(source) Uvarint(index) }
+//	Uvarint(#ads) { BytesField(ad) Bool(hasDeadline) Duration(remaining)
+//	                Duration(distance) }
+const stateVersion byte = 1
+
+type stateAd struct {
+	payload     []byte
+	hasDeadline bool
+	remaining   time.Duration
+	distance    time.Duration
+}
+
+type persistState struct {
+	monoBase time.Time
+	wall     time.Time
+	epoch    uint64
+	credSet  bool
+	cred     []byte
+	applied  map[string]uint64
+	ads      []stateAd
+}
+
+func encodeState(s *persistState) []byte {
+	w := wire.NewWriter(256)
+	w.Byte(stateVersion)
+	w.Varint(s.monoBase.UnixNano())
+	w.Time(s.wall)
+	w.Uvarint(s.epoch)
+	w.Bool(s.credSet)
+	w.BytesField(s.cred)
+	w.Uvarint(uint64(len(s.applied)))
+	for src, idx := range s.applied {
+		w.String(src)
+		w.Uvarint(idx)
+	}
+	w.Uvarint(uint64(len(s.ads)))
+	for _, ad := range s.ads {
+		w.BytesField(ad.payload)
+		w.Bool(ad.hasDeadline)
+		w.Duration(ad.remaining)
+		w.Duration(ad.distance)
+	}
+	return w.Detach()
+}
+
+func decodeState(b []byte) (*persistState, error) {
+	r := wire.NewReader(b)
+	if len(b) < 1 {
+		return nil, errors.New("bdn: empty snapshot state")
+	}
+	if v := r.Byte(); v != stateVersion {
+		return nil, fmt.Errorf("bdn: snapshot state version %d", v)
+	}
+	s := &persistState{}
+	s.monoBase = time.Unix(0, r.Varint())
+	s.wall = r.Time()
+	s.epoch = r.Uvarint()
+	s.credSet = r.Bool()
+	s.cred = r.BytesField()
+	nApplied := r.Uvarint()
+	if nApplied > 1<<16 {
+		return nil, errors.New("bdn: snapshot applied table too large")
+	}
+	s.applied = make(map[string]uint64, nApplied)
+	for i := uint64(0); i < nApplied; i++ {
+		src := r.String()
+		s.applied[src] = r.Uvarint()
+	}
+	nAds := r.Uvarint()
+	if nAds > 1<<24 {
+		return nil, errors.New("bdn: snapshot ad table too large")
+	}
+	if err := r.Err(); err != nil {
+		return nil, err
+	}
+	s.ads = make([]stateAd, 0, nAds)
+	for i := uint64(0); i < nAds; i++ {
+		ad := stateAd{
+			payload:     r.BytesField(),
+			hasDeadline: r.Bool(),
+			remaining:   r.Duration(),
+			distance:    r.Duration(),
+		}
+		if r.Err() != nil {
+			break
+		}
+		s.ads = append(s.ads, ad)
+	}
+	if err := r.Finish(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// persistence holds the open WAL and compaction bookkeeping. All fields are
+// guarded by the owning BDN's mutex except the log, which is internally
+// synchronized.
+type persistence struct {
+	log       *wal.Log
+	dir       string
+	every     uint64 // records between snapshots
+	sinceSnap uint64
+	snapCh    chan struct{} // signals the snapshot loop; buffered(1)
+}
+
+// initPersistence opens the WAL in cfg.DataDir and rebuilds the table from
+// the latest snapshot plus the log suffix. Called from Start, before the
+// listeners come up, so no mutation can race recovery.
+func (d *BDN) initPersistence() error {
+	if d.cfg.DataDir == "" {
+		return nil
+	}
+	every := uint64(d.cfg.SnapshotEvery)
+	if every == 0 {
+		every = 1024
+	}
+	log, recovered, truncated, err := wal.Open(wal.Options{
+		Dir:  d.cfg.DataDir,
+		Sync: d.cfg.Fsync,
+	})
+	if err != nil {
+		return fmt.Errorf("bdn %s: wal: %w", d.cfg.Name, err)
+	}
+	d.persist = &persistence{
+		log:    log,
+		dir:    d.cfg.DataDir,
+		every:  every,
+		snapCh: make(chan struct{}, 1),
+	}
+
+	now := d.node.Clock().Now()
+	snapIdx := uint64(0)
+	if idx, state, err := wal.LoadSnapshot(d.cfg.DataDir); err == nil {
+		st, derr := decodeState(state)
+		if derr != nil {
+			d.cfg.Logger.Warn("snapshot undecodable, replaying full wal", "err", derr)
+		} else {
+			d.mu.Lock()
+			d.installStateLocked(st, now)
+			d.mu.Unlock()
+			snapIdx = idx
+		}
+	} else if err != wal.ErrNoSnapshot {
+		log.Close()
+		return fmt.Errorf("bdn %s: snapshot: %w", d.cfg.Name, err)
+	}
+
+	replayed := 0
+	err = log.Replay(snapIdx+1, func(_ uint64, payload []byte) error {
+		rec, derr := decodeRecord(payload)
+		if derr != nil {
+			// A record we wrote but can no longer parse is a bug, not a disk
+			// fault (the CRC already passed); skip it rather than refuse to
+			// start.
+			d.cfg.Logger.Warn("skipping undecodable wal record", "err", derr)
+			return nil
+		}
+		d.mu.Lock()
+		d.applyRecordLocked(rec, now, false)
+		d.mu.Unlock()
+		replayed++
+		return nil
+	})
+	if err == wal.ErrNotFound {
+		err = nil // snapshot covers more than the log retains
+	}
+	if err != nil {
+		log.Close()
+		return fmt.Errorf("bdn %s: wal replay: %w", d.cfg.Name, err)
+	}
+	d.mu.Lock()
+	n := len(d.brokers)
+	d.mu.Unlock()
+	d.tel.walReplayed.Add(uint64(replayed))
+	d.cfg.Logger.Info("registry recovered",
+		"snapshot", snapIdx, "wal_records", recovered, "replayed", replayed,
+		"brokers", n, "truncated", truncated)
+	d.cfg.Journal.Emit(obs.EventWALReplay, d.cfg.Name,
+		fmt.Sprintf("snapshot=%d replayed=%d brokers=%d truncated=%v",
+			snapIdx, replayed, n, truncated))
+	return nil
+}
+
+// installStateLocked replaces the table (and epoch/credential/applied maps)
+// with a decoded snapshot, rebasing every deadline to now+remaining. Live
+// registration connections for brokers present in both tables survive.
+func (d *BDN) installStateLocked(st *persistState, now time.Time) {
+	old := d.brokers
+	d.brokers = make(map[string]*registration, len(st.ads))
+	for _, sa := range st.ads {
+		ad, err := core.DecodeAdvertisement(sa.payload)
+		if err != nil {
+			continue
+		}
+		r := &registration{ad: ad, distance: sa.distance}
+		if sa.hasDeadline {
+			r.expiresAt = now.Add(sa.remaining)
+		}
+		if prev, ok := old[ad.Broker.LogicalAddress]; ok {
+			r.conn = prev.conn
+		}
+		d.brokers[ad.Broker.LogicalAddress] = r
+	}
+	if st.credSet {
+		d.credential = st.cred
+	}
+	if st.epoch > d.epoch {
+		d.epoch = st.epoch
+	}
+	for src, idx := range st.applied {
+		if idx > d.applied[src] {
+			d.applied[src] = idx
+		}
+	}
+}
+
+// applyRecordLocked applies one decoded record to the in-memory table.
+// During recovery (replicate=false) nothing is re-appended; when a standby
+// applies a replicated record (replicate=true) the caller is responsible
+// for appending it to the local WAL.
+func (d *BDN) applyRecordLocked(rec *record, now time.Time, journal bool) {
+	switch rec.typ {
+	case recUpsert:
+		ad, err := core.DecodeAdvertisement(rec.adPayload)
+		if err != nil {
+			return
+		}
+		r, ok := d.brokers[ad.Broker.LogicalAddress]
+		if !ok {
+			r = &registration{}
+			d.brokers[ad.Broker.LogicalAddress] = r
+			if journal {
+				d.cfg.Journal.Emit(obs.EventAdRegistered, ad.Broker.LogicalAddress,
+					fmt.Sprintf("realm=%s replicated", ad.Broker.Realm))
+			}
+		}
+		r.ad = ad
+		if rec.hasDeadline {
+			r.expiresAt = now.Add(rec.remaining)
+		} else {
+			r.expiresAt = time.Time{}
+		}
+	case recDelete:
+		if _, ok := d.brokers[rec.logical]; ok {
+			delete(d.brokers, rec.logical)
+			if journal {
+				d.cfg.Journal.Emit(obs.EventAdExpired, rec.logical, rec.reason)
+			}
+		}
+	case recCredential:
+		if rec.credSet {
+			d.credential = rec.cred
+		} else {
+			d.credential = nil
+		}
+	case recEpoch:
+		if rec.epoch > d.epoch {
+			d.epoch = rec.epoch
+		}
+	case recApplied:
+		if rec.index > d.applied[rec.source] {
+			d.applied[rec.source] = rec.index
+		}
+	}
+}
+
+// appendRecordLocked appends one record to the WAL (no-op when the BDN is
+// not durable) and schedules a snapshot when enough records accumulated.
+// Must be called with d.mu held so WAL order matches table order.
+func (d *BDN) appendRecordLocked(payload []byte) {
+	p := d.persist
+	if p == nil {
+		return
+	}
+	if _, err := p.log.Append(payload); err != nil {
+		d.tel.walErrors.Inc()
+		d.cfg.Logger.Error("wal append failed", "err", err)
+		return
+	}
+	d.tel.walAppends.Inc()
+	p.sinceSnap++
+	if p.sinceSnap >= p.every {
+		p.sinceSnap = 0
+		select {
+		case p.snapCh <- struct{}{}:
+		default:
+		}
+	}
+}
+
+// buildStateLocked captures the full table as a snapshot body. Must be
+// called with d.mu held; returns the WAL index the state covers.
+func (d *BDN) buildStateLocked() (state []byte, index uint64) {
+	now := d.node.Clock().Now()
+	st := &persistState{
+		monoBase: now,
+		wall:     d.now(),
+		epoch:    d.epoch,
+		credSet:  len(d.credential) > 0,
+		cred:     d.credential,
+		applied:  make(map[string]uint64, len(d.applied)),
+		ads:      make([]stateAd, 0, len(d.brokers)),
+	}
+	for src, idx := range d.applied {
+		st.applied[src] = idx
+	}
+	for _, r := range d.brokers {
+		if r.expired(now) {
+			continue
+		}
+		sa := stateAd{
+			payload:  core.EncodeAdvertisement(r.ad),
+			distance: r.distance,
+		}
+		if !r.expiresAt.IsZero() {
+			sa.hasDeadline = true
+			sa.remaining = r.expiresAt.Sub(now)
+		}
+		st.ads = append(st.ads, sa)
+	}
+	index = uint64(0)
+	if d.persist != nil {
+		index = d.persist.log.LastIndex()
+	}
+	return encodeState(st), index
+}
+
+// snapshotLoop persists a snapshot each time enough WAL records accumulate,
+// then prunes the covered segments.
+func (d *BDN) snapshotLoop() {
+	defer d.wg.Done()
+	d.mu.Lock()
+	p := d.persist
+	d.mu.Unlock()
+	for {
+		select {
+		case <-d.closed:
+			return
+		case <-p.snapCh:
+		}
+		if err := d.SnapshotNow(); err != nil {
+			d.cfg.Logger.Error("snapshot failed", "err", err)
+		}
+	}
+}
+
+// SnapshotNow captures the table, persists it as the latest snapshot, and
+// prunes WAL segments it covers. No-op for non-durable BDNs.
+func (d *BDN) SnapshotNow() error {
+	d.mu.Lock()
+	p := d.persist
+	if p == nil {
+		d.mu.Unlock()
+		return nil
+	}
+	state, index := d.buildStateLocked()
+	d.mu.Unlock()
+	if index == 0 {
+		return nil
+	}
+	if err := wal.SaveSnapshot(p.dir, index, state); err != nil {
+		d.tel.walErrors.Inc()
+		return err
+	}
+	if err := p.log.TruncateFront(index + 1); err != nil {
+		return err
+	}
+	d.tel.walSnapshots.Inc()
+	d.cfg.Journal.Emit(obs.EventWALSnapshot, d.cfg.Name,
+		fmt.Sprintf("index=%d bytes=%d", index, len(state)))
+	return nil
+}
+
+// Durable reports whether the BDN persists its registry.
+func (d *BDN) Durable() bool { return d.cfg.DataDir != "" }
+
+func (d *BDN) persistence() *persistence {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.persist
+}
+
+// WALRange returns the retained WAL index range (0,0 when empty or not
+// durable). Used by the replication layer.
+func (d *BDN) WALRange() (first, last uint64) {
+	p := d.persistence()
+	if p == nil {
+		return 0, 0
+	}
+	return p.log.FirstIndex(), p.log.LastIndex()
+}
+
+// WALNotify returns a channel closed at the next WAL append, or nil when
+// not durable. Used by the replication layer to tail the log.
+func (d *BDN) WALNotify() <-chan struct{} {
+	p := d.persistence()
+	if p == nil {
+		return nil
+	}
+	return p.log.Notify()
+}
+
+// ReadRecords returns up to max WAL record payloads starting at index from.
+// It returns wal.ErrNotFound when from has been compacted away (the caller
+// should fall back to ReplicaSnapshot).
+func (d *BDN) ReadRecords(from uint64, max int) ([][]byte, error) {
+	p := d.persistence()
+	if p == nil {
+		return nil, errors.New("bdn: not durable")
+	}
+	var out [][]byte
+	err := p.log.Replay(from, func(_ uint64, payload []byte) error {
+		out = append(out, append([]byte(nil), payload...))
+		if len(out) >= max {
+			return errEnough
+		}
+		return nil
+	})
+	if err == errEnough {
+		err = nil
+	}
+	return out, err
+}
+
+var errEnough = errors.New("bdn: enough records")
+
+// Epoch returns the highest election epoch this node has persisted.
+func (d *BDN) Epoch() uint64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.epoch
+}
+
+// SetEpoch durably records a new election epoch (monotonic; lower values
+// are ignored).
+func (d *BDN) SetEpoch(epoch uint64) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if epoch <= d.epoch {
+		return
+	}
+	d.epoch = epoch
+	d.appendRecordLocked(encodeEpoch(epoch))
+}
+
+// Credential returns the credential private discovery requests must carry.
+func (d *BDN) Credential() []byte {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.credential
+}
+
+// SetRequiredCredential durably replaces the private-BDN credential.
+func (d *BDN) SetRequiredCredential(cred []byte) {
+	var hook func([]byte)
+	rec := encodeCredential(cred)
+	d.mu.Lock()
+	d.credential = append([]byte(nil), cred...)
+	d.appendRecordLocked(rec)
+	hook = d.mutHook
+	d.mu.Unlock()
+	if hook != nil {
+		hook(rec)
+	}
+}
+
+// AppliedIndex returns how far into source's WAL this node has applied.
+func (d *BDN) AppliedIndex(source string) uint64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.applied[source]
+}
+
+// ApplyReplicated applies one record streamed from source's WAL (at the
+// given index in source's index space), records it in the local WAL, and
+// advances the applied watermark. Replicated records never re-trigger the
+// mutation hook, so forwarding cannot loop.
+func (d *BDN) ApplyReplicated(source string, index uint64, payload []byte) error {
+	rec, err := decodeRecord(payload)
+	if err != nil {
+		return err
+	}
+	now := d.node.Clock().Now()
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if index > 0 && index <= d.applied[source] {
+		return nil // duplicate delivery
+	}
+	d.applyRecordLocked(rec, now, true)
+	d.appendRecordLocked(payload)
+	if index > 0 {
+		d.applied[source] = index
+		d.appendRecordLocked(encodeApplied(source, index))
+	}
+	d.tel.walApplied.Inc()
+	return nil
+}
+
+// ReplicaSnapshot captures the full table for transfer to a far-behind
+// standby, returning the WAL index the state covers.
+func (d *BDN) ReplicaSnapshot() (index uint64, state []byte) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	state, index = d.buildStateLocked()
+	return index, state
+}
+
+// InstallReplicaState replaces the table with a snapshot streamed from
+// source (covering source's WAL through index), then persists a local
+// snapshot immediately so the installed state survives a crash.
+func (d *BDN) InstallReplicaState(source string, index uint64, state []byte) error {
+	st, err := decodeState(state)
+	if err != nil {
+		return err
+	}
+	now := d.node.Clock().Now()
+	d.mu.Lock()
+	d.installStateLocked(st, now)
+	if index > d.applied[source] {
+		d.applied[source] = index
+		d.appendRecordLocked(encodeApplied(source, index))
+	}
+	d.mu.Unlock()
+	return d.SnapshotNow()
+}
+
+// SetMutationHook registers a function invoked (outside the table lock)
+// with the encoded WAL record of every locally-originated mutation — the
+// replication layer uses it to forward direct registrations to the primary.
+// Replicated and recovered records never fire the hook.
+func (d *BDN) SetMutationHook(fn func(rec []byte)) {
+	d.mu.Lock()
+	d.mutHook = fn
+	d.mu.Unlock()
+}
+
+// closePersistence writes a final snapshot and closes the WAL.
+func (d *BDN) closePersistence() {
+	p := d.persistence()
+	if p == nil {
+		return
+	}
+	if err := d.SnapshotNow(); err != nil {
+		d.cfg.Logger.Warn("final snapshot failed", "err", err)
+	}
+	_ = p.log.Close()
+}

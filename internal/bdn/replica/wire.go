@@ -1,0 +1,188 @@
+package replica
+
+// Replication protocol messages, one per transport frame, carried over the
+// repo's wire framing on a dedicated replication listener (separate from
+// the BDN's discovery/registration endpoint):
+//
+//	[magic 0xBE][version 1][type][body...]
+//
+// hello     — session handshake, both directions: name + advertised addr.
+//	beat      — primary → all: epoch, lease duration, WAL last index.
+//	fetch     — standby → primary: stream my leader's WAL from this index.
+//	records   — primary → standby: a batch of WAL records starting at from.
+//	snapshot  — primary → standby: full-state transfer when the requested
+//	            index was compacted away.
+//	ack       — standby → primary: applied through this index.
+//	forward   — standby → primary: a locally-originated mutation record, so
+//	            registrations accepted by any member reach the whole cluster.
+//	fence     — anyone → stale primary: your epoch is behind mine.
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"narada/internal/wire"
+)
+
+const (
+	wireMagic   byte = 0xBE
+	wireVersion byte = 1
+
+	msgHello    byte = 1
+	msgBeat     byte = 2
+	msgFetch    byte = 3
+	msgRecords  byte = 4
+	msgSnapshot byte = 5
+	msgAck      byte = 6
+	msgForward  byte = 7
+	msgFence    byte = 8
+)
+
+// maxBatchRecords bounds one records message.
+const maxBatchRecords = 256
+
+type message struct {
+	typ byte
+
+	name string // hello, beat: sender identity
+	addr string // hello, beat: sender's advertised replication addr
+
+	epoch     uint64        // beat, records, snapshot, fence
+	lease     time.Duration // beat
+	lastIndex uint64        // beat: primary's WAL last index
+
+	from uint64   // fetch: first wanted; records: index of recs[0]
+	recs [][]byte // records
+
+	index uint64 // snapshot: covered WAL index; ack: applied through
+	state []byte // snapshot body
+
+	rec []byte // forward: one WAL record
+}
+
+func newMsgWriter(typ byte, capacity int) *wire.Writer {
+	w := wire.NewWriter(capacity + 3)
+	w.Byte(wireMagic)
+	w.Byte(wireVersion)
+	w.Byte(typ)
+	return w
+}
+
+func encodeHello(name, addr string) []byte {
+	w := newMsgWriter(msgHello, 8+len(name)+len(addr))
+	w.String(name)
+	w.String(addr)
+	return w.Detach()
+}
+
+func encodeBeat(name, addr string, epoch uint64, lease time.Duration, lastIndex uint64) []byte {
+	w := newMsgWriter(msgBeat, 32+len(name)+len(addr))
+	w.String(name)
+	w.String(addr)
+	w.Uvarint(epoch)
+	w.Duration(lease)
+	w.Uvarint(lastIndex)
+	return w.Detach()
+}
+
+func encodeFetch(from uint64) []byte {
+	w := newMsgWriter(msgFetch, 12)
+	w.Uvarint(from)
+	return w.Detach()
+}
+
+func encodeRecords(epoch, from uint64, recs [][]byte) []byte {
+	size := 32
+	for _, r := range recs {
+		size += 8 + len(r)
+	}
+	w := newMsgWriter(msgRecords, size)
+	w.Uvarint(epoch)
+	w.Uvarint(from)
+	w.Uvarint(uint64(len(recs)))
+	for _, r := range recs {
+		w.BytesField(r)
+	}
+	return w.Detach()
+}
+
+func encodeSnapshot(epoch, index uint64, state []byte) []byte {
+	w := newMsgWriter(msgSnapshot, 24+len(state))
+	w.Uvarint(epoch)
+	w.Uvarint(index)
+	w.BytesField(state)
+	return w.Detach()
+}
+
+func encodeAck(index uint64) []byte {
+	w := newMsgWriter(msgAck, 12)
+	w.Uvarint(index)
+	return w.Detach()
+}
+
+func encodeForward(rec []byte) []byte {
+	w := newMsgWriter(msgForward, 8+len(rec))
+	w.BytesField(rec)
+	return w.Detach()
+}
+
+func encodeFence(epoch uint64) []byte {
+	w := newMsgWriter(msgFence, 12)
+	w.Uvarint(epoch)
+	return w.Detach()
+}
+
+func decodeMessage(b []byte) (*message, error) {
+	if len(b) < 3 {
+		return nil, errors.New("replica: short frame")
+	}
+	if b[0] != wireMagic || b[1] != wireVersion {
+		return nil, fmt.Errorf("replica: bad frame header %x %x", b[0], b[1])
+	}
+	r := wire.NewReader(b[3:])
+	m := &message{typ: b[2]}
+	switch m.typ {
+	case msgHello:
+		m.name = r.String()
+		m.addr = r.String()
+	case msgBeat:
+		m.name = r.String()
+		m.addr = r.String()
+		m.epoch = r.Uvarint()
+		m.lease = r.Duration()
+		m.lastIndex = r.Uvarint()
+	case msgFetch:
+		m.from = r.Uvarint()
+	case msgRecords:
+		m.epoch = r.Uvarint()
+		m.from = r.Uvarint()
+		n := r.Uvarint()
+		if n > maxBatchRecords {
+			return nil, fmt.Errorf("replica: batch of %d records", n)
+		}
+		if err := r.Err(); err != nil {
+			return nil, err
+		}
+		m.recs = make([][]byte, 0, n)
+		for i := uint64(0); i < n; i++ {
+			m.recs = append(m.recs, r.BytesField())
+		}
+	case msgSnapshot:
+		m.epoch = r.Uvarint()
+		m.index = r.Uvarint()
+		m.state = r.BytesField()
+	case msgAck:
+		m.index = r.Uvarint()
+	case msgForward:
+		m.rec = r.BytesField()
+	case msgFence:
+		m.epoch = r.Uvarint()
+	default:
+		return nil, fmt.Errorf("replica: unknown message type %d", m.typ)
+	}
+	if err := r.Finish(); err != nil {
+		return nil, err
+	}
+	return m, nil
+}

@@ -21,6 +21,12 @@ type telemetry struct {
 
 	injects *obs.Counter // per-broker request transmissions
 
+	walAppends   *obs.Counter // records appended to the write-ahead log
+	walApplied   *obs.Counter // replicated records applied to the table
+	walSnapshots *obs.Counter // snapshots persisted (compaction points)
+	walReplayed  *obs.Counter // records replayed during recovery
+	walErrors    *obs.Counter // append/snapshot failures
+
 	tracer *obs.Tracer
 }
 
@@ -52,6 +58,19 @@ func (d *BDN) initTelemetry(reg *obs.Registry, tracer *obs.Tracer) {
 
 	t.injects = reg.Counter("narada_bdn_injections_total",
 		"Discovery-request transmissions into the broker network.", who)
+
+	const walOps = "narada_bdn_wal_records_total"
+	const walOpsHelp = "Durable-registry write-ahead log records, by operation."
+	t.walAppends = reg.Counter(walOps, walOpsHelp, who, obs.L("op", "append"))
+	t.walApplied = reg.Counter(walOps, walOpsHelp, who, obs.L("op", "apply"))
+	t.walReplayed = reg.Counter(walOps, walOpsHelp, who, obs.L("op", "replay"))
+	t.walSnapshots = reg.Counter("narada_bdn_wal_snapshots_total",
+		"Registry snapshots persisted (WAL compaction points).", who)
+	t.walErrors = reg.Counter("narada_bdn_wal_errors_total",
+		"WAL append or snapshot failures (registry durability at risk).", who)
+	reg.GaugeFunc("narada_bdn_wal_last_index",
+		"Highest write-ahead log index appended by this BDN.",
+		func() float64 { _, last := d.WALRange(); return float64(last) }, who)
 
 	reg.GaugeFunc("narada_bdn_brokers",
 		"Broker advertisements currently stored.",

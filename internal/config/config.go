@@ -18,6 +18,7 @@ import (
 	"narada/internal/metrics"
 	"narada/internal/obs"
 	"narada/internal/supervise"
+	"narada/internal/wal"
 )
 
 // Broker is a broker process configuration file.
@@ -129,6 +130,19 @@ type BDN struct {
 	// stay valid this long (0 = forever); the sweeper prunes at this cadence.
 	AdTTLMs         int `json:"adTtlMs,omitempty"`
 	SweepIntervalMs int `json:"sweepIntervalMs,omitempty"`
+	// Durability: DataDir enables the write-ahead-logged registry; every
+	// registration survives a crash and recovers with its remaining TTL.
+	DataDir string `json:"dataDir,omitempty"`
+	// Fsync is the WAL durability policy: always (default), interval, never.
+	Fsync string `json:"fsync,omitempty"`
+	// SnapshotEvery is the WAL-records-between-snapshots compaction knob.
+	SnapshotEvery int `json:"snapshotEvery,omitempty"`
+	// Replication: Peers lists the other cluster members' replication
+	// addresses; ReplicaPort binds this member's replication endpoint and
+	// LeaseMs tunes the leader lease (0 = 2s). Requires DataDir.
+	ReplicaPort int      `json:"replicaPort,omitempty"`
+	Peers       []string `json:"peers,omitempty"`
+	LeaseMs     int      `json:"leaseMs,omitempty"`
 	// Telemetry.
 	TelemetryAddr string `json:"telemetryAddr,omitempty"` // /metrics + pprof listen addr
 	ObsExportAddr string `json:"obsExportAddr,omitempty"` // obscollect UDP addr for span/metric export
@@ -148,10 +162,27 @@ func (d *BDN) Validate() error {
 	if d.Private && d.RequiredCredential == "" {
 		return fmt.Errorf("config: bdn: private BDN requires a credential")
 	}
+	if _, err := wal.ParseSyncPolicy(d.Fsync); err != nil {
+		return fmt.Errorf("config: bdn: %w", err)
+	}
+	if len(d.Peers) > 0 && d.DataDir == "" {
+		return fmt.Errorf("config: bdn: replication (peers) requires dataDir")
+	}
 	if _, err := obs.ParseLevel(d.LogLevel); err != nil {
 		return fmt.Errorf("config: bdn: %w", err)
 	}
 	return nil
+}
+
+// SyncPolicy returns the parsed WAL durability policy.
+func (d *BDN) SyncPolicy() wal.SyncPolicy {
+	p, _ := wal.ParseSyncPolicy(d.Fsync)
+	return p
+}
+
+// Lease returns the replication leader-lease duration (0 = package default).
+func (d *BDN) Lease() time.Duration {
+	return time.Duration(d.LeaseMs) * time.Millisecond
 }
 
 // InjectOverhead returns the configured per-injection cost.

@@ -24,6 +24,10 @@ const (
 	EventFaultInjected    = "fault_injected"
 	EventNodeStart        = "node_start"
 	EventNodeStop         = "node_stop"
+	EventWALSnapshot      = "wal_snapshot"
+	EventWALReplay        = "wal_replay"
+	EventReplicaPromoted  = "replica_promoted"
+	EventReplicaDemoted   = "replica_demoted"
 )
 
 // Event is one journal entry. The node identity is carried at the transport

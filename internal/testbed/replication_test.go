@@ -1,0 +1,168 @@
+package testbed
+
+import (
+	"testing"
+	"time"
+
+	"narada/internal/broker"
+	"narada/internal/core"
+	"narada/internal/simnet"
+	"narada/internal/supervise"
+	"narada/internal/topology"
+)
+
+// TestReplicatedBDNFailover is the headline durability scenario: a 3-node
+// replicated BDN cluster loses its primary to a hard kill, a standby
+// promotes, discovery keeps answering — and not one broker re-registers,
+// because the survivors already hold the full replicated table. The brokers
+// run WITH supervision, so re-registration would happen if it were needed;
+// Successes() == 0 proves it never was.
+func TestReplicatedBDNFailover(t *testing.T) {
+	tb, err := New(Options{
+		Seed:       42,
+		Topology:   topology.Unconnected,
+		BDNCount:   3,
+		BDNDataDir: t.TempDir(),
+		Replicate:  true,
+		Supervise:  &supervise.Policy{BaseBackoff: 200 * time.Millisecond, MaxBackoff: 2 * time.Second},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tb.Close()
+
+	p := tb.WaitPrimaryBDN(60 * time.Second)
+	if p == nil {
+		t.Fatal("no primary elected")
+	}
+	if err := tb.WaitConverged(ConvergeOptions{Timeout: 30 * time.Second}); err != nil {
+		t.Fatalf("pre-kill convergence: %v", err)
+	}
+
+	// Remember every surviving BDN's registration address before the kill.
+	survivors := make(map[string]string) // name -> addr
+	for _, d := range tb.BDNs {
+		if d.Name() != p.Name() {
+			survivors[d.Name()] = d.Addr()
+		}
+	}
+
+	if !tb.KillBDN(p.Name()) {
+		t.Fatalf("KillBDN(%s) found nothing to kill", p.Name())
+	}
+
+	np := tb.WaitPrimaryBDN(120 * time.Second)
+	if np == nil {
+		t.Fatal("no standby promoted after primary kill")
+	}
+	if np.Name() == p.Name() {
+		t.Fatalf("dead primary %s still primary", p.Name())
+	}
+	if got, want := np.BrokerCount(), len(tb.Brokers); got != want {
+		t.Fatalf("promoted primary holds %d registrations, want %d", got, want)
+	}
+	if err := tb.WaitConverged(ConvergeOptions{Timeout: 30 * time.Second}); err != nil {
+		t.Fatalf("post-failover convergence: %v", err)
+	}
+
+	// Discovery still answers via the surviving cluster.
+	d := tb.NewDiscoverer(simnet.SiteBloomington, "client-after-failover", discoveryConfig())
+	res, err := d.Discover()
+	if err != nil {
+		t.Fatalf("discovery after failover: %v", err)
+	}
+	if res.Via != core.ViaBDN {
+		t.Fatalf("Via = %s, want bdn", res.Via)
+	}
+	if len(res.Responses) == 0 {
+		t.Fatal("no broker responses after failover")
+	}
+
+	// The whole point of replication: ZERO broker re-registrations. Each
+	// broker keeps a supervised registration link per BDN; a Successes()
+	// increment means the supervisor had to re-dial (and re-advertise)
+	// after losing the session. The surviving BDNs never dropped theirs.
+	for _, b := range tb.Brokers {
+		for name, addr := range survivors {
+			r := b.Supervisor(broker.SuperviseBDN, addr)
+			if r == nil {
+				t.Fatalf("%s has no registration supervisor for %s", b.LogicalAddress(), name)
+			}
+			if n := r.Successes(); n != 0 {
+				t.Errorf("%s re-registered with %s %d times, want 0", b.LogicalAddress(), name, n)
+			}
+		}
+	}
+}
+
+// TestBDNRestartRecoversFromWAL kills a single durable BDN and restarts it:
+// the registration table must come back from WAL + snapshot alone — the
+// brokers have no supervision and no advertisement refresh, so nothing can
+// repopulate it over the network — and the recovered registrations must keep
+// their original TTL deadlines (still valid right after restart, still
+// swept once the original validity window lapses).
+func TestBDNRestartRecoversFromWAL(t *testing.T) {
+	tb, err := New(Options{
+		Seed:       7,
+		Topology:   topology.Unconnected,
+		BDNDataDir: t.TempDir(),
+		AdTTL:      5 * time.Minute,
+		Brokers: []BrokerSpec{
+			{Site: simnet.SiteFSU, Name: "broker-fsu", Register: true},
+			{Site: simnet.SiteCardiff, Name: "broker-cardiff", Register: true},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tb.Close()
+
+	if err := tb.WaitConverged(ConvergeOptions{Timeout: 10 * time.Second}); err != nil {
+		t.Fatal(err)
+	}
+	name := tb.BDN.Name()
+	if got := tb.BDN.BrokerCount(); got != 2 {
+		t.Fatalf("pre-kill BrokerCount = %d, want 2", got)
+	}
+
+	if !tb.KillBDN(name) {
+		t.Fatalf("KillBDN(%s) found nothing to kill", name)
+	}
+	if err := tb.RestartBDN(name); err != nil {
+		t.Fatalf("RestartBDN: %v", err)
+	}
+	d := tb.BDNByName(name)
+	if d == nil {
+		t.Fatal("restarted BDN not deployed")
+	}
+
+	// Immediately after restart the full table is back — recovered from the
+	// WAL, not re-learned: these brokers cannot re-register.
+	if got := d.BrokerCount(); got != 2 {
+		t.Fatalf("post-restart BrokerCount = %d, want 2 (WAL recovery)", got)
+	}
+
+	// And discovery answers from the recovered table.
+	disc := tb.NewDiscoverer(simnet.SiteBloomington, "client-after-restart", discoveryConfig())
+	res, err := disc.Discover()
+	if err != nil {
+		t.Fatalf("discovery after restart: %v", err)
+	}
+	if res.BDN != name {
+		t.Fatalf("answered by %q, want %q", res.BDN, name)
+	}
+	if len(res.Responses) != 2 {
+		t.Fatalf("responses = %d, want 2", len(res.Responses))
+	}
+
+	// TTLs survived intact: the deadlines are the ORIGINAL ones, so once the
+	// 5-minute validity window lapses the sweeper drops both registrations.
+	tb.Net.Clock().Sleep(6 * time.Minute)
+	deadline := tb.Net.Clock().Now().Add(30 * time.Second)
+	for d.BrokerCount() != 0 {
+		if tb.Net.Clock().Now().After(deadline) {
+			t.Fatalf("recovered registrations never expired: BrokerCount = %d", d.BrokerCount())
+		}
+		tb.Net.Clock().Sleep(250 * time.Millisecond)
+	}
+}

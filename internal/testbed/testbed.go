@@ -7,10 +7,12 @@ package testbed
 import (
 	"fmt"
 	"math/rand"
+	"path/filepath"
 	"sync/atomic"
 	"time"
 
 	"narada/internal/bdn"
+	"narada/internal/bdn/replica"
 	"narada/internal/broker"
 	"narada/internal/core"
 	"narada/internal/metrics"
@@ -20,6 +22,7 @@ import (
 	"narada/internal/supervise"
 	"narada/internal/topology"
 	"narada/internal/transport"
+	"narada/internal/wal"
 )
 
 // MulticastGroup is the discovery multicast group used across the testbed.
@@ -97,6 +100,20 @@ type Options struct {
 	AdTTL time.Duration
 	// SweepInterval is the BDNs' expired-registration sweep period.
 	SweepInterval time.Duration
+	// BDNDataDir, when set, makes every deployed BDN durable: each gets a
+	// WAL + snapshot directory under this base (per-BDN subdirectory), so
+	// a RestartBDN recovers the registration table instead of starting
+	// empty. Fsync is disabled — a real fsync's wall-clock cost becomes
+	// whole seconds of accelerated model time.
+	BDNDataDir string
+	// Replicate wires the deployed BDNs into a primary/standby cluster:
+	// each runs a replication agent streaming the primary's WAL, with
+	// lease-based failover. Requires BDNDataDir and BDNCount > 1.
+	Replicate bool
+	// Lease is the replication leader lease (default 4s of model time —
+	// generous, because the simulation clock leaps while goroutines do
+	// real work).
+	Lease time.Duration
 	// MaxSkew bounds each node's hardware clock error (default 20 ms).
 	MaxSkew time.Duration
 	// Metrics, when set, is shared by every deployed broker, BDN and
@@ -172,10 +189,13 @@ func PaperBrokers() []BrokerSpec {
 // Testbed is a deployed discovery environment.
 type Testbed struct {
 	Net     *simnet.Network
-	BDN     *bdn.BDN   // the primary BDN (nil with NoBDN)
-	BDNs    []*bdn.BDN // all deployed BDNs, primary first
+	BDN     *bdn.BDN   // the first deployed BDN (nil with NoBDN)
+	BDNs    []*bdn.BDN // all deployed BDNs, first-deployed first
 	Brokers []*broker.Broker
 	Edges   []topology.Edge
+
+	// replicas maps BDN name to its replication agent (Options.Replicate).
+	replicas map[string]*replica.Replica
 
 	opts      Options
 	rng       *rand.Rand
@@ -211,6 +231,10 @@ type bdnDeployment struct {
 	ntp                 *ntptime.Service
 	cfg                 bdn.Config
 	streamPort, udpPort int
+	// Replication wiring, recorded at first Start so a restarted member
+	// rebinds the same replication port and redials the same peers.
+	replicaPort  int
+	replicaPeers []string
 }
 
 // New builds and starts a testbed.
@@ -230,6 +254,10 @@ func New(opts Options) (*Testbed, error) {
 		exporters:  make(map[string]*obs.Exporter),
 		brokerDeps: make(map[string]*brokerDeployment),
 		bdnDeps:    make(map[string]*bdnDeployment),
+		replicas:   make(map[string]*replica.Replica),
+	}
+	if opts.Replicate && opts.BDNDataDir == "" {
+		return nil, fmt.Errorf("testbed: Replicate requires BDNDataDir")
 	}
 
 	if opts.ExportAddr != "" {
@@ -279,6 +307,10 @@ func New(opts Options) (*Testbed, error) {
 				Tracer:         tracer,
 				Journal:        journal,
 			}
+			if opts.BDNDataDir != "" {
+				dcfg.DataDir = filepath.Join(opts.BDNDataDir, name)
+				dcfg.Fsync = wal.SyncNever
+			}
 			d, err := bdn.New(node, ntp, dcfg)
 			if err != nil {
 				tb.Close()
@@ -292,6 +324,15 @@ func New(opts Options) (*Testbed, error) {
 			tb.recordBDN(name, node, ntp, dcfg, d)
 		}
 		tb.BDN = tb.BDNs[0]
+
+		// Replication: bind every member's replication listener first, then
+		// start them with the full peer mesh.
+		if opts.Replicate {
+			if err := tb.startReplicas(); err != nil {
+				tb.Close()
+				return nil, err
+			}
+		}
 	}
 
 	// Brokers.
@@ -626,6 +667,95 @@ func (tb *Testbed) RestartBroker(name string) error {
 	return nil
 }
 
+// startReplicas wires the deployed BDNs into a replicated cluster: every
+// member gets a replication agent; listeners all bind before any member
+// starts dialing, so the mesh forms regardless of deployment order.
+func (tb *Testbed) startReplicas() error {
+	lease := tb.opts.Lease
+	if lease <= 0 {
+		// Generous default: the model clock leaps while goroutines do real
+		// work (WAL writes), and a tight lease would churn elections.
+		lease = 4 * time.Second
+	}
+	reps := make([]*replica.Replica, 0, len(tb.BDNs))
+	for _, d := range tb.BDNs {
+		dep := tb.bdnDeps[d.Name()]
+		r, err := replica.New(replica.Config{
+			Name:    d.Name(),
+			Node:    dep.node,
+			Store:   d,
+			Lease:   lease,
+			Metrics: dep.cfg.Metrics,
+			Journal: dep.cfg.Journal,
+		})
+		if err != nil {
+			return fmt.Errorf("testbed: replica %s: %w", d.Name(), err)
+		}
+		tb.replicas[d.Name()] = r
+		reps = append(reps, r)
+	}
+	for i, r := range reps {
+		name := tb.BDNs[i].Name()
+		dep := tb.bdnDeps[name]
+		peers := make([]string, 0, len(reps)-1)
+		for j, p := range reps {
+			if j != i {
+				peers = append(peers, p.Addr())
+			}
+		}
+		dep.replicaPeers = peers
+		if a, err := transport.ParseSimAddr(r.Addr()); err == nil {
+			dep.replicaPort = a.Port
+		}
+		if err := r.Start(peers); err != nil {
+			return fmt.Errorf("testbed: replica %s: %w", name, err)
+		}
+	}
+	return nil
+}
+
+// Replica returns the named BDN's replication agent (nil unless the testbed
+// was deployed with Options.Replicate).
+func (tb *Testbed) Replica(name string) *replica.Replica {
+	return tb.replicas[name]
+}
+
+// PrimaryBDN returns the BDN whose replication agent currently holds the
+// leader lease, or nil when no member is primary (mid-election, or the
+// testbed is not replicated).
+func (tb *Testbed) PrimaryBDN() *bdn.BDN {
+	for name, r := range tb.replicas {
+		if r.IsPrimary() {
+			return tb.BDNByName(name)
+		}
+	}
+	return nil
+}
+
+// WaitPrimaryBDN polls until exactly one live replicated member is primary,
+// returning it, or nil when the budget runs out.
+func (tb *Testbed) WaitPrimaryBDN(within time.Duration) *bdn.BDN {
+	clock := tb.Net.Clock()
+	deadline := clock.Now().Add(within)
+	for clock.Now().Before(deadline) {
+		var got *bdn.BDN
+		dual := false
+		for name, r := range tb.replicas {
+			if r.IsPrimary() && tb.BDNByName(name) != nil {
+				if got != nil {
+					dual = true
+				}
+				got = tb.BDNByName(name)
+			}
+		}
+		if got != nil && !dual {
+			return got
+		}
+		clock.Sleep(100 * time.Millisecond)
+	}
+	return nil
+}
+
 // BDNByName returns the deployed BDN with the given name, or nil.
 func (tb *Testbed) BDNByName(name string) *bdn.BDN {
 	for _, d := range tb.BDNs {
@@ -644,6 +774,10 @@ func (tb *Testbed) KillBDN(name string) bool {
 		if d.Name() != name {
 			continue
 		}
+		if r, ok := tb.replicas[name]; ok {
+			r.Close()
+			delete(tb.replicas, name)
+		}
 		d.Close()
 		tb.BDNs = append(tb.BDNs[:i], tb.BDNs[i+1:]...)
 		if e, ok := tb.exporters[name]; ok {
@@ -661,9 +795,12 @@ func (tb *Testbed) KillBDN(name string) bool {
 }
 
 // RestartBDN brings a previously killed BDN back on the SAME node with the
-// SAME ports. It comes back empty: registrations repopulate from the brokers'
-// own supervision (re-registration on reconnect) and periodic advertisement
-// refresh — the recovery path under test.
+// SAME ports. Without a data dir it comes back empty and registrations
+// repopulate from the brokers' own supervision (re-registration on
+// reconnect) and periodic advertisement refresh; with BDNDataDir it
+// recovers the full table from its snapshot + WAL first. A replicated
+// member also restarts its replication agent on the old replication port,
+// rejoining the cluster as a standby of whoever got promoted meanwhile.
 func (tb *Testbed) RestartBDN(name string) error {
 	dep, ok := tb.bdnDeps[name]
 	if !ok {
@@ -688,6 +825,29 @@ func (tb *Testbed) RestartBDN(name string) error {
 	}
 	tb.BDNs = append(tb.BDNs, d)
 	tb.BDN = tb.BDNs[0]
+	if tb.opts.Replicate {
+		lease := tb.opts.Lease
+		if lease <= 0 {
+			lease = 4 * time.Second
+		}
+		r, err := replica.New(replica.Config{
+			Name:       name,
+			Node:       dep.node,
+			Store:      d,
+			ListenPort: dep.replicaPort,
+			Peers:      dep.replicaPeers,
+			Lease:      lease,
+			Metrics:    cfg.Metrics,
+			Journal:    cfg.Journal,
+		})
+		if err != nil {
+			return fmt.Errorf("testbed: restarting replica %s: %w", name, err)
+		}
+		if err := r.Start(nil); err != nil {
+			return fmt.Errorf("testbed: restarting replica %s: %w", name, err)
+		}
+		tb.replicas[name] = r
+	}
 	return nil
 }
 
@@ -696,6 +856,9 @@ func (tb *Testbed) RestartBDN(name string) error {
 func (tb *Testbed) Close() {
 	for _, b := range tb.Brokers {
 		b.Close()
+	}
+	for _, r := range tb.replicas {
+		r.Close()
 	}
 	for _, d := range tb.BDNs {
 		d.Close()

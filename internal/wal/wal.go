@@ -1,0 +1,604 @@
+// Package wal implements a dependency-free segmented write-ahead log.
+//
+// Records are opaque byte payloads framed as
+//
+//	[length uint32 LE][crc32(IEEE) uint32 LE][payload]
+//
+// and assigned monotonically increasing indexes starting at 1. The log is a
+// directory of segment files named seg-<first index, 20 digits>.wal; a new
+// segment is cut when the active one exceeds Options.SegmentBytes. Recovery
+// scans every segment and truncates at the first corrupt record: a torn tail
+// (partial length/CRC/payload from a crash mid-write) is discarded, a
+// mid-segment corruption drops everything from that point on, including any
+// later segments, so the surviving prefix is always exactly the records that
+// were fully written in order.
+//
+// Durability is controlled by Options.Sync: SyncAlways fsyncs after every
+// append, SyncInterval batches fsyncs on a timer, SyncNever leaves flushing
+// to the OS. Compaction is snapshot-then-prune: callers persist a snapshot
+// (see snapshot.go) at some index and then TruncateFront drops whole
+// segments that the snapshot covers.
+package wal
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// SyncPolicy says when appended records are fsynced to stable storage.
+type SyncPolicy int
+
+const (
+	// SyncAlways fsyncs the active segment after every Append.
+	SyncAlways SyncPolicy = iota
+	// SyncInterval fsyncs on a background timer (Options.SyncEvery).
+	SyncInterval
+	// SyncNever never fsyncs explicitly; the OS decides.
+	SyncNever
+)
+
+// ParseSyncPolicy maps the -fsync flag spelling to a policy.
+func ParseSyncPolicy(s string) (SyncPolicy, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "", "always":
+		return SyncAlways, nil
+	case "interval":
+		return SyncInterval, nil
+	case "never":
+		return SyncNever, nil
+	}
+	return SyncAlways, fmt.Errorf("wal: unknown fsync policy %q (want always|interval|never)", s)
+}
+
+func (p SyncPolicy) String() string {
+	switch p {
+	case SyncAlways:
+		return "always"
+	case SyncInterval:
+		return "interval"
+	case SyncNever:
+		return "never"
+	}
+	return "unknown"
+}
+
+// Options configures a Log.
+type Options struct {
+	// Dir is the directory holding segment files. Created if absent.
+	Dir string
+	// SegmentBytes is the rotation threshold for the active segment.
+	// Default 1 MiB.
+	SegmentBytes int64
+	// Sync is the fsync policy. Default SyncAlways.
+	Sync SyncPolicy
+	// SyncEvery is the flush period under SyncInterval. Default 50ms.
+	SyncEvery time.Duration
+}
+
+const (
+	recHeaderLen       = 8 // uint32 length + uint32 crc
+	defaultSegmentSize = 1 << 20
+	maxRecordLen       = 1 << 26 // 64 MiB sanity bound; larger lengths are corruption
+	segPrefix          = "seg-"
+	segSuffix          = ".wal"
+)
+
+// ErrClosed is returned by operations on a closed log.
+var ErrClosed = errors.New("wal: closed")
+
+// ErrNotFound is returned by Replay when the requested start index has been
+// compacted away.
+var ErrNotFound = errors.New("wal: index compacted")
+
+type segment struct {
+	path  string
+	first uint64 // index of the first record in this segment
+	count uint64 // number of records
+}
+
+// Log is a segmented append-only record log. All methods are safe for
+// concurrent use.
+type Log struct {
+	opts Options
+
+	mu       sync.Mutex
+	segs     []*segment // closed segments plus the active one (last)
+	active   *os.File   // file handle for segs[len(segs)-1]
+	size     int64      // byte size of the active segment
+	first    uint64     // first retained index (0 when empty)
+	last     uint64     // last appended index (0 when empty)
+	dirty    bool       // appended since last fsync
+	closed   bool
+	notifyCh chan struct{} // closed and replaced on every append
+
+	syncStop chan struct{}
+	syncDone chan struct{}
+}
+
+// Open opens (or creates) the log in opts.Dir, recovering from any torn or
+// corrupt tail left by a crash. The returned recovered count is the number
+// of intact records found on disk; truncated reports whether any bytes were
+// discarded during recovery.
+func Open(opts Options) (l *Log, recovered uint64, truncated bool, err error) {
+	if opts.Dir == "" {
+		return nil, 0, false, errors.New("wal: Options.Dir required")
+	}
+	if opts.SegmentBytes <= 0 {
+		opts.SegmentBytes = defaultSegmentSize
+	}
+	if opts.SyncEvery <= 0 {
+		opts.SyncEvery = 50 * time.Millisecond
+	}
+	if err := os.MkdirAll(opts.Dir, 0o755); err != nil {
+		return nil, 0, false, fmt.Errorf("wal: %w", err)
+	}
+	l = &Log{opts: opts, notifyCh: make(chan struct{})}
+	truncated, err = l.recover()
+	if err != nil {
+		return nil, 0, false, err
+	}
+	if l.last >= l.first && l.first > 0 {
+		recovered = l.last - l.first + 1
+	}
+	if opts.Sync == SyncInterval {
+		l.syncStop = make(chan struct{})
+		l.syncDone = make(chan struct{})
+		go l.syncLoop()
+	}
+	return l, recovered, truncated, nil
+}
+
+func segName(first uint64) string {
+	return fmt.Sprintf("%s%020d%s", segPrefix, first, segSuffix)
+}
+
+func parseSegName(name string) (uint64, bool) {
+	if !strings.HasPrefix(name, segPrefix) || !strings.HasSuffix(name, segSuffix) {
+		return 0, false
+	}
+	n, err := strconv.ParseUint(name[len(segPrefix):len(name)-len(segSuffix)], 10, 64)
+	if err != nil {
+		return 0, false
+	}
+	return n, true
+}
+
+// recover scans segments in index order, truncating at the first corrupt
+// record and deleting any segments past it.
+func (l *Log) recover() (truncated bool, err error) {
+	entries, err := os.ReadDir(l.opts.Dir)
+	if err != nil {
+		return false, fmt.Errorf("wal: %w", err)
+	}
+	var segs []*segment
+	for _, e := range entries {
+		if e.IsDir() {
+			continue
+		}
+		first, ok := parseSegName(e.Name())
+		if !ok {
+			continue
+		}
+		segs = append(segs, &segment{path: filepath.Join(l.opts.Dir, e.Name()), first: first})
+	}
+	sort.Slice(segs, func(i, j int) bool { return segs[i].first < segs[j].first })
+
+	for i, s := range segs {
+		count, goodBytes, clean, scanErr := scanSegment(s.path)
+		if scanErr != nil {
+			return truncated, scanErr
+		}
+		s.count = count
+		if clean && count > 0 && i < len(segs)-1 {
+			continue
+		}
+		if !clean {
+			truncated = true
+			if err := truncateFile(s.path, goodBytes); err != nil {
+				return truncated, err
+			}
+		}
+		if !clean || count == 0 && i < len(segs)-1 {
+			// Corruption (or an empty rotated segment, which can only come
+			// from a crash mid-rotation): everything after this point is
+			// unreachable — later indexes would be ambiguous. Drop it.
+			for _, later := range segs[i+1:] {
+				truncated = true
+				_ = os.Remove(later.path)
+			}
+			segs = segs[:i+1]
+			break
+		}
+	}
+	// Drop a fully-empty tail segment list down to nothing.
+	for len(segs) > 0 {
+		tail := segs[len(segs)-1]
+		if tail.count > 0 || len(segs) == 1 {
+			break
+		}
+		_ = os.Remove(tail.path)
+		segs = segs[:len(segs)-1]
+	}
+
+	if len(segs) == 0 {
+		segs = []*segment{{path: filepath.Join(l.opts.Dir, segName(1)), first: 1}}
+	}
+	tail := segs[len(segs)-1]
+	f, err := os.OpenFile(tail.path, os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return truncated, fmt.Errorf("wal: %w", err)
+	}
+	fi, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return truncated, fmt.Errorf("wal: %w", err)
+	}
+	if _, err := f.Seek(0, io.SeekEnd); err != nil {
+		f.Close()
+		return truncated, fmt.Errorf("wal: %w", err)
+	}
+	l.segs = segs
+	l.active = f
+	l.size = fi.Size()
+	l.first = segs[0].first
+	l.last = tail.first + tail.count - 1
+	if tail.count == 0 {
+		l.last = tail.first - 1
+	}
+	if l.last < l.first {
+		// Empty log.
+		l.first = segs[0].first
+	}
+	return truncated, nil
+}
+
+// scanSegment walks records in one file. It returns how many intact records
+// it found, the byte offset just past the last intact record, and whether
+// the file ends cleanly (no trailing garbage).
+func scanSegment(path string) (count uint64, goodBytes int64, clean bool, err error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return 0, 0, false, fmt.Errorf("wal: %w", err)
+	}
+	defer f.Close()
+	var hdr [recHeaderLen]byte
+	buf := make([]byte, 4096)
+	for {
+		n, err := io.ReadFull(f, hdr[:])
+		if err == io.EOF {
+			return count, goodBytes, true, nil
+		}
+		if err != nil {
+			// Partial header: torn tail.
+			_ = n
+			return count, goodBytes, false, nil
+		}
+		length := binary.LittleEndian.Uint32(hdr[0:4])
+		crc := binary.LittleEndian.Uint32(hdr[4:8])
+		// length 0 would CRC-match zero-filled tail blocks (crc32("") == 0),
+		// so empty records are forbidden and a zero length is corruption.
+		if length == 0 || length > maxRecordLen {
+			return count, goodBytes, false, nil
+		}
+		if int(length) > len(buf) {
+			buf = make([]byte, length)
+		}
+		if _, err := io.ReadFull(f, buf[:length]); err != nil {
+			return count, goodBytes, false, nil
+		}
+		if crc32.ChecksumIEEE(buf[:length]) != crc {
+			return count, goodBytes, false, nil
+		}
+		count++
+		goodBytes += recHeaderLen + int64(length)
+	}
+}
+
+func truncateFile(path string, size int64) error {
+	f, err := os.OpenFile(path, os.O_RDWR, 0o644)
+	if err != nil {
+		return fmt.Errorf("wal: %w", err)
+	}
+	defer f.Close()
+	if err := f.Truncate(size); err != nil {
+		return fmt.Errorf("wal: %w", err)
+	}
+	return f.Sync()
+}
+
+// Append writes one record and returns its index. Depending on the sync
+// policy the record may not be durable until the next Sync.
+func (l *Log) Append(payload []byte) (uint64, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return 0, ErrClosed
+	}
+	if len(payload) == 0 {
+		return 0, errors.New("wal: empty record")
+	}
+	if l.size >= l.opts.SegmentBytes {
+		if err := l.rotateLocked(); err != nil {
+			return 0, err
+		}
+	}
+	var hdr [recHeaderLen]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(hdr[4:8], crc32.ChecksumIEEE(payload))
+	if _, err := l.active.Write(hdr[:]); err != nil {
+		return 0, fmt.Errorf("wal: %w", err)
+	}
+	if _, err := l.active.Write(payload); err != nil {
+		return 0, fmt.Errorf("wal: %w", err)
+	}
+	l.size += recHeaderLen + int64(len(payload))
+	tail := l.segs[len(l.segs)-1]
+	tail.count++
+	idx := tail.first + tail.count - 1
+	l.last = idx
+	if l.first == 0 || l.last < l.first {
+		l.first = idx
+	}
+	l.dirty = true
+	if l.opts.Sync == SyncAlways {
+		if err := l.active.Sync(); err != nil {
+			return 0, fmt.Errorf("wal: %w", err)
+		}
+		l.dirty = false
+	}
+	// Wake tail-followers.
+	close(l.notifyCh)
+	l.notifyCh = make(chan struct{})
+	return idx, nil
+}
+
+// rotateLocked cuts a new active segment. Called with l.mu held.
+func (l *Log) rotateLocked() error {
+	if err := l.active.Sync(); err != nil {
+		return fmt.Errorf("wal: %w", err)
+	}
+	if err := l.active.Close(); err != nil {
+		return fmt.Errorf("wal: %w", err)
+	}
+	first := l.last + 1
+	path := filepath.Join(l.opts.Dir, segName(first))
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
+	if err != nil {
+		return fmt.Errorf("wal: %w", err)
+	}
+	if err := syncDir(l.opts.Dir); err != nil {
+		f.Close()
+		return err
+	}
+	l.segs = append(l.segs, &segment{path: path, first: first})
+	l.active = f
+	l.size = 0
+	l.dirty = false
+	return nil
+}
+
+// Sync flushes appended records to stable storage.
+func (l *Log) Sync() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return ErrClosed
+	}
+	if !l.dirty {
+		return nil
+	}
+	if err := l.active.Sync(); err != nil {
+		return fmt.Errorf("wal: %w", err)
+	}
+	l.dirty = false
+	return nil
+}
+
+func (l *Log) syncLoop() {
+	defer close(l.syncDone)
+	t := time.NewTicker(l.opts.SyncEvery)
+	defer t.Stop()
+	for {
+		select {
+		case <-t.C:
+			_ = l.Sync()
+		case <-l.syncStop:
+			return
+		}
+	}
+}
+
+// FirstIndex returns the first retained index (0 when the log is empty).
+func (l *Log) FirstIndex() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.last < l.first {
+		return 0
+	}
+	return l.first
+}
+
+// LastIndex returns the last appended index (0 when the log is empty).
+func (l *Log) LastIndex() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.last < l.first {
+		return 0
+	}
+	return l.last
+}
+
+// Segments returns how many segment files the log currently spans.
+func (l *Log) Segments() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.segs)
+}
+
+// Notify returns a channel closed on the next Append, letting tail-followers
+// block until new records exist. Grab a fresh channel after each wake-up.
+func (l *Log) Notify() <-chan struct{} {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.notifyCh
+}
+
+// Replay calls fn for every record with index >= from, in order. It returns
+// ErrNotFound when from has been compacted away (callers should fall back to
+// a snapshot). Replay of an empty range is a no-op. fn returning an error
+// stops the walk.
+func (l *Log) Replay(from uint64, fn func(index uint64, payload []byte) error) error {
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		return ErrClosed
+	}
+	if from == 0 {
+		from = 1
+	}
+	if l.last < l.first || from > l.last {
+		l.mu.Unlock()
+		return nil
+	}
+	if from < l.first {
+		l.mu.Unlock()
+		return ErrNotFound
+	}
+	// Snapshot the segment list and flush so reads see every record.
+	if l.dirty {
+		if err := l.active.Sync(); err != nil {
+			l.mu.Unlock()
+			return fmt.Errorf("wal: %w", err)
+		}
+		l.dirty = false
+	}
+	segs := make([]*segment, len(l.segs))
+	copy(segs, l.segs)
+	last := l.last
+	l.mu.Unlock()
+
+	for _, s := range segs {
+		if s.count == 0 || s.first+s.count-1 < from {
+			continue
+		}
+		if err := replaySegment(s, from, last, fn); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func replaySegment(s *segment, from, last uint64, fn func(uint64, []byte) error) error {
+	f, err := os.Open(s.path)
+	if err != nil {
+		return fmt.Errorf("wal: %w", err)
+	}
+	defer f.Close()
+	var hdr [recHeaderLen]byte
+	idx := s.first
+	for idx <= last {
+		if _, err := io.ReadFull(f, hdr[:]); err != nil {
+			if err == io.EOF || err == io.ErrUnexpectedEOF {
+				return nil // concurrent tail not yet visible; caller bounded by last
+			}
+			return fmt.Errorf("wal: %w", err)
+		}
+		length := binary.LittleEndian.Uint32(hdr[0:4])
+		crc := binary.LittleEndian.Uint32(hdr[4:8])
+		if length > maxRecordLen {
+			return fmt.Errorf("wal: corrupt record at index %d in %s", idx, s.path)
+		}
+		buf := make([]byte, length)
+		if _, err := io.ReadFull(f, buf); err != nil {
+			return fmt.Errorf("wal: %w", err)
+		}
+		if crc32.ChecksumIEEE(buf) != crc {
+			return fmt.Errorf("wal: corrupt record at index %d in %s", idx, s.path)
+		}
+		if idx >= from {
+			if err := fn(idx, buf); err != nil {
+				return err
+			}
+		}
+		idx++
+		if idx >= s.first+s.count {
+			return nil
+		}
+	}
+	return nil
+}
+
+// TruncateFront drops whole segments whose records all precede keepFrom.
+// The active segment is never removed. Used after a snapshot at keepFrom-1
+// has been persisted.
+func (l *Log) TruncateFront(keepFrom uint64) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return ErrClosed
+	}
+	removed := false
+	for len(l.segs) > 1 {
+		s := l.segs[0]
+		end := s.first + s.count - 1
+		if end >= keepFrom {
+			break
+		}
+		if err := os.Remove(s.path); err != nil && !os.IsNotExist(err) {
+			return fmt.Errorf("wal: %w", err)
+		}
+		l.segs = l.segs[1:]
+		removed = true
+	}
+	if removed {
+		l.first = l.segs[0].first
+		if err := syncDir(l.opts.Dir); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Close flushes and closes the log.
+func (l *Log) Close() error {
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		return nil
+	}
+	l.closed = true
+	if l.dirty && l.opts.Sync != SyncNever {
+		_ = l.active.Sync()
+	}
+	err := l.active.Close()
+	stop := l.syncStop
+	done := l.syncDone
+	l.mu.Unlock()
+	if stop != nil {
+		close(stop)
+		<-done
+	}
+	return err
+}
+
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return fmt.Errorf("wal: %w", err)
+	}
+	defer d.Close()
+	if err := d.Sync(); err != nil {
+		return fmt.Errorf("wal: %w", err)
+	}
+	return nil
+}

@@ -4,11 +4,12 @@
 # packages, the ones most exposed to concurrency bugs), the tier-1 verify
 # target (build, vet, gofmt, tests, race), the publish fan-out performance
 # gate (>2% ns/op regression or any new allocation on the fast path fails),
-# and finally the seven real-socket smoke tests (collector/prober trace
+# and finally the eight real-socket smoke tests (collector/prober trace
 # assembly, per-topic flow accounting + message sampling, health-engine
 # failure detection, self-healing BDN re-registration, the open-loop load
-# generator, the control-plane event journal with topology time-travel, and
-# the continuous-profiling plane with its flight-recorder fallback).
+# generator, the control-plane event journal with topology time-travel, the
+# continuous-profiling plane with its flight-recorder fallback, and the
+# replicated-BDN failover with zero re-registrations).
 set -eu
 cd "$(dirname "$0")/.."
 
@@ -20,6 +21,9 @@ go test -race ./internal/obs/...
 
 echo "ci: go test -race ./internal/supervise/ ./internal/testbed/"
 go test -race ./internal/supervise/ ./internal/testbed/
+
+echo "ci: go test -race ./internal/wal/ ./internal/bdn/replica/"
+go test -race ./internal/wal/ ./internal/bdn/replica/
 
 echo "ci: make verify"
 make verify
@@ -47,5 +51,8 @@ make events-smoke
 
 echo "ci: make profiles-smoke"
 make profiles-smoke
+
+echo "ci: make durability-smoke"
+make durability-smoke
 
 echo "ci: ok"
